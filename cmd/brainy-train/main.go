@@ -1,0 +1,89 @@
+// Command brainy-train runs the two-phase training framework of Section 4.3
+// and writes the trained model registry to disk — the "train once per
+// machine at install time" step of the paper's usage model.
+//
+// Usage:
+//
+//	brainy-train [-arch core2|atom|both] [-apps N] [-calls N] [-o models.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+	"repro/internal/machine"
+	"repro/internal/training"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("brainy-train: ")
+	var (
+		archName = flag.String("arch", "both", "microarchitecture to train for: core2, atom, or both")
+		apps     = flag.Int("apps", 300, "labelled training applications per model (Phase-I threshold)")
+		maxSeeds = flag.Int("max-seeds", 0, "Phase-I generation bound (default 20x apps)")
+		calls    = flag.Int("calls", 500, "interface calls per synthetic application")
+		epochs   = flag.Int("epochs", 250, "ANN training epochs")
+		out      = flag.String("o", "models.json", "output path for the model registry")
+	)
+	flag.Parse()
+
+	var archs []machine.Config
+	switch *archName {
+	case "core2":
+		archs = []machine.Config{machine.Core2()}
+	case "atom":
+		archs = []machine.Config{machine.Atom()}
+	case "both":
+		archs = []machine.Config{machine.Core2(), machine.Atom()}
+	default:
+		log.Fatalf("unknown -arch %q", *archName)
+	}
+	if *maxSeeds == 0 {
+		*maxSeeds = 20 * *apps
+	}
+
+	set := training.NewModelSet()
+	annCfg := ann.DefaultConfig()
+	annCfg.Epochs = *epochs
+	for _, arch := range archs {
+		opt := training.DefaultOptions(arch)
+		opt.PerTargetApps = *apps
+		opt.MaxSeeds = *maxSeeds
+		opt.AppCfg.TotalInterfCalls = *calls
+		opt.AppCfg.MaxPrepopulate = 4 * *calls
+		opt.AppCfg.MaxIterCount = 4 * *calls
+		for _, tgt := range adt.Targets() {
+			start := time.Now()
+			labels := training.Phase1(tgt, opt)
+			ds := training.Phase2(tgt, labels, opt)
+			m, err := training.TrainModel(ds, arch.Name, annCfg)
+			if err != nil {
+				log.Fatalf("training %v on %s: %v", tgt.Kind, arch.Name, err)
+			}
+			set.Put(m)
+			mode := "order-aware"
+			if !tgt.OrderAware {
+				mode = "order-oblivious"
+			}
+			fmt.Printf("%-6s %-9s %-15s %4d apps  train-acc %.0f%%  (%.1fs)\n",
+				arch.Name, tgt.Kind, mode, len(ds.Examples),
+				100*m.Net.Accuracy(ds.Examples), time.Since(start).Seconds())
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := set.Save(f); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %d models to %s\n", set.Len(), *out)
+}

@@ -1,0 +1,141 @@
+// Command brainy is the analysis front end of Figure 3: it reads a trace of
+// container profiles (written by the instrumented library) plus a trained
+// model registry, and prints the prioritized replacement report.
+//
+// Usage:
+//
+//	brainy -models models.json -trace trace.jsonl -arch Core2
+//	brainy -models models.json -demo xalan:reference -arch Atom
+//
+// The -demo mode profiles one of the built-in evaluation workloads in-place
+// instead of reading a trace file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/training"
+	"repro/internal/workloads/chord"
+	"repro/internal/workloads/raytrace"
+	"repro/internal/workloads/relipmoc"
+	"repro/internal/workloads/xalan"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("brainy: ")
+	var (
+		modelsPath = flag.String("models", "models.json", "trained model registry (from brainy-train)")
+		tracePath  = flag.String("trace", "", "JSON-lines profile trace to analyze")
+		demo       = flag.String("demo", "", "profile a built-in workload instead: app[:input], e.g. xalan:train")
+		archName   = flag.String("arch", "Core2", "architecture the trace was collected on (Core2 or Atom)")
+		planPath   = flag.String("plan", "", "also write a machine-readable replacement plan (JSON) to this path")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*modelsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := training.LoadModelSet(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	brainy := core.New(set)
+
+	var profiles []profile.Profile
+	switch {
+	case *demo != "":
+		profiles, err = demoProfiles(*demo, *archName)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *tracePath != "":
+		tf, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles, err = profile.ReadTrace(tf)
+		tf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("one of -trace or -demo is required")
+	}
+
+	report := brainy.Analyze(profiles, *archName)
+	fmt.Print(report.Render())
+	if len(report.Replacements()) == 0 {
+		fmt.Println("no replacements suggested: the current containers look optimal")
+	}
+	if *planPath != "" {
+		pf, err := os.Create(*planPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer pf.Close()
+		if err := report.WritePlan(pf); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote replacement plan to %s\n", *planPath)
+	}
+}
+
+func archByName(name string) (machine.Config, error) {
+	switch name {
+	case "Core2", "core2":
+		return machine.Core2(), nil
+	case "Atom", "atom":
+		return machine.Atom(), nil
+	}
+	return machine.Config{}, fmt.Errorf("unknown architecture %q", name)
+}
+
+func demoProfiles(spec, archName string) ([]profile.Profile, error) {
+	arch, err := archByName(archName)
+	if err != nil {
+		return nil, err
+	}
+	app, input := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		app, input = spec[:i], spec[i+1:]
+	}
+	switch app {
+	case "xalan":
+		if input == "" {
+			input = "reference"
+		}
+		in, err := xalan.InputByName(input)
+		if err != nil {
+			return nil, err
+		}
+		return []profile.Profile{xalan.Run(xalan.Original(), in, arch).Profile}, nil
+	case "chord":
+		if input == "" {
+			input = "medium"
+		}
+		in, err := chord.InputByName(input)
+		if err != nil {
+			return nil, err
+		}
+		return []profile.Profile{chord.Run(chord.Original(), in, arch).Profile}, nil
+	case "relipmoc":
+		return []profile.Profile{relipmoc.Run(relipmoc.Original(), relipmoc.Inputs()[1], arch).Profile}, nil
+	case "raytrace":
+		in, err := raytrace.InputByName("default")
+		if err != nil {
+			return nil, err
+		}
+		return []profile.Profile{raytrace.Run(raytrace.Original(), in, arch).Profile}, nil
+	}
+	return nil, fmt.Errorf("unknown demo app %q (want xalan, chord, relipmoc, raytrace)", app)
+}

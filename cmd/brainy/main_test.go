@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestArchByName(t *testing.T) {
+	for _, name := range []string{"Core2", "core2", "Atom", "atom"} {
+		if _, err := archByName(name); err != nil {
+			t.Fatalf("archByName(%q): %v", name, err)
+		}
+	}
+	if _, err := archByName("pentium"); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+}
+
+func TestDemoProfiles(t *testing.T) {
+	for _, spec := range []string{"xalan:test", "chord:small", "raytrace"} {
+		profiles, err := demoProfiles(spec, "Core2")
+		if err != nil {
+			t.Fatalf("demoProfiles(%q): %v", spec, err)
+		}
+		if len(profiles) != 1 || profiles[0].Cycles <= 0 {
+			t.Fatalf("demoProfiles(%q) returned %d profiles", spec, len(profiles))
+		}
+	}
+	if _, err := demoProfiles("doom", "Core2"); err == nil {
+		t.Fatal("unknown demo accepted")
+	}
+	if _, err := demoProfiles("xalan:bogus", "Core2"); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+	if _, err := demoProfiles("xalan", "pentium"); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+}

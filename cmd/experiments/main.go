@@ -1,0 +1,158 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale small|full] [-models models.json] fig1 fig2 tab1 ...
+//	experiments -scale small all
+//
+// Experiments needing trained models (fig8, xalan, chord, relipmoc,
+// raytrace) train in-process unless -models points at a registry written by
+// brainy-train.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/training"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		scaleName  = flag.String("scale", "small", "experiment scale: small or full")
+		modelsPath = flag.String("models", "", "optional pre-trained model registry")
+		apps       = flag.Int("apps", 0, "override: training applications per model")
+		calls      = flag.Int("calls", 0, "override: interface calls per synthetic application")
+		validation = flag.Int("validation", 0, "override: validation applications per model")
+	)
+	flag.Parse()
+	names := flag.Args()
+	if len(names) == 0 {
+		fmt.Println("available experiments: fig1 fig2 tab1 tab2 tab3 fig6 fig7 fig8 fig9 tab4 xalan chord relipmoc raytrace ablations all")
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "small":
+		sc = experiments.SmallScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		log.Fatalf("unknown -scale %q", *scaleName)
+	}
+	if *apps > 0 {
+		sc.TrainApps = *apps
+		sc.MaxSeeds = 20 * *apps
+	}
+	if *calls > 0 {
+		sc.Calls = *calls
+	}
+	if *validation > 0 {
+		sc.ValidationApps = *validation
+	}
+
+	var brainy *core.Brainy
+	loadBrainy := func() *core.Brainy {
+		if brainy != nil {
+			return brainy
+		}
+		if *modelsPath != "" {
+			f, err := os.Open(*modelsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			set, err := training.LoadModelSet(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			brainy = core.New(set)
+			return brainy
+		}
+		log.Printf("training models in-process at %s scale (use -models to skip)...", sc.Name)
+		set, err := experiments.TrainModels(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		brainy = core.New(set)
+		return brainy
+	}
+
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{"fig1", "fig2", "tab1", "tab2", "tab3", "fig6", "fig7", "fig9",
+			"tab4", "xalan", "chord", "relipmoc", "raytrace", "fig8", "ablations"}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		switch name {
+		case "fig1":
+			fmt.Print(experiments.Figure1(sc).Render())
+		case "fig2":
+			fmt.Print(experiments.Figure2().Render())
+		case "tab1":
+			fmt.Print(experiments.Table1())
+		case "tab2":
+			fmt.Print(experiments.Table2())
+		case "tab3":
+			res, err := experiments.Table3(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.Render())
+		case "fig6":
+			fmt.Print(experiments.Figure6(sc).Render())
+		case "fig7":
+			fmt.Print(experiments.Figure7())
+		case "fig8":
+			res, err := experiments.Figure8(loadBrainy())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.Render())
+		case "fig9":
+			res, err := experiments.Figure9(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.Render())
+		case "tab4":
+			fmt.Print(experiments.RenderTable4(experiments.Table4()))
+		case "xalan", "chord", "relipmoc", "raytrace":
+			cases, err := experiments.CaseStudy(name, loadBrainy())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiments.RenderCases(cases))
+		case "ablations":
+			for _, run := range []func(experiments.Scale) (experiments.AblationResult, error){
+				experiments.AblationHardwareFeatures,
+				experiments.AblationThreshold,
+				experiments.AblationCrossArch,
+				func(s experiments.Scale) (experiments.AblationResult, error) {
+					return experiments.AblationHiddenWidth(s, nil)
+				},
+				func(s experiments.Scale) (experiments.AblationResult, error) {
+					return experiments.AblationTrainingSize(s, nil)
+				},
+			} {
+				res, err := run(sc)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Print(res.Render())
+			}
+		default:
+			log.Fatalf("unknown experiment %q", name)
+		}
+		fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+}

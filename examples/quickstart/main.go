@@ -1,0 +1,70 @@
+// Quickstart: the full Brainy loop in one file.
+//
+//  1. Train selection models for a simulated microarchitecture (install-time
+//     step, here at a tiny scale so it finishes in seconds).
+//  2. Run an "application" whose container is instrumented.
+//  3. Ask Brainy which implementation the application should have used.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/training"
+)
+
+func main() {
+	arch := machine.Core2()
+
+	// 1. Train the model for order-oblivious vector usage on this machine.
+	fmt.Println("training the vector model for", arch.Name, "(tiny budget)...")
+	opt := training.DefaultOptions(arch)
+	opt.AppCfg.TotalInterfCalls = 250
+	opt.PerTargetApps = 150
+	opt.MaxSeeds = 1500
+	annCfg := ann.DefaultConfig()
+	annCfg.Epochs = 150
+
+	target := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
+	labels := training.Phase1(target, opt)          // Algorithm 1
+	dataset := training.Phase2(target, labels, opt) // Algorithm 2
+	model, err := training.TrainModel(dataset, arch.Name, annCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	models := training.NewModelSet()
+	models.Put(model)
+	brainy := core.New(models)
+
+	// 2. The "application": a membership cache built on a vector, searched
+	// far more often than it is updated — a classic misuse.
+	m := machine.New(arch)
+	cache := profile.NewContainer(adt.KindVector, m, 8, "quickstart/membership-cache", false)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		cache.Insert(uint64(rng.Intn(100000)))
+	}
+	for i := 0; i < 20000; i++ {
+		cache.Find(uint64(rng.Intn(100000)))
+	}
+
+	// 3. Analyze the profile.
+	report := brainy.Analyze([]profile.Profile{cache.Snapshot()}, arch.Name)
+	fmt.Print(report.Render())
+
+	for _, s := range report.Replacements() {
+		fmt.Printf("\nBrainy suggests replacing the %s at %s with %s (confidence %.2f).\n",
+			s.Original, s.Context, s.Suggested, s.Confidence)
+	}
+	if len(report.Replacements()) == 0 {
+		fmt.Println("\nBrainy found no profitable replacement.")
+	}
+}

@@ -1,0 +1,44 @@
+// Raytracer reproduces the ray-tracing case study (Section 6.5): sphere
+// groups whose member containers are iterated for every ray that hits the
+// group's bound. Iteration dominates, so the contiguous vector beats the
+// original linked list.
+//
+// Run with: go run ./examples/raytracer
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/workloads/raytrace"
+)
+
+func main() {
+	in, err := raytrace.InputByName("default")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Raytrace group-list study: %dx%d image, %d groups x %d spheres\n\n",
+		in.Width, in.Height, in.Groups, in.PerGroup)
+
+	for _, arch := range []machine.Config{machine.Core2(), machine.Atom()} {
+		results := raytrace.RunAll(in, arch)
+		base := results[0]
+		fmt.Printf("%s:\n", arch.Name)
+		for _, r := range results {
+			fmt.Printf("  %-7s %14.0f cycles (%.2fx), %d primary hits\n",
+				r.Kind, r.Cycles, r.Cycles/base.Cycles, r.Hits)
+		}
+		var vec raytrace.Result
+		for _, r := range results {
+			if r.Kind.String() == "vector" {
+				vec = r
+			}
+		}
+		fmt.Printf("  list -> vector improvement: %.1f%%\n\n",
+			100*(base.Cycles-vec.Cycles)/base.Cycles)
+	}
+	fmt.Println("Every candidate renders the identical image (same hits and checksum);")
+	fmt.Println("only the traversal cost changes. A list node costs a dependent load per")
+	fmt.Println("sphere, while the vector streams the whole group through the cache.")
+}

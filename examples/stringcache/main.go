@@ -1,0 +1,48 @@
+// Stringcache reproduces the Xalancbmk case study (Section 6.2): a
+// two-level string cache whose busy list's best container flips with the
+// input. It measures vector, set, and hash_set on every input on both
+// simulated microarchitectures and prints Figure 10's normalized times.
+//
+// Run with: go run ./examples/stringcache
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/workloads/xalan"
+)
+
+func main() {
+	fmt.Println("XalanDOMStringCache busy-list study (Figure 10)")
+	for _, arch := range []machine.Config{machine.Core2(), machine.Atom()} {
+		fmt.Printf("\n%s\n", arch.Name)
+		fmt.Printf("  %-10s  %-9s %-9s %-9s  best\n", "input", "vector", "set", "hash_set")
+		for _, in := range xalan.Inputs() {
+			results := xalan.RunAll(in, arch)
+			base := results[0].Cycles
+			best := results[0]
+			fmt.Printf("  %-10s ", in.Name)
+			for _, r := range results {
+				fmt.Printf(" %-9.2f", r.Cycles/base)
+				if r.Cycles < best.Cycles {
+					best = r
+				}
+			}
+			fmt.Printf("  %s\n", best.Kind)
+		}
+	}
+
+	fmt.Println("\nTable 4: why the inputs differ (vector busy list, Core2)")
+	fmt.Printf("  %-10s %14s %18s %12s\n", "input", "find+erase", "touched elements", "touched/call")
+	for _, in := range xalan.Inputs() {
+		r := xalan.Run(xalan.Original(), in, machine.Core2())
+		fmt.Printf("  %-10s %14d %18d %12.1f\n",
+			in.Name, r.FindInvocations, r.TouchedElements,
+			float64(r.TouchedElements)/float64(r.FindInvocations))
+	}
+	fmt.Println("\nThe train input finds its strings at the head of the vector, so the")
+	fmt.Println("linear scan is nearly free and hash_set's overhead is pure loss; the")
+	fmt.Println("reference input scans deep into the list, so hash_set wins by an order")
+	fmt.Println("of magnitude — the same container, opposite verdicts, purely from input.")
+}

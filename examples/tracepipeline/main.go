@@ -1,0 +1,101 @@
+// Tracepipeline shows the tool workflow of Figure 3 end to end, the way a
+// developer would integrate Brainy into a build:
+//
+//  1. the application links the instrumented library (here: a registry of
+//     profiled containers) and runs normally;
+//  2. the trace is written to disk;
+//  3. Brainy reads the trace with trained models and emits both a
+//     human-readable report and a machine-readable replacement plan that a
+//     refactoring tool could apply.
+//
+// Run with: go run ./examples/tracepipeline
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/training"
+)
+
+func main() {
+	arch := machine.Core2()
+
+	// Train the two models this application's containers need.
+	fmt.Println("training models (tiny budget)...")
+	models := training.NewModelSet()
+	opt := training.DefaultOptions(arch)
+	opt.AppCfg.TotalInterfCalls = 250
+	opt.PerTargetApps = 120
+	opt.MaxSeeds = 1200
+	annCfg := ann.DefaultConfig()
+	annCfg.Epochs = 150
+	for _, tgt := range []adt.ModelTarget{
+		{Kind: adt.KindVector, OrderAware: false},
+		{Kind: adt.KindList, OrderAware: true},
+	} {
+		labels := training.Phase1(tgt, opt)
+		ds := training.Phase2(tgt, labels, opt)
+		m, err := training.TrainModel(ds, arch.Name, annCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		models.Put(m)
+	}
+
+	// 1. The "application": three container construction sites with very
+	// different behaviours, all profiled through one registry.
+	m := machine.New(arch)
+	reg := profile.NewRegistry(m)
+	rng := rand.New(rand.NewSource(42))
+
+	index := reg.NewContainer(adt.KindVector, 8, "server/session.index", false)
+	for i := 0; i < 1500; i++ {
+		index.Insert(uint64(rng.Intn(1 << 20)))
+	}
+	for i := 0; i < 15000; i++ {
+		index.Find(uint64(rng.Intn(1 << 20))) // lookup-dominated: vector misuse
+	}
+
+	queue := reg.NewContainer(adt.KindList, 8, "server/render.queue", true)
+	for i := 0; i < 400; i++ {
+		queue.Insert(uint64(i))
+	}
+	for i := 0; i < 4000; i++ {
+		queue.Iterate(-1) // iteration-dominated: list misuse
+	}
+
+	tiny := reg.NewContainer(adt.KindVector, 8, "server/config.flags", false)
+	for i := 0; i < 6; i++ {
+		tiny.Insert(uint64(i))
+	}
+
+	// 2. Serialize the trace (what the instrumented run writes to disk).
+	var traceFile bytes.Buffer
+	if err := profile.WriteTrace(&traceFile, reg.Snapshots()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d bytes for %d construction sites\n\n", traceFile.Len(), len(reg.Contexts()))
+
+	// 3. Analyze the trace.
+	profiles, err := profile.ReadTrace(&traceFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := core.New(models).Analyze(profiles, arch.Name)
+	fmt.Print(report.Render())
+
+	var plan bytes.Buffer
+	if err := report.WritePlan(&plan); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nreplacement plan (for a refactoring tool):")
+	fmt.Print(plan.String())
+}

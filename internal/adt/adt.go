@@ -1,0 +1,433 @@
+// Package adt presents every container behind one abstract data type, the
+// role the C++ template parameter plays in the paper's application
+// generator (Section 4.2): a synthetic application is written once against
+// the ADT and instantiated with each interchangeable implementation, so the
+// only difference between the variants is the data structure.
+//
+// The package also encodes the replacement matrix of Table 1, including the
+// order-obliviousness restriction: associative containers iterate in sorted
+// (or hash) order, so they may only replace a sequence when the application
+// never relies on insertion order.
+package adt
+
+import (
+	"fmt"
+
+	"repro/internal/containers/avltree"
+	"repro/internal/containers/deque"
+	"repro/internal/containers/hashtable"
+	"repro/internal/containers/list"
+	"repro/internal/containers/rbtree"
+	"repro/internal/containers/splaytree"
+	"repro/internal/containers/vector"
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+// Kind identifies a container implementation.
+type Kind int
+
+// The implementations of the paper's Table 1, plus the splay-tree
+// extension. Map kinds reuse the set implementations with a key+value
+// payload.
+const (
+	KindVector Kind = iota
+	KindList
+	KindDeque
+	KindSet     // red-black tree
+	KindAVLSet  // AVL tree
+	KindHashSet // chained hash table
+	KindSplaySet
+	KindMap // red-black tree, key+value payload
+	KindAVLMap
+	KindHashMap
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"vector", "list", "deque",
+	"set", "avl_set", "hash_set", "splay_set",
+	"map", "avl_map", "hash_map",
+}
+
+// String returns the STL-style name of the kind.
+func (k Kind) String() string {
+	if k < 0 || k >= NumKinds {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind returns the Kind named s.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("adt: unknown container kind %q", s)
+}
+
+// IsSequence reports whether the kind preserves insertion order.
+func (k Kind) IsSequence() bool {
+	return k == KindVector || k == KindList || k == KindDeque
+}
+
+// IsAssociative reports whether the kind stores unique keys.
+func (k Kind) IsAssociative() bool { return k >= KindSet && k < NumKinds }
+
+// IsMapKind reports whether the kind carries a key+value payload.
+func (k Kind) IsMapKind() bool { return k == KindMap || k == KindAVLMap || k == KindHashMap }
+
+// Container is the abstract data type the synthetic applications and the
+// real workloads drive. Keys are uint64; the simulated element size is set
+// at construction and may exceed 8 bytes to model large records.
+//
+// Semantics across families:
+//   - Insert appends for sequences and does a keyed insert for associative
+//     containers.
+//   - InsertAt inserts before a position for sequences; associative
+//     containers ignore the position.
+//   - PushFront prepends for sequences (an O(n) shift for vector); for
+//     associative containers it degenerates to Insert.
+//   - Erase removes the first element equal to key (search + unlink for
+//     sequences, keyed removal for associative containers).
+//   - EraseFront removes the first element (the smallest key for trees, an
+//     arbitrary one for hash tables).
+//   - Find reports membership; Iterate visits up to n elements in the
+//     container's natural order.
+type Container interface {
+	Kind() Kind
+	Insert(key uint64)
+	InsertAt(pos int, key uint64)
+	PushFront(key uint64)
+	Erase(key uint64) bool
+	EraseFront() bool
+	Find(key uint64) bool
+	Iterate(n int) uint64
+	Len() int
+	Clear()
+	Stats() *opstats.Stats
+}
+
+// New constructs a container of the given kind bound to model, with the
+// given simulated element size in bytes.
+func New(kind Kind, model mem.Model, elemSize uint64) Container {
+	switch kind {
+	case KindVector:
+		return &vectorADT{kind: kind, v: vector.New[uint64](model, elemSize)}
+	case KindList:
+		return &listADT{kind: kind, l: list.New[uint64](model, elemSize)}
+	case KindDeque:
+		return &dequeADT{kind: kind, d: deque.New[uint64](model, elemSize)}
+	case KindSet, KindMap:
+		return &rbADT{kind: kind, t: rbtree.New[uint64, struct{}](model, elemSize)}
+	case KindAVLSet, KindAVLMap:
+		return &avlADT{kind: kind, t: avltree.New[uint64, struct{}](model, elemSize)}
+	case KindHashSet, KindHashMap:
+		return &hashADT{kind: kind, t: hashtable.New[uint64, struct{}](model, elemSize, hashtable.HashUint64)}
+	case KindSplaySet:
+		return &splayADT{kind: kind, t: splaytree.New[uint64, struct{}](model, elemSize)}
+	default:
+		panic(fmt.Sprintf("adt: invalid kind %d", kind))
+	}
+}
+
+// Replacement describes one row of Table 1.
+type Replacement struct {
+	From, To       Kind
+	Benefit        string
+	OrderOblivious bool // legal only when the app never relies on insertion order
+}
+
+// Replacements is the full replacement matrix of Table 1, extended with the
+// splay-tree alternative for set.
+var Replacements = []Replacement{
+	{KindVector, KindList, "fast insertion", false},
+	{KindVector, KindDeque, "fast insertion", false},
+	{KindVector, KindSet, "fast search", true},
+	{KindVector, KindAVLSet, "fast search", true},
+	{KindVector, KindHashSet, "fast insertion & search", true},
+
+	{KindList, KindVector, "fast iteration", false},
+	{KindList, KindDeque, "fast iteration", false},
+	{KindList, KindSet, "fast search", true},
+	{KindList, KindAVLSet, "fast search", true},
+	{KindList, KindHashSet, "fast search", true},
+
+	{KindSet, KindAVLSet, "fast search", false},
+	{KindSet, KindSplaySet, "fast skewed search", false},
+	{KindSet, KindVector, "fast iteration", true},
+	{KindSet, KindList, "fast insertion & deletion", true},
+	{KindSet, KindHashSet, "fast insertion & search", true},
+
+	{KindMap, KindAVLMap, "fast search", false},
+	{KindMap, KindHashMap, "fast insertion & search", false},
+}
+
+// Candidates returns the legal replacement kinds for from (excluding from
+// itself). When orderAware is true, order-oblivious replacements are
+// filtered out, matching Table 1's limitation column.
+func Candidates(from Kind, orderAware bool) []Kind {
+	var out []Kind
+	for _, r := range Replacements {
+		if r.From != from {
+			continue
+		}
+		if orderAware && r.OrderOblivious {
+			continue
+		}
+		out = append(out, r.To)
+	}
+	return out
+}
+
+// CandidatesWithOriginal returns Candidates plus the original kind itself,
+// the choice set the oracle and the models rank.
+func CandidatesWithOriginal(from Kind, orderAware bool) []Kind {
+	return append([]Kind{from}, Candidates(from, orderAware)...)
+}
+
+// ModelTargets lists the original kinds that get their own trained model.
+// Order-oblivious vector and list usage get dedicated models (Section 5),
+// expressed here as separate targets.
+type ModelTarget struct {
+	Kind       Kind
+	OrderAware bool
+}
+
+// Targets enumerates the per-container ANN models Brainy trains: one per
+// original data structure, with the order-oblivious sequence variants
+// counted separately, mirroring Figure 3 and Table 3.
+func Targets() []ModelTarget {
+	return []ModelTarget{
+		{KindVector, true},
+		{KindVector, false},
+		{KindList, true},
+		{KindList, false},
+		{KindSet, true},
+		{KindSet, false},
+		{KindMap, false},
+	}
+}
+
+// --- vector ---
+
+type vectorADT struct {
+	kind Kind
+	v    *vector.Vector[uint64]
+}
+
+func (a *vectorADT) Kind() Kind        { return a.kind }
+func (a *vectorADT) Insert(key uint64) { a.v.PushBack(key) }
+func (a *vectorADT) InsertAt(pos int, key uint64) {
+	a.v.Insert(pos, key)
+}
+func (a *vectorADT) PushFront(key uint64) { a.v.Insert(0, key) }
+func (a *vectorADT) Erase(key uint64) bool {
+	return a.v.FindErase(func(x uint64) bool { return x == key })
+}
+func (a *vectorADT) EraseFront() bool {
+	if a.v.Len() == 0 {
+		a.v.Stats().Observe(opstats.OpErase, 0) // interface call on empty container
+		return false
+	}
+	return a.v.Erase(0)
+}
+func (a *vectorADT) Find(key uint64) bool {
+	return a.v.Find(func(x uint64) bool { return x == key }) >= 0
+}
+func (a *vectorADT) Iterate(n int) uint64 {
+	var sum uint64
+	a.v.Iterate(n, func(x uint64) { sum += x })
+	return sum
+}
+func (a *vectorADT) Len() int              { return a.v.Len() }
+func (a *vectorADT) Clear()                { a.v.Clear() }
+func (a *vectorADT) Stats() *opstats.Stats { return a.v.Stats() }
+
+// --- list ---
+
+type listADT struct {
+	kind Kind
+	l    *list.List[uint64]
+}
+
+func (a *listADT) Kind() Kind                   { return a.kind }
+func (a *listADT) Insert(key uint64)            { a.l.PushBack(key) }
+func (a *listADT) InsertAt(pos int, key uint64) { a.l.Insert(pos, key) }
+func (a *listADT) PushFront(key uint64)         { a.l.PushFront(key) }
+func (a *listADT) Erase(key uint64) bool {
+	return a.l.FindErase(func(x uint64) bool { return x == key })
+}
+func (a *listADT) EraseFront() bool {
+	_, ok := a.l.PopFront()
+	if !ok {
+		a.l.Stats().Observe(opstats.OpPopFront, 0) // interface call on empty container
+	}
+	return ok
+}
+func (a *listADT) Find(key uint64) bool {
+	return a.l.Find(func(x uint64) bool { return x == key }) >= 0
+}
+func (a *listADT) Iterate(n int) uint64 {
+	var sum uint64
+	a.l.Iterate(n, func(x uint64) { sum += x })
+	return sum
+}
+func (a *listADT) Len() int              { return a.l.Len() }
+func (a *listADT) Clear()                { a.l.Clear() }
+func (a *listADT) Stats() *opstats.Stats { return a.l.Stats() }
+
+// --- deque ---
+
+type dequeADT struct {
+	kind Kind
+	d    *deque.Deque[uint64]
+}
+
+func (a *dequeADT) Kind() Kind                   { return a.kind }
+func (a *dequeADT) Insert(key uint64)            { a.d.PushBack(key) }
+func (a *dequeADT) InsertAt(pos int, key uint64) { a.d.Insert(pos, key) }
+func (a *dequeADT) PushFront(key uint64)         { a.d.PushFront(key) }
+func (a *dequeADT) Erase(key uint64) bool {
+	return a.d.FindErase(func(x uint64) bool { return x == key })
+}
+func (a *dequeADT) EraseFront() bool {
+	_, ok := a.d.PopFront()
+	if !ok {
+		a.d.Stats().Observe(opstats.OpPopFront, 0) // interface call on empty container
+	}
+	return ok
+}
+func (a *dequeADT) Find(key uint64) bool {
+	return a.d.Find(func(x uint64) bool { return x == key }) >= 0
+}
+func (a *dequeADT) Iterate(n int) uint64 {
+	var sum uint64
+	a.d.Iterate(n, func(x uint64) { sum += x })
+	return sum
+}
+func (a *dequeADT) Len() int              { return a.d.Len() }
+func (a *dequeADT) Clear()                { a.d.Clear() }
+func (a *dequeADT) Stats() *opstats.Stats { return a.d.Stats() }
+
+// --- red-black tree ---
+
+type rbADT struct {
+	kind Kind
+	t    *rbtree.Tree[uint64, struct{}]
+}
+
+func (a *rbADT) Kind() Kind                 { return a.kind }
+func (a *rbADT) Insert(key uint64)          { a.t.Insert(key, struct{}{}) }
+func (a *rbADT) InsertAt(_ int, key uint64) { a.t.Insert(key, struct{}{}) }
+func (a *rbADT) PushFront(key uint64)       { a.t.Insert(key, struct{}{}) }
+func (a *rbADT) Erase(key uint64) bool      { return a.t.Erase(key) }
+func (a *rbADT) EraseFront() bool {
+	k, ok := a.t.Min()
+	if !ok {
+		a.t.Stats().Observe(opstats.OpErase, 0) // interface call on empty container
+		return false
+	}
+	return a.t.Erase(k)
+}
+func (a *rbADT) Find(key uint64) bool { return a.t.Contains(key) }
+func (a *rbADT) Iterate(n int) uint64 {
+	var sum uint64
+	a.t.Iterate(n, func(k uint64, _ struct{}) { sum += k })
+	return sum
+}
+func (a *rbADT) Len() int              { return a.t.Len() }
+func (a *rbADT) Clear()                { a.t.Clear() }
+func (a *rbADT) Stats() *opstats.Stats { return a.t.Stats() }
+
+// --- AVL tree ---
+
+type avlADT struct {
+	kind Kind
+	t    *avltree.Tree[uint64, struct{}]
+}
+
+func (a *avlADT) Kind() Kind                 { return a.kind }
+func (a *avlADT) Insert(key uint64)          { a.t.Insert(key, struct{}{}) }
+func (a *avlADT) InsertAt(_ int, key uint64) { a.t.Insert(key, struct{}{}) }
+func (a *avlADT) PushFront(key uint64)       { a.t.Insert(key, struct{}{}) }
+func (a *avlADT) Erase(key uint64) bool      { return a.t.Erase(key) }
+func (a *avlADT) EraseFront() bool {
+	k, ok := a.t.Min()
+	if !ok {
+		a.t.Stats().Observe(opstats.OpErase, 0) // interface call on empty container
+		return false
+	}
+	return a.t.Erase(k)
+}
+func (a *avlADT) Find(key uint64) bool { return a.t.Contains(key) }
+func (a *avlADT) Iterate(n int) uint64 {
+	var sum uint64
+	a.t.Iterate(n, func(k uint64, _ struct{}) { sum += k })
+	return sum
+}
+func (a *avlADT) Len() int              { return a.t.Len() }
+func (a *avlADT) Clear()                { a.t.Clear() }
+func (a *avlADT) Stats() *opstats.Stats { return a.t.Stats() }
+
+// --- hash table ---
+
+type hashADT struct {
+	kind Kind
+	t    *hashtable.Table[uint64, struct{}]
+}
+
+func (a *hashADT) Kind() Kind                 { return a.kind }
+func (a *hashADT) Insert(key uint64)          { a.t.Insert(key, struct{}{}) }
+func (a *hashADT) InsertAt(_ int, key uint64) { a.t.Insert(key, struct{}{}) }
+func (a *hashADT) PushFront(key uint64)       { a.t.Insert(key, struct{}{}) }
+func (a *hashADT) Erase(key uint64) bool      { return a.t.Erase(key) }
+func (a *hashADT) EraseFront() bool {
+	first, ok := a.t.First()
+	if !ok {
+		a.t.Stats().Observe(opstats.OpErase, 0) // interface call on empty container
+		return false
+	}
+	return a.t.Erase(first)
+}
+func (a *hashADT) Find(key uint64) bool { return a.t.Contains(key) }
+func (a *hashADT) Iterate(n int) uint64 {
+	var sum uint64
+	a.t.Iterate(n, func(k uint64, _ struct{}) { sum += k })
+	return sum
+}
+func (a *hashADT) Len() int              { return a.t.Len() }
+func (a *hashADT) Clear()                { a.t.Clear() }
+func (a *hashADT) Stats() *opstats.Stats { return a.t.Stats() }
+
+// --- splay tree ---
+
+type splayADT struct {
+	kind Kind
+	t    *splaytree.Tree[uint64, struct{}]
+}
+
+func (a *splayADT) Kind() Kind                 { return a.kind }
+func (a *splayADT) Insert(key uint64)          { a.t.Insert(key, struct{}{}) }
+func (a *splayADT) InsertAt(_ int, key uint64) { a.t.Insert(key, struct{}{}) }
+func (a *splayADT) PushFront(key uint64)       { a.t.Insert(key, struct{}{}) }
+func (a *splayADT) Erase(key uint64) bool      { return a.t.Erase(key) }
+func (a *splayADT) EraseFront() bool {
+	first, ok := a.t.Min()
+	if !ok {
+		a.t.Stats().Observe(opstats.OpErase, 0) // interface call on empty container
+		return false
+	}
+	return a.t.Erase(first)
+}
+func (a *splayADT) Find(key uint64) bool { return a.t.Contains(key) }
+func (a *splayADT) Iterate(n int) uint64 {
+	var sum uint64
+	a.t.Iterate(n, func(k uint64, _ struct{}) { sum += k })
+	return sum
+}
+func (a *splayADT) Len() int              { return a.t.Len() }
+func (a *splayADT) Clear()                { a.t.Clear() }
+func (a *splayADT) Stats() *opstats.Stats { return a.t.Stats() }

@@ -1,0 +1,96 @@
+package adt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// benchKinds are the implementations compared in the micro-benchmarks.
+var benchKinds = []Kind{KindVector, KindList, KindDeque, KindSet, KindAVLSet, KindHashSet, KindSplaySet}
+
+// BenchmarkInsert measures keyed/appending insertion of 1k elements per
+// iteration, per container kind, on the simulated Core2.
+func BenchmarkInsert(b *testing.B) {
+	for _, k := range benchKinds {
+		b.Run(k.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := machine.New(machine.Core2())
+				c := New(k, m, 8)
+				for j := uint64(0); j < 1000; j++ {
+					c.Insert(j * 2654435761 % 100000)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFind measures 1k membership queries against a 10k-element
+// container per iteration.
+func BenchmarkFind(b *testing.B) {
+	for _, k := range benchKinds {
+		b.Run(k.String(), func(b *testing.B) {
+			m := machine.New(machine.Core2())
+			c := New(k, m, 8)
+			rng := rand.New(rand.NewSource(1))
+			for j := 0; j < 10000; j++ {
+				c.Insert(uint64(rng.Intn(1 << 30)))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				probe := rand.New(rand.NewSource(2))
+				for j := 0; j < 1000; j++ {
+					c.Find(uint64(probe.Intn(1 << 30)))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIterate measures a full traversal of a 10k-element container.
+func BenchmarkIterate(b *testing.B) {
+	for _, k := range benchKinds {
+		b.Run(k.String(), func(b *testing.B) {
+			m := machine.New(machine.Core2())
+			c := New(k, m, 8)
+			for j := uint64(0); j < 10000; j++ {
+				c.Insert(j)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Iterate(-1)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatedCyclesPerOp reports, as a custom metric, the simulated
+// cycle cost per find at several container sizes — the crossover data
+// behind the paper's motivating "set beats hash below ~200 elements on
+// modern machines" style observations.
+func BenchmarkSimulatedCyclesPerOp(b *testing.B) {
+	for _, size := range []int{100, 1000, 10000} {
+		for _, k := range []Kind{KindVector, KindSet, KindHashSet} {
+			b.Run(fmt.Sprintf("%s/n=%d", k, size), func(b *testing.B) {
+				var cycles float64
+				for i := 0; i < b.N; i++ {
+					m := machine.New(machine.Core2())
+					c := New(k, m, 8)
+					for j := uint64(0); j < uint64(size); j++ {
+						c.Insert(j * 7919 % (uint64(size) * 8))
+					}
+					start := m.Cycles()
+					probe := rand.New(rand.NewSource(3))
+					const probes = 500
+					for j := 0; j < probes; j++ {
+						c.Find(uint64(probe.Intn(size * 8)))
+					}
+					cycles = (m.Cycles() - start) / probes
+				}
+				b.ReportMetric(cycles, "sim-cycles/find")
+			})
+		}
+	}
+}

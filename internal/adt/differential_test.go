@@ -1,0 +1,147 @@
+package adt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSequencesAgreeUnderRandomOps drives vector, list, and deque with one
+// random operation stream and checks observable state (length, membership,
+// order checksum, return values) stays identical — the property that makes
+// them interchangeable in Table 1's order-aware rows.
+func TestSequencesAgreeUnderRandomOps(t *testing.T) {
+	kinds := []Kind{KindVector, KindList, KindDeque}
+	cs := make([]Container, len(kinds))
+	for i, k := range kinds {
+		cs[i] = New(k, nil, 8)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for step := 0; step < 8000; step++ {
+		op := rng.Intn(7)
+		key := uint64(rng.Intn(200))
+		pos := rng.Intn(cs[0].Len() + 1)
+		var first bool
+		for i, c := range cs {
+			var got bool
+			switch op {
+			case 0:
+				c.Insert(key)
+			case 1:
+				c.PushFront(key)
+			case 2:
+				c.InsertAt(pos, key)
+			case 3:
+				got = c.Erase(key)
+			case 4:
+				got = c.EraseFront()
+			case 5:
+				got = c.Find(key)
+			default:
+				c.Iterate(rng.Intn(64))
+			}
+			if i == 0 {
+				first = got
+			} else if got != first {
+				t.Fatalf("step %d op %d: %v returned %v, %v returned %v",
+					step, op, kinds[0], first, kinds[i], got)
+			}
+		}
+		l := cs[0].Len()
+		sum := cs[0].Iterate(-1)
+		for i := 1; i < len(cs); i++ {
+			if cs[i].Len() != l {
+				t.Fatalf("step %d: %v len %d vs %v len %d", step, kinds[0], l, kinds[i], cs[i].Len())
+			}
+			if s := cs[i].Iterate(-1); s != sum {
+				t.Fatalf("step %d: order checksum diverged: %v=%d %v=%d", step, kinds[0], sum, kinds[i], s)
+			}
+		}
+	}
+}
+
+// TestAssociativesAgreeUnderRandomOps drives every associative kind with a
+// keyed operation stream (no EraseFront, whose victim is
+// implementation-defined for hash tables) and checks membership semantics
+// agree.
+func TestAssociativesAgreeUnderRandomOps(t *testing.T) {
+	kinds := []Kind{KindSet, KindAVLSet, KindHashSet, KindSplaySet, KindMap, KindAVLMap, KindHashMap}
+	cs := make([]Container, len(kinds))
+	for i, k := range kinds {
+		cs[i] = New(k, nil, 8)
+	}
+	ref := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(88))
+	for step := 0; step < 8000; step++ {
+		op := rng.Intn(4)
+		key := uint64(rng.Intn(300))
+		for i, c := range cs {
+			switch op {
+			case 0, 1:
+				c.Insert(key)
+			case 2:
+				if got, want := c.Erase(key), ref[key]; got != want {
+					t.Fatalf("step %d: %v Erase(%d) = %v, want %v", step, kinds[i], key, got, want)
+				}
+			default:
+				if got, want := c.Find(key), ref[key]; got != want {
+					t.Fatalf("step %d: %v Find(%d) = %v, want %v", step, kinds[i], key, got, want)
+				}
+			}
+		}
+		switch op {
+		case 0, 1:
+			ref[key] = true
+		case 2:
+			delete(ref, key)
+		}
+		if cs[0].Len() != len(ref) {
+			t.Fatalf("step %d: len %d vs ref %d", step, cs[0].Len(), len(ref))
+		}
+		for i := 1; i < len(cs); i++ {
+			if cs[i].Len() != cs[0].Len() {
+				t.Fatalf("step %d: %v len %d vs %v len %d", step, kinds[0], cs[0].Len(), kinds[i], cs[i].Len())
+			}
+		}
+	}
+	// Sorted kinds must agree on full iteration checksums (hash kinds
+	// visit the same elements in a different order, so checksum matches
+	// there too — it is order-independent addition).
+	sum := cs[0].Iterate(-1)
+	for i := 1; i < len(cs); i++ {
+		if s := cs[i].Iterate(-1); s != sum {
+			t.Fatalf("final checksum: %v=%d %v=%d", kinds[0], sum, kinds[i], s)
+		}
+	}
+}
+
+// TestTreeEraseFrontAgree: tree-based associative kinds share min-removal
+// semantics for EraseFront.
+func TestTreeEraseFrontAgree(t *testing.T) {
+	kinds := []Kind{KindSet, KindAVLSet, KindSplaySet, KindMap, KindAVLMap}
+	cs := make([]Container, len(kinds))
+	for i, k := range kinds {
+		cs[i] = New(k, nil, 8)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 3000; step++ {
+		if rng.Intn(2) == 0 {
+			key := uint64(rng.Intn(500))
+			for _, c := range cs {
+				c.Insert(key)
+			}
+		} else {
+			first := cs[0].EraseFront()
+			for i := 1; i < len(cs); i++ {
+				if cs[i].EraseFront() != first {
+					t.Fatalf("step %d: EraseFront disagreement at %v", step, kinds[i])
+				}
+			}
+		}
+		sum := cs[0].Iterate(-1)
+		for i := 1; i < len(cs); i++ {
+			if s := cs[i].Iterate(-1); s != sum {
+				t.Fatalf("step %d: contents diverged (%v)", step, kinds[i])
+			}
+		}
+	}
+}

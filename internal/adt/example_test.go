@@ -1,0 +1,52 @@
+package adt_test
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+)
+
+// Example shows the abstract-data-type view: the same operations against
+// two implementations, with the simulated machine revealing their very
+// different costs.
+func Example() {
+	for _, kind := range []adt.Kind{adt.KindVector, adt.KindHashSet} {
+		m := machine.New(machine.Core2())
+		c := adt.New(kind, m, 8)
+		for i := uint64(0); i < 1000; i++ {
+			c.Insert(i * 7)
+		}
+		before := m.Cycles()
+		for i := uint64(0); i < 100; i++ {
+			c.Find(i * 131)
+		}
+		perFind := (m.Cycles() - before) / 100
+		fmt.Printf("%s: 100 lookups in a 1000-element container, ~%s cycles each\n",
+			kind, bucket(perFind))
+	}
+	// Output:
+	// vector: 100 lookups in a 1000-element container, ~hundreds of cycles each
+	// hash_set: 100 lookups in a 1000-element container, ~tens of cycles each
+}
+
+func bucket(cycles float64) string {
+	switch {
+	case cycles < 100:
+		return "tens of"
+	case cycles < 1000:
+		return "hundreds of"
+	default:
+		return "thousands of"
+	}
+}
+
+func ExampleCandidates() {
+	// Table 1: what may replace an order-aware vector vs an
+	// order-oblivious one.
+	fmt.Println("order-aware: ", adt.Candidates(adt.KindVector, true))
+	fmt.Println("order-oblivious:", adt.Candidates(adt.KindVector, false))
+	// Output:
+	// order-aware:  [list deque]
+	// order-oblivious: [list deque set avl_set hash_set]
+}

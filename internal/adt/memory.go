@@ -1,0 +1,49 @@
+package adt
+
+// EstimatedBytes returns the steady-state simulated memory footprint of a
+// container of the given kind holding n elements of elemSize bytes. The
+// formulas mirror the per-node overheads the implementations actually
+// allocate, so Brainy's reports can quantify the memory side of a
+// replacement — the bloat dimension Chameleon tracks and the paper folds
+// into its generator (Section 7: "extra memory consumption" is why
+// hash_set loses on Xalancbmk's train input).
+func EstimatedBytes(kind Kind, n int, elemSize uint64) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	un := uint64(n)
+	switch kind {
+	case KindVector:
+		// Geometric growth leaves capacity at the next power of two.
+		capacity := uint64(4)
+		for capacity < un {
+			capacity *= 2
+		}
+		return capacity * elemSize
+	case KindDeque:
+		const chunkBytes = 512
+		perChunk := chunkBytes / elemSize
+		if perChunk < 1 {
+			perChunk = 1
+		}
+		chunks := (un + perChunk - 1) / perChunk
+		return chunks*perChunk*elemSize + chunks*8 // chunk payloads + map
+	case KindList:
+		return un * (elemSize + 16) // two pointers per node
+	case KindSet, KindMap:
+		return un * (elemSize + 32) // left/right/parent + color
+	case KindAVLSet, KindAVLMap:
+		return un * (elemSize + 24) // left/right + height
+	case KindSplaySet:
+		return un * (elemSize + 24)
+	case KindHashSet, KindHashMap:
+		// Nodes plus the bucket array at its post-growth size.
+		buckets := uint64(16)
+		for buckets < un {
+			buckets *= 2
+		}
+		return un*(elemSize+16) + buckets*8
+	default:
+		return un * elemSize
+	}
+}

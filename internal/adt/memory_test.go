@@ -1,0 +1,75 @@
+package adt
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestEstimatedBytesZeroAndNegative(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if EstimatedBytes(k, 0, 8) != 0 || EstimatedBytes(k, -3, 8) != 0 {
+			t.Fatalf("%v: nonzero estimate for empty container", k)
+		}
+	}
+}
+
+func TestEstimatedBytesOrdering(t *testing.T) {
+	// For the same contents, per-node overhead orders the footprints:
+	// vector (just slack) < avl (24B/node) < set (32B/node); hash adds a
+	// bucket array on top of its 16B nodes.
+	const n, es = 1000, 8
+	vec := EstimatedBytes(KindVector, n, es)
+	avl := EstimatedBytes(KindAVLSet, n, es)
+	set := EstimatedBytes(KindSet, n, es)
+	if !(vec < avl && avl < set) {
+		t.Fatalf("ordering: vector=%d avl=%d set=%d", vec, avl, set)
+	}
+	hash := EstimatedBytes(KindHashSet, n, es)
+	list := EstimatedBytes(KindList, n, es)
+	if hash <= list {
+		t.Fatalf("hash (%d) should exceed list (%d): bucket array", hash, list)
+	}
+}
+
+// TestEstimatedBytesTracksSimulatedAllocations cross-checks the static
+// formula against the bytes a real container actually allocates in the
+// counting memory model (within slack for growth garbage).
+func TestEstimatedBytesTracksSimulatedAllocations(t *testing.T) {
+	const n, es = 500, 16
+	for _, k := range []Kind{KindVector, KindList, KindSet, KindAVLSet, KindHashSet, KindSplaySet} {
+		cm := mem.NewCounting()
+		c := New(k, cm, es)
+		for i := uint64(0); i < n; i++ {
+			c.Insert(i)
+		}
+		est := EstimatedBytes(k, c.Len(), es)
+		live := uint64(cm.Live)
+		lo, hi := live/2, live*2
+		if est < lo || est > hi {
+			t.Errorf("%v: estimate %d outside [%d, %d] of live %d", k, est, lo, hi, live)
+		}
+	}
+}
+
+func TestEstimatedBytesDequeChunks(t *testing.T) {
+	// 512-byte chunks of 64 elements at 8B: 100 elements need 2 chunks.
+	got := EstimatedBytes(KindDeque, 100, 8)
+	want := uint64(2*64*8 + 2*8)
+	if got != want {
+		t.Fatalf("deque estimate = %d, want %d", got, want)
+	}
+	// Oversized elements: one element per chunk.
+	if EstimatedBytes(KindDeque, 3, 1024) != 3*1024+3*8 {
+		t.Fatalf("oversized deque estimate wrong")
+	}
+}
+
+func TestEstimatedBytesVectorPow2(t *testing.T) {
+	if EstimatedBytes(KindVector, 5, 8) != 8*8 {
+		t.Fatal("vector capacity must round to the next power of two")
+	}
+	if EstimatedBytes(KindVector, 4, 8) != 4*8 {
+		t.Fatal("exact power of two must not over-allocate")
+	}
+}

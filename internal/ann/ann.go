@@ -1,0 +1,337 @@
+// Package ann implements the artificial neural network of Section 5: a
+// fully connected feed-forward classifier with one hidden layer, trained by
+// back-propagation (Rumelhart et al.) with stochastic gradient descent and
+// momentum. Each of Brainy's original data structures gets its own network
+// whose output classes are the legal replacement candidates; the network
+// learns "given how the original container behaved, which implementation
+// would have been fastest".
+package ann
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+)
+
+// Config controls network shape and training hyperparameters.
+type Config struct {
+	Hidden       int     // hidden-layer width
+	LearningRate float64 // SGD step size
+	Momentum     float64 // classical momentum coefficient
+	Epochs       int     // passes over the training set
+	Seed         int64   // weight-init and shuffle seed
+	L2           float64 // weight decay
+}
+
+// DefaultConfig returns hyperparameters that train all six of Brainy's
+// models reliably at the evaluation's data-set sizes.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:       24,
+		LearningRate: 0.05,
+		Momentum:     0.9,
+		Epochs:       200,
+		Seed:         1,
+		L2:           1e-4,
+	}
+}
+
+// Example is one training pair: the feature vector of the original
+// container's run, labelled with the index of the best candidate.
+type Example struct {
+	X     []float64
+	Label int
+}
+
+// Network is a trained (or trainable) classifier. Construct with New or
+// Load. The zero value is not usable.
+type Network struct {
+	In, Hidden, Out int
+
+	// Weights: W1[h][i] input->hidden (+bias at index In), W2[o][h]
+	// hidden->output (+bias at index Hidden).
+	W1 [][]float64
+	W2 [][]float64
+
+	// Feature normalization (z-score), learned from the training set.
+	Mean, Std []float64
+
+	// Mask disables features (used by GA feature selection and the
+	// no-hardware-features ablation); nil means all features active.
+	Mask []float64
+
+	cfg Config
+	rng *rand.Rand
+
+	// momentum buffers
+	vW1, vW2 [][]float64
+}
+
+// New builds an untrained network with the given input and output sizes.
+func New(in, out int, cfg Config) *Network {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("ann: invalid shape in=%d out=%d", in, out))
+	}
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = 16
+	}
+	n := &Network{
+		In: in, Hidden: cfg.Hidden, Out: out,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	n.W1 = randMatrix(n.rng, cfg.Hidden, in+1, math.Sqrt(2/float64(in)))
+	n.W2 = randMatrix(n.rng, out, cfg.Hidden+1, math.Sqrt(2/float64(cfg.Hidden)))
+	n.vW1 = zeroMatrix(cfg.Hidden, in+1)
+	n.vW2 = zeroMatrix(out, cfg.Hidden+1)
+	n.Mean = make([]float64, in)
+	n.Std = ones(in)
+	return n
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int, scale float64) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64() * scale
+		}
+	}
+	return m
+}
+
+func zeroMatrix(rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+	}
+	return m
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// SetMask installs a per-feature multiplier (0 disables a feature, 1 keeps
+// it; fractional weights from the GA are honoured). A nil mask re-enables
+// everything.
+func (n *Network) SetMask(mask []float64) {
+	if mask != nil && len(mask) != n.In {
+		panic(fmt.Sprintf("ann: mask length %d != inputs %d", len(mask), n.In))
+	}
+	n.Mask = mask
+}
+
+// fitNormalization computes per-feature mean and standard deviation.
+func (n *Network) fitNormalization(examples []Example) {
+	for j := 0; j < n.In; j++ {
+		var sum float64
+		for _, e := range examples {
+			sum += e.X[j]
+		}
+		mean := sum / float64(len(examples))
+		var varsum float64
+		for _, e := range examples {
+			d := e.X[j] - mean
+			varsum += d * d
+		}
+		std := math.Sqrt(varsum / float64(len(examples)))
+		if std < 1e-9 {
+			std = 1
+		}
+		n.Mean[j], n.Std[j] = mean, std
+	}
+}
+
+func (n *Network) normalize(x []float64) []float64 {
+	z := make([]float64, n.In)
+	for j := 0; j < n.In; j++ {
+		z[j] = (x[j] - n.Mean[j]) / n.Std[j]
+		if n.Mask != nil {
+			z[j] *= n.Mask[j]
+		}
+	}
+	return z
+}
+
+// forward runs the network on a normalized input, returning hidden
+// activations and output probabilities.
+func (n *Network) forward(z []float64) (hidden, probs []float64) {
+	hidden = make([]float64, n.Hidden)
+	for h := 0; h < n.Hidden; h++ {
+		sum := n.W1[h][n.In] // bias
+		for j := 0; j < n.In; j++ {
+			sum += n.W1[h][j] * z[j]
+		}
+		hidden[h] = math.Tanh(sum)
+	}
+	logits := make([]float64, n.Out)
+	maxLogit := math.Inf(-1)
+	for o := 0; o < n.Out; o++ {
+		sum := n.W2[o][n.Hidden] // bias
+		for h := 0; h < n.Hidden; h++ {
+			sum += n.W2[o][h] * hidden[h]
+		}
+		logits[o] = sum
+		if sum > maxLogit {
+			maxLogit = sum
+		}
+	}
+	probs = make([]float64, n.Out)
+	var total float64
+	for o := range logits {
+		probs[o] = math.Exp(logits[o] - maxLogit)
+		total += probs[o]
+	}
+	for o := range probs {
+		probs[o] /= total
+	}
+	return hidden, probs
+}
+
+// Train fits the network on the examples with SGD + momentum, minimizing
+// cross-entropy. It returns the final average training loss.
+func (n *Network) Train(examples []Example) (float64, error) {
+	if len(examples) == 0 {
+		return 0, errors.New("ann: empty training set")
+	}
+	for _, e := range examples {
+		if len(e.X) != n.In {
+			return 0, fmt.Errorf("ann: example has %d features, want %d", len(e.X), n.In)
+		}
+		if e.Label < 0 || e.Label >= n.Out {
+			return 0, fmt.Errorf("ann: label %d out of range [0,%d)", e.Label, n.Out)
+		}
+	}
+	n.fitNormalization(examples)
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	var loss float64
+	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
+		n.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		loss = 0
+		lr := n.cfg.LearningRate / (1 + 0.01*float64(epoch)) // mild decay
+		for _, i := range idx {
+			e := examples[i]
+			z := n.normalize(e.X)
+			hidden, probs := n.forward(z)
+			loss += -math.Log(math.Max(probs[e.Label], 1e-12))
+
+			// Output deltas (softmax + cross-entropy): p - y.
+			dOut := make([]float64, n.Out)
+			copy(dOut, probs)
+			dOut[e.Label] -= 1
+
+			// Hidden deltas through tanh'.
+			dHid := make([]float64, n.Hidden)
+			for h := 0; h < n.Hidden; h++ {
+				var s float64
+				for o := 0; o < n.Out; o++ {
+					s += n.W2[o][h] * dOut[o]
+				}
+				dHid[h] = s * (1 - hidden[h]*hidden[h])
+			}
+
+			// Update W2.
+			for o := 0; o < n.Out; o++ {
+				g := dOut[o]
+				for h := 0; h < n.Hidden; h++ {
+					grad := g*hidden[h] + n.cfg.L2*n.W2[o][h]
+					n.vW2[o][h] = n.cfg.Momentum*n.vW2[o][h] - lr*grad
+					n.W2[o][h] += n.vW2[o][h]
+				}
+				n.vW2[o][n.Hidden] = n.cfg.Momentum*n.vW2[o][n.Hidden] - lr*g
+				n.W2[o][n.Hidden] += n.vW2[o][n.Hidden]
+			}
+			// Update W1.
+			for h := 0; h < n.Hidden; h++ {
+				g := dHid[h]
+				for j := 0; j < n.In; j++ {
+					grad := g*z[j] + n.cfg.L2*n.W1[h][j]
+					n.vW1[h][j] = n.cfg.Momentum*n.vW1[h][j] - lr*grad
+					n.W1[h][j] += n.vW1[h][j]
+				}
+				n.vW1[h][n.In] = n.cfg.Momentum*n.vW1[h][n.In] - lr*g
+				n.W1[h][n.In] += n.vW1[h][n.In]
+			}
+		}
+		loss /= float64(len(examples))
+	}
+	return loss, nil
+}
+
+// Predict returns the most probable class for x.
+func (n *Network) Predict(x []float64) int {
+	probs := n.Probabilities(x)
+	best := 0
+	for o := 1; o < len(probs); o++ {
+		if probs[o] > probs[best] {
+			best = o
+		}
+	}
+	return best
+}
+
+// Probabilities returns the class distribution for x.
+func (n *Network) Probabilities(x []float64) []float64 {
+	if len(x) != n.In {
+		panic(fmt.Sprintf("ann: input has %d features, want %d", len(x), n.In))
+	}
+	_, probs := n.forward(n.normalize(x))
+	return probs
+}
+
+// Accuracy returns the fraction of examples the network labels correctly.
+func (n *Network) Accuracy(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, e := range examples {
+		if n.Predict(e.X) == e.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}
+
+// serialized is the on-disk form of a network.
+type serialized struct {
+	In, Hidden, Out int
+	W1, W2          [][]float64
+	Mean, Std       []float64
+	Mask            []float64
+}
+
+// Save writes the network as JSON.
+func (n *Network) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(serialized{
+		In: n.In, Hidden: n.Hidden, Out: n.Out,
+		W1: n.W1, W2: n.W2, Mean: n.Mean, Std: n.Std, Mask: n.Mask,
+	})
+}
+
+// Load reads a network previously written by Save. Loaded networks can
+// predict; to continue training, build a fresh network.
+func Load(r io.Reader) (*Network, error) {
+	var s serialized
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("ann: decoding network: %w", err)
+	}
+	if s.In <= 0 || s.Hidden <= 0 || s.Out <= 0 {
+		return nil, errors.New("ann: corrupt network shape")
+	}
+	return &Network{
+		In: s.In, Hidden: s.Hidden, Out: s.Out,
+		W1: s.W1, W2: s.W2, Mean: s.Mean, Std: s.Std, Mask: s.Mask,
+	}, nil
+}

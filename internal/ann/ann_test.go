@@ -1,0 +1,234 @@
+package ann
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoBlobs builds a linearly separable 2-class problem.
+func twoBlobs(n int, seed int64) []Example {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Example, 0, n)
+	for i := 0; i < n; i++ {
+		label := i % 2
+		cx := 2.0
+		if label == 1 {
+			cx = -2.0
+		}
+		out = append(out, Example{
+			X:     []float64{cx + rng.NormFloat64()*0.5, rng.NormFloat64()},
+			Label: label,
+		})
+	}
+	return out
+}
+
+// xorSet builds the classic non-linearly-separable XOR problem, the case
+// the paper cites ANNs for (non-linear feature interactions).
+func xorSet(n int, seed int64) []Example {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Example, 0, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Intn(2), rng.Intn(2)
+		label := a ^ b
+		out = append(out, Example{
+			X:     []float64{float64(a) + rng.NormFloat64()*0.1, float64(b) + rng.NormFloat64()*0.1},
+			Label: label,
+		})
+	}
+	return out
+}
+
+func TestLearnsLinearlySeparable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 60
+	n := New(2, 2, cfg)
+	train := twoBlobs(400, 1)
+	if _, err := n.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	test := twoBlobs(200, 2)
+	if acc := n.Accuracy(test); acc < 0.95 {
+		t.Fatalf("accuracy %f on separable blobs", acc)
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = 8
+	cfg.Epochs = 300
+	n := New(2, 2, cfg)
+	if _, err := n.Train(xorSet(400, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if acc := n.Accuracy(xorSet(200, 4)); acc < 0.95 {
+		t.Fatalf("accuracy %f on XOR (non-linear)", acc)
+	}
+}
+
+func TestMultiClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	gen := func(n int) []Example {
+		out := make([]Example, 0, n)
+		centers := [][2]float64{{3, 0}, {-3, 0}, {0, 3}, {0, -3}}
+		for i := 0; i < n; i++ {
+			c := i % 4
+			out = append(out, Example{
+				X:     []float64{centers[c][0] + rng.NormFloat64()*0.4, centers[c][1] + rng.NormFloat64()*0.4},
+				Label: c,
+			})
+		}
+		return out
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 100
+	n := New(2, 4, cfg)
+	if _, err := n.Train(gen(800)); err != nil {
+		t.Fatal(err)
+	}
+	if acc := n.Accuracy(gen(400)); acc < 0.95 {
+		t.Fatalf("4-class accuracy %f", acc)
+	}
+}
+
+func TestLossDecreases(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = 8
+	cfg.Epochs = 1
+	n1 := New(2, 2, cfg)
+	l1, err := n1.Train(xorSet(300, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Epochs = 150
+	n2 := New(2, 2, cfg)
+	l150, err := n2.Train(xorSet(300, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l150 >= l1 {
+		t.Fatalf("loss did not decrease: %f -> %f", l1, l150)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	n := New(3, 5, DefaultConfig())
+	p := n.Probabilities([]float64{0.1, -0.2, 0.3})
+	var sum float64
+	for _, q := range p {
+		if q < 0 || q > 1 {
+			t.Fatalf("probability %f out of range", q)
+		}
+		sum += q
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %f", sum)
+	}
+}
+
+func TestNormalizationHandlesConstantFeature(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 30
+	n := New(3, 2, cfg)
+	exs := twoBlobs(200, 7)
+	for i := range exs {
+		exs[i].X = append(exs[i].X, 42.0) // constant third feature
+	}
+	if _, err := n.Train(exs); err != nil {
+		t.Fatal(err)
+	}
+	test := twoBlobs(100, 8)
+	for i := range test {
+		test[i].X = append(test[i].X, 42.0)
+	}
+	if acc := n.Accuracy(test); acc < 0.9 {
+		t.Fatalf("accuracy %f with constant feature", acc)
+	}
+}
+
+func TestMaskDisablesFeature(t *testing.T) {
+	// Class depends only on feature 0; masking it should drop accuracy to
+	// chance, masking the irrelevant feature should not.
+	cfg := DefaultConfig()
+	cfg.Epochs = 60
+	train := twoBlobs(400, 9)
+	test := twoBlobs(200, 10)
+
+	masked := New(2, 2, cfg)
+	masked.SetMask([]float64{0, 1})
+	if _, err := masked.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := masked.Accuracy(test); acc > 0.7 {
+		t.Fatalf("masking the informative feature left accuracy %f", acc)
+	}
+
+	keep := New(2, 2, cfg)
+	keep.SetMask([]float64{1, 0})
+	if _, err := keep.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := keep.Accuracy(test); acc < 0.9 {
+		t.Fatalf("masking the irrelevant feature broke accuracy: %f", acc)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 40
+	n := New(2, 2, cfg)
+	if _, err := n.Train(twoBlobs(300, 11)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := twoBlobs(100, 12)
+	for _, e := range test {
+		if n.Predict(e.X) != m.Predict(e.X) {
+			t.Fatal("loaded network predicts differently")
+		}
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("{bad"))); err == nil {
+		t.Fatal("corrupt JSON accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"In":0,"Hidden":0,"Out":0}`))); err == nil {
+		t.Fatal("zero shape accepted")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	n := New(2, 2, DefaultConfig())
+	if _, err := n.Train(nil); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := n.Train([]Example{{X: []float64{1}, Label: 0}}); err == nil {
+		t.Fatal("wrong feature count accepted")
+	}
+	if _, err := n.Train([]Example{{X: []float64{1, 2}, Label: 7}}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 20
+	a := New(2, 2, cfg)
+	b := New(2, 2, cfg)
+	exs := twoBlobs(200, 13)
+	la, _ := a.Train(exs)
+	lb, _ := b.Train(exs)
+	if la != lb {
+		t.Fatalf("same seed, different losses: %f vs %f", la, lb)
+	}
+}

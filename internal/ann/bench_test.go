@@ -1,0 +1,39 @@
+package ann
+
+import "testing"
+
+// BenchmarkTrainEpochs measures back-propagation throughput on a
+// Brainy-sized problem: 27 features, 6 classes, 300 examples.
+func BenchmarkTrainEpochs(b *testing.B) {
+	examples := twoBlobs(300, 1)
+	// Widen to a Brainy-like input dimension.
+	for i := range examples {
+		x := make([]float64, 27)
+		copy(x, examples[i].X)
+		examples[i].X = x
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := New(27, 6, cfg)
+		if _, err := n.Train(examples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredict measures inference latency.
+func BenchmarkPredict(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 20
+	n := New(2, 2, cfg)
+	if _, err := n.Train(twoBlobs(200, 2)); err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{1.5, -0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Predict(x)
+	}
+}

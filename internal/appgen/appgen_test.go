@@ -1,0 +1,234 @@
+package appgen
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+)
+
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.TotalInterfCalls = 200
+	cfg.MaxPrepopulate = 256
+	cfg.MaxIterCount = 512
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.TotalInterfCalls = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero calls accepted")
+	}
+	bad = cfg
+	bad.DataElemSizes = nil
+	if bad.Validate() == nil {
+		t.Fatal("empty elem sizes accepted")
+	}
+	bad = cfg
+	bad.MaxInsertVal = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero insert range accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallCfg()
+	tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
+	a := Generate(cfg, tgt, 123)
+	b := Generate(cfg, tgt, 123)
+	if a != b {
+		t.Fatalf("same seed produced different apps:\n%+v\n%+v", a, b)
+	}
+	c := Generate(cfg, tgt, 124)
+	if a == c {
+		t.Fatal("different seeds produced identical apps")
+	}
+}
+
+func TestGenerateRespectsOrderAwareness(t *testing.T) {
+	cfg := smallCfg()
+	found := false
+	for seed := int64(0); seed < 50; seed++ {
+		app := Generate(cfg, adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}, seed)
+		if app.Weights[OpInsertAt] != 0 || app.Weights[OpPushFront] != 0 {
+			t.Fatalf("seed %d: order-oblivious app uses positional ops: %+v", seed, app.Weights)
+		}
+		aware := Generate(cfg, adt.ModelTarget{Kind: adt.KindVector, OrderAware: true}, seed)
+		if aware.Weights[OpInsertAt] > 0 || aware.Weights[OpPushFront] > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no order-aware app ever used positional ops across 50 seeds")
+	}
+}
+
+func TestInsertWeightFloor(t *testing.T) {
+	cfg := smallCfg()
+	for seed := int64(0); seed < 100; seed++ {
+		app := Generate(cfg, adt.ModelTarget{Kind: adt.KindSet, OrderAware: false}, seed)
+		if app.Weights[OpInsert] < 0.01 {
+			t.Fatalf("seed %d: insert weight %f below floor", seed, app.Weights[OpInsert])
+		}
+	}
+}
+
+func TestSpecialistAppsExist(t *testing.T) {
+	// Subset sampling must produce single-operation specialists: apps whose
+	// only meaningful traffic is iteration, and apps that only insert.
+	cfg := smallCfg()
+	tgt := adt.ModelTarget{Kind: adt.KindList, OrderAware: true}
+	iterOnly, insertOnly := false, false
+	for seed := int64(0); seed < 300; seed++ {
+		app := Generate(cfg, tgt, seed)
+		active := 0
+		for op := Op(0); op < NumOps; op++ {
+			if op != OpInsert && app.Weights[op] > 0 {
+				active++
+			}
+		}
+		if active == 1 && app.Weights[OpIterate] > 0 && app.Weights[OpInsert] < app.Weights[OpIterate]/10 {
+			iterOnly = true
+		}
+		if active == 0 {
+			insertOnly = true
+		}
+	}
+	if !iterOnly {
+		t.Error("no iterate-specialist app in 300 seeds")
+	}
+	if !insertOnly {
+		t.Error("no insert-only app in 300 seeds")
+	}
+}
+
+func TestRunDeterministicReplay(t *testing.T) {
+	cfg := smallCfg()
+	app := Generate(cfg, adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}, 7)
+	r1 := app.Run(cfg, adt.KindVector, machine.New(machine.Core2()))
+	r2 := app.Run(cfg, adt.KindVector, machine.New(machine.Core2()))
+	if r1.Cycles != r2.Cycles {
+		t.Fatalf("replay diverged: %f vs %f", r1.Cycles, r2.Cycles)
+	}
+	if r1.Profile.Stats != r2.Profile.Stats {
+		t.Fatal("replayed stats diverged")
+	}
+}
+
+func TestSameStreamAcrossKinds(t *testing.T) {
+	// Different kinds must see the same interface-call stream: total calls
+	// equal across instantiations of one app.
+	cfg := smallCfg()
+	app := Generate(cfg, adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}, 21)
+	results := app.RunAll(cfg, machine.Core2())
+	if len(results) != 6 { // vector + 5 order-oblivious candidates
+		t.Fatalf("got %d results", len(results))
+	}
+	want := results[0].Profile.Stats.TotalCalls()
+	for _, r := range results[1:] {
+		if got := r.Profile.Stats.TotalCalls(); got != want {
+			t.Fatalf("%v saw %d calls, original saw %d", r.Kind, got, want)
+		}
+	}
+	if results[0].Kind != adt.KindVector {
+		t.Fatalf("original not first: %v", results[0].Kind)
+	}
+}
+
+func TestBestMarginRule(t *testing.T) {
+	rs := []Result{{Kind: 0, Cycles: 100}, {Kind: 1, Cycles: 104}, {Kind: 2, Cycles: 200}}
+	best, decisive := Best(rs, 0.05)
+	if best != 0 {
+		t.Fatalf("best = %d", best)
+	}
+	if decisive {
+		t.Fatal("104 is within 5% of 100; must be indecisive")
+	}
+	rs[1].Cycles = 106
+	if _, decisive = Best(rs, 0.05); !decisive {
+		t.Fatal("106 vs 100 must be decisive at 5%")
+	}
+	if _, d := Best(nil, 0.05); d {
+		t.Fatal("empty results decisive")
+	}
+}
+
+func TestBehaviorDiversity(t *testing.T) {
+	// Across many seeds, different data structures must win — otherwise the
+	// training set can never cover the design space.
+	cfg := smallCfg()
+	winners := map[adt.Kind]int{}
+	for seed := int64(0); seed < 40; seed++ {
+		app := Generate(cfg, adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}, seed)
+		rs := app.RunAll(cfg, machine.Core2())
+		best, _ := Best(rs, 0)
+		winners[rs[best].Kind]++
+	}
+	if len(winners) < 2 {
+		t.Fatalf("only one winner kind across 40 apps: %v", winners)
+	}
+}
+
+func TestSkewedValStaysInRangeAndSkews(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var sumUniform, sumSkewed float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		u := skewedVal(rng, 1000, 0)
+		s := skewedVal(rng, 1000, 1)
+		if u >= 1000 || s >= 1000 {
+			t.Fatalf("value out of range: %d / %d", u, s)
+		}
+		sumUniform += float64(u)
+		sumSkewed += float64(s)
+	}
+	if sumSkewed >= sumUniform/2 {
+		t.Fatalf("skew ineffective: skewed mean %f vs uniform mean %f", sumSkewed/n, sumUniform/n)
+	}
+	if skewedVal(rng, 0, 0.5) != 0 {
+		t.Fatal("zero range must yield zero")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpIterate.String() != "iterate" {
+		t.Fatal("op names wrong")
+	}
+	if Op(99).String() == "" {
+		t.Fatal("out-of-range op name empty")
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalInterfCalls = 777
+	var buf bytes.Buffer
+	if err := WriteConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalInterfCalls != 777 || len(got.DataElemSizes) != len(cfg.DataElemSizes) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestReadConfigRejectsInvalid(t *testing.T) {
+	if _, err := ReadConfig(strings.NewReader("{broken")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadConfig(strings.NewReader(`{"TotalInterfCalls":0}`)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,71 @@
+// Package codesurvey reproduces Figure 2: the count of static references to
+// each STL container type across an indexed body of open-source C++ code.
+// The paper queried Google Code Search (retired in 2012); this package
+// scans an embedded corpus of representative C++ with the same counting
+// rule — one hit per `container<` occurrence — and exposes the scanner so
+// it can be pointed at any other corpus.
+package codesurvey
+
+import (
+	"sort"
+	"strings"
+)
+
+// Containers are the surveyed type names, in the paper's vocabulary.
+var Containers = []string{
+	"vector", "map", "list", "set", "deque", "multimap", "hash_map", "hash_set",
+}
+
+// Count is one row of the survey.
+type Count struct {
+	Container string
+	Refs      int
+}
+
+// isIdentByte reports whether b can be part of a C++ identifier.
+func isIdentByte(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+// CountRefs counts static references to container in source: occurrences of
+// "container<" not embedded in a longer identifier, e.g. `vector<` matches
+// `std::vector<int>` but not `bitvector<`. The multimap/map and
+// hash_set/set style prefixes are disambiguated the same way.
+func CountRefs(source, container string) int {
+	needle := container + "<"
+	count := 0
+	for idx := 0; ; {
+		i := strings.Index(source[idx:], needle)
+		if i < 0 {
+			break
+		}
+		pos := idx + i
+		if pos == 0 || !isIdentByte(source[pos-1]) {
+			count++
+		}
+		idx = pos + len(needle)
+	}
+	return count
+}
+
+// Scan surveys a corpus mapping file name to source text.
+func Scan(files map[string]string) []Count {
+	out := make([]Count, 0, len(Containers))
+	for _, c := range Containers {
+		total := 0
+		for _, src := range files {
+			total += CountRefs(src, c)
+		}
+		out = append(out, Count{Container: c, Refs: total})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Refs > out[j].Refs })
+	return out
+}
+
+// Survey runs Scan over the embedded corpus, yielding the Figure 2 ranking.
+func Survey() []Count {
+	return Scan(corpus)
+}
+
+// CorpusFiles returns the number of files in the embedded corpus.
+func CorpusFiles() int { return len(corpus) }

@@ -1,0 +1,82 @@
+package codesurvey
+
+import "testing"
+
+func TestCountRefsWordBoundary(t *testing.T) {
+	src := "std::vector<int> v; bitvector<8> b; vector<vector<int> > vv;"
+	if got := CountRefs(src, "vector"); got != 3 {
+		t.Fatalf("vector refs = %d, want 3 (bitvector must not match)", got)
+	}
+}
+
+func TestCountRefsMapVsMultimap(t *testing.T) {
+	src := "std::map<K,V> m; std::multimap<K,V> mm; hash_map<K,V> hm;"
+	if got := CountRefs(src, "map"); got != 1 {
+		t.Fatalf("map refs = %d, want 1", got)
+	}
+	if got := CountRefs(src, "multimap"); got != 1 {
+		t.Fatalf("multimap refs = %d", got)
+	}
+	if got := CountRefs(src, "hash_map"); got != 1 {
+		t.Fatalf("hash_map refs = %d", got)
+	}
+}
+
+func TestCountRefsEmpty(t *testing.T) {
+	if CountRefs("", "vector") != 0 || CountRefs("vector", "vector") != 0 {
+		t.Fatal("phantom matches")
+	}
+}
+
+func TestSurveyOrderingMatchesFigure2(t *testing.T) {
+	counts := Survey()
+	byName := map[string]int{}
+	for _, c := range counts {
+		byName[c.Container] = c.Refs
+	}
+	// Figure 2's shape: vector dominates, then map, then list/set, with
+	// deque and the hash variants in the tail.
+	if !(byName["vector"] > byName["map"]) {
+		t.Fatalf("vector (%d) must outnumber map (%d)", byName["vector"], byName["map"])
+	}
+	if !(byName["map"] > byName["list"]) {
+		t.Fatalf("map (%d) must outnumber list (%d)", byName["map"], byName["list"])
+	}
+	if !(byName["list"] >= byName["set"]) {
+		t.Fatalf("list (%d) must be >= set (%d)", byName["list"], byName["set"])
+	}
+	if !(byName["set"] > byName["deque"]) {
+		t.Fatalf("set (%d) must outnumber deque (%d)", byName["set"], byName["deque"])
+	}
+	for _, c := range []string{"vector", "map", "list", "set", "deque"} {
+		if byName[c] == 0 {
+			t.Fatalf("%s has zero refs; corpus unrepresentative", c)
+		}
+	}
+	// The ranking slice itself must be sorted.
+	for i := 1; i < len(counts); i++ {
+		if counts[i].Refs > counts[i-1].Refs {
+			t.Fatal("Survey output not sorted")
+		}
+	}
+}
+
+func TestTopFourAreTargets(t *testing.T) {
+	// The survey motivated targeting vector, list, set, and map (Section 3).
+	counts := Survey()
+	top := map[string]bool{}
+	for _, c := range counts[:4] {
+		top[c.Container] = true
+	}
+	for _, want := range []string{"vector", "map", "list", "set"} {
+		if !top[want] {
+			t.Fatalf("top-4 %v missing %s", counts[:4], want)
+		}
+	}
+}
+
+func TestCorpusNonTrivial(t *testing.T) {
+	if CorpusFiles() < 10 {
+		t.Fatalf("corpus has only %d files", CorpusFiles())
+	}
+}

@@ -1,0 +1,186 @@
+package codesurvey
+
+// corpus is the embedded stand-in for the Google Code Search index the
+// paper queried for Figure 2 (the service was retired in 2012). The files
+// are snippets in the style of the open-source C++ the survey covered —
+// application code, parsers, caches, geometry, networking — whose container
+// usage follows the idioms that produced the paper's ordering: vector
+// everywhere, map for keyed state, list for queues and LRU chains, set for
+// membership, deque/multimap/hash variants in the tail.
+var corpus = map[string]string{
+	"render/mesh.cc": `
+#include <vector>
+struct Mesh {
+  std::vector<Vertex> vertices;
+  std::vector<Face> faces;
+  std::vector<float> weights;
+  void addVertex(const Vertex& v) { vertices.push_back(v); }
+};
+std::vector<Mesh> loadScene(const std::string& path);
+`,
+	"render/texture_cache.cc": `
+#include <map>
+#include <vector>
+class TextureCache {
+  std::map<std::string, Texture*> byName_;
+  std::vector<Texture*> lru_;
+public:
+  Texture* lookup(const std::string& name) {
+    std::map<std::string, Texture*>::iterator it = byName_.find(name);
+    return it == byName_.end() ? 0 : it->second;
+  }
+};
+`,
+	"net/connection_pool.cc": `
+#include <list>
+#include <map>
+class ConnectionPool {
+  std::list<Connection*> idle_;
+  std::map<int, Connection*> byFd_;
+  void release(Connection* c) { idle_.push_back(c); }
+  Connection* acquire() {
+    if (idle_.empty()) return 0;
+    Connection* c = idle_.front();
+    idle_.pop_front();
+    return c;
+  }
+};
+`,
+	"net/router.cc": `
+#include <vector>
+#include <map>
+std::vector<Route> routes;
+std::map<Prefix, NextHop> table;
+void addRoute(const Route& r) { routes.push_back(r); }
+`,
+	"parser/tokenizer.cc": `
+#include <vector>
+#include <set>
+std::vector<Token> tokenize(const std::string& input);
+static std::set<std::string> keywords;
+bool isKeyword(const std::string& w) { return keywords.count(w) != 0; }
+std::vector<std::string> splitLines(const std::string& text);
+`,
+	"parser/symbol_table.cc": `
+#include <map>
+#include <vector>
+class SymbolTable {
+  std::map<std::string, Symbol> symbols_;
+  std::vector<Scope> scopes_;
+  Symbol* lookup(const std::string& name);
+};
+`,
+	"db/index.cc": `
+#include <map>
+#include <vector>
+#include <set>
+std::map<Key, RowId> primary;
+std::multimap<Key, RowId> secondary;
+std::set<RowId> dirty;
+std::vector<Page*> pages;
+`,
+	"db/query_planner.cc": `
+#include <vector>
+#include <list>
+std::vector<PlanNode*> plan;
+std::list<PlanNode*> worklist;
+void optimize(std::vector<PlanNode*>& nodes);
+`,
+	"game/entities.cc": `
+#include <vector>
+std::vector<Entity*> entities;
+std::vector<Particle> particles;
+void update(float dt) {
+  for (std::vector<Entity*>::iterator it = entities.begin(); it != entities.end(); ++it)
+    (*it)->tick(dt);
+}
+`,
+	"game/event_queue.cc": `
+#include <deque>
+#include <vector>
+std::deque<Event> pending;
+void post(const Event& e) { pending.push_back(e); }
+Event next() { Event e = pending.front(); pending.pop_front(); return e; }
+std::vector<Listener*> listeners;
+`,
+	"compiler/cfg.cc": `
+#include <set>
+#include <map>
+#include <vector>
+std::set<BasicBlock*> visited;
+std::map<BasicBlock*, int> order;
+std::vector<BasicBlock*> postorder;
+void dfs(BasicBlock* b) {
+  if (!visited.insert(b).second) return;
+  postorder.push_back(b);
+}
+`,
+	"compiler/liveness.cc": `
+#include <set>
+#include <vector>
+std::vector<std::set<Reg> > liveIn;
+std::vector<std::set<Reg> > liveOut;
+`,
+	"text/word_count.cc": `
+#include <map>
+#include <vector>
+#include <ext/hash_map>
+std::map<std::string, int> counts;
+__gnu_cxx::hash_map<std::string, int> fastCounts;
+std::vector<std::string> topWords(int k);
+`,
+	"text/spell.cc": `
+#include <set>
+#include <vector>
+#include <ext/hash_set>
+std::set<std::string> dictionary;
+__gnu_cxx::hash_set<std::string> fastDict;
+std::vector<std::string> suggestions(const std::string& w);
+`,
+	"sim/scheduler.cc": `
+#include <list>
+#include <vector>
+#include <map>
+std::list<Task*> runQueue;
+std::vector<Cpu> cpus;
+std::map<Tid, Task*> byTid;
+void enqueue(Task* t) { runQueue.push_back(t); }
+`,
+	"sim/timeline.cc": `
+#include <multimap>
+#include <vector>
+std::multimap<Time, Event> timeline;
+std::vector<Event> history;
+`,
+	"gui/widgets.cc": `
+#include <vector>
+#include <list>
+std::vector<Widget*> children;
+std::list<Widget*> focusChain;
+void layout(std::vector<Widget*>& ws);
+`,
+	"util/lru_cache.cc": `
+#include <list>
+#include <map>
+class LRUCache {
+  std::list<Entry> chain_;
+  std::map<Key, std::list<Entry>::iterator> index_;
+  void touch(std::list<Entry>::iterator it) { chain_.splice(chain_.begin(), chain_, it); }
+};
+`,
+	"audio/mixer.cc": `
+#include <list>
+#include <vector>
+std::list<Voice*> activeVoices;
+std::vector<float> mixBuffer;
+void mix(std::vector<float>& out);
+`,
+	"util/string_pool.cc": `
+#include <vector>
+#include <set>
+class StringPool {
+  std::vector<char*> blocks_;
+  std::set<const char*, StrLess> interned_;
+};
+`,
+}

@@ -1,0 +1,27 @@
+package codesurvey_test
+
+import (
+	"fmt"
+
+	"repro/internal/codesurvey"
+)
+
+func ExampleCountRefs() {
+	src := "std::vector<int> xs; std::vector<Point> ps; bitvector<8> bv;"
+	fmt.Println(codesurvey.CountRefs(src, "vector"))
+	// Output:
+	// 2
+}
+
+func ExampleScan() {
+	files := map[string]string{
+		"a.cc": "std::map<K,V> m; std::vector<int> v1; std::vector<int> v2;",
+		"b.cc": "std::vector<T> v3;",
+	}
+	for _, c := range codesurvey.Scan(files)[:2] {
+		fmt.Println(c.Container, c.Refs)
+	}
+	// Output:
+	// vector 3
+	// map 1
+}

@@ -1,0 +1,379 @@
+// Package avltree implements an AVL tree with unique keys, the avl_set /
+// avl_map alternative of the paper's replacement matrix (Table 1). AVL
+// trees are more rigidly balanced than red-black trees: lookups touch
+// fewer nodes (shallower trees) at the price of more rotations on
+// mutation, which is why RelipmoC's find/iterate-heavy basic-block sets
+// prefer avl_set over set in Section 6.4.
+package avltree
+
+import (
+	"cmp"
+
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+// Branch sites inside AVL tree code.
+const (
+	siteCmpLess   mem.BranchSite = 0x500
+	siteCmpEq     mem.BranchSite = 0x501
+	siteRebalance mem.BranchSite = 0x502
+)
+
+const nodeOverhead = 24 // 2 pointers + packed height: no parent pointer, unlike the red-black node
+
+type node[K cmp.Ordered, V any] struct {
+	left, right *node[K, V]
+	height      int
+	addr        mem.Addr
+	key         K
+	val         V
+}
+
+// Tree is an AVL tree mapping K to V with unique keys. Construct with New.
+type Tree[K cmp.Ordered, V any] struct {
+	root      *node[K, V]
+	size      int
+	model     mem.Model
+	elemSize  uint64
+	nodeBytes uint64
+	stats     opstats.Stats
+}
+
+// New returns an empty tree bound to the given memory model. A nil model
+// defaults to mem.Nop.
+func New[K cmp.Ordered, V any](model mem.Model, elemSize uint64) *Tree[K, V] {
+	if model == nil {
+		model = mem.Nop{}
+	}
+	if elemSize == 0 {
+		elemSize = 8
+	}
+	return &Tree[K, V]{model: model, elemSize: elemSize, nodeBytes: elemSize + nodeOverhead}
+}
+
+// Stats exposes the container's accumulated software features.
+func (t *Tree[K, V]) Stats() *opstats.Stats {
+	t.stats.ElemSize = t.elemSize
+	return &t.stats
+}
+
+// Len returns the number of keys.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+func height[K cmp.Ordered, V any](n *node[K, V]) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func (t *Tree[K, V]) touch(n *node[K, V]) { t.model.Read(n.addr, t.nodeBytes) }
+
+func (t *Tree[K, V]) update(n *node[K, V]) {
+	h := height(n.left)
+	if r := height(n.right); r > h {
+		h = r
+	}
+	n.height = h + 1
+	t.model.Write(n.addr, t.nodeBytes)
+}
+
+func balance[K cmp.Ordered, V any](n *node[K, V]) int {
+	return height(n.left) - height(n.right)
+}
+
+func (t *Tree[K, V]) rotateRight(y *node[K, V]) *node[K, V] {
+	x := y.left
+	t.touch(x)
+	y.left = x.right
+	x.right = y
+	t.update(y)
+	t.update(x)
+	t.stats.Rotations++
+	return x
+}
+
+func (t *Tree[K, V]) rotateLeft(x *node[K, V]) *node[K, V] {
+	y := x.right
+	t.touch(y)
+	x.right = y.left
+	y.left = x
+	t.update(x)
+	t.update(y)
+	t.stats.Rotations++
+	return y
+}
+
+// rebalance restores the AVL property at n after a mutation below it.
+func (t *Tree[K, V]) rebalance(n *node[K, V]) *node[K, V] {
+	t.update(n)
+	b := balance(n)
+	unbalanced := b > 1 || b < -1
+	t.model.Branch(siteRebalance, unbalanced)
+	if !unbalanced {
+		return n
+	}
+	if b > 1 {
+		if balance(n.left) < 0 {
+			n.left = t.rotateLeft(n.left)
+		}
+		return t.rotateRight(n)
+	}
+	if balance(n.right) > 0 {
+		n.right = t.rotateRight(n.right)
+	}
+	return t.rotateLeft(n)
+}
+
+// Find returns the value stored under key.
+func (t *Tree[K, V]) Find(key K) (V, bool) {
+	touched := uint64(0)
+	n := t.root
+	for n != nil {
+		touched++
+		t.touch(n)
+		eq := key == n.key
+		t.model.Branch(siteCmpEq, eq)
+		if eq {
+			t.stats.Observe(opstats.OpFind, touched)
+			return n.val, true
+		}
+		less := key < n.key
+		t.model.Branch(siteCmpLess, less)
+		if less {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	t.stats.Observe(opstats.OpFind, touched)
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (t *Tree[K, V]) Contains(key K) bool {
+	_, ok := t.Find(key)
+	return ok
+}
+
+// Insert adds key→val; it returns false (and overwrites the value) when the
+// key was already present.
+func (t *Tree[K, V]) Insert(key K, val V) bool {
+	var touched uint64
+	var added bool
+	t.root, added = t.insert(t.root, key, val, &touched)
+	if added {
+		t.size++
+		t.stats.NoteLen(t.size)
+	}
+	t.stats.Observe(opstats.OpInsert, touched+1)
+	return added
+}
+
+func (t *Tree[K, V]) insert(n *node[K, V], key K, val V, touched *uint64) (*node[K, V], bool) {
+	if n == nil {
+		z := &node[K, V]{key: key, val: val, height: 1}
+		z.addr = t.model.Alloc(t.nodeBytes, 8)
+		t.model.Write(z.addr, t.nodeBytes)
+		return z, true
+	}
+	*touched++
+	t.touch(n)
+	eq := key == n.key
+	t.model.Branch(siteCmpEq, eq)
+	if eq {
+		n.val = val
+		t.model.Write(n.addr, t.nodeBytes)
+		return n, false
+	}
+	less := key < n.key
+	t.model.Branch(siteCmpLess, less)
+	var added bool
+	if less {
+		n.left, added = t.insert(n.left, key, val, touched)
+	} else {
+		n.right, added = t.insert(n.right, key, val, touched)
+	}
+	if !added {
+		return n, false
+	}
+	return t.rebalance(n), true
+}
+
+// Erase removes key and reports whether it was present.
+func (t *Tree[K, V]) Erase(key K) bool {
+	var touched uint64
+	var removed bool
+	t.root, removed = t.erase(t.root, key, &touched)
+	if removed {
+		t.size--
+	}
+	t.stats.Observe(opstats.OpErase, touched+1)
+	return removed
+}
+
+func (t *Tree[K, V]) erase(n *node[K, V], key K, touched *uint64) (*node[K, V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	*touched++
+	t.touch(n)
+	eq := key == n.key
+	t.model.Branch(siteCmpEq, eq)
+	if !eq {
+		less := key < n.key
+		t.model.Branch(siteCmpLess, less)
+		var removed bool
+		if less {
+			n.left, removed = t.erase(n.left, key, touched)
+		} else {
+			n.right, removed = t.erase(n.right, key, touched)
+		}
+		if !removed {
+			return n, false
+		}
+		return t.rebalance(n), true
+	}
+	// Found: splice out.
+	switch {
+	case n.left == nil:
+		t.model.Free(n.addr, t.nodeBytes)
+		return n.right, true
+	case n.right == nil:
+		t.model.Free(n.addr, t.nodeBytes)
+		return n.left, true
+	default:
+		// Replace with in-order successor.
+		succ := n.right
+		for succ.left != nil {
+			*touched++
+			t.touch(succ)
+			succ = succ.left
+		}
+		n.key, n.val = succ.key, succ.val
+		t.model.Write(n.addr, t.nodeBytes)
+		var removed bool
+		n.right, removed = t.erase(n.right, succ.key, touched)
+		_ = removed // successor is always present
+		return t.rebalance(n), true
+	}
+}
+
+// Iterate visits up to n keys in sorted order, calling fn for each, and
+// returns the number visited. n < 0 visits all keys.
+func (t *Tree[K, V]) Iterate(n int, fn func(K, V)) int {
+	if n < 0 || n > t.size {
+		n = t.size
+	}
+	visited := 0
+	var walk func(nd *node[K, V]) bool
+	walk = func(nd *node[K, V]) bool {
+		if nd == nil {
+			return true
+		}
+		if !walk(nd.left) {
+			return false
+		}
+		if visited >= n {
+			return false
+		}
+		t.touch(nd)
+		if fn != nil {
+			fn(nd.key, nd.val)
+		}
+		visited++
+		return walk(nd.right)
+	}
+	walk(t.root)
+	t.stats.Observe(opstats.OpIterate, uint64(visited))
+	return visited
+}
+
+// Min returns the smallest key; ok is false when empty.
+func (t *Tree[K, V]) Min() (k K, ok bool) {
+	n := t.root
+	if n == nil {
+		return k, false
+	}
+	for n.left != nil {
+		t.touch(n)
+		n = n.left
+	}
+	t.touch(n)
+	return n.key, true
+}
+
+// Clear removes all keys, freeing every node.
+func (t *Tree[K, V]) Clear() {
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+		t.model.Free(n.addr, t.nodeBytes)
+	}
+	walk(t.root)
+	t.root = nil
+	t.size = 0
+	t.stats.Observe(opstats.OpClear, 1)
+}
+
+// Keys returns all keys in sorted order. Intended for tests.
+func (t *Tree[K, V]) Keys() []K {
+	out := make([]K, 0, t.size)
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.key)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// CheckInvariants verifies AVL balance, height bookkeeping, and BST order,
+// returning a descriptive violation or "" when the tree is valid.
+func (t *Tree[K, V]) CheckInvariants() string {
+	bad := ""
+	var check func(n *node[K, V]) int
+	check = func(n *node[K, V]) int {
+		if n == nil || bad != "" {
+			return 0
+		}
+		if n.left != nil && !(n.left.key < n.key) {
+			bad = "left child key not smaller"
+			return 0
+		}
+		if n.right != nil && !(n.key < n.right.key) {
+			bad = "right child key not larger"
+			return 0
+		}
+		lh := check(n.left)
+		rh := check(n.right)
+		h := lh
+		if rh > h {
+			h = rh
+		}
+		h++
+		if n.height != h {
+			bad = "stale height"
+			return h
+		}
+		if lh-rh > 1 || rh-lh > 1 {
+			bad = "AVL balance violated"
+		}
+		return h
+	}
+	check(t.root)
+	if bad == "" && len(t.Keys()) != t.size {
+		bad = "size mismatch"
+	}
+	return bad
+}

@@ -1,0 +1,165 @@
+package avltree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+func TestInsertFindErase(t *testing.T) {
+	tr := New[int, string](nil, 16)
+	if !tr.Insert(1, "a") {
+		t.Fatal("first insert returned false")
+	}
+	if tr.Insert(1, "b") {
+		t.Fatal("duplicate insert returned true")
+	}
+	if v, ok := tr.Find(1); !ok || v != "b" {
+		t.Fatalf("Find = %q,%v", v, ok)
+	}
+	if !tr.Erase(1) || tr.Erase(1) {
+		t.Fatal("erase semantics wrong")
+	}
+}
+
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New[int, int](nil, 16)
+	present := map[int]bool{}
+	for step := 0; step < 20000; step++ {
+		k := rng.Intn(1500)
+		if rng.Intn(3) != 0 {
+			added := tr.Insert(k, k)
+			if added == present[k] {
+				t.Fatalf("step %d: Insert(%d) added=%v present=%v", step, k, added, present[k])
+			}
+			present[k] = true
+		} else {
+			removed := tr.Erase(k)
+			if removed != present[k] {
+				t.Fatalf("step %d: Erase(%d) removed=%v present=%v", step, k, removed, present[k])
+			}
+			delete(present, k)
+		}
+		if step%500 == 0 {
+			if bad := tr.CheckInvariants(); bad != "" {
+				t.Fatalf("step %d: %s", step, bad)
+			}
+		}
+	}
+	if bad := tr.CheckInvariants(); bad != "" {
+		t.Fatal(bad)
+	}
+}
+
+func TestQuickSortedUnique(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := New[int16, struct{}](nil, 8)
+		uniq := map[int16]bool{}
+		for _, k := range keys {
+			tr.Insert(k, struct{}{})
+			uniq[k] = true
+		}
+		got := tr.Keys()
+		if len(got) != len(uniq) {
+			return false
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			return false
+		}
+		return tr.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAVLShallowerThanRBOnSequentialInsert(t *testing.T) {
+	// AVL's tighter balance should give an average find path no longer than
+	// ~1.44*log2(n); verify the measured cost is sane and small.
+	tr := New[int, int](nil, 16)
+	n := 1 << 13
+	for i := 0; i < n; i++ {
+		tr.Insert(i, i)
+	}
+	st := tr.Stats()
+	st.Reset()
+	for i := 0; i < 1000; i++ {
+		tr.Find(i * 8)
+	}
+	avg := float64(st.Cost[opstats.OpFind]) / 1000
+	if avg < 5 || avg > 20 { // 1.44*13 ≈ 18.7
+		t.Fatalf("average find cost %.1f outside AVL range", avg)
+	}
+}
+
+func TestEraseWithTwoChildren(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	for _, k := range []int{50, 25, 75, 10, 30, 60, 90, 27, 35} {
+		tr.Insert(k, k)
+	}
+	if !tr.Erase(25) { // node with two children; successor is 27
+		t.Fatal("erase failed")
+	}
+	if tr.Contains(25) {
+		t.Fatal("25 still present")
+	}
+	if !tr.Contains(27) || !tr.Contains(30) || !tr.Contains(35) {
+		t.Fatal("successor handling lost keys")
+	}
+	if bad := tr.CheckInvariants(); bad != "" {
+		t.Fatal(bad)
+	}
+}
+
+func TestIterateSorted(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	for _, k := range []int{4, 1, 3, 2, 0} {
+		tr.Insert(k, k*k)
+	}
+	var ks, vs []int
+	tr.Iterate(-1, func(k, v int) { ks = append(ks, k); vs = append(vs, v) })
+	for i := 0; i < 5; i++ {
+		if ks[i] != i || vs[i] != i*i {
+			t.Fatalf("iterate got %v / %v", ks, vs)
+		}
+	}
+	if n := tr.Iterate(2, nil); n != 2 {
+		t.Fatalf("partial iterate visited %d", n)
+	}
+}
+
+func TestMinClearAndMemory(t *testing.T) {
+	cm := mem.NewCounting()
+	tr := New[uint64, uint64](cm, 16)
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	for i := uint64(100); i > 0; i-- {
+		tr.Insert(i, i)
+	}
+	if k, ok := tr.Min(); !ok || k != 1 {
+		t.Fatalf("Min = %d,%v", k, ok)
+	}
+	tr.Clear()
+	if cm.Live != 0 {
+		t.Fatalf("leaked %d simulated bytes", cm.Live)
+	}
+}
+
+func TestRotationsRecorded(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	for i := 0; i < 100; i++ { // sequential inserts force rotations
+		tr.Insert(i, i)
+	}
+	if tr.Stats().Rotations == 0 {
+		t.Fatal("no rotations recorded on sequential insert")
+	}
+	if tr.Stats().Count[opstats.OpInsert] != 100 {
+		t.Fatalf("insert count = %d", tr.Stats().Count[opstats.OpInsert])
+	}
+}

@@ -1,0 +1,102 @@
+package avltree
+
+import "repro/internal/opstats"
+
+// Max returns the largest key; ok is false when empty.
+func (t *Tree[K, V]) Max() (k K, ok bool) {
+	n := t.root
+	if n == nil {
+		return k, false
+	}
+	for n.right != nil {
+		t.touch(n)
+		n = n.right
+	}
+	t.touch(n)
+	return n.key, true
+}
+
+// Floor returns the greatest key <= key; ok is false when no such key
+// exists.
+func (t *Tree[K, V]) Floor(key K) (k K, v V, ok bool) {
+	touched := uint64(0)
+	n := t.root
+	var best *node[K, V]
+	for n != nil {
+		touched++
+		t.touch(n)
+		if n.key == key {
+			t.stats.Observe(opstats.OpFind, touched)
+			return n.key, n.val, true
+		}
+		if n.key < key {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	t.stats.Observe(opstats.OpFind, touched)
+	if best == nil {
+		return k, v, false
+	}
+	return best.key, best.val, true
+}
+
+// Ceil returns the smallest key >= key; ok is false when no such key
+// exists.
+func (t *Tree[K, V]) Ceil(key K) (k K, v V, ok bool) {
+	touched := uint64(0)
+	n := t.root
+	var best *node[K, V]
+	for n != nil {
+		touched++
+		t.touch(n)
+		if n.key == key {
+			t.stats.Observe(opstats.OpFind, touched)
+			return n.key, n.val, true
+		}
+		if n.key > key {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	t.stats.Observe(opstats.OpFind, touched)
+	if best == nil {
+		return k, v, false
+	}
+	return best.key, best.val, true
+}
+
+// Range visits every key in [lo, hi] in sorted order, calling fn for each;
+// it returns the number visited.
+func (t *Tree[K, V]) Range(lo, hi K, fn func(K, V)) int {
+	if hi < lo {
+		return 0
+	}
+	visited := 0
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		if n == nil {
+			return
+		}
+		t.touch(n)
+		if lo < n.key {
+			walk(n.left)
+		}
+		if lo <= n.key && n.key <= hi {
+			if fn != nil {
+				fn(n.key, n.val)
+			}
+			visited++
+		}
+		if n.key < hi {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	t.stats.Observe(opstats.OpIterate, uint64(visited))
+	return visited
+}

@@ -1,0 +1,88 @@
+package avltree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxFloorCeil(t *testing.T) {
+	tr := New[int, string](nil, 16)
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty")
+	}
+	if _, _, ok := tr.Floor(5); ok {
+		t.Fatal("Floor on empty")
+	}
+	for _, k := range []int{10, 20, 30} {
+		tr.Insert(k, "x")
+	}
+	if k, ok := tr.Max(); !ok || k != 30 {
+		t.Fatalf("Max = %d", k)
+	}
+	if k, _, ok := tr.Floor(25); !ok || k != 20 {
+		t.Fatalf("Floor(25) = %d,%v", k, ok)
+	}
+	if k, _, ok := tr.Ceil(25); !ok || k != 30 {
+		t.Fatalf("Ceil(25) = %d,%v", k, ok)
+	}
+	if _, _, ok := tr.Floor(5); ok {
+		t.Fatal("Floor below min")
+	}
+	if _, _, ok := tr.Ceil(35); ok {
+		t.Fatal("Ceil above max")
+	}
+	if k, _, ok := tr.Floor(20); !ok || k != 20 {
+		t.Fatal("Floor(exact) wrong")
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	for i := 0; i < 100; i += 2 {
+		tr.Insert(i, i)
+	}
+	var got []int
+	n := tr.Range(10, 20, func(k, _ int) { got = append(got, k) })
+	want := []int{10, 12, 14, 16, 18, 20}
+	if n != len(want) {
+		t.Fatalf("visited %d: %v", n, got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if tr.Range(21, 10, nil) != 0 {
+		t.Fatal("inverted range")
+	}
+}
+
+func TestQuickBoundsAgainstSort(t *testing.T) {
+	f := func(keys []int16, lo, hi int16) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tr := New[int16, struct{}](nil, 8)
+		uniq := map[int16]bool{}
+		for _, k := range keys {
+			tr.Insert(k, struct{}{})
+			uniq[k] = true
+		}
+		want := 0
+		for k := range uniq {
+			if lo <= k && k <= hi {
+				want++
+			}
+		}
+		var got []int16
+		n := tr.Range(lo, hi, func(k int16, _ struct{}) { got = append(got, k) })
+		if n != want || len(got) != want {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,32 @@
+package avltree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIterSortedOrder(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range rng.Perm(300) {
+		tr.Insert(k, -k)
+	}
+	it := tr.Begin()
+	for i := 0; i < 300; i++ {
+		k, v, ok := it.Next()
+		if !ok || k != i || v != -i {
+			t.Fatalf("step %d: %d,%d,%v", i, k, v, ok)
+		}
+	}
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("iterator ran past the end")
+	}
+}
+
+func TestIterEmpty(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	it := tr.Begin()
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("empty tree yielded an entry")
+	}
+}

@@ -1,0 +1,45 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/containers/rbtree"
+	"repro/internal/machine"
+)
+
+// BenchmarkFindVsRBTree reports the simulated lookup cost of the B-tree
+// against the red-black tree at the same size, as custom metrics.
+func BenchmarkFindVsRBTree(b *testing.B) {
+	const n = 1 << 15
+	var btCycles, rbCycles float64
+	for i := 0; i < b.N; i++ {
+		m1 := machine.New(machine.Core2())
+		bt := New[uint64, uint64](m1, 8)
+		m2 := machine.New(machine.Core2())
+		rb := rbtree.New[uint64, uint64](m2, 8)
+		for k := uint64(0); k < n; k++ {
+			bt.Insert(k, k)
+			rb.Insert(k, k)
+		}
+		s1, s2 := m1.Cycles(), m2.Cycles()
+		rng := rand.New(rand.NewSource(1))
+		for q := 0; q < 2000; q++ {
+			k := uint64(rng.Intn(n))
+			bt.Find(k)
+			rb.Find(k)
+		}
+		btCycles = (m1.Cycles() - s1) / 2000
+		rbCycles = (m2.Cycles() - s2) / 2000
+	}
+	b.ReportMetric(btCycles, "btree-cyc/find")
+	b.ReportMetric(rbCycles, "rbtree-cyc/find")
+}
+
+// BenchmarkInsert measures raw (host) insert throughput.
+func BenchmarkInsert(b *testing.B) {
+	tr := New[int, int](nil, 8)
+	for i := 0; i < b.N; i++ {
+		tr.Insert(i, i)
+	}
+}

@@ -1,0 +1,488 @@
+// Package btree implements an in-memory B-tree with unique keys. It is the
+// cache-conscious counterpoint to the binary trees in this repository: each
+// node packs many keys into a few contiguous cache lines, so a lookup
+// touches ~log_B(n) nodes instead of log_2(n) — exactly the kind of
+// architecture-driven alternative the paper argues selection tools should
+// know about. The tree is a library extension beyond the paper's Table 1
+// and is exercised by the container micro-benchmarks.
+package btree
+
+import (
+	"cmp"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+// Branch sites inside B-tree code.
+const (
+	siteScanKey mem.BranchSite = 0x900 // in-node key scan comparison
+	siteDescend mem.BranchSite = 0x901 // leaf check during descent
+)
+
+// degree is the minimum branching factor t: nodes hold between t-1 and
+// 2t-1 keys (except the root), i.e. up to 15 keys per node — two or three
+// cache lines of 8-byte keys.
+const degree = 8
+
+const maxKeys = 2*degree - 1
+
+type node[K cmp.Ordered, V any] struct {
+	n        int // keys in use
+	leaf     bool
+	keys     [maxKeys]K
+	vals     [maxKeys]V
+	children [maxKeys + 1]*node[K, V]
+	addr     mem.Addr
+}
+
+// Tree is a B-tree mapping K to V with unique keys. Construct with New.
+type Tree[K cmp.Ordered, V any] struct {
+	root      *node[K, V]
+	size      int
+	model     mem.Model
+	elemSize  uint64
+	nodeBytes uint64
+	stats     opstats.Stats
+}
+
+// New returns an empty B-tree bound to the given memory model. A nil model
+// defaults to mem.Nop.
+func New[K cmp.Ordered, V any](model mem.Model, elemSize uint64) *Tree[K, V] {
+	if model == nil {
+		model = mem.Nop{}
+	}
+	if elemSize == 0 {
+		elemSize = 8
+	}
+	t := &Tree[K, V]{model: model, elemSize: elemSize}
+	// Node payload: keys+values plus child pointers plus the header.
+	t.nodeBytes = uint64(maxKeys)*elemSize + uint64(maxKeys+1)*8 + 16
+	t.root = t.newNode(true)
+	return t
+}
+
+func (t *Tree[K, V]) newNode(leaf bool) *node[K, V] {
+	n := &node[K, V]{leaf: leaf}
+	n.addr = t.model.Alloc(t.nodeBytes, 64)
+	t.model.Write(n.addr, 16) // header init
+	return n
+}
+
+// touch models reading the populated prefix of a node: header, keys, and
+// child pointers — the contiguous burst that makes B-trees cache friendly.
+func (t *Tree[K, V]) touch(n *node[K, V]) {
+	span := 16 + uint64(n.n)*t.elemSize
+	if !n.leaf {
+		span += uint64(n.n+1) * 8
+	}
+	t.model.Read(n.addr, span)
+}
+
+// writeNode models rewriting a node after mutation.
+func (t *Tree[K, V]) writeNode(n *node[K, V]) {
+	span := 16 + uint64(n.n)*t.elemSize
+	if !n.leaf {
+		span += uint64(n.n+1) * 8
+	}
+	t.model.Write(n.addr, span)
+}
+
+// Stats exposes the container's accumulated software features.
+func (t *Tree[K, V]) Stats() *opstats.Stats {
+	t.stats.ElemSize = t.elemSize
+	return &t.stats
+}
+
+// Len returns the number of keys.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// findInNode returns the index of the first key >= key, emitting one scan
+// branch per probed slot (a linear scan, as real cache-line-packed nodes
+// use).
+func (t *Tree[K, V]) findInNode(n *node[K, V], key K) int {
+	i := 0
+	for i < n.n && n.keys[i] < key {
+		t.model.Branch(siteScanKey, true)
+		i++
+	}
+	t.model.Branch(siteScanKey, false)
+	return i
+}
+
+// Find returns the value stored under key.
+func (t *Tree[K, V]) Find(key K) (V, bool) {
+	touched := uint64(0)
+	n := t.root
+	for {
+		touched++
+		t.touch(n)
+		i := t.findInNode(n, key)
+		if i < n.n && n.keys[i] == key {
+			t.stats.Observe(opstats.OpFind, touched)
+			return n.vals[i], true
+		}
+		isLeaf := n.leaf
+		t.model.Branch(siteDescend, isLeaf)
+		if isLeaf {
+			t.stats.Observe(opstats.OpFind, touched)
+			var zero V
+			return zero, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Contains reports whether key is present.
+func (t *Tree[K, V]) Contains(key K) bool {
+	_, ok := t.Find(key)
+	return ok
+}
+
+// splitChild splits the full i-th child of parent.
+func (t *Tree[K, V]) splitChild(parent *node[K, V], i int) {
+	child := parent.children[i]
+	right := t.newNode(child.leaf)
+	right.n = degree - 1
+	copy(right.keys[:], child.keys[degree:])
+	copy(right.vals[:], child.vals[degree:])
+	if !child.leaf {
+		copy(right.children[:], child.children[degree:])
+	}
+	child.n = degree - 1
+
+	copy(parent.children[i+2:], parent.children[i+1:parent.n+1])
+	parent.children[i+1] = right
+	copy(parent.keys[i+1:], parent.keys[i:parent.n])
+	copy(parent.vals[i+1:], parent.vals[i:parent.n])
+	parent.keys[i] = child.keys[degree-1]
+	parent.vals[i] = child.vals[degree-1]
+	parent.n++
+
+	t.writeNode(child)
+	t.writeNode(right)
+	t.writeNode(parent)
+	t.stats.Rotations++ // node split counts as a structural event
+}
+
+// Insert adds key→val; it returns false (and overwrites) when the key was
+// already present.
+func (t *Tree[K, V]) Insert(key K, val V) bool {
+	if t.root.n == maxKeys {
+		newRoot := t.newNode(false)
+		newRoot.children[0] = t.root
+		t.root = newRoot
+		t.splitChild(newRoot, 0)
+	}
+	touched := uint64(0)
+	n := t.root
+	for {
+		touched++
+		t.touch(n)
+		i := t.findInNode(n, key)
+		if i < n.n && n.keys[i] == key {
+			n.vals[i] = val
+			t.writeNode(n)
+			t.stats.Observe(opstats.OpInsert, touched)
+			return false
+		}
+		if n.leaf {
+			copy(n.keys[i+1:], n.keys[i:n.n])
+			copy(n.vals[i+1:], n.vals[i:n.n])
+			n.keys[i] = key
+			n.vals[i] = val
+			n.n++
+			t.writeNode(n)
+			t.size++
+			t.stats.Observe(opstats.OpInsert, touched)
+			t.stats.NoteLen(t.size)
+			return true
+		}
+		if n.children[i].n == maxKeys {
+			t.splitChild(n, i)
+			if key == n.keys[i] {
+				n.vals[i] = val
+				t.stats.Observe(opstats.OpInsert, touched)
+				return false
+			}
+			if key > n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Erase removes key and reports whether it was present. It uses the
+// classic CLRS preemptive-fill descent so no backtracking is needed.
+func (t *Tree[K, V]) Erase(key K) bool {
+	touched := uint64(0)
+	removed := t.erase(t.root, key, &touched)
+	if t.root.n == 0 && !t.root.leaf {
+		old := t.root
+		t.root = t.root.children[0]
+		t.model.Free(old.addr, t.nodeBytes)
+	}
+	if removed {
+		t.size--
+	}
+	t.stats.Observe(opstats.OpErase, touched)
+	return removed
+}
+
+func (t *Tree[K, V]) erase(n *node[K, V], key K, touched *uint64) bool {
+	*touched++
+	t.touch(n)
+	i := t.findInNode(n, key)
+	if i < n.n && n.keys[i] == key {
+		if n.leaf {
+			copy(n.keys[i:], n.keys[i+1:n.n])
+			copy(n.vals[i:], n.vals[i+1:n.n])
+			n.n--
+			t.writeNode(n)
+			return true
+		}
+		// Internal node: replace with predecessor or successor, or merge.
+		if n.children[i].n >= degree {
+			pk, pv := t.maxOf(n.children[i], touched)
+			n.keys[i], n.vals[i] = pk, pv
+			t.writeNode(n)
+			return t.erase(n.children[i], pk, touched)
+		}
+		if n.children[i+1].n >= degree {
+			sk, sv := t.minOf(n.children[i+1], touched)
+			n.keys[i], n.vals[i] = sk, sv
+			t.writeNode(n)
+			return t.erase(n.children[i+1], sk, touched)
+		}
+		t.merge(n, i)
+		return t.erase(n.children[i], key, touched)
+	}
+	if n.leaf {
+		return false
+	}
+	// Ensure the child we descend into has at least degree keys.
+	if n.children[i].n < degree {
+		i = t.fill(n, i)
+	}
+	return t.erase(n.children[i], key, touched)
+}
+
+// maxOf walks to the maximum key of a subtree.
+func (t *Tree[K, V]) maxOf(n *node[K, V], touched *uint64) (K, V) {
+	for !n.leaf {
+		*touched++
+		t.touch(n)
+		n = n.children[n.n]
+	}
+	*touched++
+	t.touch(n)
+	return n.keys[n.n-1], n.vals[n.n-1]
+}
+
+// minOf walks to the minimum key of a subtree.
+func (t *Tree[K, V]) minOf(n *node[K, V], touched *uint64) (K, V) {
+	for !n.leaf {
+		*touched++
+		t.touch(n)
+		n = n.children[0]
+	}
+	*touched++
+	t.touch(n)
+	return n.keys[0], n.vals[0]
+}
+
+// fill guarantees children[i] has >= degree keys by borrowing from a
+// sibling or merging; it returns the (possibly shifted) child index to
+// descend into.
+func (t *Tree[K, V]) fill(n *node[K, V], i int) int {
+	switch {
+	case i > 0 && n.children[i-1].n >= degree:
+		t.borrowFromLeft(n, i)
+	case i < n.n && n.children[i+1].n >= degree:
+		t.borrowFromRight(n, i)
+	case i < n.n:
+		t.merge(n, i)
+	default:
+		t.merge(n, i-1)
+		i--
+	}
+	return i
+}
+
+func (t *Tree[K, V]) borrowFromLeft(n *node[K, V], i int) {
+	child, left := n.children[i], n.children[i-1]
+	copy(child.keys[1:], child.keys[:child.n])
+	copy(child.vals[1:], child.vals[:child.n])
+	if !child.leaf {
+		copy(child.children[1:], child.children[:child.n+1])
+	}
+	child.keys[0], child.vals[0] = n.keys[i-1], n.vals[i-1]
+	if !child.leaf {
+		child.children[0] = left.children[left.n]
+	}
+	n.keys[i-1], n.vals[i-1] = left.keys[left.n-1], left.vals[left.n-1]
+	left.n--
+	child.n++
+	t.writeNode(child)
+	t.writeNode(left)
+	t.writeNode(n)
+	t.stats.Rotations++
+}
+
+func (t *Tree[K, V]) borrowFromRight(n *node[K, V], i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys[child.n], child.vals[child.n] = n.keys[i], n.vals[i]
+	if !child.leaf {
+		child.children[child.n+1] = right.children[0]
+	}
+	n.keys[i], n.vals[i] = right.keys[0], right.vals[0]
+	copy(right.keys[:], right.keys[1:right.n])
+	copy(right.vals[:], right.vals[1:right.n])
+	if !right.leaf {
+		copy(right.children[:], right.children[1:right.n+1])
+	}
+	right.n--
+	child.n++
+	t.writeNode(child)
+	t.writeNode(right)
+	t.writeNode(n)
+	t.stats.Rotations++
+}
+
+// merge folds children[i+1] and the separator key into children[i].
+func (t *Tree[K, V]) merge(n *node[K, V], i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys[degree-1], child.vals[degree-1] = n.keys[i], n.vals[i]
+	copy(child.keys[degree:], right.keys[:right.n])
+	copy(child.vals[degree:], right.vals[:right.n])
+	if !child.leaf {
+		copy(child.children[degree:], right.children[:right.n+1])
+	}
+	child.n += right.n + 1
+	copy(n.keys[i:], n.keys[i+1:n.n])
+	copy(n.vals[i:], n.vals[i+1:n.n])
+	copy(n.children[i+1:], n.children[i+2:n.n+1])
+	n.n--
+	t.model.Free(right.addr, t.nodeBytes)
+	t.writeNode(child)
+	t.writeNode(n)
+	t.stats.Rotations++
+}
+
+// Iterate visits up to n keys in sorted order, calling fn for each, and
+// returns the number visited. n < 0 visits all keys.
+func (t *Tree[K, V]) Iterate(n int, fn func(K, V)) int {
+	if n < 0 || n > t.size {
+		n = t.size
+	}
+	visited := 0
+	var walk func(nd *node[K, V]) bool
+	walk = func(nd *node[K, V]) bool {
+		t.touch(nd)
+		for i := 0; i < nd.n; i++ {
+			if !nd.leaf && !walk(nd.children[i]) {
+				return false
+			}
+			if visited >= n {
+				return false
+			}
+			if fn != nil {
+				fn(nd.keys[i], nd.vals[i])
+			}
+			visited++
+		}
+		if !nd.leaf {
+			return walk(nd.children[nd.n])
+		}
+		return true
+	}
+	if t.size > 0 {
+		walk(t.root)
+	}
+	t.stats.Observe(opstats.OpIterate, uint64(visited))
+	return visited
+}
+
+// Clear removes all keys, freeing every node.
+func (t *Tree[K, V]) Clear() {
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		if !n.leaf {
+			for i := 0; i <= n.n; i++ {
+				walk(n.children[i])
+			}
+		}
+		t.model.Free(n.addr, t.nodeBytes)
+	}
+	walk(t.root)
+	t.root = t.newNode(true)
+	t.size = 0
+	t.stats.Observe(opstats.OpClear, 1)
+}
+
+// Keys returns all keys in sorted order. Intended for tests.
+func (t *Tree[K, V]) Keys() []K {
+	out := make([]K, 0, t.size)
+	t.Iterate(-1, func(k K, _ V) { out = append(out, k) })
+	return out
+}
+
+// CheckInvariants verifies B-tree structure: key counts per node, sorted
+// keys, uniform leaf depth, and separator ordering. It returns a
+// descriptive violation or "" when valid.
+func (t *Tree[K, V]) CheckInvariants() string {
+	leafDepth := -1
+	count := 0
+	var walk func(n *node[K, V], depth int, hasLo bool, lo K, hasHi bool, hi K) string
+	walk = func(n *node[K, V], depth int, hasLo bool, lo K, hasHi bool, hi K) string {
+		if n != t.root && n.n < degree-1 {
+			return fmt.Sprintf("underfull node: %d keys", n.n)
+		}
+		if n.n > maxKeys {
+			return "overfull node"
+		}
+		count += n.n
+		for i := 0; i < n.n; i++ {
+			if i > 0 && !(n.keys[i-1] < n.keys[i]) {
+				return "keys not strictly increasing in node"
+			}
+			if hasLo && !(lo < n.keys[i]) {
+				return "key violates lower separator"
+			}
+			if hasHi && !(n.keys[i] < hi) {
+				return "key violates upper separator"
+			}
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return "leaves at different depths"
+			}
+			return ""
+		}
+		for i := 0; i <= n.n; i++ {
+			cLo, cHasLo := lo, hasLo
+			cHi, cHasHi := hi, hasHi
+			if i > 0 {
+				cLo, cHasLo = n.keys[i-1], true
+			}
+			if i < n.n {
+				cHi, cHasHi = n.keys[i], true
+			}
+			if bad := walk(n.children[i], depth+1, cHasLo, cLo, cHasHi, cHi); bad != "" {
+				return bad
+			}
+		}
+		return ""
+	}
+	if bad := walk(t.root, 0, false, *new(K), false, *new(K)); bad != "" {
+		return bad
+	}
+	if count != t.size {
+		return fmt.Sprintf("size mismatch: counted %d, recorded %d", count, t.size)
+	}
+	return ""
+}

@@ -1,0 +1,253 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/containers/rbtree"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+func TestInsertFindErase(t *testing.T) {
+	tr := New[int, string](nil, 8)
+	if !tr.Insert(5, "five") {
+		t.Fatal("first insert returned false")
+	}
+	if tr.Insert(5, "FIVE") {
+		t.Fatal("duplicate insert returned true")
+	}
+	if v, ok := tr.Find(5); !ok || v != "FIVE" {
+		t.Fatalf("Find = %q,%v", v, ok)
+	}
+	if _, ok := tr.Find(6); ok {
+		t.Fatal("found missing key")
+	}
+	if !tr.Erase(5) || tr.Erase(5) {
+		t.Fatal("erase semantics wrong")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestSplitsProduceValidTree(t *testing.T) {
+	tr := New[int, int](nil, 8)
+	// Sequential inserts exercise repeated root splits.
+	for i := 0; i < 2000; i++ {
+		tr.Insert(i, i)
+	}
+	if bad := tr.CheckInvariants(); bad != "" {
+		t.Fatal(bad)
+	}
+	for i := 0; i < 2000; i++ {
+		if !tr.Contains(i) {
+			t.Fatalf("lost key %d", i)
+		}
+	}
+}
+
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int, int](nil, 8)
+	present := map[int]bool{}
+	for step := 0; step < 30000; step++ {
+		k := rng.Intn(3000)
+		if rng.Intn(3) != 0 {
+			added := tr.Insert(k, k)
+			if added == present[k] {
+				t.Fatalf("step %d: Insert(%d) added=%v present=%v", step, k, added, present[k])
+			}
+			present[k] = true
+		} else {
+			removed := tr.Erase(k)
+			if removed != present[k] {
+				t.Fatalf("step %d: Erase(%d) removed=%v present=%v", step, k, removed, present[k])
+			}
+			delete(present, k)
+		}
+		if step%1000 == 0 {
+			if bad := tr.CheckInvariants(); bad != "" {
+				t.Fatalf("step %d: %s", step, bad)
+			}
+		}
+	}
+	if bad := tr.CheckInvariants(); bad != "" {
+		t.Fatal(bad)
+	}
+	if tr.Len() != len(present) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(present))
+	}
+}
+
+func TestEraseDrainsCompletely(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New[int, int](nil, 8)
+	keys := rng.Perm(5000)
+	for _, k := range keys {
+		tr.Insert(k, k)
+	}
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for i, k := range keys {
+		if !tr.Erase(k) {
+			t.Fatalf("erase %d failed", k)
+		}
+		if i%500 == 0 {
+			if bad := tr.CheckInvariants(); bad != "" {
+				t.Fatalf("after %d erases: %s", i+1, bad)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after draining", tr.Len())
+	}
+}
+
+func TestSortedIteration(t *testing.T) {
+	tr := New[int, int](nil, 8)
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range rng.Perm(1000) {
+		tr.Insert(k, k*3)
+	}
+	var got []int
+	tr.Iterate(-1, func(k, v int) {
+		if v != k*3 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+	})
+	if len(got) != 1000 || !sort.IntsAreSorted(got) {
+		t.Fatalf("iteration wrong: %d keys, sorted=%v", len(got), sort.IntsAreSorted(got))
+	}
+	if n := tr.Iterate(7, nil); n != 7 {
+		t.Fatalf("partial iterate visited %d", n)
+	}
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(keys []uint16) bool {
+		tr := New[uint16, int](nil, 8)
+		ref := map[uint16]bool{}
+		for _, k := range keys {
+			tr.Insert(k, int(k))
+			ref[k] = true
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for i, k := range keys {
+			if i%2 == 0 {
+				if tr.Erase(k) != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		return tr.Len() == len(ref) && tr.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindTouchesFewerNodesThanRBTree(t *testing.T) {
+	// The point of the B-tree: log_B(n) node touches vs log_2(n).
+	const n = 1 << 14
+	bt := New[uint64, uint64](nil, 8)
+	rb := rbtree.New[uint64, uint64](nil, 8)
+	for i := uint64(0); i < n; i++ {
+		bt.Insert(i, i)
+		rb.Insert(i, i)
+	}
+	bt.Stats().Reset()
+	rb.Stats().Reset()
+	for i := uint64(0); i < 1000; i++ {
+		bt.Find(i * 16)
+		rb.Find(i * 16)
+	}
+	btCost := float64(bt.Stats().Cost[2]) / 1000 // opstats.OpFind
+	rbCost := float64(rb.Stats().Cost[2]) / 1000
+	if btCost*2 > rbCost {
+		t.Fatalf("b-tree touches %.1f nodes/find vs rb %.1f; want <= half", btCost, rbCost)
+	}
+}
+
+func TestCacheFriendlinessOnMachine(t *testing.T) {
+	// On the simulated machine, B-tree lookups over a large key space
+	// should be cheaper than red-black lookups.
+	const n = 1 << 15
+	run := func(build func(m *machine.Machine) func(uint64)) float64 {
+		m := machine.New(machine.Core2())
+		find := build(m)
+		rng := rand.New(rand.NewSource(4))
+		start := m.Cycles()
+		for i := 0; i < 3000; i++ {
+			find(uint64(rng.Intn(n)))
+		}
+		return m.Cycles() - start
+	}
+	btCycles := run(func(m *machine.Machine) func(uint64) {
+		tr := New[uint64, uint64](m, 8)
+		for i := uint64(0); i < n; i++ {
+			tr.Insert(i, i)
+		}
+		return func(k uint64) { tr.Find(k) }
+	})
+	rbCycles := run(func(m *machine.Machine) func(uint64) {
+		tr := rbtree.New[uint64, uint64](m, 8)
+		for i := uint64(0); i < n; i++ {
+			tr.Insert(i, i)
+		}
+		return func(k uint64) { tr.Find(k) }
+	})
+	if btCycles >= rbCycles {
+		t.Fatalf("b-tree (%.0f cycles) not cheaper than rb tree (%.0f)", btCycles, rbCycles)
+	}
+}
+
+func TestMemoryLifecycle(t *testing.T) {
+	cm := mem.NewCounting()
+	tr := New[uint64, uint64](cm, 8)
+	for i := uint64(0); i < 2000; i++ {
+		tr.Insert(i, i)
+	}
+	for i := uint64(0); i < 2000; i++ {
+		tr.Erase(i)
+	}
+	tr.Clear()
+	// Only the fresh empty root remains.
+	if uint64(cm.Live) != tr.nodeBytes {
+		t.Fatalf("live bytes = %d, want one root node (%d)", cm.Live, tr.nodeBytes)
+	}
+}
+
+func FuzzBTreeOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{200, 100, 50, 25})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tr := New[uint8, int](nil, 8)
+		ref := map[uint8]bool{}
+		for i := 0; i+1 < len(ops); i += 2 {
+			key := ops[i+1]
+			switch ops[i] % 3 {
+			case 0:
+				tr.Insert(key, int(key))
+				ref[key] = true
+			case 1:
+				if tr.Erase(key) != ref[key] {
+					t.Fatalf("Erase(%d) mismatch", key)
+				}
+				delete(ref, key)
+			default:
+				if tr.Contains(key) != ref[key] {
+					t.Fatalf("Contains(%d) mismatch", key)
+				}
+			}
+		}
+		if tr.Len() != len(ref) || tr.CheckInvariants() != "" {
+			t.Fatalf("final state invalid: %s", tr.CheckInvariants())
+		}
+	})
+}

@@ -1,0 +1,456 @@
+// Package deque implements a chunked double-ended queue, the analog of
+// std::deque: a growable map of fixed-size chunks. Random access costs one
+// map read plus one element read; pushes at either end are O(1) amortized;
+// middle insertion shifts the smaller side, like libstdc++. Locality on
+// iteration is nearly as good as vector's, but no full-copy resize is ever
+// needed — the trade the paper's replacement matrix (Table 1) encodes.
+package deque
+
+import (
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+// Branch sites inside deque code.
+const (
+	siteMapGrow  mem.BranchSite = 0x300 // chunk map full?
+	siteFindCmp  mem.BranchSite = 0x301 // comparison loop in find
+	siteBoundary mem.BranchSite = 0x302 // iterator chunk-boundary check on ++
+)
+
+const (
+	chunkBytes = 512 // simulated chunk payload size
+	ptrBytes   = 8
+)
+
+type chunk[T any] struct {
+	addr  mem.Addr
+	elems []T // always allocated at full chunk capacity
+}
+
+// Deque is a double-ended queue of T. Construct with New.
+type Deque[T any] struct {
+	chunks   []*chunk[T] // the "map"
+	mapAddr  mem.Addr
+	mapBytes uint64
+	front    int // logical index of first element within chunks[0]
+	size     int
+	chunkCap int
+	model    mem.Model
+	elemSize uint64
+	stats    opstats.Stats
+}
+
+// New returns an empty deque bound to the given memory model. A nil model
+// defaults to mem.Nop.
+func New[T any](model mem.Model, elemSize uint64) *Deque[T] {
+	if model == nil {
+		model = mem.Nop{}
+	}
+	if elemSize == 0 {
+		elemSize = 8
+	}
+	cc := chunkBytes / int(elemSize)
+	if cc < 1 {
+		cc = 1
+	}
+	return &Deque[T]{model: model, elemSize: elemSize, chunkCap: cc}
+}
+
+// Stats exposes the container's accumulated software features.
+func (d *Deque[T]) Stats() *opstats.Stats {
+	d.stats.ElemSize = d.elemSize
+	return &d.stats
+}
+
+// Len returns the number of elements.
+func (d *Deque[T]) Len() int { return d.size }
+
+func (d *Deque[T]) newChunk() *chunk[T] {
+	c := &chunk[T]{elems: make([]T, d.chunkCap)}
+	c.addr = d.model.Alloc(uint64(d.chunkCap)*d.elemSize, 16)
+	return c
+}
+
+// remapped models growing the chunk map array.
+func (d *Deque[T]) remapped() {
+	newBytes := uint64(cap(d.chunks)) * ptrBytes
+	if newBytes == 0 {
+		newBytes = 8 * ptrBytes
+	}
+	if d.mapBytes > 0 {
+		d.model.Read(d.mapAddr, d.mapBytes)
+		d.model.Free(d.mapAddr, d.mapBytes)
+	}
+	d.mapAddr = d.model.Alloc(newBytes, 16)
+	d.model.Write(d.mapAddr, newBytes)
+	d.mapBytes = newBytes
+	d.stats.Resizes++
+}
+
+// back returns the logical index one past the last element, relative to
+// chunk 0's origin.
+func (d *Deque[T]) back() int { return d.front + d.size }
+
+// locate returns the chunk index and offset for logical position i.
+func (d *Deque[T]) locate(i int) (ci, off int) {
+	i += d.front
+	return i / d.chunkCap, i % d.chunkCap
+}
+
+// readMapEntry models the extra indirection of chunked storage.
+func (d *Deque[T]) readMapEntry(ci int) {
+	d.model.Read(d.mapAddr+mem.Addr(ci*ptrBytes), ptrBytes)
+}
+
+func (d *Deque[T]) elemAddr(i int) (c *chunk[T], off int, a mem.Addr) {
+	ci, off := d.locate(i)
+	c = d.chunks[ci]
+	return c, off, c.addr + mem.Addr(uint64(off)*d.elemSize)
+}
+
+// get/set are internal, unaccounted accessors.
+func (d *Deque[T]) get(i int) T {
+	c, off, _ := d.elemAddr(i)
+	return c.elems[off]
+}
+
+func (d *Deque[T]) put(i int, x T) {
+	c, off, _ := d.elemAddr(i)
+	c.elems[off] = x
+}
+
+// At returns the i-th element. It panics when i is out of range.
+func (d *Deque[T]) At(i int) T {
+	ci, _ := d.locate(i)
+	d.readMapEntry(ci)
+	c, off, a := d.elemAddr(i)
+	d.model.Read(a, d.elemSize)
+	d.stats.Observe(opstats.OpAt, 1)
+	return c.elems[off]
+}
+
+// Set overwrites the i-th element.
+func (d *Deque[T]) Set(i int, x T) {
+	ci, _ := d.locate(i)
+	d.readMapEntry(ci)
+	c, off, a := d.elemAddr(i)
+	d.model.Write(a, d.elemSize)
+	c.elems[off] = x
+	d.stats.Observe(opstats.OpAt, 1)
+}
+
+// pushBackRaw appends without recording an interface-function stat.
+func (d *Deque[T]) pushBackRaw(x T) {
+	needChunk := len(d.chunks) == 0 || d.back() == len(d.chunks)*d.chunkCap
+	d.model.Branch(siteMapGrow, needChunk)
+	if needChunk {
+		grew := len(d.chunks) == cap(d.chunks)
+		d.chunks = append(d.chunks, d.newChunk())
+		if grew {
+			d.remapped()
+		}
+	}
+	d.size++
+	c, off, a := d.elemAddr(d.size - 1)
+	d.model.Write(a, d.elemSize)
+	c.elems[off] = x
+}
+
+// pushFrontRaw prepends without recording an interface-function stat.
+func (d *Deque[T]) pushFrontRaw(x T) {
+	needChunk := d.front == 0
+	d.model.Branch(siteMapGrow, needChunk)
+	if needChunk {
+		grew := len(d.chunks) == cap(d.chunks)
+		d.chunks = append([]*chunk[T]{d.newChunk()}, d.chunks...)
+		if grew {
+			d.remapped()
+		}
+		d.front = d.chunkCap
+	}
+	d.front--
+	d.size++
+	c, off, a := d.elemAddr(0)
+	d.model.Write(a, d.elemSize)
+	c.elems[off] = x
+}
+
+func (d *Deque[T]) popBackRaw() (x T, ok bool) {
+	if d.size == 0 {
+		return x, false
+	}
+	ci, _ := d.locate(d.size - 1)
+	d.readMapEntry(ci)
+	c, off, a := d.elemAddr(d.size - 1)
+	d.model.Read(a, d.elemSize)
+	x = c.elems[off]
+	d.size--
+	if off == 0 {
+		d.model.Free(c.addr, uint64(d.chunkCap)*d.elemSize)
+		d.chunks = d.chunks[:ci]
+	}
+	if d.size == 0 {
+		d.releaseAll()
+	}
+	return x, true
+}
+
+func (d *Deque[T]) popFrontRaw() (x T, ok bool) {
+	if d.size == 0 {
+		return x, false
+	}
+	d.readMapEntry(0)
+	c, _, a := d.elemAddr(0)
+	d.model.Read(a, d.elemSize)
+	x = c.elems[d.front]
+	d.front++
+	d.size--
+	if d.front == d.chunkCap {
+		d.model.Free(c.addr, uint64(d.chunkCap)*d.elemSize)
+		d.chunks = d.chunks[1:]
+		d.front = 0
+	}
+	if d.size == 0 {
+		d.releaseAll()
+	}
+	return x, true
+}
+
+func (d *Deque[T]) releaseAll() {
+	for _, c := range d.chunks {
+		d.model.Free(c.addr, uint64(d.chunkCap)*d.elemSize)
+	}
+	d.chunks = nil
+	d.front = 0
+}
+
+// PushBack appends x.
+func (d *Deque[T]) PushBack(x T) {
+	d.pushBackRaw(x)
+	d.stats.Observe(opstats.OpPushBack, 1)
+	d.stats.NoteLen(d.size)
+}
+
+// PushFront prepends x in O(1), the headline advantage over vector.
+func (d *Deque[T]) PushFront(x T) {
+	d.pushFrontRaw(x)
+	d.stats.Observe(opstats.OpPushFront, 1)
+	d.stats.NoteLen(d.size)
+}
+
+// PopBack removes and returns the last element; ok is false when empty.
+func (d *Deque[T]) PopBack() (x T, ok bool) {
+	x, ok = d.popBackRaw()
+	if ok {
+		d.stats.Observe(opstats.OpPopBack, 1)
+	}
+	return x, ok
+}
+
+// PopFront removes and returns the first element; ok is false when empty.
+func (d *Deque[T]) PopFront() (x T, ok bool) {
+	x, ok = d.popFrontRaw()
+	if ok {
+		d.stats.Observe(opstats.OpPopFront, 1)
+	}
+	return x, ok
+}
+
+// scan models a linear pass over the first n elements: within each chunk
+// the data streams like a vector (one range read per chunk segment), while
+// the iterator still executes one chunk-boundary branch per element and one
+// map-entry read per chunk crossed — deque's small per-element tax over
+// vector's flat scan.
+func (d *Deque[T]) scan(n int, hit bool) {
+	if n <= 0 {
+		return
+	}
+	for i := 0; i < n; {
+		ci, off := d.locate(i)
+		d.readMapEntry(ci)
+		c := d.chunks[ci]
+		segLen := d.chunkCap - off
+		if i+segLen > n {
+			segLen = n - i
+		}
+		d.model.Read(c.addr+mem.Addr(uint64(off)*d.elemSize), uint64(segLen)*d.elemSize)
+		for k := 0; k < segLen; k++ {
+			d.model.Branch(siteBoundary, off+k == d.chunkCap-1) // iterator ++ boundary check
+		}
+		i += segLen
+	}
+	// The comparison loop's final branch outcome.
+	d.model.Branch(siteFindCmp, hit)
+}
+
+// touchPos models a read+write pair at a logical position during a shift.
+func (d *Deque[T]) touchPos(i int) {
+	_, _, a := d.elemAddr(i)
+	d.model.Read(a, d.elemSize)
+	d.model.Write(a, d.elemSize)
+}
+
+// Insert places x before position i, shifting whichever side is smaller,
+// matching the libstdc++ strategy. The cost is the number of shifted
+// elements plus one.
+func (d *Deque[T]) Insert(i int, x T) {
+	if i < 0 {
+		i = 0
+	}
+	if i > d.size {
+		i = d.size
+	}
+	var moved uint64
+	switch {
+	case i == 0:
+		d.pushFrontRaw(x)
+	case i == d.size:
+		d.pushBackRaw(x)
+	case i < d.size-i:
+		// Shift the front side left by one.
+		var zero T
+		d.pushFrontRaw(zero)
+		for k := 0; k < i; k++ {
+			moved++
+			d.touchPos(k)
+			d.put(k, d.get(k+1))
+		}
+		d.touchPos(i)
+		d.put(i, x)
+	default:
+		// Shift the back side right by one.
+		var zero T
+		d.pushBackRaw(zero)
+		for k := d.size - 1; k > i; k-- {
+			moved++
+			d.touchPos(k)
+			d.put(k, d.get(k-1))
+		}
+		d.touchPos(i)
+		d.put(i, x)
+	}
+	d.stats.Observe(opstats.OpInsert, moved+1)
+	d.stats.NoteLen(d.size)
+}
+
+// Erase removes the element at position i, shifting the smaller side; it
+// returns false when i is out of range.
+func (d *Deque[T]) Erase(i int) bool {
+	if i < 0 || i >= d.size {
+		return false
+	}
+	var moved uint64
+	if i < d.size-i-1 {
+		for k := i; k > 0; k-- {
+			moved++
+			d.touchPos(k)
+			d.put(k, d.get(k-1))
+		}
+		d.popFrontRaw()
+	} else {
+		for k := i; k < d.size-1; k++ {
+			moved++
+			d.touchPos(k)
+			d.put(k, d.get(k+1))
+		}
+		d.popBackRaw()
+	}
+	d.stats.Observe(opstats.OpErase, moved+1)
+	return true
+}
+
+// Find scans from the front and returns the position of the first element
+// satisfying eq, or -1.
+func (d *Deque[T]) Find(eq func(T) bool) int {
+	idx := -1
+	for i := 0; i < d.size; i++ {
+		if eq(d.get(i)) {
+			idx = i
+			break
+		}
+	}
+	touched := uint64(d.size)
+	if idx >= 0 {
+		touched = uint64(idx + 1)
+	}
+	d.scan(int(touched), idx >= 0)
+	d.stats.Observe(opstats.OpFind, touched)
+	return idx
+}
+
+// FindErase removes the first element satisfying eq and reports whether one
+// was found, as a single erase interface call covering scan plus shift.
+func (d *Deque[T]) FindErase(eq func(T) bool) bool {
+	found := -1
+	for i := 0; i < d.size; i++ {
+		if eq(d.get(i)) {
+			found = i
+			break
+		}
+	}
+	touched := uint64(d.size)
+	if found >= 0 {
+		touched = uint64(found + 1)
+	}
+	d.scan(int(touched), found >= 0)
+	if found < 0 {
+		d.stats.Observe(opstats.OpErase, touched)
+		return false
+	}
+	var moved uint64
+	if found < d.size-found-1 {
+		for k := found; k > 0; k-- {
+			moved++
+			d.touchPos(k)
+			d.put(k, d.get(k-1))
+		}
+		d.popFrontRaw()
+	} else {
+		for k := found; k < d.size-1; k++ {
+			moved++
+			d.touchPos(k)
+			d.put(k, d.get(k+1))
+		}
+		d.popBackRaw()
+	}
+	d.stats.Observe(opstats.OpErase, touched+moved)
+	return true
+}
+
+// Iterate visits up to n elements from the front, calling fn for each, and
+// returns the number visited. n < 0 visits all elements.
+func (d *Deque[T]) Iterate(n int, fn func(T)) int {
+	if n < 0 || n > d.size {
+		n = d.size
+	}
+	d.scan(n, false)
+	for i := 0; i < n; i++ {
+		if fn != nil {
+			fn(d.get(i))
+		}
+	}
+	d.stats.Observe(opstats.OpIterate, uint64(n))
+	return n
+}
+
+// Clear removes all elements and frees every chunk and the map.
+func (d *Deque[T]) Clear() {
+	d.releaseAll()
+	if d.mapBytes > 0 {
+		d.model.Free(d.mapAddr, d.mapBytes)
+		d.mapAddr = 0
+		d.mapBytes = 0
+	}
+	d.size = 0
+	d.stats.Observe(opstats.OpClear, 1)
+}
+
+// Values returns a copy of the contents in order. Intended for tests.
+func (d *Deque[T]) Values() []T {
+	out := make([]T, 0, d.size)
+	for i := 0; i < d.size; i++ {
+		out = append(out, d.get(i))
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package deque
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+func checkEqual(t *testing.T, d *Deque[int], ref []int, ctx string) {
+	t.Helper()
+	if d.Len() != len(ref) {
+		t.Fatalf("%s: Len = %d, want %d", ctx, d.Len(), len(ref))
+	}
+	got := d.Values()
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("%s: contents %v, want %v", ctx, got, ref)
+		}
+	}
+}
+
+func TestPushBothEnds(t *testing.T) {
+	d := New[int](nil, 8)
+	for i := 1; i <= 200; i++ {
+		d.PushBack(i)
+		d.PushFront(-i)
+	}
+	if d.Len() != 400 {
+		t.Fatalf("Len = %d, want 400", d.Len())
+	}
+	if d.At(0) != -200 {
+		t.Fatalf("front = %d, want -200", d.At(0))
+	}
+	if d.At(399) != 200 {
+		t.Fatalf("back = %d, want 200", d.At(399))
+	}
+}
+
+func TestPopBothEnds(t *testing.T) {
+	d := New[int](nil, 8)
+	for i := 0; i < 300; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 150; i++ {
+		x, ok := d.PopFront()
+		if !ok || x != i {
+			t.Fatalf("PopFront #%d = %d,%v", i, x, ok)
+		}
+	}
+	for i := 299; i >= 150; i-- {
+		x, ok := d.PopBack()
+		if !ok || x != i {
+			t.Fatalf("PopBack = %d,%v want %d", x, ok, i)
+		}
+	}
+	if _, ok := d.PopBack(); ok {
+		t.Fatal("PopBack on empty succeeded")
+	}
+	if _, ok := d.PopFront(); ok {
+		t.Fatal("PopFront on empty succeeded")
+	}
+}
+
+func TestInsertMiddle(t *testing.T) {
+	d := New[int](nil, 8)
+	for i := 0; i < 9; i++ {
+		d.PushBack(i)
+	}
+	d.Insert(2, 77) // near front: shifts front side
+	ref := []int{0, 1, 77, 2, 3, 4, 5, 6, 7, 8}
+	checkEqual(t, d, ref, "front-side insert")
+	d.Insert(8, 88) // near back: shifts back side
+	ref = []int{0, 1, 77, 2, 3, 4, 5, 6, 88, 7, 8}
+	checkEqual(t, d, ref, "back-side insert")
+}
+
+func TestEraseMiddle(t *testing.T) {
+	d := New[int](nil, 8)
+	for i := 0; i < 10; i++ {
+		d.PushBack(i)
+	}
+	d.Erase(1) // near front
+	checkEqual(t, d, []int{0, 2, 3, 4, 5, 6, 7, 8, 9}, "front-side erase")
+	d.Erase(7) // near back
+	checkEqual(t, d, []int{0, 2, 3, 4, 5, 6, 7, 9}, "back-side erase")
+	if d.Erase(99) || d.Erase(-1) {
+		t.Fatal("out-of-range erase succeeded")
+	}
+}
+
+func TestFindAndIterate(t *testing.T) {
+	d := New[int](nil, 8)
+	for i := 0; i < 500; i++ {
+		d.PushBack(i * 2)
+	}
+	if idx := d.Find(func(x int) bool { return x == 400 }); idx != 200 {
+		t.Fatalf("Find = %d, want 200", idx)
+	}
+	if idx := d.Find(func(x int) bool { return x == 401 }); idx != -1 {
+		t.Fatalf("Find missing = %d, want -1", idx)
+	}
+	sum := 0
+	d.Iterate(5, func(x int) { sum += x })
+	if sum != 0+2+4+6+8 {
+		t.Fatalf("sum = %d", sum)
+	}
+	st := d.Stats()
+	if st.Count[opstats.OpFind] != 2 || st.Count[opstats.OpIterate] != 1 {
+		t.Fatalf("op counts: %v", st.Count)
+	}
+}
+
+func TestSetAndAt(t *testing.T) {
+	d := New[int](nil, 8)
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	d.Set(40, 999)
+	if d.At(40) != 999 {
+		t.Fatalf("At(40) = %d after Set", d.At(40))
+	}
+}
+
+func TestMemoryLifecycle(t *testing.T) {
+	cm := mem.NewCounting()
+	d := New[uint64](cm, 8)
+	for i := 0; i < 1000; i++ {
+		d.PushFront(uint64(i))
+		d.PushBack(uint64(i))
+	}
+	for i := 0; i < 500; i++ {
+		d.PopFront()
+		d.PopBack()
+	}
+	d.Clear()
+	if cm.Live != 0 {
+		t.Fatalf("leaked %d simulated bytes", cm.Live)
+	}
+}
+
+func TestNoFullCopyOnGrowth(t *testing.T) {
+	// Unlike vector, deque growth only reallocates the chunk map, never the
+	// elements: pushing N elements should allocate ~N/chunkCap chunks and a
+	// few maps, with total allocated bytes far below 2x payload.
+	cm := mem.NewCounting()
+	d := New[uint64](cm, 8)
+	for i := 0; i < 10000; i++ {
+		d.PushBack(uint64(i))
+	}
+	payload := uint64(10000 * 8)
+	if cm.WriteB > 3*payload {
+		t.Fatalf("deque wrote %d bytes for %d payload; copies too large", cm.WriteB, payload)
+	}
+}
+
+func TestDifferentialAgainstSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	d := New[int](nil, 8)
+	var ref []int
+	for step := 0; step < 6000; step++ {
+		switch op := rng.Intn(8); {
+		case op == 0 || len(ref) == 0:
+			x := rng.Intn(1000)
+			d.PushBack(x)
+			ref = append(ref, x)
+		case op == 1:
+			x := rng.Intn(1000)
+			d.PushFront(x)
+			ref = append([]int{x}, ref...)
+		case op == 2:
+			i := rng.Intn(len(ref) + 1)
+			x := rng.Intn(1000)
+			d.Insert(i, x)
+			ref = append(ref, 0)
+			copy(ref[i+1:], ref[i:])
+			ref[i] = x
+		case op == 3:
+			i := rng.Intn(len(ref))
+			d.Erase(i)
+			ref = append(ref[:i], ref[i+1:]...)
+		case op == 4:
+			d.PopFront()
+			ref = ref[1:]
+		case op == 5:
+			d.PopBack()
+			ref = ref[:len(ref)-1]
+		case op == 6:
+			i := rng.Intn(len(ref))
+			if got := d.At(i); got != ref[i] {
+				t.Fatalf("step %d: At(%d) = %d, want %d", step, i, got, ref[i])
+			}
+		default:
+			i := rng.Intn(len(ref))
+			x := rng.Intn(1000)
+			d.Set(i, x)
+			ref[i] = x
+		}
+		if d.Len() != len(ref) {
+			t.Fatalf("step %d (op stream): Len = %d, want %d", step, d.Len(), len(ref))
+		}
+	}
+	checkEqual(t, d, ref, "final")
+}
+
+func TestQuickFrontBackSymmetry(t *testing.T) {
+	f := func(xs []uint16) bool {
+		d := New[uint16](nil, 2)
+		for _, x := range xs {
+			d.PushFront(x)
+		}
+		for _, x := range xs {
+			got, ok := d.PopBack()
+			if !ok || got != x {
+				return false
+			}
+		}
+		return d.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallElementChunking(t *testing.T) {
+	// elemSize larger than the chunk payload must still work (1 elem/chunk).
+	d := New[[128]byte](nil, 1024)
+	var x [128]byte
+	for i := 0; i < 10; i++ {
+		x[0] = byte(i)
+		d.PushBack(x)
+	}
+	if d.Len() != 10 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.At(3)[0] != 3 {
+		t.Fatal("wrong element")
+	}
+}

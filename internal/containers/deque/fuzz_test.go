@@ -1,0 +1,64 @@
+package deque
+
+import "testing"
+
+// FuzzDequeOps drives the deque with an arbitrary byte-encoded operation
+// stream against a slice model.
+func FuzzDequeOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{255, 0, 255, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		d := New[int](nil, 8)
+		var ref []int
+		for i, b := range ops {
+			switch b % 6 {
+			case 0:
+				d.PushBack(i)
+				ref = append(ref, i)
+			case 1:
+				d.PushFront(i)
+				ref = append([]int{i}, ref...)
+			case 2:
+				if len(ref) > 0 {
+					x, _ := d.PopBack()
+					if x != ref[len(ref)-1] {
+						t.Fatalf("PopBack = %d, want %d", x, ref[len(ref)-1])
+					}
+					ref = ref[:len(ref)-1]
+				}
+			case 3:
+				if len(ref) > 0 {
+					x, _ := d.PopFront()
+					if x != ref[0] {
+						t.Fatalf("PopFront = %d, want %d", x, ref[0])
+					}
+					ref = ref[1:]
+				}
+			case 4:
+				pos := 0
+				if len(ref) > 0 {
+					pos = int(b) % (len(ref) + 1)
+				}
+				d.Insert(pos, i)
+				ref = append(ref, 0)
+				copy(ref[pos+1:], ref[pos:])
+				ref[pos] = i
+			case 5:
+				if len(ref) > 0 {
+					pos := int(b) % len(ref)
+					d.Erase(pos)
+					ref = append(ref[:pos], ref[pos+1:]...)
+				}
+			}
+			if d.Len() != len(ref) {
+				t.Fatalf("step %d: Len = %d, want %d", i, d.Len(), len(ref))
+			}
+		}
+		got := d.Values()
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("contents[%d] = %d, want %d", i, got[i], ref[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,30 @@
+package deque
+
+// Iter is a forward iterator over a deque. Invalidated by any mutation.
+type Iter[T any] struct {
+	d   *Deque[T]
+	pos int
+}
+
+// Begin returns an iterator at the first element.
+func (d *Deque[T]) Begin() Iter[T] { return Iter[T]{d: d} }
+
+// Next returns the current element and advances; ok is false past the end.
+// Each advance reads one element and executes the chunk-boundary check of
+// the ++ operator; crossing into a new chunk also reads the map entry.
+func (it *Iter[T]) Next() (x T, ok bool) {
+	if it.d == nil || it.pos >= it.d.size {
+		return x, false
+	}
+	ci, off := it.d.locate(it.pos)
+	atBoundary := off == 0 || it.pos == 0
+	it.d.model.Branch(siteBoundary, atBoundary)
+	if atBoundary {
+		it.d.readMapEntry(ci)
+	}
+	c, _, a := it.d.elemAddr(it.pos)
+	it.d.model.Read(a, it.d.elemSize)
+	x = c.elems[off]
+	it.pos++
+	return x, true
+}

@@ -1,0 +1,37 @@
+package deque
+
+import "testing"
+
+func TestIterVisitsAllInOrderAcrossChunks(t *testing.T) {
+	d := New[int](nil, 8) // 64 elements per chunk: 200 spans 4 chunks
+	for i := 0; i < 200; i++ {
+		d.PushBack(i)
+	}
+	d.PushFront(-1)
+	it := d.Begin()
+	x, ok := it.Next()
+	if !ok || x != -1 {
+		t.Fatalf("front = %d,%v", x, ok)
+	}
+	for i := 0; i < 200; i++ {
+		x, ok = it.Next()
+		if !ok || x != i {
+			t.Fatalf("step %d: %d,%v", i, x, ok)
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("iterator ran past the end")
+	}
+}
+
+func TestIterEmpty(t *testing.T) {
+	d := New[int](nil, 8)
+	it := d.Begin()
+	if _, ok := it.Next(); ok {
+		t.Fatal("empty deque yielded an element")
+	}
+	var zero Iter[int]
+	if _, ok := zero.Next(); ok {
+		t.Fatal("zero iterator yielded an element")
+	}
+}

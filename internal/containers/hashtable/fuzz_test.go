@@ -1,0 +1,43 @@
+package hashtable
+
+import "testing"
+
+// FuzzTableOps drives the hash table with an arbitrary byte-encoded
+// operation stream against a map model and checks the chain invariants.
+func FuzzTableOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 250, 251})
+	f.Add([]byte{0, 0, 1, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		h := New[uint8, int](nil, 8, func(k uint8) uint64 { return HashUint64(uint64(k)) })
+		ref := map[uint8]int{}
+		for i := 0; i+1 < len(ops); i += 2 {
+			key := ops[i+1]
+			switch ops[i] % 3 {
+			case 0:
+				_, existed := ref[key]
+				if h.Insert(key, i) != !existed {
+					t.Fatalf("Insert(%d) return mismatch", key)
+				}
+				ref[key] = i
+			case 1:
+				_, existed := ref[key]
+				if h.Erase(key) != existed {
+					t.Fatalf("Erase(%d) return mismatch", key)
+				}
+				delete(ref, key)
+			case 2:
+				v, ok := h.Find(key)
+				want, existed := ref[key]
+				if ok != existed || (ok && v != want) {
+					t.Fatalf("Find(%d) = %d,%v want %d,%v", key, v, ok, want, existed)
+				}
+			}
+		}
+		if h.Len() != len(ref) {
+			t.Fatalf("Len = %d, ref = %d", h.Len(), len(ref))
+		}
+		if bad := h.CheckInvariants(); bad != "" {
+			t.Fatal(bad)
+		}
+	})
+}

@@ -1,0 +1,330 @@
+// Package hashtable implements a separate-chaining hash table with unique
+// keys, the analog of the TR1/libstdc++ hash_set / hash_map (unordered_set /
+// unordered_map). Lookup costs one bucket-array read plus a short chain
+// walk; inserts occasionally trigger a whole-table rehash whose "load factor
+// exceeded" branch is a misprediction source analogous to vector's resize
+// (Section 5.1). Iteration order is the hash order, so a hash table is only
+// a legal replacement in order-oblivious usage (Table 1).
+package hashtable
+
+import (
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+// Branch sites inside hash-table code.
+const (
+	siteRehash  mem.BranchSite = 0x600 // load factor exceeded?
+	siteChainEq mem.BranchSite = 0x601 // key equality along a chain
+)
+
+const (
+	ptrBytes       = 8
+	nodeOverhead   = 16 // next pointer + cached hash
+	initialBuckets = 16
+	maxLoadFactor  = 1.0
+
+	// hashWorkUnits is the ALU cost of hashing one key: a 64-bit
+	// mix/finalize sequence plus the bucket index computation. The 2011-era
+	// TR1 hash_map this models indexed buckets with a modulo by a prime,
+	// i.e. an integer division of a few dozen ALU ops — the fixed per-call
+	// overhead that lets trees win at small sizes (Chord's small input).
+	hashWorkUnits = 40
+)
+
+type node[K comparable, V any] struct {
+	next *node[K, V]
+	hash uint64
+	addr mem.Addr
+	key  K
+	val  V
+}
+
+// Table is a separate-chaining hash table mapping K to V. Construct with New.
+type Table[K comparable, V any] struct {
+	buckets    []*node[K, V]
+	bucketAddr mem.Addr
+	size       int
+	model      mem.Model
+	hash       func(K) uint64
+	elemSize   uint64
+	nodeBytes  uint64
+	stats      opstats.Stats
+}
+
+// New returns an empty table bound to the given memory model using the given
+// hash function. A nil model defaults to mem.Nop. New panics on a nil hash
+// function; use HashUint64 or HashString for common key types.
+func New[K comparable, V any](model mem.Model, elemSize uint64, hash func(K) uint64) *Table[K, V] {
+	if hash == nil {
+		panic("hashtable: nil hash function")
+	}
+	if model == nil {
+		model = mem.Nop{}
+	}
+	if elemSize == 0 {
+		elemSize = 8
+	}
+	t := &Table[K, V]{
+		model:     model,
+		hash:      hash,
+		elemSize:  elemSize,
+		nodeBytes: elemSize + nodeOverhead,
+	}
+	t.buckets = make([]*node[K, V], initialBuckets)
+	t.bucketAddr = model.Alloc(initialBuckets*ptrBytes, 16)
+	return t
+}
+
+// HashUint64 is a Fibonacci/avalanche mixer for integer keys.
+func HashUint64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// HashString is FNV-1a over the key's bytes.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Stats exposes the container's accumulated software features.
+func (t *Table[K, V]) Stats() *opstats.Stats {
+	t.stats.ElemSize = t.elemSize
+	return &t.stats
+}
+
+// Len returns the number of keys.
+func (t *Table[K, V]) Len() int { return t.size }
+
+// Buckets returns the current bucket count.
+func (t *Table[K, V]) Buckets() int { return len(t.buckets) }
+
+func (t *Table[K, V]) bucketIdx(h uint64) int { return int(h & uint64(len(t.buckets)-1)) }
+
+func (t *Table[K, V]) readBucket(i int) {
+	t.model.Read(t.bucketAddr+mem.Addr(i*ptrBytes), ptrBytes)
+}
+
+// findNode walks the chain for key, returning the node and chain reads done.
+func (t *Table[K, V]) findNode(key K, h uint64) (*node[K, V], uint64) {
+	i := t.bucketIdx(h)
+	t.readBucket(i)
+	touched := uint64(1) // bucket-array read counts as one touch
+	for n := t.buckets[i]; n != nil; n = n.next {
+		touched++
+		t.model.Read(n.addr, t.nodeBytes)
+		hit := n.hash == h && n.key == key
+		t.model.Branch(siteChainEq, hit)
+		if hit {
+			return n, touched
+		}
+	}
+	return nil, touched
+}
+
+// Find returns the value stored under key.
+func (t *Table[K, V]) Find(key K) (V, bool) {
+	t.model.Work(hashWorkUnits)
+	n, touched := t.findNode(key, t.hash(key))
+	t.stats.Observe(opstats.OpFind, touched)
+	if n == nil {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Contains reports whether key is present.
+func (t *Table[K, V]) Contains(key K) bool {
+	_, ok := t.Find(key)
+	return ok
+}
+
+// Insert adds key→val; it returns false (and overwrites the value) when the
+// key was already present.
+func (t *Table[K, V]) Insert(key K, val V) bool {
+	t.model.Work(hashWorkUnits)
+	h := t.hash(key)
+	n, touched := t.findNode(key, h)
+	if n != nil {
+		t.model.Write(n.addr, t.nodeBytes)
+		n.val = val
+		t.stats.Observe(opstats.OpInsert, touched)
+		return false
+	}
+	needRehash := float64(t.size+1) > maxLoadFactor*float64(len(t.buckets))
+	t.model.Branch(siteRehash, needRehash)
+	if needRehash {
+		t.rehash()
+	}
+	i := t.bucketIdx(h)
+	z := &node[K, V]{next: t.buckets[i], hash: h, key: key, val: val}
+	z.addr = t.model.Alloc(t.nodeBytes, 8)
+	t.model.Write(z.addr, t.nodeBytes)
+	t.model.Write(t.bucketAddr+mem.Addr(i*ptrBytes), ptrBytes)
+	t.buckets[i] = z
+	t.size++
+	t.stats.Observe(opstats.OpInsert, touched+1)
+	t.stats.NoteLen(t.size)
+	return true
+}
+
+// rehash doubles the bucket array and re-links every node, reading each node
+// and writing its new bucket slot — the whole-table cost spike the branch
+// predictor cannot anticipate.
+func (t *Table[K, V]) rehash() {
+	old := t.buckets
+	oldBytes := uint64(len(old)) * ptrBytes
+	newCount := len(old) * 2
+	newBytes := uint64(newCount) * ptrBytes
+	newAddr := t.model.Alloc(newBytes, 16)
+	t.model.Write(newAddr, newBytes)
+	nb := make([]*node[K, V], newCount)
+	for _, head := range old {
+		for n := head; n != nil; {
+			next := n.next
+			t.model.Read(n.addr, t.nodeBytes)
+			i := int(n.hash & uint64(newCount-1))
+			n.next = nb[i]
+			nb[i] = n
+			t.model.Write(n.addr, ptrBytes)
+			n = next
+		}
+	}
+	t.model.Free(t.bucketAddr, oldBytes)
+	t.buckets = nb
+	t.bucketAddr = newAddr
+	t.stats.Rehashes++
+	t.stats.Resizes++ // rehash is the hash table's "resize" for feature purposes
+}
+
+// Erase removes key and reports whether it was present.
+func (t *Table[K, V]) Erase(key K) bool {
+	t.model.Work(hashWorkUnits)
+	h := t.hash(key)
+	i := t.bucketIdx(h)
+	t.readBucket(i)
+	touched := uint64(1)
+	var prev *node[K, V]
+	for n := t.buckets[i]; n != nil; n = n.next {
+		touched++
+		t.model.Read(n.addr, t.nodeBytes)
+		hit := n.hash == h && n.key == key
+		t.model.Branch(siteChainEq, hit)
+		if hit {
+			if prev == nil {
+				t.model.Write(t.bucketAddr+mem.Addr(i*ptrBytes), ptrBytes)
+				t.buckets[i] = n.next
+			} else {
+				t.model.Write(prev.addr, ptrBytes)
+				prev.next = n.next
+			}
+			t.model.Free(n.addr, t.nodeBytes)
+			t.size--
+			t.stats.Observe(opstats.OpErase, touched)
+			return true
+		}
+		prev = n
+	}
+	t.stats.Observe(opstats.OpErase, touched)
+	return false
+}
+
+// Iterate visits up to n entries in bucket order, calling fn for each, and
+// returns the number visited. n < 0 visits all entries. The order is
+// unrelated to insertion order.
+func (t *Table[K, V]) Iterate(n int, fn func(K, V)) int {
+	if n < 0 || n > t.size {
+		n = t.size
+	}
+	visited := 0
+	for i := 0; i < len(t.buckets) && visited < n; i++ {
+		t.readBucket(i)
+		for nd := t.buckets[i]; nd != nil && visited < n; nd = nd.next {
+			t.model.Read(nd.addr, t.nodeBytes)
+			if fn != nil {
+				fn(nd.key, nd.val)
+			}
+			visited++
+		}
+	}
+	t.stats.Observe(opstats.OpIterate, uint64(visited))
+	return visited
+}
+
+// First returns the key of the first entry in bucket order; ok is false
+// when the table is empty. It models reading the begin() iterator and does
+// not count as an interface invocation.
+func (t *Table[K, V]) First() (k K, ok bool) {
+	for i, head := range t.buckets {
+		if head != nil {
+			t.readBucket(i)
+			t.model.Read(head.addr, t.nodeBytes)
+			return head.key, true
+		}
+	}
+	return k, false
+}
+
+// Clear removes all entries, freeing every node, and shrinks the bucket
+// array back to its initial size.
+func (t *Table[K, V]) Clear() {
+	for i, head := range t.buckets {
+		for n := head; n != nil; {
+			next := n.next
+			t.model.Free(n.addr, t.nodeBytes)
+			n = next
+		}
+		t.buckets[i] = nil
+	}
+	t.model.Free(t.bucketAddr, uint64(len(t.buckets))*ptrBytes)
+	t.buckets = make([]*node[K, V], initialBuckets)
+	t.bucketAddr = t.model.Alloc(initialBuckets*ptrBytes, 16)
+	t.size = 0
+	t.stats.Observe(opstats.OpClear, 1)
+}
+
+// Keys returns all keys in iteration (bucket) order. Intended for tests.
+func (t *Table[K, V]) Keys() []K {
+	out := make([]K, 0, t.size)
+	for _, head := range t.buckets {
+		for n := head; n != nil; n = n.next {
+			out = append(out, n.key)
+		}
+	}
+	return out
+}
+
+// CheckInvariants verifies chain placement and size bookkeeping, returning a
+// descriptive violation or "" when the table is valid.
+func (t *Table[K, V]) CheckInvariants() string {
+	count := 0
+	for i, head := range t.buckets {
+		for n := head; n != nil; n = n.next {
+			count++
+			if t.hash(n.key) != n.hash {
+				return "stale cached hash"
+			}
+			if t.bucketIdx(n.hash) != i {
+				return "node in wrong bucket"
+			}
+		}
+	}
+	if count != t.size {
+		return "size mismatch"
+	}
+	return ""
+}

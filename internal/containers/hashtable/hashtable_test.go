@@ -1,0 +1,219 @@
+package hashtable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+func newU64(t *testing.T, m mem.Model) *Table[uint64, uint64] {
+	t.Helper()
+	return New[uint64, uint64](m, 16, HashUint64)
+}
+
+func TestInsertFindErase(t *testing.T) {
+	h := newU64(t, nil)
+	if !h.Insert(42, 1) {
+		t.Fatal("first insert returned false")
+	}
+	if h.Insert(42, 2) {
+		t.Fatal("duplicate insert returned true")
+	}
+	if v, ok := h.Find(42); !ok || v != 2 {
+		t.Fatalf("Find = %d,%v", v, ok)
+	}
+	if _, ok := h.Find(43); ok {
+		t.Fatal("found missing key")
+	}
+	if !h.Erase(42) || h.Erase(42) {
+		t.Fatal("erase semantics wrong")
+	}
+}
+
+func TestRehashPreservesContents(t *testing.T) {
+	h := newU64(t, nil)
+	n := uint64(10000)
+	for i := uint64(0); i < n; i++ {
+		h.Insert(i, i*3)
+	}
+	if h.Stats().Rehashes == 0 {
+		t.Fatal("no rehash for 10000 inserts into 16 buckets")
+	}
+	if h.Buckets() < int(n) {
+		t.Fatalf("buckets = %d, want >= %d after growth", h.Buckets(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := h.Find(i); !ok || v != i*3 {
+			t.Fatalf("lost key %d after rehash", i)
+		}
+	}
+	if bad := h.CheckInvariants(); bad != "" {
+		t.Fatal(bad)
+	}
+}
+
+func TestLoadFactorBounded(t *testing.T) {
+	h := newU64(t, nil)
+	for i := uint64(0); i < 5000; i++ {
+		h.Insert(i, i)
+		if float64(h.Len()) > float64(h.Buckets())*1.01 {
+			t.Fatalf("load factor %f exceeds bound", float64(h.Len())/float64(h.Buckets()))
+		}
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	h := New[string, int](nil, 24, HashString)
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i, w := range words {
+		h.Insert(w, i)
+	}
+	for i, w := range words {
+		if v, ok := h.Find(w); !ok || v != i {
+			t.Fatalf("Find(%q) = %d,%v", w, v, ok)
+		}
+	}
+	if h.Contains("zeta") {
+		t.Fatal("contains missing key")
+	}
+}
+
+func TestDifferentialAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := newU64(t, nil)
+	ref := map[uint64]uint64{}
+	for step := 0; step < 20000; step++ {
+		k := uint64(rng.Intn(3000))
+		switch rng.Intn(3) {
+		case 0:
+			v := uint64(rng.Intn(1 << 30))
+			_, existed := ref[k]
+			if h.Insert(k, v) != !existed {
+				t.Fatalf("step %d: insert return mismatch", step)
+			}
+			ref[k] = v
+		case 1:
+			_, existed := ref[k]
+			if h.Erase(k) != existed {
+				t.Fatalf("step %d: erase return mismatch", step)
+			}
+			delete(ref, k)
+		default:
+			want, existed := ref[k]
+			got, ok := h.Find(k)
+			if ok != existed || (ok && got != want) {
+				t.Fatalf("step %d: Find(%d) = %d,%v want %d,%v", step, k, got, ok, want, existed)
+			}
+		}
+		if h.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, h.Len(), len(ref))
+		}
+	}
+	if bad := h.CheckInvariants(); bad != "" {
+		t.Fatal(bad)
+	}
+}
+
+func TestQuickInsertEraseRoundTrip(t *testing.T) {
+	f := func(keys []uint16) bool {
+		h := New[uint16, int](nil, 8, func(k uint16) uint64 { return HashUint64(uint64(k)) })
+		uniq := map[uint16]bool{}
+		for _, k := range keys {
+			h.Insert(k, int(k))
+			uniq[k] = true
+		}
+		if h.Len() != len(uniq) {
+			return false
+		}
+		for k := range uniq {
+			if !h.Contains(k) {
+				return false
+			}
+			if !h.Erase(k) {
+				return false
+			}
+		}
+		return h.Len() == 0 && h.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterateVisitsEverything(t *testing.T) {
+	h := newU64(t, nil)
+	for i := uint64(0); i < 100; i++ {
+		h.Insert(i, i)
+	}
+	seen := map[uint64]bool{}
+	n := h.Iterate(-1, func(k, v uint64) {
+		if v != k {
+			t.Fatalf("value mismatch for %d", k)
+		}
+		seen[k] = true
+	})
+	if n != 100 || len(seen) != 100 {
+		t.Fatalf("iterate visited %d unique %d", n, len(seen))
+	}
+	if n := h.Iterate(7, nil); n != 7 {
+		t.Fatalf("partial iterate visited %d", n)
+	}
+}
+
+func TestFindCostIsConstantish(t *testing.T) {
+	h := newU64(t, nil)
+	for i := uint64(0); i < 1<<14; i++ {
+		h.Insert(i, i)
+	}
+	st := h.Stats()
+	st.Reset()
+	for i := uint64(0); i < 1000; i++ {
+		h.Find(i * 16)
+	}
+	avg := float64(st.Cost[opstats.OpFind]) / 1000
+	if avg > 4 { // bucket read + ~load-factor chain nodes
+		t.Fatalf("average find cost %.2f too high for a hash table", avg)
+	}
+}
+
+func TestClearAndMemory(t *testing.T) {
+	cm := mem.NewCounting()
+	h := New[uint64, uint64](cm, 16, HashUint64)
+	for i := uint64(0); i < 1000; i++ {
+		h.Insert(i, i)
+	}
+	h.Clear()
+	if h.Len() != 0 {
+		t.Fatal("Clear left entries")
+	}
+	// Only the fresh initial bucket array may remain live.
+	if cm.Live != 16*8 {
+		t.Fatalf("live bytes after Clear = %d, want %d", cm.Live, 16*8)
+	}
+}
+
+func TestNilHashPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with nil hash did not panic")
+		}
+	}()
+	New[int, int](nil, 8, nil)
+}
+
+func TestHashUint64Avalanche(t *testing.T) {
+	// Neighbouring keys must not map to neighbouring hashes for the table
+	// to spread; check a weak avalanche property.
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if HashUint64(i)&0xF == HashUint64(i+1)&0xF {
+			same++
+		}
+	}
+	if same > 200 { // expectation ~62
+		t.Fatalf("low bits collide for %d/1000 neighbours", same)
+	}
+}

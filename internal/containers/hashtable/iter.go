@@ -1,0 +1,45 @@
+package hashtable
+
+// Iter is an iterator over a table in bucket order. Invalidated by any
+// mutation (a rehash relinks every node).
+type Iter[K comparable, V any] struct {
+	t      *Table[K, V]
+	bucket int
+	cur    *node[K, V]
+}
+
+// Begin returns an iterator at the first entry in bucket order.
+func (t *Table[K, V]) Begin() Iter[K, V] {
+	it := Iter[K, V]{t: t, bucket: -1}
+	it.advanceBucket()
+	return it
+}
+
+// advanceBucket moves to the head of the next non-empty bucket.
+func (it *Iter[K, V]) advanceBucket() {
+	it.cur = nil
+	for it.bucket++; it.bucket < len(it.t.buckets); it.bucket++ {
+		it.t.readBucket(it.bucket)
+		if head := it.t.buckets[it.bucket]; head != nil {
+			it.cur = head
+			return
+		}
+	}
+}
+
+// Next returns the current entry and advances; ok is false past the end.
+// Skipping empty buckets costs a bucket-array read each, the overhead that
+// makes hash-table iteration slower than its O(1) lookups suggest.
+func (it *Iter[K, V]) Next() (k K, v V, ok bool) {
+	if it.cur == nil {
+		return k, v, false
+	}
+	it.t.model.Read(it.cur.addr, it.t.nodeBytes)
+	k, v = it.cur.key, it.cur.val
+	if it.cur.next != nil {
+		it.cur = it.cur.next
+	} else {
+		it.advanceBucket()
+	}
+	return k, v, true
+}

@@ -1,0 +1,54 @@
+package hashtable
+
+import "testing"
+
+func TestIterVisitsEverythingOnce(t *testing.T) {
+	h := New[uint64, uint64](nil, 16, HashUint64)
+	const n = 300
+	for i := uint64(0); i < n; i++ {
+		h.Insert(i, i*2)
+	}
+	seen := map[uint64]uint64{}
+	it := h.Begin()
+	for {
+		k, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		if _, dup := seen[k]; dup {
+			t.Fatalf("key %d visited twice", k)
+		}
+		seen[k] = v
+	}
+	if len(seen) != n {
+		t.Fatalf("visited %d of %d", len(seen), n)
+	}
+	for k, v := range seen {
+		if v != k*2 {
+			t.Fatalf("value for %d = %d", k, v)
+		}
+	}
+}
+
+func TestIterEmptyTable(t *testing.T) {
+	h := New[uint64, uint64](nil, 16, HashUint64)
+	it := h.Begin()
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("empty table yielded an entry")
+	}
+}
+
+func TestIterMatchesBucketOrder(t *testing.T) {
+	h := New[uint64, uint64](nil, 16, HashUint64)
+	for i := uint64(0); i < 50; i++ {
+		h.Insert(i, i)
+	}
+	want := h.Keys()
+	it := h.Begin()
+	for i := 0; i < len(want); i++ {
+		k, _, ok := it.Next()
+		if !ok || k != want[i] {
+			t.Fatalf("position %d: got %d want %d", i, k, want[i])
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package list
+
+// Iter is a forward iterator over a list. Mutating the list while
+// iterating invalidates the iterator unless the mutation is at another
+// position, matching std::list's stability guarantees loosely.
+type Iter[T any] struct {
+	l   *List[T]
+	cur *node[T]
+}
+
+// Begin returns an iterator at the first element.
+func (l *List[T]) Begin() Iter[T] { return Iter[T]{l: l, cur: l.head} }
+
+// Next returns the current element and advances; ok is false past the end.
+// Each advance is a dependent node load.
+func (it *Iter[T]) Next() (x T, ok bool) {
+	if it.cur == nil {
+		return x, false
+	}
+	it.l.touchNode(it.cur)
+	x = it.cur.val
+	it.cur = it.cur.next
+	return x, true
+}

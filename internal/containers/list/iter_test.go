@@ -1,0 +1,29 @@
+package list
+
+import "testing"
+
+func TestIterVisitsAllInOrder(t *testing.T) {
+	l := New[string](nil, 24)
+	words := []string{"a", "b", "c", "d"}
+	for _, w := range words {
+		l.PushBack(w)
+	}
+	it := l.Begin()
+	for _, w := range words {
+		x, ok := it.Next()
+		if !ok || x != w {
+			t.Fatalf("got %q,%v want %q", x, ok, w)
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("iterator ran past the end")
+	}
+}
+
+func TestIterEmpty(t *testing.T) {
+	l := New[int](nil, 8)
+	it := l.Begin()
+	if _, ok := it.Next(); ok {
+		t.Fatal("empty list yielded an element")
+	}
+}

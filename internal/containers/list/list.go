@@ -1,0 +1,303 @@
+// Package list implements a doubly linked list, the analog of std::list.
+// Every node is a separate simulated allocation, so traversal is pointer
+// chasing: linear search and iteration pay a potential cache miss per node,
+// while insertion and removal at a known position are O(1) with no shifting.
+// This is the locality/mutation-cost trade against vector at the heart of
+// the paper's motivating example.
+package list
+
+import (
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+// Branch sites inside list code.
+const (
+	siteFindCmp mem.BranchSite = 0x200 // comparison loop in find
+	siteWalk    mem.BranchSite = 0x201 // "reached position?" walk loop
+)
+
+const ptrBytes = 8 // simulated pointer size
+
+type node[T any] struct {
+	prev, next *node[T]
+	addr       mem.Addr
+	val        T
+}
+
+// List is a doubly linked list of T. Construct with New.
+type List[T any] struct {
+	head, tail *node[T]
+	size       int
+	model      mem.Model
+	elemSize   uint64
+	nodeBytes  uint64
+	stats      opstats.Stats
+}
+
+// New returns an empty list bound to the given memory model. elemSize is the
+// simulated payload size in bytes; each node additionally carries two
+// pointers. A nil model defaults to mem.Nop.
+func New[T any](model mem.Model, elemSize uint64) *List[T] {
+	if model == nil {
+		model = mem.Nop{}
+	}
+	if elemSize == 0 {
+		elemSize = 8
+	}
+	return &List[T]{model: model, elemSize: elemSize, nodeBytes: elemSize + 2*ptrBytes}
+}
+
+// Stats exposes the container's accumulated software features.
+func (l *List[T]) Stats() *opstats.Stats {
+	l.stats.ElemSize = l.elemSize
+	return &l.stats
+}
+
+// Len returns the number of elements.
+func (l *List[T]) Len() int { return l.size }
+
+func (l *List[T]) newNode(x T) *node[T] {
+	n := &node[T]{val: x}
+	n.addr = l.model.Alloc(l.nodeBytes, 8)
+	l.model.Write(n.addr, l.nodeBytes)
+	return n
+}
+
+// touchNode models reading a node's links and payload while traversing.
+func (l *List[T]) touchNode(n *node[T]) {
+	l.model.Read(n.addr, l.nodeBytes)
+}
+
+// PushBack appends x.
+func (l *List[T]) PushBack(x T) {
+	n := l.newNode(x)
+	if l.tail == nil {
+		l.head, l.tail = n, n
+	} else {
+		l.model.Write(l.tail.addr, ptrBytes) // patch tail.next
+		n.prev = l.tail
+		l.tail.next = n
+		l.tail = n
+	}
+	l.size++
+	l.stats.Observe(opstats.OpPushBack, 1)
+	l.stats.NoteLen(l.size)
+}
+
+// PushFront prepends x. push_front frequency is one of the paper's selected
+// features for order-aware lists (Table 3): it distinguishes deque-friendly
+// workloads.
+func (l *List[T]) PushFront(x T) {
+	n := l.newNode(x)
+	if l.head == nil {
+		l.head, l.tail = n, n
+	} else {
+		l.model.Write(l.head.addr, ptrBytes)
+		n.next = l.head
+		l.head.prev = n
+		l.head = n
+	}
+	l.size++
+	l.stats.Observe(opstats.OpPushFront, 1)
+	l.stats.NoteLen(l.size)
+}
+
+// PopBack removes and returns the last element; ok is false when empty.
+func (l *List[T]) PopBack() (x T, ok bool) {
+	if l.tail == nil {
+		return x, false
+	}
+	n := l.tail
+	l.touchNode(n)
+	l.tail = n.prev
+	if l.tail == nil {
+		l.head = nil
+	} else {
+		l.model.Write(l.tail.addr, ptrBytes)
+		l.tail.next = nil
+	}
+	l.model.Free(n.addr, l.nodeBytes)
+	l.size--
+	l.stats.Observe(opstats.OpPopBack, 1)
+	return n.val, true
+}
+
+// PopFront removes and returns the first element; ok is false when empty.
+func (l *List[T]) PopFront() (x T, ok bool) {
+	if l.head == nil {
+		return x, false
+	}
+	n := l.head
+	l.touchNode(n)
+	l.head = n.next
+	if l.head == nil {
+		l.tail = nil
+	} else {
+		l.model.Write(l.head.addr, ptrBytes)
+		l.head.prev = nil
+	}
+	l.model.Free(n.addr, l.nodeBytes)
+	l.size--
+	l.stats.Observe(opstats.OpPopFront, 1)
+	return n.val, true
+}
+
+// walkTo returns the node at position i (0-based), touching every node on
+// the way from the nearer end, and the number of nodes touched.
+func (l *List[T]) walkTo(i int) (*node[T], uint64) {
+	var touched uint64
+	if i < l.size/2 {
+		n := l.head
+		for k := 0; k < i; k++ {
+			l.model.Branch(siteWalk, true)
+			l.touchNode(n)
+			touched++
+			n = n.next
+		}
+		l.model.Branch(siteWalk, false)
+		return n, touched
+	}
+	n := l.tail
+	for k := l.size - 1; k > i; k-- {
+		l.model.Branch(siteWalk, true)
+		l.touchNode(n)
+		touched++
+		n = n.prev
+	}
+	l.model.Branch(siteWalk, false)
+	return n, touched
+}
+
+// Insert places x before position i. Walking to the position costs one node
+// touch per step; the splice itself is O(1).
+func (l *List[T]) Insert(i int, x T) {
+	if i <= 0 {
+		l.PushFront(x)
+		return
+	}
+	if i >= l.size {
+		l.PushBack(x)
+		return
+	}
+	at, touched := l.walkTo(i)
+	n := l.newNode(x)
+	n.prev = at.prev
+	n.next = at
+	l.model.Write(at.prev.addr, ptrBytes)
+	l.model.Write(at.addr, ptrBytes)
+	at.prev.next = n
+	at.prev = n
+	l.size++
+	l.stats.Observe(opstats.OpInsert, touched+1)
+	l.stats.NoteLen(l.size)
+}
+
+// Erase removes the element at position i; it returns false when i is out
+// of range.
+func (l *List[T]) Erase(i int) bool {
+	if i < 0 || i >= l.size {
+		return false
+	}
+	n, touched := l.walkTo(i)
+	l.unlink(n)
+	l.stats.Observe(opstats.OpErase, touched+1)
+	return true
+}
+
+func (l *List[T]) unlink(n *node[T]) {
+	if n.prev != nil {
+		l.model.Write(n.prev.addr, ptrBytes)
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		l.model.Write(n.next.addr, ptrBytes)
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	l.model.Free(n.addr, l.nodeBytes)
+	l.size--
+}
+
+// Find walks from the front and returns the position of the first element
+// satisfying eq, or -1. The cost is the number of nodes touched.
+func (l *List[T]) Find(eq func(T) bool) int {
+	touched := uint64(0)
+	idx := -1
+	i := 0
+	for n := l.head; n != nil; n = n.next {
+		touched++
+		l.touchNode(n)
+		hit := eq(n.val)
+		l.model.Branch(siteFindCmp, hit)
+		if hit {
+			idx = i
+			break
+		}
+		i++
+	}
+	l.stats.Observe(opstats.OpFind, touched)
+	return idx
+}
+
+// FindErase removes the first element satisfying eq and reports whether one
+// was found. It models std::list::remove-style search-then-unlink without a
+// second walk.
+func (l *List[T]) FindErase(eq func(T) bool) bool {
+	touched := uint64(0)
+	for n := l.head; n != nil; n = n.next {
+		touched++
+		l.touchNode(n)
+		hit := eq(n.val)
+		l.model.Branch(siteFindCmp, hit)
+		if hit {
+			l.unlink(n)
+			l.stats.Observe(opstats.OpErase, touched)
+			return true
+		}
+	}
+	l.stats.Observe(opstats.OpErase, touched)
+	return false
+}
+
+// Iterate visits up to n elements from the front, calling fn for each, and
+// returns the number visited. n < 0 visits all elements.
+func (l *List[T]) Iterate(n int, fn func(T)) int {
+	if n < 0 || n > l.size {
+		n = l.size
+	}
+	visited := 0
+	for cur := l.head; cur != nil && visited < n; cur = cur.next {
+		l.touchNode(cur)
+		if fn != nil {
+			fn(cur.val)
+		}
+		visited++
+	}
+	l.stats.Observe(opstats.OpIterate, uint64(visited))
+	return visited
+}
+
+// Clear removes all elements, freeing every node.
+func (l *List[T]) Clear() {
+	for n := l.head; n != nil; {
+		next := n.next
+		l.model.Free(n.addr, l.nodeBytes)
+		n = next
+	}
+	l.head, l.tail = nil, nil
+	l.size = 0
+	l.stats.Observe(opstats.OpClear, 1)
+}
+
+// Values returns a copy of the contents in order. Intended for tests.
+func (l *List[T]) Values() []T {
+	out := make([]T, 0, l.size)
+	for n := l.head; n != nil; n = n.next {
+		out = append(out, n.val)
+	}
+	return out
+}

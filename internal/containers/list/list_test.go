@@ -1,0 +1,227 @@
+package list
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+func TestPushPopEnds(t *testing.T) {
+	l := New[int](nil, 8)
+	l.PushBack(2)
+	l.PushFront(1)
+	l.PushBack(3) // 1 2 3
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if x, ok := l.PopFront(); !ok || x != 1 {
+		t.Fatalf("PopFront = %d,%v", x, ok)
+	}
+	if x, ok := l.PopBack(); !ok || x != 3 {
+		t.Fatalf("PopBack = %d,%v", x, ok)
+	}
+	if x, ok := l.PopFront(); !ok || x != 2 {
+		t.Fatalf("PopFront = %d,%v", x, ok)
+	}
+	if _, ok := l.PopFront(); ok {
+		t.Fatal("PopFront on empty succeeded")
+	}
+	if _, ok := l.PopBack(); ok {
+		t.Fatal("PopBack on empty succeeded")
+	}
+}
+
+func TestInsertWalksFromNearestEnd(t *testing.T) {
+	l := New[int](nil, 8)
+	for i := 0; i < 6; i++ {
+		l.PushBack(i) // 0..5
+	}
+	l.Insert(3, 99)
+	want := []int{0, 1, 2, 99, 3, 4, 5}
+	got := l.Values()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+	// Insert near the back should walk from the tail: cost < size.
+	st := l.Stats()
+	if st.Count[opstats.OpInsert] != 1 {
+		t.Fatalf("insert count = %d", st.Count[opstats.OpInsert])
+	}
+}
+
+func TestInsertAtEndsDelegates(t *testing.T) {
+	l := New[int](nil, 8)
+	l.Insert(0, 5)  // push front on empty
+	l.Insert(99, 9) // push back
+	l.Insert(0, 1)  // push front
+	want := []int{1, 5, 9}
+	got := l.Values()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+	st := l.Stats()
+	if st.Count[opstats.OpPushFront] != 2 || st.Count[opstats.OpPushBack] != 1 {
+		t.Fatalf("push counts = %d front, %d back", st.Count[opstats.OpPushFront], st.Count[opstats.OpPushBack])
+	}
+}
+
+func TestEraseByPosition(t *testing.T) {
+	l := New[int](nil, 8)
+	for i := 0; i < 5; i++ {
+		l.PushBack(i)
+	}
+	if !l.Erase(2) {
+		t.Fatal("Erase(2) failed")
+	}
+	want := []int{0, 1, 3, 4}
+	got := l.Values()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+	if l.Erase(99) || l.Erase(-1) {
+		t.Fatal("out-of-range erase succeeded")
+	}
+}
+
+func TestFindErase(t *testing.T) {
+	l := New[int](nil, 8)
+	for i := 0; i < 5; i++ {
+		l.PushBack(i * 10)
+	}
+	if !l.FindErase(func(x int) bool { return x == 30 }) {
+		t.Fatal("FindErase(30) failed")
+	}
+	if l.FindErase(func(x int) bool { return x == 30 }) {
+		t.Fatal("FindErase found erased element")
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+}
+
+func TestFindCost(t *testing.T) {
+	l := New[int](nil, 8)
+	for i := 0; i < 10; i++ {
+		l.PushBack(i)
+	}
+	l.Find(func(x int) bool { return x == 4 })
+	st := l.Stats()
+	if st.Cost[opstats.OpFind] != 5 {
+		t.Fatalf("find cost = %d, want 5", st.Cost[opstats.OpFind])
+	}
+}
+
+func TestMemoryLifecycle(t *testing.T) {
+	cm := mem.NewCounting()
+	l := New[uint64](cm, 8)
+	for i := 0; i < 50; i++ {
+		l.PushBack(uint64(i))
+	}
+	if cm.Allocs != 50 {
+		t.Fatalf("allocs = %d, want 50 (one per node)", cm.Allocs)
+	}
+	l.Clear()
+	if cm.Live != 0 {
+		t.Fatalf("leaked %d simulated bytes", cm.Live)
+	}
+	if l.Len() != 0 {
+		t.Fatal("Clear left elements")
+	}
+}
+
+func TestPointerChasingTouchesEveryNode(t *testing.T) {
+	cm := mem.NewCounting()
+	l := New[uint64](cm, 8)
+	for i := 0; i < 100; i++ {
+		l.PushBack(uint64(i))
+	}
+	before := cm.Reads
+	l.Iterate(-1, nil)
+	if cm.Reads-before != 100 {
+		t.Fatalf("iterate reads = %d, want 100", cm.Reads-before)
+	}
+}
+
+func TestDifferentialAgainstSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := New[int](nil, 8)
+	var ref []int
+	for step := 0; step < 4000; step++ {
+		switch op := rng.Intn(6); {
+		case op == 0 || len(ref) == 0:
+			x := rng.Intn(500)
+			l.PushBack(x)
+			ref = append(ref, x)
+		case op == 1:
+			x := rng.Intn(500)
+			l.PushFront(x)
+			ref = append([]int{x}, ref...)
+		case op == 2:
+			i := rng.Intn(len(ref) + 1)
+			x := rng.Intn(500)
+			l.Insert(i, x)
+			ref = append(ref, 0)
+			copy(ref[i+1:], ref[i:])
+			ref[i] = x
+		case op == 3:
+			i := rng.Intn(len(ref))
+			l.Erase(i)
+			ref = append(ref[:i], ref[i+1:]...)
+		case op == 4:
+			x := rng.Intn(500)
+			want := -1
+			for i, r := range ref {
+				if r == x {
+					want = i
+					break
+				}
+			}
+			if got := l.Find(func(e int) bool { return e == x }); got != want {
+				t.Fatalf("step %d: Find(%d) = %d, want %d", step, x, got, want)
+			}
+		default:
+			if len(ref) > 0 {
+				l.PopBack()
+				ref = ref[:len(ref)-1]
+			}
+		}
+		if l.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, l.Len(), len(ref))
+		}
+	}
+	got := l.Values()
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("final contents diverge at %d: %d vs %d", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestQuickPushPopSymmetry(t *testing.T) {
+	f := func(xs []uint32) bool {
+		l := New[uint32](nil, 4)
+		for _, x := range xs {
+			l.PushFront(x)
+		}
+		// Popping from the back must return the original order.
+		for _, x := range xs {
+			got, ok := l.PopBack()
+			if !ok || got != x {
+				return false
+			}
+		}
+		return l.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

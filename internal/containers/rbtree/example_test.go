@@ -1,0 +1,47 @@
+package rbtree_test
+
+import (
+	"fmt"
+
+	"repro/internal/containers/rbtree"
+)
+
+func Example() {
+	// A red-black map from int to string, unattached to any simulated
+	// machine (nil model): plain library use.
+	t := rbtree.New[int, string](nil, 16)
+	t.Insert(3, "three")
+	t.Insert(1, "one")
+	t.Insert(2, "two")
+	if v, ok := t.Find(2); ok {
+		fmt.Println("found:", v)
+	}
+	t.Iterate(-1, func(k int, v string) { fmt.Println(k, v) })
+	// Output:
+	// found: two
+	// 1 one
+	// 2 two
+	// 3 three
+}
+
+func ExampleTree_Range() {
+	t := rbtree.New[int, struct{}](nil, 8)
+	for _, k := range []int{10, 40, 20, 30, 50} {
+		t.Insert(k, struct{}{})
+	}
+	t.Range(20, 40, func(k int, _ struct{}) { fmt.Println(k) })
+	// Output:
+	// 20
+	// 30
+	// 40
+}
+
+func ExampleTree_Floor() {
+	t := rbtree.New[int, string](nil, 16)
+	t.Insert(10, "ten")
+	t.Insert(20, "twenty")
+	k, v, _ := t.Floor(15)
+	fmt.Println(k, v)
+	// Output:
+	// 10 ten
+}

@@ -1,0 +1,43 @@
+package rbtree
+
+import "testing"
+
+// FuzzTreeOps drives the tree with an arbitrary byte-encoded operation
+// stream against a map model and checks the red-black invariants hold at
+// the end. Run with `go test -fuzz=FuzzTreeOps ./internal/containers/rbtree`.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 255, 255, 255})
+	f.Add([]byte{9, 1, 9, 1, 9, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tr := New[uint8, int](nil, 8)
+		ref := map[uint8]bool{}
+		for i := 0; i+1 < len(ops); i += 2 {
+			key := ops[i+1]
+			switch ops[i] % 3 {
+			case 0:
+				added := tr.Insert(key, int(key))
+				if added == ref[key] {
+					t.Fatalf("Insert(%d) added=%v, ref has %v", key, added, ref[key])
+				}
+				ref[key] = true
+			case 1:
+				removed := tr.Erase(key)
+				if removed != ref[key] {
+					t.Fatalf("Erase(%d) removed=%v, ref has %v", key, removed, ref[key])
+				}
+				delete(ref, key)
+			case 2:
+				if tr.Contains(key) != ref[key] {
+					t.Fatalf("Contains(%d) mismatch", key)
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+		}
+		if bad := tr.CheckInvariants(); bad != "" {
+			t.Fatal(bad)
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package rbtree
+
+import "cmp"
+
+// Iter is an in-order iterator over a tree. Invalidated by any mutation.
+type Iter[K cmp.Ordered, V any] struct {
+	t   *Tree[K, V]
+	cur *node[K, V]
+}
+
+// Begin returns an iterator at the smallest key.
+func (t *Tree[K, V]) Begin() Iter[K, V] {
+	it := Iter[K, V]{t: t, cur: t.nilNode}
+	if t.root != t.nilNode {
+		it.cur = t.minimum(t.root)
+	}
+	return it
+}
+
+// Next returns the current entry and advances in key order; ok is false
+// past the end. Advancing walks parent/child links like an STL tree
+// iterator's ++.
+func (it *Iter[K, V]) Next() (k K, v V, ok bool) {
+	if it.t == nil || it.cur == nil || it.cur == it.t.nilNode {
+		return k, v, false
+	}
+	it.t.touch(it.cur)
+	k, v = it.cur.key, it.cur.val
+	it.cur = it.t.successor(it.cur)
+	return k, v, true
+}

@@ -1,0 +1,37 @@
+package rbtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIterSortedOrder(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	rng := rand.New(rand.NewSource(4))
+	want := rng.Perm(500)
+	for _, k := range want {
+		tr.Insert(k, k+1)
+	}
+	it := tr.Begin()
+	for i := 0; i < 500; i++ {
+		k, v, ok := it.Next()
+		if !ok || k != i || v != i+1 {
+			t.Fatalf("step %d: %d,%d,%v", i, k, v, ok)
+		}
+	}
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("iterator ran past the end")
+	}
+}
+
+func TestIterEmpty(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	it := tr.Begin()
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("empty tree yielded an entry")
+	}
+	var zero Iter[int, int]
+	if _, _, ok := zero.Next(); ok {
+		t.Fatal("zero iterator yielded an entry")
+	}
+}

@@ -1,0 +1,568 @@
+// Package rbtree implements a red-black tree with unique keys, the analog of
+// std::set / std::map in libstdc++. Lookup, insertion, and removal descend
+// from the root, paying one node read and one data-dependent comparison
+// branch per level — the pointer-chasing, mispredict-prone behaviour that
+// makes trees lose to hash tables and even to linear vector scans at small
+// sizes on real microarchitectures, which is exactly what Brainy's models
+// must learn.
+package rbtree
+
+import (
+	"cmp"
+
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+// Branch sites inside red-black tree code.
+const (
+	siteCmpLess mem.BranchSite = 0x400 // key < node.key during descent
+	siteCmpEq   mem.BranchSite = 0x401 // key == node.key (search hit)
+	siteFixup   mem.BranchSite = 0x402 // rebalancing-loop condition
+)
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+const nodeOverhead = 32 // 3 pointers + color word in the simulated layout
+
+type node[K cmp.Ordered, V any] struct {
+	left, right, parent *node[K, V]
+	col                 color
+	addr                mem.Addr
+	key                 K
+	val                 V
+}
+
+// Tree is a red-black tree mapping K to V with unique keys.
+// Construct with New. Use V = struct{} for set semantics.
+type Tree[K cmp.Ordered, V any] struct {
+	root      *node[K, V]
+	nilNode   *node[K, V] // CLRS sentinel: black, shared leaf/parent-of-root
+	size      int
+	model     mem.Model
+	elemSize  uint64
+	nodeBytes uint64
+	stats     opstats.Stats
+}
+
+// New returns an empty tree bound to the given memory model. elemSize is
+// the simulated key+value payload size in bytes. A nil model defaults to
+// mem.Nop.
+func New[K cmp.Ordered, V any](model mem.Model, elemSize uint64) *Tree[K, V] {
+	if model == nil {
+		model = mem.Nop{}
+	}
+	if elemSize == 0 {
+		elemSize = 8
+	}
+	t := &Tree[K, V]{model: model, elemSize: elemSize, nodeBytes: elemSize + nodeOverhead}
+	t.nilNode = &node[K, V]{col: black}
+	t.nilNode.left = t.nilNode
+	t.nilNode.right = t.nilNode
+	t.nilNode.parent = t.nilNode
+	t.root = t.nilNode
+	return t
+}
+
+// Stats exposes the container's accumulated software features.
+func (t *Tree[K, V]) Stats() *opstats.Stats {
+	t.stats.ElemSize = t.elemSize
+	return &t.stats
+}
+
+// Len returns the number of keys.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+func (t *Tree[K, V]) touch(n *node[K, V]) {
+	if n != t.nilNode {
+		t.model.Read(n.addr, t.nodeBytes)
+	}
+}
+
+func (t *Tree[K, V]) writeNode(n *node[K, V]) {
+	if n != t.nilNode {
+		t.model.Write(n.addr, t.nodeBytes)
+	}
+}
+
+// lookup descends to the node holding key, or to the would-be parent.
+// It returns (node-or-nil, parent, nodes touched).
+func (t *Tree[K, V]) lookup(key K) (n, parent *node[K, V], touched uint64) {
+	parent = t.nilNode
+	n = t.root
+	for n != t.nilNode {
+		touched++
+		t.touch(n)
+		eq := key == n.key
+		t.model.Branch(siteCmpEq, eq)
+		if eq {
+			return n, parent, touched
+		}
+		less := key < n.key
+		t.model.Branch(siteCmpLess, less)
+		parent = n
+		if less {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return t.nilNode, parent, touched
+}
+
+// Find returns the value stored under key.
+func (t *Tree[K, V]) Find(key K) (V, bool) {
+	n, _, touched := t.lookup(key)
+	t.stats.Observe(opstats.OpFind, touched)
+	if n == t.nilNode {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Contains reports whether key is present.
+func (t *Tree[K, V]) Contains(key K) bool {
+	_, ok := t.Find(key)
+	return ok
+}
+
+// Insert adds key→val; it returns false (and overwrites the value) when the
+// key was already present.
+func (t *Tree[K, V]) Insert(key K, val V) bool {
+	n, parent, touched := t.lookup(key)
+	if n != t.nilNode {
+		t.writeNode(n)
+		n.val = val
+		t.stats.Observe(opstats.OpInsert, touched)
+		return false
+	}
+	z := &node[K, V]{left: t.nilNode, right: t.nilNode, parent: parent, key: key, val: val}
+	z.addr = t.model.Alloc(t.nodeBytes, 8)
+	t.writeNode(z)
+	if parent == t.nilNode {
+		t.root = z
+	} else {
+		t.writeNode(parent)
+		if key < parent.key {
+			parent.left = z
+		} else {
+			parent.right = z
+		}
+	}
+	t.insertFixup(z)
+	t.size++
+	t.stats.Observe(opstats.OpInsert, touched+1)
+	t.stats.NoteLen(t.size)
+	return true
+}
+
+func (t *Tree[K, V]) rotateLeft(x *node[K, V]) {
+	y := x.right
+	t.touch(y)
+	x.right = y.left
+	if y.left != t.nilNode {
+		t.writeNode(y.left)
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nilNode:
+		t.root = y
+	case x == x.parent.left:
+		t.writeNode(x.parent)
+		x.parent.left = y
+	default:
+		t.writeNode(x.parent)
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+	t.writeNode(x)
+	t.writeNode(y)
+	t.stats.Rotations++
+}
+
+func (t *Tree[K, V]) rotateRight(x *node[K, V]) {
+	y := x.left
+	t.touch(y)
+	x.left = y.right
+	if y.right != t.nilNode {
+		t.writeNode(y.right)
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nilNode:
+		t.root = y
+	case x == x.parent.right:
+		t.writeNode(x.parent)
+		x.parent.right = y
+	default:
+		t.writeNode(x.parent)
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+	t.writeNode(x)
+	t.writeNode(y)
+	t.stats.Rotations++
+}
+
+func (t *Tree[K, V]) insertFixup(z *node[K, V]) {
+	for {
+		violating := z.parent.col == red
+		t.model.Branch(siteFixup, violating)
+		if !violating {
+			break
+		}
+		if z.parent == z.parent.parent.left {
+			y := z.parent.parent.right // uncle
+			t.touch(y)
+			if y.col == red {
+				z.parent.col = black
+				y.col = black
+				z.parent.parent.col = red
+				t.writeNode(z.parent)
+				t.writeNode(y)
+				t.writeNode(z.parent.parent)
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.col = black
+				z.parent.parent.col = red
+				t.writeNode(z.parent)
+				t.writeNode(z.parent.parent)
+				t.rotateRight(z.parent.parent)
+			}
+		} else {
+			y := z.parent.parent.left
+			t.touch(y)
+			if y.col == red {
+				z.parent.col = black
+				y.col = black
+				z.parent.parent.col = red
+				t.writeNode(z.parent)
+				t.writeNode(y)
+				t.writeNode(z.parent.parent)
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.col = black
+				z.parent.parent.col = red
+				t.writeNode(z.parent)
+				t.writeNode(z.parent.parent)
+				t.rotateLeft(z.parent.parent)
+			}
+		}
+	}
+	if t.root.col != black {
+		t.root.col = black
+		t.writeNode(t.root)
+	}
+}
+
+func (t *Tree[K, V]) minimum(n *node[K, V]) *node[K, V] {
+	for n.left != t.nilNode {
+		t.touch(n)
+		n = n.left
+	}
+	return n
+}
+
+func (t *Tree[K, V]) transplant(u, v *node[K, V]) {
+	switch {
+	case u.parent == t.nilNode:
+		t.root = v
+	case u == u.parent.left:
+		t.writeNode(u.parent)
+		u.parent.left = v
+	default:
+		t.writeNode(u.parent)
+		u.parent.right = v
+	}
+	v.parent = u.parent // sentinel's parent is used by deleteFixup
+}
+
+// Erase removes key and reports whether it was present.
+func (t *Tree[K, V]) Erase(key K) bool {
+	z, _, touched := t.lookup(key)
+	if z == t.nilNode {
+		t.stats.Observe(opstats.OpErase, touched)
+		return false
+	}
+	y := z
+	yOrigColor := y.col
+	var x *node[K, V]
+	switch {
+	case z.left == t.nilNode:
+		x = z.right
+		t.transplant(z, z.right)
+	case z.right == t.nilNode:
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		touched++
+		t.touch(y)
+		yOrigColor = y.col
+		x = y.right
+		if y.parent == z {
+			x.parent = y
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+			t.writeNode(y.right)
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.col = z.col
+		t.writeNode(y)
+		t.writeNode(y.left)
+	}
+	t.model.Free(z.addr, t.nodeBytes)
+	if yOrigColor == black {
+		t.deleteFixup(x)
+	}
+	t.size--
+	t.stats.Observe(opstats.OpErase, touched+1)
+	return true
+}
+
+func (t *Tree[K, V]) deleteFixup(x *node[K, V]) {
+	for {
+		looping := x != t.root && x.col == black
+		t.model.Branch(siteFixup, looping)
+		if !looping {
+			break
+		}
+		if x == x.parent.left {
+			w := x.parent.right
+			t.touch(w)
+			if w.col == red {
+				w.col = black
+				x.parent.col = red
+				t.writeNode(w)
+				t.writeNode(x.parent)
+				t.rotateLeft(x.parent)
+				w = x.parent.right
+				t.touch(w)
+			}
+			if w.left.col == black && w.right.col == black {
+				w.col = red
+				t.writeNode(w)
+				x = x.parent
+			} else {
+				if w.right.col == black {
+					w.left.col = black
+					w.col = red
+					t.writeNode(w.left)
+					t.writeNode(w)
+					t.rotateRight(w)
+					w = x.parent.right
+					t.touch(w)
+				}
+				w.col = x.parent.col
+				x.parent.col = black
+				w.right.col = black
+				t.writeNode(w)
+				t.writeNode(x.parent)
+				t.writeNode(w.right)
+				t.rotateLeft(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			t.touch(w)
+			if w.col == red {
+				w.col = black
+				x.parent.col = red
+				t.writeNode(w)
+				t.writeNode(x.parent)
+				t.rotateRight(x.parent)
+				w = x.parent.left
+				t.touch(w)
+			}
+			if w.right.col == black && w.left.col == black {
+				w.col = red
+				t.writeNode(w)
+				x = x.parent
+			} else {
+				if w.left.col == black {
+					w.right.col = black
+					w.col = red
+					t.writeNode(w.right)
+					t.writeNode(w)
+					t.rotateLeft(w)
+					w = x.parent.left
+					t.touch(w)
+				}
+				w.col = x.parent.col
+				x.parent.col = black
+				w.left.col = black
+				t.writeNode(w)
+				t.writeNode(x.parent)
+				t.writeNode(w.left)
+				t.rotateRight(x.parent)
+				x = t.root
+			}
+		}
+	}
+	if x.col != black {
+		x.col = black
+		t.writeNode(x)
+	}
+}
+
+// successor returns the in-order successor of n, touching walked nodes.
+func (t *Tree[K, V]) successor(n *node[K, V]) *node[K, V] {
+	if n.right != t.nilNode {
+		m := n.right
+		t.touch(m)
+		for m.left != t.nilNode {
+			m = m.left
+			t.touch(m)
+		}
+		return m
+	}
+	p := n.parent
+	for p != t.nilNode && n == p.right {
+		t.touch(p)
+		n = p
+		p = p.parent
+	}
+	return p
+}
+
+// Iterate visits up to n keys in sorted order, calling fn for each, and
+// returns the number visited. n < 0 visits all keys. Note that iteration
+// over a tree yields the *sorted* sequence, the order-obliviousness caveat
+// of Table 1.
+func (t *Tree[K, V]) Iterate(n int, fn func(K, V)) int {
+	if n < 0 || n > t.size {
+		n = t.size
+	}
+	visited := 0
+	if t.root == t.nilNode {
+		t.stats.Observe(opstats.OpIterate, 0)
+		return 0
+	}
+	cur := t.minimum(t.root)
+	for cur != t.nilNode && visited < n {
+		t.touch(cur)
+		if fn != nil {
+			fn(cur.key, cur.val)
+		}
+		visited++
+		cur = t.successor(cur)
+	}
+	t.stats.Observe(opstats.OpIterate, uint64(visited))
+	return visited
+}
+
+// Min returns the smallest key; ok is false when empty.
+func (t *Tree[K, V]) Min() (k K, ok bool) {
+	if t.root == t.nilNode {
+		return k, false
+	}
+	n := t.minimum(t.root)
+	t.touch(n)
+	return n.key, true
+}
+
+// Clear removes all keys, freeing every node.
+func (t *Tree[K, V]) Clear() {
+	t.freeAll(t.root)
+	t.root = t.nilNode
+	t.size = 0
+	t.stats.Observe(opstats.OpClear, 1)
+}
+
+func (t *Tree[K, V]) freeAll(n *node[K, V]) {
+	if n == t.nilNode {
+		return
+	}
+	t.freeAll(n.left)
+	t.freeAll(n.right)
+	t.model.Free(n.addr, t.nodeBytes)
+}
+
+// Keys returns all keys in sorted order. Intended for tests.
+func (t *Tree[K, V]) Keys() []K {
+	out := make([]K, 0, t.size)
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		if n == t.nilNode {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.key)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// CheckInvariants verifies the red-black properties and the BST ordering,
+// returning a descriptive violation or "" when the tree is valid. It is
+// exported for property-based tests and performs no event accounting.
+func (t *Tree[K, V]) CheckInvariants() string {
+	if t.root.col != black {
+		return "root is not black"
+	}
+	type res struct {
+		blackHeight int
+		bad         string
+	}
+	var check func(n *node[K, V]) res
+	check = func(n *node[K, V]) res {
+		if n == t.nilNode {
+			return res{blackHeight: 1}
+		}
+		if n.col == red && (n.left.col == red || n.right.col == red) {
+			return res{bad: "red node with red child"}
+		}
+		if n.left != t.nilNode && !(n.left.key < n.key) {
+			return res{bad: "left child key not smaller"}
+		}
+		if n.right != t.nilNode && !(n.key < n.right.key) {
+			return res{bad: "right child key not larger"}
+		}
+		l := check(n.left)
+		if l.bad != "" {
+			return l
+		}
+		r := check(n.right)
+		if r.bad != "" {
+			return r
+		}
+		if l.blackHeight != r.blackHeight {
+			return res{bad: "black-height mismatch"}
+		}
+		bh := l.blackHeight
+		if n.col == black {
+			bh++
+		}
+		return res{blackHeight: bh}
+	}
+	if out := check(t.root); out.bad != "" {
+		return out.bad
+	}
+	if got := len(t.Keys()); got != t.size {
+		return "size mismatch"
+	}
+	return ""
+}

@@ -1,0 +1,192 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+func TestInsertFindErase(t *testing.T) {
+	tr := New[int, string](nil, 16)
+	if !tr.Insert(5, "five") {
+		t.Fatal("first insert returned false")
+	}
+	if tr.Insert(5, "FIVE") {
+		t.Fatal("duplicate insert returned true")
+	}
+	v, ok := tr.Find(5)
+	if !ok || v != "FIVE" {
+		t.Fatalf("Find(5) = %q,%v (duplicate insert must overwrite)", v, ok)
+	}
+	if _, ok := tr.Find(6); ok {
+		t.Fatal("Find(6) found missing key")
+	}
+	if !tr.Erase(5) {
+		t.Fatal("Erase(5) failed")
+	}
+	if tr.Erase(5) {
+		t.Fatal("double erase succeeded")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestSortedIteration(t *testing.T) {
+	tr := New[int, struct{}](nil, 8)
+	keys := []int{5, 3, 8, 1, 4, 7, 9, 2, 6, 0}
+	for _, k := range keys {
+		tr.Insert(k, struct{}{})
+	}
+	var got []int
+	tr.Iterate(-1, func(k int, _ struct{}) { got = append(got, k) })
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("iteration order %v", got)
+		}
+	}
+	// Partial iteration visits the smallest n keys.
+	got = got[:0]
+	tr.Iterate(3, func(k int, _ struct{}) { got = append(got, k) })
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("partial iteration %v", got)
+	}
+}
+
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int, int](nil, 16)
+	present := map[int]bool{}
+	for step := 0; step < 20000; step++ {
+		k := rng.Intn(2000)
+		if rng.Intn(3) != 0 {
+			added := tr.Insert(k, k)
+			if added == present[k] {
+				t.Fatalf("step %d: Insert(%d) added=%v but present=%v", step, k, added, present[k])
+			}
+			present[k] = true
+		} else {
+			removed := tr.Erase(k)
+			if removed != present[k] {
+				t.Fatalf("step %d: Erase(%d) removed=%v but present=%v", step, k, removed, present[k])
+			}
+			delete(present, k)
+		}
+		if step%500 == 0 {
+			if bad := tr.CheckInvariants(); bad != "" {
+				t.Fatalf("step %d: %s", step, bad)
+			}
+		}
+	}
+	if bad := tr.CheckInvariants(); bad != "" {
+		t.Fatal(bad)
+	}
+	if tr.Len() != len(present) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(present))
+	}
+}
+
+func TestQuickSortedKeys(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := New[int16, struct{}](nil, 8)
+		uniq := map[int16]bool{}
+		for _, k := range keys {
+			tr.Insert(k, struct{}{})
+			uniq[k] = true
+		}
+		got := tr.Keys()
+		if len(got) != len(uniq) {
+			return false
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			return false
+		}
+		return tr.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEraseAllLeavesEmpty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		tr := New[uint8, int](nil, 8)
+		for _, k := range keys {
+			tr.Insert(k, int(k))
+		}
+		for _, k := range keys {
+			tr.Erase(k)
+		}
+		return tr.Len() == 0 && tr.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindCostIsLogarithmic(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	n := 1 << 14
+	for i := 0; i < n; i++ {
+		tr.Insert(i, i)
+	}
+	st := tr.Stats()
+	st.Reset()
+	probes := 1000
+	for i := 0; i < probes; i++ {
+		tr.Find(i * 16)
+	}
+	avg := float64(st.Cost[opstats.OpFind]) / float64(probes)
+	// log2(16384) = 14; a red-black tree path is at most 2*log2(n+1) ~ 28.
+	if avg < 5 || avg > 30 {
+		t.Fatalf("average find cost %.1f outside logarithmic range", avg)
+	}
+}
+
+func TestMinAndClear(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	for _, k := range []int{9, 2, 7, 4} {
+		tr.Insert(k, k)
+	}
+	if k, ok := tr.Min(); !ok || k != 2 {
+		t.Fatalf("Min = %d,%v", k, ok)
+	}
+	tr.Clear()
+	if tr.Len() != 0 || len(tr.Keys()) != 0 {
+		t.Fatal("Clear left keys")
+	}
+}
+
+func TestMemoryLifecycle(t *testing.T) {
+	cm := mem.NewCounting()
+	tr := New[uint64, uint64](cm, 16)
+	for i := uint64(0); i < 500; i++ {
+		tr.Insert(i*7%500, i)
+	}
+	for i := uint64(0); i < 500; i++ {
+		tr.Erase(i)
+	}
+	if cm.Live != 0 {
+		t.Fatalf("leaked %d simulated bytes", cm.Live)
+	}
+}
+
+func TestDescentEmitsBranches(t *testing.T) {
+	cm := mem.NewCounting()
+	tr := New[uint64, uint64](cm, 16)
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i, i)
+	}
+	before := cm.Branches()
+	tr.Find(50)
+	if cm.Branches() == before {
+		t.Fatal("Find emitted no comparison branches")
+	}
+}

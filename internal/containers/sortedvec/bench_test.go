@@ -1,0 +1,37 @@
+package sortedvec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/containers/rbtree"
+	"repro/internal/machine"
+)
+
+// BenchmarkLookupVsRBTree reports the simulated lookup cost of the flat
+// sorted set against the red-black tree — the "flat beats tree" effect.
+func BenchmarkLookupVsRBTree(b *testing.B) {
+	const n = 4096
+	var flatCycles, treeCycles float64
+	for i := 0; i < b.N; i++ {
+		m1 := machine.New(machine.Core2())
+		fs := New[uint64](m1, 8)
+		m2 := machine.New(machine.Core2())
+		rb := rbtree.New[uint64, struct{}](m2, 8)
+		for k := uint64(0); k < n; k++ {
+			fs.Insert(k)
+			rb.Insert(k, struct{}{})
+		}
+		s1, s2 := m1.Cycles(), m2.Cycles()
+		rng := rand.New(rand.NewSource(1))
+		for q := 0; q < 2000; q++ {
+			k := uint64(rng.Intn(n))
+			fs.Contains(k)
+			rb.Contains(k)
+		}
+		flatCycles = (m1.Cycles() - s1) / 2000
+		treeCycles = (m2.Cycles() - s2) / 2000
+	}
+	b.ReportMetric(flatCycles, "flat-cyc/find")
+	b.ReportMetric(treeCycles, "rbtree-cyc/find")
+}

@@ -1,0 +1,198 @@
+package sortedvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/containers/rbtree"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+func TestInsertKeepsSortedUnique(t *testing.T) {
+	s := New[int](nil, 8)
+	for _, k := range []int{5, 1, 9, 1, 5, 3} {
+		s.Insert(k)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	want := []int{1, 3, 5, 9}
+	got := s.Keys()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v", got)
+		}
+	}
+	if bad := s.CheckInvariants(); bad != "" {
+		t.Fatal(bad)
+	}
+}
+
+func TestInsertReturnsFalseOnDuplicate(t *testing.T) {
+	s := New[int](nil, 8)
+	if !s.Insert(7) || s.Insert(7) {
+		t.Fatal("duplicate handling wrong")
+	}
+}
+
+func TestContainsEraseRoundTrip(t *testing.T) {
+	s := New[int](nil, 8)
+	for i := 0; i < 100; i += 3 {
+		s.Insert(i)
+	}
+	if !s.Contains(33) || s.Contains(34) {
+		t.Fatal("Contains wrong")
+	}
+	if !s.Erase(33) || s.Erase(33) {
+		t.Fatal("Erase semantics wrong")
+	}
+	if s.Contains(33) {
+		t.Fatal("erased key still present")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	s := New[int](nil, 8)
+	for _, k := range []int{10, 20, 30} {
+		s.Insert(k)
+	}
+	if k, ok := s.Min(); !ok || k != 10 {
+		t.Fatalf("Min = %d", k)
+	}
+	if k, ok := s.Max(); !ok || k != 30 {
+		t.Fatalf("Max = %d", k)
+	}
+	if k, ok := s.Floor(25); !ok || k != 20 {
+		t.Fatalf("Floor(25) = %d", k)
+	}
+	if k, ok := s.Ceil(25); !ok || k != 30 {
+		t.Fatalf("Ceil(25) = %d", k)
+	}
+	if k, ok := s.Floor(20); !ok || k != 20 {
+		t.Fatalf("Floor(20) = %d", k)
+	}
+	if _, ok := s.Floor(5); ok {
+		t.Fatal("Floor below min")
+	}
+	if _, ok := s.Ceil(35); ok {
+		t.Fatal("Ceil above max")
+	}
+	empty := New[int](nil, 8)
+	if _, ok := empty.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	if _, ok := empty.Max(); ok {
+		t.Fatal("Max on empty")
+	}
+}
+
+func TestIterateStreams(t *testing.T) {
+	s := New[int](nil, 8)
+	for i := 9; i >= 0; i-- {
+		s.Insert(i)
+	}
+	var got []int
+	if n := s.Iterate(-1, func(k int) { got = append(got, k) }); n != 10 {
+		t.Fatalf("visited %d", n)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("order %v", got)
+		}
+	}
+	if n := s.Iterate(3, nil); n != 3 {
+		t.Fatalf("partial visited %d", n)
+	}
+}
+
+func TestQuickMatchesMapModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		s := New[int16](nil, 8)
+		ref := map[int16]bool{}
+		for i, k := range ops {
+			switch i % 3 {
+			case 0, 1:
+				if s.Insert(k) == ref[k] {
+					return false
+				}
+				ref[k] = true
+			case 2:
+				if s.Erase(k) != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		return s.Len() == len(ref) && s.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinarySearchCostLogarithmic(t *testing.T) {
+	s := New[uint64](nil, 8)
+	for i := uint64(0); i < 1<<14; i++ {
+		s.Insert(i)
+	}
+	st := s.Stats()
+	st.Reset()
+	for i := uint64(0); i < 1000; i++ {
+		s.Contains(i * 16)
+	}
+	avg := float64(st.Cost[2]) / 1000 // opstats.OpFind
+	if avg < 10 || avg > 16 {         // log2(16384) = 14
+		t.Fatalf("average probes %.1f not ~14", avg)
+	}
+}
+
+// TestBeatsRBTreeOnLookups verifies the flat-set premise on the simulated
+// machine: for a lookup-heavy workload the sorted vector's contiguous
+// binary search beats the red-black tree's pointer chasing.
+func TestBeatsRBTreeOnLookups(t *testing.T) {
+	const n = 4096
+	runFlat := func() float64 {
+		m := machine.New(machine.Core2())
+		s := New[uint64](m, 8)
+		for i := uint64(0); i < n; i++ {
+			s.Insert(i)
+		}
+		start := m.Cycles()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 5000; i++ {
+			s.Contains(uint64(rng.Intn(n)))
+		}
+		return m.Cycles() - start
+	}
+	// Compare against the red-black tree on the same machine config.
+	runTree := func() float64 {
+		m := machine.New(machine.Core2())
+		tr := rbtree.New[uint64, struct{}](m, 8)
+		for i := uint64(0); i < n; i++ {
+			tr.Insert(i, struct{}{})
+		}
+		start := m.Cycles()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 5000; i++ {
+			tr.Find(uint64(rng.Intn(n)))
+		}
+		return m.Cycles() - start
+	}
+	if flat, tree := runFlat(), runTree(); flat >= tree {
+		t.Fatalf("flat set (%.0f) not cheaper than rb tree (%.0f) on lookups", flat, tree)
+	}
+}
+
+func TestMemoryLifecycle(t *testing.T) {
+	cm := mem.NewCounting()
+	s := New[uint64](cm, 8)
+	for i := uint64(0); i < 200; i++ {
+		s.Insert(i)
+	}
+	s.Clear()
+	if cm.Live != 0 {
+		t.Fatalf("leaked %d bytes", cm.Live)
+	}
+}

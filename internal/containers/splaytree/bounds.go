@@ -1,0 +1,99 @@
+package splaytree
+
+import "repro/internal/opstats"
+
+// Max returns the largest key without splaying; ok is false when empty.
+func (t *Tree[K, V]) Max() (k K, ok bool) {
+	n := t.root
+	if n == nil {
+		return k, false
+	}
+	for n.right != nil {
+		t.touch(n)
+		n = n.right
+	}
+	t.touch(n)
+	return n.key, true
+}
+
+// Floor returns the greatest key <= key; ok is false when no such key
+// exists. Floor splays the search key's neighbourhood to the root, so
+// repeated nearby range queries stay cheap — the splay tree's specialty.
+func (t *Tree[K, V]) Floor(key K) (k K, v V, ok bool) {
+	if t.root == nil {
+		t.stats.Observe(opstats.OpFind, 0)
+		return k, v, false
+	}
+	var touched uint64
+	t.root, touched = t.splay(t.root, key)
+	t.stats.Observe(opstats.OpFind, touched)
+	if t.root.key <= key {
+		return t.root.key, t.root.val, true
+	}
+	// Root is the successor; the floor is the max of its left subtree.
+	n := t.root.left
+	if n == nil {
+		return k, v, false
+	}
+	for n.right != nil {
+		t.touch(n)
+		n = n.right
+	}
+	t.touch(n)
+	return n.key, n.val, true
+}
+
+// Ceil returns the smallest key >= key; ok is false when no such key exists.
+func (t *Tree[K, V]) Ceil(key K) (k K, v V, ok bool) {
+	if t.root == nil {
+		t.stats.Observe(opstats.OpFind, 0)
+		return k, v, false
+	}
+	var touched uint64
+	t.root, touched = t.splay(t.root, key)
+	t.stats.Observe(opstats.OpFind, touched)
+	if t.root.key >= key {
+		return t.root.key, t.root.val, true
+	}
+	n := t.root.right
+	if n == nil {
+		return k, v, false
+	}
+	for n.left != nil {
+		t.touch(n)
+		n = n.left
+	}
+	t.touch(n)
+	return n.key, n.val, true
+}
+
+// Range visits every key in [lo, hi] in sorted order without splaying,
+// calling fn for each; it returns the number visited.
+func (t *Tree[K, V]) Range(lo, hi K, fn func(K, V)) int {
+	if hi < lo {
+		return 0
+	}
+	visited := 0
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		if n == nil {
+			return
+		}
+		t.touch(n)
+		if lo < n.key {
+			walk(n.left)
+		}
+		if lo <= n.key && n.key <= hi {
+			if fn != nil {
+				fn(n.key, n.val)
+			}
+			visited++
+		}
+		if n.key < hi {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	t.stats.Observe(opstats.OpIterate, uint64(visited))
+	return visited
+}

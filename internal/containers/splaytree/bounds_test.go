@@ -1,0 +1,106 @@
+package splaytree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxFloorCeil(t *testing.T) {
+	tr := New[int, string](nil, 16)
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty")
+	}
+	if _, _, ok := tr.Floor(1); ok {
+		t.Fatal("Floor on empty")
+	}
+	if _, _, ok := tr.Ceil(1); ok {
+		t.Fatal("Ceil on empty")
+	}
+	for _, k := range []int{10, 20, 30} {
+		tr.Insert(k, "x")
+	}
+	if k, ok := tr.Max(); !ok || k != 30 {
+		t.Fatalf("Max = %d", k)
+	}
+	if k, _, ok := tr.Floor(25); !ok || k != 20 {
+		t.Fatalf("Floor(25) = %d,%v", k, ok)
+	}
+	if k, _, ok := tr.Ceil(25); !ok || k != 30 {
+		t.Fatalf("Ceil(25) = %d,%v", k, ok)
+	}
+	if _, _, ok := tr.Floor(9); ok {
+		t.Fatal("Floor below min")
+	}
+	if _, _, ok := tr.Ceil(31); ok {
+		t.Fatal("Ceil above max")
+	}
+	if bad := tr.CheckInvariants(); bad != "" {
+		t.Fatal(bad)
+	}
+}
+
+func TestFloorSplaysNeighbourhood(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	for i := 0; i < 1000; i += 2 {
+		tr.Insert(i, i)
+	}
+	// Each splay halves the search path; a few repetitions flatten the
+	// query's neighbourhood.
+	for i := 0; i < 5; i++ {
+		tr.Floor(501)
+	}
+	st := tr.Stats()
+	st.Reset()
+	tr.Floor(501)
+	if cost := st.Cost[2]; cost > 8 { // opstats.OpFind == 2
+		t.Fatalf("repeated floor cost = %d", cost)
+	}
+}
+
+func TestQuickFloorAgainstSort(t *testing.T) {
+	f := func(keys []int16, q int16) bool {
+		tr := New[int16, struct{}](nil, 8)
+		uniq := map[int16]bool{}
+		for _, k := range keys {
+			tr.Insert(k, struct{}{})
+			uniq[k] = true
+		}
+		sorted := make([]int16, 0, len(uniq))
+		for k := range uniq {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var want int16
+		ok := false
+		for _, k := range sorted {
+			if k <= q {
+				want, ok = k, true
+			}
+		}
+		gotK, _, gotOK := tr.Floor(q)
+		if gotOK != ok || (ok && gotK != want) {
+			return false
+		}
+		return tr.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeSorted(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	for _, k := range []int{9, 1, 7, 3, 5} {
+		tr.Insert(k, k)
+	}
+	var got []int
+	if n := tr.Range(3, 7, func(k, _ int) { got = append(got, k) }); n != 3 {
+		t.Fatalf("visited %d: %v", n, got)
+	}
+	for i, w := range []int{3, 5, 7} {
+		if got[i] != w {
+			t.Fatalf("got %v", got)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package splaytree
+
+import "cmp"
+
+// Iter is an in-order iterator over a splay tree. Iteration does not splay
+// (read-only traversal), and the path is kept on an explicit stack.
+// Invalidated by any mutation.
+type Iter[K cmp.Ordered, V any] struct {
+	t     *Tree[K, V]
+	stack []*node[K, V]
+}
+
+// Begin returns an iterator at the smallest key.
+func (t *Tree[K, V]) Begin() Iter[K, V] {
+	it := Iter[K, V]{t: t}
+	for n := t.root; n != nil; n = n.left {
+		it.stack = append(it.stack, n)
+	}
+	return it
+}
+
+// Next returns the current entry and advances in key order; ok is false
+// past the end.
+func (it *Iter[K, V]) Next() (k K, v V, ok bool) {
+	if len(it.stack) == 0 {
+		return k, v, false
+	}
+	n := it.stack[len(it.stack)-1]
+	it.stack = it.stack[:len(it.stack)-1]
+	it.t.touch(n)
+	k, v = n.key, n.val
+	for c := n.right; c != nil; c = c.left {
+		it.t.touch(c)
+		it.stack = append(it.stack, c)
+	}
+	return k, v, true
+}

@@ -1,0 +1,36 @@
+package splaytree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIterSortedOrderWithoutSplaying(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	rng := rand.New(rand.NewSource(6))
+	for _, k := range rng.Perm(300) {
+		tr.Insert(k, k)
+	}
+	rootBefore := tr.root.key
+	it := tr.Begin()
+	for i := 0; i < 300; i++ {
+		k, _, ok := it.Next()
+		if !ok || k != i {
+			t.Fatalf("step %d: %d,%v", i, k, ok)
+		}
+	}
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("iterator ran past the end")
+	}
+	if tr.root.key != rootBefore {
+		t.Fatal("iteration splayed the tree")
+	}
+}
+
+func TestIterEmpty(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	it := tr.Begin()
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("empty tree yielded an entry")
+	}
+}

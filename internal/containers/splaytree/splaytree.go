@@ -1,0 +1,330 @@
+// Package splaytree implements a top-down splay tree with unique keys. The
+// paper's introduction cites splay trees as a case where identical
+// asymptotics hide very different real-world behaviour: every access moves
+// the touched key to the root, so skewed access distributions get
+// near-list-head latency while the worst case stays amortized O(log n).
+// Brainy ships it as an extension alternative beyond the STL set.
+package splaytree
+
+import (
+	"cmp"
+
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+// Branch sites inside splay-tree code.
+const (
+	siteCmpLess mem.BranchSite = 0x700
+	siteCmpEq   mem.BranchSite = 0x701
+)
+
+const nodeOverhead = 24 // 2 pointers + padding in the simulated layout
+
+type node[K cmp.Ordered, V any] struct {
+	left, right *node[K, V]
+	addr        mem.Addr
+	key         K
+	val         V
+}
+
+// Tree is a splay tree mapping K to V with unique keys. Construct with New.
+type Tree[K cmp.Ordered, V any] struct {
+	root      *node[K, V]
+	size      int
+	model     mem.Model
+	elemSize  uint64
+	nodeBytes uint64
+	stats     opstats.Stats
+}
+
+// New returns an empty splay tree bound to the given memory model. A nil
+// model defaults to mem.Nop.
+func New[K cmp.Ordered, V any](model mem.Model, elemSize uint64) *Tree[K, V] {
+	if model == nil {
+		model = mem.Nop{}
+	}
+	if elemSize == 0 {
+		elemSize = 8
+	}
+	return &Tree[K, V]{model: model, elemSize: elemSize, nodeBytes: elemSize + nodeOverhead}
+}
+
+// Stats exposes the container's accumulated software features.
+func (t *Tree[K, V]) Stats() *opstats.Stats {
+	t.stats.ElemSize = t.elemSize
+	return &t.stats
+}
+
+// Len returns the number of keys.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+func (t *Tree[K, V]) touch(n *node[K, V]) { t.model.Read(n.addr, t.nodeBytes) }
+
+// splay performs a top-down splay of key, returning the new root and the
+// number of nodes touched. After splaying, the root is either the key's
+// node or the last node on the search path.
+func (t *Tree[K, V]) splay(root *node[K, V], key K) (*node[K, V], uint64) {
+	if root == nil {
+		return nil, 0
+	}
+	var header node[K, V]
+	left, right := &header, &header
+	touched := uint64(0)
+	n := root
+	for {
+		touched++
+		t.touch(n)
+		eq := key == n.key
+		t.model.Branch(siteCmpEq, eq)
+		if eq {
+			break
+		}
+		less := key < n.key
+		t.model.Branch(siteCmpLess, less)
+		if less {
+			if n.left == nil {
+				break
+			}
+			if key < n.left.key {
+				// Zig-zig: rotate right.
+				touched++
+				t.touch(n.left)
+				x := n.left
+				n.left = x.right
+				x.right = n
+				t.model.Write(n.addr, t.nodeBytes)
+				t.model.Write(x.addr, t.nodeBytes)
+				t.stats.Rotations++
+				n = x
+				if n.left == nil {
+					break
+				}
+			}
+			// Link right.
+			right.left = n
+			if right != &header {
+				t.model.Write(right.addr, t.nodeBytes)
+			}
+			right = n
+			n = n.left
+		} else {
+			if n.right == nil {
+				break
+			}
+			if key > n.right.key {
+				// Zig-zig: rotate left.
+				touched++
+				t.touch(n.right)
+				x := n.right
+				n.right = x.left
+				x.left = n
+				t.model.Write(n.addr, t.nodeBytes)
+				t.model.Write(x.addr, t.nodeBytes)
+				t.stats.Rotations++
+				n = x
+				if n.right == nil {
+					break
+				}
+			}
+			// Link left.
+			left.right = n
+			if left != &header {
+				t.model.Write(left.addr, t.nodeBytes)
+			}
+			left = n
+			n = n.right
+		}
+	}
+	// Assemble.
+	left.right = n.left
+	right.left = n.right
+	n.left = header.right
+	n.right = header.left
+	t.model.Write(n.addr, t.nodeBytes)
+	return n, touched
+}
+
+// Find returns the value stored under key, splaying it to the root.
+func (t *Tree[K, V]) Find(key K) (V, bool) {
+	var touched uint64
+	t.root, touched = t.splay(t.root, key)
+	t.stats.Observe(opstats.OpFind, touched)
+	if t.root != nil && t.root.key == key {
+		return t.root.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (t *Tree[K, V]) Contains(key K) bool {
+	_, ok := t.Find(key)
+	return ok
+}
+
+// Insert adds key→val; it returns false (and overwrites the value) when the
+// key was already present.
+func (t *Tree[K, V]) Insert(key K, val V) bool {
+	if t.root == nil {
+		z := &node[K, V]{key: key, val: val}
+		z.addr = t.model.Alloc(t.nodeBytes, 8)
+		t.model.Write(z.addr, t.nodeBytes)
+		t.root = z
+		t.size = 1
+		t.stats.Observe(opstats.OpInsert, 1)
+		t.stats.NoteLen(1)
+		return true
+	}
+	var touched uint64
+	t.root, touched = t.splay(t.root, key)
+	if t.root.key == key {
+		t.root.val = val
+		t.model.Write(t.root.addr, t.nodeBytes)
+		t.stats.Observe(opstats.OpInsert, touched)
+		return false
+	}
+	z := &node[K, V]{key: key, val: val}
+	z.addr = t.model.Alloc(t.nodeBytes, 8)
+	if key < t.root.key {
+		z.left = t.root.left
+		z.right = t.root
+		t.root.left = nil
+	} else {
+		z.right = t.root.right
+		z.left = t.root
+		t.root.right = nil
+	}
+	t.model.Write(t.root.addr, t.nodeBytes)
+	t.model.Write(z.addr, t.nodeBytes)
+	t.root = z
+	t.size++
+	t.stats.Observe(opstats.OpInsert, touched+1)
+	t.stats.NoteLen(t.size)
+	return true
+}
+
+// Erase removes key and reports whether it was present.
+func (t *Tree[K, V]) Erase(key K) bool {
+	if t.root == nil {
+		t.stats.Observe(opstats.OpErase, 0)
+		return false
+	}
+	var touched uint64
+	t.root, touched = t.splay(t.root, key)
+	if t.root.key != key {
+		t.stats.Observe(opstats.OpErase, touched)
+		return false
+	}
+	old := t.root
+	if old.left == nil {
+		t.root = old.right
+	} else {
+		// Splay the predecessor (max of left subtree) to the top of the
+		// left subtree; it has no right child, attach the right subtree.
+		newRoot, extra := t.splay(old.left, key)
+		touched += extra
+		newRoot.right = old.right
+		t.model.Write(newRoot.addr, t.nodeBytes)
+		t.root = newRoot
+	}
+	t.model.Free(old.addr, t.nodeBytes)
+	t.size--
+	t.stats.Observe(opstats.OpErase, touched+1)
+	return true
+}
+
+// Iterate visits up to n keys in sorted order, calling fn for each, and
+// returns the number visited. n < 0 visits all keys. Iteration does not
+// splay.
+func (t *Tree[K, V]) Iterate(n int, fn func(K, V)) int {
+	if n < 0 || n > t.size {
+		n = t.size
+	}
+	visited := 0
+	var walk func(nd *node[K, V]) bool
+	walk = func(nd *node[K, V]) bool {
+		if nd == nil {
+			return true
+		}
+		if !walk(nd.left) {
+			return false
+		}
+		if visited >= n {
+			return false
+		}
+		t.touch(nd)
+		if fn != nil {
+			fn(nd.key, nd.val)
+		}
+		visited++
+		return walk(nd.right)
+	}
+	walk(t.root)
+	t.stats.Observe(opstats.OpIterate, uint64(visited))
+	return visited
+}
+
+// Min returns the smallest key without splaying; ok is false when empty.
+// It models reading the begin() iterator and does not count as an
+// interface invocation.
+func (t *Tree[K, V]) Min() (k K, ok bool) {
+	n := t.root
+	if n == nil {
+		return k, false
+	}
+	for n.left != nil {
+		t.touch(n)
+		n = n.left
+	}
+	t.touch(n)
+	return n.key, true
+}
+
+// Clear removes all keys, freeing every node.
+func (t *Tree[K, V]) Clear() {
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+		t.model.Free(n.addr, t.nodeBytes)
+	}
+	walk(t.root)
+	t.root = nil
+	t.size = 0
+	t.stats.Observe(opstats.OpClear, 1)
+}
+
+// Keys returns all keys in sorted order. Intended for tests.
+func (t *Tree[K, V]) Keys() []K {
+	out := make([]K, 0, t.size)
+	var walk func(n *node[K, V])
+	walk = func(n *node[K, V]) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.key)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// CheckInvariants verifies BST order and size bookkeeping, returning a
+// descriptive violation or "" when the tree is valid.
+func (t *Tree[K, V]) CheckInvariants() string {
+	keys := t.Keys()
+	for i := 1; i < len(keys); i++ {
+		if !(keys[i-1] < keys[i]) {
+			return "keys not strictly increasing"
+		}
+	}
+	if len(keys) != t.size {
+		return "size mismatch"
+	}
+	return ""
+}

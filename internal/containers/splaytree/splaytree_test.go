@@ -1,0 +1,186 @@
+package splaytree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+func TestInsertFindErase(t *testing.T) {
+	tr := New[int, string](nil, 16)
+	if !tr.Insert(10, "x") {
+		t.Fatal("first insert returned false")
+	}
+	if tr.Insert(10, "y") {
+		t.Fatal("duplicate insert returned true")
+	}
+	if v, ok := tr.Find(10); !ok || v != "y" {
+		t.Fatalf("Find = %q,%v", v, ok)
+	}
+	if _, ok := tr.Find(11); ok {
+		t.Fatal("found missing key")
+	}
+	if !tr.Erase(10) || tr.Erase(10) {
+		t.Fatal("erase semantics wrong")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestSplayMovesAccessedKeyToRoot(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(i, i)
+	}
+	tr.Find(500)
+	if tr.root == nil || tr.root.key != 500 {
+		t.Fatalf("root after Find(500) = %v", tr.root.key)
+	}
+	// A repeated access touches only the root.
+	st := tr.Stats()
+	st.Reset()
+	tr.Find(500)
+	if st.Cost[opstats.OpFind] != 1 {
+		t.Fatalf("repeated find cost = %d, want 1", st.Cost[opstats.OpFind])
+	}
+}
+
+func TestSkewedAccessCheaperThanUniform(t *testing.T) {
+	build := func() *Tree[int, int] {
+		tr := New[int, int](nil, 16)
+		rng := rand.New(rand.NewSource(3))
+		for _, k := range rng.Perm(4096) {
+			tr.Insert(k, k)
+		}
+		return tr
+	}
+	skew := build()
+	skew.Stats().Reset()
+	for i := 0; i < 4000; i++ {
+		skew.Find(i % 4) // hot set of 4 keys
+	}
+	skewCost := skew.Stats().Cost[opstats.OpFind]
+
+	uni := build()
+	uni.Stats().Reset()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 4000; i++ {
+		uni.Find(rng.Intn(4096))
+	}
+	uniCost := uni.Stats().Cost[opstats.OpFind]
+	if skewCost*3 > uniCost {
+		t.Fatalf("skewed access not cheaper: skew=%d uniform=%d", skewCost, uniCost)
+	}
+}
+
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := New[int, int](nil, 16)
+	present := map[int]bool{}
+	for step := 0; step < 15000; step++ {
+		k := rng.Intn(1000)
+		switch rng.Intn(3) {
+		case 0, 1:
+			added := tr.Insert(k, k)
+			if added == present[k] {
+				t.Fatalf("step %d: Insert(%d) added=%v present=%v", step, k, added, present[k])
+			}
+			present[k] = true
+		default:
+			removed := tr.Erase(k)
+			if removed != present[k] {
+				t.Fatalf("step %d: Erase(%d) removed=%v present=%v", step, k, removed, present[k])
+			}
+			delete(present, k)
+		}
+		if step%1000 == 0 {
+			if bad := tr.CheckInvariants(); bad != "" {
+				t.Fatalf("step %d: %s", step, bad)
+			}
+		}
+	}
+	if bad := tr.CheckInvariants(); bad != "" {
+		t.Fatal(bad)
+	}
+	if tr.Len() != len(present) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(present))
+	}
+}
+
+func TestQuickSortedUnique(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := New[int16, struct{}](nil, 8)
+		uniq := map[int16]bool{}
+		for _, k := range keys {
+			tr.Insert(k, struct{}{})
+			uniq[k] = true
+		}
+		got := tr.Keys()
+		if len(got) != len(uniq) {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) &&
+			tr.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterateSortedWithoutSplaying(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	for _, k := range []int{3, 1, 4, 1, 5, 9, 2, 6} {
+		tr.Insert(k, k)
+	}
+	rootBefore := tr.root.key
+	var got []int
+	tr.Iterate(-1, func(k, _ int) { got = append(got, k) })
+	want := []int{1, 2, 3, 4, 5, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("iterate got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterate got %v, want %v", got, want)
+		}
+	}
+	if tr.root.key != rootBefore {
+		t.Fatal("Iterate splayed the tree")
+	}
+}
+
+func TestEraseRootWithLeftSubtree(t *testing.T) {
+	tr := New[int, int](nil, 16)
+	for _, k := range []int{5, 2, 8, 1, 3} {
+		tr.Insert(k, k)
+	}
+	tr.Find(5) // splay 5 to root
+	if !tr.Erase(5) {
+		t.Fatal("erase root failed")
+	}
+	for _, k := range []int{2, 8, 1, 3} {
+		if !tr.Contains(k) {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	if bad := tr.CheckInvariants(); bad != "" {
+		t.Fatal(bad)
+	}
+}
+
+func TestMemoryLifecycle(t *testing.T) {
+	cm := mem.NewCounting()
+	tr := New[uint64, uint64](cm, 16)
+	for i := uint64(0); i < 300; i++ {
+		tr.Insert(i, i)
+	}
+	tr.Clear()
+	if cm.Live != 0 {
+		t.Fatalf("leaked %d simulated bytes", cm.Live)
+	}
+}

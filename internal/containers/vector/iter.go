@@ -1,0 +1,24 @@
+package vector
+
+// Iter is a forward iterator over a vector. Invalidated by any mutation,
+// like its C++ counterpart.
+type Iter[T any] struct {
+	v   *Vector[T]
+	pos int
+}
+
+// Begin returns an iterator at the first element.
+func (v *Vector[T]) Begin() Iter[T] { return Iter[T]{v: v} }
+
+// Next returns the current element and advances; ok is false past the end.
+// Each advance reads one element (iterator stepping is element-at-a-time,
+// unlike the streaming bulk Iterate).
+func (it *Iter[T]) Next() (x T, ok bool) {
+	if it.v == nil || it.pos >= len(it.v.elems) {
+		return x, false
+	}
+	it.v.model.Read(it.v.addrOf(it.pos), it.v.elemSize)
+	x = it.v.elems[it.pos]
+	it.pos++
+	return x, true
+}

@@ -1,0 +1,32 @@
+package vector
+
+import "testing"
+
+func TestIterVisitsAllInOrder(t *testing.T) {
+	v := New[int](nil, 8)
+	for i := 0; i < 20; i++ {
+		v.PushBack(i * 2)
+	}
+	it := v.Begin()
+	for i := 0; i < 20; i++ {
+		x, ok := it.Next()
+		if !ok || x != i*2 {
+			t.Fatalf("step %d: %d,%v", i, x, ok)
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("iterator ran past the end")
+	}
+}
+
+func TestIterEmpty(t *testing.T) {
+	v := New[int](nil, 8)
+	it := v.Begin()
+	if _, ok := it.Next(); ok {
+		t.Fatal("empty vector yielded an element")
+	}
+	var zero Iter[int]
+	if _, ok := zero.Next(); ok {
+		t.Fatal("zero iterator yielded an element")
+	}
+}

@@ -1,0 +1,285 @@
+// Package vector implements a dynamically sized contiguous array, the
+// analog of std::vector. Elements live in one simulated memory block;
+// growing doubles capacity and copies every element, and insertion or
+// removal in the middle shifts the tail, exactly the costs the paper's
+// model has to weigh against the container's superior locality on
+// iteration and linear search.
+package vector
+
+import (
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+// Branch sites inside vector code (see mem.BranchSite).
+const (
+	siteGrow    mem.BranchSite = 0x100 // "capacity full?" check in push_back/insert
+	siteFindCmp mem.BranchSite = 0x101 // the comparison loop in find
+	siteBounds  mem.BranchSite = 0x102 // bounds check on positional access
+)
+
+// Vector is a growable contiguous sequence of T.
+// The zero value is not usable; construct with New.
+type Vector[T any] struct {
+	elems    []T
+	model    mem.Model
+	base     mem.Addr
+	capBytes uint64
+	elemSize uint64
+	stats    opstats.Stats
+}
+
+// New returns an empty vector bound to the given memory model. elemSize is
+// the simulated size of T in bytes; it drives cache behaviour. A nil model
+// defaults to mem.Nop.
+func New[T any](model mem.Model, elemSize uint64) *Vector[T] {
+	if model == nil {
+		model = mem.Nop{}
+	}
+	if elemSize == 0 {
+		elemSize = 8
+	}
+	return &Vector[T]{model: model, elemSize: elemSize}
+}
+
+// Stats exposes the container's accumulated software features.
+func (v *Vector[T]) Stats() *opstats.Stats {
+	v.stats.ElemSize = v.elemSize
+	return &v.stats
+}
+
+// Len returns the number of elements.
+func (v *Vector[T]) Len() int { return len(v.elems) }
+
+// Cap returns the current capacity.
+func (v *Vector[T]) Cap() int { return cap(v.elems) }
+
+func (v *Vector[T]) addrOf(i int) mem.Addr {
+	return v.base + mem.Addr(uint64(i)*v.elemSize)
+}
+
+// grow ensures room for one more element, doubling the backing block and
+// copying all elements when full. Reports the capacity-check branch: the
+// rarely taken "must grow" path is the mispredict source the paper
+// highlights (Figure 6).
+func (v *Vector[T]) grow(need int) {
+	mustGrow := len(v.elems)+need > cap(v.elems)
+	v.model.Branch(siteGrow, mustGrow)
+	if !mustGrow {
+		return
+	}
+	newCap := cap(v.elems) * 2
+	if newCap < len(v.elems)+need {
+		newCap = len(v.elems) + need
+	}
+	if newCap < 4 {
+		newCap = 4
+	}
+	newBytes := uint64(newCap) * v.elemSize
+	newBase := v.model.Alloc(newBytes, 16)
+	// Copy every live element: read old block, write new block.
+	if len(v.elems) > 0 {
+		v.model.Read(v.base, uint64(len(v.elems))*v.elemSize)
+		v.model.Write(newBase, uint64(len(v.elems))*v.elemSize)
+	}
+	if v.capBytes > 0 {
+		v.model.Free(v.base, v.capBytes)
+	}
+	ne := make([]T, len(v.elems), newCap)
+	copy(ne, v.elems)
+	v.elems = ne
+	v.base = newBase
+	v.capBytes = newBytes
+	v.stats.Resizes++
+	v.stats.Cost[opstats.OpInsert] += uint64(len(v.elems)) // copied elements count as insert cost
+}
+
+// Reserve pre-allocates capacity for at least n elements.
+func (v *Vector[T]) Reserve(n int) {
+	if n > cap(v.elems) {
+		v.grow(n - len(v.elems))
+	}
+}
+
+// PushBack appends x.
+func (v *Vector[T]) PushBack(x T) {
+	v.grow(1)
+	v.model.Write(v.addrOf(len(v.elems)), v.elemSize)
+	v.elems = append(v.elems, x)
+	v.stats.Observe(opstats.OpPushBack, 1)
+	v.stats.NoteLen(len(v.elems))
+}
+
+// PopBack removes and returns the last element; ok is false when empty.
+func (v *Vector[T]) PopBack() (x T, ok bool) {
+	if len(v.elems) == 0 {
+		return x, false
+	}
+	x = v.elems[len(v.elems)-1]
+	v.model.Read(v.addrOf(len(v.elems)-1), v.elemSize)
+	v.elems = v.elems[:len(v.elems)-1]
+	v.stats.Observe(opstats.OpPopBack, 1)
+	return x, true
+}
+
+// At returns the i-th element. It panics when i is out of range, matching
+// slice semantics.
+func (v *Vector[T]) At(i int) T {
+	v.model.Branch(siteBounds, false)
+	v.model.Read(v.addrOf(i), v.elemSize)
+	v.stats.Observe(opstats.OpAt, 1)
+	return v.elems[i]
+}
+
+// Set overwrites the i-th element.
+func (v *Vector[T]) Set(i int, x T) {
+	v.model.Branch(siteBounds, false)
+	v.model.Write(v.addrOf(i), v.elemSize)
+	v.stats.Observe(opstats.OpAt, 1)
+	v.elems[i] = x
+}
+
+// Insert places x before position i, shifting the tail right. The cost is
+// the number of shifted elements.
+func (v *Vector[T]) Insert(i int, x T) {
+	if i < 0 {
+		i = 0
+	}
+	if i > len(v.elems) {
+		i = len(v.elems)
+	}
+	v.grow(1)
+	moved := len(v.elems) - i
+	if moved > 0 {
+		v.model.Read(v.addrOf(i), uint64(moved)*v.elemSize)
+		v.model.Write(v.addrOf(i+1), uint64(moved)*v.elemSize)
+	}
+	v.model.Write(v.addrOf(i), v.elemSize)
+	v.elems = append(v.elems, x)
+	copy(v.elems[i+1:], v.elems[i:])
+	v.elems[i] = x
+	v.stats.Observe(opstats.OpInsert, uint64(moved)+1)
+	v.stats.NoteLen(len(v.elems))
+}
+
+// Erase removes the element at position i, shifting the tail left, and
+// returns false when i is out of range.
+func (v *Vector[T]) Erase(i int) bool {
+	if i < 0 || i >= len(v.elems) {
+		return false
+	}
+	moved := len(v.elems) - i - 1
+	if moved > 0 {
+		v.model.Read(v.addrOf(i+1), uint64(moved)*v.elemSize)
+		v.model.Write(v.addrOf(i), uint64(moved)*v.elemSize)
+	}
+	copy(v.elems[i:], v.elems[i+1:])
+	v.elems = v.elems[:len(v.elems)-1]
+	v.stats.Observe(opstats.OpErase, uint64(moved)+1)
+	return true
+}
+
+// scan models a linear pass over the first n elements: the memory system
+// sees one streaming read of the scanned range (contiguous data is fetched
+// line by line with prefetch-friendly access), while the comparison loop
+// still executes one data-dependent branch per element. This asymmetry —
+// cheap streaming for vector, a dependent load per node for list and trees
+// — is the locality advantage the paper's motivating example describes.
+func (v *Vector[T]) scan(n int, hit bool) {
+	if n > 0 {
+		v.model.Read(v.base, uint64(n)*v.elemSize)
+	}
+	for i := 0; i < n-1; i++ {
+		v.model.Branch(siteFindCmp, false)
+	}
+	if n > 0 {
+		v.model.Branch(siteFindCmp, hit)
+	}
+}
+
+// Find performs a linear search and returns the index of the first element
+// satisfying eq, or -1. The find cost is the number of elements examined.
+func (v *Vector[T]) Find(eq func(T) bool) int {
+	found := -1
+	for i := range v.elems {
+		if eq(v.elems[i]) {
+			found = i
+			break
+		}
+	}
+	touched := uint64(len(v.elems))
+	if found >= 0 {
+		touched = uint64(found + 1)
+	}
+	v.scan(int(touched), found >= 0)
+	v.stats.Observe(opstats.OpFind, touched)
+	return found
+}
+
+// FindErase removes the first element satisfying eq and reports whether one
+// was found. It is a single erase interface call whose cost covers both the
+// scan to the element and the tail shift, matching how an application's
+// erase-by-value is accounted.
+func (v *Vector[T]) FindErase(eq func(T) bool) bool {
+	found := -1
+	for i := range v.elems {
+		if eq(v.elems[i]) {
+			found = i
+			break
+		}
+	}
+	touched := uint64(len(v.elems))
+	if found >= 0 {
+		touched = uint64(found + 1)
+	}
+	v.scan(int(touched), found >= 0)
+	if found < 0 {
+		v.stats.Observe(opstats.OpErase, touched)
+		return false
+	}
+	moved := len(v.elems) - found - 1
+	if moved > 0 {
+		v.model.Read(v.addrOf(found+1), uint64(moved)*v.elemSize)
+		v.model.Write(v.addrOf(found), uint64(moved)*v.elemSize)
+	}
+	copy(v.elems[found:], v.elems[found+1:])
+	v.elems = v.elems[:len(v.elems)-1]
+	v.stats.Observe(opstats.OpErase, touched+uint64(moved))
+	return true
+}
+
+// Iterate visits up to n elements from the front, calling fn for each, and
+// returns the number visited. n < 0 visits all elements.
+func (v *Vector[T]) Iterate(n int, fn func(T)) int {
+	if n < 0 || n > len(v.elems) {
+		n = len(v.elems)
+	}
+	if n > 0 {
+		v.model.Read(v.base, uint64(n)*v.elemSize) // streaming read of the prefix
+	}
+	for i := 0; i < n; i++ {
+		if fn != nil {
+			fn(v.elems[i])
+		}
+	}
+	v.stats.Observe(opstats.OpIterate, uint64(n))
+	return n
+}
+
+// Clear removes all elements, releasing the backing block.
+func (v *Vector[T]) Clear() {
+	if v.capBytes > 0 {
+		v.model.Free(v.base, v.capBytes)
+	}
+	v.elems = nil
+	v.base = 0
+	v.capBytes = 0
+	v.stats.Observe(opstats.OpClear, 1)
+}
+
+// Values returns a copy of the contents in order. Intended for tests.
+func (v *Vector[T]) Values() []T {
+	out := make([]T, len(v.elems))
+	copy(out, v.elems)
+	return out
+}

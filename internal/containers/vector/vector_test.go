@@ -1,0 +1,281 @@
+package vector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+func TestPushBackAndValues(t *testing.T) {
+	v := New[int](nil, 8)
+	for i := 0; i < 100; i++ {
+		v.PushBack(i)
+	}
+	if v.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", v.Len())
+	}
+	got := v.Values()
+	for i, x := range got {
+		if x != i {
+			t.Fatalf("Values[%d] = %d, want %d", i, x, i)
+		}
+	}
+}
+
+func TestInsertShiftsTail(t *testing.T) {
+	v := New[int](nil, 8)
+	for i := 0; i < 5; i++ {
+		v.PushBack(i) // 0 1 2 3 4
+	}
+	v.Insert(2, 99) // 0 1 99 2 3 4
+	want := []int{0, 1, 99, 2, 3, 4}
+	for i, w := range want {
+		if v.At(i) != w {
+			t.Fatalf("At(%d) = %d, want %d", i, v.At(i), w)
+		}
+	}
+}
+
+func TestInsertAtBounds(t *testing.T) {
+	v := New[int](nil, 8)
+	v.Insert(5, 1)  // clamped to 0 on empty
+	v.Insert(-3, 0) // clamped to front
+	v.Insert(99, 2) // clamped to back
+	want := []int{0, 1, 2}
+	got := v.Values()
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEraseShiftsTail(t *testing.T) {
+	v := New[int](nil, 8)
+	for i := 0; i < 5; i++ {
+		v.PushBack(i)
+	}
+	if !v.Erase(1) {
+		t.Fatal("Erase(1) = false, want true")
+	}
+	want := []int{0, 2, 3, 4}
+	got := v.Values()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after erase Values = %v, want %v", got, want)
+		}
+	}
+	if v.Erase(10) {
+		t.Fatal("Erase(10) out of range = true, want false")
+	}
+	if v.Erase(-1) {
+		t.Fatal("Erase(-1) = true, want false")
+	}
+}
+
+func TestPopBack(t *testing.T) {
+	v := New[int](nil, 8)
+	if _, ok := v.PopBack(); ok {
+		t.Fatal("PopBack on empty = ok")
+	}
+	v.PushBack(7)
+	x, ok := v.PopBack()
+	if !ok || x != 7 {
+		t.Fatalf("PopBack = %d,%v want 7,true", x, ok)
+	}
+	if v.Len() != 0 {
+		t.Fatalf("Len = %d after pop, want 0", v.Len())
+	}
+}
+
+func TestFindCostCountsTouchedElements(t *testing.T) {
+	v := New[int](nil, 8)
+	for i := 0; i < 10; i++ {
+		v.PushBack(i)
+	}
+	if idx := v.Find(func(x int) bool { return x == 6 }); idx != 6 {
+		t.Fatalf("Find = %d, want 6", idx)
+	}
+	st := v.Stats()
+	if st.Count[opstats.OpFind] != 1 {
+		t.Fatalf("find count = %d, want 1", st.Count[opstats.OpFind])
+	}
+	if st.Cost[opstats.OpFind] != 7 { // elements 0..6 touched
+		t.Fatalf("find cost = %d, want 7", st.Cost[opstats.OpFind])
+	}
+	if idx := v.Find(func(x int) bool { return x == 999 }); idx != -1 {
+		t.Fatalf("Find missing = %d, want -1", idx)
+	}
+	if st.Cost[opstats.OpFind] != 7+10 {
+		t.Fatalf("find cost after miss = %d, want 17", st.Cost[opstats.OpFind])
+	}
+}
+
+func TestResizeCountsAndStats(t *testing.T) {
+	v := New[int](nil, 8)
+	for i := 0; i < 100; i++ {
+		v.PushBack(i)
+	}
+	st := v.Stats()
+	if st.Resizes == 0 {
+		t.Fatal("expected at least one resize")
+	}
+	if st.MaxLen != 100 {
+		t.Fatalf("MaxLen = %d, want 100", st.MaxLen)
+	}
+	if st.Count[opstats.OpPushBack] != 100 {
+		t.Fatalf("push_back count = %d, want 100", st.Count[opstats.OpPushBack])
+	}
+}
+
+func TestReserveAvoidsResizes(t *testing.T) {
+	v := New[int](nil, 8)
+	v.Reserve(1000)
+	base := v.Stats().Resizes
+	for i := 0; i < 1000; i++ {
+		v.PushBack(i)
+	}
+	if v.Stats().Resizes != base {
+		t.Fatalf("resizes grew after Reserve: %d -> %d", base, v.Stats().Resizes)
+	}
+}
+
+func TestMemoryEventsReported(t *testing.T) {
+	cm := mem.NewCounting()
+	v := New[uint64](cm, 8)
+	for i := 0; i < 64; i++ {
+		v.PushBack(uint64(i))
+	}
+	if cm.Writes == 0 || cm.Allocs == 0 {
+		t.Fatalf("no memory events: %+v", cm)
+	}
+	if cm.Branches() == 0 {
+		t.Fatal("no branch events from capacity checks")
+	}
+	v.Clear()
+	if cm.Live != 0 {
+		t.Fatalf("leaked %d simulated bytes after Clear", cm.Live)
+	}
+}
+
+func TestIteratePartial(t *testing.T) {
+	v := New[int](nil, 8)
+	for i := 0; i < 10; i++ {
+		v.PushBack(i)
+	}
+	sum := 0
+	if n := v.Iterate(3, func(x int) { sum += x }); n != 3 {
+		t.Fatalf("Iterate(3) visited %d", n)
+	}
+	if sum != 0+1+2 {
+		t.Fatalf("sum = %d, want 3", sum)
+	}
+	if n := v.Iterate(-1, nil); n != 10 {
+		t.Fatalf("Iterate(-1) visited %d, want 10", n)
+	}
+}
+
+// TestDifferentialAgainstSlice drives the vector and a plain slice with the
+// same random operation stream and checks they agree at every step.
+func TestDifferentialAgainstSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	v := New[int](nil, 8)
+	var ref []int
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(5); {
+		case op == 0 || len(ref) == 0:
+			x := rng.Intn(1000)
+			v.PushBack(x)
+			ref = append(ref, x)
+		case op == 1:
+			i := rng.Intn(len(ref) + 1)
+			x := rng.Intn(1000)
+			v.Insert(i, x)
+			ref = append(ref, 0)
+			copy(ref[i+1:], ref[i:])
+			ref[i] = x
+		case op == 2:
+			i := rng.Intn(len(ref))
+			v.Erase(i)
+			ref = append(ref[:i], ref[i+1:]...)
+		case op == 3:
+			i := rng.Intn(len(ref))
+			if got := v.At(i); got != ref[i] {
+				t.Fatalf("step %d: At(%d) = %d, want %d", step, i, got, ref[i])
+			}
+		default:
+			x := rng.Intn(1000)
+			want := -1
+			for i, r := range ref {
+				if r == x {
+					want = i
+					break
+				}
+			}
+			if got := v.Find(func(e int) bool { return e == x }); got != want {
+				t.Fatalf("step %d: Find(%d) = %d, want %d", step, x, got, want)
+			}
+		}
+		if v.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, v.Len(), len(ref))
+		}
+	}
+}
+
+// TestQuickContentsMatch is a property test: for any op sequence encoded as
+// bytes, the vector matches a slice model.
+func TestQuickContentsMatch(t *testing.T) {
+	f := func(ops []byte) bool {
+		v := New[int](nil, 8)
+		var ref []int
+		for i, b := range ops {
+			switch b % 3 {
+			case 0:
+				v.PushBack(i)
+				ref = append(ref, i)
+			case 1:
+				pos := 0
+				if len(ref) > 0 {
+					pos = int(b) % len(ref)
+				}
+				v.Insert(pos, i)
+				ref = append(ref, 0)
+				copy(ref[pos+1:], ref[pos:])
+				ref[pos] = i
+			case 2:
+				if len(ref) > 0 {
+					pos := int(b) % len(ref)
+					v.Erase(pos)
+					ref = append(ref[:pos], ref[pos+1:]...)
+				}
+			}
+		}
+		got := v.Values()
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElemSizeDefaults(t *testing.T) {
+	v := New[int](nil, 0)
+	v.PushBack(1)
+	if v.Stats().ElemSize != 8 {
+		t.Fatalf("default elem size = %d, want 8", v.Stats().ElemSize)
+	}
+}

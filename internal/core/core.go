@@ -1,0 +1,156 @@
+// Package core is Brainy itself: the data-structure selection tool of the
+// paper. Given profiles of how an application's containers behaved on a
+// specific microarchitecture — collected through the instrumented library in
+// internal/profile — Brainy consults the per-container ANN models trained by
+// internal/training and reports, per construction site, which alternative
+// implementation would have been fastest, prioritized by how much of the
+// application's time each container accounts for (Section 3's usage model).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/profile"
+	"repro/internal/training"
+)
+
+// Brainy is the selector: a set of trained models plus the report logic.
+type Brainy struct {
+	models *training.ModelSet
+}
+
+// New builds a selector around a trained model registry.
+func New(models *training.ModelSet) *Brainy {
+	if models == nil {
+		models = training.NewModelSet()
+	}
+	return &Brainy{models: models}
+}
+
+// Models exposes the underlying registry.
+func (b *Brainy) Models() *training.ModelSet { return b.models }
+
+// Suggestion is Brainy's verdict for one container instance.
+type Suggestion struct {
+	Context    string   // construction site
+	Original   adt.Kind // what the application uses today
+	Suggested  adt.Kind // what Brainy would use instead
+	Confidence float64  // model probability of the suggested class
+	CyclesPct  float64  // share of profiled cycles this container accounts for
+	Replace    bool     // Suggested != Original
+
+	// Memory estimates at the container's observed high-water size: the
+	// bloat dimension of a replacement. A positive MemDeltaPct means the
+	// suggested implementation uses more memory.
+	MemOriginal  uint64
+	MemSuggested uint64
+	MemDeltaPct  float64
+}
+
+// String formats the suggestion as one report line.
+func (s Suggestion) String() string {
+	verdict := "keep"
+	if s.Replace {
+		verdict = "replace with " + s.Suggested.String()
+	}
+	mem := ""
+	if s.Replace && s.MemOriginal > 0 {
+		mem = fmt.Sprintf(", memory %+.0f%%", s.MemDeltaPct)
+	}
+	return fmt.Sprintf("%-40s %-9s -> %-28s (%.0f%% of cycles, confidence %.2f%s)",
+		s.Context, s.Original, verdict, s.CyclesPct*100, s.Confidence, mem)
+}
+
+// Suggest runs the model for one profile on the named architecture.
+func (b *Brainy) Suggest(p *profile.Profile, arch string) (Suggestion, error) {
+	m, ok := b.models.Get(p.Kind, p.OrderAware, arch)
+	if !ok {
+		return Suggestion{}, fmt.Errorf("core: no model for %v (orderAware=%v) on %s", p.Kind, p.OrderAware, arch)
+	}
+	probs := m.Net.Probabilities(p.Vector())
+	best := 0
+	for i := 1; i < len(probs); i++ {
+		if probs[i] > probs[best] {
+			best = i
+		}
+	}
+	kind := m.Candidates[best]
+	s := Suggestion{
+		Context:    p.Context,
+		Original:   p.Kind,
+		Suggested:  kind,
+		Confidence: probs[best],
+		Replace:    kind != p.Kind,
+	}
+	n := int(p.Stats.MaxLen)
+	s.MemOriginal = adt.EstimatedBytes(p.Kind, n, p.Stats.ElemSize)
+	s.MemSuggested = adt.EstimatedBytes(kind, n, p.Stats.ElemSize)
+	if s.MemOriginal > 0 {
+		s.MemDeltaPct = 100 * (float64(s.MemSuggested) - float64(s.MemOriginal)) / float64(s.MemOriginal)
+	}
+	return s, nil
+}
+
+// Report is the prioritized analysis of a whole application run.
+type Report struct {
+	Arch        string
+	Suggestions []Suggestion // sorted by descending cycle share
+	Skipped     []string     // contexts without a trained model
+}
+
+// Analyze produces a report over all profiled containers of a run. The
+// suggestions are sorted by each container's share of the total profiled
+// cycles, so developers see the most profitable replacements first — the
+// paper's post-processing that "takes relative execution time and calling
+// context into consideration".
+func (b *Brainy) Analyze(profiles []profile.Profile, arch string) Report {
+	rep := Report{Arch: arch}
+	var total float64
+	for i := range profiles {
+		total += profiles[i].Cycles
+	}
+	if total == 0 {
+		total = 1
+	}
+	for i := range profiles {
+		p := &profiles[i]
+		s, err := b.Suggest(p, arch)
+		if err != nil {
+			rep.Skipped = append(rep.Skipped, p.Context)
+			continue
+		}
+		s.CyclesPct = p.Cycles / total
+		rep.Suggestions = append(rep.Suggestions, s)
+	}
+	sort.SliceStable(rep.Suggestions, func(i, j int) bool {
+		return rep.Suggestions[i].CyclesPct > rep.Suggestions[j].CyclesPct
+	})
+	return rep
+}
+
+// Render formats the report for a terminal.
+func (r Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Brainy report (%s): %d container(s) profiled\n", r.Arch, len(r.Suggestions))
+	for _, s := range r.Suggestions {
+		sb.WriteString("  " + s.String() + "\n")
+	}
+	if len(r.Skipped) > 0 {
+		fmt.Fprintf(&sb, "  (no model for %d container(s): %s)\n", len(r.Skipped), strings.Join(r.Skipped, ", "))
+	}
+	return sb.String()
+}
+
+// Replacements returns only the suggestions that recommend a change.
+func (r Report) Replacements() []Suggestion {
+	var out []Suggestion
+	for _, s := range r.Suggestions {
+		if s.Replace {
+			out = append(out, s)
+		}
+	}
+	return out
+}

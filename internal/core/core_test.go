@@ -1,0 +1,163 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/training"
+)
+
+var (
+	once   sync.Once
+	models *training.ModelSet
+	tErr   error
+)
+
+// testModels trains a single small vector model shared by the tests.
+func testModels(t *testing.T) *training.ModelSet {
+	t.Helper()
+	once.Do(func() {
+		opt := training.DefaultOptions(machine.Core2())
+		opt.AppCfg.TotalInterfCalls = 200
+		opt.AppCfg.MaxPrepopulate = 300
+		opt.AppCfg.MaxIterCount = 600
+		opt.PerTargetApps = 60
+		opt.MaxSeeds = 600
+		cfg := ann.DefaultConfig()
+		cfg.Epochs = 100
+		tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
+		labels := training.Phase1(tgt, opt)
+		ds := training.Phase2(tgt, labels, opt)
+		var m *training.Model
+		m, tErr = training.TrainModel(ds, "Core2", cfg)
+		if tErr == nil {
+			models = training.NewModelSet()
+			models.Put(m)
+		}
+	})
+	if tErr != nil {
+		t.Fatal(tErr)
+	}
+	return models
+}
+
+// profileOf runs a quick workload against a vector and snapshots it.
+func profileOf(context string, n int) profile.Profile {
+	m := machine.New(machine.Core2())
+	c := profile.NewContainer(adt.KindVector, m, 8, context, false)
+	for i := uint64(0); i < uint64(n); i++ {
+		c.Insert(i)
+	}
+	for i := 0; i < n; i++ {
+		c.Find(uint64(i * 3))
+	}
+	return c.Snapshot()
+}
+
+func TestSuggestLegalCandidate(t *testing.T) {
+	b := New(testModels(t))
+	p := profileOf("app/main.cache", 500)
+	s, err := b.Suggest(&p, "Core2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Context != "app/main.cache" || s.Original != adt.KindVector {
+		t.Fatalf("suggestion metadata wrong: %+v", s)
+	}
+	legal := map[adt.Kind]bool{adt.KindVector: true}
+	for _, k := range adt.Candidates(adt.KindVector, false) {
+		legal[k] = true
+	}
+	if !legal[s.Suggested] {
+		t.Fatalf("suggested illegal kind %v", s.Suggested)
+	}
+	if s.Confidence <= 0 || s.Confidence > 1 {
+		t.Fatalf("confidence %f", s.Confidence)
+	}
+	if s.Replace != (s.Suggested != s.Original) {
+		t.Fatal("Replace flag inconsistent")
+	}
+}
+
+func TestSuggestMissingModel(t *testing.T) {
+	b := New(testModels(t))
+	p := profileOf("x", 10)
+	if _, err := b.Suggest(&p, "Atom"); err == nil {
+		t.Fatal("suggestion without an Atom model succeeded")
+	}
+	p.Kind = adt.KindMap
+	if _, err := b.Suggest(&p, "Core2"); err == nil {
+		t.Fatal("suggestion without a map model succeeded")
+	}
+}
+
+func TestAnalyzeSortsByCycleShare(t *testing.T) {
+	b := New(testModels(t))
+	small := profileOf("small.container", 50)
+	big := profileOf("big.container", 3000)
+	rep := b.Analyze([]profile.Profile{small, big}, "Core2")
+	if len(rep.Suggestions) != 2 {
+		t.Fatalf("suggestions = %d (skipped: %v)", len(rep.Suggestions), rep.Skipped)
+	}
+	if rep.Suggestions[0].Context != "big.container" {
+		t.Fatalf("report not prioritized by cycles: %+v", rep.Suggestions)
+	}
+	sum := rep.Suggestions[0].CyclesPct + rep.Suggestions[1].CyclesPct
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("cycle shares sum to %f", sum)
+	}
+}
+
+func TestAnalyzeSkipsUnknownKinds(t *testing.T) {
+	b := New(testModels(t))
+	p := profileOf("known", 50)
+	q := p
+	q.Kind = adt.KindSplaySet
+	q.Context = "unknown"
+	rep := b.Analyze([]profile.Profile{p, q}, "Core2")
+	if len(rep.Suggestions) != 1 || len(rep.Skipped) != 1 || rep.Skipped[0] != "unknown" {
+		t.Fatalf("skip handling wrong: %+v", rep)
+	}
+	if !strings.Contains(rep.Render(), "no model for") {
+		t.Fatal("render omits skipped containers")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	b := New(nil)
+	rep := b.Analyze(nil, "Core2")
+	if len(rep.Suggestions) != 0 {
+		t.Fatal("suggestions from nothing")
+	}
+	if rep.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestReplacementsFilter(t *testing.T) {
+	rep := Report{Suggestions: []Suggestion{
+		{Context: "a", Replace: true},
+		{Context: "b", Replace: false},
+		{Context: "c", Replace: true},
+	}}
+	got := rep.Replacements()
+	if len(got) != 2 || got[0].Context != "a" || got[1].Context != "c" {
+		t.Fatalf("replacements = %+v", got)
+	}
+}
+
+func TestSuggestionString(t *testing.T) {
+	s := Suggestion{Context: "ctx", Original: adt.KindVector, Suggested: adt.KindHashSet, Replace: true, Confidence: 0.9, CyclesPct: 0.5}
+	if out := s.String(); !strings.Contains(out, "replace with hash_set") || !strings.Contains(out, "ctx") {
+		t.Fatalf("string = %q", out)
+	}
+	s.Replace = false
+	if out := s.String(); !strings.Contains(out, "keep") {
+		t.Fatalf("string = %q", out)
+	}
+}

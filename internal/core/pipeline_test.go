@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+// TestTracePipeline exercises the full tool flow of Figure 3: an
+// application profiles several containers through a registry, the trace is
+// serialized (the "trace files" of the paper), read back, and analyzed.
+func TestTracePipeline(t *testing.T) {
+	models := testModels(t) // vector/oblivious model on Core2
+
+	// The "application": two construction sites, one of them hot.
+	m := machine.New(machine.Core2())
+	reg := profile.NewRegistry(m)
+	hot := reg.NewContainer(adt.KindVector, 8, "app/cache.entries", false)
+	cold := reg.NewContainer(adt.KindVector, 8, "app/config.flags", false)
+	for i := uint64(0); i < 1500; i++ {
+		hot.Insert(i)
+	}
+	for i := uint64(0); i < 6000; i++ {
+		hot.Find(i % 3000)
+	}
+	for i := uint64(0); i < 8; i++ {
+		cold.Insert(i)
+	}
+
+	// Serialize and reload the trace.
+	var buf bytes.Buffer
+	if err := profile.WriteTrace(&buf, reg.Snapshots()); err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := profile.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("trace records = %d", len(profiles))
+	}
+
+	// Analyze: the hot container must lead the report.
+	rep := New(models).Analyze(profiles, "Core2")
+	if len(rep.Suggestions) != 2 {
+		t.Fatalf("suggestions = %d (skipped %v)", len(rep.Suggestions), rep.Skipped)
+	}
+	if rep.Suggestions[0].Context != "app/cache.entries" {
+		t.Fatalf("hot container not first: %+v", rep.Suggestions[0])
+	}
+	if rep.Suggestions[0].CyclesPct < 0.9 {
+		t.Fatalf("hot container share = %f", rep.Suggestions[0].CyclesPct)
+	}
+
+	// The plan must round-trip as JSON.
+	var plan bytes.Buffer
+	if err := rep.WritePlan(&plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() == 0 {
+		t.Fatal("empty plan output")
+	}
+}

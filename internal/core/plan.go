@@ -1,0 +1,40 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// PlanEntry is one machine-readable replacement instruction, the format a
+// code refactoring tool (Section 3's optional consumer) would ingest.
+type PlanEntry struct {
+	Context     string  `json:"context"`
+	From        string  `json:"from"`
+	To          string  `json:"to"`
+	Confidence  float64 `json:"confidence"`
+	CyclesPct   float64 `json:"cycles_pct"`
+	MemDeltaPct float64 `json:"mem_delta_pct"`
+}
+
+// Plan extracts the replacement instructions from a report.
+func (r Report) Plan() []PlanEntry {
+	var out []PlanEntry
+	for _, s := range r.Replacements() {
+		out = append(out, PlanEntry{
+			Context:     s.Context,
+			From:        s.Original.String(),
+			To:          s.Suggested.String(),
+			Confidence:  s.Confidence,
+			CyclesPct:   s.CyclesPct,
+			MemDeltaPct: s.MemDeltaPct,
+		})
+	}
+	return out
+}
+
+// WritePlan serializes the replacement plan as JSON.
+func (r Report) WritePlan(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Plan())
+}

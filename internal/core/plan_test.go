@@ -1,0 +1,41 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/adt"
+)
+
+func TestPlanOnlyReplacements(t *testing.T) {
+	rep := Report{Suggestions: []Suggestion{
+		{Context: "a", Original: adt.KindVector, Suggested: adt.KindHashSet, Replace: true, Confidence: 0.8, CyclesPct: 0.6, MemDeltaPct: 12},
+		{Context: "b", Original: adt.KindSet, Suggested: adt.KindSet, Replace: false},
+	}}
+	plan := rep.Plan()
+	if len(plan) != 1 {
+		t.Fatalf("plan entries = %d", len(plan))
+	}
+	e := plan[0]
+	if e.Context != "a" || e.From != "vector" || e.To != "hash_set" || e.MemDeltaPct != 12 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestWritePlanJSON(t *testing.T) {
+	rep := Report{Suggestions: []Suggestion{
+		{Context: "x", Original: adt.KindList, Suggested: adt.KindVector, Replace: true, Confidence: 0.95},
+	}}
+	var buf bytes.Buffer
+	if err := rep.WritePlan(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []PlanEntry
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 || decoded[0].To != "vector" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/training"
+)
+
+// AblationRow is one configuration's validation accuracy.
+type AblationRow struct {
+	Config   string
+	Accuracy float64
+}
+
+// AblationResult is one ablation study.
+type AblationResult struct {
+	Name string
+	Rows []AblationRow
+}
+
+// Render formats an ablation.
+func (r AblationResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Config, fmt.Sprintf("%.1f%%", 100*row.Accuracy)})
+	}
+	return "Ablation: " + r.Name + "\n" + table([]string{"configuration", "accuracy"}, rows)
+}
+
+// ablationTarget is the model every ablation studies: order-oblivious
+// vector on Core2, the paper's six-candidate flagship model.
+func ablationTarget() adt.ModelTarget {
+	return adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
+}
+
+// ablationData runs Phase-I/II once so all ablations share the dataset.
+func ablationData(sc Scale) (training.Dataset, training.Options) {
+	opt := sc.trainingOptions(machine.Core2())
+	tgt := ablationTarget()
+	labels := training.Phase1(tgt, opt)
+	return training.Phase2(tgt, labels, opt), opt
+}
+
+func validateNet(net *ann.Network, ds training.Dataset, opt training.Options, n int) float64 {
+	m := &training.Model{Target: ds.Target, Arch: opt.Arch.Name, Candidates: ds.Candidates, Net: net}
+	return training.Validate(m, opt, n, 555001)
+}
+
+// AblationHardwareFeatures contrasts the full feature vector with one whose
+// hardware-counter features are masked off — the paper's central claim that
+// architectural events carry signal software features lack.
+func AblationHardwareFeatures(sc Scale) (AblationResult, error) {
+	ds, opt := ablationData(sc)
+	if len(ds.Examples) == 0 {
+		return AblationResult{}, fmt.Errorf("experiments: ablation got no training data")
+	}
+	res := AblationResult{Name: "hardware features on/off (vector model, Core2)"}
+
+	full := ann.New(profile.NumFeatures, len(ds.Candidates), sc.annConfig())
+	if _, err := full.Train(ds.Examples); err != nil {
+		return AblationResult{}, err
+	}
+	res.Rows = append(res.Rows, AblationRow{"software + hardware features", validateNet(full, ds, opt, sc.ValidationApps)})
+
+	mask := make([]float64, profile.NumFeatures)
+	for i := range mask {
+		mask[i] = 1
+	}
+	for i := profile.HardwareFeatureIndex(); i < profile.NumFeatures; i++ {
+		mask[i] = 0
+	}
+	soft := ann.New(profile.NumFeatures, len(ds.Candidates), sc.annConfig())
+	soft.SetMask(mask)
+	if _, err := soft.Train(ds.Examples); err != nil {
+		return AblationResult{}, err
+	}
+	res.Rows = append(res.Rows, AblationRow{"software features only", validateNet(soft, ds, opt, sc.ValidationApps)})
+	return res, nil
+}
+
+// AblationThreshold contrasts Phase-I labelling with and without the 5%
+// decisiveness margin (footnote 2): without it, near-ties inject label
+// noise.
+func AblationThreshold(sc Scale) (AblationResult, error) {
+	res := AblationResult{Name: "Phase-I best-DS margin (vector model, Core2)"}
+	for _, margin := range []float64{0.05, 0.0} {
+		opt := sc.trainingOptions(machine.Core2())
+		opt.Margin = margin
+		tgt := ablationTarget()
+		labels := training.Phase1(tgt, opt)
+		ds := training.Phase2(tgt, labels, opt)
+		m, err := training.TrainModel(ds, opt.Arch.Name, sc.annConfig())
+		if err != nil {
+			return AblationResult{}, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			fmt.Sprintf("margin %.0f%% (%d labelled apps)", margin*100, len(ds.Examples)),
+			training.Validate(m, opt, sc.ValidationApps, 555001),
+		})
+	}
+	return res, nil
+}
+
+// AblationHiddenWidth sweeps the hidden-layer width.
+func AblationHiddenWidth(sc Scale, widths []int) (AblationResult, error) {
+	if len(widths) == 0 {
+		widths = []int{4, 12, 24, 48}
+	}
+	ds, opt := ablationData(sc)
+	res := AblationResult{Name: "ANN hidden-layer width (vector model, Core2)"}
+	for _, w := range widths {
+		cfg := sc.annConfig()
+		cfg.Hidden = w
+		net := ann.New(profile.NumFeatures, len(ds.Candidates), cfg)
+		if _, err := net.Train(ds.Examples); err != nil {
+			return AblationResult{}, err
+		}
+		res.Rows = append(res.Rows, AblationRow{fmt.Sprintf("hidden = %d", w), validateNet(net, ds, opt, sc.ValidationApps)})
+	}
+	return res, nil
+}
+
+// AblationTrainingSize sweeps the number of labelled training applications,
+// the over-fitting discussion of Section 4.1: too few examples and the
+// model latches onto noise.
+func AblationTrainingSize(sc Scale, sizes []int) (AblationResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{25, 75, sc.TrainApps}
+	}
+	ds, opt := ablationData(sc)
+	res := AblationResult{Name: "training-set size (vector model, Core2)"}
+	for _, n := range sizes {
+		if n > len(ds.Examples) {
+			n = len(ds.Examples)
+		}
+		net := ann.New(profile.NumFeatures, len(ds.Candidates), sc.annConfig())
+		if _, err := net.Train(ds.Examples[:n]); err != nil {
+			return AblationResult{}, err
+		}
+		res.Rows = append(res.Rows, AblationRow{fmt.Sprintf("%d training apps", n), validateNet(net, ds, opt, sc.ValidationApps)})
+	}
+	return res, nil
+}
+
+// AblationCrossArch quantifies why per-architecture models matter (the
+// consequence of Figure 1): a model trained on Core2 is validated once
+// against the Core2 oracle (native) and once against the Atom oracle
+// (transferred). The paper's 43% best-DS disagreement between the two
+// machines bounds how well a transferred model can possibly do.
+func AblationCrossArch(sc Scale) (AblationResult, error) {
+	tgt := ablationTarget()
+	coreOpt := sc.trainingOptions(machine.Core2())
+	labels := training.Phase1(tgt, coreOpt)
+	ds := training.Phase2(tgt, labels, coreOpt)
+	m, err := training.TrainModel(ds, "Core2", sc.annConfig())
+	if err != nil {
+		return AblationResult{}, err
+	}
+	res := AblationResult{Name: "cross-architecture model transfer (vector model)"}
+	res.Rows = append(res.Rows, AblationRow{
+		"trained on Core2, validated on Core2",
+		training.Validate(m, coreOpt, sc.ValidationApps, 555001),
+	})
+	// Same model, but the ground truth comes from Atom's oracle: profiles
+	// are collected on Atom too, since that is where the app would run.
+	atomOpt := sc.trainingOptions(machine.Atom())
+	res.Rows = append(res.Rows, AblationRow{
+		"trained on Core2, validated on Atom",
+		training.Validate(m, atomOpt, sc.ValidationApps, 555001),
+	})
+	return res, nil
+}

@@ -1,0 +1,498 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/perflint"
+	"repro/internal/profile"
+	"repro/internal/workloads/chord"
+	"repro/internal/workloads/raytrace"
+	"repro/internal/workloads/relipmoc"
+	"repro/internal/workloads/xalan"
+)
+
+// Scheme names a selection strategy of Figures 11 and 13.
+type Scheme string
+
+// The four compared schemes.
+const (
+	SchemeBaseline Scheme = "Baseline"
+	SchemePerflint Scheme = "Perflint"
+	SchemeBrainy   Scheme = "Brainy"
+	SchemeOracle   Scheme = "Oracle"
+)
+
+// CaseResult is one (application, input, architecture) cell of a case
+// study: measured cycles per candidate and each scheme's selection.
+type CaseResult struct {
+	App               string
+	Input             string
+	Arch              string
+	Kinds             []adt.Kind
+	Cycles            map[adt.Kind]float64
+	Selected          map[Scheme]adt.Kind
+	PerflintSupported bool
+}
+
+// Norm returns the execution time of kind normalized to the baseline.
+func (c CaseResult) Norm(kind adt.Kind) float64 {
+	base := c.Cycles[c.Kinds[0]]
+	if base == 0 {
+		return 0
+	}
+	return c.Cycles[kind] / base
+}
+
+// ImprovementPct returns the speedup of the scheme's selection over the
+// baseline, as a percentage of baseline time.
+func (c CaseResult) ImprovementPct(s Scheme) float64 {
+	sel, ok := c.Selected[s]
+	if !ok {
+		return 0
+	}
+	base := c.Cycles[c.Kinds[0]]
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - c.Cycles[sel]) / base
+}
+
+// valueCarrying maps set-family suggestions to their map-family names for
+// workloads whose elements are keyed records (Chord's pending messages),
+// following the paper's footnote 5 in reverse.
+func valueCarrying(k adt.Kind) adt.Kind {
+	switch k {
+	case adt.KindSet:
+		return adt.KindMap
+	case adt.KindAVLSet:
+		return adt.KindAVLMap
+	case adt.KindHashSet:
+		return adt.KindHashMap
+	default:
+		return k
+	}
+}
+
+// caseSpec abstracts one evaluation application for the scheme harness.
+type caseSpec struct {
+	app        string
+	inputs     []string
+	original   adt.Kind
+	orderAware bool
+	kinds      []adt.Kind
+	mapNames   bool // render set-family kinds as map-family
+	// runAll measures every candidate on (input, arch).
+	runAll func(input string, arch machine.Config) (map[adt.Kind]float64, error)
+	// runKind measures one specific container kind on (input, arch); it is
+	// used to honestly price scheme suggestions outside the figure's
+	// candidate set.
+	runKind func(input string, arch machine.Config, k adt.Kind) (float64, error)
+	// profileOriginal runs the original container instrumented on arch.
+	profileOriginal func(input string, arch machine.Config) (profile.Profile, error)
+	// drivePerflint replays the op stream through a Perflint advisor.
+	drivePerflint func(input string, adv *perflint.Advisor) error
+}
+
+func xalanSpec() caseSpec {
+	return caseSpec{
+		app:      "Xalancbmk",
+		inputs:   []string{"test", "train", "reference"},
+		original: xalan.Original(),
+		kinds:    xalan.CandidateKinds(),
+		runAll: func(input string, arch machine.Config) (map[adt.Kind]float64, error) {
+			in, err := xalan.InputByName(input)
+			if err != nil {
+				return nil, err
+			}
+			out := map[adt.Kind]float64{}
+			for _, r := range xalan.RunAll(in, arch) {
+				out[r.Kind] = r.Cycles
+			}
+			return out, nil
+		},
+		runKind: func(input string, arch machine.Config, k adt.Kind) (float64, error) {
+			in, err := xalan.InputByName(input)
+			if err != nil {
+				return 0, err
+			}
+			return xalan.Run(k, in, arch).Cycles, nil
+		},
+		profileOriginal: func(input string, arch machine.Config) (profile.Profile, error) {
+			in, err := xalan.InputByName(input)
+			if err != nil {
+				return profile.Profile{}, err
+			}
+			return xalan.Run(xalan.Original(), in, arch).Profile, nil
+		},
+		drivePerflint: func(input string, adv *perflint.Advisor) error {
+			in, err := xalan.InputByName(input)
+			if err != nil {
+				return err
+			}
+			xalan.Drive(adv, in)
+			return nil
+		},
+	}
+}
+
+func chordSpec() caseSpec {
+	return caseSpec{
+		app:      "Chord simulator",
+		inputs:   []string{"small", "medium", "large"},
+		original: chord.Original(),
+		kinds:    chord.CandidateKinds(),
+		mapNames: true,
+		runAll: func(input string, arch machine.Config) (map[adt.Kind]float64, error) {
+			in, err := chord.InputByName(input)
+			if err != nil {
+				return nil, err
+			}
+			out := map[adt.Kind]float64{}
+			for _, r := range chord.RunAll(in, arch) {
+				out[r.Kind] = r.Cycles
+			}
+			return out, nil
+		},
+		runKind: func(input string, arch machine.Config, k adt.Kind) (float64, error) {
+			in, err := chord.InputByName(input)
+			if err != nil {
+				return 0, err
+			}
+			return chord.Run(k, in, arch).Cycles, nil
+		},
+		profileOriginal: func(input string, arch machine.Config) (profile.Profile, error) {
+			in, err := chord.InputByName(input)
+			if err != nil {
+				return profile.Profile{}, err
+			}
+			return chord.Run(chord.Original(), in, arch).Profile, nil
+		},
+		drivePerflint: func(input string, adv *perflint.Advisor) error {
+			in, err := chord.InputByName(input)
+			if err != nil {
+				return err
+			}
+			chord.Drive(adv, in)
+			return nil
+		},
+	}
+}
+
+func relipmocSpec() caseSpec {
+	return caseSpec{
+		app:      "RelipmoC",
+		inputs:   []string{"default"},
+		original: relipmoc.Original(),
+		kinds:    relipmoc.CandidateKinds(),
+		runAll: func(input string, arch machine.Config) (map[adt.Kind]float64, error) {
+			in := relipmoc.Inputs()[1]
+			out := map[adt.Kind]float64{}
+			for _, r := range relipmoc.RunAll(in, arch) {
+				out[r.Kind] = r.Cycles
+			}
+			return out, nil
+		},
+		runKind: func(input string, arch machine.Config, k adt.Kind) (float64, error) {
+			return relipmoc.Run(k, relipmoc.Inputs()[1], arch).Cycles, nil
+		},
+		profileOriginal: func(input string, arch machine.Config) (profile.Profile, error) {
+			return relipmoc.Run(relipmoc.Original(), relipmoc.Inputs()[1], arch).Profile, nil
+		},
+		drivePerflint: func(input string, adv *perflint.Advisor) error {
+			relipmoc.Drive(adv, relipmoc.Inputs()[1])
+			return nil
+		},
+	}
+}
+
+func raytraceSpec() caseSpec {
+	return caseSpec{
+		app:        "Raytrace",
+		inputs:     []string{"default"},
+		original:   raytrace.Original(),
+		orderAware: true,
+		kinds:      raytrace.CandidateKinds(),
+		runAll: func(input string, arch machine.Config) (map[adt.Kind]float64, error) {
+			in, err := raytrace.InputByName("default")
+			if err != nil {
+				return nil, err
+			}
+			out := map[adt.Kind]float64{}
+			for _, r := range raytrace.RunAll(in, arch) {
+				out[r.Kind] = r.Cycles
+			}
+			return out, nil
+		},
+		runKind: func(input string, arch machine.Config, k adt.Kind) (float64, error) {
+			in, err := raytrace.InputByName("default")
+			if err != nil {
+				return 0, err
+			}
+			return raytrace.Run(k, in, arch).Cycles, nil
+		},
+		profileOriginal: func(input string, arch machine.Config) (profile.Profile, error) {
+			in, err := raytrace.InputByName("default")
+			if err != nil {
+				return profile.Profile{}, err
+			}
+			return raytrace.Run(raytrace.Original(), in, arch).Profile, nil
+		},
+		drivePerflint: func(input string, adv *perflint.Advisor) error {
+			in, err := raytrace.InputByName("default")
+			if err != nil {
+				return err
+			}
+			// Every group shares one advisor so costs accumulate app-wide.
+			raytrace.Drive(in, func(int) adt.Container { return adv })
+			return nil
+		},
+	}
+}
+
+// runCase evaluates every scheme for one spec on one (input, arch).
+func runCase(spec caseSpec, input string, arch machine.Config, brainy *core.Brainy) (CaseResult, error) {
+	cycles, err := spec.runAll(input, arch)
+	if err != nil {
+		return CaseResult{}, err
+	}
+	res := CaseResult{
+		App:      spec.app,
+		Input:    input,
+		Arch:     arch.Name,
+		Kinds:    spec.kinds,
+		Cycles:   cycles,
+		Selected: map[Scheme]adt.Kind{SchemeBaseline: spec.original},
+	}
+
+	// Oracle: empirically fastest candidate.
+	best := spec.kinds[0]
+	for _, k := range spec.kinds[1:] {
+		if cycles[k] < cycles[best] {
+			best = k
+		}
+	}
+	res.Selected[SchemeOracle] = best
+
+	// Perflint: replay through the hand-constructed advisor. The advisor's
+	// cost model needs no machine, so it runs on the no-op memory model.
+	adv := perflint.NewAdvisor(adt.New(spec.original, mem.Nop{}, 8), nil)
+	if err := spec.drivePerflint(input, adv); err != nil {
+		return CaseResult{}, err
+	}
+	if suggestion, ok := adv.Advise(); ok {
+		if spec.mapNames {
+			suggestion = valueCarrying(suggestion)
+		}
+		res.Selected[SchemePerflint] = suggestion
+		res.PerflintSupported = true
+	}
+
+	// Brainy: profile the original, consult the trained model.
+	if brainy != nil {
+		prof, err := spec.profileOriginal(input, arch)
+		if err != nil {
+			return CaseResult{}, err
+		}
+		s, err := brainy.Suggest(&prof, arch.Name)
+		if err != nil {
+			return CaseResult{}, fmt.Errorf("experiments: %s/%s: %w", spec.app, arch.Name, err)
+		}
+		suggestion := s.Suggested
+		if spec.mapNames {
+			suggestion = valueCarrying(suggestion)
+		}
+		res.Selected[SchemeBrainy] = suggestion
+	}
+
+	// Any scheme may suggest a kind outside the figure's candidate set
+	// (e.g. deque for a vector original); price those selections honestly.
+	for _, sel := range res.Selected {
+		if _, measured := res.Cycles[sel]; !measured {
+			cyc, err := spec.runKind(input, arch, sel)
+			if err != nil {
+				return CaseResult{}, err
+			}
+			res.Cycles[sel] = cyc
+		}
+	}
+	return res, nil
+}
+
+// CaseStudy runs one named application across its inputs and both
+// architectures. Valid names: xalan, chord, relipmoc, raytrace.
+func CaseStudy(name string, brainy *core.Brainy) ([]CaseResult, error) {
+	var spec caseSpec
+	switch name {
+	case "xalan":
+		spec = xalanSpec()
+	case "chord":
+		spec = chordSpec()
+	case "relipmoc":
+		spec = relipmocSpec()
+	case "raytrace":
+		spec = raytraceSpec()
+	default:
+		return nil, fmt.Errorf("experiments: unknown case study %q", name)
+	}
+	var out []CaseResult
+	for _, arch := range Archs() {
+		for _, input := range spec.inputs {
+			cr, err := runCase(spec, input, arch, brainy)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cr)
+		}
+	}
+	return out, nil
+}
+
+// RenderCases formats Figures 10-13: normalized times plus the scheme table.
+func RenderCases(results []CaseResult) string {
+	if len(results) == 0 {
+		return "(no results)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: normalized execution times (baseline = 1.00)\n", results[0].App)
+	kinds := results[0].Kinds
+	header := []string{"arch", "input"}
+	for _, k := range kinds {
+		header = append(header, k.String())
+	}
+	var rows [][]string
+	for _, r := range results {
+		row := []string{r.Arch, r.Input}
+		for _, k := range kinds {
+			row = append(row, fmt.Sprintf("%.2f", r.Norm(k)))
+		}
+		rows = append(rows, row)
+	}
+	sb.WriteString(table(header, rows))
+
+	sb.WriteString("\nselection schemes\n")
+	rows = rows[:0]
+	for _, r := range results {
+		pf := "unsupported"
+		if r.PerflintSupported {
+			pf = r.Selected[SchemePerflint].String()
+		}
+		brainyCell := "-"
+		if k, ok := r.Selected[SchemeBrainy]; ok {
+			brainyCell = k.String()
+		}
+		rows = append(rows, []string{
+			r.Arch, r.Input,
+			r.Selected[SchemeBaseline].String(),
+			pf,
+			brainyCell,
+			r.Selected[SchemeOracle].String(),
+		})
+	}
+	sb.WriteString(table([]string{"arch", "input", "baseline", "perflint", "brainy", "oracle"}, rows))
+	return sb.String()
+}
+
+// --- Table 4: find invocations and touched elements per Xalancbmk input ---
+
+// Tab4Row is one input's counts, measured on the original vector.
+type Tab4Row struct {
+	Input       string
+	Invocations uint64
+	Touched     uint64
+}
+
+// Table4 measures the original busy-list vector across inputs on Core2.
+func Table4() []Tab4Row {
+	var out []Tab4Row
+	for _, in := range xalan.Inputs() {
+		r := xalan.Run(xalan.Original(), in, machine.Core2())
+		out = append(out, Tab4Row{Input: in.Name, Invocations: r.FindInvocations, Touched: r.TouchedElements})
+	}
+	return out
+}
+
+// RenderTable4 formats Table 4.
+func RenderTable4(rows []Tab4Row) string {
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{r.Input, fmt.Sprint(r.Invocations), fmt.Sprint(r.Touched)})
+	}
+	return "Table 4: find/erase invocations and touched elements (vector busy list, Core2)\n" +
+		table([]string{"input", "invocations", "touched elements"}, cells)
+}
+
+// --- Figure 8: performance improvement summary ---
+
+// Fig8Row is one (application, architecture) improvement cell.
+type Fig8Row struct {
+	App            string
+	Arch           string
+	Input          string // input where Brainy's best improvement occurred
+	ImprovementPct float64
+}
+
+// Fig8Result is the whole figure plus the per-arch averages.
+type Fig8Result struct {
+	Rows []Fig8Row
+	Avg  map[string]float64
+}
+
+// Figure8 computes, per application and architecture, the best improvement
+// Brainy's suggestion achieves over the baseline across the inputs —
+// matching the paper's "only the best performance result appears".
+func Figure8(brainy *core.Brainy) (Fig8Result, error) {
+	res := Fig8Result{Avg: map[string]float64{}}
+	apps := []string{"xalan", "chord", "relipmoc", "raytrace"}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, app := range apps {
+		cases, err := CaseStudy(app, brainy)
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		bestByArch := map[string]Fig8Row{}
+		for _, c := range cases {
+			imp := c.ImprovementPct(SchemeBrainy)
+			cur, ok := bestByArch[c.Arch]
+			if !ok || imp > cur.ImprovementPct {
+				bestByArch[c.Arch] = Fig8Row{App: c.App, Arch: c.Arch, Input: c.Input, ImprovementPct: imp}
+			}
+		}
+		for _, arch := range Archs() {
+			row := bestByArch[arch.Name]
+			res.Rows = append(res.Rows, row)
+			sums[arch.Name] += row.ImprovementPct
+			counts[arch.Name]++
+		}
+	}
+	for arch, s := range sums {
+		res.Avg[arch] = s / float64(counts[arch])
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		if res.Rows[i].App != res.Rows[j].App {
+			return res.Rows[i].App < res.Rows[j].App
+		}
+		return res.Rows[i].Arch < res.Rows[j].Arch
+	})
+	return res, nil
+}
+
+// Render formats Figure 8.
+func (r Fig8Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.App, row.Arch, row.Input, fmt.Sprintf("%.1f%%", row.ImprovementPct)})
+	}
+	out := "Figure 8: performance improvement from Brainy's selections\n" +
+		table([]string{"application", "arch", "best input", "improvement"}, rows)
+	for _, arch := range Archs() {
+		out += fmt.Sprintf("average on %s: %.1f%%\n", arch.Name, r.Avg[arch.Name])
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a pure function from a Scale (how much
+// compute to spend) to a typed result with a text renderer; cmd/experiments
+// exposes them on the command line and the repository's root benchmarks run
+// them at reduced scale.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+	"repro/internal/appgen"
+	"repro/internal/machine"
+	"repro/internal/training"
+)
+
+// Scale bounds the compute an experiment spends. Paper-scale training used
+// thousands of applications per model; Small keeps every experiment under a
+// few seconds for tests and benchmarks.
+type Scale struct {
+	Name            string
+	TrainApps       int // Phase-I labelled applications per model target
+	MaxSeeds        int // Phase-I generation bound
+	Calls           int // interface calls per synthetic application
+	ValidationApps  int // fresh applications per model for Figure 9
+	Fig1PerBucket   int // applications per Figure 1 bar
+	Fig6Apps        int // scatter points per Figure 6 series
+	ANNEpochs       int
+	GAGenerations   int
+	GAPopulation    int
+	GAFitnessEpochs int // ANN epochs inside the GA fitness evaluation
+}
+
+// SmallScale is the test/bench budget (seconds per experiment).
+func SmallScale() Scale {
+	return Scale{
+		Name:            "small",
+		TrainApps:       150,
+		MaxSeeds:        1500,
+		Calls:           250,
+		ValidationApps:  80,
+		Fig1PerBucket:   60,
+		Fig6Apps:        120,
+		ANNEpochs:       150,
+		GAGenerations:   4,
+		GAPopulation:    8,
+		GAFitnessEpochs: 25,
+	}
+}
+
+// FullScale approximates the paper's budget (minutes to hours).
+func FullScale() Scale {
+	return Scale{
+		Name:            "full",
+		TrainApps:       1000,
+		MaxSeeds:        20000,
+		Calls:           1000,
+		ValidationApps:  1000,
+		Fig1PerBucket:   1000,
+		Fig6Apps:        1000,
+		ANNEpochs:       300,
+		GAGenerations:   10,
+		GAPopulation:    16,
+		GAFitnessEpochs: 60,
+	}
+}
+
+// trainingOptions derives the training configuration for one architecture.
+func (sc Scale) trainingOptions(arch machine.Config) training.Options {
+	opt := training.DefaultOptions(arch)
+	opt.AppCfg.TotalInterfCalls = sc.Calls
+	opt.AppCfg.MaxPrepopulate = 4 * sc.Calls
+	opt.AppCfg.MaxIterCount = 4 * sc.Calls
+	opt.PerTargetApps = sc.TrainApps
+	opt.MaxSeeds = sc.MaxSeeds
+	return opt
+}
+
+func (sc Scale) annConfig() ann.Config {
+	cfg := ann.DefaultConfig()
+	cfg.Epochs = sc.ANNEpochs
+	return cfg
+}
+
+// Archs returns the two evaluated microarchitectures.
+func Archs() []machine.Config {
+	return []machine.Config{machine.Core2(), machine.Atom()}
+}
+
+// TrainModels runs the full two-phase framework for every model target on
+// both architectures. It is the expensive shared step behind Figures 8-13;
+// callers should reuse the result across experiments.
+func TrainModels(sc Scale) (*training.ModelSet, error) {
+	set := training.NewModelSet()
+	for _, arch := range Archs() {
+		opt := sc.trainingOptions(arch)
+		sub, err := training.TrainAll(opt, sc.annConfig(), adt.Targets())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: training on %s: %w", arch.Name, err)
+		}
+		for _, tgt := range adt.Targets() {
+			if m, ok := sub.Get(tgt.Kind, tgt.OrderAware, arch.Name); ok {
+				set.Put(m)
+			}
+		}
+	}
+	return set, nil
+}
+
+// table renders rows of columns with aligned columns.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// bar renders a proportional ASCII bar of width w for value in [0, max].
+func bar(value, max float64, w int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / max * float64(w))
+	if n > w {
+		n = w
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", w-n)
+}
+
+// oracleOf returns the empirically fastest kind for an app on an arch.
+func oracleOf(app *appgen.App, cfg appgen.Config, arch machine.Config) adt.Kind {
+	return training.Oracle(app, cfg, arch)
+}

@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/perflint"
+	"repro/internal/training"
+)
+
+// tinyScale keeps individual experiment tests fast. TrainApps stays at 150:
+// below that the list-aware models are not reliable enough for the
+// raytrace assertion in TestBrainyEndToEnd.
+func tinyScale() Scale {
+	sc := SmallScale()
+	sc.TrainApps = 150
+	sc.MaxSeeds = 1500
+	sc.Calls = 200
+	sc.ValidationApps = 40
+	sc.Fig1PerBucket = 25
+	sc.Fig6Apps = 60
+	sc.ANNEpochs = 150
+	return sc
+}
+
+// sharedModels trains one small model set for all tests in this package.
+var (
+	modelsOnce sync.Once
+	modelsSet  *training.ModelSet
+	modelsErr  error
+)
+
+func sharedBrainy(t *testing.T) *core.Brainy {
+	t.Helper()
+	modelsOnce.Do(func() {
+		modelsSet, modelsErr = TrainModels(tinyScale())
+	})
+	if modelsErr != nil {
+		t.Fatal(modelsErr)
+	}
+	return core.New(modelsSet)
+}
+
+func TestStaticArtifactsRender(t *testing.T) {
+	if s := Table1(); !strings.Contains(s, "hash_set") || !strings.Contains(s, "order-oblivious") {
+		t.Fatalf("Table1 incomplete:\n%s", s)
+	}
+	if s := Table2(); !strings.Contains(s, "TotalInterfCalls") {
+		t.Fatalf("Table2 incomplete:\n%s", s)
+	}
+	if s := Figure7(); !strings.Contains(s, "Core2") || !strings.Contains(s, "Atom") {
+		t.Fatalf("Figure7 incomplete:\n%s", s)
+	}
+	f2 := Figure2()
+	if len(f2.Counts) == 0 || f2.Counts[0].Container != "vector" {
+		t.Fatalf("Figure2 ranking wrong: %+v", f2.Counts)
+	}
+	if !strings.Contains(f2.Render(), "vector") {
+		t.Fatal("Figure2 render incomplete")
+	}
+}
+
+func TestFigure1Disagreement(t *testing.T) {
+	res := Figure1(tinyScale())
+	if len(res.Rows) < 2 {
+		t.Fatalf("Figure1 produced %d buckets", len(res.Rows))
+	}
+	if res.OverallDisagreePct <= 0 || res.OverallDisagreePct >= 100 {
+		t.Fatalf("disagreement = %.1f%%, want a nontrivial fraction", res.OverallDisagreePct)
+	}
+	total := 0
+	for _, row := range res.Rows {
+		if row.Agree+row.Disagree != row.Total {
+			t.Fatalf("bucket %v inconsistent: %+v", row.BestOnCore2, row)
+		}
+		total += row.Total
+	}
+	if total == 0 {
+		t.Fatal("no applications classified")
+	}
+	if !strings.Contains(res.Render(), "disagree") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFigure6ResizeMispredictCorrelation(t *testing.T) {
+	res := Figure6(tinyScale())
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) < 20 {
+			t.Fatalf("series has only %d points", len(s.Points))
+		}
+		// The paper's Figure 6: more resizing correlates with more branch
+		// mispredictions.
+		if s.Correlation <= 0.1 {
+			t.Fatalf("orderAware=%v: correlation %.3f not positive", s.OrderAware, s.Correlation)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Tab4Row{}
+	for _, r := range rows {
+		byName[r.Input] = r
+	}
+	// Reference must dwarf test in both invocations and touched elements,
+	// and train must touch far fewer elements per find than reference.
+	if byName["reference"].Invocations <= byName["test"].Invocations {
+		t.Fatal("reference should issue more finds than test")
+	}
+	trainPer := float64(byName["train"].Touched) / float64(byName["train"].Invocations)
+	refPer := float64(byName["reference"].Touched) / float64(byName["reference"].Invocations)
+	if refPer <= trainPer {
+		t.Fatalf("touched/find: reference %.1f <= train %.1f", refPer, trainPer)
+	}
+	if !strings.Contains(RenderTable4(rows), "reference") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestPerflintColumnsMatchPaper(t *testing.T) {
+	// The Perflint baseline needs no trained models, so its column is exact:
+	// set for every Xalancbmk input (wrong on train), map for every Chord
+	// input, unsupported for RelipmoC, vector for Raytrace.
+	cases, err := CaseStudy("xalan", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		if !c.PerflintSupported || c.Selected[SchemePerflint] != adt.KindSet {
+			t.Fatalf("xalan %s/%s: perflint = %v", c.Arch, c.Input, c.Selected[SchemePerflint])
+		}
+	}
+	cases, err = CaseStudy("chord", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		if c.Selected[SchemePerflint] != adt.KindMap {
+			t.Fatalf("chord %s/%s: perflint = %v", c.Arch, c.Input, c.Selected[SchemePerflint])
+		}
+	}
+	cases, err = CaseStudy("relipmoc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		if c.PerflintSupported {
+			t.Fatalf("relipmoc %s: perflint should be unsupported", c.Arch)
+		}
+	}
+	cases, err = CaseStudy("raytrace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		if c.Selected[SchemePerflint] != adt.KindVector {
+			t.Fatalf("raytrace %s: perflint = %v", c.Arch, c.Selected[SchemePerflint])
+		}
+	}
+}
+
+func TestOracleColumnsMatchPaperShape(t *testing.T) {
+	cases, err := CaseStudy("xalan", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]adt.Kind{"test": adt.KindHashSet, "train": adt.KindVector, "reference": adt.KindHashSet}
+	for _, c := range cases {
+		if c.Selected[SchemeOracle] != want[c.Input] {
+			t.Fatalf("xalan %s/%s oracle = %v, want %v", c.Arch, c.Input, c.Selected[SchemeOracle], want[c.Input])
+		}
+	}
+	cases, err = CaseStudy("raytrace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		if c.Selected[SchemeOracle] != adt.KindVector {
+			t.Fatalf("raytrace oracle = %v", c.Selected[SchemeOracle])
+		}
+	}
+}
+
+func TestCaseStudyUnknownApp(t *testing.T) {
+	if _, err := CaseStudy("doom", nil); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestBrainyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	brainy := sharedBrainy(t)
+	// Raytrace and RelipmoC have unambiguous winners; a trained Brainy must
+	// get them right even at tiny scale.
+	cases, err := CaseStudy("raytrace", brainy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		if c.Selected[SchemeBrainy] != adt.KindVector {
+			t.Errorf("raytrace %s: brainy = %v, want vector", c.Arch, c.Selected[SchemeBrainy])
+		}
+		if c.ImprovementPct(SchemeBrainy) <= 0 {
+			t.Errorf("raytrace %s: no improvement from brainy's pick", c.Arch)
+		}
+	}
+	cases, err = CaseStudy("relipmoc", brainy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		if got := c.Selected[SchemeBrainy]; got != adt.KindAVLSet && got != adt.KindSet {
+			t.Errorf("relipmoc %s: brainy = %v, want a tree", c.Arch, got)
+		}
+	}
+	// Every suggestion must be priced.
+	for _, app := range []string{"xalan", "chord"} {
+		cases, err = CaseStudy(app, brainy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cases {
+			for scheme, sel := range c.Selected {
+				if _, ok := c.Cycles[sel]; !ok {
+					t.Errorf("%s %s/%s: %s selection %v not measured", app, c.Arch, c.Input, scheme, sel)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure8Bounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	brainy := sharedBrainy(t)
+	res, err := Figure8(brainy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 { // 4 apps x 2 archs
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.ImprovementPct > 100 || row.ImprovementPct < -100 {
+			t.Fatalf("improvement %.1f%% out of bounds: %+v", row.ImprovementPct, row)
+		}
+	}
+	if !strings.Contains(res.Render(), "average") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestAblationHardwareFeatures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	res, err := AblationHardwareFeatures(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Accuracy <= 0 || row.Accuracy > 1 {
+			t.Fatalf("accuracy %f out of range", row.Accuracy)
+		}
+	}
+}
+
+func TestModelSetPersistRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	brainy := sharedBrainy(t)
+	var sb strings.Builder
+	if err := brainy.Models().Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := training.LoadModelSet(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != brainy.Models().Len() {
+		t.Fatalf("round trip lost models: %d vs %d", loaded.Len(), brainy.Models().Len())
+	}
+}
+
+func TestCalibratePerflint(t *testing.T) {
+	coef, err := CalibratePerflint(tinyScale(), machine.Core2(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One coefficient vector per calibrated candidate kind.
+	for _, k := range []adt.Kind{adt.KindVector, adt.KindList, adt.KindDeque, adt.KindSet} {
+		w, ok := coef[k]
+		if !ok {
+			t.Fatalf("missing coefficients for %v", k)
+		}
+		if len(w) == 0 {
+			t.Fatalf("%v: empty coefficients", k)
+		}
+	}
+	// A find on a sizeable vector must predict dearer than on a set when
+	// the fitted coefficients are applied to the asymptotic costs: check
+	// via an advisor loaded with the calibrated table.
+	inner := adt.New(adt.KindVector, nil, 8)
+	adv := perflint.NewAdvisor(inner, coef)
+	for i := uint64(0); i < 400; i++ {
+		adv.Insert(i)
+	}
+	for i := 0; i < 4000; i++ {
+		adv.Find(uint64(i % 400))
+	}
+	if got, ok := adv.Advise(); !ok || got != adt.KindSet {
+		t.Fatalf("calibrated perflint advice = %v,%v; want set for find-heavy vector", got, ok)
+	}
+}
+
+func TestAblationCrossArchTransferLoses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	sc := tinyScale()
+	sc.ValidationApps = 150
+	res, err := AblationCrossArch(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	native, transferred := res.Rows[0].Accuracy, res.Rows[1].Accuracy
+	for _, acc := range []float64{native, transferred} {
+		if acc <= 0.3 || acc > 1 {
+			t.Fatalf("accuracy out of plausible range: native %.2f transferred %.2f", native, transferred)
+		}
+	}
+	// Transfer should not *beat* the native model by more than sampling
+	// noise; a large positive gap would mean per-arch training is useless,
+	// contradicting Figure 1.
+	if transferred > native+0.07 {
+		t.Fatalf("transferred model (%.2f) clearly beats native (%.2f)", transferred, native)
+	}
+}

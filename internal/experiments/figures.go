@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/adt"
+	"repro/internal/appgen"
+	"repro/internal/codesurvey"
+	"repro/internal/machine"
+	"repro/internal/opstats"
+)
+
+// --- Figure 1: best-DS agreement between Core2 and Atom ---
+
+// Fig1Row is one bar: applications whose best data structure on Core2 is
+// BestOnCore2, split by whether Atom agrees.
+type Fig1Row struct {
+	BestOnCore2 adt.Kind
+	Total       int
+	Agree       int
+	Disagree    int
+}
+
+// Fig1Result is the whole figure.
+type Fig1Result struct {
+	Rows               []Fig1Row
+	OverallDisagreePct float64
+}
+
+// Figure1 generates random applications across every model target, finds
+// the best data structure on each architecture with the oracle, and buckets
+// the applications by their Core2 winner. The paper's headline: on average
+// 43% of applications change their optimal data structure between the two
+// microarchitectures.
+func Figure1(sc Scale) Fig1Result {
+	// Figure 1 uses paper-sized applications (1000 interface calls over
+	// containers up to a few thousand elements) regardless of the training
+	// scale: the architecture disagreement grows with working-set size, and
+	// undersized apps underestimate it.
+	cfg := appgen.DefaultConfig()
+	cfg.MaxPrepopulate = 4096
+	cfg.MaxIterCount = 4096
+	buckets := map[adt.Kind]*Fig1Row{}
+	total, disagree := 0, 0
+	core2, atom := machine.Core2(), machine.Atom()
+
+	seed := int64(50000)
+	for _, tgt := range adt.Targets() {
+		collected := 0
+		for s := int64(0); collected < sc.Fig1PerBucket && s < int64(sc.MaxSeeds); s++ {
+			app := appgen.Generate(cfg, tgt, seed+s)
+			bestC2 := oracleOf(&app, cfg, core2)
+			bestAtom := oracleOf(&app, cfg, atom)
+			row := buckets[bestC2]
+			if row == nil {
+				row = &Fig1Row{BestOnCore2: bestC2}
+				buckets[bestC2] = row
+			}
+			row.Total++
+			if bestC2 == bestAtom {
+				row.Agree++
+			} else {
+				row.Disagree++
+				disagree++
+			}
+			total++
+			collected++
+		}
+		seed += int64(sc.MaxSeeds)
+	}
+	res := Fig1Result{}
+	for _, row := range buckets {
+		res.Rows = append(res.Rows, *row)
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].BestOnCore2 < res.Rows[j].BestOnCore2 })
+	if total > 0 {
+		res.OverallDisagreePct = 100 * float64(disagree) / float64(total)
+	}
+	return res
+}
+
+// Render formats Figure 1.
+func (r Fig1Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.BestOnCore2.String(),
+			fmt.Sprint(row.Total),
+			fmt.Sprint(row.Agree),
+			fmt.Sprint(row.Disagree),
+			fmt.Sprintf("%.0f%%", 100*float64(row.Disagree)/float64(max(row.Total, 1))),
+			bar(float64(row.Disagree), float64(max(row.Total, 1)), 20),
+		})
+	}
+	return "Figure 1: best data structure agreement, Core2 vs Atom\n" +
+		table([]string{"best on Core2", "apps", "agree", "disagree", "disagree%", "disagree bar"}, rows) +
+		fmt.Sprintf("overall disagreement: %.1f%% (paper: 43%% average)\n", r.OverallDisagreePct)
+}
+
+// --- Figure 2: container occurrences in the code corpus ---
+
+// Fig2Result is the survey ranking.
+type Fig2Result struct {
+	Counts []codesurvey.Count
+}
+
+// Figure2 scans the embedded corpus, standing in for Google Code Search.
+func Figure2() Fig2Result {
+	return Fig2Result{Counts: codesurvey.Survey()}
+}
+
+// Render formats Figure 2.
+func (r Fig2Result) Render() string {
+	rows := make([][]string, 0, len(r.Counts))
+	for _, c := range r.Counts {
+		rows = append(rows, []string{c.Container, fmt.Sprint(c.Refs)})
+	}
+	return "Figure 2: container occurrences in the embedded corpus\n" +
+		table([]string{"container", "static refs"}, rows)
+}
+
+// --- Table 1: replacement matrix ---
+
+// Table1 renders the replacement matrix encoded in internal/adt.
+func Table1() string {
+	rows := make([][]string, 0, len(adt.Replacements))
+	for _, r := range adt.Replacements {
+		lim := "none"
+		if r.OrderOblivious {
+			lim = "order-oblivious"
+		}
+		rows = append(rows, []string{r.From.String(), r.To.String(), r.Benefit, lim})
+	}
+	return "Table 1: data structure replacements considered\n" +
+		table([]string{"DS", "alternate DS", "benefit", "limitation"}, rows)
+}
+
+// --- Table 2: generator configuration ---
+
+// Table2 renders the application generator's configuration knobs.
+func Table2() string {
+	cfg := appgen.DefaultConfig()
+	rows := [][]string{
+		{"TotalInterfCalls", fmt.Sprint(cfg.TotalInterfCalls), "total interface invocations per application"},
+		{"DataElemSize", fmt.Sprint(cfg.DataElemSizes), "element-size choices (bytes)"},
+		{"MaxInsertVal", fmt.Sprint(cfg.MaxInsertVal), "insert a random number below this on insert"},
+		{"MaxRemoveVal", fmt.Sprint(cfg.MaxRemoveVal), "remove a random number below this on erase"},
+		{"MaxSearchVal", fmt.Sprint(cfg.MaxSearchVal), "search a random number below this on find"},
+		{"MaxIterCount", fmt.Sprint(cfg.MaxIterCount), "iterate a random count below this on ++/--"},
+		{"MaxPrepopulate", fmt.Sprint(cfg.MaxPrepopulate), "initial population drawn per application"},
+	}
+	return "Table 2: randomly decided data structure behaviours\n" +
+		table([]string{"knob", "value", "description"}, rows)
+}
+
+// --- Figure 6: branch misprediction vs vector resizing ---
+
+// Fig6Point is one application's (resize ratio, branch miss rate) sample.
+type Fig6Point struct {
+	ResizeRatio float64 // resizes / total interface calls (%)
+	BrMissRate  float64
+}
+
+// Fig6Series is one panel of the figure.
+type Fig6Series struct {
+	OrderAware  bool
+	Points      []Fig6Point
+	Correlation float64 // Pearson r
+}
+
+// Fig6Result holds both panels.
+type Fig6Result struct{ Series []Fig6Series }
+
+// Figure6 profiles random vector applications and correlates the vector's
+// resize ratio with the measured conditional-branch misprediction rate —
+// the observation that made br_miss a selected feature (Table 3).
+func Figure6(sc Scale) Fig6Result {
+	cfg := appgen.DefaultConfig()
+	cfg.TotalInterfCalls = sc.Calls
+	cfg.MaxPrepopulate = 4 * sc.Calls
+	cfg.MaxIterCount = 4 * sc.Calls
+	var out Fig6Result
+	for _, aware := range []bool{true, false} {
+		tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: aware}
+		series := Fig6Series{OrderAware: aware}
+		for s := 0; s < sc.Fig6Apps; s++ {
+			app := appgen.Generate(cfg, tgt, int64(90000+s))
+			m := machine.New(machine.Core2())
+			res := app.Run(cfg, adt.KindVector, m)
+			st := res.Profile.Stats
+			calls := float64(st.TotalCalls())
+			if calls == 0 {
+				continue
+			}
+			series.Points = append(series.Points, Fig6Point{
+				ResizeRatio: 100 * float64(st.Resizes) / calls,
+				BrMissRate:  res.Profile.HW.BranchMissRate(),
+			})
+		}
+		series.Correlation = pearson(series.Points)
+		out.Series = append(out.Series, series)
+	}
+	return out
+}
+
+func pearson(pts []Fig6Point) float64 {
+	n := float64(len(pts))
+	if n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for _, p := range pts {
+		mx += p.ResizeRatio
+		my += p.BrMissRate
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for _, p := range pts {
+		dx, dy := p.ResizeRatio-mx, p.BrMissRate-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Render formats Figure 6 as summary statistics (the paper shows scatter
+// plots; the correlation is the quantitative content).
+func (r Fig6Result) Render() string {
+	rows := make([][]string, 0, 2)
+	for _, s := range r.Series {
+		mode := "order-aware"
+		if !s.OrderAware {
+			mode = "order-oblivious"
+		}
+		rows = append(rows, []string{mode, fmt.Sprint(len(s.Points)), fmt.Sprintf("%.3f", s.Correlation)})
+	}
+	return "Figure 6: correlation of branch misprediction rate with vector resize ratio\n" +
+		table([]string{"vector usage", "apps", "Pearson r"}, rows)
+}
+
+// --- Figure 7: target system configurations ---
+
+// Figure7 renders the two machine configurations.
+func Figure7() string {
+	rows := make([][]string, 0, 2)
+	for _, cfg := range Archs() {
+		rows = append(rows, []string{
+			cfg.Name,
+			fmt.Sprintf("%dKB/%d-way", cfg.L1Size>>10, cfg.L1Ways),
+			fmt.Sprintf("%dKB/%d-way", cfg.L2Size>>10, cfg.L2Ways),
+			fmt.Sprintf("%.0f", cfg.MemCycles),
+			fmt.Sprintf("%.0f", cfg.MispredictCycles),
+			fmt.Sprintf("%.1f", cfg.BaseOpCycles),
+		})
+	}
+	return "Figure 7: simulated target system configurations\n" +
+		table([]string{"arch", "L1D", "L2", "mem cyc", "mispredict cyc", "base op cyc"}, rows)
+}
+
+// opFindCost is a tiny helper used by case studies; exported op indices
+// would otherwise leak opstats into callers.
+func opFindCost(st opstats.Stats) (invocations, touched uint64) {
+	return st.Count[opstats.OpFind] + st.Count[opstats.OpErase],
+		st.Cost[opstats.OpFind] + st.Cost[opstats.OpErase]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

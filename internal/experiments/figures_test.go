@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/adt"
+)
+
+func TestPearson(t *testing.T) {
+	mk := func(xs, ys []float64) []Fig6Point {
+		pts := make([]Fig6Point, len(xs))
+		for i := range xs {
+			pts[i] = Fig6Point{ResizeRatio: xs[i], BrMissRate: ys[i]}
+		}
+		return pts
+	}
+	// Perfect positive correlation.
+	if r := pearson(mk([]float64{1, 2, 3, 4}, []float64{2, 4, 6, 8})); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("r = %f, want 1", r)
+	}
+	// Perfect negative.
+	if r := pearson(mk([]float64{1, 2, 3}, []float64{3, 2, 1})); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("r = %f, want -1", r)
+	}
+	// Constant series: undefined -> 0.
+	if r := pearson(mk([]float64{1, 1, 1}, []float64{1, 2, 3})); r != 0 {
+		t.Fatalf("constant x: r = %f", r)
+	}
+	// Too few points.
+	if r := pearson(mk([]float64{1}, []float64{1})); r != 0 {
+		t.Fatalf("single point: r = %f", r)
+	}
+}
+
+func TestTableRenderer(t *testing.T) {
+	out := table([]string{"a", "long-header"}, [][]string{{"x", "1"}, {"yyyy", "22"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "-") {
+		t.Fatalf("no separator row:\n%s", out)
+	}
+	// Columns align: header and rows share the first column width.
+	if !strings.Contains(lines[0], "a    ") {
+		t.Fatalf("first column not padded:\n%s", out)
+	}
+}
+
+func TestScalesSane(t *testing.T) {
+	for _, sc := range []Scale{SmallScale(), FullScale()} {
+		if sc.TrainApps <= 0 || sc.Calls <= 0 || sc.ValidationApps <= 0 {
+			t.Fatalf("degenerate scale %+v", sc)
+		}
+		if sc.MaxSeeds < sc.TrainApps {
+			t.Fatalf("%s: MaxSeeds < TrainApps", sc.Name)
+		}
+	}
+	if FullScale().TrainApps <= SmallScale().TrainApps {
+		t.Fatal("full scale not larger than small")
+	}
+}
+
+func TestCaseResultMath(t *testing.T) {
+	c := CaseResult{
+		Kinds: []adt.Kind{adt.KindVector, adt.KindHashSet},
+		Cycles: map[adt.Kind]float64{
+			adt.KindVector:  200,
+			adt.KindHashSet: 50,
+		},
+		Selected: map[Scheme]adt.Kind{
+			SchemeBaseline: adt.KindVector,
+			SchemeBrainy:   adt.KindHashSet,
+		},
+	}
+	if got := c.Norm(adt.KindHashSet); got != 0.25 {
+		t.Fatalf("Norm = %f", got)
+	}
+	if got := c.ImprovementPct(SchemeBrainy); got != 75 {
+		t.Fatalf("Improvement = %f", got)
+	}
+	if got := c.ImprovementPct(SchemeBaseline); got != 0 {
+		t.Fatalf("baseline improvement = %f", got)
+	}
+	if got := c.ImprovementPct(SchemeOracle); got != 0 {
+		t.Fatalf("missing scheme improvement = %f", got)
+	}
+}
+
+func TestValueCarrying(t *testing.T) {
+	if valueCarrying(adt.KindSet) != adt.KindMap ||
+		valueCarrying(adt.KindHashSet) != adt.KindHashMap ||
+		valueCarrying(adt.KindAVLSet) != adt.KindAVLMap ||
+		valueCarrying(adt.KindVector) != adt.KindVector {
+		t.Fatal("valueCarrying mapping wrong")
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+	"repro/internal/featsel"
+	"repro/internal/profile"
+	"repro/internal/training"
+)
+
+// --- Figure 9: model validation accuracy ---
+
+// Fig9Row is one (model, architecture) accuracy cell.
+type Fig9Row struct {
+	Target   adt.ModelTarget
+	Arch     string
+	Accuracy float64
+	Chance   float64 // 1 / #candidates, the random baseline
+}
+
+// Fig9Result is the whole figure.
+type Fig9Result struct{ Rows []Fig9Row }
+
+// Figure9 trains every model on both architectures and validates each on
+// fresh, never-seen applications labelled by the oracle — the protocol of
+// Section 6.1. The paper reports 80-90% on Core2 and 70-80% on Atom with
+// 1000 validation apps per model.
+func Figure9(sc Scale) (Fig9Result, error) {
+	var out Fig9Result
+	for _, arch := range Archs() {
+		opt := sc.trainingOptions(arch)
+		for _, tgt := range adt.Targets() {
+			labels := training.Phase1(tgt, opt)
+			ds := training.Phase2(tgt, labels, opt)
+			m, err := training.TrainModel(ds, arch.Name, sc.annConfig())
+			if err != nil {
+				return Fig9Result{}, fmt.Errorf("experiments: figure 9 %v/%s: %w", tgt.Kind, arch.Name, err)
+			}
+			acc := training.Validate(m, opt, sc.ValidationApps, 777000)
+			out.Rows = append(out.Rows, Fig9Row{
+				Target:   tgt,
+				Arch:     arch.Name,
+				Accuracy: acc,
+				Chance:   1 / float64(len(ds.Candidates)),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render formats Figure 9.
+func (r Fig9Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		mode := "order-aware"
+		if !row.Target.OrderAware {
+			mode = "order-oblivious"
+		}
+		rows = append(rows, []string{
+			row.Target.Kind.String(), mode, row.Arch,
+			fmt.Sprintf("%.0f%%", 100*row.Accuracy),
+			fmt.Sprintf("%.0f%%", 100*row.Chance),
+			bar(row.Accuracy, 1, 20),
+		})
+	}
+	return "Figure 9: data structure selection model accuracy on unseen applications\n" +
+		table([]string{"model", "usage", "arch", "accuracy", "chance", "accuracy bar"}, rows)
+}
+
+// --- Table 3: GA-selected features per model ---
+
+// Tab3Row is one model's top features.
+type Tab3Row struct {
+	Target adt.ModelTarget
+	Top    []string // highest-weight feature names, best first
+	Score  float64  // validation accuracy of the best chromosome
+}
+
+// Tab3Result is the whole table.
+type Tab3Result struct{ Rows []Tab3Row }
+
+// Table3 runs the evolutionary feature selection of Section 5.1 for each
+// model on Core2: chromosomes are real-valued feature weights, fitness is
+// the hold-out accuracy of an ANN trained with the chromosome as its
+// feature mask.
+func Table3(sc Scale) (Tab3Result, error) {
+	arch := Archs()[0]
+	opt := sc.trainingOptions(arch)
+	gaCfg := featsel.DefaultConfig()
+	gaCfg.Generations = sc.GAGenerations
+	gaCfg.Population = sc.GAPopulation
+
+	var out Tab3Result
+	for _, tgt := range adt.Targets() {
+		labels := training.Phase1(tgt, opt)
+		ds := training.Phase2(tgt, labels, opt)
+		if len(ds.Examples) < 10 {
+			return Tab3Result{}, fmt.Errorf("experiments: table 3: only %d examples for %v", len(ds.Examples), tgt.Kind)
+		}
+		// Hold out the tail for fitness evaluation.
+		split := len(ds.Examples) * 3 / 4
+		train, hold := ds.Examples[:split], ds.Examples[split:]
+		fitCfg := sc.annConfig()
+		fitCfg.Epochs = sc.GAFitnessEpochs
+		fitness := func(weights []float64) float64 {
+			net := ann.New(profile.NumFeatures, len(ds.Candidates), fitCfg)
+			net.SetMask(weights)
+			if _, err := net.Train(train); err != nil {
+				return 0
+			}
+			return net.Accuracy(hold)
+		}
+		res := featsel.Run(profile.NumFeatures, fitness, gaCfg)
+		// A feature that never varies in the training set cannot influence
+		// the classifier, so its evolved weight is arbitrary; exclude such
+		// features from the ranking before taking the top five.
+		weights := append([]float64(nil), res.Best...)
+		for j := 0; j < profile.NumFeatures; j++ {
+			first := ds.Examples[0].X[j]
+			constant := true
+			for _, e := range ds.Examples[1:] {
+				if e.X[j] != first {
+					constant = false
+					break
+				}
+			}
+			if constant {
+				weights[j] = 0
+			}
+		}
+		out.Rows = append(out.Rows, Tab3Row{
+			Target: tgt,
+			Top:    featsel.TopK(weights, profile.FeatureNames, 5),
+			Score:  res.Score,
+		})
+	}
+	return out, nil
+}
+
+// Render formats Table 3.
+func (r Tab3Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		mode := "order-aware"
+		if !row.Target.OrderAware {
+			mode = "order-oblivious"
+		}
+		for i, f := range row.Top {
+			name, acc := "", ""
+			if i == 0 {
+				name = row.Target.Kind.String() + " (" + mode + ")"
+				acc = fmt.Sprintf("%.0f%%", 100*row.Score)
+			}
+			rows = append(rows, []string{name, fmt.Sprint(i + 1), f, acc})
+		}
+	}
+	return "Table 3: top-5 GA-selected features per model (Core2)\n" +
+		table([]string{"model", "rank", "feature", "holdout acc"}, rows)
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/appgen"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/perflint"
+)
+
+// CalibratePerflint fits Perflint's per-operation cost coefficients by
+// linear regression against measured execution times, the calibration the
+// paper describes ("each cost is multiplied with a coefficient value,
+// determined by linear regression analysis for execution time"). For every
+// candidate kind it runs apps synthetic applications twice: once through a
+// Perflint advisor to accumulate the asymptotic per-op costs, and once for
+// real on the machine to measure cycles.
+func CalibratePerflint(sc Scale, arch machine.Config, apps int) (perflint.Coefficients, error) {
+	if apps <= 0 {
+		apps = 80
+	}
+	cfg := appgen.DefaultConfig()
+	cfg.TotalInterfCalls = sc.Calls
+	cfg.MaxPrepopulate = 2 * sc.Calls
+	cfg.MaxIterCount = 2 * sc.Calls
+
+	runs := map[adt.Kind][]perflint.CalibrationRun{}
+	kinds := []adt.Kind{adt.KindVector, adt.KindList, adt.KindDeque, adt.KindSet}
+	tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: true}
+	for s := 0; s < apps; s++ {
+		app := appgen.Generate(cfg, tgt, int64(330000+s))
+		for _, kind := range kinds {
+			// Pass 1: accumulate asymptotic costs by replaying the stream
+			// through an advisor wrapped around this kind.
+			adv := perflint.NewAdvisor(adt.New(kind, mem.Nop{}, app.ElemSize), nil)
+			appgen.Replay(&app, cfg, adv)
+			costs := adv.AccumulatedCosts(kind)
+
+			// Pass 2: measure the same behaviour on the machine.
+			m := machine.New(arch)
+			res := app.Run(cfg, kind, m)
+
+			runs[kind] = append(runs[kind], perflint.CalibrationRun{Costs: costs, Cycles: res.Cycles})
+		}
+	}
+	coef, err := perflint.FitCoefficients(runs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: perflint calibration: %w", err)
+	}
+	return coef, nil
+}

@@ -1,0 +1,165 @@
+// Package featsel implements the evolutionary feature selection of
+// Section 5.1: a genetic algorithm whose chromosomes are real-valued
+// per-feature weights (not binary strings), so the result both selects and
+// ranks features. Selection is by tournament, crossover blends parents, and
+// Gaussian mutation keeps the search out of local optima. Table 3's top-5
+// feature lists are the sorted weights of the best chromosome.
+package featsel
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Config controls the evolutionary search.
+type Config struct {
+	Population  int
+	Generations int
+	Elite       int     // chromosomes copied unchanged each generation
+	Tournament  int     // tournament size for parent selection
+	MutateRate  float64 // per-gene mutation probability
+	MutateSigma float64 // Gaussian mutation step
+	Seed        int64
+}
+
+// DefaultConfig returns a small but effective search budget.
+func DefaultConfig() Config {
+	return Config{
+		Population:  16,
+		Generations: 10,
+		Elite:       2,
+		Tournament:  3,
+		MutateRate:  0.15,
+		MutateSigma: 0.25,
+		Seed:        1,
+	}
+}
+
+// Fitness evaluates a chromosome (a per-feature weight vector in [0,1]);
+// higher is better. For Brainy this is the validation accuracy of an ANN
+// trained with the chromosome installed as the feature mask.
+type Fitness func(weights []float64) float64
+
+// Result is the outcome of a run.
+type Result struct {
+	Best    []float64 // best chromosome found
+	Score   float64   // its fitness
+	History []float64 // best fitness per generation
+}
+
+// Run evolves chromosomes of the given length against fit.
+func Run(numFeatures int, fit Fitness, cfg Config) Result {
+	if numFeatures <= 0 {
+		panic("featsel: numFeatures must be positive")
+	}
+	if cfg.Population < 2 {
+		cfg.Population = 2
+	}
+	if cfg.Tournament < 1 {
+		cfg.Tournament = 2
+	}
+	if cfg.Elite >= cfg.Population {
+		cfg.Elite = cfg.Population - 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type indiv struct {
+		genes []float64
+		score float64
+	}
+	newIndiv := func() indiv {
+		g := make([]float64, numFeatures)
+		for i := range g {
+			g[i] = rng.Float64()
+		}
+		return indiv{genes: g}
+	}
+	pop := make([]indiv, cfg.Population)
+	for i := range pop {
+		pop[i] = newIndiv()
+		pop[i].score = fit(pop[i].genes)
+	}
+	sortPop := func() {
+		sort.SliceStable(pop, func(i, j int) bool { return pop[i].score > pop[j].score })
+	}
+	sortPop()
+
+	tournament := func() indiv {
+		best := pop[rng.Intn(len(pop))]
+		for i := 1; i < cfg.Tournament; i++ {
+			c := pop[rng.Intn(len(pop))]
+			if c.score > best.score {
+				best = c
+			}
+		}
+		return best
+	}
+	clamp := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+
+	var history []float64
+	for gen := 0; gen < cfg.Generations; gen++ {
+		next := make([]indiv, 0, cfg.Population)
+		for i := 0; i < cfg.Elite; i++ {
+			next = append(next, pop[i])
+		}
+		for len(next) < cfg.Population {
+			a, b := tournament(), tournament()
+			child := make([]float64, numFeatures)
+			mix := rng.Float64()
+			for g := range child {
+				// Blend crossover.
+				child[g] = clamp(mix*a.genes[g] + (1-mix)*b.genes[g])
+				// Gaussian mutation.
+				if rng.Float64() < cfg.MutateRate {
+					child[g] = clamp(child[g] + rng.NormFloat64()*cfg.MutateSigma)
+				}
+			}
+			next = append(next, indiv{genes: child, score: fit(child)})
+		}
+		pop = next
+		sortPop()
+		history = append(history, pop[0].score)
+	}
+	return Result{Best: pop[0].genes, Score: pop[0].score, History: history}
+}
+
+// Ranked pairs a feature name with its evolved weight.
+type Ranked struct {
+	Name   string
+	Weight float64
+}
+
+// Rank sorts features by descending weight. names must parallel weights.
+func Rank(weights []float64, names []string) []Ranked {
+	if len(weights) != len(names) {
+		panic(fmt.Sprintf("featsel: %d weights but %d names", len(weights), len(names)))
+	}
+	out := make([]Ranked, len(weights))
+	for i := range weights {
+		out[i] = Ranked{Name: names[i], Weight: weights[i]}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	return out
+}
+
+// TopK returns the k highest-weighted feature names, the Table 3 view.
+func TopK(weights []float64, names []string, k int) []string {
+	r := Rank(weights, names)
+	if k > len(r) {
+		k = len(r)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = r[i].Name
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package featsel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFindsInformativeFeatures: fitness rewards weight on features 0 and 2
+// and penalizes weight elsewhere; the GA must discover that.
+func TestFindsInformativeFeatures(t *testing.T) {
+	fit := func(w []float64) float64 {
+		return w[0] + w[2] - 0.5*(w[1]+w[3]+w[4])
+	}
+	cfg := DefaultConfig()
+	cfg.Generations = 30
+	res := Run(5, fit, cfg)
+	if res.Best[0] < 0.8 || res.Best[2] < 0.8 {
+		t.Fatalf("informative features underweighted: %v", res.Best)
+	}
+	if res.Best[1] > 0.3 || res.Best[3] > 0.3 {
+		t.Fatalf("noise features overweighted: %v", res.Best)
+	}
+	top := TopK(res.Best, []string{"a", "b", "c", "d", "e"}, 2)
+	if !(top[0] == "a" || top[0] == "c") || !(top[1] == "a" || top[1] == "c") {
+		t.Fatalf("TopK = %v", top)
+	}
+}
+
+func TestHistoryMonotoneWithElitism(t *testing.T) {
+	fit := func(w []float64) float64 {
+		var s float64
+		for _, x := range w {
+			s -= math.Abs(x - 0.5)
+		}
+		return s
+	}
+	cfg := DefaultConfig()
+	cfg.Generations = 15
+	res := Run(8, fit, cfg)
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1]-1e-12 {
+			t.Fatalf("best fitness regressed at gen %d: %v", i, res.History)
+		}
+	}
+	if res.Score != res.History[len(res.History)-1] {
+		t.Fatal("final score does not match history")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	fit := func(w []float64) float64 { return w[0] }
+	cfg := DefaultConfig()
+	a := Run(3, fit, cfg)
+	b := Run(3, fit, cfg)
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Fatal("same seed, different chromosomes")
+		}
+	}
+}
+
+func TestGenesStayInRange(t *testing.T) {
+	fit := func(w []float64) float64 { return w[0] - w[1] }
+	cfg := DefaultConfig()
+	cfg.Generations = 20
+	cfg.MutateRate = 0.9
+	cfg.MutateSigma = 2.0
+	res := Run(4, fit, cfg)
+	for i, g := range res.Best {
+		if g < 0 || g > 1 {
+			t.Fatalf("gene %d = %f out of [0,1]", i, g)
+		}
+	}
+}
+
+func TestRankSorted(t *testing.T) {
+	r := Rank([]float64{0.1, 0.9, 0.5}, []string{"x", "y", "z"})
+	if r[0].Name != "y" || r[1].Name != "z" || r[2].Name != "x" {
+		t.Fatalf("rank = %v", r)
+	}
+}
+
+func TestRankPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths accepted")
+		}
+	}()
+	Rank([]float64{1}, []string{"a", "b"})
+}
+
+func TestTopKClamped(t *testing.T) {
+	top := TopK([]float64{0.3, 0.7}, []string{"a", "b"}, 10)
+	if len(top) != 2 || top[0] != "b" {
+		t.Fatalf("TopK = %v", top)
+	}
+}
+
+func TestDegenerateConfigs(t *testing.T) {
+	fit := func(w []float64) float64 { return w[0] }
+	cfg := Config{Population: 1, Generations: 2, Elite: 5, Tournament: 0, Seed: 1}
+	res := Run(2, fit, cfg) // must not panic; config gets clamped
+	if len(res.Best) != 2 {
+		t.Fatalf("best = %v", res.Best)
+	}
+}

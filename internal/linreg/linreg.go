@@ -1,0 +1,139 @@
+// Package linreg implements ordinary least squares via the normal
+// equations, the regression substrate Perflint uses to turn asymptotic
+// operation counts into execution-time coefficients (Section 6.2).
+package linreg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Fit solves min_w ||Xw - y||^2 with a small ridge term for numerical
+// stability, returning one coefficient per column of X. Rows of X are
+// observations. An intercept column must be added by the caller if wanted.
+func Fit(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, errors.New("linreg: no observations")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("linreg: %d rows but %d targets", len(x), len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return nil, errors.New("linreg: zero-dimensional observations")
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("linreg: row %d has %d columns, want %d", i, len(row), d)
+		}
+	}
+	// Normal equations: (X'X + λI) w = X'y.
+	const ridge = 1e-8
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	for _, row := range x {
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		xtx[i][i] += ridge * (1 + xtx[i][i])
+	}
+	for r, row := range x {
+		for i := 0; i < d; i++ {
+			xty[i] += row[i] * y[r]
+		}
+	}
+	w, err := solve(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a (square) b.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	v := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-14 {
+			return nil, errors.New("linreg: singular system")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		v[col], v[pivot] = v[pivot], v[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			v[r] -= f * v[col]
+		}
+	}
+	out := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := v[i]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * out[j]
+		}
+		out[i] = s / m[i][i]
+	}
+	return out, nil
+}
+
+// Predict returns the dot product of coefficients and features.
+func Predict(w, x []float64) float64 {
+	var s float64
+	for i := range w {
+		s += w[i] * x[i]
+	}
+	return s
+}
+
+// R2 computes the coefficient of determination of predictions w over (x, y).
+func R2(w []float64, x [][]float64, y []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		d := y[i] - Predict(w, x[i])
+		ssRes += d * d
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,144 @@
+package linreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecoversExactCoefficients(t *testing.T) {
+	// y = 3x0 - 2x1 + 5 (intercept as a constant column).
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{a, b, 1})
+		y = append(y, 3*a-2*b+5)
+	}
+	w, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, -2, 5}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-4 {
+			t.Fatalf("w = %v, want %v", w, want)
+		}
+	}
+	if r2 := R2(w, x, y); r2 < 0.999999 {
+		t.Fatalf("R2 = %f on noiseless data", r2)
+	}
+}
+
+func TestNoisyFitApproximates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		a := rng.Float64() * 100
+		x = append(x, []float64{a, 1})
+		y = append(y, 7*a+2+rng.NormFloat64()*5)
+	}
+	w, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-7) > 0.1 {
+		t.Fatalf("slope = %f, want ~7", w[0])
+	}
+	if r2 := R2(w, x, y); r2 < 0.95 {
+		t.Fatalf("R2 = %f", r2)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Fit(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("row/target mismatch accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := Fit([][]float64{{}}, []float64{1}); err == nil {
+		t.Fatal("zero-dimensional rows accepted")
+	}
+}
+
+func TestCollinearColumnsStillSolvable(t *testing.T) {
+	// Duplicate columns make X'X singular; the ridge term must rescue it.
+	var x [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		a := rng.Float64()
+		x = append(x, []float64{a, a, 1})
+		y = append(y, 4*a+1)
+	}
+	w, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two collinear coefficients must sum to ~4.
+	if math.Abs(w[0]+w[1]-4) > 1e-2 {
+		t.Fatalf("collinear sum = %f, want 4", w[0]+w[1])
+	}
+}
+
+func TestPredictDot(t *testing.T) {
+	if got := Predict([]float64{2, 3}, []float64{4, 5}); got != 23 {
+		t.Fatalf("Predict = %f", got)
+	}
+}
+
+func TestR2ConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {1}, {1}}
+	y := []float64{2, 2, 2}
+	w, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 := R2(w, x, y); r2 != 1 {
+		t.Fatalf("R2 on constant fit = %f", r2)
+	}
+	if R2(w, nil, nil) != 0 {
+		t.Fatal("R2 on empty should be 0")
+	}
+}
+
+func TestQuickFitResidualOrthogonality(t *testing.T) {
+	// OLS property: residuals are orthogonal to every regressor column.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 40, 3
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = make([]float64, d)
+			for j := range x[i] {
+				x[i][j] = rng.NormFloat64()
+			}
+			y[i] = rng.NormFloat64()
+		}
+		w, err := Fit(x, y)
+		if err != nil {
+			return true // degenerate draw; skip
+		}
+		for j := 0; j < d; j++ {
+			var dot float64
+			for i := range x {
+				dot += x[i][j] * (y[i] - Predict(w, x[i]))
+			}
+			if math.Abs(dot) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// BenchmarkCacheTouch measures raw simulator throughput for L1 hits.
+func BenchmarkCacheTouch(b *testing.B) {
+	c := NewCache(32<<10, 8, 64)
+	for i := 0; i < b.N; i++ {
+		c.Touch(mem.Addr(i&0x3FFF) << 6)
+	}
+}
+
+// BenchmarkMachineRead measures the full read path (L1+L2+cycle account).
+func BenchmarkMachineRead(b *testing.B) {
+	m := New(Core2())
+	base := m.Alloc(1<<20, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Read(base+mem.Addr((i*64)&(1<<20-1)), 8)
+	}
+}
+
+// BenchmarkBranchPredict measures predictor throughput.
+func BenchmarkBranchPredict(b *testing.B) {
+	p := NewBranchPredictor(14, 12)
+	for i := 0; i < b.N; i++ {
+		p.Predict(mem.BranchSite(i&0xFF), i%3 == 0)
+	}
+}

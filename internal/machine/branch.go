@@ -1,0 +1,78 @@
+package machine
+
+import "repro/internal/mem"
+
+// BranchPredictor is a gshare-style two-level adaptive predictor: a global
+// history register XORed with the branch site indexes a table of 2-bit
+// saturating counters. This captures the paper's key observation that rare
+// data-dependent events (such as a vector resize inside insert) show up as
+// conditional-branch mispredictions.
+type BranchPredictor struct {
+	table       []uint8 // 2-bit counters, 0..3; >=2 predicts taken
+	mask        uint32
+	history     uint32
+	histBits    uint
+	Branches    uint64
+	Mispredicts uint64
+}
+
+// NewBranchPredictor builds a predictor with 2^tableBits counters and the
+// given global-history length in bits.
+func NewBranchPredictor(tableBits, histBits uint) *BranchPredictor {
+	if tableBits == 0 || tableBits > 24 {
+		panic("machine: tableBits must be in 1..24")
+	}
+	size := 1 << tableBits
+	t := make([]uint8, size)
+	for i := range t {
+		t[i] = 1 // weakly not-taken
+	}
+	return &BranchPredictor{table: t, mask: uint32(size - 1), histBits: histBits}
+}
+
+// Predict records the outcome of a branch at the given site and returns
+// whether the predictor guessed correctly.
+func (p *BranchPredictor) Predict(site mem.BranchSite, taken bool) bool {
+	idx := (uint32(site)*2654435761 ^ p.history) & p.mask
+	ctr := p.table[idx]
+	predicted := ctr >= 2
+	p.Branches++
+	correct := predicted == taken
+	if !correct {
+		p.Mispredicts++
+	}
+	if taken {
+		if ctr < 3 {
+			p.table[idx] = ctr + 1
+		}
+	} else if ctr > 0 {
+		p.table[idx] = ctr - 1
+	}
+	p.history = ((p.history << 1) | b2u(taken)) & ((1 << p.histBits) - 1)
+	return correct
+}
+
+// MissRate returns mispredicts/branches, or 0 when no branches were seen.
+func (p *BranchPredictor) MissRate() float64 {
+	if p.Branches == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Branches)
+}
+
+// Reset clears state and statistics.
+func (p *BranchPredictor) Reset() {
+	for i := range p.table {
+		p.table[i] = 1
+	}
+	p.history = 0
+	p.Branches = 0
+	p.Mispredicts = 0
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,119 @@
+package machine
+
+import "repro/internal/mem"
+
+// cacheLine is one way of one set.
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It models a
+// single level of the hierarchy; Machine chains an L1 in front of an L2.
+type Cache struct {
+	sets      []cacheLine // sets*ways entries, row-major by set
+	ways      int
+	setCount  int
+	lineShift uint
+	setMask   uint64
+	clock     uint64
+	Accesses  uint64
+	Misses    uint64
+}
+
+// NewCache builds a cache of the given total size in bytes, associativity,
+// and line size (both powers of two). It panics on invalid geometry because
+// a malformed machine configuration is a programming error.
+func NewCache(sizeBytes, ways, lineBytes int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		panic("machine: cache geometry must be positive")
+	}
+	if sizeBytes%(ways*lineBytes) != 0 {
+		panic("machine: cache size must be a multiple of ways*lineBytes")
+	}
+	setCount := sizeBytes / (ways * lineBytes)
+	if setCount&(setCount-1) != 0 || lineBytes&(lineBytes-1) != 0 {
+		panic("machine: set count and line size must be powers of two")
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &Cache{
+		sets:      make([]cacheLine, setCount*ways),
+		ways:      ways,
+		setCount:  setCount,
+		lineShift: shift,
+		setMask:   uint64(setCount - 1),
+	}
+}
+
+// LineBytes returns the cache line size in bytes.
+func (c *Cache) LineBytes() int { return 1 << c.lineShift }
+
+// Touch accesses the line containing addr and returns true on a hit.
+// On a miss the LRU way of the set is replaced.
+func (c *Cache) Touch(addr mem.Addr) bool {
+	c.Accesses++
+	c.clock++
+	lineAddr := uint64(addr) >> c.lineShift
+	set := lineAddr & c.setMask
+	tag := lineAddr >> 0 // full line address as tag; set bits are redundant but harmless
+	base := int(set) * c.ways
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		l := &c.sets[i]
+		if l.valid && l.tag == tag {
+			l.lru = c.clock
+			return true
+		}
+		if !l.valid {
+			victim = i
+		} else if c.sets[victim].valid && l.lru < c.sets[victim].lru {
+			victim = i
+		}
+	}
+	c.Misses++
+	c.sets[victim] = cacheLine{tag: tag, valid: true, lru: c.clock}
+	return false
+}
+
+// TouchRange accesses every line overlapped by [addr, addr+size) and returns
+// the number of line accesses and the number of misses among them.
+func (c *Cache) TouchRange(addr mem.Addr, size uint64) (lines, misses int) {
+	if size == 0 {
+		size = 1
+	}
+	line := uint64(1) << c.lineShift
+	first := uint64(addr) &^ (line - 1)
+	last := (uint64(addr) + size - 1) &^ (line - 1)
+	for a := first; ; a += line {
+		lines++
+		if !c.Touch(mem.Addr(a)) {
+			misses++
+		}
+		if a == last {
+			break
+		}
+	}
+	return lines, misses
+}
+
+// MissRate returns misses/accesses, or 0 when the cache is untouched.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = cacheLine{}
+	}
+	c.clock = 0
+	c.Accesses = 0
+	c.Misses = 0
+}

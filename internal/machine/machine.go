@@ -1,0 +1,363 @@
+// Package machine implements a deterministic microarchitecture simulator.
+// It stands in for the two physical systems of the paper (Intel Core2 Q6600
+// and Intel Atom N270) and for the PAPI hardware performance counters: every
+// container in this repository routes its memory accesses and data-dependent
+// branches through a Machine, which models an L1/L2 cache hierarchy and a
+// branch predictor and accounts cycles. "Execution time" in all experiments
+// is the simulated cycle count, and the hardware features fed to the ANN
+// (L1 miss rate, branch misprediction rate, ...) are read from the same
+// simulated counters.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Config describes one microarchitecture.
+type Config struct {
+	Name string
+
+	L1Size, L1Ways, L1Line int
+	L2Size, L2Ways, L2Line int
+
+	PredictorBits uint // log2 of branch-predictor table size
+	HistoryBits   uint // global history length
+
+	TLBEntries int // fully associative data-TLB entries
+	PageBytes  int
+
+	// Cycle costs.
+	BaseOpCycles     float64 // per Read/Write independent of hierarchy
+	L1HitCycles      float64
+	L2HitCycles      float64
+	MemCycles        float64 // L2 miss (DRAM)
+	MispredictCycles float64
+	BranchCycles     float64 // correctly predicted branch
+	AllocCycles      float64 // allocator fast-path cost
+	ALUCycles        float64 // cycles per abstract work unit (see mem.Model.Work)
+	TLBMissCycles    float64 // page-walk latency on a data-TLB miss
+}
+
+// Core2 mirrors the desktop system of Figure 7: Intel Core2 Quad Q6600,
+// 32 KB L1 data per core, 4 MB L2, an aggressive out-of-order core that
+// hides part of the L1 latency and has a moderate mispredict penalty.
+func Core2() Config {
+	return Config{
+		Name:   "Core2",
+		L1Size: 32 << 10, L1Ways: 8, L1Line: 64,
+		L2Size: 4 << 20, L2Ways: 16, L2Line: 64,
+		PredictorBits: 14, HistoryBits: 12,
+		TLBEntries: 256, PageBytes: 4096,
+		BaseOpCycles:     1,
+		L1HitCycles:      3,
+		L2HitCycles:      14,
+		MemCycles:        200,
+		MispredictCycles: 10, // the OoO window hides part of the refill
+		BranchCycles:     0.5,
+		AllocCycles:      30,
+		ALUCycles:        0.5, // wide out-of-order core retires ~2 simple ops/cycle
+		TLBMissCycles:    25,
+	}
+}
+
+// Atom mirrors the netbook system of Figure 7: Intel Atom N270 (24 KB 6-way
+// L1 data cache, 512 KB L2), an in-order core where misses and mispredicts
+// hurt more and cannot be hidden.
+func Atom() Config {
+	return Config{
+		Name:   "Atom",
+		L1Size: 24 << 10, L1Ways: 6, L1Line: 64,
+		L2Size: 512 << 10, L2Ways: 8, L2Line: 64,
+		PredictorBits: 12, HistoryBits: 8,
+		TLBEntries: 64, PageBytes: 4096,
+		BaseOpCycles:     1.4,
+		L1HitCycles:      4,
+		L2HitCycles:      18,
+		MemCycles:        320,
+		MispredictCycles: 20, // in-order: the full pipeline refill is exposed
+		BranchCycles:     1,
+		AllocCycles:      45,
+		ALUCycles:        1, // in-order core: one simple op per cycle
+		TLBMissCycles:    35,
+	}
+}
+
+// Counters is a snapshot of the machine's performance counters, the analog
+// of one PAPI read-out.
+type Counters struct {
+	Cycles       float64
+	Reads        uint64
+	Writes       uint64
+	L1Accesses   uint64
+	L1Misses     uint64
+	L2Accesses   uint64
+	L2Misses     uint64
+	Branches     uint64
+	Mispredicts  uint64
+	TLBAccesses  uint64
+	TLBMisses    uint64
+	Allocs       uint64
+	Frees        uint64
+	BytesAlloced uint64
+}
+
+// L1MissRate returns L1 misses per L1 access.
+func (c Counters) L1MissRate() float64 {
+	if c.L1Accesses == 0 {
+		return 0
+	}
+	return float64(c.L1Misses) / float64(c.L1Accesses)
+}
+
+// L2MissRate returns L2 misses per L2 access.
+func (c Counters) L2MissRate() float64 {
+	if c.L2Accesses == 0 {
+		return 0
+	}
+	return float64(c.L2Misses) / float64(c.L2Accesses)
+}
+
+// TLBMissRate returns TLB misses per access.
+func (c Counters) TLBMissRate() float64 {
+	if c.TLBAccesses == 0 {
+		return 0
+	}
+	return float64(c.TLBMisses) / float64(c.TLBAccesses)
+}
+
+// BranchMissRate returns mispredictions per branch.
+func (c Counters) BranchMissRate() float64 {
+	if c.Branches == 0 {
+		return 0
+	}
+	return float64(c.Mispredicts) / float64(c.Branches)
+}
+
+// Sub returns c - o, counter-wise. Useful for windowed measurements.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Cycles:       c.Cycles - o.Cycles,
+		Reads:        c.Reads - o.Reads,
+		Writes:       c.Writes - o.Writes,
+		L1Accesses:   c.L1Accesses - o.L1Accesses,
+		L1Misses:     c.L1Misses - o.L1Misses,
+		L2Accesses:   c.L2Accesses - o.L2Accesses,
+		L2Misses:     c.L2Misses - o.L2Misses,
+		Branches:     c.Branches - o.Branches,
+		Mispredicts:  c.Mispredicts - o.Mispredicts,
+		TLBAccesses:  c.TLBAccesses - o.TLBAccesses,
+		TLBMisses:    c.TLBMisses - o.TLBMisses,
+		Allocs:       c.Allocs - o.Allocs,
+		Frees:        c.Frees - o.Frees,
+		BytesAlloced: c.BytesAlloced - o.BytesAlloced,
+	}
+}
+
+// Machine simulates one microarchitecture. It implements mem.Model, so a
+// container bound to a Machine transparently exercises the simulated
+// hierarchy. Machine is not safe for concurrent use; run one Machine per
+// goroutine.
+type Machine struct {
+	cfg  Config
+	l1   *Cache
+	l2   *Cache
+	tlb  *TLB
+	bp   *BranchPredictor
+	heap allocator
+
+	cycles float64
+	reads  uint64
+	writes uint64
+	allocs uint64
+	frees  uint64
+	bytes  uint64
+}
+
+// New builds a machine from a configuration.
+func New(cfg Config) *Machine {
+	tlbEntries, pageBytes := cfg.TLBEntries, cfg.PageBytes
+	if tlbEntries <= 0 {
+		tlbEntries = 64
+	}
+	if pageBytes <= 0 {
+		pageBytes = 4096
+	}
+	m := &Machine{
+		cfg: cfg,
+		l1:  NewCache(cfg.L1Size, cfg.L1Ways, cfg.L1Line),
+		l2:  NewCache(cfg.L2Size, cfg.L2Ways, cfg.L2Line),
+		tlb: NewTLB(tlbEntries, pageBytes),
+		bp:  NewBranchPredictor(cfg.PredictorBits, cfg.HistoryBits),
+	}
+	m.heap.init()
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Alloc implements mem.Model.
+func (m *Machine) Alloc(size, align uint64) mem.Addr {
+	m.allocs++
+	m.bytes += size
+	m.cycles += m.cfg.AllocCycles
+	return m.heap.alloc(size, align)
+}
+
+// Free implements mem.Model.
+func (m *Machine) Free(addr mem.Addr, size uint64) {
+	m.frees++
+	m.cycles += m.cfg.AllocCycles / 2
+	m.heap.free(addr, size)
+}
+
+// Read implements mem.Model.
+func (m *Machine) Read(addr mem.Addr, size uint64) {
+	m.reads++
+	m.touch(addr, size)
+}
+
+// Write implements mem.Model.
+func (m *Machine) Write(addr mem.Addr, size uint64) {
+	m.writes++
+	m.touch(addr, size)
+}
+
+func (m *Machine) touch(addr mem.Addr, size uint64) {
+	if size == 0 {
+		size = 1
+	}
+	line := uint64(m.l1.LineBytes())
+	first := uint64(addr) &^ (line - 1)
+	last := (uint64(addr) + size - 1) &^ (line - 1)
+	m.cycles += m.cfg.BaseOpCycles
+	// Translate the first page of the access; line iteration below touches
+	// the TLB again only when crossing a page boundary.
+	if !m.tlb.Touch(addr) {
+		m.cycles += m.cfg.TLBMissCycles
+	}
+	page := uint64(m.cfg.PageBytes)
+	if page == 0 {
+		page = 4096
+	}
+	for a := first; ; a += line {
+		if a != first && a%page == 0 {
+			if !m.tlb.Touch(mem.Addr(a)) {
+				m.cycles += m.cfg.TLBMissCycles
+			}
+		}
+		if m.l1.Touch(mem.Addr(a)) {
+			m.cycles += m.cfg.L1HitCycles
+		} else if m.l2.Touch(mem.Addr(a)) {
+			m.cycles += m.cfg.L2HitCycles
+		} else {
+			m.cycles += m.cfg.MemCycles
+		}
+		if a == last {
+			break
+		}
+	}
+}
+
+// Work implements mem.Model: pure ALU work costs cycles but no events.
+func (m *Machine) Work(units float64) {
+	m.cycles += units * m.cfg.ALUCycles
+}
+
+// Branch implements mem.Model.
+func (m *Machine) Branch(site mem.BranchSite, taken bool) {
+	if m.bp.Predict(site, taken) {
+		m.cycles += m.cfg.BranchCycles
+	} else {
+		m.cycles += m.cfg.MispredictCycles
+	}
+}
+
+// Cycles returns the accumulated simulated cycle count.
+func (m *Machine) Cycles() float64 { return m.cycles }
+
+// Counters returns a snapshot of all performance counters.
+func (m *Machine) Counters() Counters {
+	return Counters{
+		Cycles:       m.cycles,
+		Reads:        m.reads,
+		Writes:       m.writes,
+		L1Accesses:   m.l1.Accesses,
+		L1Misses:     m.l1.Misses,
+		L2Accesses:   m.l2.Accesses,
+		L2Misses:     m.l2.Misses,
+		Branches:     m.bp.Branches,
+		Mispredicts:  m.bp.Mispredicts,
+		TLBAccesses:  m.tlb.Accesses,
+		TLBMisses:    m.tlb.Misses,
+		Allocs:       m.allocs,
+		Frees:        m.frees,
+		BytesAlloced: m.bytes,
+	}
+}
+
+// Reset clears all machine state: caches, predictor, heap, and counters.
+func (m *Machine) Reset() {
+	m.l1.Reset()
+	m.l2.Reset()
+	m.tlb.Reset()
+	m.bp.Reset()
+	m.heap.init()
+	m.cycles = 0
+	m.reads = 0
+	m.writes = 0
+	m.allocs = 0
+	m.frees = 0
+	m.bytes = 0
+}
+
+// String describes the machine in the style of Figure 7.
+func (m *Machine) String() string {
+	c := m.cfg
+	return fmt.Sprintf("%s: L1 %dKB/%d-way, L2 %dKB/%d-way, line %dB, TLB %d entries, mem %.0f cyc, mispredict %.0f cyc",
+		c.Name, c.L1Size>>10, c.L1Ways, c.L2Size>>10, c.L2Ways, c.L1Line, c.TLBEntries, c.MemCycles, c.MispredictCycles)
+}
+
+// allocator is a size-class free-list bump allocator over the simulated
+// address space. Reusing freed blocks matters: it gives linked structures
+// the realistic property that nodes allocated after churn are scattered.
+type allocator struct {
+	next  uint64
+	freed map[uint64][]mem.Addr // size class -> free blocks
+}
+
+func (a *allocator) init() {
+	a.next = 1 << 20
+	a.freed = make(map[uint64][]mem.Addr)
+}
+
+func sizeClass(size uint64) uint64 {
+	// Round up to the next power of two, minimum 16 bytes.
+	c := uint64(16)
+	for c < size {
+		c <<= 1
+	}
+	return c
+}
+
+func (a *allocator) alloc(size, align uint64) mem.Addr {
+	if align == 0 {
+		align = 8
+	}
+	class := sizeClass(size)
+	if list := a.freed[class]; len(list) > 0 {
+		addr := list[len(list)-1]
+		a.freed[class] = list[:len(list)-1]
+		return addr
+	}
+	base := (a.next + align - 1) &^ (align - 1)
+	a.next = base + class
+	return mem.Addr(base)
+}
+
+func (a *allocator) free(addr mem.Addr, size uint64) {
+	class := sizeClass(size)
+	a.freed[class] = append(a.freed[class], addr)
+}

@@ -1,0 +1,259 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(32<<10, 8, 64)
+	if c.Touch(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Touch(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Touch(0x1004) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Accesses != 3 || c.Misses != 1 {
+		t.Fatalf("accesses=%d misses=%d", c.Accesses, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, 2 sets, 64B lines: size = 2*2*64 = 256.
+	c := NewCache(256, 2, 64)
+	// Three distinct lines mapping to set 0 (stride = 2*64).
+	a, b, d := mem.Addr(0), mem.Addr(128), mem.Addr(256)
+	c.Touch(a) // miss
+	c.Touch(b) // miss
+	c.Touch(a) // hit, refreshes a
+	c.Touch(d) // miss, evicts b (LRU)
+	if !c.Touch(a) {
+		t.Fatal("a evicted although MRU")
+	}
+	if c.Touch(b) {
+		t.Fatal("b survived although LRU")
+	}
+}
+
+func TestCacheCapacityWorkingSet(t *testing.T) {
+	c := NewCache(1<<10, 4, 64) // 16 lines
+	// A working set of 8 lines fits: after warmup, all hits.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 8; i++ {
+			c.Touch(mem.Addr(i * 64))
+		}
+	}
+	if c.Misses != 8 {
+		t.Fatalf("misses = %d, want 8 (cold only)", c.Misses)
+	}
+	// A working set of 64 lines thrashes.
+	c.Reset()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 64; i++ {
+			c.Touch(mem.Addr(i * 64))
+		}
+	}
+	if c.MissRate() < 0.9 {
+		t.Fatalf("thrash miss rate = %f, want ~1", c.MissRate())
+	}
+}
+
+func TestCacheTouchRangeSpansLines(t *testing.T) {
+	c := NewCache(32<<10, 8, 64)
+	lines, misses := c.TouchRange(60, 8) // straddles lines 0 and 1
+	if lines != 2 || misses != 2 {
+		t.Fatalf("lines=%d misses=%d, want 2,2", lines, misses)
+	}
+}
+
+func TestCacheGeometryValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewCache(0, 1, 64) },
+		func() { NewCache(100, 3, 64) },
+		func() { NewCache(96, 1, 48) }, // line not power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad geometry did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestPredictorLearnsBias(t *testing.T) {
+	p := NewBranchPredictor(12, 0) // no history: pure per-site bias
+	site := mem.BranchSite(7)
+	for i := 0; i < 1000; i++ {
+		p.Predict(site, true)
+	}
+	if p.MissRate() > 0.01 {
+		t.Fatalf("always-taken miss rate = %f", p.MissRate())
+	}
+}
+
+func TestPredictorRareEventMispredicts(t *testing.T) {
+	// The "vector resize" pattern: mostly not-taken with rare taken spikes.
+	p := NewBranchPredictor(12, 8)
+	site := mem.BranchSite(0x100)
+	mis := 0
+	for i := 0; i < 10000; i++ {
+		taken := i%513 == 0
+		before := p.Mispredicts
+		p.Predict(site, taken)
+		if p.Mispredicts != before && taken {
+			mis++
+		}
+	}
+	if mis < 10 {
+		t.Fatalf("rare taken branches mispredicted only %d times", mis)
+	}
+}
+
+func TestPredictorLearnsAlternation(t *testing.T) {
+	p := NewBranchPredictor(12, 8)
+	site := mem.BranchSite(3)
+	for i := 0; i < 4000; i++ {
+		p.Predict(site, i%2 == 0)
+	}
+	// With history the predictor should learn the period-2 pattern.
+	recent := NewBranchPredictor(12, 8)
+	_ = recent
+	if p.MissRate() > 0.2 {
+		t.Fatalf("alternating pattern miss rate = %f", p.MissRate())
+	}
+}
+
+func TestMachineCyclesMonotone(t *testing.T) {
+	m := New(Core2())
+	last := m.Cycles()
+	addr := m.Alloc(4096, 16)
+	for i := 0; i < 100; i++ {
+		m.Read(addr+mem.Addr(i*8), 8)
+		if m.Cycles() <= last {
+			t.Fatal("cycles not strictly increasing")
+		}
+		last = m.Cycles()
+	}
+}
+
+func TestSequentialCheaperThanPointerChase(t *testing.T) {
+	seq := New(Core2())
+	base := seq.Alloc(1<<20, 64)
+	for i := 0; i < 10000; i++ {
+		seq.Read(base+mem.Addr(i*8), 8)
+	}
+
+	chase := New(Core2())
+	// Allocate 10000 nodes spread across a large range, read with stride
+	// that defeats the cache.
+	nodeBase := chase.Alloc(64<<20, 64)
+	for i := 0; i < 10000; i++ {
+		off := (uint64(i) * 2654435761) % (60 << 20)
+		chase.Read(nodeBase+mem.Addr(off), 8)
+	}
+	if seq.Cycles() >= chase.Cycles() {
+		t.Fatalf("sequential (%f) not cheaper than scattered (%f)", seq.Cycles(), chase.Cycles())
+	}
+}
+
+func TestAtomPaysMoreThanCore2ForMisses(t *testing.T) {
+	run := func(cfg Config) float64 {
+		m := New(cfg)
+		base := m.Alloc(64<<20, 64)
+		for i := 0; i < 20000; i++ {
+			off := (uint64(i) * 2654435761) % (60 << 20)
+			m.Read(base+mem.Addr(off), 8)
+		}
+		return m.Cycles()
+	}
+	if run(Atom()) <= run(Core2()) {
+		t.Fatal("Atom not slower than Core2 on a miss-heavy workload")
+	}
+}
+
+func TestL2CapacityDifferentiatesArchs(t *testing.T) {
+	// A 1 MB working set fits Core2's 4MB L2 but thrashes Atom's 512KB L2.
+	run := func(cfg Config) Counters {
+		m := New(cfg)
+		base := m.Alloc(1<<20, 64)
+		for round := 0; round < 5; round++ {
+			for off := uint64(0); off < 1<<20; off += 64 {
+				m.Read(base+mem.Addr(off), 8)
+			}
+		}
+		return m.Counters()
+	}
+	core2 := run(Core2())
+	atom := run(Atom())
+	if atom.L2MissRate() <= core2.L2MissRate() {
+		t.Fatalf("atom L2 miss rate %f <= core2 %f", atom.L2MissRate(), core2.L2MissRate())
+	}
+}
+
+func TestCountersSubAndRates(t *testing.T) {
+	m := New(Core2())
+	a := m.Alloc(1024, 8)
+	m.Read(a, 8)
+	before := m.Counters()
+	m.Read(a+512, 8)
+	m.Write(a, 8)
+	m.Branch(1, true)
+	diff := m.Counters().Sub(before)
+	if diff.Reads != 1 || diff.Writes != 1 || diff.Branches != 1 {
+		t.Fatalf("diff = %+v", diff)
+	}
+	if diff.Cycles <= 0 {
+		t.Fatal("no cycle delta")
+	}
+}
+
+func TestAllocatorRecyclesFreedBlocks(t *testing.T) {
+	m := New(Core2())
+	a := m.Alloc(64, 8)
+	m.Free(a, 64)
+	b := m.Alloc(64, 8)
+	if a != b {
+		t.Fatalf("freed block not recycled: %x vs %x", a, b)
+	}
+}
+
+func TestMachineReset(t *testing.T) {
+	m := New(Core2())
+	a := m.Alloc(4096, 8)
+	m.Read(a, 64)
+	m.Branch(1, true)
+	m.Reset()
+	c := m.Counters()
+	if c.Cycles != 0 || c.Reads != 0 || c.Branches != 0 || c.Allocs != 0 {
+		t.Fatalf("counters after reset: %+v", c)
+	}
+}
+
+func TestQuickAllocAligned(t *testing.T) {
+	f := func(sz uint16, alignPow uint8) bool {
+		m := New(Core2())
+		align := uint64(1) << (alignPow % 7) // 1..64
+		a := m.Alloc(uint64(sz)+1, align)
+		return uint64(a)%align == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigStrings(t *testing.T) {
+	if New(Core2()).String() == "" || New(Atom()).String() == "" {
+		t.Fatal("empty machine description")
+	}
+	if Core2().Name == Atom().Name {
+		t.Fatal("configs share a name")
+	}
+}

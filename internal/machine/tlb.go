@@ -1,0 +1,76 @@
+package machine
+
+import "repro/internal/mem"
+
+// TLB models a fully associative translation lookaside buffer with LRU
+// replacement over fixed-size pages. The paper collected TLB miss counts
+// among its initial hardware features and found, via feature selection,
+// that they rarely affect the best-data-structure decision; the simulator
+// includes the TLB so that finding is reproducible rather than assumed.
+type TLB struct {
+	entries   []tlbEntry
+	pageShift uint
+	clock     uint64
+	Accesses  uint64
+	Misses    uint64
+}
+
+type tlbEntry struct {
+	page  uint64
+	valid bool
+	lru   uint64
+}
+
+// NewTLB builds a TLB with the given entry count and page size (a power of
+// two).
+func NewTLB(entries, pageBytes int) *TLB {
+	if entries <= 0 || pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic("machine: invalid TLB geometry")
+	}
+	shift := uint(0)
+	for 1<<shift < pageBytes {
+		shift++
+	}
+	return &TLB{entries: make([]tlbEntry, entries), pageShift: shift}
+}
+
+// Touch translates addr and returns true on a TLB hit.
+func (t *TLB) Touch(addr mem.Addr) bool {
+	t.Accesses++
+	t.clock++
+	page := uint64(addr) >> t.pageShift
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.page == page {
+			e.lru = t.clock
+			return true
+		}
+		if !e.valid {
+			victim = i
+		} else if t.entries[victim].valid && e.lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	t.Misses++
+	t.entries[victim] = tlbEntry{page: page, valid: true, lru: t.clock}
+	return false
+}
+
+// MissRate returns misses/accesses, or 0 when untouched.
+func (t *TLB) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}
+
+// Reset clears contents and statistics.
+func (t *TLB) Reset() {
+	for i := range t.entries {
+		t.entries[i] = tlbEntry{}
+	}
+	t.clock = 0
+	t.Accesses = 0
+	t.Misses = 0
+}

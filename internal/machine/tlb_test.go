@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestTLBHitOnSamePage(t *testing.T) {
+	tlb := NewTLB(4, 4096)
+	if tlb.Touch(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !tlb.Touch(0x1FFF) {
+		t.Fatal("same-page access missed")
+	}
+	if tlb.Touch(0x2000) {
+		t.Fatal("next-page access hit")
+	}
+	if tlb.Accesses != 3 || tlb.Misses != 2 {
+		t.Fatalf("accesses=%d misses=%d", tlb.Accesses, tlb.Misses)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(2, 4096)
+	tlb.Touch(0 << 12) // page 0
+	tlb.Touch(1 << 12) // page 1
+	tlb.Touch(0 << 12) // refresh page 0
+	tlb.Touch(2 << 12) // evicts page 1 (LRU)
+	if !tlb.Touch(0 << 12) {
+		t.Fatal("page 0 evicted although MRU")
+	}
+	if tlb.Touch(1 << 12) {
+		t.Fatal("page 1 survived although LRU")
+	}
+}
+
+func TestTLBGeometryValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewTLB(0, 4096) },
+		func() { NewTLB(4, 3000) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid geometry accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestMachineTLBCountersAndRates(t *testing.T) {
+	m := New(Core2())
+	base := m.Alloc(16<<20, 64)
+	// Touch many distinct pages: TLB misses accumulate.
+	for i := 0; i < 1000; i++ {
+		m.Read(base+mem.Addr(i*4096), 8)
+	}
+	c := m.Counters()
+	if c.TLBAccesses == 0 {
+		t.Fatal("no TLB accesses recorded")
+	}
+	if c.TLBMissRate() < 0.5 {
+		t.Fatalf("page-stride miss rate = %f, want high", c.TLBMissRate())
+	}
+	// Dense reuse of one page: near-zero miss rate afterwards.
+	before := m.Counters()
+	for i := 0; i < 1000; i++ {
+		m.Read(base+mem.Addr(i%512*8), 8)
+	}
+	diff := m.Counters().Sub(before)
+	if diff.TLBMissRate() > 0.01 {
+		t.Fatalf("single-page miss rate = %f", diff.TLBMissRate())
+	}
+	m.Reset()
+	if m.Counters().TLBAccesses != 0 {
+		t.Fatal("reset kept TLB counters")
+	}
+}
+
+func TestPointerChasePaysTLB(t *testing.T) {
+	// Scattered accesses across a large footprint should cost more on a
+	// machine with a small TLB than page-dense ones of equal count.
+	dense := New(Atom())
+	base := dense.Alloc(64<<20, 64)
+	for i := 0; i < 5000; i++ {
+		dense.Read(base+mem.Addr(i%4096), 8)
+	}
+	sparse := New(Atom())
+	base2 := sparse.Alloc(64<<20, 64)
+	for i := 0; i < 5000; i++ {
+		off := (uint64(i) * 2654435761) % (60 << 20)
+		sparse.Read(base2+mem.Addr(off), 8)
+	}
+	if sparse.Cycles() <= dense.Cycles() {
+		t.Fatal("sparse accesses not dearer than dense ones")
+	}
+}

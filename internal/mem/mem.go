@@ -1,0 +1,116 @@
+// Package mem defines the memory-event model that connects containers to a
+// machine. Every container in this repository performs its allocations and
+// data accesses through a Model, so the same container code can run against
+// the no-op model (plain library use), a counting model (tests), or the full
+// microarchitecture simulator in internal/machine (training and evaluation).
+package mem
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// BranchSite identifies a static conditional-branch location inside a
+// container's code, e.g. "the capacity check in vector.PushBack". The
+// machine's branch predictor is indexed by the site, mimicking a real
+// predictor indexed by program counter.
+type BranchSite uint32
+
+// Model receives the memory and control-flow events a container generates.
+//
+// Alloc returns the base address of a fresh block. Free releases it; models
+// may recycle addresses. Read and Write touch size bytes starting at addr.
+// Branch reports the outcome of a data-dependent conditional branch at the
+// given static site.
+type Model interface {
+	Alloc(size, align uint64) Addr
+	Free(addr Addr, size uint64)
+	Read(addr Addr, size uint64)
+	Write(addr Addr, size uint64)
+	Branch(site BranchSite, taken bool)
+	// Work reports pure ALU work (in abstract units of one simple
+	// operation) that is not visible as memory traffic or branches, e.g.
+	// computing a hash function over a key.
+	Work(units float64)
+}
+
+// Nop is a Model that discards every event. It is the zero-cost default for
+// plain library use.
+type Nop struct{}
+
+var nopNext Addr = 1 << 20
+
+// Alloc returns monotonically increasing fake addresses so that distinct
+// blocks never alias even under the no-op model.
+func (Nop) Alloc(size, align uint64) Addr {
+	if align == 0 {
+		align = 1
+	}
+	a := (uint64(nopNext) + align - 1) &^ (align - 1)
+	nopNext = Addr(a + size)
+	return Addr(a)
+}
+
+func (Nop) Free(Addr, uint64)       {}
+func (Nop) Read(Addr, uint64)       {}
+func (Nop) Write(Addr, uint64)      {}
+func (Nop) Branch(BranchSite, bool) {}
+func (Nop) Work(float64)            {}
+
+// Counting is a Model that tallies events without simulating a machine.
+// It is useful in unit tests to assert that containers report the accesses
+// and branches they are supposed to.
+type Counting struct {
+	next      Addr
+	Allocs    uint64
+	Frees     uint64
+	Reads     uint64
+	Writes    uint64
+	ReadB     uint64 // bytes read
+	WriteB    uint64 // bytes written
+	Taken     uint64
+	NotTaken  uint64
+	Live      int64   // live bytes
+	WorkUnits float64 // accumulated ALU work
+}
+
+// NewCounting returns a counting model whose address space starts at 1 MiB.
+func NewCounting() *Counting { return &Counting{next: 1 << 20} }
+
+func (c *Counting) Alloc(size, align uint64) Addr {
+	if align == 0 {
+		align = 1
+	}
+	a := (uint64(c.next) + align - 1) &^ (align - 1)
+	c.next = Addr(a + size)
+	c.Allocs++
+	c.Live += int64(size)
+	return Addr(a)
+}
+
+func (c *Counting) Free(addr Addr, size uint64) {
+	c.Frees++
+	c.Live -= int64(size)
+}
+
+func (c *Counting) Read(addr Addr, size uint64) {
+	c.Reads++
+	c.ReadB += size
+}
+
+func (c *Counting) Write(addr Addr, size uint64) {
+	c.Writes++
+	c.WriteB += size
+}
+
+func (c *Counting) Branch(site BranchSite, taken bool) {
+	if taken {
+		c.Taken++
+	} else {
+		c.NotTaken++
+	}
+}
+
+// Work implements Model.
+func (c *Counting) Work(units float64) { c.WorkUnits += units }
+
+// Branches returns the total number of branch events seen.
+func (c *Counting) Branches() uint64 { return c.Taken + c.NotTaken }

@@ -1,0 +1,62 @@
+package mem
+
+import "testing"
+
+func TestNopAllocDistinct(t *testing.T) {
+	var n Nop
+	a := n.Alloc(64, 8)
+	b := n.Alloc(64, 8)
+	if a == b {
+		t.Fatal("Nop.Alloc returned aliasing blocks")
+	}
+	if uint64(a)%8 != 0 || uint64(b)%8 != 0 {
+		t.Fatal("Nop.Alloc ignored alignment")
+	}
+	// The remaining methods must be safe no-ops.
+	n.Free(a, 64)
+	n.Read(a, 8)
+	n.Write(a, 8)
+	n.Branch(1, true)
+}
+
+func TestCountingTallies(t *testing.T) {
+	c := NewCounting()
+	a := c.Alloc(100, 16)
+	if uint64(a)%16 != 0 {
+		t.Fatal("alignment ignored")
+	}
+	c.Read(a, 8)
+	c.Read(a, 24)
+	c.Write(a, 16)
+	c.Branch(1, true)
+	c.Branch(2, false)
+	c.Branch(3, true)
+	if c.Allocs != 1 || c.Reads != 2 || c.Writes != 1 {
+		t.Fatalf("%+v", c)
+	}
+	if c.ReadB != 32 || c.WriteB != 16 {
+		t.Fatalf("bytes: read %d write %d", c.ReadB, c.WriteB)
+	}
+	if c.Taken != 2 || c.NotTaken != 1 || c.Branches() != 3 {
+		t.Fatalf("branches: %d/%d", c.Taken, c.NotTaken)
+	}
+	if c.Live != 100 {
+		t.Fatalf("live = %d", c.Live)
+	}
+	c.Free(a, 100)
+	if c.Live != 0 || c.Frees != 1 {
+		t.Fatalf("after free: live=%d frees=%d", c.Live, c.Frees)
+	}
+}
+
+func TestCountingAddressesMonotone(t *testing.T) {
+	c := NewCounting()
+	prev := c.Alloc(8, 8)
+	for i := 0; i < 100; i++ {
+		next := c.Alloc(8, 8)
+		if next <= prev {
+			t.Fatal("addresses not monotone")
+		}
+		prev = next
+	}
+}

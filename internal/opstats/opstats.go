@@ -1,0 +1,100 @@
+// Package opstats defines the software-feature vocabulary shared by every
+// container: which interface functions ran, how often, and at what cost.
+// These are the "software features" of the paper (Section 5.1): find_cost is
+// the number of elements touched until a search finishes, insert_cost/
+// erase_cost the number of elements moved or traversed around the mutation
+// point, resizes the number of capacity growths or rehashes, and so on.
+package opstats
+
+import "fmt"
+
+// Op enumerates the container interface functions that Brainy instruments.
+type Op int
+
+// Interface functions, mirroring the paper's STL vocabulary.
+const (
+	OpInsert  Op = iota // keyed or positional insertion
+	OpErase             // keyed or positional removal
+	OpFind              // search for a value/key
+	OpIterate           // ++/-- element visits
+	OpPushBack
+	OpPushFront
+	OpPopBack
+	OpPopFront
+	OpAt // random positional access
+	OpClear
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"insert", "erase", "find", "iterate",
+	"push_back", "push_front", "pop_back", "pop_front",
+	"at", "clear",
+}
+
+// String returns the STL-style name of the operation.
+func (o Op) String() string {
+	if o < 0 || o >= NumOps {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Stats accumulates per-operation counts and costs for one container
+// instance. The zero value is ready to use.
+type Stats struct {
+	Count [NumOps]uint64 // invocations per interface function
+	Cost  [NumOps]uint64 // total elements touched/moved per function
+
+	Resizes   uint64 // vector capacity growths / deque map growths
+	Rehashes  uint64 // hash-table rehashes
+	Rotations uint64 // tree rebalancing rotations (RB recolor+rotate, AVL, splay)
+
+	MaxLen   uint64 // high-water mark of container length
+	ElemSize uint64 // configured element size in bytes
+}
+
+// Observe records one invocation of op with the given cost.
+func (s *Stats) Observe(op Op, cost uint64) {
+	s.Count[op]++
+	s.Cost[op] += cost
+}
+
+// NoteLen updates the length high-water mark.
+func (s *Stats) NoteLen(n int) {
+	if uint64(n) > s.MaxLen {
+		s.MaxLen = uint64(n)
+	}
+}
+
+// TotalCalls returns the total number of interface invocations.
+func (s *Stats) TotalCalls() uint64 {
+	var t uint64
+	for _, c := range s.Count {
+		t += c
+	}
+	return t
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	for i := 0; i < int(NumOps); i++ {
+		s.Count[i] += o.Count[i]
+		s.Cost[i] += o.Cost[i]
+	}
+	s.Resizes += o.Resizes
+	s.Rehashes += o.Rehashes
+	s.Rotations += o.Rotations
+	if o.MaxLen > s.MaxLen {
+		s.MaxLen = o.MaxLen
+	}
+	if s.ElemSize == 0 {
+		s.ElemSize = o.ElemSize
+	}
+}
+
+// Reset zeroes all counters but keeps ElemSize.
+func (s *Stats) Reset() {
+	es := s.ElemSize
+	*s = Stats{ElemSize: es}
+}

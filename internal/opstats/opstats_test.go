@@ -1,0 +1,80 @@
+package opstats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObserveAndTotals(t *testing.T) {
+	var s Stats
+	s.Observe(OpFind, 10)
+	s.Observe(OpFind, 5)
+	s.Observe(OpInsert, 1)
+	if s.Count[OpFind] != 2 || s.Cost[OpFind] != 15 {
+		t.Fatalf("find: %d/%d", s.Count[OpFind], s.Cost[OpFind])
+	}
+	if s.TotalCalls() != 3 {
+		t.Fatalf("total = %d", s.TotalCalls())
+	}
+}
+
+func TestNoteLenHighWater(t *testing.T) {
+	var s Stats
+	s.NoteLen(5)
+	s.NoteLen(3)
+	s.NoteLen(9)
+	if s.MaxLen != 9 {
+		t.Fatalf("MaxLen = %d", s.MaxLen)
+	}
+}
+
+func TestAddMerges(t *testing.T) {
+	var a, b Stats
+	a.Observe(OpErase, 2)
+	a.Resizes = 1
+	a.MaxLen = 10
+	b.Observe(OpErase, 3)
+	b.Rehashes = 2
+	b.MaxLen = 20
+	b.ElemSize = 8
+	a.Add(b)
+	if a.Count[OpErase] != 2 || a.Cost[OpErase] != 5 {
+		t.Fatalf("merged erase %d/%d", a.Count[OpErase], a.Cost[OpErase])
+	}
+	if a.Resizes != 1 || a.Rehashes != 2 || a.MaxLen != 20 || a.ElemSize != 8 {
+		t.Fatalf("merged: %+v", a)
+	}
+}
+
+func TestResetKeepsElemSize(t *testing.T) {
+	var s Stats
+	s.ElemSize = 64
+	s.Observe(OpAt, 1)
+	s.Reset()
+	if s.ElemSize != 64 {
+		t.Fatal("Reset dropped ElemSize")
+	}
+	if s.TotalCalls() != 0 {
+		t.Fatal("Reset kept counts")
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	want := map[Op]string{
+		OpInsert:    "insert",
+		OpErase:     "erase",
+		OpFind:      "find",
+		OpIterate:   "iterate",
+		OpPushBack:  "push_back",
+		OpPushFront: "push_front",
+		OpAt:        "at",
+	}
+	for op, name := range want {
+		if op.String() != name {
+			t.Fatalf("%d.String() = %q, want %q", op, op.String(), name)
+		}
+	}
+	if !strings.Contains(Op(99).String(), "99") {
+		t.Fatal("out-of-range op name")
+	}
+}

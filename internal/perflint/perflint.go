@@ -1,0 +1,280 @@
+// Package perflint re-implements the hand-constructed baseline advisor the
+// paper compares against (Liu & Rus, CGO'09). Perflint instruments the
+// original container and, on every interface invocation, charges each
+// candidate implementation its textbook asymptotic cost at the current
+// container size (e.g. a find among N elements costs 3/4·N for vector and
+// log₂N for set). The per-operation costs are weighted by coefficients fit
+// with linear regression against measured execution times and accumulated;
+// at the end the cheapest candidate is reported.
+//
+// Faithful to the paper, Perflint needs one model per (original,
+// alternative) pair, uses no hardware features, and only supports a subset
+// of replacements: vector/list to vector, list, deque, or set — not to
+// hash or AVL variants, and nothing for set or map originals.
+package perflint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adt"
+	"repro/internal/linreg"
+)
+
+// Op is the interface-function vocabulary Perflint charges costs for.
+type Op int
+
+// Advisor-level operations (the ADT call surface).
+const (
+	OpInsert Op = iota
+	OpInsertAt
+	OpPushFront
+	OpErase
+	OpEraseFront
+	OpFind
+	OpIterate
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"insert", "insert_at", "push_front", "erase", "erase_front", "find", "iterate",
+}
+
+// String returns the operation name.
+func (o Op) String() string {
+	if o < 0 || o >= NumOps {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// SupportedCandidates lists the alternatives Perflint has hand models for,
+// given the original kind. Map originals are advised through the set model
+// (the paper's footnote 5); hash and AVL alternatives are unsupported.
+func SupportedCandidates(from adt.Kind) []adt.Kind {
+	switch from {
+	case adt.KindVector, adt.KindList, adt.KindDeque:
+		return []adt.Kind{adt.KindVector, adt.KindList, adt.KindDeque, adt.KindSet}
+	case adt.KindMap:
+		// Footnote 5: a set suggestion is read as "replace with map".
+		return []adt.Kind{adt.KindMap, adt.KindSet}
+	default:
+		return nil // no replacement supported for set originals (Section 6.4)
+	}
+}
+
+// asymptoticCost is the hand model: the cost of op on a container of kind k
+// currently holding n elements. iterN is the iteration length for OpIterate.
+func asymptoticCost(k adt.Kind, op Op, n int, iterN int) float64 {
+	fn := float64(n)
+	logN := 1.0
+	if n > 1 {
+		logN = math.Log2(fn)
+	}
+	switch k {
+	case adt.KindVector:
+		switch op {
+		case OpInsert:
+			return 1 // amortized push_back
+		case OpInsertAt:
+			return fn / 2 // shift half the tail on average
+		case OpPushFront:
+			return fn
+		case OpErase:
+			return 3*fn/4 + fn/4 // average linear search + tail shift
+		case OpEraseFront:
+			return fn
+		case OpFind:
+			return 3 * fn / 4 // the paper's 3/4·N average-case linear search
+		case OpIterate:
+			return float64(iterN)
+		}
+	case adt.KindList, adt.KindDeque:
+		switch op {
+		case OpInsert, OpPushFront, OpEraseFront:
+			return 1
+		case OpInsertAt:
+			return fn / 4 // walk from the nearer end
+		case OpErase:
+			return 3 * fn / 4
+		case OpFind:
+			return 3 * fn / 4
+		case OpIterate:
+			return float64(iterN)
+		}
+	case adt.KindSet, adt.KindMap, adt.KindAVLSet, adt.KindAVLMap, adt.KindSplaySet:
+		switch op {
+		case OpInsert, OpInsertAt, OpPushFront, OpErase, OpEraseFront, OpFind:
+			return logN // binary search: average == worst (footnote 4)
+		case OpIterate:
+			return float64(iterN)
+		}
+	case adt.KindHashSet, adt.KindHashMap:
+		switch op {
+		case OpIterate:
+			return float64(iterN)
+		default:
+			return 1
+		}
+	}
+	return 1
+}
+
+// Coefficients maps a candidate kind to per-op regression weights (plus an
+// intercept in the final slot).
+type Coefficients map[adt.Kind][]float64
+
+// Advisor wraps an adt.Container and accumulates, for every supported
+// candidate, the asymptotic cost of each interface invocation at the
+// current size. It implements adt.Container so it can be dropped in
+// wherever the original container is used.
+type Advisor struct {
+	adt.Container
+	from   adt.Kind
+	coef   Coefficients
+	accum  map[adt.Kind][]float64 // per-candidate per-op accumulated cost
+	advice []adt.Kind
+}
+
+// NewAdvisor wraps inner (the application's original container) with
+// Perflint instrumentation. coef may be nil, in which case unit
+// coefficients are used.
+func NewAdvisor(inner adt.Container, coef Coefficients) *Advisor {
+	a := &Advisor{
+		Container: inner,
+		from:      inner.Kind(),
+		coef:      coef,
+		accum:     map[adt.Kind][]float64{},
+		advice:    SupportedCandidates(inner.Kind()),
+	}
+	for _, k := range a.advice {
+		a.accum[k] = make([]float64, NumOps)
+	}
+	return a
+}
+
+func (a *Advisor) charge(op Op, iterN int) {
+	n := a.Container.Len()
+	for _, k := range a.advice {
+		a.accum[k][op] += asymptoticCost(k, op, n, iterN)
+	}
+}
+
+// Insert charges and delegates.
+func (a *Advisor) Insert(key uint64) { a.charge(OpInsert, 0); a.Container.Insert(key) }
+
+// InsertAt charges and delegates.
+func (a *Advisor) InsertAt(pos int, key uint64) {
+	a.charge(OpInsertAt, 0)
+	a.Container.InsertAt(pos, key)
+}
+
+// PushFront charges and delegates.
+func (a *Advisor) PushFront(key uint64) { a.charge(OpPushFront, 0); a.Container.PushFront(key) }
+
+// Erase charges and delegates.
+func (a *Advisor) Erase(key uint64) bool { a.charge(OpErase, 0); return a.Container.Erase(key) }
+
+// EraseFront charges and delegates.
+func (a *Advisor) EraseFront() bool { a.charge(OpEraseFront, 0); return a.Container.EraseFront() }
+
+// Find charges and delegates.
+func (a *Advisor) Find(key uint64) bool { a.charge(OpFind, 0); return a.Container.Find(key) }
+
+// Iterate charges and delegates.
+func (a *Advisor) Iterate(n int) uint64 {
+	visit := n
+	if l := a.Container.Len(); visit < 0 || visit > l {
+		visit = l
+	}
+	a.charge(OpIterate, visit)
+	return a.Container.Iterate(n)
+}
+
+// PredictedCost returns the regression-weighted accumulated cost for one
+// candidate kind.
+func (a *Advisor) PredictedCost(k adt.Kind) float64 {
+	costs, ok := a.accum[k]
+	if !ok {
+		return math.Inf(1)
+	}
+	w := a.coef[k]
+	if w == nil {
+		// Unit coefficients: plain asymptotic total.
+		var s float64
+		for _, c := range costs {
+			s += c
+		}
+		return s
+	}
+	s := 0.0
+	for i, c := range costs {
+		s += w[i] * c
+	}
+	if len(w) > int(NumOps) {
+		s += w[NumOps] // intercept
+	}
+	return s
+}
+
+// Advise returns Perflint's suggested container: the supported candidate
+// with the lowest predicted cost. ok is false when the original kind has
+// no supported replacements.
+func (a *Advisor) Advise() (adt.Kind, bool) {
+	if len(a.advice) == 0 {
+		return a.from, false
+	}
+	best := a.advice[0]
+	bestCost := a.PredictedCost(best)
+	for _, k := range a.advice[1:] {
+		if c := a.PredictedCost(k); c < bestCost {
+			best, bestCost = k, c
+		}
+	}
+	return best, true
+}
+
+// CalibrationRun is one observation for coefficient fitting: the per-op
+// asymptotic costs a candidate accumulated and the cycles the candidate
+// actually took on the same behaviour.
+type CalibrationRun struct {
+	Costs  []float64 // length NumOps
+	Cycles float64
+}
+
+// FitCoefficients regresses measured cycles on asymptotic per-op costs for
+// each candidate kind, returning the coefficient table the advisor uses.
+// This is the paper's "coefficient value determined by linear regression
+// analysis for execution time".
+func FitCoefficients(runs map[adt.Kind][]CalibrationRun) (Coefficients, error) {
+	out := Coefficients{}
+	for kind, rs := range runs {
+		if len(rs) < int(NumOps)+2 {
+			return nil, fmt.Errorf("perflint: %d calibration runs for %v, need at least %d", len(rs), kind, NumOps+2)
+		}
+		x := make([][]float64, len(rs))
+		y := make([]float64, len(rs))
+		for i, r := range rs {
+			row := make([]float64, NumOps+1)
+			copy(row, r.Costs)
+			row[NumOps] = 1 // intercept
+			x[i] = row
+			y[i] = r.Cycles
+		}
+		w, err := linreg.Fit(x, y)
+		if err != nil {
+			return nil, fmt.Errorf("perflint: fitting %v: %w", kind, err)
+		}
+		out[kind] = w
+	}
+	return out, nil
+}
+
+// AccumulatedCosts exposes the advisor's per-candidate cost table, used by
+// the calibration harness.
+func (a *Advisor) AccumulatedCosts(k adt.Kind) []float64 {
+	c := a.accum[k]
+	out := make([]float64, len(c))
+	copy(out, c)
+	return out
+}

@@ -1,0 +1,168 @@
+package perflint
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+)
+
+func TestSupportedCandidates(t *testing.T) {
+	if got := SupportedCandidates(adt.KindSet); got != nil {
+		t.Fatalf("set should have no supported replacements, got %v", got)
+	}
+	v := SupportedCandidates(adt.KindVector)
+	hasHash := false
+	hasSet := false
+	for _, k := range v {
+		if k == adt.KindHashSet {
+			hasHash = true
+		}
+		if k == adt.KindSet {
+			hasSet = true
+		}
+	}
+	if hasHash {
+		t.Fatal("perflint must not support vector-to-hash_set (paper, Section 6.2)")
+	}
+	if !hasSet {
+		t.Fatal("perflint supports vector-to-set")
+	}
+	m := SupportedCandidates(adt.KindMap)
+	if len(m) != 2 {
+		t.Fatalf("map candidates = %v", m)
+	}
+}
+
+func TestAdvisorChargesAndDelegates(t *testing.T) {
+	inner := adt.New(adt.KindVector, nil, 8)
+	a := NewAdvisor(inner, nil)
+	for i := uint64(0); i < 100; i++ {
+		a.Insert(i)
+	}
+	if a.Len() != 100 {
+		t.Fatalf("delegation broken: Len = %d", a.Len())
+	}
+	for i := 0; i < 50; i++ {
+		a.Find(uint64(i))
+	}
+	costsVec := a.AccumulatedCosts(adt.KindVector)
+	costsSet := a.AccumulatedCosts(adt.KindSet)
+	// 50 finds among ~100 elements: vector pays 3/4*100 each, set pays log2(100).
+	if costsVec[OpFind] < costsSet[OpFind]*5 {
+		t.Fatalf("vector find cost %f not ≫ set find cost %f", costsVec[OpFind], costsSet[OpFind])
+	}
+}
+
+func TestAdvisorPicksSetForFindHeavy(t *testing.T) {
+	inner := adt.New(adt.KindVector, nil, 8)
+	a := NewAdvisor(inner, nil)
+	for i := uint64(0); i < 500; i++ {
+		a.Insert(i)
+	}
+	for i := 0; i < 5000; i++ {
+		a.Find(uint64(i % 500))
+	}
+	got, ok := a.Advise()
+	if !ok || got != adt.KindSet {
+		t.Fatalf("Advise = %v,%v; want set for find-heavy vector", got, ok)
+	}
+}
+
+func TestAdvisorKeepsVectorForIterateHeavy(t *testing.T) {
+	inner := adt.New(adt.KindVector, nil, 8)
+	a := NewAdvisor(inner, nil)
+	for i := uint64(0); i < 100; i++ {
+		a.Insert(i)
+	}
+	for i := 0; i < 1000; i++ {
+		a.Iterate(-1)
+	}
+	got, ok := a.Advise()
+	if !ok {
+		t.Fatal("no advice")
+	}
+	// With unit coefficients, iteration costs are identical across kinds,
+	// and inserts cost 1 for vector vs log n for set, so a sequence must win.
+	if got.IsAssociative() {
+		t.Fatalf("Advise = %v for iterate-heavy workload", got)
+	}
+}
+
+func TestAdvisorUnsupportedOriginal(t *testing.T) {
+	inner := adt.New(adt.KindSet, nil, 8)
+	a := NewAdvisor(inner, nil)
+	a.Insert(1)
+	if _, ok := a.Advise(); ok {
+		t.Fatal("set original should yield no advice")
+	}
+}
+
+func TestFitCoefficientsRecoversLinearCosts(t *testing.T) {
+	// Synthetic calibration: cycles = 2*find + 10*insert + 100.
+	rng := rand.New(rand.NewSource(1))
+	runs := map[adt.Kind][]CalibrationRun{}
+	for i := 0; i < 60; i++ {
+		costs := make([]float64, NumOps)
+		costs[OpFind] = float64(rng.Intn(1000))
+		costs[OpInsert] = float64(rng.Intn(1000))
+		cycles := 2*costs[OpFind] + 10*costs[OpInsert] + 100
+		runs[adt.KindVector] = append(runs[adt.KindVector], CalibrationRun{Costs: costs, Cycles: cycles})
+	}
+	coef, err := FitCoefficients(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := coef[adt.KindVector]
+	if w[OpFind] < 1.9 || w[OpFind] > 2.1 {
+		t.Fatalf("find coefficient = %f, want ~2", w[OpFind])
+	}
+	if w[OpInsert] < 9.5 || w[OpInsert] > 10.5 {
+		t.Fatalf("insert coefficient = %f, want ~10", w[OpInsert])
+	}
+}
+
+func TestFitCoefficientsNeedsEnoughRuns(t *testing.T) {
+	runs := map[adt.Kind][]CalibrationRun{
+		adt.KindVector: {{Costs: make([]float64, NumOps), Cycles: 1}},
+	}
+	if _, err := FitCoefficients(runs); err == nil {
+		t.Fatal("too few runs accepted")
+	}
+}
+
+func TestPredictedCostUsesCoefficients(t *testing.T) {
+	inner := adt.New(adt.KindVector, nil, 8)
+	coef := Coefficients{
+		adt.KindVector: append(make([]float64, NumOps), 1000), // only intercept
+	}
+	a := NewAdvisor(inner, coef)
+	a.Insert(1)
+	if got := a.PredictedCost(adt.KindVector); got != 1000 {
+		t.Fatalf("predicted = %f, want intercept 1000", got)
+	}
+}
+
+func TestAsymptoticShapes(t *testing.T) {
+	if asymptoticCost(adt.KindVector, OpFind, 1000, 0) <= asymptoticCost(adt.KindSet, OpFind, 1000, 0) {
+		t.Fatal("vector find not dearer than set find at n=1000")
+	}
+	if asymptoticCost(adt.KindHashSet, OpFind, 1<<20, 0) != 1 {
+		t.Fatal("hash find not O(1)")
+	}
+	if asymptoticCost(adt.KindVector, OpIterate, 10, 7) != 7 {
+		t.Fatal("iterate cost must be the visit count")
+	}
+	if asymptoticCost(adt.KindList, OpPushFront, 1000, 0) != 1 {
+		t.Fatal("list push_front not O(1)")
+	}
+	if asymptoticCost(adt.KindVector, OpPushFront, 1000, 0) != 1000 {
+		t.Fatal("vector push_front not O(n)")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpFind.String() != "find" || OpEraseFront.String() != "erase_front" {
+		t.Fatal("op names wrong")
+	}
+}

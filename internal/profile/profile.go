@@ -1,0 +1,253 @@
+// Package profile turns raw container statistics and machine counters into
+// the feature vectors Brainy's models consume, and implements the profiling
+// wrapper that stands in for the paper's modified libstdc++: a container
+// whose interface functions record software features while the simulated
+// machine records hardware features, tagged with the calling context of the
+// container's construction site.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+	"repro/internal/opstats"
+)
+
+// FeatureNames lists, in order, every feature the models see. The first
+// block are software features from instrumentation; the block after
+// "l1_miss_rate" are hardware features from the (simulated) performance
+// counters. Keep in sync with Vector().
+var FeatureNames = []string{
+	// Software: interface invocation mix (fractions of total calls).
+	"insert", "erase", "find", "iterate",
+	"push_back", "push_front", "pop_back", "pop_front", "at",
+	// Software: per-op costs (average elements touched per invocation).
+	"insert_cost", "erase_cost", "find_cost", "iterate_cost",
+	// Software: structural events.
+	"resizing", "rehashes", "rotations",
+	"max_len", "elem_size", "data_size/cache_block_size",
+	// Hardware: performance counters.
+	"l1_miss_rate", "l2_miss_rate", "tlb_miss_rate", "br_miss_rate",
+	"cycles_per_call", "reads_per_call", "writes_per_call", "allocs_per_call",
+}
+
+// NumFeatures is the dimensionality of the model input.
+var NumFeatures = len(FeatureNames)
+
+// Profile is one container's complete measurement: what the application did
+// with it (software features), what the machine observed (hardware
+// features), and where it was constructed (calling context).
+type Profile struct {
+	Context    string           `json:"context"` // construction site, e.g. "xalan/StringCache.busyList"
+	Kind       adt.Kind         `json:"kind"`
+	OrderAware bool             `json:"order_aware"`
+	Stats      opstats.Stats    `json:"stats"`
+	HW         machine.Counters `json:"hw"`
+	LineBytes  int              `json:"line_bytes"` // cache line size of the profiled machine
+	Cycles     float64          `json:"cycles"`     // container-attributed simulated cycles
+}
+
+// Vector flattens the profile into the canonical feature vector. Count
+// features are normalized to fractions of total interface calls; cost
+// features are per-invocation averages; size features are log-compressed so
+// that magnitudes spanning decades stay learnable.
+func (p *Profile) Vector() []float64 {
+	s := &p.Stats
+	total := float64(s.TotalCalls())
+	if total == 0 {
+		total = 1
+	}
+	frac := func(op opstats.Op) float64 { return float64(s.Count[op]) / total }
+	avgCost := func(op opstats.Op) float64 {
+		if s.Count[op] == 0 {
+			return 0
+		}
+		return float64(s.Cost[op]) / float64(s.Count[op])
+	}
+	line := float64(p.LineBytes)
+	if line == 0 {
+		line = 64
+	}
+	v := []float64{
+		frac(opstats.OpInsert), frac(opstats.OpErase), frac(opstats.OpFind), frac(opstats.OpIterate),
+		frac(opstats.OpPushBack), frac(opstats.OpPushFront), frac(opstats.OpPopBack), frac(opstats.OpPopFront), frac(opstats.OpAt),
+
+		math.Log1p(avgCost(opstats.OpInsert)), math.Log1p(avgCost(opstats.OpErase)),
+		math.Log1p(avgCost(opstats.OpFind)), math.Log1p(avgCost(opstats.OpIterate)),
+
+		float64(s.Resizes) / total, float64(s.Rehashes) / total, float64(s.Rotations) / total,
+		math.Log1p(float64(s.MaxLen)), math.Log1p(float64(s.ElemSize)), float64(s.ElemSize) / line,
+
+		p.HW.L1MissRate(), p.HW.L2MissRate(), p.HW.TLBMissRate(), p.HW.BranchMissRate(),
+		math.Log1p(p.Cycles / total),
+		math.Log1p(float64(p.HW.Reads) / total), math.Log1p(float64(p.HW.Writes) / total),
+		math.Log1p(float64(p.HW.Allocs) / total),
+	}
+	if len(v) != NumFeatures {
+		panic(fmt.Sprintf("profile: feature vector has %d entries, want %d", len(v), NumFeatures))
+	}
+	return v
+}
+
+// HardwareFeatureIndex returns the index of the first hardware feature;
+// features at and after this index come from performance counters. The
+// no-hardware-features ablation masks them.
+func HardwareFeatureIndex() int {
+	for i, n := range FeatureNames {
+		if n == "l1_miss_rate" {
+			return i
+		}
+	}
+	panic("profile: l1_miss_rate not in FeatureNames")
+}
+
+// Container wraps an adt.Container built on a machine and attributes
+// hardware events per interface invocation: every call reads the machine's
+// counters before and after, exactly like the paper's instrumented STL
+// functions bracketing each operation with performance-counter reads. This
+// keeps attribution correct even when several profiled containers
+// interleave on one machine.
+type Container struct {
+	inner      adt.Container
+	mach       *machine.Machine
+	context    string
+	orderAware bool
+	hw         machine.Counters // accumulated per-op deltas
+}
+
+// NewContainer builds a profiled container of the given kind on m.
+// The context string identifies the construction site, the role the
+// paper's calling-context tracking plays.
+func NewContainer(kind adt.Kind, m *machine.Machine, elemSize uint64, context string, orderAware bool) *Container {
+	base := m.Counters()
+	c := &Container{
+		mach:       m,
+		context:    context,
+		orderAware: orderAware,
+	}
+	c.inner = adt.New(kind, m, elemSize)
+	// Construction cost (initial allocations) belongs to the container.
+	c.hw = m.Counters().Sub(base)
+	return c
+}
+
+// window brackets one interface invocation with counter reads.
+func (c *Container) window(op func()) {
+	before := c.mach.Counters()
+	op()
+	c.hw = addCounters(c.hw, c.mach.Counters().Sub(before))
+}
+
+func addCounters(a, b machine.Counters) machine.Counters {
+	return machine.Counters{
+		Cycles:       a.Cycles + b.Cycles,
+		Reads:        a.Reads + b.Reads,
+		Writes:       a.Writes + b.Writes,
+		L1Accesses:   a.L1Accesses + b.L1Accesses,
+		L1Misses:     a.L1Misses + b.L1Misses,
+		L2Accesses:   a.L2Accesses + b.L2Accesses,
+		L2Misses:     a.L2Misses + b.L2Misses,
+		Branches:     a.Branches + b.Branches,
+		Mispredicts:  a.Mispredicts + b.Mispredicts,
+		TLBAccesses:  a.TLBAccesses + b.TLBAccesses,
+		TLBMisses:    a.TLBMisses + b.TLBMisses,
+		Allocs:       a.Allocs + b.Allocs,
+		Frees:        a.Frees + b.Frees,
+		BytesAlloced: a.BytesAlloced + b.BytesAlloced,
+	}
+}
+
+// Kind implements adt.Container.
+func (c *Container) Kind() adt.Kind { return c.inner.Kind() }
+
+// Insert implements adt.Container.
+func (c *Container) Insert(key uint64) { c.window(func() { c.inner.Insert(key) }) }
+
+// InsertAt implements adt.Container.
+func (c *Container) InsertAt(pos int, key uint64) {
+	c.window(func() { c.inner.InsertAt(pos, key) })
+}
+
+// PushFront implements adt.Container.
+func (c *Container) PushFront(key uint64) { c.window(func() { c.inner.PushFront(key) }) }
+
+// Erase implements adt.Container.
+func (c *Container) Erase(key uint64) (ok bool) {
+	c.window(func() { ok = c.inner.Erase(key) })
+	return ok
+}
+
+// EraseFront implements adt.Container.
+func (c *Container) EraseFront() (ok bool) {
+	c.window(func() { ok = c.inner.EraseFront() })
+	return ok
+}
+
+// Find implements adt.Container.
+func (c *Container) Find(key uint64) (ok bool) {
+	c.window(func() { ok = c.inner.Find(key) })
+	return ok
+}
+
+// Iterate implements adt.Container.
+func (c *Container) Iterate(n int) (sum uint64) {
+	c.window(func() { sum = c.inner.Iterate(n) })
+	return sum
+}
+
+// Len implements adt.Container.
+func (c *Container) Len() int { return c.inner.Len() }
+
+// Clear implements adt.Container.
+func (c *Container) Clear() { c.window(func() { c.inner.Clear() }) }
+
+// Stats implements adt.Container.
+func (c *Container) Stats() *opstats.Stats { return c.inner.Stats() }
+
+// Context returns the construction-site label.
+func (c *Container) Context() string { return c.context }
+
+// Snapshot produces the profile of every interface invocation so far.
+func (c *Container) Snapshot() Profile {
+	return Profile{
+		Context:    c.context,
+		Kind:       c.inner.Kind(),
+		OrderAware: c.orderAware,
+		Stats:      *c.inner.Stats(),
+		HW:         c.hw,
+		LineBytes:  c.mach.Config().L1Line,
+		Cycles:     c.hw.Cycles,
+	}
+}
+
+// WriteTrace serializes profiles as JSON lines, the repository's trace-file
+// format (one line per container instance).
+func WriteTrace(w io.Writer, profiles []Profile) error {
+	enc := json.NewEncoder(w)
+	for i := range profiles {
+		if err := enc.Encode(&profiles[i]); err != nil {
+			return fmt.Errorf("profile: encoding trace record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadTrace parses a JSON-lines trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Profile, error) {
+	dec := json.NewDecoder(r)
+	var out []Profile
+	for {
+		var p Profile
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("profile: decoding trace record %d: %w", len(out), err)
+		}
+		out = append(out, p)
+	}
+}

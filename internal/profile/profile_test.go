@@ -1,0 +1,156 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+	"repro/internal/opstats"
+)
+
+func TestVectorLengthMatchesNames(t *testing.T) {
+	var p Profile
+	v := p.Vector()
+	if len(v) != NumFeatures || NumFeatures != len(FeatureNames) {
+		t.Fatalf("lengths: vector %d, NumFeatures %d, names %d", len(v), NumFeatures, len(FeatureNames))
+	}
+}
+
+func TestHardwareFeatureIndex(t *testing.T) {
+	i := HardwareFeatureIndex()
+	if FeatureNames[i] != "l1_miss_rate" {
+		t.Fatalf("index %d points at %s", i, FeatureNames[i])
+	}
+	// Everything after the index must be a hardware counter feature.
+	for _, n := range FeatureNames[i:] {
+		if !strings.Contains(n, "miss") && !strings.Contains(n, "per_call") {
+			t.Fatalf("unexpected hardware feature name %q", n)
+		}
+	}
+}
+
+func TestFeatureFractionsNormalized(t *testing.T) {
+	var p Profile
+	p.Stats.Observe(opstats.OpFind, 30) // 1 call, cost 30
+	p.Stats.Observe(opstats.OpFind, 10)
+	p.Stats.Observe(opstats.OpInsert, 1)
+	p.Stats.Observe(opstats.OpInsert, 1)
+	v := p.Vector()
+	// find fraction = 2/4, insert fraction = 2/4.
+	idxFind, idxInsert := 2, 0
+	if v[idxFind] != 0.5 || v[idxInsert] != 0.5 {
+		t.Fatalf("fractions: find=%f insert=%f", v[idxFind], v[idxInsert])
+	}
+}
+
+func TestProfiledContainerWindowsCounters(t *testing.T) {
+	m := machine.New(machine.Core2())
+	// Unrelated traffic before construction must not leak into the profile.
+	noise := adt.New(adt.KindList, m, 8)
+	for i := uint64(0); i < 100; i++ {
+		noise.Insert(i)
+	}
+	c := NewContainer(adt.KindVector, m, 8, "test/site", false)
+	for i := uint64(0); i < 50; i++ {
+		c.Insert(i)
+	}
+	p := c.Snapshot()
+	if p.Context != "test/site" {
+		t.Fatalf("context = %q", p.Context)
+	}
+	if p.Kind != adt.KindVector {
+		t.Fatalf("kind = %v", p.Kind)
+	}
+	if p.Stats.Count[opstats.OpPushBack] != 50 {
+		t.Fatalf("stats polluted: %v", p.Stats.Count)
+	}
+	if p.HW.Cycles <= 0 {
+		t.Fatal("no attributed cycles")
+	}
+	total := m.Counters()
+	if p.HW.Cycles >= total.Cycles {
+		t.Fatal("windowing failed: profile cycles include pre-construction noise")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	m := machine.New(machine.Atom())
+	c := NewContainer(adt.KindSet, m, 16, "s", false)
+	for i := uint64(0); i < 200; i++ {
+		c.Insert(i)
+	}
+	p1 := c.Snapshot()
+	for i := uint64(0); i < 200; i++ {
+		c.Find(i)
+	}
+	p2 := c.Snapshot()
+	if p2.HW.Cycles <= p1.HW.Cycles {
+		t.Fatal("cycles did not grow")
+	}
+	if p2.LineBytes != machine.Atom().L1Line {
+		t.Fatalf("line bytes = %d", p2.LineBytes)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	m := machine.New(machine.Core2())
+	var profiles []Profile
+	for _, k := range []adt.Kind{adt.KindVector, adt.KindSet, adt.KindHashMap} {
+		c := NewContainer(k, m, 8, "ctx/"+k.String(), k.IsSequence())
+		for i := uint64(0); i < 30; i++ {
+			c.Insert(i)
+		}
+		profiles = append(profiles, c.Snapshot())
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, profiles); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(profiles) {
+		t.Fatalf("round trip count %d", len(got))
+	}
+	for i := range got {
+		if got[i].Context != profiles[i].Context || got[i].Kind != profiles[i].Kind {
+			t.Fatalf("record %d diverges", i)
+		}
+		if got[i].Stats != profiles[i].Stats {
+			t.Fatalf("record %d stats diverge", i)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestVectorFiniteValues(t *testing.T) {
+	m := machine.New(machine.Core2())
+	c := NewContainer(adt.KindHashSet, m, 8, "x", false)
+	for i := uint64(0); i < 1000; i++ {
+		c.Insert(i)
+		c.Find(i / 2)
+	}
+	p := c.Snapshot()
+	for i, v := range p.Vector() {
+		if v != v || v > 1e12 || v < -1e12 { // NaN or absurd
+			t.Fatalf("feature %s = %v", FeatureNames[i], v)
+		}
+	}
+}
+
+func TestEmptyProfileVectorIsZeroSafe(t *testing.T) {
+	var p Profile
+	for i, v := range p.Vector() {
+		if v != 0 {
+			t.Fatalf("empty profile feature %s = %f", FeatureNames[i], v)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package training
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ann"
+	"repro/internal/profile"
+)
+
+// CrossValidate runs k-fold cross-validation of the ANN on a Phase-II
+// dataset, returning the mean and standard deviation of the fold
+// accuracies. It answers the over-fitting question of Section 4.1 without
+// spending any extra simulation time: the folds reuse the dataset's
+// existing labelled examples.
+func CrossValidate(ds Dataset, cfg ann.Config, k int) (mean, std float64, err error) {
+	if k < 2 {
+		return 0, 0, fmt.Errorf("training: cross-validation needs k >= 2, got %d", k)
+	}
+	n := len(ds.Examples)
+	if n < k {
+		return 0, 0, fmt.Errorf("training: %d examples cannot fill %d folds", n, k)
+	}
+	accs := make([]float64, 0, k)
+	for fold := 0; fold < k; fold++ {
+		var train, test []ann.Example
+		for i, e := range ds.Examples {
+			if i%k == fold {
+				test = append(test, e)
+			} else {
+				train = append(train, e)
+			}
+		}
+		net := ann.New(profile.NumFeatures, len(ds.Candidates), cfg)
+		if _, err := net.Train(train); err != nil {
+			return 0, 0, fmt.Errorf("training: fold %d: %w", fold, err)
+		}
+		accs = append(accs, net.Accuracy(test))
+	}
+	for _, a := range accs {
+		mean += a
+	}
+	mean /= float64(k)
+	for _, a := range accs {
+		std += (a - mean) * (a - mean)
+	}
+	std = math.Sqrt(std / float64(k))
+	return mean, std, nil
+}

@@ -1,0 +1,78 @@
+package training
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+)
+
+// serializedModel is the on-disk form of one model.
+type serializedModel struct {
+	Kind       string          `json:"kind"`
+	OrderAware bool            `json:"order_aware"`
+	Arch       string          `json:"arch"`
+	Candidates []string        `json:"candidates"`
+	Network    json.RawMessage `json:"network"`
+}
+
+// Save writes every model in the set as a JSON array, the "trained model
+// shipped with the library" artifact of the paper's install-time vision.
+func (s *ModelSet) Save(w io.Writer) error {
+	var out []serializedModel
+	for _, m := range s.models {
+		var net bytes.Buffer
+		if err := m.Net.Save(&net); err != nil {
+			return fmt.Errorf("training: serializing %v/%s: %w", m.Target.Kind, m.Arch, err)
+		}
+		cands := make([]string, len(m.Candidates))
+		for i, c := range m.Candidates {
+			cands[i] = c.String()
+		}
+		out = append(out, serializedModel{
+			Kind:       m.Target.Kind.String(),
+			OrderAware: m.Target.OrderAware,
+			Arch:       m.Arch,
+			Candidates: cands,
+			Network:    json.RawMessage(bytes.TrimSpace(net.Bytes())),
+		})
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// LoadModelSet reads a model registry written by Save.
+func LoadModelSet(r io.Reader) (*ModelSet, error) {
+	var in []serializedModel
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("training: decoding model set: %w", err)
+	}
+	set := NewModelSet()
+	for i, sm := range in {
+		kind, err := adt.ParseKind(sm.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("training: model %d: %w", i, err)
+		}
+		cands := make([]adt.Kind, len(sm.Candidates))
+		for j, c := range sm.Candidates {
+			k, err := adt.ParseKind(c)
+			if err != nil {
+				return nil, fmt.Errorf("training: model %d candidate %d: %w", i, j, err)
+			}
+			cands[j] = k
+		}
+		net, err := ann.Load(bytes.NewReader(sm.Network))
+		if err != nil {
+			return nil, fmt.Errorf("training: model %d network: %w", i, err)
+		}
+		set.Put(&Model{
+			Target:     adt.ModelTarget{Kind: kind, OrderAware: sm.OrderAware},
+			Arch:       sm.Arch,
+			Candidates: cands,
+			Net:        net,
+		})
+	}
+	return set, nil
+}

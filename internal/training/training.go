@@ -1,0 +1,290 @@
+// Package training implements the two-phase training framework of
+// Section 4.3. Phase-I (Algorithm 1) generates seeded synthetic
+// applications, runs every interchangeable candidate on the target machine
+// and records (seed, best data structure) pairs — keeping a label only when
+// the winner beats every alternative by the 5% margin. Phase-II
+// (Algorithm 2) replays each recorded seed with the *original* container
+// under instrumentation, collects the software and hardware features, and
+// labels the feature vector with the Phase-I winner. One ANN is trained per
+// (original container, microarchitecture).
+package training
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+	"repro/internal/appgen"
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+// Options configures a training run.
+type Options struct {
+	AppCfg        appgen.Config
+	Arch          machine.Config
+	PerTargetApps int     // Phase-I stops after this many labelled apps (the "need more sets" threshold)
+	Margin        float64 // best-DS decisiveness margin; the paper uses 0.05
+	MaxSeeds      int     // Phase-I safety bound on generated applications
+	SeedBase      int64   // first seed; training and validation use disjoint ranges
+	Workers       int     // parallel app executions; 0 = GOMAXPROCS
+}
+
+// DefaultOptions returns a laptop-scale training budget.
+func DefaultOptions(arch machine.Config) Options {
+	return Options{
+		AppCfg:        appgen.DefaultConfig(),
+		Arch:          arch,
+		PerTargetApps: 300,
+		Margin:        0.05,
+		MaxSeeds:      4000,
+		SeedBase:      1,
+		Workers:       0,
+	}
+}
+
+func (o *Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SeedLabel is one Phase-I record: the application seed and its best kind.
+type SeedLabel struct {
+	Seed int64
+	Best adt.Kind
+}
+
+// forEachSeed runs fn(seed) over [base, base+n) on a worker pool and calls
+// collect(i, result) in deterministic seed order.
+func forEachSeed[T any](base int64, n, workers int, fn func(seed int64) T, collect func(idx int, v T)) {
+	type job struct {
+		idx  int
+		seed int64
+	}
+	jobs := make(chan job)
+	results := make([]T, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results[j.idx] = fn(j.seed)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- job{i, base + int64(i)}
+	}
+	close(jobs)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		collect(i, results[i])
+	}
+}
+
+// Phase1 implements Algorithm 1 for one model target. It returns up to
+// opt.PerTargetApps (seed, best) pairs, scanning at most opt.MaxSeeds
+// seeds. Execution-time measurement is the simulated cycle count.
+func Phase1(target adt.ModelTarget, opt Options) []SeedLabel {
+	type outcome struct {
+		best     adt.Kind
+		decisive bool
+	}
+	var labels []SeedLabel
+	batch := opt.workers() * 8
+	if batch > opt.MaxSeeds {
+		batch = opt.MaxSeeds
+	}
+	for start := 0; start < opt.MaxSeeds && len(labels) < opt.PerTargetApps; start += batch {
+		n := batch
+		if start+n > opt.MaxSeeds {
+			n = opt.MaxSeeds - start
+		}
+		forEachSeed(opt.SeedBase+int64(start), n, opt.workers(),
+			func(seed int64) outcome {
+				app := appgen.Generate(opt.AppCfg, target, seed)
+				results := app.RunAll(opt.AppCfg, opt.Arch)
+				best, decisive := appgen.Best(results, opt.Margin)
+				return outcome{best: results[best].Kind, decisive: decisive}
+			},
+			func(i int, o outcome) {
+				if o.decisive && len(labels) < opt.PerTargetApps {
+					labels = append(labels, SeedLabel{Seed: opt.SeedBase + int64(start+i), Best: o.best})
+				}
+			})
+	}
+	return labels
+}
+
+// Dataset is the Phase-II product for one target: feature vectors from the
+// instrumented original container, labelled with candidate indices.
+type Dataset struct {
+	Target     adt.ModelTarget
+	Candidates []adt.Kind // label index space; original first
+	Examples   []ann.Example
+	Profiles   []profile.Profile
+}
+
+// CandidateIndex returns the label index of kind, or -1.
+func (d *Dataset) CandidateIndex(kind adt.Kind) int {
+	for i, k := range d.Candidates {
+		if k == kind {
+			return i
+		}
+	}
+	return -1
+}
+
+// Phase2 implements Algorithm 2: regenerate each labelled application from
+// its seed, execute the original container under instrumentation, and emit
+// the (features, best) training pair.
+func Phase2(target adt.ModelTarget, labels []SeedLabel, opt Options) Dataset {
+	ds := Dataset{
+		Target:     target,
+		Candidates: adt.CandidatesWithOriginal(target.Kind, target.OrderAware),
+	}
+	type pair struct {
+		prof  profile.Profile
+		label int
+	}
+	n := len(labels)
+	results := make([]pair, n)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < opt.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				lab := labels[i]
+				app := appgen.Generate(opt.AppCfg, target, lab.Seed)
+				m := machine.New(opt.Arch)
+				res := app.Run(opt.AppCfg, target.Kind, m)
+				results[i] = pair{prof: res.Profile, label: ds.CandidateIndex(lab.Best)}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, p := range results {
+		if p.label < 0 {
+			continue // defensive: label outside candidate space
+		}
+		ds.Examples = append(ds.Examples, ann.Example{X: p.prof.Vector(), Label: p.label})
+		ds.Profiles = append(ds.Profiles, p.prof)
+	}
+	return ds
+}
+
+// Model is one trained predictor for (target container, architecture).
+type Model struct {
+	Target     adt.ModelTarget
+	Arch       string
+	Candidates []adt.Kind
+	Net        *ann.Network
+}
+
+// Predict maps a profile of the original container to the suggested kind.
+func (m *Model) Predict(p *profile.Profile) adt.Kind {
+	return m.Candidates[m.Net.Predict(p.Vector())]
+}
+
+// TrainModel fits an ANN on the dataset.
+func TrainModel(ds Dataset, archName string, cfg ann.Config) (*Model, error) {
+	if len(ds.Examples) == 0 {
+		return nil, fmt.Errorf("training: empty dataset for %v/%v", ds.Target.Kind, archName)
+	}
+	net := ann.New(profile.NumFeatures, len(ds.Candidates), cfg)
+	if _, err := net.Train(ds.Examples); err != nil {
+		return nil, fmt.Errorf("training: %v/%v: %w", ds.Target.Kind, archName, err)
+	}
+	return &Model{Target: ds.Target, Arch: archName, Candidates: ds.Candidates, Net: net}, nil
+}
+
+// Key identifies a model in a ModelSet.
+type Key struct {
+	Kind       adt.Kind
+	OrderAware bool
+	Arch       string
+}
+
+// ModelSet is the registry of trained models, one per (original container,
+// order-awareness, microarchitecture), mirroring Figure 3.
+type ModelSet struct {
+	models map[Key]*Model
+}
+
+// NewModelSet returns an empty registry.
+func NewModelSet() *ModelSet { return &ModelSet{models: map[Key]*Model{}} }
+
+// Put registers a model.
+func (s *ModelSet) Put(m *Model) {
+	s.models[Key{Kind: m.Target.Kind, OrderAware: m.Target.OrderAware, Arch: m.Arch}] = m
+}
+
+// Get looks up the model for a target and architecture.
+func (s *ModelSet) Get(kind adt.Kind, orderAware bool, arch string) (*Model, bool) {
+	m, ok := s.models[Key{Kind: kind, OrderAware: orderAware, Arch: arch}]
+	return m, ok
+}
+
+// Len returns the number of registered models.
+func (s *ModelSet) Len() int { return len(s.models) }
+
+// TrainAll runs Phase-I, Phase-II, and model fitting for every target on
+// the options' architecture, returning the populated registry.
+func TrainAll(opt Options, annCfg ann.Config, targets []adt.ModelTarget) (*ModelSet, error) {
+	set := NewModelSet()
+	for _, tgt := range targets {
+		labels := Phase1(tgt, opt)
+		ds := Phase2(tgt, labels, opt)
+		m, err := TrainModel(ds, opt.Arch.Name, annCfg)
+		if err != nil {
+			return nil, err
+		}
+		set.Put(m)
+	}
+	return set, nil
+}
+
+// Oracle runs every candidate of the app on a fresh machine and returns the
+// empirically fastest kind — the paper's Oracle scheme.
+func Oracle(app *appgen.App, cfg appgen.Config, arch machine.Config) adt.Kind {
+	results := app.RunAll(cfg, arch)
+	best, _ := appgen.Best(results, 0)
+	return results[best].Kind
+}
+
+// Validate implements the Figure 9 protocol: generate n fresh applications
+// (seeds disjoint from training) for the model's target, label each with
+// the oracle, and return the fraction the model predicts correctly.
+func Validate(m *Model, opt Options, n int, seedBase int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	type res struct{ correct bool }
+	correct := 0
+	forEachSeed(seedBase, n, opt.workers(),
+		func(seed int64) res {
+			app := appgen.Generate(opt.AppCfg, m.Target, seed)
+			oracle := Oracle(&app, opt.AppCfg, opt.Arch)
+			mach := machine.New(opt.Arch)
+			run := app.Run(opt.AppCfg, m.Target.Kind, mach)
+			pred := m.Predict(&run.Profile)
+			return res{correct: pred == oracle}
+		},
+		func(_ int, r res) {
+			if r.correct {
+				correct++
+			}
+		})
+	return float64(correct) / float64(n)
+}

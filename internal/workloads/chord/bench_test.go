@@ -1,0 +1,34 @@
+package chord
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// BenchmarkLookup measures pure finger-table routing throughput.
+func BenchmarkLookup(b *testing.B) {
+	r := NewRing(1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Lookup(i%r.NumNodes(), uint64(i)*2654435761)
+	}
+}
+
+// BenchmarkRunPerKind measures one small-input simulation per pending-list
+// kind, reporting simulated cycles — the Figure 12 cell values.
+func BenchmarkRunPerKind(b *testing.B) {
+	in, err := InputByName("small")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range CandidateKinds() {
+		b.Run(k.String(), func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				cycles = Run(k, in, machine.Atom()).Cycles
+			}
+			b.ReportMetric(cycles, "sim-cycles")
+		})
+	}
+}

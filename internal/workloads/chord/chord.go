@@ -1,0 +1,258 @@
+// Package chord implements a simulator for the Chord distributed lookup
+// protocol (Section 6.3) — a real DHT substrate, not a stub. Nodes sit on a
+// 2^m identifier ring with finger tables; lookups route greedily through
+// fingers in O(log n) hops. The simulation sends query messages and tracks
+// them in a pending list keyed by message ID; when a response arrives the
+// simulator finds the pending message by ID (std::find_if on a vector in
+// the original code) and drops it. That pending list is the container under
+// study: its best implementation flips between vector, map, and hash_map
+// with the input's in-flight population.
+package chord
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+const ringBits = 32 // identifier space 2^32
+
+// Ring is a Chord overlay: sorted node identifiers plus per-node finger
+// tables.
+type Ring struct {
+	ids     []uint64   // sorted node IDs
+	fingers [][]uint64 // fingers[n][k] = successor(ids[n] + 2^k)
+}
+
+// NewRing builds an overlay of n nodes with deterministic random IDs.
+func NewRing(n int, seed int64) *Ring {
+	rng := rand.New(rand.NewSource(seed))
+	idset := map[uint64]bool{}
+	for len(idset) < n {
+		idset[uint64(rng.Uint32())] = true
+	}
+	r := &Ring{ids: make([]uint64, 0, n)}
+	for id := range idset {
+		r.ids = append(r.ids, id)
+	}
+	sort.Slice(r.ids, func(i, j int) bool { return r.ids[i] < r.ids[j] })
+	r.fingers = make([][]uint64, n)
+	for i, id := range r.ids {
+		f := make([]uint64, ringBits)
+		for k := 0; k < ringBits; k++ {
+			f[k] = r.successor(id + (1 << uint(k)))
+		}
+		r.fingers[i] = f
+	}
+	return r
+}
+
+// successor returns the first node ID clockwise from key.
+func (r *Ring) successor(key uint64) uint64 {
+	key &= 1<<ringBits - 1
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= key })
+	if i == len(r.ids) {
+		return r.ids[0]
+	}
+	return r.ids[i]
+}
+
+// nodeIndex maps an ID back to its ring position.
+func (r *Ring) nodeIndex(id uint64) int {
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
+	if i < len(r.ids) && r.ids[i] == id {
+		return i
+	}
+	return -1
+}
+
+// between reports whether x ∈ (a, b] on the ring.
+func between(a, b, x uint64) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b
+}
+
+// Lookup routes key from the node at start, returning the owner and the
+// hop count — the real Chord greedy finger routing.
+func (r *Ring) Lookup(start int, key uint64) (owner uint64, hops int) {
+	key &= 1<<ringBits - 1
+	cur := start
+	for {
+		curID := r.ids[cur]
+		succ := r.fingers[cur][0]
+		if between(curID, succ, key) {
+			return succ, hops + 1
+		}
+		// Closest preceding finger.
+		next := -1
+		for k := ringBits - 1; k >= 0; k-- {
+			f := r.fingers[cur][k]
+			if f != curID && between(curID, key-1, f) {
+				next = r.nodeIndex(f)
+				break
+			}
+		}
+		if next == -1 || next == cur {
+			return succ, hops + 1
+		}
+		cur = next
+		hops++
+		if hops > 2*ringBits { // routing safety net
+			return r.successor(key), hops
+		}
+	}
+}
+
+// NumNodes returns the overlay size.
+func (r *Ring) NumNodes() int { return len(r.ids) }
+
+// Input is one workload class of Figure 12/13. The pending-list population
+// scales with QueryRate versus the response latency, which is what moves
+// the best container across vector, hash_map, and map.
+type Input struct {
+	Name         string
+	Nodes        int
+	Queries      int
+	QueryRate    int     // new queries injected per tick
+	LatencyHops  int     // extra ticks per routing hop before the response returns
+	MsgBytes     uint64  // simulated pending-message record size
+	TimeoutEvery int     // ticks between timeout sweeps over the pending list (0 = never)
+	ComputeShare float64 // non-container cycles per query (routing work)
+	Seed         int64
+}
+
+// Inputs returns the three workload classes, scaled from the paper's
+// small/medium/large.
+func Inputs() []Input {
+	return []Input{
+		{Name: "small", Nodes: 64, Queries: 4000, QueryRate: 1, LatencyHops: 2, MsgBytes: 48, TimeoutEvery: 2, ComputeShare: 700, Seed: 101},
+		{Name: "medium", Nodes: 256, Queries: 12000, QueryRate: 24, LatencyHops: 6, MsgBytes: 48, TimeoutEvery: 8, ComputeShare: 700, Seed: 102},
+		{Name: "large", Nodes: 1024, Queries: 30000, QueryRate: 4, LatencyHops: 1, MsgBytes: 48, TimeoutEvery: 3, ComputeShare: 700, Seed: 103},
+	}
+}
+
+// InputByName looks up a workload class.
+func InputByName(name string) (Input, error) {
+	for _, in := range Inputs() {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return Input{}, fmt.Errorf("chord: unknown input %q", name)
+}
+
+// Original is the container the simulator ships with.
+func Original() adt.Kind { return adt.KindVector }
+
+// CandidateKinds are the implementations of Figure 12: vector, map (tree),
+// and hash_map, keyed by the message ID field.
+func CandidateKinds() []adt.Kind {
+	return []adt.Kind{adt.KindVector, adt.KindMap, adt.KindHashMap}
+}
+
+// Result is one run's measurement.
+type Result struct {
+	Kind            adt.Kind
+	Input           string
+	Cycles          float64
+	ContainerCycles float64
+	LookupFailures  int
+	MaxPending      int
+	Profile         profile.Profile
+}
+
+// DriveResult carries the simulation outcomes that are independent of the
+// container's cost.
+type DriveResult struct {
+	LookupFailures int
+	MaxPending     int
+}
+
+// Drive executes the simulation's operation stream against any pending-list
+// container.
+func Drive(pending adt.Container, in Input) DriveResult {
+	ring := NewRing(in.Nodes, in.Seed)
+	rng := rand.New(rand.NewSource(in.Seed + 1))
+
+	type response struct {
+		tick  int
+		msgID uint64
+	}
+	var inflight []response
+	failures := 0
+	maxPending := 0
+	nextMsg := uint64(1)
+	sent := 0
+	tick := 0
+	for sent < in.Queries || len(inflight) > 0 {
+		// Inject new queries.
+		for q := 0; q < in.QueryRate && sent < in.Queries; q++ {
+			key := uint64(rng.Uint32())
+			start := rng.Intn(ring.NumNodes())
+			owner, hops := ring.Lookup(start, key)
+			if ring.nodeIndex(owner) < 0 {
+				failures++
+			}
+			id := nextMsg
+			nextMsg++
+			pending.Insert(id)
+			inflight = append(inflight, response{tick: tick + 1 + hops*in.LatencyHops, msgID: id})
+			sent++
+		}
+		if l := pending.Len(); l > maxPending {
+			maxPending = l
+		}
+		// Periodic timeout sweep: walk the whole pending list looking for
+		// overdue queries to retry, as the simulator's retry logic does.
+		if in.TimeoutEvery > 0 && tick%in.TimeoutEvery == 0 {
+			pending.Iterate(-1)
+		}
+		// Deliver due responses: find the pending message by ID and drop it.
+		keep := inflight[:0]
+		for _, resp := range inflight {
+			if resp.tick <= tick {
+				if !pending.Erase(resp.msgID) {
+					failures++
+				}
+			} else {
+				keep = append(keep, resp)
+			}
+		}
+		inflight = keep
+		tick++
+	}
+	return DriveResult{LookupFailures: failures, MaxPending: maxPending}
+}
+
+// Run executes the simulation with the given pending-list implementation.
+func Run(kind adt.Kind, in Input, arch machine.Config) Result {
+	m := machine.New(arch)
+	pending := profile.NewContainer(kind, m, in.MsgBytes,
+		"chord/simulator.pendingList", false)
+	dr := Drive(pending, in)
+	p := pending.Snapshot()
+	return Result{
+		Kind:            kind,
+		Input:           in.Name,
+		Cycles:          p.Cycles + in.ComputeShare*float64(in.Queries),
+		ContainerCycles: p.Cycles,
+		LookupFailures:  dr.LookupFailures,
+		MaxPending:      dr.MaxPending,
+		Profile:         p,
+	}
+}
+
+// RunAll measures every candidate on the input.
+func RunAll(in Input, arch machine.Config) []Result {
+	out := make([]Result, 0, len(CandidateKinds()))
+	for _, k := range CandidateKinds() {
+		out = append(out, Run(k, in, arch))
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+)
+
+func TestRingSuccessorSorted(t *testing.T) {
+	r := NewRing(128, 1)
+	for i := 1; i < len(r.ids); i++ {
+		if r.ids[i-1] >= r.ids[i] {
+			t.Fatal("ring IDs not strictly sorted")
+		}
+	}
+	// successor of an existing ID is itself.
+	for _, id := range r.ids[:10] {
+		if got := r.successor(id); got != id {
+			t.Fatalf("successor(%d) = %d", id, got)
+		}
+	}
+	// successor past the largest ID wraps to the smallest.
+	if got := r.successor(r.ids[len(r.ids)-1] + 1); got != r.ids[0] {
+		t.Fatalf("wrap successor = %d, want %d", got, r.ids[0])
+	}
+}
+
+func TestLookupFindsTrueOwner(t *testing.T) {
+	r := NewRing(256, 2)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		key := uint64(rng.Uint32())
+		start := rng.Intn(r.NumNodes())
+		owner, hops := r.Lookup(start, key)
+		if want := r.successor(key); owner != want {
+			t.Fatalf("Lookup(%d) owner %d, want successor %d", key, owner, want)
+		}
+		if hops <= 0 || hops > 2*ringBits {
+			t.Fatalf("hops = %d", hops)
+		}
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	r := NewRing(1024, 4)
+	rng := rand.New(rand.NewSource(5))
+	total := 0
+	const probes = 500
+	for i := 0; i < probes; i++ {
+		_, hops := r.Lookup(rng.Intn(r.NumNodes()), uint64(rng.Uint32()))
+		total += hops
+	}
+	avg := float64(total) / probes
+	// Chord routes in ~log2(n)/2 ≈ 5 hops for n=1024; allow generous slack.
+	if avg > 12 {
+		t.Fatalf("average hops %.1f too high for finger routing", avg)
+	}
+	if avg < 1.5 {
+		t.Fatalf("average hops %.1f suspiciously low", avg)
+	}
+}
+
+func TestSimulationDrainsPending(t *testing.T) {
+	in, err := InputByName("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(adt.KindMap, in, machine.Core2())
+	if r.LookupFailures != 0 {
+		t.Fatalf("%d lookup failures", r.LookupFailures)
+	}
+	if r.Profile.Stats.MaxLen == 0 || r.MaxPending == 0 {
+		t.Fatal("pending list never populated")
+	}
+	// Every query was inserted and erased exactly once.
+	ins := r.Profile.Stats.Count[0] // OpInsert
+	if ins != uint64(in.Queries) {
+		t.Fatalf("inserts = %d, want %d", ins, in.Queries)
+	}
+}
+
+func TestBestKindVariesAcrossInputs(t *testing.T) {
+	// Figure 13's core finding: the optimal container changes with the
+	// input, and on the large input the two architectures disagree.
+	winners := map[string]map[string]adt.Kind{}
+	for _, arch := range []machine.Config{machine.Core2(), machine.Atom()} {
+		winners[arch.Name] = map[string]adt.Kind{}
+		for _, in := range Inputs() {
+			rs := RunAll(in, arch)
+			best := 0
+			for i := range rs {
+				if rs[i].Cycles < rs[best].Cycles {
+					best = i
+				}
+			}
+			winners[arch.Name][in.Name] = rs[best].Kind
+		}
+	}
+	for _, arch := range []string{"Core2", "Atom"} {
+		kinds := map[adt.Kind]bool{}
+		for _, k := range winners[arch] {
+			kinds[k] = true
+		}
+		if len(kinds) < 2 {
+			t.Fatalf("%s: best kind constant across inputs: %v", arch, winners[arch])
+		}
+	}
+	if winners["Core2"]["large"] == winners["Atom"]["large"] {
+		t.Fatalf("large input: architectures agree on %v, want disagreement", winners["Core2"]["large"])
+	}
+	if winners["Core2"]["medium"] != adt.KindHashMap || winners["Atom"]["medium"] != adt.KindHashMap {
+		t.Fatalf("medium input: want hash_map on both archs, got %v", winners)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	in, err := InputByName("medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Run(adt.KindHashMap, in, machine.Atom())
+	b := Run(adt.KindHashMap, in, machine.Atom())
+	if a.Cycles != b.Cycles || a.MaxPending != b.MaxPending {
+		t.Fatal("replay diverged")
+	}
+}
+
+func TestInputByName(t *testing.T) {
+	if _, err := InputByName("large"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InputByName("huge"); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	if !between(10, 20, 15) || between(10, 20, 25) || between(10, 20, 10) || !between(10, 20, 20) {
+		t.Fatal("between on non-wrapping interval wrong")
+	}
+	if !between(20, 10, 25) || !between(20, 10, 5) || between(20, 10, 15) {
+		t.Fatal("between on wrapping interval wrong")
+	}
+}

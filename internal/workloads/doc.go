@@ -1,0 +1,23 @@
+// Package workloads groups the re-implementations of the paper's four
+// evaluation applications (Section 6). Each subpackage builds the
+// container-relevant kernel of the original program as a real Go system —
+// not a trace replay — parameterized by input classes whose container-usage
+// patterns match the paper's descriptions:
+//
+//   - xalan: Xalancbmk's two-level string cache, whose busy-list search
+//     pattern flips the best container between vector and hash_set across
+//     the test/train/reference inputs (Figures 10-11, Table 4).
+//   - chord: a Chord DHT lookup simulator with finger-table routing, whose
+//     pending-message list's optimum moves across inputs and splits the two
+//     microarchitectures on the large input (Figures 12-13).
+//   - relipmoc: a toy-ISA decompiler (basic blocks, CFG, dominators,
+//     natural loops) whose basic-block set prefers avl_set (Section 6.4).
+//   - raytrace: a sphere-group ray tracer whose per-ray group iteration
+//     prefers vector over the original list (Section 6.5).
+//
+// Every subpackage exposes the same surface: Inputs/InputByName, Original,
+// CandidateKinds, Run/RunAll for measurements, and a Drive function that
+// replays the workload's exact operation stream into any adt.Container —
+// the hook the experiment harness uses to evaluate the Baseline, Perflint,
+// Brainy, and Oracle selection schemes over identical behaviour.
+package workloads

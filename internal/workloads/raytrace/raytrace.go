@@ -1,0 +1,225 @@
+// Package raytrace reproduces the container-relevant kernel of the ray
+// tracer of Section 6.5: spheres are partitioned into groups, each group
+// stores its spheres in a container (std::list in the original), and the
+// render loop intersects every ray first with the group's bounding sphere
+// and then, on a hit, iterates the group's container to test each member
+// sphere. The per-ray iteration dominates, so the contiguous vector beats
+// the pointer-chasing list — the replacement Brainy suggests.
+package raytrace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+// Vec3 is a 3-component vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Dot returns the dot product.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Scale returns a scaled by s.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+
+// Norm returns the Euclidean length.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Sphere is one scene object.
+type Sphere struct {
+	Center Vec3
+	Radius float64
+}
+
+// Intersect returns the nearest positive ray parameter t for origin o and
+// direction d, or ok=false on a miss.
+func (s Sphere) Intersect(o, d Vec3) (t float64, ok bool) {
+	oc := o.Sub(s.Center)
+	b := oc.Dot(d)
+	c := oc.Dot(oc) - s.Radius*s.Radius
+	disc := b*b - c
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	if t = -b - sq; t > 1e-9 {
+		return t, true
+	}
+	if t = -b + sq; t > 1e-9 {
+		return t, true
+	}
+	return 0, false
+}
+
+// group is one sphere cluster: a bounding sphere plus the member container.
+type group struct {
+	bound   Sphere
+	members adt.Container // sphere IDs, the container under study
+	spheres []Sphere      // ID -> geometry (parallel store)
+}
+
+// Input is one render configuration.
+type Input struct {
+	Name         string
+	Width        int
+	Height       int
+	Groups       int
+	PerGroup     int
+	SphereBytes  uint64
+	ComputeShare float64 // shading cycles per primary ray
+	Seed         int64
+}
+
+// Inputs returns the workload classes.
+func Inputs() []Input {
+	return []Input{
+		{Name: "small", Width: 48, Height: 36, Groups: 6, PerGroup: 24, SphereBytes: 48, ComputeShare: 40, Seed: 31},
+		{Name: "default", Width: 128, Height: 96, Groups: 10, PerGroup: 48, SphereBytes: 48, ComputeShare: 40, Seed: 32},
+	}
+}
+
+// InputByName looks up a workload class.
+func InputByName(name string) (Input, error) {
+	for _, in := range Inputs() {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return Input{}, fmt.Errorf("raytrace: unknown input %q", name)
+}
+
+// Original is the container the ray tracer ships with.
+func Original() adt.Kind { return adt.KindList }
+
+// CandidateKinds are the order-aware sequence alternatives of Table 1.
+func CandidateKinds() []adt.Kind {
+	return []adt.Kind{adt.KindList, adt.KindVector, adt.KindDeque}
+}
+
+// Result is one run's measurement.
+type Result struct {
+	Kind            adt.Kind
+	Input           string
+	Cycles          float64
+	ContainerCycles float64
+	Hits            int     // primary-ray hits, a render checksum
+	Checksum        float64 // accumulated hit distances
+	Profile         profile.Profile
+}
+
+// Drive builds the scene with one container per group (obtained from
+// newContainer) and renders it, returning hits and checksum.
+func Drive(in Input, newContainer func(group int) adt.Container) (hits int, checksum float64) {
+	rng := rand.New(rand.NewSource(in.Seed))
+
+	// Build the scene: clustered spheres per group.
+	groups := make([]*group, in.Groups)
+	for g := range groups {
+		center := Vec3{rng.Float64()*20 - 10, rng.Float64()*20 - 10, 20 + rng.Float64()*20}
+		gr := &group{
+			members: newContainer(g),
+		}
+		maxR := 0.0
+		for s := 0; s < in.PerGroup; s++ {
+			sp := Sphere{
+				Center: Vec3{
+					center.X + rng.NormFloat64()*2,
+					center.Y + rng.NormFloat64()*2,
+					center.Z + rng.NormFloat64()*2,
+				},
+				Radius: 0.3 + rng.Float64()*0.8,
+			}
+			gr.spheres = append(gr.spheres, sp)
+			gr.members.Insert(uint64(s))
+			if d := sp.Center.Sub(center).Norm() + sp.Radius; d > maxR {
+				maxR = d
+			}
+		}
+		gr.bound = Sphere{Center: center, Radius: maxR}
+		groups[g] = gr
+	}
+
+	// Render: one primary ray per pixel.
+	origin := Vec3{0, 0, 0}
+	for y := 0; y < in.Height; y++ {
+		for x := 0; x < in.Width; x++ {
+			d := Vec3{
+				(float64(x)/float64(in.Width) - 0.5) * 1.6,
+				(float64(y)/float64(in.Height) - 0.5) * 1.2,
+				1,
+			}
+			d = d.Scale(1 / d.Norm())
+			nearest := math.Inf(1)
+			for _, gr := range groups {
+				if _, ok := gr.bound.Intersect(origin, d); !ok {
+					continue
+				}
+				// Group hit: traverse the member container, testing each
+				// sphere. The container traversal is the instrumented cost;
+				// the geometry test is app compute.
+				gr.members.Iterate(-1)
+				for _, sp := range gr.spheres {
+					if t, ok := sp.Intersect(origin, d); ok && t < nearest {
+						nearest = t
+					}
+				}
+			}
+			if !math.IsInf(nearest, 1) {
+				hits++
+				checksum += nearest
+			}
+		}
+	}
+	return hits, checksum
+}
+
+// Run renders the scene with the given group-member container kind.
+func Run(kind adt.Kind, in Input, arch machine.Config) Result {
+	m := machine.New(arch)
+	var profiled []*profile.Container
+	hits, checksum := Drive(in, func(g int) adt.Container {
+		c := profile.NewContainer(kind, m, in.SphereBytes,
+			fmt.Sprintf("raytrace/group[%d].scenes", g), true)
+		profiled = append(profiled, c)
+		return c
+	})
+	// Aggregate the per-group profiles.
+	var total profile.Profile
+	for i, c := range profiled {
+		p := c.Snapshot()
+		if i == 0 {
+			total = p
+			total.Context = "raytrace/group[*].scenes"
+		} else {
+			total.Stats.Add(p.Stats)
+			total.Cycles += p.Cycles
+			total.HW.Cycles += p.HW.Cycles
+		}
+	}
+	rays := float64(in.Width * in.Height)
+	return Result{
+		Kind:            kind,
+		Input:           in.Name,
+		Cycles:          total.Cycles + in.ComputeShare*rays,
+		ContainerCycles: total.Cycles,
+		Hits:            hits,
+		Checksum:        checksum,
+		Profile:         total,
+	}
+}
+
+// RunAll measures every candidate on the input.
+func RunAll(in Input, arch machine.Config) []Result {
+	out := make([]Result, 0, len(CandidateKinds()))
+	for _, k := range CandidateKinds() {
+		out = append(out, Run(k, in, arch))
+	}
+	return out
+}

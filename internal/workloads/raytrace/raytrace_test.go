@@ -1,0 +1,109 @@
+package raytrace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+)
+
+func TestSphereIntersection(t *testing.T) {
+	s := Sphere{Center: Vec3{0, 0, 10}, Radius: 1}
+	// Ray straight at the center hits at t = 9.
+	if tHit, ok := s.Intersect(Vec3{0, 0, 0}, Vec3{0, 0, 1}); !ok || math.Abs(tHit-9) > 1e-9 {
+		t.Fatalf("center hit t=%f ok=%v", tHit, ok)
+	}
+	// Ray pointing away misses.
+	if _, ok := s.Intersect(Vec3{0, 0, 0}, Vec3{0, 0, -1}); ok {
+		t.Fatal("ray pointing away hit")
+	}
+	// Grazing ray at radius boundary.
+	if _, ok := s.Intersect(Vec3{2, 0, 0}, Vec3{0, 0, 1}); ok {
+		t.Fatal("ray outside radius hit")
+	}
+	// Origin inside the sphere: exit intersection has positive t.
+	if tHit, ok := s.Intersect(Vec3{0, 0, 10}, Vec3{0, 0, 1}); !ok || tHit <= 0 {
+		t.Fatalf("inside-origin hit t=%f ok=%v", tHit, ok)
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if a.Dot(b) != 32 {
+		t.Fatalf("dot = %f", a.Dot(b))
+	}
+	d := b.Sub(a)
+	if d != (Vec3{3, 3, 3}) {
+		t.Fatalf("sub = %v", d)
+	}
+	if math.Abs(Vec3{3, 4, 0}.Norm()-5) > 1e-12 {
+		t.Fatal("norm wrong")
+	}
+	if (Vec3{1, 0, 0}).Scale(3) != (Vec3{3, 0, 0}) {
+		t.Fatal("scale wrong")
+	}
+}
+
+func TestRenderConsistentAcrossContainers(t *testing.T) {
+	in := Inputs()[0]
+	base := Run(adt.KindList, in, machine.Core2())
+	if base.Hits == 0 {
+		t.Fatal("render produced no hits; scene degenerate")
+	}
+	for _, k := range []adt.Kind{adt.KindVector, adt.KindDeque} {
+		r := Run(k, in, machine.Core2())
+		if r.Hits != base.Hits || math.Abs(r.Checksum-base.Checksum) > 1e-6 {
+			t.Fatalf("%v image differs: hits %d vs %d", k, r.Hits, base.Hits)
+		}
+	}
+}
+
+func TestVectorBeatsListOnBothArchs(t *testing.T) {
+	// Section 6.5: replacing the group list with vector wins everywhere.
+	for _, arch := range []machine.Config{machine.Core2(), machine.Atom()} {
+		rs := RunAll(Inputs()[1], arch)
+		var list, vec float64
+		for _, r := range rs {
+			switch r.Kind {
+			case adt.KindList:
+				list = r.Cycles
+			case adt.KindVector:
+				vec = r.Cycles
+			}
+		}
+		if vec >= list {
+			t.Fatalf("%s: vector (%.3e) not faster than list (%.3e)", arch.Name, vec, list)
+		}
+	}
+}
+
+func TestIterationDominatesProfile(t *testing.T) {
+	r := Run(adt.KindList, Inputs()[0], machine.Core2())
+	st := r.Profile.Stats
+	var iterIdx = 3 // opstats.OpIterate
+	if st.Count[iterIdx] == 0 {
+		t.Fatal("no iteration recorded")
+	}
+	if st.Cost[iterIdx] < st.TotalCalls() {
+		t.Fatal("iteration cost implausibly low")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := Run(adt.KindVector, Inputs()[0], machine.Atom())
+	b := Run(adt.KindVector, Inputs()[0], machine.Atom())
+	if a.Cycles != b.Cycles || a.Checksum != b.Checksum {
+		t.Fatal("replay diverged")
+	}
+}
+
+func TestInputByName(t *testing.T) {
+	if _, err := InputByName("default"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InputByName("imax"); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+}

@@ -1,0 +1,333 @@
+// Package relipmoc reproduces the container-relevant core of RelipmoC, the
+// i386-assembly-to-C decompiler of Section 6.4. It is a genuine (toy-ISA)
+// decompiler pipeline: a synthetic assembly program is scanned for basic
+// block leaders, a control-flow graph is built, dominators are computed by
+// iterative dataflow, natural loops are recovered from back edges, and a
+// structuring pass walks the blocks to nest the recovered constructs. The
+// set of basic-block addresses is the container under study: the analyses
+// perform many membership checks (find) on short lists and many sorted
+// iterations on long ones, the mix that favours avl_set over the red-black
+// set in the paper.
+package relipmoc
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+// Opcode is a toy i386-flavoured instruction class.
+type Opcode int
+
+// Instruction classes: straight-line, conditional/unconditional control
+// flow, and returns.
+const (
+	OpMov Opcode = iota
+	OpAlu
+	OpCmp
+	OpJmp  // unconditional jump
+	OpJcc  // conditional jump (falls through too)
+	OpCall // call; control continues after
+	OpRet
+)
+
+// Insn is one decoded instruction.
+type Insn struct {
+	Addr   uint64
+	Op     Opcode
+	Target uint64 // jump/call destination, when applicable
+}
+
+// GenerateProgram synthesizes a plausible instruction stream: mostly
+// straight-line code with forward/backward branches (loops) and a few
+// returns, deterministically from the seed.
+func GenerateProgram(n int, seed int64) []Insn {
+	rng := rand.New(rand.NewSource(seed))
+	prog := make([]Insn, n)
+	for i := 0; i < n; i++ {
+		addr := uint64(i)
+		r := rng.Float64()
+		switch {
+		case r < 0.70:
+			ops := []Opcode{OpMov, OpAlu, OpCmp}
+			prog[i] = Insn{Addr: addr, Op: ops[rng.Intn(len(ops))]}
+		case r < 0.78: // backward conditional: a loop latch
+			lo := 0
+			if i > 40 {
+				lo = i - 40
+			}
+			tgt := lo
+			if i > lo {
+				tgt = lo + rng.Intn(i-lo)
+			}
+			prog[i] = Insn{Addr: addr, Op: OpJcc, Target: uint64(tgt)}
+		case r < 0.90: // forward conditional: an if
+			hi := i + 1 + rng.Intn(30)
+			if hi >= n {
+				hi = n - 1
+			}
+			prog[i] = Insn{Addr: addr, Op: OpJcc, Target: uint64(hi)}
+		case r < 0.95: // unconditional jump forward
+			hi := i + 1 + rng.Intn(20)
+			if hi >= n {
+				hi = n - 1
+			}
+			prog[i] = Insn{Addr: addr, Op: OpJmp, Target: uint64(hi)}
+		case r < 0.98:
+			prog[i] = Insn{Addr: addr, Op: OpCall, Target: uint64(rng.Intn(n))}
+		default:
+			prog[i] = Insn{Addr: addr, Op: OpRet}
+		}
+	}
+	return prog
+}
+
+// Block is one recovered basic block.
+type Block struct {
+	Start, End uint64 // [Start, End) instruction addresses
+	Succs      []int  // successor block indices
+}
+
+// Analysis is the decompiler's output for one program.
+type Analysis struct {
+	Blocks     []Block
+	Loops      int // natural loops recovered
+	MaxNesting int
+	IfCount    int
+}
+
+// Input is one workload size.
+type Input struct {
+	Name         string
+	Instructions int
+	Passes       int // analysis passes over the block set
+	ComputeShare float64
+	Seed         int64
+}
+
+// Inputs returns the workload classes; the paper reports one configuration,
+// kept here alongside a small smoke size.
+func Inputs() []Input {
+	return []Input{
+		{Name: "small", Instructions: 2000, Passes: 6, ComputeShare: 500, Seed: 7},
+		{Name: "default", Instructions: 12000, Passes: 12, ComputeShare: 500, Seed: 8},
+	}
+}
+
+// Original is the container RelipmoC ships with: an STL set of blocks.
+func Original() adt.Kind { return adt.KindSet }
+
+// CandidateKinds are the tree alternatives (the block set is iterated in
+// address order, so only order-preserving trees are legal).
+func CandidateKinds() []adt.Kind {
+	return []adt.Kind{adt.KindSet, adt.KindAVLSet, adt.KindSplaySet}
+}
+
+// Result is one run's measurement.
+type Result struct {
+	Kind            adt.Kind
+	Input           string
+	Cycles          float64
+	ContainerCycles float64
+	Analysis        Analysis
+	Profile         profile.Profile
+}
+
+// Drive runs the full decompiler pipeline with the given leader-set
+// container and returns the analysis result.
+func Drive(leaders adt.Container, in Input) Analysis {
+	prog := GenerateProgram(in.Instructions, in.Seed)
+
+	// Pass 1: identify leaders — first instruction, every branch target,
+	// and every fall-through after a control transfer.
+	leaders.Insert(prog[0].Addr)
+	for i, ins := range prog {
+		switch ins.Op {
+		case OpJmp, OpJcc:
+			leaders.Insert(ins.Target)
+			if i+1 < len(prog) {
+				leaders.Insert(prog[i+1].Addr)
+			}
+		case OpRet:
+			if i+1 < len(prog) {
+				leaders.Insert(prog[i+1].Addr)
+			}
+		}
+	}
+
+	// Pass 2: carve basic blocks. Each instruction asks the leader set "does
+	// a block start here?" — the membership-test hot path.
+	var starts []uint64
+	for _, ins := range prog[1:] {
+		if leaders.Find(ins.Addr) {
+			starts = append(starts, ins.Addr)
+		}
+	}
+	starts = append([]uint64{prog[0].Addr}, starts...)
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	blockIdx := map[uint64]int{}
+	blocks := make([]Block, len(starts))
+	for i, s := range starts {
+		end := uint64(len(prog))
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		blocks[i] = Block{Start: s, End: end}
+		blockIdx[s] = i
+	}
+
+	// Pass 3: CFG edges from each block's terminator.
+	for i := range blocks {
+		last := prog[blocks[i].End-1]
+		addSucc := func(addr uint64) {
+			// Successor lookup consults the leader set again.
+			if leaders.Find(addr) || addr == prog[0].Addr {
+				if j, ok := blockIdx[addr]; ok {
+					blocks[i].Succs = append(blocks[i].Succs, j)
+				}
+			}
+		}
+		switch last.Op {
+		case OpJmp:
+			addSucc(last.Target)
+		case OpJcc:
+			addSucc(last.Target)
+			if blocks[i].End < uint64(len(prog)) {
+				addSucc(blocks[i].End)
+			}
+		case OpRet:
+			// no successors
+		default:
+			if blocks[i].End < uint64(len(prog)) {
+				addSucc(blocks[i].End)
+			}
+		}
+	}
+
+	// Pass 4: dominators by iterative dataflow (Cooper-style bitsets).
+	dom := dominators(blocks)
+
+	// Pass 5: natural loops from back edges, plus nesting depth.
+	loops := 0
+	depth := make([]int, len(blocks))
+	for i, b := range blocks {
+		for _, s := range b.Succs {
+			if dominates(dom, s, i) { // edge i->s with s dom i: back edge
+				loops++
+				for j := s; j <= i && j < len(blocks); j++ {
+					depth[j]++
+				}
+			}
+		}
+	}
+	maxNest := 0
+	ifCount := 0
+	for i, b := range blocks {
+		if depth[i] > maxNest {
+			maxNest = depth[i]
+		}
+		if len(b.Succs) == 2 {
+			ifCount++
+		}
+	}
+
+	// Pass 6: structuring sweeps — each analysis pass iterates the sorted
+	// block set and re-checks membership of construct heads, the "find and
+	// iteration on short and long lists of basic blocks".
+	rng := rand.New(rand.NewSource(in.Seed + 99))
+	for pass := 0; pass < in.Passes; pass++ {
+		leaders.Iterate(-1)
+		for q := 0; q < len(blocks); q++ {
+			leaders.Find(starts[rng.Intn(len(starts))])
+		}
+	}
+
+	return Analysis{Blocks: blocks, Loops: loops, MaxNesting: maxNest, IfCount: ifCount}
+}
+
+// Run decompiles the input program with the given leader-set implementation.
+func Run(kind adt.Kind, in Input, arch machine.Config) Result {
+	m := machine.New(arch)
+	leaders := profile.NewContainer(kind, m, 16, "relipmoc/BasicBlockSet", true)
+	an := Drive(leaders, in)
+	p := leaders.Snapshot()
+	return Result{
+		Kind:            kind,
+		Input:           in.Name,
+		Cycles:          p.Cycles + in.ComputeShare*float64(len(an.Blocks)*in.Passes),
+		ContainerCycles: p.Cycles,
+		Analysis:        an,
+		Profile:         p,
+	}
+}
+
+// dominators computes the dominator sets with the classic iterative
+// algorithm over bitsets.
+func dominators(blocks []Block) [][]uint64 {
+	n := len(blocks)
+	words := (n + 63) / 64
+	full := make([]uint64, words)
+	for i := 0; i < n; i++ {
+		full[i/64] |= 1 << uint(i%64)
+	}
+	dom := make([][]uint64, n)
+	for i := range dom {
+		dom[i] = append([]uint64(nil), full...)
+	}
+	// Entry dominates only itself.
+	for w := range dom[0] {
+		dom[0][w] = 0
+	}
+	dom[0][0] = 1
+
+	preds := make([][]int, n)
+	for i, b := range blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], i)
+		}
+	}
+	changed := true
+	tmp := make([]uint64, words)
+	for changed {
+		changed = false
+		for i := 1; i < n; i++ {
+			copy(tmp, full)
+			if len(preds[i]) == 0 {
+				// Unreachable: dominated by everything; leave as full.
+				continue
+			}
+			for _, p := range preds[i] {
+				for w := range tmp {
+					tmp[w] &= dom[p][w]
+				}
+			}
+			tmp[i/64] |= 1 << uint(i%64)
+			for w := range tmp {
+				if tmp[w] != dom[i][w] {
+					changed = true
+					copy(dom[i], tmp)
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// dominates reports whether block a dominates block b.
+func dominates(dom [][]uint64, a, b int) bool {
+	return dom[b][a/64]&(1<<uint(a%64)) != 0
+}
+
+// RunAll measures every candidate on the input.
+func RunAll(in Input, arch machine.Config) []Result {
+	out := make([]Result, 0, len(CandidateKinds()))
+	for _, k := range CandidateKinds() {
+		out = append(out, Run(k, in, arch))
+	}
+	return out
+}

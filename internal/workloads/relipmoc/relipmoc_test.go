@@ -1,0 +1,162 @@
+package relipmoc
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+)
+
+func TestGenerateProgramDeterministic(t *testing.T) {
+	a := GenerateProgram(500, 1)
+	b := GenerateProgram(500, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+	c := GenerateProgram(500, 2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds, identical programs")
+	}
+}
+
+func TestGenerateProgramTargetsInRange(t *testing.T) {
+	prog := GenerateProgram(1000, 3)
+	for _, ins := range prog {
+		switch ins.Op {
+		case OpJmp, OpJcc, OpCall:
+			if ins.Target >= 1000 {
+				t.Fatalf("target %d out of range", ins.Target)
+			}
+		}
+	}
+}
+
+func TestBlocksPartitionProgram(t *testing.T) {
+	in := Inputs()[0]
+	r := Run(adt.KindSet, in, machine.Core2())
+	blocks := r.Analysis.Blocks
+	if len(blocks) < 2 {
+		t.Fatal("too few blocks")
+	}
+	// Blocks must tile [0, n) without gaps or overlaps.
+	if blocks[0].Start != 0 {
+		t.Fatalf("first block starts at %d", blocks[0].Start)
+	}
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].Start != blocks[i-1].End {
+			t.Fatalf("gap/overlap between blocks %d and %d", i-1, i)
+		}
+		if blocks[i].End <= blocks[i].Start {
+			t.Fatalf("empty block %d", i)
+		}
+	}
+	if blocks[len(blocks)-1].End != uint64(in.Instructions) {
+		t.Fatalf("last block ends at %d, want %d", blocks[len(blocks)-1].End, in.Instructions)
+	}
+}
+
+func TestCFGSuccessorsValid(t *testing.T) {
+	r := Run(adt.KindSet, Inputs()[0], machine.Core2())
+	n := len(r.Analysis.Blocks)
+	for i, b := range r.Analysis.Blocks {
+		if len(b.Succs) > 2 {
+			t.Fatalf("block %d has %d successors", i, len(b.Succs))
+		}
+		for _, s := range b.Succs {
+			if s < 0 || s >= n {
+				t.Fatalf("block %d successor %d out of range", i, s)
+			}
+		}
+	}
+}
+
+func TestAnalysisIdenticalAcrossContainers(t *testing.T) {
+	// The decompiler's output must not depend on the container
+	// implementation — only the cost does.
+	in := Inputs()[0]
+	base := Run(adt.KindSet, in, machine.Core2())
+	for _, k := range []adt.Kind{adt.KindAVLSet, adt.KindSplaySet} {
+		r := Run(k, in, machine.Core2())
+		if len(r.Analysis.Blocks) != len(base.Analysis.Blocks) ||
+			r.Analysis.Loops != base.Analysis.Loops ||
+			r.Analysis.MaxNesting != base.Analysis.MaxNesting ||
+			r.Analysis.IfCount != base.Analysis.IfCount {
+			t.Fatalf("%v analysis diverges from set: %+v vs %+v", k, r.Analysis, base.Analysis)
+		}
+	}
+}
+
+func TestRecoversLoops(t *testing.T) {
+	r := Run(adt.KindSet, Inputs()[1], machine.Core2())
+	if r.Analysis.Loops == 0 {
+		t.Fatal("backward branches present but no loops recovered")
+	}
+	if r.Analysis.MaxNesting == 0 {
+		t.Fatal("no nesting recovered")
+	}
+	if r.Analysis.IfCount == 0 {
+		t.Fatal("no two-way blocks found")
+	}
+}
+
+func TestAVLBeatsSetOnBothArchs(t *testing.T) {
+	// Section 6.4: Brainy suggests replacing set with avl_set and the
+	// replacement wins on both microarchitectures.
+	for _, arch := range []machine.Config{machine.Core2(), machine.Atom()} {
+		rs := RunAll(Inputs()[1], arch)
+		var set, avl float64
+		for _, r := range rs {
+			switch r.Kind {
+			case adt.KindSet:
+				set = r.ContainerCycles
+			case adt.KindAVLSet:
+				avl = r.ContainerCycles
+			}
+		}
+		if avl >= set {
+			t.Fatalf("%s: avl_set (%.3e) not faster than set (%.3e)", arch.Name, avl, set)
+		}
+	}
+}
+
+func TestDominatorsEntryAndSelf(t *testing.T) {
+	// Tiny hand CFG: 0->1->2, 1->3, 2->3.
+	blocks := []Block{
+		{Succs: []int{1}},
+		{Succs: []int{2, 3}},
+		{Succs: []int{3}},
+		{},
+	}
+	dom := dominators(blocks)
+	for i := range blocks {
+		if !dominates(dom, i, i) {
+			t.Fatalf("block %d does not dominate itself", i)
+		}
+		if !dominates(dom, 0, i) {
+			t.Fatalf("entry does not dominate block %d", i)
+		}
+	}
+	if dominates(dom, 2, 3) {
+		t.Fatal("2 must not dominate 3 (path 0->1->3 avoids it)")
+	}
+	if !dominates(dom, 1, 3) {
+		t.Fatal("1 must dominate 3")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := Run(adt.KindAVLSet, Inputs()[0], machine.Atom())
+	b := Run(adt.KindAVLSet, Inputs()[0], machine.Atom())
+	if a.Cycles != b.Cycles {
+		t.Fatal("replay diverged")
+	}
+}

@@ -1,0 +1,37 @@
+package xalan
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+)
+
+// BenchmarkRunPerKind measures one test-input run per busy-list kind,
+// reporting the simulated cycles as a metric — the Figure 10 cell values.
+func BenchmarkRunPerKind(b *testing.B) {
+	in, err := InputByName("test")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range CandidateKinds() {
+		b.Run(k.String(), func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				cycles = Run(k, in, machine.Core2()).Cycles
+			}
+			b.ReportMetric(cycles, "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkDrive measures the raw workload loop without profiling overhead.
+func BenchmarkDrive(b *testing.B) {
+	in, err := InputByName("test")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		Drive(adt.New(adt.KindHashSet, nil, in.StringBytes), in)
+	}
+}

@@ -1,0 +1,175 @@
+// Package xalan reproduces the container-relevant kernel of Xalancbmk
+// (Section 6.2): the two-level string cache of XalanDOMStringCache. The
+// cache keeps a busy list and an available list; releasing a string looks
+// it up in the busy list (std::find on a vector in the original code) and
+// moves it to the available list. The busy list is the container under
+// study: its best implementation flips between vector and hash_set purely
+// with the input's search pattern, which controls how many elements each
+// find touches (Table 4) and how often the head of the list is erased.
+package xalan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+	"repro/internal/opstats"
+	"repro/internal/profile"
+)
+
+// Input is one workload class. The three instances mirror the SPEC inputs
+// test/train/reference, scaled to simulator size while preserving the
+// paper's qualitative structure: train releases mostly recently-visible
+// head strings (shallow finds, frequent erase-at-front), test is small but
+// random-pattern, reference is large and random-pattern.
+type Input struct {
+	Name         string
+	Releases     int     // number of release operations (find-heavy path)
+	WorkingSet   int     // strings alive in the busy list at steady state
+	HeadBias     float64 // 0 = uniform victim choice, 1 = always the oldest string
+	EraseFront   float64 // probability a release erases the head outright
+	StringBytes  uint64  // simulated string payload size
+	ComputeShare float64 // non-container app cycles per release (XSLT work)
+}
+
+// Inputs returns the three workload classes.
+func Inputs() []Input {
+	return []Input{
+		{Name: "test", Releases: 4000, WorkingSet: 60, HeadBias: 0.0, EraseFront: 0.02, StringBytes: 32, ComputeShare: 260},
+		{Name: "train", Releases: 30000, WorkingSet: 10, HeadBias: 0.97, EraseFront: 0.30, StringBytes: 32, ComputeShare: 260},
+		{Name: "reference", Releases: 60000, WorkingSet: 900, HeadBias: 0.0, EraseFront: 0.01, StringBytes: 32, ComputeShare: 260},
+	}
+}
+
+// InputByName looks up a workload class.
+func InputByName(name string) (Input, error) {
+	for _, in := range Inputs() {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return Input{}, fmt.Errorf("xalan: unknown input %q", name)
+}
+
+// Original is the container Xalancbmk ships with.
+func Original() adt.Kind { return adt.KindVector }
+
+// CandidateKinds are the implementations evaluated in Figure 10: the
+// original vector, the tree set, and the hash set. The busy list is used
+// order-obliviously (membership only), so all are legal.
+func CandidateKinds() []adt.Kind {
+	return []adt.Kind{adt.KindVector, adt.KindSet, adt.KindHashSet}
+}
+
+// Result is one run's measurement.
+type Result struct {
+	Kind            adt.Kind
+	Input           string
+	Cycles          float64 // container + attributed app compute
+	ContainerCycles float64
+	FindInvocations uint64
+	TouchedElements uint64
+	Profile         profile.Profile
+}
+
+// stringCache is the two-level cache: busy strings live in the container
+// under study, released strings go to the available free list.
+type stringCache struct {
+	busy      adt.Container
+	available []uint64
+	order     []uint64 // insertion order of live strings (oldest first)
+	nextID    uint64
+}
+
+func (c *stringCache) acquire() uint64 {
+	var id uint64
+	if n := len(c.available); n > 0 {
+		id = c.available[n-1]
+		c.available = c.available[:n-1]
+	} else {
+		c.nextID++
+		id = c.nextID
+	}
+	c.busy.Insert(id)
+	c.order = append(c.order, id)
+	return id
+}
+
+// release looks the string up in the busy list and moves it to the
+// available list — XalanDOMStringCache::release.
+func (c *stringCache) release(id uint64, orderIdx int) {
+	if c.busy.Erase(id) {
+		c.available = append(c.available, id)
+		c.order = append(c.order[:orderIdx], c.order[orderIdx+1:]...)
+	}
+}
+
+// Drive executes the workload's operation stream against any busy-list
+// container: a plain one, a profiled one, or a Perflint advisor.
+func Drive(busy adt.Container, in Input) {
+	rng := rand.New(rand.NewSource(int64(len(in.Name)) + int64(in.Releases)))
+	cache := &stringCache{busy: busy}
+	// Warm the cache to the steady-state working set.
+	for i := 0; i < in.WorkingSet; i++ {
+		cache.acquire()
+	}
+	for r := 0; r < in.Releases; r++ {
+		// The transformation allocates a fresh string...
+		cache.acquire()
+		// ...and releases one chosen by the input's search pattern.
+		var idx int
+		switch {
+		case rng.Float64() < in.EraseFront:
+			idx = 0 // release the oldest: head erase, vector's worst/best case
+		case rng.Float64() < in.HeadBias:
+			// Strongly head-biased: one of the few oldest strings.
+			idx = rng.Intn(min(4, len(cache.order)))
+		default:
+			// Uniform over the working set: deep scans for a vector.
+			idx = int(math.Floor(rng.Float64() * float64(len(cache.order))))
+		}
+		if idx >= len(cache.order) {
+			idx = len(cache.order) - 1
+		}
+		cache.release(cache.order[idx], idx)
+	}
+}
+
+// Run executes the workload with the given busy-list implementation on a
+// fresh machine of the given architecture.
+func Run(kind adt.Kind, in Input, arch machine.Config) Result {
+	m := machine.New(arch)
+	busy := profile.NewContainer(kind, m, in.StringBytes,
+		"xalan/XalanDOMStringCache.m_busyList", false)
+	Drive(busy, in)
+	p := busy.Snapshot()
+	st := p.Stats
+	touched := st.Cost[opstats.OpFind] + st.Cost[opstats.OpErase]
+	return Result{
+		Kind:            kind,
+		Input:           in.Name,
+		Cycles:          p.Cycles + in.ComputeShare*float64(in.Releases),
+		ContainerCycles: p.Cycles,
+		FindInvocations: st.Count[opstats.OpFind] + st.Count[opstats.OpErase],
+		TouchedElements: touched,
+		Profile:         p,
+	}
+}
+
+// RunAll measures every candidate on the input.
+func RunAll(in Input, arch machine.Config) []Result {
+	out := make([]Result, 0, len(CandidateKinds()))
+	for _, k := range CandidateKinds() {
+		out = append(out, Run(k, in, arch))
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+package xalan
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+)
+
+func TestInputsWellFormed(t *testing.T) {
+	ins := Inputs()
+	if len(ins) != 3 {
+		t.Fatalf("want test/train/reference, got %d inputs", len(ins))
+	}
+	names := map[string]bool{}
+	for _, in := range ins {
+		names[in.Name] = true
+		if in.Releases <= 0 || in.WorkingSet <= 0 {
+			t.Fatalf("degenerate input %+v", in)
+		}
+	}
+	for _, want := range []string{"test", "train", "reference"} {
+		if !names[want] {
+			t.Fatalf("missing input %q", want)
+		}
+	}
+	if _, err := InputByName("train"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InputByName("nope"); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+}
+
+func TestOracleMatchesPaperPerInput(t *testing.T) {
+	// Figure 11's Oracle row: hash_set for test and reference, vector for
+	// train, identically on both microarchitectures.
+	want := map[string]adt.Kind{
+		"test":      adt.KindHashSet,
+		"train":     adt.KindVector,
+		"reference": adt.KindHashSet,
+	}
+	for _, arch := range []machine.Config{machine.Core2(), machine.Atom()} {
+		for _, in := range Inputs() {
+			rs := RunAll(in, arch)
+			best := 0
+			for i := range rs {
+				if rs[i].Cycles < rs[best].Cycles {
+					best = i
+				}
+			}
+			if rs[best].Kind != want[in.Name] {
+				t.Errorf("%s/%s: best = %v, want %v", arch.Name, in.Name, rs[best].Kind, want[in.Name])
+			}
+		}
+	}
+}
+
+func TestTable4TouchedElementsGrowWithInput(t *testing.T) {
+	// Table 4: the total number of touched data elements per find explodes
+	// from train (shallow hits) to reference (deep scans).
+	arch := machine.Core2()
+	train := Run(adt.KindVector, mustInput(t, "train"), arch)
+	ref := Run(adt.KindVector, mustInput(t, "reference"), arch)
+	trainPerFind := float64(train.TouchedElements) / float64(train.FindInvocations)
+	refPerFind := float64(ref.TouchedElements) / float64(ref.FindInvocations)
+	if refPerFind < 10*trainPerFind {
+		t.Fatalf("touched/find: train %.1f vs reference %.1f — reference must be far deeper", trainPerFind, refPerFind)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	in := mustInput(t, "test")
+	a := Run(adt.KindSet, in, machine.Core2())
+	b := Run(adt.KindSet, in, machine.Core2())
+	if a.Cycles != b.Cycles || a.TouchedElements != b.TouchedElements {
+		t.Fatal("same input, different measurements")
+	}
+}
+
+func TestCacheNeverLosesStrings(t *testing.T) {
+	in := mustInput(t, "test")
+	r := Run(adt.KindHashSet, in, machine.Core2())
+	// Every release must have found its string: erase count == successes.
+	if r.FindInvocations == 0 {
+		t.Fatal("no find/erase activity")
+	}
+	if r.Profile.Stats.MaxLen == 0 {
+		t.Fatal("busy list never grew")
+	}
+}
+
+func TestProfileIsOrderOblivious(t *testing.T) {
+	r := Run(adt.KindVector, mustInput(t, "test"), machine.Core2())
+	if r.Profile.OrderAware {
+		t.Fatal("busy list must be profiled as order-oblivious (membership only)")
+	}
+	if r.Profile.Kind != adt.KindVector {
+		t.Fatalf("profile kind %v", r.Profile.Kind)
+	}
+}
+
+func mustInput(t *testing.T, name string) Input {
+	t.Helper()
+	in, err := InputByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
