@@ -1,0 +1,41 @@
+# Shared developer/CI entry points. The CI workflow runs the same commands,
+# so the tier-1 verify recipe lives in exactly one place.
+
+GO ?= go
+MODELS ?= models.json
+ADDR ?= :8377
+
+.PHONY: all build test lint race smoke serve train clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Vet plus a gofmt cleanliness check (fails if any file needs formatting).
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; fi
+
+race:
+	$(GO) test -race -short ./internal/serve/... ./internal/training/... ./internal/machine/...
+
+smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -run='^$$' -fuzz=FuzzDequeOps -fuzztime=10s ./internal/containers/deque
+	$(GO) test -run='^$$' -fuzz=FuzzTableOps -fuzztime=10s ./internal/containers/hashtable
+	$(GO) test -run='^$$' -fuzz=FuzzTreeOps  -fuzztime=10s ./internal/containers/rbtree
+
+# Train a registry (override budget via brainy-train flags) then serve it.
+train:
+	$(GO) run ./cmd/brainy-train -arch both -o $(MODELS)
+
+serve: build
+	$(GO) run ./cmd/brainy-serve -models $(MODELS) -addr $(ADDR)
+
+clean:
+	$(GO) clean ./...

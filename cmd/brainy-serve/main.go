@@ -1,0 +1,78 @@
+// Command brainy-serve runs the Brainy advisor as a long-lived HTTP
+// service: it loads a trained model registry once and answers advise
+// requests over JSON, the service shape of Figure 3's analysis front end.
+//
+// Usage:
+//
+//	brainy-serve -models models.json -addr :8377
+//
+// Endpoints:
+//
+//	POST /v1/advise?arch=Core2   profile trace in (JSON lines or array),
+//	                             prioritized replacement plan out
+//	GET  /healthz                liveness and model count
+//	GET  /metrics                text exposition of service metrics
+//
+// The process drains in-flight requests and exits cleanly on SIGINT or
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/training"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("brainy-serve: ")
+	var (
+		modelsPath  = flag.String("models", "models.json", "trained model registry (from brainy-train)")
+		addr        = flag.String("addr", ":8377", "listen address")
+		arch        = flag.String("arch", "Core2", "architecture assumed when a request omits ?arch=")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		maxBody     = flag.Int64("max-body", 32<<20, "advise body size limit in bytes")
+		maxProfiles = flag.Int("max-profiles", 10000, "advise trace record limit")
+		concurrency = flag.Int("concurrency", 8, "bound on concurrent ANN evaluation sections")
+		cacheSize   = flag.Int("cache", 4096, "inference cache entries (negative disables)")
+		grace       = flag.Duration("grace", 10*time.Second, "shutdown drain budget")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*modelsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := training.LoadModelSet(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := serve.New(set, serve.Config{
+		Addr:           *addr,
+		DefaultArch:    *arch,
+		MaxBodyBytes:   *maxBody,
+		MaxProfiles:    *maxProfiles,
+		RequestTimeout: *timeout,
+		MaxConcurrent:  *concurrency,
+		CacheSize:      *cacheSize,
+		ShutdownGrace:  *grace,
+		Logger:         logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx); err != nil {
+		log.Fatal(err)
+	}
+}

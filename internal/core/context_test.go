@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func TestAnalyzeContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	profiles := []profile.Profile{profileOf("a", 10), profileOf("b", 10)}
+	suggest := func(p *profile.Profile, arch string) (Suggestion, error) {
+		t.Fatal("suggester ran under a cancelled context")
+		return Suggestion{}, nil
+	}
+	_, err := AnalyzeContext(ctx, suggest, profiles, "Core2")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAnalyzeContextPartialOnDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	profiles := []profile.Profile{profileOf("a", 10), profileOf("b", 10), profileOf("c", 10)}
+	calls := 0
+	suggest := func(p *profile.Profile, arch string) (Suggestion, error) {
+		calls++
+		if calls == 2 {
+			cancel() // expires before the third profile
+		}
+		return Suggestion{Context: p.Context}, nil
+	}
+	rep, err := AnalyzeContext(ctx, suggest, profiles, "Core2")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 2 || len(rep.Suggestions) != 2 {
+		t.Fatalf("calls = %d, partial suggestions = %d", calls, len(rep.Suggestions))
+	}
+}
+
+func TestAnalyzeContextCustomSuggester(t *testing.T) {
+	// A custom suggester feeds the same report pipeline: skipped contexts
+	// and cycle-share sorting behave exactly like Brainy.Analyze.
+	a, b := profileOf("hot", 10), profileOf("cold", 10)
+	a.Cycles, b.Cycles = 900, 100
+	suggest := func(p *profile.Profile, arch string) (Suggestion, error) {
+		if p.Context == "cold" {
+			return Suggestion{}, errors.New("no model")
+		}
+		return Suggestion{Context: p.Context, Replace: true}, nil
+	}
+	rep, err := AnalyzeContext(context.Background(), suggest, []profile.Profile{b, a}, "Atom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Arch != "Atom" || len(rep.Suggestions) != 1 || rep.Suggestions[0].Context != "hot" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Skipped) != 1 || rep.Skipped[0] != "cold" {
+		t.Fatalf("skipped = %v", rep.Skipped)
+	}
+	if pct := rep.Suggestions[0].CyclesPct; pct < 0.89 || pct > 0.91 {
+		t.Fatalf("cycles pct = %f", pct)
+	}
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,19 +36,19 @@ func (b *Brainy) Models() *training.ModelSet { return b.models }
 
 // Suggestion is Brainy's verdict for one container instance.
 type Suggestion struct {
-	Context    string   // construction site
-	Original   adt.Kind // what the application uses today
-	Suggested  adt.Kind // what Brainy would use instead
-	Confidence float64  // model probability of the suggested class
-	CyclesPct  float64  // share of profiled cycles this container accounts for
-	Replace    bool     // Suggested != Original
+	Context    string   `json:"context"`    // construction site
+	Original   adt.Kind `json:"original"`   // what the application uses today
+	Suggested  adt.Kind `json:"suggested"`  // what Brainy would use instead
+	Confidence float64  `json:"confidence"` // model probability of the suggested class
+	CyclesPct  float64  `json:"cycles_pct"` // share of profiled cycles this container accounts for
+	Replace    bool     `json:"replace"`    // Suggested != Original
 
 	// Memory estimates at the container's observed high-water size: the
 	// bloat dimension of a replacement. A positive MemDeltaPct means the
 	// suggested implementation uses more memory.
-	MemOriginal  uint64
-	MemSuggested uint64
-	MemDeltaPct  float64
+	MemOriginal  uint64  `json:"mem_original"`
+	MemSuggested uint64  `json:"mem_suggested"`
+	MemDeltaPct  float64 `json:"mem_delta_pct"`
 }
 
 // String formats the suggestion as one report line.
@@ -107,6 +108,26 @@ type Report struct {
 // paper's post-processing that "takes relative execution time and calling
 // context into consideration".
 func (b *Brainy) Analyze(profiles []profile.Profile, arch string) Report {
+	rep, _ := AnalyzeContext(context.Background(), b.Suggest, profiles, arch)
+	return rep
+}
+
+// AnalyzeContext is Analyze with cancellation: it aborts between profiles
+// when ctx is done, returning the context error. Long-lived callers
+// (brainy-serve) use it to honor per-request deadlines.
+func (b *Brainy) AnalyzeContext(ctx context.Context, profiles []profile.Profile, arch string) (Report, error) {
+	return AnalyzeContext(ctx, b.Suggest, profiles, arch)
+}
+
+// Suggester produces the verdict for one profile. Brainy.Suggest is the
+// canonical implementation; wrappers layer caching or instrumentation on
+// top without re-implementing the report logic.
+type Suggester func(p *profile.Profile, arch string) (Suggestion, error)
+
+// AnalyzeContext runs the report pipeline over an arbitrary Suggester,
+// checking ctx between inferences. On cancellation it returns the partial
+// report alongside ctx's error.
+func AnalyzeContext(ctx context.Context, suggest Suggester, profiles []profile.Profile, arch string) (Report, error) {
 	rep := Report{Arch: arch}
 	var total float64
 	for i := range profiles {
@@ -116,8 +137,11 @@ func (b *Brainy) Analyze(profiles []profile.Profile, arch string) Report {
 		total = 1
 	}
 	for i := range profiles {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		p := &profiles[i]
-		s, err := b.Suggest(p, arch)
+		s, err := suggest(p, arch)
 		if err != nil {
 			rep.Skipped = append(rep.Skipped, p.Context)
 			continue
@@ -128,7 +152,7 @@ func (b *Brainy) Analyze(profiles []profile.Profile, arch string) Report {
 	sort.SliceStable(rep.Suggestions, func(i, j int) bool {
 		return rep.Suggestions[i].CyclesPct > rep.Suggestions[j].CyclesPct
 	})
-	return rep
+	return rep, nil
 }
 
 // Render formats the report for a terminal.

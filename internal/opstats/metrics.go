@@ -1,0 +1,196 @@
+package opstats
+
+// This file holds the service metric primitives. The same package that
+// defines the software features Brainy profiles also provides the counters
+// and histograms that brainy-serve exposes on /metrics, so the repository
+// needs no external metrics dependency. All types are safe for concurrent
+// use and expose themselves in the Prometheus text exposition format.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Expose writes the counter in text exposition format. labels is either
+// empty or a rendered label list like `path="/v1/advise",code="200"`.
+func (c *Counter) Expose(w io.Writer, name, labels string) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.Value())
+}
+
+// CounterVec is a family of counters sharing one metric name, keyed by a
+// rendered label list. Children are created on first use and never removed.
+type CounterVec struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewCounterVec returns an empty counter family.
+func NewCounterVec() *CounterVec {
+	return &CounterVec{m: make(map[string]*Counter)}
+}
+
+// With returns the counter for the given rendered label list (for example
+// `arch="Core2"`), creating it if needed.
+func (v *CounterVec) With(labels string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.m[labels]
+	if !ok {
+		c = &Counter{}
+		v.m[labels] = c
+	}
+	return c
+}
+
+// Value returns the count for a label list, zero if absent.
+func (v *CounterVec) Value(labels string) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.m[labels]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Total sums every child counter.
+func (v *CounterVec) Total() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var t uint64
+	for _, c := range v.m {
+		t += c.Value()
+	}
+	return t
+}
+
+// Expose writes every child in label-sorted order for stable output.
+func (v *CounterVec) Expose(w io.Writer, name string) {
+	v.mu.Lock()
+	labels := make([]string, 0, len(v.m))
+	for l := range v.m {
+		labels = append(labels, l)
+	}
+	children := make(map[string]*Counter, len(v.m))
+	for l, c := range v.m {
+		children[l] = c
+	}
+	v.mu.Unlock()
+	sort.Strings(labels)
+	for _, l := range labels {
+		children[l].Expose(w, name, l)
+	}
+}
+
+// Histogram observes float64 samples into cumulative buckets, the shape
+// /metrics consumers expect for latencies. Bounds are upper limits in
+// ascending order; samples above the last bound land in the implicit +Inf
+// bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    float64
+	count  uint64
+}
+
+// DefBuckets is a latency bucket layout (seconds) that resolves both
+// cache-hit microsecond responses and multi-second analyze calls.
+var DefBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+// With no bounds it uses DefBuckets.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("opstats: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, ascending
+	Counts []uint64  // per-bucket (non-cumulative); last entry is +Inf
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot copies the histogram state under the lock.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+	return s
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Expose writes the histogram as cumulative _bucket lines plus _sum and
+// _count, the text exposition histogram convention.
+func (h *Histogram) Expose(w io.Writer, name string) {
+	s := h.Snapshot()
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

@@ -1,0 +1,165 @@
+package opstats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	c.Add(42)
+	if c.Value() != 8042 {
+		t.Fatalf("counter = %d after Add", c.Value())
+	}
+}
+
+func TestCounterExpose(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	var sb strings.Builder
+	c.Expose(&sb, "reqs_total", `path="/x"`)
+	if got := sb.String(); got != "reqs_total{path=\"/x\"} 3\n" {
+		t.Fatalf("exposition = %q", got)
+	}
+	sb.Reset()
+	c.Expose(&sb, "reqs_total", "")
+	if got := sb.String(); got != "reqs_total 3\n" {
+		t.Fatalf("unlabeled exposition = %q", got)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	v := NewCounterVec()
+	v.With(`arch="Core2"`).Inc()
+	v.With(`arch="Core2"`).Inc()
+	v.With(`arch="Atom"`).Inc()
+	if v.Value(`arch="Core2"`) != 2 || v.Value(`arch="Atom"`) != 1 {
+		t.Fatalf("values: Core2=%d Atom=%d", v.Value(`arch="Core2"`), v.Value(`arch="Atom"`))
+	}
+	if v.Value(`arch="P4"`) != 0 {
+		t.Fatal("absent label nonzero")
+	}
+	if v.Total() != 3 {
+		t.Fatalf("total = %d", v.Total())
+	}
+	var sb strings.Builder
+	v.Expose(&sb, "infer_total")
+	want := "infer_total{arch=\"Atom\"} 1\ninfer_total{arch=\"Core2\"} 2\n"
+	if sb.String() != want {
+		t.Fatalf("exposition = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	v := NewCounterVec()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := `w="` + string(rune('a'+w%2)) + `"`
+			for i := 0; i < 500; i++ {
+				v.With(label).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v.Total() != 4000 {
+		t.Fatalf("total = %d", v.Total())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	for _, s := range []float64{0.005, 0.01, 0.05, 0.5, 2, 3} {
+		h.Observe(s)
+	}
+	snap := h.Snapshot()
+	// 0.005 and 0.01 (inclusive upper bound) land in le=0.01; 0.05 in
+	// le=0.1; 0.5 in le=1; 2 and 3 overflow.
+	wantCounts := []uint64{2, 1, 1, 2}
+	for i, w := range wantCounts {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 6 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.Sum < 5.56 || snap.Sum > 5.57 {
+		t.Fatalf("sum = %f", snap.Sum)
+	}
+}
+
+func TestHistogramExposeCumulative(t *testing.T) {
+	h := NewHistogram(0.01, 0.1)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(7)
+	var sb strings.Builder
+	h.Expose(&sb, "lat_seconds")
+	want := strings.Join([]string{
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		`lat_seconds_sum 7.055`,
+		`lat_seconds_count 3`,
+	}, "\n") + "\n"
+	if sb.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0.0002)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	snap := h.Snapshot()
+	if len(snap.Bounds) != len(DefBuckets) || len(snap.Counts) != len(DefBuckets)+1 {
+		t.Fatalf("default shape: %d bounds, %d counts", len(snap.Bounds), len(snap.Counts))
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(1, 2, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 5))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds accepted")
+		}
+	}()
+	NewHistogram(1, 1)
+}

@@ -7,6 +7,7 @@
 package profile
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -236,18 +237,90 @@ func WriteTrace(w io.Writer, profiles []Profile) error {
 	return nil
 }
 
-// ReadTrace parses a JSON-lines trace written by WriteTrace.
+// ReadTrace parses a trace written by WriteTrace (or a JSON array of
+// profiles) into a slice.
 func ReadTrace(r io.Reader) ([]Profile, error) {
-	dec := json.NewDecoder(r)
 	var out []Profile
+	err := DecodeRecords(r, func(p *Profile) error {
+		out = append(out, *p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeRecords streams profile records from r without materializing the
+// whole trace, calling fn once per record. It accepts both of the
+// repository's wire forms: the JSON-lines trace format of WriteTrace and a
+// single JSON array of profiles (what HTTP clients naturally send). A
+// non-nil error from fn aborts the stream and is returned unwrapped, so
+// callers can stop early with sentinel errors.
+func DecodeRecords(r io.Reader, fn func(*Profile) error) error {
+	br := bufio.NewReader(r)
+	isArray, err := startsWithArray(br)
+	if err != nil {
+		if err == io.EOF { // empty input: zero records
+			return nil
+		}
+		return fmt.Errorf("profile: reading trace: %w", err)
+	}
+	dec := json.NewDecoder(br)
+	n := 0
+	decodeOne := func() error {
+		var p Profile
+		if err := dec.Decode(&p); err != nil {
+			return fmt.Errorf("profile: decoding trace record %d: %w", n, err)
+		}
+		n++
+		return fn(&p)
+	}
+	if isArray {
+		if _, err := dec.Token(); err != nil { // consume '['
+			return fmt.Errorf("profile: reading trace array: %w", err)
+		}
+		for dec.More() {
+			if err := decodeOne(); err != nil {
+				return err
+			}
+		}
+		if _, err := dec.Token(); err != nil { // consume ']'
+			return fmt.Errorf("profile: reading trace array end: %w", err)
+		}
+		return nil
+	}
 	for {
 		var p Profile
 		if err := dec.Decode(&p); err != nil {
 			if err == io.EOF {
-				return out, nil
+				return nil
 			}
-			return nil, fmt.Errorf("profile: decoding trace record %d: %w", len(out), err)
+			return fmt.Errorf("profile: decoding trace record %d: %w", n, err)
 		}
-		out = append(out, p)
+		n++
+		if err := fn(&p); err != nil {
+			return err
+		}
+	}
+}
+
+// startsWithArray peeks past leading whitespace to see whether the stream
+// is a JSON array.
+func startsWithArray(br *bufio.Reader) (bool, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return false, err
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		default:
+			if err := br.UnreadByte(); err != nil {
+				return false, err
+			}
+			return b == '[', nil
+		}
 	}
 }

@@ -1,0 +1,126 @@
+package profile
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+)
+
+func sampleProfiles(t *testing.T, n int) []Profile {
+	t.Helper()
+	m := machine.New(machine.Core2())
+	var out []Profile
+	for i := 0; i < n; i++ {
+		c := NewContainer(adt.KindVector, m, 8, "ctx/"+string(rune('a'+i)), false)
+		for k := uint64(0); k < 20; k++ {
+			c.Insert(k)
+		}
+		out = append(out, c.Snapshot())
+	}
+	return out
+}
+
+func TestDecodeRecordsJSONLines(t *testing.T) {
+	profiles := sampleProfiles(t, 3)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, profiles); err != nil {
+		t.Fatal(err)
+	}
+	var got []Profile
+	err := DecodeRecords(&buf, func(p *Profile) error {
+		got = append(got, *p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1].Context != profiles[1].Context {
+		t.Fatalf("decoded %d records: %+v", len(got), got)
+	}
+}
+
+func TestDecodeRecordsJSONArray(t *testing.T) {
+	profiles := sampleProfiles(t, 3)
+	var lines bytes.Buffer
+	if err := WriteTrace(&lines, profiles); err != nil {
+		t.Fatal(err)
+	}
+	// Build "  [rec,rec,rec]" with leading whitespace to exercise peeking.
+	recs := strings.Split(strings.TrimSpace(lines.String()), "\n")
+	array := "  \n\t[" + strings.Join(recs, ",") + "]"
+	var got []Profile
+	err := DecodeRecords(strings.NewReader(array), func(p *Profile) error {
+		got = append(got, *p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d records from array", len(got))
+	}
+	for i := range got {
+		if got[i].Stats != profiles[i].Stats {
+			t.Fatalf("record %d diverges", i)
+		}
+	}
+}
+
+func TestDecodeRecordsEmptyInput(t *testing.T) {
+	for _, in := range []string{"", "   \n\t ", "[]", " [ ] "} {
+		n := 0
+		err := DecodeRecords(strings.NewReader(in), func(*Profile) error { n++; return nil })
+		if err != nil || n != 0 {
+			t.Fatalf("input %q: err=%v records=%d", in, err, n)
+		}
+	}
+}
+
+func TestDecodeRecordsCallbackError(t *testing.T) {
+	profiles := sampleProfiles(t, 3)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, profiles); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop")
+	n := 0
+	err := DecodeRecords(&buf, func(*Profile) error {
+		n++
+		if n == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || n != 2 {
+		t.Fatalf("err=%v n=%d, want sentinel after 2", err, n)
+	}
+}
+
+func TestDecodeRecordsGarbage(t *testing.T) {
+	for _, in := range []string{"not json", "[not json]", "{\"context\": 5}", "[{},"} {
+		err := DecodeRecords(strings.NewReader(in), func(*Profile) error { return nil })
+		if err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadTraceAcceptsArrayForm(t *testing.T) {
+	profiles := sampleProfiles(t, 2)
+	var lines bytes.Buffer
+	if err := WriteTrace(&lines, profiles); err != nil {
+		t.Fatal(err)
+	}
+	recs := strings.Split(strings.TrimSpace(lines.String()), "\n")
+	got, err := ReadTrace(strings.NewReader("[" + strings.Join(recs, ",") + "]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records", len(got))
+	}
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// AdviseResponse is the body of a successful POST /v1/advise: the same
+// report and machine-readable plan the brainy CLI produces for the trace.
+type AdviseResponse struct {
+	Arch        string            `json:"arch"`
+	Profiles    int               `json:"profiles"`
+	Suggestions []core.Suggestion `json:"suggestions"`
+	Skipped     []string          `json:"skipped,omitempty"`
+	Plan        []core.PlanEntry  `json:"plan"`
+}
+
+// errTooManyProfiles aborts the streaming decoder when a trace exceeds the
+// configured record bound.
+var errTooManyProfiles = errors.New("too many profile records")
+
+// handleAdvise runs the full advisor pipeline for one request: stream-decode
+// the trace (JSON lines or a JSON array), take an inference slot, analyze
+// under the request deadline with the cache-wrapped suggester, and answer
+// with the prioritized plan.
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	arch := r.URL.Query().Get("arch")
+	if arch == "" {
+		arch = s.cfg.DefaultArch
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var profiles []profile.Profile
+	err := profile.DecodeRecords(body, func(p *profile.Profile) error {
+		if len(profiles) >= s.cfg.MaxProfiles {
+			return errTooManyProfiles
+		}
+		profiles = append(profiles, *p)
+		return nil
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, errTooManyProfiles):
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("trace exceeds %d records", s.cfg.MaxProfiles))
+		return
+	case isMaxBytesError(err):
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(profiles) == 0 {
+		writeError(w, http.StatusBadRequest, "empty trace: send JSON-lines or a JSON array of profile records")
+		return
+	}
+
+	// Bound concurrent ANN evaluation sections: wait for a slot, but never
+	// past the request deadline.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		writeTimeout(w, ctx, "waiting for an inference slot")
+		return
+	}
+
+	report, err := core.AnalyzeContext(ctx, s.cachingSuggester(), profiles, arch)
+	if err != nil {
+		writeTimeout(w, ctx, "analyzing trace")
+		return
+	}
+	s.metrics.ProfilesAnalyzed.Add(uint64(len(profiles)))
+	resp := AdviseResponse{
+		Arch:        report.Arch,
+		Profiles:    len(profiles),
+		Suggestions: report.Suggestions,
+		Skipped:     report.Skipped,
+		Plan:        report.Plan(),
+	}
+	// Clients get arrays, never null.
+	if resp.Suggestions == nil {
+		resp.Suggestions = []core.Suggestion{}
+	}
+	if resp.Plan == nil {
+		resp.Plan = []core.PlanEntry{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// cachingSuggester wraps Brainy.Suggest with the bounded LRU: model-derived
+// fields are cached under the canonical inference key, while per-request
+// fields (Context, CyclesPct) are re-stamped on every hit.
+func (s *Server) cachingSuggester() core.Suggester {
+	return func(p *profile.Profile, arch string) (core.Suggestion, error) {
+		key := inferenceKey(p, arch)
+		if sug, ok := s.cache.Get(key); ok {
+			s.metrics.CacheHits.Inc()
+			sug.Context = p.Context
+			return sug, nil
+		}
+		s.metrics.CacheMisses.Inc()
+		sug, err := s.brainy.Suggest(p, arch)
+		if err != nil {
+			return sug, err
+		}
+		s.metrics.Inferences.With(fmt.Sprintf("arch=%q", arch)).Inc()
+		cached := sug
+		cached.Context = "" // per-request fields stay out of the cache
+		cached.CyclesPct = 0
+		s.cache.Put(key, cached)
+		return sug, nil
+	}
+}
+
+// isMaxBytesError reports whether err came from http.MaxBytesReader.
+func isMaxBytesError(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
+// writeTimeout maps a context failure to 408 (deadline) or the client-gone
+// status (cancellation).
+func writeTimeout(w http.ResponseWriter, ctx context.Context, during string) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		writeError(w, http.StatusRequestTimeout, "deadline exceeded "+during)
+		return
+	}
+	// Client went away; 499 is the de-facto convention (nginx).
+	writeError(w, 499, "request cancelled "+during)
+}
+
+// writeError answers with a JSON error envelope.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeJSON renders one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

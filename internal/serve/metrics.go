@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/opstats"
+)
+
+// Metrics aggregates everything brainy-serve observes about itself, built
+// from the opstats primitives so the server needs no metrics dependency.
+// It doubles as the GET /metrics handler (text exposition format).
+type Metrics struct {
+	// Requests counts finished HTTP requests by path and status code
+	// (label form `path="/v1/advise",code="200"`).
+	Requests *opstats.CounterVec
+	// Latency observes end-to-end request durations in seconds.
+	Latency *opstats.Histogram
+	// CacheHits / CacheMisses count inference-cache lookups.
+	CacheHits   *opstats.Counter
+	CacheMisses *opstats.Counter
+	// Inferences counts ANN evaluations actually run (cache misses that
+	// reached a model) by architecture (label form `arch="Core2"`).
+	Inferences *opstats.CounterVec
+	// ProfilesAnalyzed counts profile records accepted into analysis.
+	ProfilesAnalyzed *opstats.Counter
+}
+
+// NewMetrics builds an empty metric set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Requests:         opstats.NewCounterVec(),
+		Latency:          opstats.NewHistogram(),
+		CacheHits:        &opstats.Counter{},
+		CacheMisses:      &opstats.Counter{},
+		Inferences:       opstats.NewCounterVec(),
+		ProfilesAnalyzed: &opstats.Counter{},
+	}
+}
+
+// ServeHTTP renders the exposition page.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintln(w, "# HELP brainy_requests_total Finished HTTP requests by path and status code.")
+	fmt.Fprintln(w, "# TYPE brainy_requests_total counter")
+	m.Requests.Expose(w, "brainy_requests_total")
+	fmt.Fprintln(w, "# HELP brainy_request_duration_seconds End-to-end request latency.")
+	fmt.Fprintln(w, "# TYPE brainy_request_duration_seconds histogram")
+	m.Latency.Expose(w, "brainy_request_duration_seconds")
+	fmt.Fprintln(w, "# HELP brainy_cache_hits_total Inference-cache hits.")
+	fmt.Fprintln(w, "# TYPE brainy_cache_hits_total counter")
+	m.CacheHits.Expose(w, "brainy_cache_hits_total", "")
+	fmt.Fprintln(w, "# HELP brainy_cache_misses_total Inference-cache misses.")
+	fmt.Fprintln(w, "# TYPE brainy_cache_misses_total counter")
+	m.CacheMisses.Expose(w, "brainy_cache_misses_total", "")
+	fmt.Fprintln(w, "# HELP brainy_inferences_total ANN evaluations run, by architecture.")
+	fmt.Fprintln(w, "# TYPE brainy_inferences_total counter")
+	m.Inferences.Expose(w, "brainy_inferences_total")
+	fmt.Fprintln(w, "# HELP brainy_profiles_analyzed_total Profile records accepted into analysis.")
+	fmt.Fprintln(w, "# TYPE brainy_profiles_analyzed_total counter")
+	m.ProfilesAnalyzed.Expose(w, "brainy_profiles_analyzed_total", "")
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// observe wraps the route table with request metrics and structured
+// logging: every finished request increments the per-path/per-code counter,
+// lands in the latency histogram, and emits one log line.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.metrics.Requests.With(fmt.Sprintf("path=%q,code=\"%d\"", r.URL.Path, sw.status)).Inc()
+		s.metrics.Latency.Observe(elapsed.Seconds())
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration", elapsed.String(),
+			"remote", r.RemoteAddr,
+		)
+	})
+}

@@ -1,0 +1,165 @@
+// Package serve puts the Brainy advisor behind a long-lived HTTP service:
+// a trained model registry is loaded once and queried concurrently over
+// POST /v1/advise, with liveness on GET /healthz and text-exposition
+// metrics on GET /metrics. The paper's usage model ends at a one-shot CLI;
+// this package is the production shape of the same pipeline — bounded
+// concurrency around ANN evaluations, an LRU cache over repeated
+// inferences, per-request deadlines, and graceful drain on shutdown.
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/training"
+)
+
+// Config tunes one server instance. The zero value is usable: every field
+// falls back to the documented default.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8377").
+	Addr string
+	// DefaultArch answers requests that omit ?arch= (default "Core2").
+	DefaultArch string
+	// MaxBodyBytes caps the advise request body; larger bodies get 413
+	// (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxProfiles caps the number of records in one advise request;
+	// larger traces get 400 (default 10000).
+	MaxProfiles int
+	// RequestTimeout bounds one advise request end to end; on expiry the
+	// client gets 408 (default 30s).
+	RequestTimeout time.Duration
+	// MaxConcurrent bounds simultaneous ANN evaluation sections; excess
+	// requests wait their turn until their deadline (default 8).
+	MaxConcurrent int
+	// CacheSize bounds the inference LRU in entries; 0 uses the default
+	// (4096), negative disables caching.
+	CacheSize int
+	// ShutdownGrace is how long Serve waits for in-flight requests to
+	// drain after its context is cancelled (default 10s).
+	ShutdownGrace time.Duration
+	// Logger receives structured request and lifecycle logs
+	// (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8377"
+	}
+	if c.DefaultArch == "" {
+		c.DefaultArch = "Core2"
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxProfiles == 0 {
+		c.MaxProfiles = 10000
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.ShutdownGrace == 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is one advisor instance: a model registry, an inference cache, a
+// concurrency bound, and the metrics describing them.
+type Server struct {
+	cfg     Config
+	brainy  *core.Brainy
+	cache   *lruCache
+	sem     chan struct{} // bounds concurrent ANN evaluation sections
+	metrics *Metrics
+	log     *slog.Logger
+}
+
+// New builds a server around a trained model registry.
+func New(models *training.ModelSet, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		brainy:  core.New(models),
+		cache:   newLRUCache(cfg.CacheSize),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		metrics: NewMetrics(),
+		log:     cfg.Logger,
+	}
+}
+
+// Metrics exposes the server's metric set (shared with the /metrics page),
+// mainly for tests and embedding.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the full route table wrapped in the observability
+// middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/advise", s.handleAdvise)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.metrics)
+	return s.observe(mux)
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then drains
+// in-flight requests for up to ShutdownGrace before returning. It returns
+// nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(s.log.Handler(), slog.LevelWarn),
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		s.log.Info("shutting down", "grace", s.cfg.ShutdownGrace.String())
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		err := hs.Shutdown(drainCtx)
+		<-errc // Serve has returned http.ErrServerClosed
+		if err != nil {
+			s.log.Warn("shutdown incomplete", "error", err)
+			return err
+		}
+		s.log.Info("drained")
+		return nil
+	}
+}
+
+// ListenAndServe binds cfg.Addr and runs Serve.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.log.Info("listening", "addr", ln.Addr().String(), "models", s.brainy.Models().Len())
+	return s.Serve(ctx, ln)
+}
+
+// handleHealthz reports liveness and registry size.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"models": s.brainy.Models().Len(),
+	})
+}
