@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -131,15 +132,24 @@ func BenchmarkFigure9(b *testing.B) {
 			opt.MaxSeeds = sc.MaxSeeds
 			opt.AppCfg.TotalInterfCalls = sc.Calls
 			tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
-			labels := training.Phase1(tgt, opt)
-			ds := training.Phase2(tgt, labels, opt)
+			labels, err := training.Phase1(context.Background(), tgt, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds, err := training.Phase2(context.Background(), tgt, labels, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
 			annCfg := ann.DefaultConfig()
 			annCfg.Epochs = sc.ANNEpochs
 			m, err := training.TrainModel(ds, arch.Name, annCfg)
 			if err != nil {
 				b.Fatal(err)
 			}
-			acc = training.Validate(m, opt, sc.ValidationApps, 777000)
+			acc, err = training.Validate(context.Background(), m, opt, sc.ValidationApps, 777000)
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 	b.ReportMetric(100*acc, "atom-acc%")

@@ -14,7 +14,9 @@
 //	GET  /metrics                text exposition of service metrics
 //
 // The process drains in-flight requests and exits cleanly on SIGINT or
-// SIGTERM.
+// SIGTERM. With -check it only validates the registry (exit 0 when every
+// model loads, non-zero otherwise) without binding a socket — the CI gate
+// for freshly trained or hand-shipped artifacts.
 package main
 
 import (
@@ -44,6 +46,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 8, "bound on concurrent ANN evaluation sections")
 		cacheSize   = flag.Int("cache", 4096, "inference cache entries (negative disables)")
 		grace       = flag.Duration("grace", 10*time.Second, "shutdown drain budget")
+		check       = flag.Bool("check", false, "validate the model registry and exit without serving")
 	)
 	flag.Parse()
 
@@ -55,6 +58,10 @@ func main() {
 	f.Close()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *check {
+		log.Printf("%s: ok (%d models)", *modelsPath, set.Len())
+		return
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))

@@ -2,16 +2,28 @@
 // and writes the trained model registry to disk — the "train once per
 // machine at install time" step of the paper's usage model.
 //
+// Training streams on one shared worker pool across every (model,
+// architecture) pair and checkpoints each target's Phase-I labels, Phase-II
+// dataset, and fitted model as they complete. A run interrupted with ^C (or
+// SIGTERM) exits cleanly after the in-flight simulations drain; re-running
+// with -resume skips every finished stage and produces a registry identical
+// to an uninterrupted run.
+//
 // Usage:
 //
 //	brainy-train [-arch core2|atom|both] [-apps N] [-calls N] [-o models.json]
+//	             [-workers N] [-checkpoint DIR] [-resume]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/adt"
@@ -30,6 +42,9 @@ func main() {
 		calls    = flag.Int("calls", 500, "interface calls per synthetic application")
 		epochs   = flag.Int("epochs", 250, "ANN training epochs")
 		out      = flag.String("o", "models.json", "output path for the model registry")
+		workers  = flag.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS)")
+		ckptDir  = flag.String("checkpoint", "", "checkpoint directory (default <output>.ckpt)")
+		resume   = flag.Bool("resume", false, "resume from the checkpoint directory, skipping finished targets")
 	)
 	flag.Parse()
 
@@ -47,10 +62,25 @@ func main() {
 	if *maxSeeds == 0 {
 		*maxSeeds = 20 * *apps
 	}
+	if *ckptDir == "" {
+		*ckptDir = *out + ".ckpt"
+	}
+	if !*resume {
+		if _, err := os.Stat(*ckptDir); err == nil {
+			log.Printf("discarding stale checkpoint %s (pass -resume to continue it)", *ckptDir)
+		}
+		if err := os.RemoveAll(*ckptDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cp, err := training.NewCheckpointer(*ckptDir)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	set := training.NewModelSet()
 	annCfg := ann.DefaultConfig()
 	annCfg.Epochs = *epochs
+	opts := make([]training.Options, 0, len(archs))
 	for _, arch := range archs {
 		opt := training.DefaultOptions(arch)
 		opt.PerTargetApps = *apps
@@ -58,32 +88,68 @@ func main() {
 		opt.AppCfg.TotalInterfCalls = *calls
 		opt.AppCfg.MaxPrepopulate = 4 * *calls
 		opt.AppCfg.MaxIterCount = 4 * *calls
-		for _, tgt := range adt.Targets() {
-			start := time.Now()
-			labels := training.Phase1(tgt, opt)
-			ds := training.Phase2(tgt, labels, opt)
-			m, err := training.TrainModel(ds, arch.Name, annCfg)
-			if err != nil {
-				log.Fatalf("training %v on %s: %v", tgt.Kind, arch.Name, err)
-			}
-			set.Put(m)
+		opts = append(opts, opt)
+	}
+
+	// ^C cancels the pipeline; in-flight simulations drain, completed
+	// stages are already on disk, and a second ^C kills the process via the
+	// default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := training.PipelineConfig{
+		Workers:    *workers,
+		Checkpoint: cp,
+		OnTarget: func(r training.TargetResult) {
 			mode := "order-aware"
-			if !tgt.OrderAware {
+			if !r.Model.Target.OrderAware {
 				mode = "order-oblivious"
 			}
-			fmt.Printf("%-6s %-9s %-15s %4d apps  train-acc %.0f%%  (%.1fs)\n",
-				arch.Name, tgt.Kind, mode, len(ds.Examples),
-				100*m.Net.Accuracy(ds.Examples), time.Since(start).Seconds())
+			if r.Resumed && r.SeedsScanned == 0 && r.Examples == 0 {
+				fmt.Printf("%-6s %-9s %-15s resumed from checkpoint\n", r.Arch, r.Model.Target.Kind, mode)
+				return
+			}
+			note := ""
+			if r.Dropped > 0 {
+				note = fmt.Sprintf("  dropped %d", r.Dropped)
+			}
+			fmt.Printf("%-6s %-9s %-15s %4d apps  %5d seeds scanned  train-acc %.0f%%  (%.1fs)%s\n",
+				r.Arch, r.Model.Target.Kind, mode, r.Examples, r.SeedsScanned,
+				100*r.TrainAccuracy, r.Elapsed.Seconds(), note)
+		},
+	}
+
+	start := time.Now()
+	set, err := training.TrainArchs(ctx, opts, annCfg, adt.Targets(), cfg)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			elapsed := time.Since(start).Seconds()
+			log.Printf("interrupted after %.1fs: %d seeds scanned, %d labels found",
+				elapsed, training.Metrics.SeedsScanned.Value(), training.Metrics.LabelsFound.Value())
+			log.Fatalf("progress checkpointed in %s — re-run with -resume to continue", *ckptDir)
 		}
+		log.Fatal(err)
 	}
 
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 	if err := set.Save(f); err != nil {
+		f.Close()
 		log.Fatalf("writing %s: %v", *out, err)
 	}
-	fmt.Printf("wrote %d models to %s\n", set.Len(), *out)
+	if err := f.Close(); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	// The registry is the durable artifact; a complete run has no further
+	// use for its checkpoints.
+	if err := os.RemoveAll(*ckptDir); err != nil {
+		log.Printf("warning: could not remove checkpoint %s: %v", *ckptDir, err)
+	}
+
+	elapsed := time.Since(start).Seconds()
+	scanned := training.Metrics.SeedsScanned.Value()
+	fmt.Printf("wrote %d models to %s (%.1fs, %d seeds scanned, %.0f seeds/sec, %.3g simulated cycles)\n",
+		set.Len(), *out, elapsed, scanned, float64(scanned)/elapsed, training.Metrics.CyclesSimulated.Value())
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -33,9 +34,16 @@ func main() {
 	annCfg := ann.DefaultConfig()
 	annCfg.Epochs = 150
 
+	ctx := context.Background()
 	target := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
-	labels := training.Phase1(target, opt)          // Algorithm 1
-	dataset := training.Phase2(target, labels, opt) // Algorithm 2
+	labels, err := training.Phase1(ctx, target, opt) // Algorithm 1
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataset, err := training.Phase2(ctx, target, labels, opt) // Algorithm 2
+	if err != nil {
+		log.Fatal(err)
+	}
 	model, err := training.TrainModel(dataset, arch.Name, annCfg)
 	if err != nil {
 		log.Fatal(err)

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -41,8 +42,14 @@ func main() {
 		{Kind: adt.KindVector, OrderAware: false},
 		{Kind: adt.KindList, OrderAware: true},
 	} {
-		labels := training.Phase1(tgt, opt)
-		ds := training.Phase2(tgt, labels, opt)
+		labels, err := training.Phase1(context.Background(), tgt, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := training.Phase2(context.Background(), tgt, labels, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
 		m, err := training.TrainModel(ds, arch.Name, annCfg)
 		if err != nil {
 			log.Fatal(err)

@@ -199,6 +199,9 @@ func (n *Network) forward(z []float64) (hidden, probs []float64) {
 // Train fits the network on the examples with SGD + momentum, minimizing
 // cross-entropy. It returns the final average training loss.
 func (n *Network) Train(examples []Example) (float64, error) {
+	if n.rng == nil || n.vW1 == nil || n.vW2 == nil || n.cfg.Epochs <= 0 {
+		return 0, errors.New("ann: network not initialized for training; construct it with New or Load")
+	}
 	if len(examples) == 0 {
 		return 0, errors.New("ann: empty training set")
 	}
@@ -320,18 +323,61 @@ func (n *Network) Save(w io.Writer) error {
 	})
 }
 
-// Load reads a network previously written by Save. Loaded networks can
-// predict; to continue training, build a fresh network.
+// validate checks that a deserialized network is internally consistent, so
+// that a truncated or hand-edited artifact fails at load time with a
+// descriptive error instead of panicking at the first Predict.
+func (s *serialized) validate() error {
+	if s.In <= 0 || s.Hidden <= 0 || s.Out <= 0 {
+		return fmt.Errorf("ann: corrupt network shape in=%d hidden=%d out=%d", s.In, s.Hidden, s.Out)
+	}
+	if len(s.W1) != s.Hidden {
+		return fmt.Errorf("ann: W1 has %d rows, want Hidden=%d", len(s.W1), s.Hidden)
+	}
+	for i, row := range s.W1 {
+		if len(row) != s.In+1 {
+			return fmt.Errorf("ann: W1 row %d has %d columns, want In+1=%d", i, len(row), s.In+1)
+		}
+	}
+	if len(s.W2) != s.Out {
+		return fmt.Errorf("ann: W2 has %d rows, want Out=%d", len(s.W2), s.Out)
+	}
+	for i, row := range s.W2 {
+		if len(row) != s.Hidden+1 {
+			return fmt.Errorf("ann: W2 row %d has %d columns, want Hidden+1=%d", i, len(row), s.Hidden+1)
+		}
+	}
+	if len(s.Mean) != s.In {
+		return fmt.Errorf("ann: Mean has %d entries, want In=%d", len(s.Mean), s.In)
+	}
+	if len(s.Std) != s.In {
+		return fmt.Errorf("ann: Std has %d entries, want In=%d", len(s.Std), s.In)
+	}
+	if s.Mask != nil && len(s.Mask) != s.In {
+		return fmt.Errorf("ann: Mask has %d entries, want In=%d", len(s.Mask), s.In)
+	}
+	return nil
+}
+
+// Load reads a network previously written by Save, validating every matrix
+// shape. Loaded networks can predict immediately and can also continue
+// training: the RNG, momentum buffers, and hyperparameters are
+// reinitialized from DefaultConfig.
 func Load(r io.Reader) (*Network, error) {
 	var s serialized
 	if err := json.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("ann: decoding network: %w", err)
 	}
-	if s.In <= 0 || s.Hidden <= 0 || s.Out <= 0 {
-		return nil, errors.New("ann: corrupt network shape")
+	if err := s.validate(); err != nil {
+		return nil, err
 	}
+	cfg := DefaultConfig()
+	cfg.Hidden = s.Hidden
 	return &Network{
 		In: s.In, Hidden: s.Hidden, Out: s.Out,
 		W1: s.W1, W2: s.W2, Mean: s.Mean, Std: s.Std, Mask: s.Mask,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		vW1: zeroMatrix(s.Hidden, s.In+1),
+		vW2: zeroMatrix(s.Out, s.Hidden+1),
 	}, nil
 }

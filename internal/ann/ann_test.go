@@ -2,6 +2,7 @@ package ann
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -204,6 +205,120 @@ func TestLoadRejectsCorrupt(t *testing.T) {
 	}
 	if _, err := Load(bytes.NewReader([]byte(`{"In":0,"Hidden":0,"Out":0}`))); err == nil {
 		t.Fatal("zero shape accepted")
+	}
+}
+
+// savedNetwork trains a small valid network and returns its JSON bytes.
+func savedNetwork(t *testing.T) []byte {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	cfg.Hidden = 4
+	n := New(2, 2, cfg)
+	if _, err := n.Train(twoBlobs(60, 21)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// corruptJSON decodes, mutates, and re-encodes a serialized network.
+func corruptJSON(t *testing.T, data []byte, mutate func(map[string]any)) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	mutate(m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestLoadRejectsMalformedShapes feeds Load artifacts whose declared shape
+// disagrees with the actual matrices — the corruptions that previously
+// passed Load and panicked with an index error inside the first Predict.
+func TestLoadRejectsMalformedShapes(t *testing.T) {
+	valid := savedNetwork(t)
+	if _, err := Load(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(map[string]any)
+	}{
+		{"truncated W1", func(m map[string]any) {
+			w1 := m["W1"].([]any)
+			m["W1"] = w1[:len(w1)-1]
+		}},
+		{"narrow W1 row", func(m map[string]any) {
+			w1 := m["W1"].([]any)
+			row := w1[0].([]any)
+			w1[0] = row[:len(row)-1]
+		}},
+		{"truncated W2", func(m map[string]any) {
+			w2 := m["W2"].([]any)
+			m["W2"] = w2[:len(w2)-1]
+		}},
+		{"wide W2 row", func(m map[string]any) {
+			w2 := m["W2"].([]any)
+			row := w2[0].([]any)
+			w2[0] = append(row, 0.5)
+		}},
+		{"missing Mean entry", func(m map[string]any) {
+			mean := m["Mean"].([]any)
+			m["Mean"] = mean[:len(mean)-1]
+		}},
+		{"missing Std entry", func(m map[string]any) {
+			std := m["Std"].([]any)
+			m["Std"] = std[:len(std)-1]
+		}},
+		{"wrong-length Mask", func(m map[string]any) {
+			m["Mask"] = []any{1.0}
+		}},
+		{"negative hidden", func(m map[string]any) {
+			m["Hidden"] = -3
+		}},
+		{"lying hidden width", func(m map[string]any) {
+			// Shape fields claim a wider net than the matrices hold.
+			m["Hidden"] = 16
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := corruptJSON(t, valid, tc.mutate)
+			if _, err := Load(bytes.NewReader(data)); err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+		})
+	}
+	// Truncated byte streams (a partially written artifact) must also fail.
+	if _, err := Load(bytes.NewReader(valid[:len(valid)/2])); err == nil {
+		t.Fatal("truncated artifact accepted")
+	}
+}
+
+// TestTrainAfterLoad exercises the once-panicking path: Train on a network
+// that came from Load (nil rng and momentum buffers before the fix).
+func TestTrainAfterLoad(t *testing.T) {
+	n, err := Load(bytes.NewReader(savedNetwork(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Train(twoBlobs(60, 22)); err != nil {
+		t.Fatalf("training a loaded network: %v", err)
+	}
+}
+
+func TestTrainUninitializedNetwork(t *testing.T) {
+	n := &Network{In: 2, Hidden: 2, Out: 2}
+	if _, err := n.Train(twoBlobs(10, 23)); err == nil {
+		t.Fatal("zero-value network accepted training")
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -31,8 +32,16 @@ func testModels(t *testing.T) *training.ModelSet {
 		cfg := ann.DefaultConfig()
 		cfg.Epochs = 100
 		tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
-		labels := training.Phase1(tgt, opt)
-		ds := training.Phase2(tgt, labels, opt)
+		labels, err := training.Phase1(context.Background(), tgt, opt)
+		if err != nil {
+			tErr = err
+			return
+		}
+		ds, err := training.Phase2(context.Background(), tgt, labels, opt)
+		if err != nil {
+			tErr = err
+			return
+		}
 		var m *training.Model
 		m, tErr = training.TrainModel(ds, "Core2", cfg)
 		if tErr == nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adt"
@@ -38,23 +39,31 @@ func ablationTarget() adt.ModelTarget {
 }
 
 // ablationData runs Phase-I/II once so all ablations share the dataset.
-func ablationData(sc Scale) (training.Dataset, training.Options) {
+func ablationData(sc Scale) (training.Dataset, training.Options, error) {
+	ctx := context.Background()
 	opt := sc.trainingOptions(machine.Core2())
 	tgt := ablationTarget()
-	labels := training.Phase1(tgt, opt)
-	return training.Phase2(tgt, labels, opt), opt
+	labels, err := training.Phase1(ctx, tgt, opt)
+	if err != nil {
+		return training.Dataset{}, opt, err
+	}
+	ds, err := training.Phase2(ctx, tgt, labels, opt)
+	return ds, opt, err
 }
 
-func validateNet(net *ann.Network, ds training.Dataset, opt training.Options, n int) float64 {
+func validateNet(net *ann.Network, ds training.Dataset, opt training.Options, n int) (float64, error) {
 	m := &training.Model{Target: ds.Target, Arch: opt.Arch.Name, Candidates: ds.Candidates, Net: net}
-	return training.Validate(m, opt, n, 555001)
+	return training.Validate(context.Background(), m, opt, n, 555001)
 }
 
 // AblationHardwareFeatures contrasts the full feature vector with one whose
 // hardware-counter features are masked off — the paper's central claim that
 // architectural events carry signal software features lack.
 func AblationHardwareFeatures(sc Scale) (AblationResult, error) {
-	ds, opt := ablationData(sc)
+	ds, opt, err := ablationData(sc)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	if len(ds.Examples) == 0 {
 		return AblationResult{}, fmt.Errorf("experiments: ablation got no training data")
 	}
@@ -64,7 +73,11 @@ func AblationHardwareFeatures(sc Scale) (AblationResult, error) {
 	if _, err := full.Train(ds.Examples); err != nil {
 		return AblationResult{}, err
 	}
-	res.Rows = append(res.Rows, AblationRow{"software + hardware features", validateNet(full, ds, opt, sc.ValidationApps)})
+	acc, err := validateNet(full, ds, opt, sc.ValidationApps)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	res.Rows = append(res.Rows, AblationRow{"software + hardware features", acc})
 
 	mask := make([]float64, profile.NumFeatures)
 	for i := range mask {
@@ -78,7 +91,11 @@ func AblationHardwareFeatures(sc Scale) (AblationResult, error) {
 	if _, err := soft.Train(ds.Examples); err != nil {
 		return AblationResult{}, err
 	}
-	res.Rows = append(res.Rows, AblationRow{"software features only", validateNet(soft, ds, opt, sc.ValidationApps)})
+	acc, err = validateNet(soft, ds, opt, sc.ValidationApps)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	res.Rows = append(res.Rows, AblationRow{"software features only", acc})
 	return res, nil
 }
 
@@ -86,20 +103,31 @@ func AblationHardwareFeatures(sc Scale) (AblationResult, error) {
 // decisiveness margin (footnote 2): without it, near-ties inject label
 // noise.
 func AblationThreshold(sc Scale) (AblationResult, error) {
+	ctx := context.Background()
 	res := AblationResult{Name: "Phase-I best-DS margin (vector model, Core2)"}
 	for _, margin := range []float64{0.05, 0.0} {
 		opt := sc.trainingOptions(machine.Core2())
 		opt.Margin = margin
 		tgt := ablationTarget()
-		labels := training.Phase1(tgt, opt)
-		ds := training.Phase2(tgt, labels, opt)
+		labels, err := training.Phase1(ctx, tgt, opt)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		ds, err := training.Phase2(ctx, tgt, labels, opt)
+		if err != nil {
+			return AblationResult{}, err
+		}
 		m, err := training.TrainModel(ds, opt.Arch.Name, sc.annConfig())
+		if err != nil {
+			return AblationResult{}, err
+		}
+		acc, err := training.Validate(ctx, m, opt, sc.ValidationApps, 555001)
 		if err != nil {
 			return AblationResult{}, err
 		}
 		res.Rows = append(res.Rows, AblationRow{
 			fmt.Sprintf("margin %.0f%% (%d labelled apps)", margin*100, len(ds.Examples)),
-			training.Validate(m, opt, sc.ValidationApps, 555001),
+			acc,
 		})
 	}
 	return res, nil
@@ -110,7 +138,10 @@ func AblationHiddenWidth(sc Scale, widths []int) (AblationResult, error) {
 	if len(widths) == 0 {
 		widths = []int{4, 12, 24, 48}
 	}
-	ds, opt := ablationData(sc)
+	ds, opt, err := ablationData(sc)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	res := AblationResult{Name: "ANN hidden-layer width (vector model, Core2)"}
 	for _, w := range widths {
 		cfg := sc.annConfig()
@@ -119,7 +150,11 @@ func AblationHiddenWidth(sc Scale, widths []int) (AblationResult, error) {
 		if _, err := net.Train(ds.Examples); err != nil {
 			return AblationResult{}, err
 		}
-		res.Rows = append(res.Rows, AblationRow{fmt.Sprintf("hidden = %d", w), validateNet(net, ds, opt, sc.ValidationApps)})
+		acc, err := validateNet(net, ds, opt, sc.ValidationApps)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		res.Rows = append(res.Rows, AblationRow{fmt.Sprintf("hidden = %d", w), acc})
 	}
 	return res, nil
 }
@@ -131,7 +166,10 @@ func AblationTrainingSize(sc Scale, sizes []int) (AblationResult, error) {
 	if len(sizes) == 0 {
 		sizes = []int{25, 75, sc.TrainApps}
 	}
-	ds, opt := ablationData(sc)
+	ds, opt, err := ablationData(sc)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	res := AblationResult{Name: "training-set size (vector model, Core2)"}
 	for _, n := range sizes {
 		if n > len(ds.Examples) {
@@ -141,7 +179,11 @@ func AblationTrainingSize(sc Scale, sizes []int) (AblationResult, error) {
 		if _, err := net.Train(ds.Examples[:n]); err != nil {
 			return AblationResult{}, err
 		}
-		res.Rows = append(res.Rows, AblationRow{fmt.Sprintf("%d training apps", n), validateNet(net, ds, opt, sc.ValidationApps)})
+		acc, err := validateNet(net, ds, opt, sc.ValidationApps)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		res.Rows = append(res.Rows, AblationRow{fmt.Sprintf("%d training apps", n), acc})
 	}
 	return res, nil
 }
@@ -152,25 +194,34 @@ func AblationTrainingSize(sc Scale, sizes []int) (AblationResult, error) {
 // (transferred). The paper's 43% best-DS disagreement between the two
 // machines bounds how well a transferred model can possibly do.
 func AblationCrossArch(sc Scale) (AblationResult, error) {
+	ctx := context.Background()
 	tgt := ablationTarget()
 	coreOpt := sc.trainingOptions(machine.Core2())
-	labels := training.Phase1(tgt, coreOpt)
-	ds := training.Phase2(tgt, labels, coreOpt)
+	labels, err := training.Phase1(ctx, tgt, coreOpt)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	ds, err := training.Phase2(ctx, tgt, labels, coreOpt)
+	if err != nil {
+		return AblationResult{}, err
+	}
 	m, err := training.TrainModel(ds, "Core2", sc.annConfig())
 	if err != nil {
 		return AblationResult{}, err
 	}
 	res := AblationResult{Name: "cross-architecture model transfer (vector model)"}
-	res.Rows = append(res.Rows, AblationRow{
-		"trained on Core2, validated on Core2",
-		training.Validate(m, coreOpt, sc.ValidationApps, 555001),
-	})
+	coreAcc, err := training.Validate(ctx, m, coreOpt, sc.ValidationApps, 555001)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	res.Rows = append(res.Rows, AblationRow{"trained on Core2, validated on Core2", coreAcc})
 	// Same model, but the ground truth comes from Atom's oracle: profiles
 	// are collected on Atom too, since that is where the app would run.
 	atomOpt := sc.trainingOptions(machine.Atom())
-	res.Rows = append(res.Rows, AblationRow{
-		"trained on Core2, validated on Atom",
-		training.Validate(m, atomOpt, sc.ValidationApps, 555001),
-	})
+	atomAcc, err := training.Validate(ctx, m, atomOpt, sc.ValidationApps, 555001)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	res.Rows = append(res.Rows, AblationRow{"trained on Core2, validated on Atom", atomAcc})
 	return res, nil
 }

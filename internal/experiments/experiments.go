@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -93,18 +94,13 @@ func Archs() []machine.Config {
 // both architectures. It is the expensive shared step behind Figures 8-13;
 // callers should reuse the result across experiments.
 func TrainModels(sc Scale) (*training.ModelSet, error) {
-	set := training.NewModelSet()
+	opts := make([]training.Options, 0, len(Archs()))
 	for _, arch := range Archs() {
-		opt := sc.trainingOptions(arch)
-		sub, err := training.TrainAll(opt, sc.annConfig(), adt.Targets())
-		if err != nil {
-			return nil, fmt.Errorf("experiments: training on %s: %w", arch.Name, err)
-		}
-		for _, tgt := range adt.Targets() {
-			if m, ok := sub.Get(tgt.Kind, tgt.OrderAware, arch.Name); ok {
-				set.Put(m)
-			}
-		}
+		opts = append(opts, sc.trainingOptions(arch))
+	}
+	set, err := training.TrainArchs(context.Background(), opts, sc.annConfig(), adt.Targets(), training.PipelineConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training: %w", err)
 	}
 	return set, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adt"
@@ -28,17 +29,27 @@ type Fig9Result struct{ Rows []Fig9Row }
 // Section 6.1. The paper reports 80-90% on Core2 and 70-80% on Atom with
 // 1000 validation apps per model.
 func Figure9(sc Scale) (Fig9Result, error) {
+	ctx := context.Background()
 	var out Fig9Result
 	for _, arch := range Archs() {
 		opt := sc.trainingOptions(arch)
 		for _, tgt := range adt.Targets() {
-			labels := training.Phase1(tgt, opt)
-			ds := training.Phase2(tgt, labels, opt)
+			labels, err := training.Phase1(ctx, tgt, opt)
+			if err != nil {
+				return Fig9Result{}, fmt.Errorf("experiments: figure 9 %v/%s: %w", tgt.Kind, arch.Name, err)
+			}
+			ds, err := training.Phase2(ctx, tgt, labels, opt)
+			if err != nil {
+				return Fig9Result{}, fmt.Errorf("experiments: figure 9 %v/%s: %w", tgt.Kind, arch.Name, err)
+			}
 			m, err := training.TrainModel(ds, arch.Name, sc.annConfig())
 			if err != nil {
 				return Fig9Result{}, fmt.Errorf("experiments: figure 9 %v/%s: %w", tgt.Kind, arch.Name, err)
 			}
-			acc := training.Validate(m, opt, sc.ValidationApps, 777000)
+			acc, err := training.Validate(ctx, m, opt, sc.ValidationApps, 777000)
+			if err != nil {
+				return Fig9Result{}, fmt.Errorf("experiments: figure 9 %v/%s: %w", tgt.Kind, arch.Name, err)
+			}
 			out.Rows = append(out.Rows, Fig9Row{
 				Target:   tgt,
 				Arch:     arch.Name,
@@ -92,10 +103,17 @@ func Table3(sc Scale) (Tab3Result, error) {
 	gaCfg.Generations = sc.GAGenerations
 	gaCfg.Population = sc.GAPopulation
 
+	ctx := context.Background()
 	var out Tab3Result
 	for _, tgt := range adt.Targets() {
-		labels := training.Phase1(tgt, opt)
-		ds := training.Phase2(tgt, labels, opt)
+		labels, err := training.Phase1(ctx, tgt, opt)
+		if err != nil {
+			return Tab3Result{}, fmt.Errorf("experiments: table 3 %v: %w", tgt.Kind, err)
+		}
+		ds, err := training.Phase2(ctx, tgt, labels, opt)
+		if err != nil {
+			return Tab3Result{}, fmt.Errorf("experiments: table 3 %v: %w", tgt.Kind, err)
+		}
 		if len(ds.Examples) < 10 {
 			return Tab3Result{}, fmt.Errorf("experiments: table 3: only %d examples for %v", len(ds.Examples), tgt.Kind)
 		}

@@ -39,6 +39,36 @@ func (c *Counter) Expose(w io.Writer, name, labels string) {
 	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.Value())
 }
 
+// FloatCounter is a monotonically increasing float64 counter for quantities
+// that accumulate fractionally, such as simulated machine cycles. It is
+// lock-free: Add retries a compare-and-swap on the raw bit pattern.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates v, which must be non-negative to keep the counter
+// monotone.
+func (c *FloatCounter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Expose writes the counter in text exposition format.
+func (c *FloatCounter) Expose(w io.Writer, name, labels string) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s%s %g\n", name, labels, c.Value())
+}
+
 // CounterVec is a family of counters sharing one metric name, keyed by a
 // rendered label list. Children are created on first use and never removed.
 type CounterVec struct {

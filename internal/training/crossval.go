@@ -1,8 +1,10 @@
 package training
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/ann"
 	"repro/internal/profile"
@@ -12,8 +14,10 @@ import (
 // dataset, returning the mean and standard deviation of the fold
 // accuracies. It answers the over-fitting question of Section 4.1 without
 // spending any extra simulation time: the folds reuse the dataset's
-// existing labelled examples.
-func CrossValidate(ds Dataset, cfg ann.Config, k int) (mean, std float64, err error) {
+// existing labelled examples. Folds train concurrently on a worker pool;
+// each fold's network is seeded identically, so the result is
+// deterministic.
+func CrossValidate(ctx context.Context, ds Dataset, cfg ann.Config, k int) (mean, std float64, err error) {
 	if k < 2 {
 		return 0, 0, fmt.Errorf("training: cross-validation needs k >= 2, got %d", k)
 	}
@@ -21,21 +25,46 @@ func CrossValidate(ds Dataset, cfg ann.Config, k int) (mean, std float64, err er
 	if n < k {
 		return 0, 0, fmt.Errorf("training: %d examples cannot fill %d folds", n, k)
 	}
-	accs := make([]float64, 0, k)
+	p := newPool(k)
+	defer p.close()
+	accs := make([]float64, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
 	for fold := 0; fold < k; fold++ {
-		var train, test []ann.Example
-		for i, e := range ds.Examples {
-			if i%k == fold {
-				test = append(test, e)
-			} else {
-				train = append(train, e)
+		fold := fold
+		wg.Add(1)
+		if serr := p.submit(ctx, func() {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
 			}
+			var train, test []ann.Example
+			for i, e := range ds.Examples {
+				if i%k == fold {
+					test = append(test, e)
+				} else {
+					train = append(train, e)
+				}
+			}
+			net := ann.New(profile.NumFeatures, len(ds.Candidates), cfg)
+			if _, terr := net.Train(train); terr != nil {
+				errs[fold] = fmt.Errorf("training: fold %d: %w", fold, terr)
+				return
+			}
+			accs[fold] = net.Accuracy(test)
+		}); serr != nil {
+			wg.Done()
+			break
 		}
-		net := ann.New(profile.NumFeatures, len(ds.Candidates), cfg)
-		if _, err := net.Train(train); err != nil {
-			return 0, 0, fmt.Errorf("training: fold %d: %w", fold, err)
+	}
+	wg.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		return 0, 0, cerr
+	}
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, e
 		}
-		accs = append(accs, net.Accuracy(test))
 	}
 	for _, a := range accs {
 		mean += a

@@ -1,0 +1,38 @@
+package training
+
+import (
+	"io"
+
+	"repro/internal/opstats"
+)
+
+// PipelineMetrics aggregates throughput counters for the training pipeline
+// so long runs are observable: how many synthetic applications Phase-I has
+// simulated, how many decisive labels it has found, how much simulated
+// machine time has been burned, and how far Phase-II and model fitting have
+// progressed. All fields are safe for concurrent use.
+type PipelineMetrics struct {
+	SeedsScanned    opstats.Counter      // Phase-I applications generated and simulated
+	LabelsFound     opstats.Counter      // decisive (seed, best) pairs recorded
+	CyclesSimulated opstats.FloatCounter // simulated machine cycles across all phases
+	Phase2Examples  opstats.Counter      // labelled feature vectors produced
+	Phase2Dropped   opstats.Counter      // Phase-II examples dropped (winner outside candidates)
+	ModelsTrained   opstats.Counter      // ANNs fitted
+	TargetsResumed  opstats.Counter      // targets skipped entirely via checkpoint resume
+}
+
+// Metrics is the package-wide pipeline instrumentation, incremented by
+// Phase1/Phase2/TrainArchs as they run.
+var Metrics PipelineMetrics
+
+// Expose writes every counter in the Prometheus text exposition format
+// under the brainy_train_* namespace.
+func (m *PipelineMetrics) Expose(w io.Writer) {
+	m.SeedsScanned.Expose(w, "brainy_train_seeds_scanned_total", "")
+	m.LabelsFound.Expose(w, "brainy_train_labels_found_total", "")
+	m.CyclesSimulated.Expose(w, "brainy_train_simulated_cycles_total", "")
+	m.Phase2Examples.Expose(w, "brainy_train_phase2_examples_total", "")
+	m.Phase2Dropped.Expose(w, "brainy_train_phase2_dropped_total", "")
+	m.ModelsTrained.Expose(w, "brainy_train_models_trained_total", "")
+	m.TargetsResumed.Expose(w, "brainy_train_targets_resumed_total", "")
+}

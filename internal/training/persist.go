@@ -3,11 +3,17 @@ package training
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
 
 	"repro/internal/adt"
 	"repro/internal/ann"
+	"repro/internal/profile"
 )
 
 // serializedModel is the on-disk form of one model.
@@ -19,31 +25,103 @@ type serializedModel struct {
 	Network    json.RawMessage `json:"network"`
 }
 
+// encodeModel flattens a model into its on-disk form.
+func encodeModel(m *Model) (serializedModel, error) {
+	var net bytes.Buffer
+	if err := m.Net.Save(&net); err != nil {
+		return serializedModel{}, fmt.Errorf("training: serializing %v/%s: %w", m.Target.Kind, m.Arch, err)
+	}
+	cands := make([]string, len(m.Candidates))
+	for i, c := range m.Candidates {
+		cands[i] = c.String()
+	}
+	return serializedModel{
+		Kind:       m.Target.Kind.String(),
+		OrderAware: m.Target.OrderAware,
+		Arch:       m.Arch,
+		Candidates: cands,
+		Network:    json.RawMessage(bytes.TrimSpace(net.Bytes())),
+	}, nil
+}
+
+// decodeModel validates and reconstructs a model from its on-disk form. It
+// is deliberately strict: a registry entry whose candidate list does not
+// match the network's output layer, or whose network does not consume the
+// library's feature vector, would not fail until the first Predict — and
+// then as an index panic inside the ANN, per request, in whatever process
+// loaded it.
+func decodeModel(sm serializedModel) (*Model, error) {
+	kind, err := adt.ParseKind(sm.Kind)
+	if err != nil {
+		return nil, err
+	}
+	if len(sm.Candidates) == 0 {
+		return nil, errors.New("empty candidate list")
+	}
+	cands := make([]adt.Kind, len(sm.Candidates))
+	for j, c := range sm.Candidates {
+		k, err := adt.ParseKind(c)
+		if err != nil {
+			return nil, fmt.Errorf("candidate %d: %w", j, err)
+		}
+		cands[j] = k
+	}
+	if cands[0] != kind {
+		return nil, fmt.Errorf("first candidate %v is not the original container %v", cands[0], kind)
+	}
+	net, err := ann.Load(bytes.NewReader(sm.Network))
+	if err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	if net.Out != len(cands) {
+		return nil, fmt.Errorf("network has %d outputs but %d candidates", net.Out, len(cands))
+	}
+	if net.In != profile.NumFeatures {
+		return nil, fmt.Errorf("network consumes %d features, library profiles have %d", net.In, profile.NumFeatures)
+	}
+	return &Model{
+		Target:     adt.ModelTarget{Kind: kind, OrderAware: sm.OrderAware},
+		Arch:       sm.Arch,
+		Candidates: cands,
+		Net:        net,
+	}, nil
+}
+
 // Save writes every model in the set as a JSON array, the "trained model
 // shipped with the library" artifact of the paper's install-time vision.
+// Models are emitted sorted by (Kind, OrderAware, Arch) and an empty set
+// serializes as [], so two identical training runs produce byte-identical,
+// diffable artifacts.
 func (s *ModelSet) Save(w io.Writer) error {
-	var out []serializedModel
-	for _, m := range s.models {
-		var net bytes.Buffer
-		if err := m.Net.Save(&net); err != nil {
-			return fmt.Errorf("training: serializing %v/%s: %w", m.Target.Kind, m.Arch, err)
+	keys := make([]Key, 0, len(s.models))
+	for k := range s.models {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
 		}
-		cands := make([]string, len(m.Candidates))
-		for i, c := range m.Candidates {
-			cands[i] = c.String()
+		if a.OrderAware != b.OrderAware {
+			return !a.OrderAware // order-oblivious first
 		}
-		out = append(out, serializedModel{
-			Kind:       m.Target.Kind.String(),
-			OrderAware: m.Target.OrderAware,
-			Arch:       m.Arch,
-			Candidates: cands,
-			Network:    json.RawMessage(bytes.TrimSpace(net.Bytes())),
-		})
+		return a.Arch < b.Arch
+	})
+	out := make([]serializedModel, 0, len(s.models))
+	for _, k := range keys {
+		sm, err := encodeModel(s.models[k])
+		if err != nil {
+			return err
+		}
+		out = append(out, sm)
 	}
 	return json.NewEncoder(w).Encode(out)
 }
 
-// LoadModelSet reads a model registry written by Save.
+// LoadModelSet reads a model registry written by Save. Every entry is
+// fully validated — kind names, candidate/output agreement, feature count,
+// network matrix shapes — so a truncated or hand-edited registry fails
+// here, at load time, rather than panicking at the first prediction.
 func LoadModelSet(r io.Reader) (*ModelSet, error) {
 	var in []serializedModel
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
@@ -51,28 +129,255 @@ func LoadModelSet(r io.Reader) (*ModelSet, error) {
 	}
 	set := NewModelSet()
 	for i, sm := range in {
-		kind, err := adt.ParseKind(sm.Kind)
+		m, err := decodeModel(sm)
 		if err != nil {
-			return nil, fmt.Errorf("training: model %d: %w", i, err)
+			return nil, fmt.Errorf("training: model %d (%s/%s): %w", i, sm.Kind, sm.Arch, err)
 		}
-		cands := make([]adt.Kind, len(sm.Candidates))
-		for j, c := range sm.Candidates {
-			k, err := adt.ParseKind(c)
-			if err != nil {
-				return nil, fmt.Errorf("training: model %d candidate %d: %w", i, j, err)
-			}
-			cands[j] = k
+		key := Key{Kind: m.Target.Kind, OrderAware: m.Target.OrderAware, Arch: m.Arch}
+		if _, dup := set.models[key]; dup {
+			return nil, fmt.Errorf("training: model %d (%s/%s): duplicate registry entry", i, sm.Kind, sm.Arch)
 		}
-		net, err := ann.Load(bytes.NewReader(sm.Network))
-		if err != nil {
-			return nil, fmt.Errorf("training: model %d network: %w", i, err)
-		}
-		set.Put(&Model{
-			Target:     adt.ModelTarget{Kind: kind, OrderAware: sm.OrderAware},
-			Arch:       sm.Arch,
-			Candidates: cands,
-			Net:        net,
-		})
+		set.Put(m)
 	}
 	return set, nil
+}
+
+// --- checkpointing ---
+//
+// A Checkpointer persists per-target pipeline stages under
+//
+//	<dir>/<arch>/meta.json                     training options fingerprint
+//	<dir>/<arch>/<kind>-<mode>.labels.json     Phase-I (seed, best) pairs
+//	<dir>/<arch>/<kind>-<mode>.dataset.json    Phase-II labelled features
+//	<dir>/<arch>/<kind>-<mode>.model.json      trained model (serializedModel)
+//
+// where <mode> is "ordered" or "oblivious". Files are written atomically
+// (temp file + rename), so a run killed mid-write never leaves a torn
+// checkpoint, and every artifact round-trips exactly: resuming from a
+// checkpoint yields the same registry bytes as an uninterrupted run.
+
+// Checkpointer stores and restores pipeline stages in a directory.
+type Checkpointer struct {
+	dir string
+}
+
+// NewCheckpointer creates (if needed) the checkpoint directory.
+func NewCheckpointer(dir string) (*Checkpointer, error) {
+	if dir == "" {
+		return nil, errors.New("training: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("training: checkpoint dir: %w", err)
+	}
+	return &Checkpointer{dir: dir}, nil
+}
+
+// Dir returns the checkpoint root.
+func (c *Checkpointer) Dir() string { return c.dir }
+
+func targetSlug(tgt adt.ModelTarget) string {
+	mode := "oblivious"
+	if tgt.OrderAware {
+		mode = "ordered"
+	}
+	return tgt.Kind.String() + "-" + mode
+}
+
+func (c *Checkpointer) path(arch string, tgt adt.ModelTarget, stage string) string {
+	return filepath.Join(c.dir, arch, targetSlug(tgt)+"."+stage+".json")
+}
+
+// writeJSON atomically writes v as JSON to path.
+func (c *Checkpointer) writeJSON(path string, v any) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("training: checkpoint: %w", err)
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("training: checkpoint %s: %w", path, err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("training: checkpoint %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("training: checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// readJSON loads path into v, reporting ok=false when the file does not
+// exist (the stage has not completed yet).
+func (c *Checkpointer) readJSON(path string, v any) (bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("training: checkpoint %s: %w", path, err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false, fmt.Errorf("training: corrupt checkpoint %s: %w", path, err)
+	}
+	return true, nil
+}
+
+// metaFingerprint is the canonical encoding of everything that affects a
+// training run's output. Worker count is deliberately excluded: it changes
+// wall-clock time, never results.
+func metaFingerprint(opt Options, annCfg ann.Config) ([]byte, error) {
+	opt.Workers = 0
+	return json.Marshal(struct {
+		Opt Options
+		ANN ann.Config
+	}{opt, annCfg})
+}
+
+// EnsureMeta records the run's options fingerprint for an architecture, or
+// — when a fingerprint is already present — verifies it matches, refusing
+// to resume a checkpoint produced under different training options.
+func (c *Checkpointer) EnsureMeta(opt Options, annCfg ann.Config) error {
+	want, err := metaFingerprint(opt, annCfg)
+	if err != nil {
+		return fmt.Errorf("training: checkpoint meta: %w", err)
+	}
+	path := filepath.Join(c.dir, opt.Arch.Name, "meta.json")
+	have, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("training: checkpoint meta: %w", err)
+		}
+		return os.WriteFile(path, append(want, '\n'), 0o644)
+	}
+	if err != nil {
+		return fmt.Errorf("training: checkpoint meta: %w", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(have), want) {
+		return fmt.Errorf("training: checkpoint %s was written with different training options; use a fresh checkpoint directory or drop -resume", c.dir)
+	}
+	return nil
+}
+
+// ckptLabel is the on-disk form of one Phase-I record.
+type ckptLabel struct {
+	Seed int64  `json:"seed"`
+	Best string `json:"best"`
+}
+
+// SaveLabels checkpoints a target's completed Phase-I output.
+func (c *Checkpointer) SaveLabels(arch string, tgt adt.ModelTarget, labels []SeedLabel) error {
+	out := make([]ckptLabel, len(labels))
+	for i, l := range labels {
+		out[i] = ckptLabel{Seed: l.Seed, Best: l.Best.String()}
+	}
+	return c.writeJSON(c.path(arch, tgt, "labels"), out)
+}
+
+// LoadLabels restores a target's Phase-I output, if checkpointed.
+func (c *Checkpointer) LoadLabels(arch string, tgt adt.ModelTarget) ([]SeedLabel, bool, error) {
+	var in []ckptLabel
+	ok, err := c.readJSON(c.path(arch, tgt, "labels"), &in)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	labels := make([]SeedLabel, len(in))
+	for i, l := range in {
+		kind, err := adt.ParseKind(l.Best)
+		if err != nil {
+			return nil, false, fmt.Errorf("training: corrupt checkpoint label %d: %w", i, err)
+		}
+		labels[i] = SeedLabel{Seed: l.Seed, Best: kind}
+	}
+	return labels, true, nil
+}
+
+// ckptDataset is the on-disk form of a Phase-II dataset.
+type ckptDataset struct {
+	Kind       string            `json:"kind"`
+	OrderAware bool              `json:"order_aware"`
+	Candidates []string          `json:"candidates"`
+	Dropped    int               `json:"dropped"`
+	Examples   []ckptExample     `json:"examples"`
+	Profiles   []profile.Profile `json:"profiles"`
+}
+
+type ckptExample struct {
+	X     []float64 `json:"x"`
+	Label int       `json:"label"`
+}
+
+// SaveDataset checkpoints a target's completed Phase-II dataset.
+func (c *Checkpointer) SaveDataset(arch string, ds Dataset) error {
+	out := ckptDataset{
+		Kind:       ds.Target.Kind.String(),
+		OrderAware: ds.Target.OrderAware,
+		Candidates: make([]string, len(ds.Candidates)),
+		Dropped:    ds.Dropped,
+		Examples:   make([]ckptExample, len(ds.Examples)),
+		Profiles:   ds.Profiles,
+	}
+	for i, k := range ds.Candidates {
+		out.Candidates[i] = k.String()
+	}
+	for i, e := range ds.Examples {
+		out.Examples[i] = ckptExample{X: e.X, Label: e.Label}
+	}
+	return c.writeJSON(c.path(arch, ds.Target, "dataset"), out)
+}
+
+// LoadDataset restores a target's Phase-II dataset, if checkpointed.
+func (c *Checkpointer) LoadDataset(arch string, tgt adt.ModelTarget) (Dataset, bool, error) {
+	var in ckptDataset
+	path := c.path(arch, tgt, "dataset")
+	ok, err := c.readJSON(path, &in)
+	if !ok || err != nil {
+		return Dataset{}, false, err
+	}
+	ds := Dataset{
+		Target:     tgt,
+		Candidates: make([]adt.Kind, len(in.Candidates)),
+		Profiles:   in.Profiles,
+		Dropped:    in.Dropped,
+	}
+	for i, c := range in.Candidates {
+		k, err := adt.ParseKind(c)
+		if err != nil {
+			return Dataset{}, false, fmt.Errorf("training: corrupt checkpoint %s: candidate %d: %w", path, i, err)
+		}
+		ds.Candidates[i] = k
+	}
+	ds.Examples = make([]ann.Example, len(in.Examples))
+	for i, e := range in.Examples {
+		if e.Label < 0 || e.Label >= len(ds.Candidates) {
+			return Dataset{}, false, fmt.Errorf("training: corrupt checkpoint %s: example %d label %d out of range", path, i, e.Label)
+		}
+		ds.Examples[i] = ann.Example{X: e.X, Label: e.Label}
+	}
+	return ds, true, nil
+}
+
+// SaveModel checkpoints a target's trained model, marking the target
+// finished: a subsequent resumed run skips it entirely.
+func (c *Checkpointer) SaveModel(m *Model) error {
+	sm, err := encodeModel(m)
+	if err != nil {
+		return err
+	}
+	return c.writeJSON(c.path(m.Arch, m.Target, "model"), sm)
+}
+
+// LoadModel restores a target's trained model, if checkpointed. The model
+// passes the same validation as registry entries.
+func (c *Checkpointer) LoadModel(arch string, tgt adt.ModelTarget) (*Model, bool, error) {
+	var sm serializedModel
+	path := c.path(arch, tgt, "model")
+	ok, err := c.readJSON(path, &sm)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	m, err := decodeModel(sm)
+	if err != nil {
+		return nil, false, fmt.Errorf("training: corrupt checkpoint %s: %w", path, err)
+	}
+	return m, true, nil
 }

@@ -1,0 +1,318 @@
+package training
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+// syntheticModel fits a tiny but fully valid model for (kind, arch) without
+// running any simulation: the examples are random feature vectors.
+func syntheticModel(t *testing.T, kind adt.Kind, orderAware bool, arch string) *Model {
+	t.Helper()
+	tgt := adt.ModelTarget{Kind: kind, OrderAware: orderAware}
+	ds := Dataset{Target: tgt, Candidates: adt.CandidatesWithOriginal(kind, orderAware)}
+	rng := rand.New(rand.NewSource(int64(kind)*31 + 7))
+	for i := 0; i < 12; i++ {
+		x := make([]float64, profile.NumFeatures)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		ds.Examples = append(ds.Examples, ann.Example{X: x, Label: i % len(ds.Candidates)})
+	}
+	cfg := ann.DefaultConfig()
+	cfg.Epochs = 5
+	cfg.Hidden = 4
+	m, err := TrainModel(ds, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func saveBytes(t *testing.T, set *ModelSet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSaveEmptySetIsEmptyArray(t *testing.T) {
+	got := string(saveBytes(t, NewModelSet()))
+	if strings.TrimSpace(got) != "[]" {
+		t.Fatalf("empty set serialized as %q, want []", got)
+	}
+}
+
+// TestSaveIsDeterministic registers the same models in opposite orders and
+// requires byte-identical artifacts, sorted by (Kind, OrderAware, Arch).
+func TestSaveIsDeterministic(t *testing.T) {
+	models := []*Model{
+		syntheticModel(t, adt.KindSet, false, "Core2"),
+		syntheticModel(t, adt.KindVector, true, "Atom"),
+		syntheticModel(t, adt.KindVector, false, "Core2"),
+		syntheticModel(t, adt.KindVector, true, "Core2"),
+	}
+	a, b := NewModelSet(), NewModelSet()
+	for _, m := range models {
+		a.Put(m)
+	}
+	for i := len(models) - 1; i >= 0; i-- {
+		b.Put(models[i])
+	}
+	ba, bb := saveBytes(t, a), saveBytes(t, b)
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("registration order changed the artifact bytes")
+	}
+	var entries []struct {
+		Kind       string `json:"kind"`
+		OrderAware bool   `json:"order_aware"`
+		Arch       string `json:"arch"`
+	}
+	if err := json.Unmarshal(ba, &entries); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"vector/false/Core2", "vector/true/Atom", "vector/true/Core2", "set/false/Core2"}
+	if len(entries) != len(want) {
+		t.Fatalf("%d entries, want %d", len(entries), len(want))
+	}
+	for i, e := range entries {
+		got := e.Kind + "/" + map[bool]string{false: "false", true: "true"}[e.OrderAware] + "/" + e.Arch
+		if got != want[i] {
+			t.Fatalf("entry %d is %s, want %s", i, got, want[i])
+		}
+	}
+}
+
+func TestLoadModelSetRoundTrip(t *testing.T) {
+	set := NewModelSet()
+	set.Put(syntheticModel(t, adt.KindVector, false, "Core2"))
+	set.Put(syntheticModel(t, adt.KindList, true, "Atom"))
+	data := saveBytes(t, set)
+	loaded, err := LoadModelSet(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d models, want 2", loaded.Len())
+	}
+	// A loaded registry must re-save byte-identically: resume and artifact
+	// comparison both depend on it.
+	if !bytes.Equal(saveBytes(t, loaded), data) {
+		t.Fatal("save -> load -> save is not byte-identical")
+	}
+}
+
+// TestLoadModelSetRejectsCorrupt feeds the registry loader the corruptions
+// that used to crash brainy-serve per request instead of at startup.
+func TestLoadModelSetRejectsCorrupt(t *testing.T) {
+	set := NewModelSet()
+	set.Put(syntheticModel(t, adt.KindVector, false, "Core2"))
+	valid := saveBytes(t, set)
+
+	mutate := func(f func([]map[string]any) []map[string]any) []byte {
+		var entries []map[string]any
+		if err := json.Unmarshal(valid, &entries); err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.Marshal(f(entries))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated stream", valid[:len(valid)/2]},
+		{"not an array", []byte(`{"kind":"vector"}`)},
+		{"unknown kind", mutate(func(e []map[string]any) []map[string]any {
+			e[0]["kind"] = "bogus"
+			return e
+		})},
+		{"unknown candidate", mutate(func(e []map[string]any) []map[string]any {
+			e[0]["candidates"].([]any)[1] = "bogus"
+			return e
+		})},
+		{"empty candidates", mutate(func(e []map[string]any) []map[string]any {
+			e[0]["candidates"] = []any{}
+			return e
+		})},
+		{"candidate/output mismatch", mutate(func(e []map[string]any) []map[string]any {
+			c := e[0]["candidates"].([]any)
+			e[0]["candidates"] = c[:len(c)-1]
+			return e
+		})},
+		{"original not first", mutate(func(e []map[string]any) []map[string]any {
+			c := e[0]["candidates"].([]any)
+			c[0], c[1] = c[1], c[0]
+			return e
+		})},
+		{"corrupt embedded network", mutate(func(e []map[string]any) []map[string]any {
+			e[0]["network"] = map[string]any{"In": 1, "Hidden": 1, "Out": 1}
+			return e
+		})},
+		{"duplicate entry", mutate(func(e []map[string]any) []map[string]any {
+			return append(e, e[0])
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadModelSet(bytes.NewReader(tc.data)); err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+// TestLoadModelSetRejectsFeatureMismatch builds an otherwise-valid entry
+// whose network consumes the wrong number of features.
+func TestLoadModelSetRejectsFeatureMismatch(t *testing.T) {
+	tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
+	cands := adt.CandidatesWithOriginal(tgt.Kind, tgt.OrderAware)
+	cfg := ann.DefaultConfig()
+	cfg.Epochs = 5
+	cfg.Hidden = 4
+	net := ann.New(3, len(cands), cfg) // 3 features, not profile.NumFeatures
+	exs := make([]ann.Example, 8)
+	rng := rand.New(rand.NewSource(5))
+	for i := range exs {
+		exs[i] = ann.Example{X: []float64{rng.Float64(), rng.Float64(), rng.Float64()}, Label: i % len(cands)}
+	}
+	if _, err := net.Train(exs); err != nil {
+		t.Fatal(err)
+	}
+	set := NewModelSet()
+	set.Put(&Model{Target: tgt, Arch: "Core2", Candidates: cands, Net: net})
+	if _, err := LoadModelSet(bytes.NewReader(saveBytes(t, set))); err == nil {
+		t.Fatal("feature-count mismatch accepted")
+	}
+}
+
+func TestCheckpointLabelsRoundTrip(t *testing.T) {
+	cp, err := NewCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := adt.ModelTarget{Kind: adt.KindList, OrderAware: true}
+	if _, ok, err := cp.LoadLabels("Core2", tgt); ok || err != nil {
+		t.Fatalf("missing labels reported ok=%v err=%v", ok, err)
+	}
+	labels := []SeedLabel{{Seed: 3, Best: adt.KindDeque}, {Seed: 9, Best: adt.KindList}}
+	if err := cp.SaveLabels("Core2", tgt, labels); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cp.LoadLabels("Core2", tgt)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if len(got) != len(labels) {
+		t.Fatalf("got %d labels, want %d", len(got), len(labels))
+	}
+	for i := range got {
+		if got[i] != labels[i] {
+			t.Fatalf("label %d: %+v != %+v", i, got[i], labels[i])
+		}
+	}
+	// The same checkpointer keeps architectures separate.
+	if _, ok, _ := cp.LoadLabels("Atom", tgt); ok {
+		t.Fatal("labels leaked across architectures")
+	}
+}
+
+func TestCheckpointDatasetRoundTrip(t *testing.T) {
+	cp, err := NewCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
+	ds := Dataset{Target: tgt, Candidates: adt.CandidatesWithOriginal(tgt.Kind, tgt.OrderAware), Dropped: 2}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5; i++ {
+		x := make([]float64, profile.NumFeatures)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		ds.Examples = append(ds.Examples, ann.Example{X: x, Label: i % len(ds.Candidates)})
+		ds.Profiles = append(ds.Profiles, profile.Profile{Kind: tgt.Kind, Cycles: float64(i) * 1.5})
+	}
+	if err := cp.SaveDataset("Core2", ds); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cp.LoadDataset("Core2", tgt)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got.Dropped != ds.Dropped || len(got.Examples) != len(ds.Examples) || len(got.Profiles) != len(ds.Profiles) {
+		t.Fatalf("dataset mismatch: %+v", got)
+	}
+	for i := range got.Examples {
+		if got.Examples[i].Label != ds.Examples[i].Label {
+			t.Fatalf("example %d label mismatch", i)
+		}
+		for j := range got.Examples[i].X {
+			if got.Examples[i].X[j] != ds.Examples[i].X[j] {
+				t.Fatalf("example %d feature %d did not round-trip exactly", i, j)
+			}
+		}
+	}
+}
+
+func TestCheckpointModelRoundTrip(t *testing.T) {
+	cp, err := NewCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := syntheticModel(t, adt.KindSet, false, "Core2")
+	if _, ok, err := cp.LoadModel("Core2", m.Target); ok || err != nil {
+		t.Fatalf("missing model reported ok=%v err=%v", ok, err)
+	}
+	if err := cp.SaveModel(m); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cp.LoadModel("Core2", m.Target)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// The restored model must serialize into the registry byte-identically.
+	a, b := NewModelSet(), NewModelSet()
+	a.Put(m)
+	b.Put(got)
+	if !bytes.Equal(saveBytes(t, a), saveBytes(t, b)) {
+		t.Fatal("checkpointed model does not re-serialize identically")
+	}
+}
+
+func TestEnsureMetaRejectsOptionDrift(t *testing.T) {
+	cp, err := NewCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(machine.Core2())
+	annCfg := ann.DefaultConfig()
+	if err := cp.EnsureMeta(opt, annCfg); err != nil {
+		t.Fatal(err)
+	}
+	// Same options, different worker count: still compatible.
+	same := opt
+	same.Workers = 12
+	if err := cp.EnsureMeta(same, annCfg); err != nil {
+		t.Fatalf("worker count invalidated the checkpoint: %v", err)
+	}
+	drifted := opt
+	drifted.PerTargetApps++
+	if err := cp.EnsureMeta(drifted, annCfg); err == nil {
+		t.Fatal("changed training options accepted against existing checkpoint")
+	}
+}

@@ -1,0 +1,460 @@
+// Streaming training pipeline. Phase-I, Phase-II, validation, and model
+// fitting all execute as jobs on one shared, persistent worker pool, so
+// per-target and per-architecture work interleaves instead of running in
+// sequential outer loops. Phase-I streams: the dispatcher stops handing out
+// new seeds as soon as the contiguous completed prefix holds
+// Options.PerTargetApps decisive labels, while collection stays in strict
+// seed order so the output is bit-identical to an exhaustive sequential
+// scan. Everything is cancellable via context and, when a Checkpointer is
+// configured, resumable from the last completed per-target stage.
+
+package training
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+	"repro/internal/appgen"
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+// pool is a persistent worker pool. Jobs are plain closures; submit blocks
+// until a worker accepts the job, which bounds the amount of in-flight
+// work without per-batch barriers.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &pool{jobs: make(chan func())}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// submit hands f to a worker, or fails with the context's error if ctx is
+// cancelled first. Accepted jobs always run.
+func (p *pool) submit(ctx context.Context, f func()) error {
+	select {
+	case p.jobs <- f:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// close stops the workers after all accepted jobs have finished.
+func (p *pool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// phase1 is the streaming core of Algorithm 1 for one target on a shared
+// pool. It returns the labels, the number of seeds actually simulated, and
+// the context's error if the run was cancelled.
+//
+// Determinism: seeds are dispatched in ascending order and folded into the
+// label list only when they become part of the contiguous completed
+// prefix, so the result is exactly "the first PerTargetApps decisive seeds
+// in [SeedBase, SeedBase+MaxSeeds), in seed order" — the same set the
+// batch-synchronous implementation produced. Early stopping only affects
+// how many seeds past the saturation point are simulated.
+func phase1(ctx context.Context, target adt.ModelTarget, opt Options, p *pool) ([]SeedLabel, int, error) {
+	type outcome struct {
+		idx      int
+		best     adt.Kind
+		decisive bool
+		ran      bool
+		cycles   float64
+	}
+	resCh := make(chan outcome, 64)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	defer halt()
+
+	var dispatched atomic.Int64
+	dispatchDone := make(chan struct{})
+	go func() {
+		defer close(dispatchDone)
+		for i := 0; i < opt.MaxSeeds; i++ {
+			idx := i
+			seed := opt.SeedBase + int64(i)
+			job := func() {
+				o := outcome{idx: idx}
+				// A job accepted before saturation/cancellation may start
+				// after it; skip the simulation but still report in, so the
+				// collector's dispatched/received accounting closes.
+				if ctx.Err() == nil {
+					select {
+					case <-stop:
+					default:
+						app := appgen.Generate(opt.AppCfg, target, seed)
+						results := app.RunAll(opt.AppCfg, opt.Arch)
+						best, decisive := appgen.Best(results, opt.Margin)
+						o.best = results[best].Kind
+						o.decisive = decisive
+						o.ran = true
+						for _, r := range results {
+							o.cycles += r.Cycles
+						}
+					}
+				}
+				resCh <- o
+			}
+			select {
+			case p.jobs <- job:
+				dispatched.Add(1)
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		labels   []SeedLabel
+		pending  = map[int]outcome{}
+		next     int
+		received int64
+		scanned  int
+		done     = dispatchDone
+	)
+	for {
+		select {
+		case o := <-resCh:
+			received++
+			if o.ran {
+				scanned++
+				Metrics.SeedsScanned.Inc()
+				Metrics.CyclesSimulated.Add(o.cycles)
+			}
+			pending[o.idx] = o
+			// Fold the contiguous completed prefix, in seed order.
+			for {
+				q, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if q.ran && q.decisive && len(labels) < opt.PerTargetApps {
+					labels = append(labels, SeedLabel{Seed: opt.SeedBase + int64(next), Best: q.best})
+					Metrics.LabelsFound.Inc()
+					if len(labels) == opt.PerTargetApps {
+						halt() // saturated: stop dispatching, drain in-flight
+					}
+				}
+				next++
+			}
+		case <-done:
+			done = nil // dispatched count is now final
+		}
+		if done == nil && received == dispatched.Load() {
+			break
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, scanned, err
+	}
+	return labels, scanned, nil
+}
+
+// phase2 is the shared-pool core of Algorithm 2.
+func phase2(ctx context.Context, target adt.ModelTarget, labels []SeedLabel, opt Options, p *pool) (Dataset, error) {
+	ds := Dataset{
+		Target:     target,
+		Candidates: adt.CandidatesWithOriginal(target.Kind, target.OrderAware),
+	}
+	type pair struct {
+		prof  profile.Profile
+		label int
+	}
+	n := len(labels)
+	results := make([]pair, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		err := p.submit(ctx, func() {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			lab := labels[i]
+			app := appgen.Generate(opt.AppCfg, target, lab.Seed)
+			m := machine.New(opt.Arch)
+			res := app.Run(opt.AppCfg, target.Kind, m)
+			Metrics.CyclesSimulated.Add(res.Cycles)
+			results[i] = pair{prof: res.Profile, label: ds.CandidateIndex(lab.Best)}
+		})
+		if err != nil {
+			wg.Done() // the rejected job never ran
+			break
+		}
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Dataset{}, err
+	}
+	for _, r := range results {
+		if r.label < 0 {
+			// Phase-I recorded a winner that is not in this target's
+			// candidate space — a corrupt label file or a candidate-set
+			// drift between phases. Count it; silence would shrink the
+			// dataset invisibly.
+			ds.Dropped++
+			Metrics.Phase2Dropped.Inc()
+			continue
+		}
+		ds.Examples = append(ds.Examples, ann.Example{X: r.prof.Vector(), Label: r.label})
+		ds.Profiles = append(ds.Profiles, r.prof)
+	}
+	Metrics.Phase2Examples.Add(uint64(len(ds.Examples)))
+	if n > 0 && ds.Dropped == n {
+		return Dataset{}, fmt.Errorf("training: phase2 for %v dropped all %d examples (winners outside the candidate space)", target.Kind, n)
+	}
+	return ds, nil
+}
+
+// validate is the shared-pool core of the Figure 9 protocol.
+func validate(ctx context.Context, m *Model, opt Options, n int, seedBase int64, p *pool) (float64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	var correct atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		seed := seedBase + int64(i)
+		wg.Add(1)
+		err := p.submit(ctx, func() {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			app := appgen.Generate(opt.AppCfg, m.Target, seed)
+			oracle := Oracle(&app, opt.AppCfg, opt.Arch)
+			mach := machine.New(opt.Arch)
+			run := app.Run(opt.AppCfg, m.Target.Kind, mach)
+			if m.Predict(&run.Profile) == oracle {
+				correct.Add(1)
+			}
+		})
+		if err != nil {
+			wg.Done()
+			break
+		}
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return float64(correct.Load()) / float64(n), nil
+}
+
+// PipelineConfig tunes a TrainArchs run.
+type PipelineConfig struct {
+	// Workers sizes the shared pool; 0 means GOMAXPROCS.
+	Workers int
+	// Checkpoint, when non-nil, persists each target's Phase-I labels,
+	// Phase-II dataset, and trained model as they complete, and resumes
+	// finished stages on the next run.
+	Checkpoint *Checkpointer
+	// OnTarget, when non-nil, is invoked as each target's model completes
+	// (including targets restored from a checkpoint). Calls are serialized.
+	OnTarget func(TargetResult)
+}
+
+// TargetResult reports one completed (target, architecture) unit.
+type TargetResult struct {
+	Model         *Model
+	Arch          string
+	SeedsScanned  int     // Phase-I apps actually simulated (0 when resumed)
+	Labels        int     // decisive labels recorded
+	Examples      int     // Phase-II examples produced
+	Dropped       int     // Phase-II examples dropped (winner outside candidates)
+	TrainAccuracy float64 // model accuracy on its own training set (0 when fully resumed)
+	Resumed       bool    // at least one stage came from a checkpoint
+	Elapsed       time.Duration
+}
+
+// TrainArchs trains every (target, architecture) pair on one shared worker
+// pool, interleaving Phase-I seed simulation, Phase-II instrumentation, and
+// ANN fitting across all pairs. The first failure cancels the rest. With a
+// cancelled context it returns the context's error; completed per-target
+// stages are already checkpointed, so a subsequent run with the same
+// Checkpointer resumes where this one stopped.
+func TrainArchs(ctx context.Context, opts []Options, annCfg ann.Config, targets []adt.ModelTarget, cfg PipelineConfig) (*ModelSet, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if cfg.Checkpoint != nil {
+		for _, opt := range opts {
+			if err := cfg.Checkpoint.EnsureMeta(opt, annCfg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	p := newPool(cfg.Workers)
+	defer p.close()
+
+	set := NewModelSet()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for _, opt := range opts {
+		for _, tgt := range targets {
+			opt, tgt := opt, tgt
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := trainTarget(ctx, tgt, opt, annCfg, p, cfg.Checkpoint)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+							firstErr = err
+						} else {
+							firstErr = fmt.Errorf("training %v/%s: %w", tgt.Kind, opt.Arch.Name, err)
+						}
+						cancel()
+					}
+					return
+				}
+				set.Put(res.Model)
+				if cfg.OnTarget != nil {
+					cfg.OnTarget(res)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return set, nil
+}
+
+// trainTarget runs (or resumes) the full per-target pipeline: Phase-I
+// labels, Phase-II dataset, ANN fit — checkpointing each stage as it lands.
+func trainTarget(ctx context.Context, tgt adt.ModelTarget, opt Options, annCfg ann.Config, p *pool, cp *Checkpointer) (TargetResult, error) {
+	start := time.Now()
+	res := TargetResult{Arch: opt.Arch.Name}
+
+	if cp != nil {
+		m, ok, err := cp.LoadModel(opt.Arch.Name, tgt)
+		if err != nil {
+			return res, err
+		}
+		if ok {
+			Metrics.TargetsResumed.Inc()
+			res.Model = m
+			res.Resumed = true
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+
+	var (
+		labels     []SeedLabel
+		haveLabels bool
+		err        error
+	)
+	if cp != nil {
+		labels, haveLabels, err = cp.LoadLabels(opt.Arch.Name, tgt)
+		if err != nil {
+			return res, err
+		}
+		res.Resumed = res.Resumed || haveLabels
+	}
+	if !haveLabels {
+		labels, res.SeedsScanned, err = phase1(ctx, tgt, opt, p)
+		if err != nil {
+			return res, err
+		}
+		if cp != nil {
+			if err := cp.SaveLabels(opt.Arch.Name, tgt, labels); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.Labels = len(labels)
+
+	var (
+		ds     Dataset
+		haveDS bool
+	)
+	if cp != nil {
+		ds, haveDS, err = cp.LoadDataset(opt.Arch.Name, tgt)
+		if err != nil {
+			return res, err
+		}
+		res.Resumed = res.Resumed || haveDS
+	}
+	if !haveDS {
+		ds, err = phase2(ctx, tgt, labels, opt, p)
+		if err != nil {
+			return res, err
+		}
+		if cp != nil {
+			if err := cp.SaveDataset(opt.Arch.Name, ds); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.Examples = len(ds.Examples)
+	res.Dropped = ds.Dropped
+
+	// Fit the ANN as one unit of pool work, so model fitting competes with
+	// simulation for the same CPU budget instead of oversubscribing.
+	var (
+		m    *Model
+		terr error
+		done = make(chan struct{})
+	)
+	if err := p.submit(ctx, func() {
+		defer close(done)
+		if ctx.Err() != nil {
+			terr = ctx.Err()
+			return
+		}
+		m, terr = TrainModel(ds, opt.Arch.Name, annCfg)
+	}); err != nil {
+		return res, err
+	}
+	<-done
+	if terr != nil {
+		return res, terr
+	}
+	Metrics.ModelsTrained.Inc()
+	if cp != nil {
+		if err := cp.SaveModel(m); err != nil {
+			return res, err
+		}
+	}
+	res.Model = m
+	res.TrainAccuracy = m.Net.Accuracy(ds.Examples)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

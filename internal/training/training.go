@@ -7,12 +7,16 @@
 // under instrumentation, collects the software and hardware features, and
 // labels the feature vector with the Phase-I winner. One ANN is trained per
 // (original container, microarchitecture).
+//
+// All entry points take a context and run as a streaming pipeline on a
+// persistent worker pool; see pipeline.go. TrainArchs additionally supports
+// checkpoint/resume via a Checkpointer (persist.go).
 package training
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/adt"
 	"repro/internal/ann"
@@ -58,67 +62,20 @@ type SeedLabel struct {
 	Best adt.Kind
 }
 
-// forEachSeed runs fn(seed) over [base, base+n) on a worker pool and calls
-// collect(i, result) in deterministic seed order.
-func forEachSeed[T any](base int64, n, workers int, fn func(seed int64) T, collect func(idx int, v T)) {
-	type job struct {
-		idx  int
-		seed int64
-	}
-	jobs := make(chan job)
-	results := make([]T, n)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				results[j.idx] = fn(j.seed)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- job{i, base + int64(i)}
-	}
-	close(jobs)
-	wg.Wait()
-	for i := 0; i < n; i++ {
-		collect(i, results[i])
-	}
-}
-
 // Phase1 implements Algorithm 1 for one model target. It returns up to
 // opt.PerTargetApps (seed, best) pairs, scanning at most opt.MaxSeeds
 // seeds. Execution-time measurement is the simulated cycle count.
-func Phase1(target adt.ModelTarget, opt Options) []SeedLabel {
-	type outcome struct {
-		best     adt.Kind
-		decisive bool
-	}
-	var labels []SeedLabel
-	batch := opt.workers() * 8
-	if batch > opt.MaxSeeds {
-		batch = opt.MaxSeeds
-	}
-	for start := 0; start < opt.MaxSeeds && len(labels) < opt.PerTargetApps; start += batch {
-		n := batch
-		if start+n > opt.MaxSeeds {
-			n = opt.MaxSeeds - start
-		}
-		forEachSeed(opt.SeedBase+int64(start), n, opt.workers(),
-			func(seed int64) outcome {
-				app := appgen.Generate(opt.AppCfg, target, seed)
-				results := app.RunAll(opt.AppCfg, opt.Arch)
-				best, decisive := appgen.Best(results, opt.Margin)
-				return outcome{best: results[best].Kind, decisive: decisive}
-			},
-			func(i int, o outcome) {
-				if o.decisive && len(labels) < opt.PerTargetApps {
-					labels = append(labels, SeedLabel{Seed: opt.SeedBase + int64(start+i), Best: o.best})
-				}
-			})
-	}
-	return labels
+//
+// Seeds are simulated on a worker pool, but labels are selected in strict
+// seed order and dispatch stops as soon as enough decisive labels exist, so
+// the result is deterministic for a fixed Options and identical to an
+// exhaustive sequential scan. Cancel ctx to abandon the scan; the context's
+// error is returned.
+func Phase1(ctx context.Context, target adt.ModelTarget, opt Options) ([]SeedLabel, error) {
+	p := newPool(opt.workers())
+	defer p.close()
+	labels, _, err := phase1(ctx, target, opt, p)
+	return labels, err
 }
 
 // Dataset is the Phase-II product for one target: feature vectors from the
@@ -128,6 +85,7 @@ type Dataset struct {
 	Candidates []adt.Kind // label index space; original first
 	Examples   []ann.Example
 	Profiles   []profile.Profile
+	Dropped    int // labels discarded because the winner was outside Candidates
 }
 
 // CandidateIndex returns the label index of kind, or -1.
@@ -142,46 +100,13 @@ func (d *Dataset) CandidateIndex(kind adt.Kind) int {
 
 // Phase2 implements Algorithm 2: regenerate each labelled application from
 // its seed, execute the original container under instrumentation, and emit
-// the (features, best) training pair.
-func Phase2(target adt.ModelTarget, labels []SeedLabel, opt Options) Dataset {
-	ds := Dataset{
-		Target:     target,
-		Candidates: adt.CandidatesWithOriginal(target.Kind, target.OrderAware),
-	}
-	type pair struct {
-		prof  profile.Profile
-		label int
-	}
-	n := len(labels)
-	results := make([]pair, n)
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < opt.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				lab := labels[i]
-				app := appgen.Generate(opt.AppCfg, target, lab.Seed)
-				m := machine.New(opt.Arch)
-				res := app.Run(opt.AppCfg, target.Kind, m)
-				results[i] = pair{prof: res.Profile, label: ds.CandidateIndex(lab.Best)}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, p := range results {
-		if p.label < 0 {
-			continue // defensive: label outside candidate space
-		}
-		ds.Examples = append(ds.Examples, ann.Example{X: p.prof.Vector(), Label: p.label})
-		ds.Profiles = append(ds.Profiles, p.prof)
-	}
-	return ds
+// the (features, best) training pair. Labels whose winner is outside the
+// candidate space are counted in Dataset.Dropped; if every label is
+// dropped, Phase2 returns an error.
+func Phase2(ctx context.Context, target adt.ModelTarget, labels []SeedLabel, opt Options) (Dataset, error) {
+	p := newPool(opt.workers())
+	defer p.close()
+	return phase2(ctx, target, labels, opt, p)
 }
 
 // Model is one trained predictor for (target container, architecture).
@@ -240,19 +165,11 @@ func (s *ModelSet) Get(kind adt.Kind, orderAware bool, arch string) (*Model, boo
 func (s *ModelSet) Len() int { return len(s.models) }
 
 // TrainAll runs Phase-I, Phase-II, and model fitting for every target on
-// the options' architecture, returning the populated registry.
-func TrainAll(opt Options, annCfg ann.Config, targets []adt.ModelTarget) (*ModelSet, error) {
-	set := NewModelSet()
-	for _, tgt := range targets {
-		labels := Phase1(tgt, opt)
-		ds := Phase2(tgt, labels, opt)
-		m, err := TrainModel(ds, opt.Arch.Name, annCfg)
-		if err != nil {
-			return nil, err
-		}
-		set.Put(m)
-	}
-	return set, nil
+// the options' architecture, returning the populated registry. It is the
+// single-architecture form of TrainArchs; the targets share one worker
+// pool and progress concurrently.
+func TrainAll(ctx context.Context, opt Options, annCfg ann.Config, targets []adt.ModelTarget) (*ModelSet, error) {
+	return TrainArchs(ctx, []Options{opt}, annCfg, targets, PipelineConfig{Workers: opt.Workers})
 }
 
 // Oracle runs every candidate of the app on a fresh machine and returns the
@@ -266,25 +183,8 @@ func Oracle(app *appgen.App, cfg appgen.Config, arch machine.Config) adt.Kind {
 // Validate implements the Figure 9 protocol: generate n fresh applications
 // (seeds disjoint from training) for the model's target, label each with
 // the oracle, and return the fraction the model predicts correctly.
-func Validate(m *Model, opt Options, n int, seedBase int64) float64 {
-	if n <= 0 {
-		return 0
-	}
-	type res struct{ correct bool }
-	correct := 0
-	forEachSeed(seedBase, n, opt.workers(),
-		func(seed int64) res {
-			app := appgen.Generate(opt.AppCfg, m.Target, seed)
-			oracle := Oracle(&app, opt.AppCfg, opt.Arch)
-			mach := machine.New(opt.Arch)
-			run := app.Run(opt.AppCfg, m.Target.Kind, mach)
-			pred := m.Predict(&run.Profile)
-			return res{correct: pred == oracle}
-		},
-		func(_ int, r res) {
-			if r.correct {
-				correct++
-			}
-		})
-	return float64(correct) / float64(n)
+func Validate(ctx context.Context, m *Model, opt Options, n int, seedBase int64) (float64, error) {
+	p := newPool(opt.workers())
+	defer p.close()
+	return validate(ctx, m, opt, n, seedBase, p)
 }

@@ -1,6 +1,7 @@
 package training
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/adt"
@@ -30,7 +31,10 @@ func tinyANN() ann.Config {
 func TestPhase1ProducesDecisiveLabels(t *testing.T) {
 	opt := tinyOptions(machine.Core2())
 	tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
-	labels := Phase1(tgt, opt)
+	labels, err := Phase1(context.Background(), tgt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(labels) == 0 {
 		t.Fatal("no labels")
 	}
@@ -59,8 +63,14 @@ func TestPhase1Deterministic(t *testing.T) {
 	opt := tinyOptions(machine.Core2())
 	opt.PerTargetApps = 30
 	tgt := adt.ModelTarget{Kind: adt.KindList, OrderAware: true}
-	a := Phase1(tgt, opt)
-	b := Phase1(tgt, opt)
+	a, err := Phase1(context.Background(), tgt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Phase1(context.Background(), tgt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a) != len(b) {
 		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
 	}
@@ -75,8 +85,14 @@ func TestPhase2BuildsLabeledFeatures(t *testing.T) {
 	opt := tinyOptions(machine.Core2())
 	opt.PerTargetApps = 40
 	tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
-	labels := Phase1(tgt, opt)
-	ds := Phase2(tgt, labels, opt)
+	labels, err := Phase1(context.Background(), tgt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Phase2(context.Background(), tgt, labels, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ds.Examples) != len(labels) {
 		t.Fatalf("examples %d != labels %d", len(ds.Examples), len(labels))
 	}
@@ -102,13 +118,22 @@ func TestTrainedModelBeatsChance(t *testing.T) {
 	opt.PerTargetApps = 150
 	opt.MaxSeeds = 1200
 	tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
-	labels := Phase1(tgt, opt)
-	ds := Phase2(tgt, labels, opt)
+	labels, err := Phase1(context.Background(), tgt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Phase2(context.Background(), tgt, labels, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m, err := TrainModel(ds, opt.Arch.Name, tinyANN())
 	if err != nil {
 		t.Fatal(err)
 	}
-	acc := Validate(m, opt, 60, 700001)
+	acc, err := Validate(context.Background(), m, opt, 60, 700001)
+	if err != nil {
+		t.Fatal(err)
+	}
 	chance := 1.0 / float64(len(ds.Candidates))
 	if acc < chance+0.15 {
 		t.Fatalf("validation accuracy %.2f barely above chance %.2f", acc, chance)
@@ -182,7 +207,7 @@ func TestTrainAllCoversTargets(t *testing.T) {
 		{Kind: adt.KindVector, OrderAware: false},
 		{Kind: adt.KindSet, OrderAware: false},
 	}
-	set, err := TrainAll(opt, tinyANN(), targets)
+	set, err := TrainAll(context.Background(), opt, tinyANN(), targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,9 +226,15 @@ func TestCrossValidate(t *testing.T) {
 	opt.PerTargetApps = 100
 	opt.MaxSeeds = 900
 	tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
-	labels := Phase1(tgt, opt)
-	ds := Phase2(tgt, labels, opt)
-	mean, std, err := CrossValidate(ds, tinyANN(), 4)
+	labels, err := Phase1(context.Background(), tgt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Phase2(context.Background(), tgt, labels, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, std, err := CrossValidate(context.Background(), ds, tinyANN(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,10 +249,10 @@ func TestCrossValidate(t *testing.T) {
 
 func TestCrossValidateValidation(t *testing.T) {
 	ds := Dataset{Candidates: []adt.Kind{adt.KindVector, adt.KindList}}
-	if _, _, err := CrossValidate(ds, tinyANN(), 1); err == nil {
+	if _, _, err := CrossValidate(context.Background(), ds, tinyANN(), 1); err == nil {
 		t.Fatal("k=1 accepted")
 	}
-	if _, _, err := CrossValidate(ds, tinyANN(), 3); err == nil {
+	if _, _, err := CrossValidate(context.Background(), ds, tinyANN(), 3); err == nil {
 		t.Fatal("empty dataset accepted")
 	}
 }
