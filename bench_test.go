@@ -325,3 +325,34 @@ func BenchmarkWorkloadChordMedium(b *testing.B) {
 		chord.Run(adt.KindHashMap, in, machine.Core2())
 	}
 }
+
+// BenchmarkPhase1WallClock measures end-to-end Phase-I labeling throughput:
+// generate apps, run every candidate on a fresh simulated machine, select
+// decisive winners — the loop that dominates training wall-clock and that
+// the simulator fast path (internal/machine) exists to accelerate. The
+// seeds/s metric is the number of candidate-sweep app executions per second.
+func BenchmarkPhase1WallClock(b *testing.B) {
+	target := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
+	opt := training.DefaultOptions(machine.Core2())
+	opt.AppCfg.TotalInterfCalls = 200
+	opt.AppCfg.MaxPrepopulate = 800
+	opt.AppCfg.MaxIterCount = 800
+	opt.PerTargetApps = 40
+	opt.MaxSeeds = 400
+	opt.Workers = 1 // single worker: measures per-event cost, not parallelism
+	before := training.Metrics.SeedsScanned.Value()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		labels, err := training.Phase1(context.Background(), target, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(labels) == 0 {
+			b.Fatal("phase-1 produced no labels")
+		}
+	}
+	scanned := training.Metrics.SeedsScanned.Value() - before
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(scanned)/s, "seeds/s")
+	}
+}

@@ -13,6 +13,7 @@
 //
 //	brainy-train [-arch core2|atom|both] [-apps N] [-calls N] [-o models.json]
 //	             [-workers N] [-checkpoint DIR] [-resume]
+//	             [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -23,6 +24,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -45,8 +48,52 @@ func main() {
 		workers  = flag.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS)")
 		ckptDir  = flag.String("checkpoint", "", "checkpoint directory (default <output>.ckpt)")
 		resume   = flag.Bool("resume", false, "resume from the checkpoint directory, skipping finished targets")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the training run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (taken after training) to this file")
 	)
 	flag.Parse()
+
+	// Profiling hooks so pipeline perf work never needs code edits: the CPU
+	// profile brackets the whole run, the heap profile is captured after
+	// training completes (post-GC, so it shows what the run retains).
+	var stopCPUProfile func()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("starting CPU profile: %v", err)
+		}
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("warning: closing %s: %v", *cpuProf, err)
+			}
+		}
+	}
+	// finishProfiles flushes both profiles; it runs before every exit path
+	// (including the interrupted one) so partial runs still profile cleanly.
+	finishProfiles := func() {
+		if stopCPUProfile != nil {
+			stopCPUProfile()
+			stopCPUProfile = nil
+		}
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("writing heap profile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("writing %s: %v", *memProf, err)
+		}
+	}
 
 	var archs []machine.Config
 	switch *archName {
@@ -122,6 +169,7 @@ func main() {
 	start := time.Now()
 	set, err := training.TrainArchs(ctx, opts, annCfg, adt.Targets(), cfg)
 	if err != nil {
+		finishProfiles()
 		if errors.Is(err, context.Canceled) {
 			elapsed := time.Since(start).Seconds()
 			log.Printf("interrupted after %.1fs: %d seeds scanned, %d labels found",
@@ -148,6 +196,7 @@ func main() {
 		log.Printf("warning: could not remove checkpoint %s: %v", *ckptDir, err)
 	}
 
+	finishProfiles()
 	elapsed := time.Since(start).Seconds()
 	scanned := training.Metrics.SeedsScanned.Value()
 	fmt.Printf("wrote %d models to %s (%.1fs, %d seeds scanned, %.0f seeds/sec, %.3g simulated cycles)\n",

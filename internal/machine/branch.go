@@ -9,9 +9,9 @@ import "repro/internal/mem"
 // conditional-branch mispredictions.
 type BranchPredictor struct {
 	table       []uint8 // 2-bit counters, 0..3; >=2 predicts taken
-	mask        uint32
+	mask        uint32  // table index mask, len(table)-1
+	histMask    uint32  // (1<<histBits)-1, precomputed off the hot path
 	history     uint32
-	histBits    uint
 	Branches    uint64
 	Mispredicts uint64
 }
@@ -27,7 +27,7 @@ func NewBranchPredictor(tableBits, histBits uint) *BranchPredictor {
 	for i := range t {
 		t[i] = 1 // weakly not-taken
 	}
-	return &BranchPredictor{table: t, mask: uint32(size - 1), histBits: histBits}
+	return &BranchPredictor{table: t, mask: uint32(size - 1), histMask: uint32(1)<<histBits - 1}
 }
 
 // Predict records the outcome of a branch at the given site and returns
@@ -48,7 +48,7 @@ func (p *BranchPredictor) Predict(site mem.BranchSite, taken bool) bool {
 	} else if ctr > 0 {
 		p.table[idx] = ctr - 1
 	}
-	p.history = ((p.history << 1) | b2u(taken)) & ((1 << p.histBits) - 1)
+	p.history = ((p.history << 1) | b2u(taken)) & p.histMask
 	return correct
 }
 

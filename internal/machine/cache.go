@@ -13,6 +13,7 @@ type cacheLine struct {
 // single level of the hierarchy; Machine chains an L1 in front of an L2.
 type Cache struct {
 	sets      []cacheLine // sets*ways entries, row-major by set
+	mru       []int32     // per-set way index of the most recent hit/fill
 	ways      int
 	setCount  int
 	lineShift uint
@@ -42,6 +43,7 @@ func NewCache(sizeBytes, ways, lineBytes int) *Cache {
 	}
 	return &Cache{
 		sets:      make([]cacheLine, setCount*ways),
+		mru:       make([]int32, setCount),
 		ways:      ways,
 		setCount:  setCount,
 		lineShift: shift,
@@ -54,18 +56,29 @@ func (c *Cache) LineBytes() int { return 1 << c.lineShift }
 
 // Touch accesses the line containing addr and returns true on a hit.
 // On a miss the LRU way of the set is replaced.
+//
+// The most-recently-used way of the set is probed before the full scan:
+// container access streams are heavily line-local, so the MRU way resolves
+// most hits in one compare. The probe leaves exactly the same state behind
+// as a scan hit would (lru refresh only), and the scan folds lookup and
+// LRU-victim selection into one pass, so the eviction sequence — and with it
+// every hit/miss counter — is identical with and without the probe.
 func (c *Cache) Touch(addr mem.Addr) bool {
 	c.Accesses++
 	c.clock++
-	lineAddr := uint64(addr) >> c.lineShift
+	lineAddr := uint64(addr) >> c.lineShift // the full line address is the tag
 	set := lineAddr & c.setMask
-	tag := lineAddr >> 0 // full line address as tag; set bits are redundant but harmless
 	base := int(set) * c.ways
+	if l := &c.sets[base+int(c.mru[set])]; l.valid && l.tag == lineAddr {
+		l.lru = c.clock
+		return true
+	}
 	victim := base
 	for i := base; i < base+c.ways; i++ {
 		l := &c.sets[i]
-		if l.valid && l.tag == tag {
+		if l.valid && l.tag == lineAddr {
 			l.lru = c.clock
+			c.mru[set] = int32(i - base)
 			return true
 		}
 		if !l.valid {
@@ -75,28 +88,39 @@ func (c *Cache) Touch(addr mem.Addr) bool {
 		}
 	}
 	c.Misses++
-	c.sets[victim] = cacheLine{tag: tag, valid: true, lru: c.clock}
+	c.sets[victim] = cacheLine{tag: lineAddr, valid: true, lru: c.clock}
+	c.mru[set] = int32(victim - base)
 	return false
+}
+
+// visitLines invokes fn with the aligned base address of every cache line
+// overlapped by [addr, addr+size), in ascending order. A size of 0 is
+// treated as 1. It is the single line-iteration helper shared by
+// Cache.TouchRange and the Machine's straddling-access slow path.
+func visitLines(addr mem.Addr, size uint64, lineShift uint, fn func(mem.Addr)) {
+	if size == 0 {
+		size = 1
+	}
+	line := uint64(1) << lineShift
+	first := uint64(addr) &^ (line - 1)
+	last := (uint64(addr) + size - 1) &^ (line - 1)
+	for a := first; ; a += line {
+		fn(mem.Addr(a))
+		if a == last {
+			break
+		}
+	}
 }
 
 // TouchRange accesses every line overlapped by [addr, addr+size) and returns
 // the number of line accesses and the number of misses among them.
 func (c *Cache) TouchRange(addr mem.Addr, size uint64) (lines, misses int) {
-	if size == 0 {
-		size = 1
-	}
-	line := uint64(1) << c.lineShift
-	first := uint64(addr) &^ (line - 1)
-	last := (uint64(addr) + size - 1) &^ (line - 1)
-	for a := first; ; a += line {
+	visitLines(addr, size, c.lineShift, func(a mem.Addr) {
 		lines++
-		if !c.Touch(mem.Addr(a)) {
+		if !c.Touch(a) {
 			misses++
 		}
-		if a == last {
-			break
-		}
-	}
+	})
 	return lines, misses
 }
 
@@ -112,6 +136,9 @@ func (c *Cache) MissRate() float64 {
 func (c *Cache) Reset() {
 	for i := range c.sets {
 		c.sets[i] = cacheLine{}
+	}
+	for i := range c.mru {
+		c.mru[i] = 0
 	}
 	c.clock = 0
 	c.Accesses = 0

@@ -11,6 +11,7 @@ package machine
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/mem"
 )
@@ -155,6 +156,20 @@ func (c Counters) Sub(o Counters) Counters {
 	}
 }
 
+// ticksPerCycle is the fixed-point scale of the machine's cycle
+// accumulator: one tick is a tenth of a cycle. Every cost in the Core2 and
+// Atom configurations is a multiple of 0.1 cycles (including the halved
+// AllocCycles charged by Free), so the per-event accounting below is exact
+// integer arithmetic and Cycles() rounds only once, at read time. A uint64
+// of tenths still spans ~1.8e18 cycles, far beyond any simulation here.
+const ticksPerCycle = 10
+
+// toTicks converts a Config cost in cycles to integer ticks, rounding to
+// the nearest tick for costs finer than the scale.
+func toTicks(cycles float64) uint64 {
+	return uint64(math.Round(cycles * ticksPerCycle))
+}
+
 // Machine simulates one microarchitecture. It implements mem.Model, so a
 // container bound to a Machine transparently exercises the simulated
 // hierarchy. Machine is not safe for concurrent use; run one Machine per
@@ -167,7 +182,23 @@ type Machine struct {
 	bp   *BranchPredictor
 	heap allocator
 
-	cycles float64
+	// Per-event costs in ticks, precomputed so the hot path is free of
+	// float64 arithmetic and Config field loads.
+	baseOpTicks     uint64
+	l1HitTicks      uint64
+	l2HitTicks      uint64
+	memTicks        uint64
+	mispredictTicks uint64
+	branchTicks     uint64
+	allocTicks      uint64
+	freeTicks       uint64
+	aluTicks        uint64
+	tlbMissTicks    uint64
+
+	lineMask uint64 // L1 line size - 1; accesses inside one line take the fast path
+	pageMask uint64 // page size - 1
+
+	ticks  uint64
 	reads  uint64
 	writes uint64
 	allocs uint64
@@ -190,6 +221,20 @@ func New(cfg Config) *Machine {
 		l2:  NewCache(cfg.L2Size, cfg.L2Ways, cfg.L2Line),
 		tlb: NewTLB(tlbEntries, pageBytes),
 		bp:  NewBranchPredictor(cfg.PredictorBits, cfg.HistoryBits),
+
+		baseOpTicks:     toTicks(cfg.BaseOpCycles),
+		l1HitTicks:      toTicks(cfg.L1HitCycles),
+		l2HitTicks:      toTicks(cfg.L2HitCycles),
+		memTicks:        toTicks(cfg.MemCycles),
+		mispredictTicks: toTicks(cfg.MispredictCycles),
+		branchTicks:     toTicks(cfg.BranchCycles),
+		allocTicks:      toTicks(cfg.AllocCycles),
+		freeTicks:       toTicks(cfg.AllocCycles / 2),
+		aluTicks:        toTicks(cfg.ALUCycles),
+		tlbMissTicks:    toTicks(cfg.TLBMissCycles),
+
+		lineMask: uint64(cfg.L1Line - 1),
+		pageMask: uint64(pageBytes - 1),
 	}
 	m.heap.init()
 	return m
@@ -202,14 +247,14 @@ func (m *Machine) Config() Config { return m.cfg }
 func (m *Machine) Alloc(size, align uint64) mem.Addr {
 	m.allocs++
 	m.bytes += size
-	m.cycles += m.cfg.AllocCycles
+	m.ticks += m.allocTicks
 	return m.heap.alloc(size, align)
 }
 
 // Free implements mem.Model.
 func (m *Machine) Free(addr mem.Addr, size uint64) {
 	m.frees++
-	m.cycles += m.cfg.AllocCycles / 2
+	m.ticks += m.freeTicks
 	m.heap.free(addr, size)
 }
 
@@ -225,63 +270,89 @@ func (m *Machine) Write(addr mem.Addr, size uint64) {
 	m.touch(addr, size)
 }
 
+// touch charges one memory access. The overwhelming majority of container
+// accesses are small aligned reads that fit a single cache line (and hence a
+// single page, since pages are line-aligned multiples of the line size), so
+// that case runs straight-line with no loop: one TLB probe, one L1 probe,
+// optionally one L2 probe. Accesses that straddle a line boundary fall back
+// to the shared per-line walk.
 func (m *Machine) touch(addr mem.Addr, size uint64) {
+	m.ticks += m.baseOpTicks
 	if size == 0 {
 		size = 1
 	}
-	line := uint64(m.l1.LineBytes())
-	first := uint64(addr) &^ (line - 1)
-	last := (uint64(addr) + size - 1) &^ (line - 1)
-	m.cycles += m.cfg.BaseOpCycles
-	// Translate the first page of the access; line iteration below touches
-	// the TLB again only when crossing a page boundary.
+	a := uint64(addr)
+	if (a^(a+size-1))&^m.lineMask == 0 {
+		// Single line, single page: the fast path.
+		if !m.tlb.Touch(addr) {
+			m.ticks += m.tlbMissTicks
+		}
+		if m.l1.Touch(addr) {
+			m.ticks += m.l1HitTicks
+		} else if m.l2.Touch(addr) {
+			m.ticks += m.l2HitTicks
+		} else {
+			m.ticks += m.memTicks
+		}
+		return
+	}
+	m.touchSlow(addr, size)
+}
+
+// touchSlow walks every line of a straddling access via the same visitLines
+// helper Cache.TouchRange uses. The first page is translated with the
+// original (unaligned) address; subsequent TLB probes happen only when the
+// walk crosses onto a new page.
+func (m *Machine) touchSlow(addr mem.Addr, size uint64) {
 	if !m.tlb.Touch(addr) {
-		m.cycles += m.cfg.TLBMissCycles
+		m.ticks += m.tlbMissTicks
 	}
-	page := uint64(m.cfg.PageBytes)
-	if page == 0 {
-		page = 4096
-	}
-	for a := first; ; a += line {
-		if a != first && a%page == 0 {
-			if !m.tlb.Touch(mem.Addr(a)) {
-				m.cycles += m.cfg.TLBMissCycles
+	first := true
+	visitLines(addr, size, m.l1.lineShift, func(a mem.Addr) {
+		if !first && uint64(a)&m.pageMask == 0 {
+			if !m.tlb.Touch(a) {
+				m.ticks += m.tlbMissTicks
 			}
 		}
-		if m.l1.Touch(mem.Addr(a)) {
-			m.cycles += m.cfg.L1HitCycles
-		} else if m.l2.Touch(mem.Addr(a)) {
-			m.cycles += m.cfg.L2HitCycles
+		first = false
+		if m.l1.Touch(a) {
+			m.ticks += m.l1HitTicks
+		} else if m.l2.Touch(a) {
+			m.ticks += m.l2HitTicks
 		} else {
-			m.cycles += m.cfg.MemCycles
+			m.ticks += m.memTicks
 		}
-		if a == last {
-			break
-		}
-	}
+	})
 }
 
 // Work implements mem.Model: pure ALU work costs cycles but no events.
+// Integral unit counts — every caller in the repository — stay on the
+// integer accumulator; fractional units round to the nearest tick.
 func (m *Machine) Work(units float64) {
-	m.cycles += units * m.cfg.ALUCycles
+	if u := uint64(units); float64(u) == units {
+		m.ticks += u * m.aluTicks
+		return
+	}
+	m.ticks += toTicks(units * m.cfg.ALUCycles)
 }
 
 // Branch implements mem.Model.
 func (m *Machine) Branch(site mem.BranchSite, taken bool) {
 	if m.bp.Predict(site, taken) {
-		m.cycles += m.cfg.BranchCycles
+		m.ticks += m.branchTicks
 	} else {
-		m.cycles += m.cfg.MispredictCycles
+		m.ticks += m.mispredictTicks
 	}
 }
 
-// Cycles returns the accumulated simulated cycle count.
-func (m *Machine) Cycles() float64 { return m.cycles }
+// Cycles returns the accumulated simulated cycle count, converting from the
+// fixed-point tick accumulator once, at read time.
+func (m *Machine) Cycles() float64 { return float64(m.ticks) / ticksPerCycle }
 
 // Counters returns a snapshot of all performance counters.
 func (m *Machine) Counters() Counters {
 	return Counters{
-		Cycles:       m.cycles,
+		Cycles:       m.Cycles(),
 		Reads:        m.reads,
 		Writes:       m.writes,
 		L1Accesses:   m.l1.Accesses,
@@ -305,7 +376,7 @@ func (m *Machine) Reset() {
 	m.tlb.Reset()
 	m.bp.Reset()
 	m.heap.init()
-	m.cycles = 0
+	m.ticks = 0
 	m.reads = 0
 	m.writes = 0
 	m.allocs = 0

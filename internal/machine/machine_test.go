@@ -257,3 +257,104 @@ func TestConfigStrings(t *testing.T) {
 		t.Fatal("configs share a name")
 	}
 }
+
+// TestFixedPointCyclesExact pins the fixed-point accounting: every cost in
+// the Core2 and Atom configurations is a multiple of the 0.1-cycle tick, so
+// simple event sequences must produce exact decimal cycle counts instead of
+// float64 accumulation residue.
+func TestFixedPointCyclesExact(t *testing.T) {
+	atom := Atom()
+	m := New(atom)
+	// Expected totals are accumulated in integer ticks and converted once,
+	// mirroring the machine's own arithmetic; accumulating the float64
+	// Config costs instead would reintroduce the residue under test.
+	var wantTicks uint64
+	wantCycles := func() float64 { return float64(wantTicks) / 10 }
+
+	base := m.Alloc(4096, 64)
+	wantTicks += 450 // AllocCycles 45
+	if m.Cycles() != wantCycles() {
+		t.Fatalf("alloc cost %v, want exactly %v", m.Cycles(), wantCycles())
+	}
+	// A cold single-line read: base op 1.4 + TLB miss 35 + DRAM 320.
+	m.Read(base, 8)
+	wantTicks += 14 + 350 + 3200
+	if m.Cycles() != wantCycles() {
+		t.Fatalf("cold read total %v, want exactly %v", m.Cycles(), wantCycles())
+	}
+	// A warm read of the same line: base op 1.4 + L1 hit 4, on the fast
+	// path. Atom's 1.4 is where float64 accumulation used to drift.
+	for i := 0; i < 1001; i++ {
+		m.Read(base, 8)
+		wantTicks += 14 + 40
+	}
+	if m.Cycles() != wantCycles() {
+		t.Fatalf("warm read total %v, want exactly %v", m.Cycles(), wantCycles())
+	}
+}
+
+// TestFixedPointBranchAndWork covers the remaining integer-only event
+// paths: branch outcomes and integral ALU work.
+func TestFixedPointBranchAndWork(t *testing.T) {
+	m := New(Core2()) // BranchCycles 0.5, MispredictCycles 10, ALUCycles 0.5
+	site := mem.BranchSite(9)
+	var wantTicks uint64
+	wantCycles := func() float64 { return float64(wantTicks) / 10 }
+	for i := 0; i < 100; i++ {
+		before := m.Counters()
+		m.Branch(site, true)
+		if m.Counters().Sub(before).Mispredicts == 1 {
+			wantTicks += 100
+		} else {
+			wantTicks += 5
+		}
+	}
+	if m.Cycles() != wantCycles() {
+		t.Fatalf("branch cycles %v, want exactly %v", m.Cycles(), wantCycles())
+	}
+	m.Work(40) // the hash-work shape every container uses: 40 * 0.5 cycles
+	wantTicks += 200
+	if m.Cycles() != wantCycles() {
+		t.Fatalf("after integral work: %v, want exactly %v", m.Cycles(), wantCycles())
+	}
+	// Fractional units round to the nearest 0.1-cycle tick: 2.5 units at
+	// 0.5 cycles each is 1.25 cycles, accounted as 13 ticks.
+	m.Work(2.5)
+	wantTicks += 13
+	if m.Cycles() != wantCycles() {
+		t.Fatalf("after fractional work: %v, want exactly %v", m.Cycles(), wantCycles())
+	}
+}
+
+// TestCountersCyclesMatchesCycles pins the single conversion point: the
+// Counters snapshot and Cycles() must always agree bit-for-bit.
+func TestCountersCyclesMatchesCycles(t *testing.T) {
+	m := New(Atom())
+	a := m.Alloc(1<<16, 64)
+	for i := 0; i < 500; i++ {
+		m.Read(a+mem.Addr(i*56), 8) // mixes fast-path and straddling accesses
+		m.Branch(mem.BranchSite(i&7), i%3 == 0)
+	}
+	if m.Counters().Cycles != m.Cycles() {
+		t.Fatalf("Counters.Cycles %v != Cycles() %v", m.Counters().Cycles, m.Cycles())
+	}
+}
+
+// TestCacheMRUProbeDoesNotChangeLRU re-runs the eviction scenario with an
+// interleaved MRU-hammering access pattern: the probe must leave the same
+// LRU ordering a full scan would.
+func TestCacheMRUProbeDoesNotChangeLRU(t *testing.T) {
+	c := NewCache(256, 2, 64) // 2 ways, 2 sets
+	a, b, d := mem.Addr(0), mem.Addr(128), mem.Addr(256)
+	c.Touch(a)
+	c.Touch(a) // MRU probe hit must refresh a's recency
+	c.Touch(b)
+	c.Touch(a)
+	c.Touch(d) // must evict b, the least recently used
+	if !c.Touch(a) {
+		t.Fatal("a evicted despite MRU refreshes")
+	}
+	if c.Touch(b) {
+		t.Fatal("b survived although LRU")
+	}
+}

@@ -9,6 +9,7 @@ import "repro/internal/mem"
 // includes the TLB so that finding is reproducible rather than assumed.
 type TLB struct {
 	entries   []tlbEntry
+	memo      int // index of the entry that resolved the last access
 	pageShift uint
 	clock     uint64
 	Accesses  uint64
@@ -35,15 +36,28 @@ func NewTLB(entries, pageBytes int) *TLB {
 }
 
 // Touch translates addr and returns true on a TLB hit.
+//
+// A last-page memo sits in front of the fully associative scan: container
+// accesses are strongly page-local, so the entry that resolved the previous
+// translation usually resolves this one too, in one compare instead of an
+// O(entries) walk. The memo is only a probe hint — a memo hit performs the
+// identical lru refresh a scan hit would, and the memo is re-validated
+// against the live entry on every use, so hit/miss counts and the eviction
+// sequence are unchanged.
 func (t *TLB) Touch(addr mem.Addr) bool {
 	t.Accesses++
 	t.clock++
 	page := uint64(addr) >> t.pageShift
+	if e := &t.entries[t.memo]; e.valid && e.page == page {
+		e.lru = t.clock
+		return true
+	}
 	victim := 0
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.page == page {
 			e.lru = t.clock
+			t.memo = i
 			return true
 		}
 		if !e.valid {
@@ -54,6 +68,7 @@ func (t *TLB) Touch(addr mem.Addr) bool {
 	}
 	t.Misses++
 	t.entries[victim] = tlbEntry{page: page, valid: true, lru: t.clock}
+	t.memo = victim
 	return false
 }
 
@@ -70,6 +85,7 @@ func (t *TLB) Reset() {
 	for i := range t.entries {
 		t.entries[i] = tlbEntry{}
 	}
+	t.memo = 0
 	t.clock = 0
 	t.Accesses = 0
 	t.Misses = 0

@@ -99,3 +99,64 @@ func TestPointerChasePaysTLB(t *testing.T) {
 		t.Fatal("sparse accesses not dearer than dense ones")
 	}
 }
+
+// TestTouchTLBPageBoundaryCounts pins the TLB access discipline of
+// Machine.touch, which the fast path must preserve exactly: one translation
+// per access, plus one more for every page boundary the access crosses.
+func TestTouchTLBPageBoundaryCounts(t *testing.T) {
+	m := New(Core2())
+	page := uint64(m.Config().PageBytes)
+	line := uint64(m.Config().L1Line)
+
+	// A line-aligned access at a page start: exactly one translation.
+	before := m.Counters()
+	m.Read(mem.Addr(8*page), 8)
+	if d := m.Counters().Sub(before); d.TLBAccesses != 1 {
+		t.Fatalf("page-start access made %d TLB accesses, want 1", d.TLBAccesses)
+	}
+
+	// An access spanning a page boundary: exactly two translations, one
+	// per page, even though it also straddles a cache line.
+	before = m.Counters()
+	m.Read(mem.Addr(10*page-4), 8)
+	if d := m.Counters().Sub(before); d.TLBAccesses != 2 {
+		t.Fatalf("page-straddling access made %d TLB accesses, want 2", d.TLBAccesses)
+	}
+
+	// A line-straddling access inside one page: still one translation.
+	before = m.Counters()
+	m.Read(mem.Addr(12*page+line-4), 8)
+	if d := m.Counters().Sub(before); d.TLBAccesses != 1 {
+		t.Fatalf("line-straddling access made %d TLB accesses, want 1", d.TLBAccesses)
+	}
+
+	// A large access covering three pages: three translations.
+	before = m.Counters()
+	m.Read(mem.Addr(20*page+16), 2*page)
+	if d := m.Counters().Sub(before); d.TLBAccesses != 3 {
+		t.Fatalf("three-page access made %d TLB accesses, want 3", d.TLBAccesses)
+	}
+}
+
+// TestTLBMemoDoesNotChangeEviction drives the memoized TLB through an
+// eviction-heavy pattern and checks hits and evictions stay exactly those
+// of fully associative LRU.
+func TestTLBMemoDoesNotChangeEviction(t *testing.T) {
+	tlb := NewTLB(4, 4096)
+	pageAddr := func(p int) mem.Addr { return mem.Addr(p << 12) }
+	// Fill all 4 entries, memo points at page 3.
+	for p := 0; p < 4; p++ {
+		tlb.Touch(pageAddr(p))
+	}
+	// Page 4 evicts LRU page 0; memo moves to the filled slot.
+	if tlb.Touch(pageAddr(4)) {
+		t.Fatal("page 4 hit in a full TLB of pages 0-3")
+	}
+	if tlb.Touch(pageAddr(0)) {
+		t.Fatal("page 0 survived LRU eviction")
+	}
+	// Page 1 was refreshed neither time; pages 2,3 must still be resident.
+	if !tlb.Touch(pageAddr(2)) || !tlb.Touch(pageAddr(3)) {
+		t.Fatal("resident pages lost despite LRU order")
+	}
+}

@@ -5,6 +5,8 @@
 // microarchitecture simulator in internal/machine (training and evaluation).
 package mem
 
+import "sync/atomic"
+
 // Addr is a simulated virtual address.
 type Addr uint64
 
@@ -33,20 +35,29 @@ type Model interface {
 }
 
 // Nop is a Model that discards every event. It is the zero-cost default for
-// plain library use.
+// plain library use. Nop is safe for concurrent use: its address counter is
+// shared process-wide, so containers running on worker pools may allocate
+// through it simultaneously.
 type Nop struct{}
 
-var nopNext Addr = 1 << 20
+var nopNext atomic.Uint64
+
+func init() { nopNext.Store(1 << 20) }
 
 // Alloc returns monotonically increasing fake addresses so that distinct
-// blocks never alias even under the no-op model.
+// blocks never alias even under the no-op model, including when many
+// goroutines allocate concurrently.
 func (Nop) Alloc(size, align uint64) Addr {
 	if align == 0 {
 		align = 1
 	}
-	a := (uint64(nopNext) + align - 1) &^ (align - 1)
-	nopNext = Addr(a + size)
-	return Addr(a)
+	for {
+		cur := nopNext.Load()
+		a := (cur + align - 1) &^ (align - 1)
+		if nopNext.CompareAndSwap(cur, a+size) {
+			return Addr(a)
+		}
+	}
 }
 
 func (Nop) Free(Addr, uint64)       {}

@@ -1,6 +1,10 @@
 package mem
 
-import "testing"
+import (
+	"sort"
+	"sync"
+	"testing"
+)
 
 func TestNopAllocDistinct(t *testing.T) {
 	var n Nop
@@ -58,5 +62,51 @@ func TestCountingAddressesMonotone(t *testing.T) {
 			t.Fatal("addresses not monotone")
 		}
 		prev = next
+	}
+}
+
+// TestNopAllocConcurrent exercises the process-wide Nop address counter from
+// many goroutines at once — the shape of PR 2's worker pool running
+// containers on the no-op model. Run under -race it doubles as the data-race
+// regression test; the overlap check below catches torn updates even
+// without the race detector.
+func TestNopAllocConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 2000
+		size       = 48
+		align      = 16
+	)
+	var wg sync.WaitGroup
+	got := make([][]Addr, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			addrs := make([]Addr, 0, perG)
+			var m Nop
+			for i := 0; i < perG; i++ {
+				addrs = append(addrs, m.Alloc(size, align))
+			}
+			got[g] = addrs
+		}()
+	}
+	wg.Wait()
+
+	all := make([]Addr, 0, goroutines*perG)
+	for _, addrs := range got {
+		all = append(all, addrs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i := 1; i < len(all); i++ {
+		if uint64(all[i]) < uint64(all[i-1])+size {
+			t.Fatalf("concurrent Nop allocs overlap: %#x then %#x (size %d)", all[i-1], all[i], size)
+		}
+	}
+	for _, a := range all {
+		if uint64(a)%align != 0 {
+			t.Fatalf("misaligned Nop alloc %#x", a)
+		}
 	}
 }
