@@ -12,6 +12,11 @@
 //	                             prioritized replacement plan out
 //	GET  /healthz                liveness and model count
 //	GET  /metrics                text exposition of service metrics
+//	GET  /debug/pprof/           runtime profiling (only with -pprof)
+//
+// Every request carries a correlation ID: a client-supplied X-Request-ID is
+// propagated, otherwise one is minted; either way it is echoed in the
+// response header, every log line, and (with -trace) the request's spans.
 //
 // The process drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM. With -check it only validates the registry (exit 0 when every
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/training"
 )
 
@@ -47,6 +53,8 @@ func main() {
 		cacheSize   = flag.Int("cache", 4096, "inference cache entries (negative disables)")
 		grace       = flag.Duration("grace", 10*time.Second, "shutdown drain budget")
 		check       = flag.Bool("check", false, "validate the model registry and exit without serving")
+		enablePprof = flag.Bool("pprof", false, "mount /debug/pprof/ (opt-in: profiling endpoints on a production listener)")
+		traceOut    = flag.String("trace", "", "write a JSON-lines span trace of served requests to this file")
 	)
 	flag.Parse()
 
@@ -64,6 +72,21 @@ func main() {
 		return
 	}
 
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp := telemetry.NewJSONLinesExporter(tf)
+		defer func() {
+			if err := exp.Close(); err != nil {
+				log.Printf("warning: writing trace %s: %v", *traceOut, err)
+			}
+		}()
+		tracer = telemetry.NewTracer(exp)
+	}
+
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := serve.New(set, serve.Config{
 		Addr:           *addr,
@@ -75,6 +98,8 @@ func main() {
 		CacheSize:      *cacheSize,
 		ShutdownGrace:  *grace,
 		Logger:         logger,
+		Tracer:         tracer,
+		EnablePprof:    *enablePprof,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

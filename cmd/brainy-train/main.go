@@ -9,10 +9,17 @@
 // with -resume skips every finished stage and produces a registry identical
 // to an uninterrupted run.
 //
+// The run is observable end to end: -progress prints periodic throughput
+// lines (seeds/sec, labels found, ETA) to stderr so stdout stays
+// scriptable, -trace exports a JSON-lines span trace of every stage, and
+// -report writes a machine-readable end-of-run summary (per-stage wall
+// clock, label distribution, validation accuracy, event throughput).
+//
 // Usage:
 //
 //	brainy-train [-arch core2|atom|both] [-apps N] [-calls N] [-o models.json]
-//	             [-workers N] [-checkpoint DIR] [-resume]
+//	             [-workers N] [-checkpoint DIR] [-resume] [-validate N]
+//	             [-progress] [-progress-interval DUR] [-trace FILE] [-report FILE]
 //	             [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -26,12 +33,14 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/adt"
 	"repro/internal/ann"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 	"repro/internal/training"
 )
 
@@ -48,6 +57,11 @@ func main() {
 		workers  = flag.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS)")
 		ckptDir  = flag.String("checkpoint", "", "checkpoint directory (default <output>.ckpt)")
 		resume   = flag.Bool("resume", false, "resume from the checkpoint directory, skipping finished targets")
+		valApps  = flag.Int("validate", 0, "oracle-validation applications per model after fitting (0 disables)")
+		progress = flag.Bool("progress", false, "print periodic throughput/ETA lines to stderr")
+		progIval = flag.Duration("progress-interval", 10*time.Second, "interval between -progress lines")
+		traceOut = flag.String("trace", "", "write a JSON-lines span trace of the run to this file")
+		report   = flag.String("report", "", "write the machine-readable end-of-run report (JSON) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the training run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (taken after training) to this file")
 	)
@@ -93,6 +107,28 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatalf("writing %s: %v", *memProf, err)
 		}
+	}
+
+	// The span trace is flushed on every exit path, interrupted ones
+	// included — a partial trace of a cancelled run is still evidence.
+	var tracer *telemetry.Tracer
+	var traceExp *telemetry.JSONLinesExporter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceExp = telemetry.NewJSONLinesExporter(f)
+		tracer = telemetry.NewTracer(traceExp)
+	}
+	finishTrace := func() {
+		if traceExp == nil {
+			return
+		}
+		if err := traceExp.Close(); err != nil {
+			log.Printf("warning: writing trace %s: %v", *traceOut, err)
+		}
+		traceExp = nil
 	}
 
 	var archs []machine.Config
@@ -144,10 +180,43 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	start := time.Now()
+	targets := adt.Targets()
+
+	// Live progress to stderr: stdout carries only the per-target result
+	// lines and the final summary, so pipelines stay scriptable.
+	if *progress {
+		if *progIval <= 0 {
+			log.Fatalf("-progress-interval must be positive, got %s", *progIval)
+		}
+		totalLabels := uint64(*apps) * uint64(len(targets)) * uint64(len(archs))
+		ticker := time.NewTicker(*progIval)
+		defer ticker.Stop()
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					printProgress(start, totalLabels)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	var (
+		resMu   sync.Mutex
+		results []training.TargetResult
+	)
 	cfg := training.PipelineConfig{
-		Workers:    *workers,
-		Checkpoint: cp,
+		Workers:        *workers,
+		Checkpoint:     cp,
+		Tracer:         tracer,
+		ValidationApps: *valApps,
 		OnTarget: func(r training.TargetResult) {
+			resMu.Lock()
+			results = append(results, r)
+			resMu.Unlock()
 			mode := "order-aware"
 			if !r.Model.Target.OrderAware {
 				mode = "order-oblivious"
@@ -160,15 +229,18 @@ func main() {
 			if r.Dropped > 0 {
 				note = fmt.Sprintf("  dropped %d", r.Dropped)
 			}
+			if r.ValApps > 0 {
+				note += fmt.Sprintf("  val-acc %.0f%% (%d apps)", 100*r.ValAccuracy, r.ValApps)
+			}
 			fmt.Printf("%-6s %-9s %-15s %4d apps  %5d seeds scanned  train-acc %.0f%%  (%.1fs)%s\n",
 				r.Arch, r.Model.Target.Kind, mode, r.Examples, r.SeedsScanned,
 				100*r.TrainAccuracy, r.Elapsed.Seconds(), note)
 		},
 	}
 
-	start := time.Now()
-	set, err := training.TrainArchs(ctx, opts, annCfg, adt.Targets(), cfg)
+	set, err := training.TrainArchs(ctx, opts, annCfg, targets, cfg)
 	if err != nil {
+		finishTrace()
 		finishProfiles()
 		if errors.Is(err, context.Canceled) {
 			elapsed := time.Since(start).Seconds()
@@ -178,6 +250,7 @@ func main() {
 		}
 		log.Fatal(err)
 	}
+	finish := time.Now()
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -196,9 +269,45 @@ func main() {
 		log.Printf("warning: could not remove checkpoint %s: %v", *ckptDir, err)
 	}
 
+	if *report != "" {
+		rep := training.BuildReport(results, start, finish)
+		rf, err := os.Create(*report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJSON(rf); err != nil {
+			rf.Close()
+			log.Fatalf("writing %s: %v", *report, err)
+		}
+		if err := rf.Close(); err != nil {
+			log.Fatalf("writing %s: %v", *report, err)
+		}
+	}
+
+	finishTrace()
 	finishProfiles()
-	elapsed := time.Since(start).Seconds()
+	elapsed := finish.Sub(start).Seconds()
 	scanned := training.Metrics.SeedsScanned.Value()
 	fmt.Printf("wrote %d models to %s (%.1fs, %d seeds scanned, %.0f seeds/sec, %.3g simulated cycles)\n",
 		set.Len(), *out, elapsed, scanned, float64(scanned)/elapsed, training.Metrics.CyclesSimulated.Value())
+}
+
+// printProgress emits one live status line to stderr: scan throughput,
+// label progress against the run's label budget, and a crude ETA from the
+// label rate so far.
+func printProgress(start time.Time, totalLabels uint64) {
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	scanned := training.Metrics.SeedsScanned.Value()
+	labels := training.Metrics.LabelsFound.Value()
+	line := fmt.Sprintf("progress: %5.0fs  %7d seeds (%.0f/s)  %6d/%d labels",
+		elapsed, scanned, float64(scanned)/elapsed, labels, totalLabels)
+	if labels > 0 && labels < totalLabels {
+		rate := float64(labels) / elapsed
+		eta := time.Duration(float64(totalLabels-labels) / rate * float64(time.Second))
+		line += fmt.Sprintf("  eta %s", eta.Round(time.Second))
+	}
+	fmt.Fprintln(os.Stderr, line)
 }

@@ -1,0 +1,36 @@
+package machine
+
+import "testing"
+
+func TestCountersAddIsSubInverse(t *testing.T) {
+	a := Counters{
+		Cycles: 10, Reads: 1, Writes: 2, L1Accesses: 3, L1Misses: 4,
+		L2Accesses: 5, L2Misses: 6, Branches: 7, Mispredicts: 8,
+		TLBAccesses: 9, TLBMisses: 10, Allocs: 11, Frees: 12, BytesAlloced: 13,
+	}
+	b := Counters{
+		Cycles: 2.5, Reads: 100, Writes: 200, L1Accesses: 300, L1Misses: 400,
+		L2Accesses: 500, L2Misses: 600, Branches: 700, Mispredicts: 800,
+		TLBAccesses: 900, TLBMisses: 1000, Allocs: 1100, Frees: 1200, BytesAlloced: 1300,
+	}
+	sum := a.Add(b)
+	if sum.Cycles != 12.5 || sum.Reads != 101 || sum.BytesAlloced != 1313 {
+		t.Fatalf("Add: %+v", sum)
+	}
+	if got := sum.Sub(b); got != a {
+		t.Fatalf("Add then Sub drifted: %+v != %+v", got, a)
+	}
+}
+
+func TestCountersEvents(t *testing.T) {
+	c := Counters{Reads: 1, Writes: 2, Branches: 4, Allocs: 8, Frees: 16}
+	if got := c.Events(); got != 31 {
+		t.Fatalf("Events() = %d, want 31", got)
+	}
+	// Cache/TLB accesses are consequences of reads and writes, not events
+	// of their own.
+	c.L1Accesses, c.TLBAccesses = 99, 99
+	if got := c.Events(); got != 31 {
+		t.Fatalf("Events() counts accesses: %d", got)
+	}
+}

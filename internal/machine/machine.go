@@ -136,6 +136,35 @@ func (c Counters) BranchMissRate() float64 {
 	return float64(c.Mispredicts) / float64(c.Branches)
 }
 
+// Events returns the total number of simulated events behind this
+// snapshot — memory operations, branches, and allocator calls. It is the
+// denominator of the simulator's events/sec throughput figure and the
+// "events" attribute telemetry spans carry.
+func (c Counters) Events() uint64 {
+	return c.Reads + c.Writes + c.Branches + c.Allocs + c.Frees
+}
+
+// Add returns c + o, counter-wise — the aggregation dual of Sub, used to
+// fold per-run snapshots into per-stage totals.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Cycles:       c.Cycles + o.Cycles,
+		Reads:        c.Reads + o.Reads,
+		Writes:       c.Writes + o.Writes,
+		L1Accesses:   c.L1Accesses + o.L1Accesses,
+		L1Misses:     c.L1Misses + o.L1Misses,
+		L2Accesses:   c.L2Accesses + o.L2Accesses,
+		L2Misses:     c.L2Misses + o.L2Misses,
+		Branches:     c.Branches + o.Branches,
+		Mispredicts:  c.Mispredicts + o.Mispredicts,
+		TLBAccesses:  c.TLBAccesses + o.TLBAccesses,
+		TLBMisses:    c.TLBMisses + o.TLBMisses,
+		Allocs:       c.Allocs + o.Allocs,
+		Frees:        c.Frees + o.Frees,
+		BytesAlloced: c.BytesAlloced + o.BytesAlloced,
+	}
+}
+
 // Sub returns c - o, counter-wise. Useful for windowed measurements.
 func (c Counters) Sub(o Counters) Counters {
 	return Counters{

@@ -1,0 +1,47 @@
+package opstats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Gauge is a value that can go up and down — in-flight requests, pool
+// occupancy, queue depth. It is lock-free over the raw float64 bit pattern,
+// like FloatCounter, and safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add accumulates d (negative d decreases the gauge).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Expose writes the gauge in text exposition format. labels is either empty
+// or a rendered label list.
+func (g *Gauge) Expose(w io.Writer, name, labels string) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s%s %g\n", name, labels, g.Value())
+}

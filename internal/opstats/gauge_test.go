@@ -1,0 +1,56 @@
+package opstats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGaugeSetAddIncDec(t *testing.T) {
+	var g Gauge
+	g.Set(4)
+	g.Add(2.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 6.5 {
+		t.Fatalf("value = %v, want 6.5", got)
+	}
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Fatalf("value = %v, want -1.25", got)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("balanced inc/dec left value %v", got)
+	}
+}
+
+func TestGaugeExpose(t *testing.T) {
+	var g Gauge
+	g.Set(3)
+	var b strings.Builder
+	g.Expose(&b, "inflight", "")
+	if b.String() != "inflight 3\n" {
+		t.Fatalf("exposed %q", b.String())
+	}
+	b.Reset()
+	g.Expose(&b, "inflight", `zone="a"`)
+	if b.String() != "inflight{zone=\"a\"} 3\n" {
+		t.Fatalf("exposed %q", b.String())
+	}
+}

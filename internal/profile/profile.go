@@ -140,26 +140,7 @@ func NewContainer(kind adt.Kind, m *machine.Machine, elemSize uint64, context st
 func (c *Container) window(op func()) {
 	before := c.mach.Counters()
 	op()
-	c.hw = addCounters(c.hw, c.mach.Counters().Sub(before))
-}
-
-func addCounters(a, b machine.Counters) machine.Counters {
-	return machine.Counters{
-		Cycles:       a.Cycles + b.Cycles,
-		Reads:        a.Reads + b.Reads,
-		Writes:       a.Writes + b.Writes,
-		L1Accesses:   a.L1Accesses + b.L1Accesses,
-		L1Misses:     a.L1Misses + b.L1Misses,
-		L2Accesses:   a.L2Accesses + b.L2Accesses,
-		L2Misses:     a.L2Misses + b.L2Misses,
-		Branches:     a.Branches + b.Branches,
-		Mispredicts:  a.Mispredicts + b.Mispredicts,
-		TLBAccesses:  a.TLBAccesses + b.TLBAccesses,
-		TLBMisses:    a.TLBMisses + b.TLBMisses,
-		Allocs:       a.Allocs + b.Allocs,
-		Frees:        a.Frees + b.Frees,
-		BytesAlloced: a.BytesAlloced + b.BytesAlloced,
-	}
+	c.hw = c.hw.Add(c.mach.Counters().Sub(before))
 }
 
 // Kind implements adt.Container.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 )
 
 // AdviseResponse is the body of a successful POST /v1/advise: the same
@@ -79,7 +80,14 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The advise span covers only the analysis section (queueing for a slot
+	// excluded), as a child of the middleware's request span.
+	ctx, span := telemetry.StartSpan(ctx, "advise")
+	span.SetStr("arch", arch)
+	span.SetInt("profiles", int64(len(profiles)))
+	span.SetStr("request_id", RequestIDFromContext(ctx))
 	report, err := core.AnalyzeContext(ctx, s.cachingSuggester(), profiles, arch)
+	span.End()
 	if err != nil {
 		writeTimeout(w, ctx, "analyzing trace")
 		return

@@ -1,21 +1,26 @@
 package serve
 
 import (
-	"fmt"
 	"net/http"
 
 	"repro/internal/opstats"
+	"repro/internal/telemetry"
 )
 
-// Metrics aggregates everything brainy-serve observes about itself, built
-// from the opstats primitives so the server needs no metrics dependency.
-// It doubles as the GET /metrics handler (text exposition format).
+// Metrics aggregates everything brainy-serve observes about itself. Every
+// metric is registered once in a telemetry.Registry with its HELP/TYPE
+// metadata, and the GET /metrics page is a single sorted registry dump —
+// no hand-maintained exposition code.
 type Metrics struct {
+	reg *telemetry.Registry
 	// Requests counts finished HTTP requests by path and status code
-	// (label form `path="/v1/advise",code="200"`).
+	// (label form `path="/v1/advise",code="200"`). Unknown paths collapse
+	// into path="<other>" so scanners cannot mint unbounded label sets.
 	Requests *opstats.CounterVec
 	// Latency observes end-to-end request durations in seconds.
 	Latency *opstats.Histogram
+	// InFlight gauges requests currently being served.
+	InFlight *opstats.Gauge
 	// CacheHits / CacheMisses count inference-cache lookups.
 	CacheHits   *opstats.Counter
 	CacheMisses *opstats.Counter
@@ -26,41 +31,26 @@ type Metrics struct {
 	ProfilesAnalyzed *opstats.Counter
 }
 
-// NewMetrics builds an empty metric set.
+// NewMetrics builds a metric set on a fresh registry.
 func NewMetrics() *Metrics {
+	reg := telemetry.NewRegistry()
 	return &Metrics{
-		Requests:         opstats.NewCounterVec(),
-		Latency:          opstats.NewHistogram(),
-		CacheHits:        &opstats.Counter{},
-		CacheMisses:      &opstats.Counter{},
-		Inferences:       opstats.NewCounterVec(),
-		ProfilesAnalyzed: &opstats.Counter{},
+		reg:              reg,
+		Requests:         reg.CounterVec("brainy_requests_total", "Finished HTTP requests by path and status code."),
+		Latency:          reg.Histogram("brainy_request_duration_seconds", "End-to-end request latency."),
+		InFlight:         reg.Gauge("brainy_inflight_requests", "Requests currently being served."),
+		CacheHits:        reg.Counter("brainy_cache_hits_total", "Inference-cache hits."),
+		CacheMisses:      reg.Counter("brainy_cache_misses_total", "Inference-cache misses."),
+		Inferences:       reg.CounterVec("brainy_inferences_total", "ANN evaluations run, by architecture."),
+		ProfilesAnalyzed: reg.Counter("brainy_profiles_analyzed_total", "Profile records accepted into analysis."),
 	}
 }
 
+// Registry exposes the underlying registry, for embedders that want to
+// register additional metrics on the same /metrics page.
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
+
 // ServeHTTP renders the exposition page.
 func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprintln(w, "# HELP brainy_requests_total Finished HTTP requests by path and status code.")
-	fmt.Fprintln(w, "# TYPE brainy_requests_total counter")
-	m.Requests.Expose(w, "brainy_requests_total")
-	fmt.Fprintln(w, "# HELP brainy_request_duration_seconds End-to-end request latency.")
-	fmt.Fprintln(w, "# TYPE brainy_request_duration_seconds histogram")
-	m.Latency.Expose(w, "brainy_request_duration_seconds")
-	fmt.Fprintln(w, "# HELP brainy_cache_hits_total Inference-cache hits.")
-	fmt.Fprintln(w, "# TYPE brainy_cache_hits_total counter")
-	m.CacheHits.Expose(w, "brainy_cache_hits_total", "")
-	fmt.Fprintln(w, "# HELP brainy_cache_misses_total Inference-cache misses.")
-	fmt.Fprintln(w, "# TYPE brainy_cache_misses_total counter")
-	m.CacheMisses.Expose(w, "brainy_cache_misses_total", "")
-	fmt.Fprintln(w, "# HELP brainy_inferences_total ANN evaluations run, by architecture.")
-	fmt.Fprintln(w, "# TYPE brainy_inferences_total counter")
-	m.Inferences.Expose(w, "brainy_inferences_total")
-	fmt.Fprintln(w, "# HELP brainy_profiles_analyzed_total Profile records accepted into analysis.")
-	fmt.Fprintln(w, "# TYPE brainy_profiles_analyzed_total counter")
-	m.ProfilesAnalyzed.Expose(w, "brainy_profiles_analyzed_total", "")
+	m.reg.ServeHTTP(w, r)
 }

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/telemetry"
+)
+
+// TestRequestIDPropagatedAndMinted covers the correlation middleware: a
+// client-supplied X-Request-ID is echoed back verbatim, and a request
+// without one gets a minted ID in the response header.
+func TestRequestIDPropagatedAndMinted(t *testing.T) {
+	s := New(testModels(), quietConfig(Config{}))
+	url, _ := startServer(t, s)
+
+	req, _ := http.NewRequest(http.MethodGet, url+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "client-abc-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-abc-123" {
+		t.Fatalf("client request id not propagated: %q", got)
+	}
+
+	resp2, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	minted := resp2.Header.Get("X-Request-ID")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(minted) {
+		t.Fatalf("minted request id %q is not 16 hex digits", minted)
+	}
+}
+
+// TestUnknownPathsCollapseToOther is the metric-cardinality guard: a
+// scanner probing arbitrary URLs lands in one path="<other>" label instead
+// of minting a fresh label per URL.
+func TestUnknownPathsCollapseToOther(t *testing.T) {
+	s := New(testModels(), quietConfig(Config{}))
+	url, _ := startServer(t, s)
+
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/scan/%d", url, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if got := s.Metrics().Requests.Value(`path="<other>",code="404"`); got != 5 {
+		t.Fatalf("<other> bucket = %d, want 5", got)
+	}
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if strings.Contains(string(page), "/scan/") {
+		t.Fatalf("scanned URLs leaked into metric labels:\n%s", page)
+	}
+	if !strings.Contains(string(page), `brainy_requests_total{path="<other>",code="404"} 5`) {
+		t.Fatalf("missing <other> counter:\n%s", page)
+	}
+}
+
+// TestMetricsPageWellFormed asserts the registry-backed /metrics page is
+// valid text exposition: every metric has HELP and TYPE, every sample line
+// parses, and the histogram carries +Inf/_sum/_count.
+func TestMetricsPageWellFormed(t *testing.T) {
+	s := New(testModels(), quietConfig(Config{}))
+	url, _ := startServer(t, s)
+	body := traceBody(t, []profile.Profile{vectorProfile("a", 200)})
+	if resp, _ := postAdvise(t, url, body, "Core2"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("advise status = %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(page)
+
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[-+0-9].*)$`)
+	seenHelp := map[string]bool{}
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	for i, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.Fields(line)[2]
+			seenHelp[name] = true
+			if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE "+name+" ") {
+				t.Fatalf("HELP for %s not followed by its TYPE", name)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+		default:
+			if !sample.MatchString(line) {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+		}
+	}
+	for _, name := range []string{
+		"brainy_requests_total", "brainy_request_duration_seconds",
+		"brainy_inflight_requests", "brainy_cache_hits_total",
+		"brainy_cache_misses_total", "brainy_inferences_total",
+		"brainy_profiles_analyzed_total",
+	} {
+		if !seenHelp[name] {
+			t.Fatalf("metric %s has no HELP metadata:\n%s", name, text)
+		}
+	}
+	for _, want := range []string{
+		`brainy_request_duration_seconds_bucket{le="+Inf"}`,
+		"brainy_request_duration_seconds_sum",
+		"brainy_request_duration_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("histogram missing %q:\n%s", want, text)
+		}
+	}
+	// Byte-stable for a fixed state.
+	mresp2, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page2, _ := io.ReadAll(mresp2.Body)
+	mresp2.Body.Close()
+	// Strip the request-counter/histogram churn the two /metrics requests
+	// themselves cause before comparing, keeping the comparison honest for
+	// everything else.
+	scrub := func(s string) string {
+		var keep []string
+		for _, l := range strings.Split(s, "\n") {
+			if strings.Contains(l, `path="/metrics"`) ||
+				strings.HasPrefix(l, "brainy_request_duration_seconds") {
+				continue
+			}
+			keep = append(keep, l)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if scrub(text) != scrub(string(page2)) {
+		t.Fatalf("metrics page not stable across renders:\n--- first ---\n%s\n--- second ---\n%s", text, page2)
+	}
+}
+
+// TestPprofOptIn: /debug/pprof/ is 404 by default and served when enabled,
+// and every pprof page shares one request-counter label.
+func TestPprofOptIn(t *testing.T) {
+	off := New(testModels(), quietConfig(Config{}))
+	urlOff, _ := startServer(t, off)
+	resp, err := http.Get(urlOff + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof served without opt-in: %d", resp.StatusCode)
+	}
+
+	on := New(testModels(), quietConfig(Config{EnablePprof: true}))
+	urlOn, _ := startServer(t, on)
+	for _, p := range []string{"/debug/pprof/", "/debug/pprof/heap"} {
+		resp, err := http.Get(urlOn + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d with pprof enabled", p, resp.StatusCode)
+		}
+	}
+	if got := on.Metrics().Requests.Value(`path="/debug/pprof/",code="200"`); got != 2 {
+		t.Fatalf("pprof requests counter = %d, want 2 (one shared label)", got)
+	}
+}
+
+// TestAdviseSpansCarryRequestID wires the tracer through a live request:
+// the request span parents the advise span and both belong to one trace,
+// with the request's correlation ID attached.
+func TestAdviseSpansCarryRequestID(t *testing.T) {
+	exp := &telemetry.MemoryExporter{}
+	s := New(testModels(), quietConfig(Config{Tracer: telemetry.NewTracer(exp)}))
+	url, _ := startServer(t, s)
+
+	body := traceBody(t, []profile.Profile{vectorProfile("a", 200)})
+	req, _ := http.NewRequest(http.MethodPost, url+"/v1/advise?arch=Core2", strings.NewReader(string(body)))
+	req.Header.Set("X-Request-ID", "trace-me-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advise status = %d", resp.StatusCode)
+	}
+
+	spans := exp.Spans()
+	var reqSpan, advSpan *telemetry.SpanData
+	for i := range spans {
+		switch spans[i].Name {
+		case "request":
+			reqSpan = &spans[i]
+		case "advise":
+			advSpan = &spans[i]
+		}
+	}
+	if reqSpan == nil || advSpan == nil {
+		t.Fatalf("missing spans, got %+v", spans)
+	}
+	if advSpan.ParentID != reqSpan.SpanID || advSpan.TraceID != reqSpan.TraceID {
+		t.Fatal("advise span is not a child of the request span")
+	}
+	for _, sp := range []*telemetry.SpanData{reqSpan, advSpan} {
+		if sp.Attr("request_id") != "trace-me-42" {
+			t.Fatalf("span %s request_id = %v", sp.Name, sp.Attr("request_id"))
+		}
+	}
+	if advSpan.Attr("arch") != "Core2" {
+		t.Fatalf("advise span arch = %v", advSpan.Attr("arch"))
+	}
+}

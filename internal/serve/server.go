@@ -12,9 +12,11 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/training"
 )
 
@@ -46,6 +48,13 @@ type Config struct {
 	// Logger receives structured request and lifecycle logs
 	// (default slog.Default()).
 	Logger *slog.Logger
+	// Tracer, when enabled, records a span per request and a child span
+	// per advise analysis, both tagged with the request's correlation ID.
+	// Nil disables tracing at zero cost.
+	Tracer *telemetry.Tracer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints are opt-in on production listeners.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -88,24 +97,46 @@ type Server struct {
 	sem     chan struct{} // bounds concurrent ANN evaluation sections
 	metrics *Metrics
 	log     *slog.Logger
+	tracer  *telemetry.Tracer
+
+	// routes holds the precomputed request-counter cache for every path the
+	// mux actually serves; anything else lands in otherRoute, keeping
+	// brainy_requests_total cardinality bounded no matter what clients probe.
+	routes     map[string]*routeCounters
+	otherRoute *routeCounters
 }
 
 // New builds a server around a trained model registry.
 func New(models *training.ModelSet, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:     cfg,
-		brainy:  core.New(models),
-		cache:   newLRUCache(cfg.CacheSize),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		metrics: NewMetrics(),
-		log:     cfg.Logger,
+	m := NewMetrics()
+	s := &Server{
+		cfg:        cfg,
+		brainy:     core.New(models),
+		cache:      newLRUCache(cfg.CacheSize),
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		metrics:    m,
+		log:        cfg.Logger,
+		tracer:     cfg.Tracer,
+		routes:     make(map[string]*routeCounters),
+		otherRoute: newRouteCounters(otherPath, m.Requests),
 	}
+	for _, path := range []string{"/v1/advise", "/healthz", "/metrics"} {
+		s.routes[path] = newRouteCounters(path, m.Requests)
+	}
+	if cfg.EnablePprof {
+		s.routes[pprofPrefix] = newRouteCounters(pprofPrefix, m.Requests)
+	}
+	return s
 }
 
 // Metrics exposes the server's metric set (shared with the /metrics page),
 // mainly for tests and embedding.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// pprofPrefix is where the opt-in profiling endpoints mount; every page
+// under it shares one request-counter label.
+const pprofPrefix = "/debug/pprof/"
 
 // Handler returns the full route table wrapped in the observability
 // middleware.
@@ -114,6 +145,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/advise", s.handleAdvise)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.metrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc(pprofPrefix, pprof.Index)
+		mux.HandleFunc(pprofPrefix+"cmdline", pprof.Cmdline)
+		mux.HandleFunc(pprofPrefix+"profile", pprof.Profile)
+		mux.HandleFunc(pprofPrefix+"symbol", pprof.Symbol)
+		mux.HandleFunc(pprofPrefix+"trace", pprof.Trace)
+	}
 	return s.observe(mux)
 }
 

@@ -1,0 +1,153 @@
+// Package telemetry is the repository's observability backbone: a central
+// metric registry that renders the whole Prometheus text exposition in one
+// sorted pass, and a lightweight span tracer with pluggable exporters.
+// Brainy's premise is measurement — instrumented interface functions feeding
+// a profile to a model — and this package applies the same discipline to the
+// pipeline itself: the training run, the simulator, and the HTTP advisor all
+// register their counters here and bracket their long stages with spans,
+// with ~zero cost when tracing is disabled.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/opstats"
+)
+
+// MetricType is the TYPE metadata of a registered metric, matching the
+// Prometheus exposition vocabulary.
+type MetricType string
+
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// validName is the Prometheus metric-name grammar.
+var validName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// metric is one registry entry: identity, metadata, and how to render its
+// sample lines (HELP/TYPE are the registry's job).
+type metric struct {
+	name   string
+	help   string
+	typ    MetricType
+	expose func(io.Writer)
+}
+
+// Registry is a register-once collection of named metrics. Registration
+// panics on an invalid or duplicate name — metric identity is program
+// structure, so a collision is a bug, not a runtime condition. All methods
+// are safe for concurrent use; the primitives themselves come from
+// internal/opstats and are individually concurrency-safe.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// register installs one entry, enforcing the register-once contract.
+func (r *Registry) register(name, help string, typ MetricType, expose func(io.Writer)) {
+	if !validName.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[name]; dup {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice", name))
+	}
+	r.metrics[name] = metric{name: name, help: help, typ: typ, expose: expose}
+}
+
+// MustRegister installs a custom collector under a name. expose writes only
+// the sample lines; the registry emits HELP and TYPE.
+func (r *Registry) MustRegister(name, help string, typ MetricType, expose func(io.Writer)) {
+	r.register(name, help, typ, expose)
+}
+
+// Counter registers and returns a monotonic counter.
+func (r *Registry) Counter(name, help string) *opstats.Counter {
+	c := &opstats.Counter{}
+	r.register(name, help, TypeCounter, func(w io.Writer) { c.Expose(w, name, "") })
+	return c
+}
+
+// FloatCounter registers and returns a monotonic float64 counter.
+func (r *Registry) FloatCounter(name, help string) *opstats.FloatCounter {
+	c := &opstats.FloatCounter{}
+	r.register(name, help, TypeCounter, func(w io.Writer) { c.Expose(w, name, "") })
+	return c
+}
+
+// CounterVec registers and returns a labelled counter family.
+func (r *Registry) CounterVec(name, help string) *opstats.CounterVec {
+	v := opstats.NewCounterVec()
+	r.register(name, help, TypeCounter, func(w io.Writer) { v.Expose(w, name) })
+	return v
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *opstats.Gauge {
+	g := &opstats.Gauge{}
+	r.register(name, help, TypeGauge, func(w io.Writer) { g.Expose(w, name, "") })
+	return g
+}
+
+// Histogram registers and returns a histogram with the given ascending
+// bucket bounds (opstats.DefBuckets when none are given).
+func (r *Registry) Histogram(name, help string, bounds ...float64) *opstats.Histogram {
+	h := opstats.NewHistogram(bounds...)
+	r.register(name, help, TypeHistogram, func(w io.Writer) { h.Expose(w, name) })
+	return h
+}
+
+// escapeHelp applies the exposition-format HELP escaping: backslash and
+// newline are the only characters that need it.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Expose renders every registered metric in one pass, sorted by name, each
+// preceded by its HELP and TYPE lines. The output is byte-stable for a
+// fixed metric state.
+func (r *Registry) Expose(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	entries := make([]metric, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		entries = append(entries, r.metrics[n])
+	}
+	r.mu.Unlock()
+	for _, m := range entries {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
+		m.expose(w)
+	}
+}
+
+// ServeHTTP makes the registry a GET /metrics handler in the text
+// exposition format.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.Expose(w)
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRegistryGoldenExposition locks the full exposition page for one
+// exercised registry: sorted one-pass rendering, HELP/TYPE metadata for
+// every metric, histogram +Inf/_sum/_count lines, and HELP escaping.
+func TestRegistryGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	fc := r.FloatCounter("test_cycles_total", "Simulated cycles.")
+	v := r.CounterVec("test_requests_total", "Requests by path.")
+	g := r.Gauge("test_inflight", "In-flight requests.")
+	h := r.Histogram("test_latency_seconds", `Latency with \ and
+newline.`, 0.1, 1)
+
+	c.Add(3)
+	fc.Add(2.5)
+	v.With(`path="/a"`).Inc()
+	v.With(`path="<other>"`).Add(2)
+	g.Set(4)
+	g.Dec()
+	h.Observe(0.05) // first bucket
+	h.Observe(0.5)  // second bucket
+	h.Observe(30)   // +Inf overflow
+
+	const want = `# HELP test_cycles_total Simulated cycles.
+# TYPE test_cycles_total counter
+test_cycles_total 2.5
+# HELP test_inflight In-flight requests.
+# TYPE test_inflight gauge
+test_inflight 3
+# HELP test_latency_seconds Latency with \\ and\nnewline.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 30.55
+test_latency_seconds_count 3
+# HELP test_ops_total Operations.
+# TYPE test_ops_total counter
+test_ops_total 3
+# HELP test_requests_total Requests by path.
+# TYPE test_requests_total counter
+test_requests_total{path="/a"} 1
+test_requests_total{path="<other>"} 2
+`
+	var b1, b2 strings.Builder
+	r.Expose(&b1)
+	if b1.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", b1.String(), want)
+	}
+	// Byte-stable across renders of the same state.
+	r.Expose(&b2)
+	if b1.String() != b2.String() {
+		t.Fatalf("exposition not byte-stable:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+}
+
+// Line grammars of the text exposition format, enough to catch malformed
+// output: every line must be a HELP line, a TYPE line, or a sample.
+var (
+	helpLine   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	typeLine   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[-+0-9].*)$`)
+)
+
+// ValidateExposition parses one exposition page line by line, additionally
+// checking that each metric's TYPE immediately follows its HELP and that
+// histograms end with the +Inf bucket, _sum, and _count.
+func validateExposition(t *testing.T, text string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	for i := 0; i < len(lines); i++ {
+		line := lines[i]
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpLine.MatchString(line) {
+				t.Fatalf("malformed HELP line %d: %q", i, line)
+			}
+			name := strings.Fields(line)[2]
+			if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE "+name+" ") {
+				t.Fatalf("HELP for %s not followed by its TYPE at line %d", name, i)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			if !typeLine.MatchString(line) {
+				t.Fatalf("malformed TYPE line %d: %q", i, line)
+			}
+			if strings.HasSuffix(line, " histogram") {
+				name := strings.Fields(line)[2]
+				rest := strings.Join(lines[i+1:], "\n")
+				for _, want := range []string{name + `_bucket{le="+Inf"}`, name + "_sum ", name + "_count "} {
+					if !strings.Contains(rest, want) {
+						t.Fatalf("histogram %s missing %q", name, want)
+					}
+				}
+			}
+		default:
+			if !sampleLine.MatchString(line) {
+				t.Fatalf("malformed sample line %d: %q", i, line)
+			}
+		}
+	}
+}
+
+func TestRegistryExpositionIsWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.").Inc()
+	r.Gauge("b", "B.").Set(-1.5)
+	r.Histogram("c_seconds", "C.").Observe(10)
+	v := r.CounterVec("d_total", "D with \"quotes\".")
+	v.With(`path="/x",code="200"`).Inc()
+	var b strings.Builder
+	r.Expose(&b)
+	validateExposition(t, b.String())
+}
+
+func TestRegistryRegisterOnce(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "first")
+	mustPanic(t, "duplicate name", func() { r.Gauge("dup_total", "second") })
+	mustPanic(t, "invalid name", func() { r.Counter("bad name", "oops") })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}

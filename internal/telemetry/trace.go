@@ -1,0 +1,337 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// idBase is a per-process random base mixed into every generated ID so
+// traces from separate runs do not collide when files are concatenated.
+// Span/trace identity within a process is a simple atomic sequence, which
+// keeps ID generation off the allocator and makes test output predictable.
+var idBase = func() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}()
+
+var idSeq atomic.Uint64
+
+func nextID() uint64 { return idBase ^ idSeq.Add(1) }
+
+// ID is a trace or span identifier, rendered as 16 hex digits on the wire.
+type ID uint64
+
+// NewID mints a process-unique identifier from the same sequence spans use.
+// Callers outside the tracer (request-ID middleware, batch tags) share it so
+// one run's identifiers never collide.
+func NewID() ID { return ID(nextID()) }
+
+// MarshalJSON renders the ID in fixed-width hex.
+func (id ID) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", id.String())), nil
+}
+
+// UnmarshalJSON parses the hex form written by MarshalJSON.
+func (id *ID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(s, "%x", &v); err != nil {
+		return fmt.Errorf("telemetry: bad id %q: %w", s, err)
+	}
+	*id = ID(v)
+	return nil
+}
+
+// String renders the ID in fixed-width hex.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// Attr is one span attribute. Values are whatever the instrumentation
+// attached (numbers, strings, booleans); exporters serialize them as JSON.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// SpanData is the exported record of one finished span.
+type SpanData struct {
+	TraceID  ID     `json:"trace_id"`
+	SpanID   ID     `json:"span_id"`
+	ParentID ID     `json:"parent_id,omitempty"` // zero for root spans
+	Name     string `json:"name"`
+	Start    int64  `json:"start_unix_nano"`
+	End      int64  `json:"end_unix_nano"`
+	Attrs    []Attr `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's wall-clock extent.
+func (d SpanData) Duration() time.Duration { return time.Duration(d.End - d.Start) }
+
+// Attr returns the value of the named attribute, or nil.
+func (d SpanData) Attr(key string) any {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return nil
+}
+
+// Exporter receives finished spans. Implementations must be safe for
+// concurrent use; spans from different goroutines finish concurrently.
+type Exporter interface {
+	ExportSpan(SpanData)
+}
+
+// Tracer creates spans and hands finished ones to its exporter. A nil
+// *Tracer is the disabled tracer: Start returns the context unchanged and a
+// no-op span, with no allocations — instrumentation can stay in place
+// unconditionally on hot paths.
+type Tracer struct {
+	exp Exporter
+}
+
+// NewTracer builds a tracer around an exporter. A nil exporter yields a
+// disabled tracer.
+func NewTracer(exp Exporter) *Tracer {
+	if exp == nil {
+		return nil
+	}
+	return &Tracer{exp: exp}
+}
+
+// Enabled reports whether spans are recorded.
+func (t *Tracer) Enabled() bool { return t != nil && t.exp != nil }
+
+// noopSpan is the shared span returned by every disabled Start; all its
+// methods are no-ops.
+var noopSpan = &Span{}
+
+// Span is one timed operation. Spans are owned by the goroutine that
+// started them: SetAttr/End must not race with each other. A span created
+// by a disabled tracer (or the nil *Span) ignores all calls.
+type Span struct {
+	tracer *Tracer
+	ended  bool
+	data   SpanData
+}
+
+// spanKey carries the current span through a context.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx with sp installed as the current span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Start begins a root span (or a child, if ctx already carries a span from
+// this tracer). On a disabled tracer it returns ctx unchanged and the
+// shared no-op span, allocating nothing.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if !t.Enabled() {
+		return ctx, noopSpan
+	}
+	var parent, trace ID
+	if cur := SpanFromContext(ctx); cur != nil && cur.tracer != nil {
+		parent = cur.data.SpanID
+		trace = cur.data.TraceID
+	} else {
+		trace = ID(nextID())
+	}
+	sp := &Span{
+		tracer: t,
+		data: SpanData{
+			TraceID:  trace,
+			SpanID:   ID(nextID()),
+			ParentID: parent,
+			Name:     name,
+			Start:    time.Now().UnixNano(),
+		},
+	}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// StartSpan begins a child of the span carried by ctx, using that span's
+// tracer. Without a recording span in ctx it is a no-op: the context is
+// returned unchanged along with the shared no-op span, and nothing
+// allocates — this is the form instrumented library code calls.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	cur := SpanFromContext(ctx)
+	if cur == nil || cur.tracer == nil {
+		return ctx, noopSpan
+	}
+	return cur.tracer.Start(ctx, name)
+}
+
+// Recording reports whether the span will be exported. Guard expensive
+// attribute computation with it.
+func (s *Span) Recording() bool { return s != nil && s.tracer != nil }
+
+// SetAttr attaches a key/value attribute. Prefer the typed setters on paths
+// where boxing the value would allocate even when tracing is off.
+func (s *Span) SetAttr(key string, value any) {
+	if !s.Recording() {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetInt attaches an integer attribute without boxing on the disabled path.
+func (s *Span) SetInt(key string, value int64) {
+	if !s.Recording() {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetUint attaches an unsigned integer attribute without boxing on the
+// disabled path.
+func (s *Span) SetUint(key string, value uint64) {
+	if !s.Recording() {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetFloat attaches a float attribute without boxing on the disabled path.
+func (s *Span) SetFloat(key string, value float64) {
+	if !s.Recording() {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetStr attaches a string attribute without boxing on the disabled path.
+func (s *Span) SetStr(key, value string) {
+	if !s.Recording() {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Value: value})
+}
+
+// End finishes the span and exports it. End is idempotent; only the first
+// call exports.
+func (s *Span) End() {
+	if !s.Recording() || s.ended {
+		return
+	}
+	s.ended = true
+	s.data.End = time.Now().UnixNano()
+	s.tracer.exp.ExportSpan(s.data)
+}
+
+// MemoryExporter collects spans in memory, for tests and in-process
+// inspection.
+type MemoryExporter struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// ExportSpan implements Exporter.
+func (e *MemoryExporter) ExportSpan(d SpanData) {
+	e.mu.Lock()
+	e.spans = append(e.spans, d)
+	e.mu.Unlock()
+}
+
+// Spans returns a copy of everything exported so far.
+func (e *MemoryExporter) Spans() []SpanData {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]SpanData(nil), e.spans...)
+}
+
+// JSONLinesExporter writes one JSON object per finished span, the
+// repository's trace-file convention (cf. profile.WriteTrace). Writes are
+// buffered; call Close (or Flush) before reading the file.
+type JSONLinesExporter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONLinesExporter wraps w. If w is also an io.Closer, Close closes it.
+func NewJSONLinesExporter(w io.Writer) *JSONLinesExporter {
+	e := &JSONLinesExporter{bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		e.c = c
+	}
+	return e
+}
+
+// ExportSpan implements Exporter. The first write error sticks and is
+// reported by Close.
+func (e *JSONLinesExporter) ExportSpan(d SpanData) {
+	b, err := json.Marshal(d)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return
+	}
+	if err != nil {
+		e.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := e.bw.Write(b); err != nil {
+		e.err = err
+	}
+}
+
+// Flush drains the buffer to the underlying writer.
+func (e *JSONLinesExporter) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return e.err
+	}
+	return e.bw.Flush()
+}
+
+// Close flushes and closes the underlying writer (when it is closable),
+// returning the first error the exporter hit.
+func (e *JSONLinesExporter) Close() error {
+	ferr := e.Flush()
+	if e.c != nil {
+		if cerr := e.c.Close(); ferr == nil {
+			ferr = cerr
+		}
+	}
+	return ferr
+}
+
+// ReadSpans parses a JSON-lines trace written by JSONLinesExporter.
+func ReadSpans(r io.Reader) ([]SpanData, error) {
+	dec := json.NewDecoder(r)
+	var out []SpanData
+	for {
+		var d SpanData
+		if err := dec.Decode(&d); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("telemetry: decoding span %d: %w", len(out), err)
+		}
+		out = append(out, d)
+	}
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+func TestTracerParentingAndExport(t *testing.T) {
+	exp := &MemoryExporter{}
+	tr := NewTracer(exp)
+
+	ctx, root := tr.Start(context.Background(), "root")
+	root.SetStr("kind", "test")
+	cctx, child := tr.Start(ctx, "child")
+	_, grand := StartSpan(cctx, "grandchild")
+	grand.SetInt("n", 7)
+	grand.End()
+	child.End()
+	root.End()
+	root.End() // idempotent: must not double-export
+
+	spans := exp.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("exported %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	r, c, g := byName["root"], byName["child"], byName["grandchild"]
+	if r.ParentID != 0 {
+		t.Fatalf("root has parent %v", r.ParentID)
+	}
+	if c.ParentID != r.SpanID || g.ParentID != c.SpanID {
+		t.Fatalf("broken parent chain: root=%v child.parent=%v child=%v grand.parent=%v",
+			r.SpanID, c.ParentID, c.SpanID, g.ParentID)
+	}
+	for _, s := range []SpanData{c, g} {
+		if s.TraceID != r.TraceID {
+			t.Fatalf("span %s has trace %v, want %v", s.Name, s.TraceID, r.TraceID)
+		}
+	}
+	// Children are exported before parents (they end first), and nest.
+	for _, s := range []SpanData{r, c, g} {
+		if s.End < s.Start {
+			t.Fatalf("span %s ends before it starts", s.Name)
+		}
+	}
+	if c.Start < r.Start || c.End > r.End || g.Start < c.Start || g.End > c.End {
+		t.Fatal("child intervals do not nest within their parents")
+	}
+	if got := g.Attr("n"); got != int64(7) {
+		t.Fatalf("grandchild attr n = %v (%T)", got, got)
+	}
+	if r.Attr("kind") != "test" {
+		t.Fatalf("root attr kind = %v", r.Attr("kind"))
+	}
+}
+
+func TestJSONLinesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	exp := NewJSONLinesExporter(&buf)
+	tr := NewTracer(exp)
+	ctx, root := tr.Start(context.Background(), "a")
+	root.SetFloat("x", 1.5)
+	_, child := tr.Start(ctx, "b")
+	child.End()
+	root.End()
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("round-tripped %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "b" || spans[1].Name != "a" {
+		t.Fatalf("unexpected order: %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].ParentID != spans[1].SpanID || spans[0].TraceID != spans[1].TraceID {
+		t.Fatal("ids did not survive the JSON round trip")
+	}
+	if spans[1].Attr("x") != 1.5 {
+		t.Fatalf("attr x = %v", spans[1].Attr("x"))
+	}
+}
+
+// TestDisabledTracerAllocatesNothing is the contract that lets span calls
+// stay in place unconditionally on hot paths: with no tracer (nil, or no
+// span in the context), starting spans and setting typed attributes must
+// not allocate.
+func TestDisabledTracerAllocatesNothing(t *testing.T) {
+	var tr *Tracer
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		c, sp := tr.Start(ctx, "x")
+		sp.SetUint("events", 123456789)
+		sp.SetInt("n", -42)
+		sp.SetFloat("cycles", 3.5e9)
+		sp.SetStr("arch", "Core2")
+		sp.End()
+		_, sp2 := StartSpan(c, "y")
+		sp2.End()
+	}); n != 0 {
+		t.Fatalf("disabled tracer allocated %v times per op", n)
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := map[ID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatalf("duplicate id %s after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+	if len(NewID().String()) != 16 {
+		t.Fatalf("id %s is not 16 hex digits", NewID())
+	}
+}

@@ -4,35 +4,47 @@ import (
 	"io"
 
 	"repro/internal/opstats"
+	"repro/internal/telemetry"
 )
+
+// Registry is the training pipeline's central metric registry: every
+// brainy_train_* counter is registered once, with HELP/TYPE metadata, and
+// the whole family renders in one sorted pass (Expose).
+var Registry = telemetry.NewRegistry()
 
 // PipelineMetrics aggregates throughput counters for the training pipeline
 // so long runs are observable: how many synthetic applications Phase-I has
 // simulated, how many decisive labels it has found, how much simulated
-// machine time has been burned, and how far Phase-II and model fitting have
-// progressed. All fields are safe for concurrent use.
+// machine time has been burned, and how far Phase-II, validation, and model
+// fitting have progressed. All fields are safe for concurrent use.
 type PipelineMetrics struct {
-	SeedsScanned    opstats.Counter      // Phase-I applications generated and simulated
-	LabelsFound     opstats.Counter      // decisive (seed, best) pairs recorded
-	CyclesSimulated opstats.FloatCounter // simulated machine cycles across all phases
-	Phase2Examples  opstats.Counter      // labelled feature vectors produced
-	Phase2Dropped   opstats.Counter      // Phase-II examples dropped (winner outside candidates)
-	ModelsTrained   opstats.Counter      // ANNs fitted
-	TargetsResumed  opstats.Counter      // targets skipped entirely via checkpoint resume
+	SeedsScanned    *opstats.Counter      // Phase-I applications generated and simulated
+	LabelsFound     *opstats.Counter      // decisive (seed, best) pairs recorded
+	CyclesSimulated *opstats.FloatCounter // simulated machine cycles across all phases
+	EventsSimulated *opstats.Counter      // simulated machine events (memory ops, branches, allocator calls)
+	Phase2Examples  *opstats.Counter      // labelled feature vectors produced
+	Phase2Dropped   *opstats.Counter      // Phase-II examples dropped (winner outside candidates)
+	ModelsTrained   *opstats.Counter      // ANNs fitted
+	TargetsResumed  *opstats.Counter      // targets skipped entirely via checkpoint resume
+	ValidationApps  *opstats.Counter      // validation applications simulated
 }
 
 // Metrics is the package-wide pipeline instrumentation, incremented by
-// Phase1/Phase2/TrainArchs as they run.
-var Metrics PipelineMetrics
+// Phase1/Phase2/Validate/TrainArchs as they run.
+var Metrics = PipelineMetrics{
+	SeedsScanned:    Registry.Counter("brainy_train_seeds_scanned_total", "Phase-I applications generated and simulated."),
+	LabelsFound:     Registry.Counter("brainy_train_labels_found_total", "Decisive (seed, best) pairs recorded by Phase-I."),
+	CyclesSimulated: Registry.FloatCounter("brainy_train_simulated_cycles_total", "Simulated machine cycles across all phases."),
+	EventsSimulated: Registry.Counter("brainy_train_simulated_events_total", "Simulated machine events (memory ops, branches, allocator calls)."),
+	Phase2Examples:  Registry.Counter("brainy_train_phase2_examples_total", "Labelled feature vectors produced by Phase-II."),
+	Phase2Dropped:   Registry.Counter("brainy_train_phase2_dropped_total", "Phase-II examples dropped (winner outside candidates)."),
+	ModelsTrained:   Registry.Counter("brainy_train_models_trained_total", "ANNs fitted."),
+	TargetsResumed:  Registry.Counter("brainy_train_targets_resumed_total", "Targets skipped entirely via checkpoint resume."),
+	ValidationApps:  Registry.Counter("brainy_train_validation_apps_total", "Validation applications simulated."),
+}
 
-// Expose writes every counter in the Prometheus text exposition format
-// under the brainy_train_* namespace.
+// Expose writes every counter, with HELP and TYPE metadata, in the
+// Prometheus text exposition format under the brainy_train_* namespace.
 func (m *PipelineMetrics) Expose(w io.Writer) {
-	m.SeedsScanned.Expose(w, "brainy_train_seeds_scanned_total", "")
-	m.LabelsFound.Expose(w, "brainy_train_labels_found_total", "")
-	m.CyclesSimulated.Expose(w, "brainy_train_simulated_cycles_total", "")
-	m.Phase2Examples.Expose(w, "brainy_train_phase2_examples_total", "")
-	m.Phase2Dropped.Expose(w, "brainy_train_phase2_dropped_total", "")
-	m.ModelsTrained.Expose(w, "brainy_train_models_trained_total", "")
-	m.TargetsResumed.Expose(w, "brainy_train_targets_resumed_total", "")
+	Registry.Expose(w)
 }

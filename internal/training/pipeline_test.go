@@ -88,7 +88,7 @@ func TestPhase1StopsDispatchingAtSaturation(t *testing.T) {
 	opt.MaxSeeds = 4000
 	p := newPool(opt.Workers)
 	defer p.close()
-	labels, scanned, err := phase1(context.Background(), tgt, opt, p)
+	labels, scanned, _, err := phase1(context.Background(), tgt, opt, p)
 	if err != nil {
 		t.Fatal(err)
 	}

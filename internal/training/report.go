@@ -1,0 +1,164 @@
+package training
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// RunReport is the machine-readable end-of-run summary brainy-train emits
+// with -report: where the wall clock went, what Phase-I decided, how the
+// models validated, and how hard the simulator worked. The schema is
+// versioned so downstream tooling can evolve with it.
+type RunReport struct {
+	SchemaVersion int       `json:"schema_version"`
+	StartedAt     time.Time `json:"started_at"`
+	FinishedAt    time.Time `json:"finished_at"`
+	WallSeconds   float64   `json:"wall_seconds"`
+
+	// Totals across every (target, architecture) unit.
+	SeedsScanned  uint64  `json:"seeds_scanned"`
+	LabelsFound   uint64  `json:"labels_found"`
+	Examples      uint64  `json:"phase2_examples"`
+	Dropped       uint64  `json:"phase2_dropped"`
+	ModelsTrained int     `json:"models_trained"`
+	Resumed       int     `json:"targets_resumed"`
+	SimCycles     float64 `json:"simulated_cycles"`
+	SimEvents     uint64  `json:"simulated_events"`
+	SeedsPerSec   float64 `json:"seeds_per_sec"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+
+	// StageSeconds aggregates per-stage wall clock across all units. The
+	// stages run concurrently on one pool, so these sum to more than
+	// WallSeconds on multi-worker runs; they show where the budget went.
+	StageSeconds map[string]float64 `json:"stage_seconds"`
+
+	// LabelDistribution counts Phase-I decisive labels by winning kind,
+	// keyed "arch/target" then kind.
+	LabelDistribution map[string]map[string]int `json:"label_distribution"`
+
+	Targets []TargetReport `json:"targets"`
+}
+
+// TargetReport is one (target, architecture) unit of the report.
+type TargetReport struct {
+	Arch          string             `json:"arch"`
+	Target        string             `json:"target"`
+	OrderAware    bool               `json:"order_aware"`
+	Resumed       bool               `json:"resumed"`
+	SeedsScanned  int                `json:"seeds_scanned"`
+	Labels        int                `json:"labels"`
+	Examples      int                `json:"examples"`
+	Dropped       int                `json:"dropped,omitempty"`
+	TrainAccuracy float64            `json:"train_accuracy"`
+	ValApps       int                `json:"validation_apps,omitempty"`
+	ValAccuracy   float64            `json:"validation_accuracy,omitempty"`
+	ElapsedSec    float64            `json:"elapsed_seconds"`
+	StageSeconds  map[string]float64 `json:"stage_seconds"`
+	SimCycles     float64            `json:"simulated_cycles"`
+	SimEvents     uint64             `json:"simulated_events"`
+}
+
+// stageSeconds flattens a StageTimes into the report's map form, omitting
+// stages that never ran.
+func stageSeconds(st StageTimes) map[string]float64 {
+	out := make(map[string]float64, 5)
+	put := func(name string, d time.Duration) {
+		if d > 0 {
+			out[name] = d.Seconds()
+		}
+	}
+	put("phase1", st.Phase1)
+	put("phase2", st.Phase2)
+	put("fit", st.Fit)
+	put("validate", st.Validate)
+	put("checkpoint", st.Checkpoint)
+	return out
+}
+
+// BuildReport assembles the run report from the per-target results
+// TrainArchs delivered between start and finish.
+func BuildReport(results []TargetResult, start, finish time.Time) RunReport {
+	r := RunReport{
+		SchemaVersion:     1,
+		StartedAt:         start.UTC(),
+		FinishedAt:        finish.UTC(),
+		WallSeconds:       finish.Sub(start).Seconds(),
+		StageSeconds:      map[string]float64{},
+		LabelDistribution: map[string]map[string]int{},
+	}
+	// Deterministic report order regardless of completion interleaving.
+	sorted := append([]TargetResult(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Arch != b.Arch {
+			return a.Arch < b.Arch
+		}
+		at, bt := targetName(a), targetName(b)
+		if at != bt {
+			return at < bt
+		}
+		return !a.Model.Target.OrderAware && b.Model.Target.OrderAware
+	})
+	for _, res := range sorted {
+		name := targetName(res)
+		tr := TargetReport{
+			Arch:          res.Arch,
+			Target:        name,
+			OrderAware:    res.Model.Target.OrderAware,
+			Resumed:       res.Resumed,
+			SeedsScanned:  res.SeedsScanned,
+			Labels:        res.Labels,
+			Examples:      res.Examples,
+			Dropped:       res.Dropped,
+			TrainAccuracy: res.TrainAccuracy,
+			ValApps:       res.ValApps,
+			ValAccuracy:   res.ValAccuracy,
+			ElapsedSec:    res.Elapsed.Seconds(),
+			StageSeconds:  stageSeconds(res.Stages),
+			SimCycles:     res.HW.Cycles,
+			SimEvents:     res.HW.Events(),
+		}
+		r.Targets = append(r.Targets, tr)
+
+		r.SeedsScanned += uint64(res.SeedsScanned)
+		r.LabelsFound += uint64(res.Labels)
+		r.Examples += uint64(res.Examples)
+		r.Dropped += uint64(res.Dropped)
+		r.ModelsTrained++
+		if res.Resumed {
+			r.Resumed++
+		}
+		r.SimCycles += res.HW.Cycles
+		r.SimEvents += res.HW.Events()
+		for stage, sec := range tr.StageSeconds {
+			r.StageSeconds[stage] += sec
+		}
+		if len(res.LabelDist) > 0 {
+			r.LabelDistribution[res.Arch+"/"+name] = res.LabelDist
+		}
+	}
+	if r.WallSeconds > 0 {
+		r.SeedsPerSec = float64(r.SeedsScanned) / r.WallSeconds
+		r.EventsPerSec = float64(r.SimEvents) / r.WallSeconds
+	}
+	return r
+}
+
+// targetName renders a result's target identity, distinguishing the
+// order-aware and order-oblivious models of one kind.
+func targetName(res TargetResult) string {
+	name := res.Model.Target.Kind.String()
+	if res.Model.Target.OrderAware {
+		return name + "(ordered)"
+	}
+	return name
+}
+
+// WriteJSON serializes the report, indented, to w.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,204 @@
+package training
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/telemetry"
+)
+
+// TestTracedTrainingRun is the pipeline-instrumentation acceptance test: a
+// tiny training job runs with tracing enabled, and the exported trace must
+// be structurally sound — spans nest (child intervals inside parents, end
+// after start), every stage appears for every (target, arch) unit, and the
+// simulator counter attributes carry real work.
+func TestTracedTrainingRun(t *testing.T) {
+	exp := &telemetry.MemoryExporter{}
+	opt := quickOptions()
+	targets := []adt.ModelTarget{
+		{Kind: adt.KindVector, OrderAware: false},
+		{Kind: adt.KindSet, OrderAware: false},
+	}
+	cfg := PipelineConfig{
+		Workers:        4,
+		Tracer:         telemetry.NewTracer(exp),
+		ValidationApps: 3,
+	}
+	set, err := TrainArchs(context.Background(), []Options{opt}, quickANN(), targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != len(targets) {
+		t.Fatalf("trained %d models, want %d", set.Len(), len(targets))
+	}
+
+	spans := exp.Spans()
+	byID := map[telemetry.ID]telemetry.SpanData{}
+	byName := map[string][]telemetry.SpanData{}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Fatalf("span %s ends before it starts", s.Name)
+		}
+		byID[s.SpanID] = s
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+
+	// One root, one trace: every span carries the root's trace ID and a
+	// resolvable parent chain with nested intervals.
+	if n := len(byName["train"]); n != 1 {
+		t.Fatalf("%d train root spans, want 1", n)
+	}
+	root := byName["train"][0]
+	for _, s := range spans {
+		if s.TraceID != root.TraceID {
+			t.Fatalf("span %s is on trace %v, want %v", s.Name, s.TraceID, root.TraceID)
+		}
+		if s.SpanID == root.SpanID {
+			continue
+		}
+		parent, ok := byID[s.ParentID]
+		if !ok {
+			t.Fatalf("span %s has unknown parent %v", s.Name, s.ParentID)
+		}
+		if s.Start < parent.Start || s.End > parent.End {
+			t.Fatalf("span %s [%d,%d] does not nest in parent %s [%d,%d]",
+				s.Name, s.Start, s.End, parent.Name, parent.Start, parent.End)
+		}
+	}
+
+	// Every stage appears once per (target, arch) unit.
+	for _, stage := range []string{"target", "phase1", "phase2", "fit", "validate"} {
+		if n := len(byName[stage]); n != len(targets) {
+			t.Fatalf("%d %q spans, want %d", n, stage, len(targets))
+		}
+	}
+
+	// Simulation stages carry non-zero simulator counters.
+	attrFloat := func(s telemetry.SpanData, key string) float64 {
+		switch v := s.Attr(key).(type) {
+		case uint64:
+			return float64(v)
+		case int64:
+			return float64(v)
+		case float64:
+			return v
+		default:
+			t.Fatalf("span %s attr %s = %v (%T)", s.Name, key, v, v)
+			return 0
+		}
+	}
+	for _, stage := range []string{"phase1", "phase2", "validate"} {
+		for _, s := range byName[stage] {
+			for _, key := range []string{"sim.events", "sim.cycles", "sim.l1_misses", "sim.mispredicts"} {
+				if attrFloat(s, key) <= 0 {
+					t.Fatalf("span %s has %s = %v, want > 0", s.Name, key, s.Attr(key))
+				}
+			}
+		}
+	}
+
+	// The validation stage reported its protocol parameters.
+	for _, s := range byName["validate"] {
+		if got := attrFloat(s, "apps"); got != float64(cfg.ValidationApps) {
+			t.Fatalf("validate span apps = %v, want %d", got, cfg.ValidationApps)
+		}
+	}
+}
+
+// TestDisabledTracerNoAllocsOnHotLoop is the companion guarantee: with
+// tracing disabled, span instrumentation around the simulator hot loop adds
+// zero allocations, so the events/sec fast path of PR 3 is untouched.
+func TestDisabledTracerNoAllocsOnHotLoop(t *testing.T) {
+	m := machine.New(machine.Core2())
+	ctx := context.Background()
+	var site mem.BranchSite = 0x40
+	if n := testing.AllocsPerRun(200, func() {
+		sctx, sp := telemetry.StartSpan(ctx, "phase1")
+		for i := 0; i < 64; i++ {
+			addr := mem.Addr(0x100000 + 64*i)
+			m.Read(addr, 8)
+			m.Write(addr, 8)
+			m.Branch(site, i%3 == 0)
+			m.Work(1)
+		}
+		c := m.Counters()
+		sp.SetUint("sim.events", c.Events())
+		sp.SetFloat("sim.cycles", c.Cycles)
+		sp.End()
+		_ = sctx
+	}); n != 0 {
+		t.Fatalf("disabled tracing allocated %v times per simulated batch", n)
+	}
+}
+
+// TestTargetResultObservability checks the fields the run report is built
+// from: stage wall clocks, label distribution, aggregated counters, and
+// validation accuracy land on each TargetResult.
+func TestTargetResultObservability(t *testing.T) {
+	opt := quickOptions()
+	var results []TargetResult
+	cfg := PipelineConfig{
+		Workers:        4,
+		ValidationApps: 2,
+		OnTarget:       func(r TargetResult) { results = append(results, r) },
+	}
+	targets := []adt.ModelTarget{{Kind: adt.KindVector, OrderAware: false}}
+	if _, err := TrainArchs(context.Background(), []Options{opt}, quickANN(), targets, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.Stages.Phase1 <= 0 || r.Stages.Phase2 <= 0 || r.Stages.Fit <= 0 || r.Stages.Validate <= 0 {
+		t.Fatalf("missing stage times: %+v", r.Stages)
+	}
+	if r.HW.Events() == 0 || r.HW.Cycles <= 0 {
+		t.Fatalf("no aggregated simulator counters: %+v", r.HW)
+	}
+	total := 0
+	for _, n := range r.LabelDist {
+		total += n
+	}
+	if total != r.Labels {
+		t.Fatalf("label distribution sums to %d, want %d labels", total, r.Labels)
+	}
+	if r.ValApps != 2 {
+		t.Fatalf("ValApps = %d, want 2", r.ValApps)
+	}
+
+	// The report built from these results reflects them faithfully and
+	// round-trips as JSON.
+	start := time.Now().Add(-r.Elapsed)
+	rep := BuildReport(results, start, time.Now())
+	if rep.SeedsScanned != uint64(r.SeedsScanned) || rep.LabelsFound != uint64(r.Labels) {
+		t.Fatalf("report totals %d/%d do not match result %d/%d",
+			rep.SeedsScanned, rep.LabelsFound, r.SeedsScanned, r.Labels)
+	}
+	if rep.StageSeconds["phase1"] <= 0 || rep.StageSeconds["validate"] <= 0 {
+		t.Fatalf("report stage seconds missing: %+v", rep.StageSeconds)
+	}
+	if len(rep.Targets) != 1 || rep.Targets[0].ValApps != 2 {
+		t.Fatalf("report targets: %+v", rep.Targets)
+	}
+	if len(rep.LabelDistribution) != 1 {
+		t.Fatalf("report label distribution: %+v", rep.LabelDistribution)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.SchemaVersion != 1 || back.SeedsScanned != rep.SeedsScanned {
+		t.Fatalf("round-tripped report drifted: %+v", back)
+	}
+}

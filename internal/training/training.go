@@ -74,7 +74,7 @@ type SeedLabel struct {
 func Phase1(ctx context.Context, target adt.ModelTarget, opt Options) ([]SeedLabel, error) {
 	p := newPool(opt.workers())
 	defer p.close()
-	labels, _, err := phase1(ctx, target, opt, p)
+	labels, _, _, err := phase1(ctx, target, opt, p)
 	return labels, err
 }
 
@@ -106,7 +106,8 @@ func (d *Dataset) CandidateIndex(kind adt.Kind) int {
 func Phase2(ctx context.Context, target adt.ModelTarget, labels []SeedLabel, opt Options) (Dataset, error) {
 	p := newPool(opt.workers())
 	defer p.close()
-	return phase2(ctx, target, labels, opt, p)
+	ds, _, err := phase2(ctx, target, labels, opt, p)
+	return ds, err
 }
 
 // Model is one trained predictor for (target container, architecture).
@@ -186,5 +187,6 @@ func Oracle(app *appgen.App, cfg appgen.Config, arch machine.Config) adt.Kind {
 func Validate(ctx context.Context, m *Model, opt Options, n int, seedBase int64) (float64, error) {
 	p := newPool(opt.workers())
 	defer p.close()
-	return validate(ctx, m, opt, n, seedBase, p)
+	acc, _, err := validate(ctx, m, opt, n, seedBase, p)
+	return acc, err
 }
