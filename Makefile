@@ -29,6 +29,7 @@ smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDequeOps -fuzztime=10s ./internal/containers/deque
 	$(GO) test -run='^$$' -fuzz=FuzzTableOps -fuzztime=10s ./internal/containers/hashtable
 	$(GO) test -run='^$$' -fuzz=FuzzTreeOps  -fuzztime=10s ./internal/containers/rbtree
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRecords -fuzztime=10s ./internal/profile
 
 # Train a registry (override budget via brainy-train flags) then serve it.
 train:

@@ -8,20 +8,26 @@
 //
 // Endpoints:
 //
-//	POST /v1/advise?arch=Core2   profile trace in (JSON lines or array),
-//	                             prioritized replacement plan out
-//	GET  /healthz                liveness and model count
-//	GET  /metrics                text exposition of service metrics
-//	GET  /debug/pprof/           runtime profiling (only with -pprof)
+//	POST /v1/advise?arch=Core2    profile trace in (JSON lines or array),
+//	                              prioritized replacement plan out
+//	POST /v1/profiles?arch=Core2  streamed snapshot windows in; per-instance
+//	                              timelines and phase-drift detection out
+//	GET  /debug/brainy            live status page: feature timelines,
+//	                              current vs. initial advice, drift flags
+//	                              (?format=text|json|html)
+//	GET  /healthz                 liveness and model count
+//	GET  /metrics                 text exposition of service metrics
+//	GET  /debug/pprof/            runtime profiling (only with -pprof)
 //
 // Every request carries a correlation ID: a client-supplied X-Request-ID is
 // propagated, otherwise one is minted; either way it is echoed in the
 // response header, every log line, and (with -trace) the request's spans.
 //
 // The process drains in-flight requests and exits cleanly on SIGINT or
-// SIGTERM. With -check it only validates the registry (exit 0 when every
-// model loads, non-zero otherwise) without binding a socket — the CI gate
-// for freshly trained or hand-shipped artifacts.
+// SIGTERM; buffered trace output is flushed before exit on every path. With
+// -check it only validates the registry (exit 0 when every model loads,
+// non-zero otherwise) without binding a socket — the CI gate for freshly
+// trained or hand-shipped artifacts.
 package main
 
 import (
@@ -42,6 +48,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("brainy-serve: ")
+	// All real work happens in run so its defers — trace flush above all —
+	// execute on every exit path; log.Fatal here would skip them.
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	var (
 		modelsPath  = flag.String("models", "models.json", "trained model registry (from brainy-train)")
 		addr        = flag.String("addr", ":8377", "listen address")
@@ -55,30 +69,38 @@ func main() {
 		check       = flag.Bool("check", false, "validate the model registry and exit without serving")
 		enablePprof = flag.Bool("pprof", false, "mount /debug/pprof/ (opt-in: profiling endpoints on a production listener)")
 		traceOut    = flag.String("trace", "", "write a JSON-lines span trace of served requests to this file")
+
+		maxInstances = flag.Int("max-instances", 256, "instance timelines retained for /v1/profiles (LRU beyond)")
+		timelineWin  = flag.Int("timeline-windows", 32, "recent windows retained per instance timeline")
+		driftRules   = flag.Bool("drift-rules", false, "evaluate drift with the deterministic rules advisor instead of the loaded models")
+		driftWindow  = flag.Int("drift-window", 0, "windows blended per drift evaluation (0 = default)")
+		driftHyst    = flag.Int("drift-hysteresis", 0, "consecutive divergent verdicts before a drift event (0 = default)")
 	)
 	flag.Parse()
 
 	f, err := os.Open(*modelsPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	set, err := training.LoadModelSet(f)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *check {
 		log.Printf("%s: ok (%d models)", *modelsPath, set.Len())
-		return
+		return nil
 	}
 
 	var tracer *telemetry.Tracer
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		exp := telemetry.NewJSONLinesExporter(tf)
+		// Runs after the server has drained, on interrupt and error paths
+		// alike: a SIGINT must never truncate the buffered span tail.
 		defer func() {
 			if err := exp.Close(); err != nil {
 				log.Printf("warning: writing trace %s: %v", *traceOut, err)
@@ -89,22 +111,25 @@ func main() {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := serve.New(set, serve.Config{
-		Addr:           *addr,
-		DefaultArch:    *arch,
-		MaxBodyBytes:   *maxBody,
-		MaxProfiles:    *maxProfiles,
-		RequestTimeout: *timeout,
-		MaxConcurrent:  *concurrency,
-		CacheSize:      *cacheSize,
-		ShutdownGrace:  *grace,
-		Logger:         logger,
-		Tracer:         tracer,
-		EnablePprof:    *enablePprof,
+		Addr:            *addr,
+		DefaultArch:     *arch,
+		MaxBodyBytes:    *maxBody,
+		MaxProfiles:     *maxProfiles,
+		RequestTimeout:  *timeout,
+		MaxConcurrent:   *concurrency,
+		CacheSize:       *cacheSize,
+		ShutdownGrace:   *grace,
+		Logger:          logger,
+		Tracer:          tracer,
+		EnablePprof:     *enablePprof,
+		MaxInstances:    *maxInstances,
+		TimelineWindows: *timelineWin,
+		DriftRules:      *driftRules,
+		DriftWindow:     *driftWindow,
+		DriftHysteresis: *driftHyst,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := srv.ListenAndServe(ctx); err != nil {
-		log.Fatal(err)
-	}
+	return srv.ListenAndServe(ctx)
 }

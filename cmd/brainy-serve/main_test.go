@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/telemetry"
+	"repro/internal/training"
+	"repro/internal/workloads/phases"
+)
+
+// TestInterruptFlushesTrace is the flush-bug regression test: build the
+// real binary, serve with -trace, handle one request, SIGINT the process,
+// and re-read the trace file. Before main was restructured around run(),
+// log.Fatal on the exit path skipped the exporter's deferred Close, so an
+// interrupted run could truncate the buffered span tail; now ReadSpans must
+// parse the file cleanly and see the request's spans.
+func TestInterruptFlushesTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "brainy-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// A one-model registry is enough: startup validates it, and the
+	// /v1/profiles request under test runs on the rules advisor.
+	modelsPath := filepath.Join(dir, "models.json")
+	writeTestModels(t, modelsPath)
+
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	cmd := exec.Command(bin,
+		"-models", modelsPath,
+		"-addr", "127.0.0.1:0",
+		"-trace", tracePath,
+		"-drift-rules", "-drift-window", "2", "-drift-hysteresis", "2",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The server logs `listening addr=127.0.0.1:PORT` once bound; scan
+	// stderr for it rather than racing a pre-picked port.
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "addr="); i >= 0 && strings.Contains(line, "listening") {
+				addr := line[i+len("addr="):]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				addrc <- addr
+			}
+			// Keep draining so the child never blocks on a full pipe.
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never logged its listen address")
+	}
+
+	resp, err := http.Post(base+"/v1/profiles?arch=Core2", "application/json",
+		bytes.NewReader(windowStream(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profiles status = %d", resp.StatusCode)
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("interrupted server exited non-zero: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGINT")
+	}
+
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	spans, err := telemetry.ReadSpans(tf)
+	if err != nil {
+		t.Fatalf("trace written by an interrupted run must re-read cleanly: %v", err)
+	}
+	var sawProfiles bool
+	for _, s := range spans {
+		if s.Name == "profiles" {
+			sawProfiles = true
+		}
+	}
+	if !sawProfiles {
+		names := make([]string, 0, len(spans))
+		for _, s := range spans {
+			names = append(names, s.Name)
+		}
+		t.Fatalf("flushed trace misses the request's spans; got %d spans: %v", len(spans), names)
+	}
+}
+
+// writeTestModels saves a minimal loadable registry: one untrained
+// vector/Core2 model.
+func writeTestModels(t *testing.T, path string) {
+	t.Helper()
+	set := training.NewModelSet()
+	tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
+	cands := adt.CandidatesWithOriginal(tgt.Kind, tgt.OrderAware)
+	cfg := ann.DefaultConfig()
+	cfg.Seed = 7
+	set.Put(&training.Model{
+		Target:     tgt,
+		Arch:       "Core2",
+		Candidates: cands,
+		Net:        ann.New(profile.NumFeatures, len(cands), cfg),
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Save(f); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// windowStream renders the phasedemo workload as snapshot windows — the
+// request body for the test's one profiled ingestion.
+func windowStream(t *testing.T) []byte {
+	t.Helper()
+	m := machine.New(machine.Core2())
+	var buf bytes.Buffer
+	exp := profile.NewSnapshotExporter(&buf)
+	reg := profile.NewRegistry(m)
+	reg.EnableWindows(64, exp)
+	c := reg.NewContainer(phases.Original, 8, phases.Context, false)
+	phases.Drive(c, phases.Config{})
+	reg.FlushWindows()
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty window stream")
+	}
+	return buf.Bytes()
+}
+
+// TestCheckMode exercises -check against good and bad registries without
+// binding a socket.
+func TestCheckMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "brainy-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	good := filepath.Join(dir, "models.json")
+	writeTestModels(t, good)
+	out, err := exec.Command(bin, "-models", good, "-check").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-check on a valid registry failed: %v\n%s", err, out)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(bin, "-models", bad, "-check").CombinedOutput()
+	if err == nil {
+		t.Fatalf("-check on a broken registry should exit non-zero, got:\n%s", out)
+	}
+}

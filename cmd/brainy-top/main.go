@@ -1,0 +1,145 @@
+// Command brainy-top is the terminal companion to brainy-serve's windowed
+// profiling: it polls the service's /debug/brainy?format=json dashboard and
+// renders a top-style live view of every instance timeline — operation-mix
+// glyphs, current vs. initial advice, and drift flags — refreshing in
+// place.
+//
+// Usage:
+//
+//	brainy-top -addr http://localhost:8377 [-interval 2s] [-once]
+//
+// With -once it fetches a single dashboard, prints it without clearing the
+// terminal, and exits — the scriptable/test mode. Exit status is non-zero
+// when the service is unreachable.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("brainy-top: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "http://localhost:8377", "base URL of the brainy-serve instance to watch")
+		interval = flag.Duration("interval", 2*time.Second, "poll interval")
+		once     = flag.Bool("once", false, "fetch one dashboard, print it, and exit")
+	)
+	flag.Parse()
+	if *interval <= 0 {
+		return fmt.Errorf("-interval must be positive, got %s", *interval)
+	}
+	url := strings.TrimSuffix(*addr, "/") + "/debug/brainy?format=json"
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	if *once {
+		d, err := fetchDashboard(client, url)
+		if err != nil {
+			return err
+		}
+		fmt.Print(render(d, *addr))
+		return nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	// Poll immediately, then on the ticker; a fetch error is drawn into the
+	// view rather than killing the watch — the service may just be
+	// restarting.
+	for {
+		frame, err := func() (string, error) {
+			d, ferr := fetchDashboard(client, url)
+			if ferr != nil {
+				return "", ferr
+			}
+			return render(d, *addr), nil
+		}()
+		// \x1b[H\x1b[2J homes the cursor and clears: redraw in place like
+		// top rather than scrolling history away.
+		fmt.Print("\x1b[H\x1b[2J")
+		if err != nil {
+			fmt.Printf("brainy-top: %v (retrying every %s)\n", err, *interval)
+		} else {
+			fmt.Print(frame)
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return nil
+		case <-ticker.C:
+		}
+	}
+}
+
+// fetchDashboard pulls and decodes one JSON dashboard.
+func fetchDashboard(client *http.Client, url string) (*serve.DashboardResponse, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var d serve.DashboardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return nil, fmt.Errorf("decoding dashboard: %w", err)
+	}
+	return &d, nil
+}
+
+// render draws one frame. Rows arrive most-recently-active first from the
+// service; that order is kept so the busiest timelines sit at the top.
+func render(d *serve.DashboardResponse, addr string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "brainy-top — %s\n", addr)
+	fmt.Fprintf(&b, "instances %d/%d  windows %d  drift-events %d  out-of-order %d\n\n",
+		d.Instances, d.MaxInstances, d.Windows, d.DriftEvents, d.OutOfOrder)
+	if len(d.Rows) == 0 {
+		b.WriteString("no instance timelines yet: POST snapshot windows to /v1/profiles\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-32s %-9s %6s %8s  %-22s %5s %6s  %s\n",
+		"INSTANCE", "KIND", "WIN", "OPS", "ADVICE", "CONF", "DRIFT", "TIMELINE")
+	for _, row := range d.Rows {
+		advice := "-"
+		conf := "    -"
+		if row.Advised {
+			advice = row.Initial
+			if row.Current != row.Initial {
+				advice = row.Initial + " -> " + row.Current
+			}
+			conf = fmt.Sprintf("%5.2f", row.Confidence)
+		}
+		driftCol := "."
+		if row.Drifted {
+			driftCol = fmt.Sprintf("DRIFT%d", row.Events)
+		}
+		fmt.Fprintf(&b, "%-32s %-9s %6d %8d  %-22s %s %6s  %s\n",
+			row.Key, row.Kind, row.Windows, row.Ops, advice, conf, driftCol, row.Mix)
+	}
+	b.WriteString("\nmix glyphs: a=append f=find s=scan e=erase .=mixed (one per retained window, oldest first)\n")
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestFetchAndRender(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/brainy" || r.URL.Query().Get("format") != "json" {
+			http.Error(w, "wrong path", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{
+			"instances": 1, "max_instances": 256, "windows": 21,
+			"drift_events": 1, "out_of_order": 0,
+			"rows": [{
+				"key": "phasedemo/working-set#0", "context": "phasedemo/working-set",
+				"instance": 0, "kind": "vector", "windows": 21, "ops": 1312,
+				"advised": true, "initial": "vector", "current": "hash_set",
+				"confidence": 1, "drifted": true, "events": 1,
+				"mix": "aaaafffff", "timeline": []
+			}]
+		}`))
+	}))
+	defer srv.Close()
+
+	d, err := fetchDashboard(srv.Client(), srv.URL+"/debug/brainy?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := render(d, srv.URL)
+	for _, want := range []string{
+		"brainy-top — " + srv.URL,
+		"instances 1/256  windows 21  drift-events 1  out-of-order 0",
+		"phasedemo/working-set#0",
+		"vector -> hash_set",
+		"DRIFT1",
+		"aaaafffff",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFetchDashboardErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no dashboard here", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	if _, err := fetchDashboard(srv.Client(), srv.URL+"/debug/brainy?format=json"); err == nil {
+		t.Fatal("expected error on 404")
+	} else if !strings.Contains(err.Error(), "no dashboard here") {
+		t.Errorf("error should carry the body, got: %v", err)
+	}
+
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{not json"))
+	}))
+	defer bad.Close()
+	if _, err := fetchDashboard(bad.Client(), bad.URL+"/x"); err == nil {
+		t.Fatal("expected error on malformed JSON")
+	}
+
+	srv.Close()
+	if _, err := fetchDashboard(srv.Client(), srv.URL+"/x"); err == nil {
+		t.Fatal("expected error when the service is down")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := render(&serve.DashboardResponse{MaxInstances: 16, Rows: nil}, "http://x")
+	if !strings.Contains(out, "no instance timelines yet") {
+		t.Errorf("empty dashboard should say so:\n%s", out)
+	}
+}

@@ -5,22 +5,25 @@
 // Training streams on one shared worker pool across every (model,
 // architecture) pair and checkpoints each target's Phase-I labels, Phase-II
 // dataset, and fitted model as they complete. A run interrupted with ^C (or
-// SIGTERM) exits cleanly after the in-flight simulations drain; re-running
-// with -resume skips every finished stage and produces a registry identical
-// to an uninterrupted run.
+// SIGTERM) exits cleanly after the in-flight simulations drain — buffered
+// trace and profile output is flushed on every exit path; re-running with
+// -resume skips every finished stage and produces a registry identical to
+// an uninterrupted run.
 //
 // The run is observable end to end: -progress prints periodic throughput
 // lines (seeds/sec, labels found, ETA) to stderr so stdout stays
-// scriptable, -trace exports a JSON-lines span trace of every stage, and
+// scriptable, -trace exports a JSON-lines span trace of every stage,
 // -report writes a machine-readable end-of-run summary (per-stage wall
-// clock, label distribution, validation accuracy, event throughput).
+// clock, label distribution, validation accuracy, event throughput), and
+// -metrics-addr serves the live brainy_train_* counter registry over HTTP
+// for scraping during long runs.
 //
 // Usage:
 //
 //	brainy-train [-arch core2|atom|both] [-apps N] [-calls N] [-o models.json]
 //	             [-workers N] [-checkpoint DIR] [-resume] [-validate N]
 //	             [-progress] [-progress-interval DUR] [-trace FILE] [-report FILE]
-//	             [-cpuprofile FILE] [-memprofile FILE]
+//	             [-metrics-addr ADDR] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -29,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -47,23 +52,33 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("brainy-train: ")
+	// All real work happens in run so its defers — trace and profile
+	// flushes above all — execute on every exit path, the interrupted one
+	// included; log.Fatal here would skip them.
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	var (
-		archName = flag.String("arch", "both", "microarchitecture to train for: core2, atom, or both")
-		apps     = flag.Int("apps", 300, "labelled training applications per model (Phase-I threshold)")
-		maxSeeds = flag.Int("max-seeds", 0, "Phase-I generation bound (default 20x apps)")
-		calls    = flag.Int("calls", 500, "interface calls per synthetic application")
-		epochs   = flag.Int("epochs", 250, "ANN training epochs")
-		out      = flag.String("o", "models.json", "output path for the model registry")
-		workers  = flag.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS)")
-		ckptDir  = flag.String("checkpoint", "", "checkpoint directory (default <output>.ckpt)")
-		resume   = flag.Bool("resume", false, "resume from the checkpoint directory, skipping finished targets")
-		valApps  = flag.Int("validate", 0, "oracle-validation applications per model after fitting (0 disables)")
-		progress = flag.Bool("progress", false, "print periodic throughput/ETA lines to stderr")
-		progIval = flag.Duration("progress-interval", 10*time.Second, "interval between -progress lines")
-		traceOut = flag.String("trace", "", "write a JSON-lines span trace of the run to this file")
-		report   = flag.String("report", "", "write the machine-readable end-of-run report (JSON) to this file")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the training run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile (taken after training) to this file")
+		archName    = flag.String("arch", "both", "microarchitecture to train for: core2, atom, or both")
+		apps        = flag.Int("apps", 300, "labelled training applications per model (Phase-I threshold)")
+		maxSeeds    = flag.Int("max-seeds", 0, "Phase-I generation bound (default 20x apps)")
+		calls       = flag.Int("calls", 500, "interface calls per synthetic application")
+		epochs      = flag.Int("epochs", 250, "ANN training epochs")
+		out         = flag.String("o", "models.json", "output path for the model registry")
+		workers     = flag.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS)")
+		ckptDir     = flag.String("checkpoint", "", "checkpoint directory (default <output>.ckpt)")
+		resume      = flag.Bool("resume", false, "resume from the checkpoint directory, skipping finished targets")
+		valApps     = flag.Int("validate", 0, "oracle-validation applications per model after fitting (0 disables)")
+		progress    = flag.Bool("progress", false, "print periodic throughput/ETA lines to stderr")
+		progIval    = flag.Duration("progress-interval", 10*time.Second, "interval between -progress lines")
+		traceOut    = flag.String("trace", "", "write a JSON-lines span trace of the run to this file")
+		report      = flag.String("report", "", "write the machine-readable end-of-run report (JSON) to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve the live brainy_train_* metric registry over HTTP on this address (e.g. :9377)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the training run to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile (taken after training) to this file")
 	)
 	flag.Parse()
 
@@ -74,10 +89,10 @@ func main() {
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatalf("starting CPU profile: %v", err)
+			return fmt.Errorf("starting CPU profile: %w", err)
 		}
 		stopCPUProfile = func() {
 			pprof.StopCPUProfile()
@@ -86,8 +101,9 @@ func main() {
 			}
 		}
 	}
-	// finishProfiles flushes both profiles; it runs before every exit path
-	// (including the interrupted one) so partial runs still profile cleanly.
+	// finishProfiles flushes both profiles; deferred, and also called
+	// explicitly before the final summary, so partial runs still profile
+	// cleanly no matter which path exits run.
 	finishProfiles := func() {
 		if stopCPUProfile != nil {
 			stopCPUProfile()
@@ -96,27 +112,33 @@ func main() {
 		if *memProf == "" {
 			return
 		}
-		f, err := os.Create(*memProf)
+		path := *memProf
+		*memProf = "" // write once
+		f, err := os.Create(path)
 		if err != nil {
-			log.Fatal(err)
+			log.Printf("warning: writing heap profile %s: %v", path, err)
+			return
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			log.Fatalf("writing heap profile: %v", err)
+			log.Printf("warning: writing heap profile %s: %v", path, err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatalf("writing %s: %v", *memProf, err)
+			log.Printf("warning: writing %s: %v", path, err)
 		}
 	}
+	defer finishProfiles()
 
 	// The span trace is flushed on every exit path, interrupted ones
-	// included — a partial trace of a cancelled run is still evidence.
+	// included — a partial trace of a cancelled run is still evidence. The
+	// deferred Close drains the exporter's buffer; without it a ^C could
+	// truncate the final spans.
 	var tracer *telemetry.Tracer
 	var traceExp *telemetry.JSONLinesExporter
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		traceExp = telemetry.NewJSONLinesExporter(f)
 		tracer = telemetry.NewTracer(traceExp)
@@ -130,6 +152,27 @@ func main() {
 		}
 		traceExp = nil
 	}
+	defer finishTrace()
+
+	// Live metric scraping for long runs: the same registry the -report
+	// summary reads, served as text exposition while training is still
+	// going.
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("binding -metrics-addr: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", training.Registry)
+		log.Printf("serving metrics on http://%s/metrics", ln.Addr())
+		go func() {
+			srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("warning: metrics listener: %v", err)
+			}
+		}()
+	}
 
 	var archs []machine.Config
 	switch *archName {
@@ -140,7 +183,7 @@ func main() {
 	case "both":
 		archs = []machine.Config{machine.Core2(), machine.Atom()}
 	default:
-		log.Fatalf("unknown -arch %q", *archName)
+		return fmt.Errorf("unknown -arch %q", *archName)
 	}
 	if *maxSeeds == 0 {
 		*maxSeeds = 20 * *apps
@@ -153,12 +196,12 @@ func main() {
 			log.Printf("discarding stale checkpoint %s (pass -resume to continue it)", *ckptDir)
 		}
 		if err := os.RemoveAll(*ckptDir); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	cp, err := training.NewCheckpointer(*ckptDir)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	annCfg := ann.DefaultConfig()
@@ -187,7 +230,7 @@ func main() {
 	// lines and the final summary, so pipelines stay scriptable.
 	if *progress {
 		if *progIval <= 0 {
-			log.Fatalf("-progress-interval must be positive, got %s", *progIval)
+			return fmt.Errorf("-progress-interval must be positive, got %s", *progIval)
 		}
 		totalLabels := uint64(*apps) * uint64(len(targets)) * uint64(len(archs))
 		ticker := time.NewTicker(*progIval)
@@ -240,28 +283,26 @@ func main() {
 
 	set, err := training.TrainArchs(ctx, opts, annCfg, targets, cfg)
 	if err != nil {
-		finishTrace()
-		finishProfiles()
 		if errors.Is(err, context.Canceled) {
 			elapsed := time.Since(start).Seconds()
 			log.Printf("interrupted after %.1fs: %d seeds scanned, %d labels found",
 				elapsed, training.Metrics.SeedsScanned.Value(), training.Metrics.LabelsFound.Value())
-			log.Fatalf("progress checkpointed in %s — re-run with -resume to continue", *ckptDir)
+			return fmt.Errorf("progress checkpointed in %s — re-run with -resume to continue", *ckptDir)
 		}
-		log.Fatal(err)
+		return err
 	}
 	finish := time.Now()
 
 	f, err := os.Create(*out)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := set.Save(f); err != nil {
 		f.Close()
-		log.Fatalf("writing %s: %v", *out, err)
+		return fmt.Errorf("writing %s: %w", *out, err)
 	}
 	if err := f.Close(); err != nil {
-		log.Fatalf("writing %s: %v", *out, err)
+		return fmt.Errorf("writing %s: %w", *out, err)
 	}
 	// The registry is the durable artifact; a complete run has no further
 	// use for its checkpoints.
@@ -273,14 +314,14 @@ func main() {
 		rep := training.BuildReport(results, start, finish)
 		rf, err := os.Create(*report)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := rep.WriteJSON(rf); err != nil {
 			rf.Close()
-			log.Fatalf("writing %s: %v", *report, err)
+			return fmt.Errorf("writing %s: %w", *report, err)
 		}
 		if err := rf.Close(); err != nil {
-			log.Fatalf("writing %s: %v", *report, err)
+			return fmt.Errorf("writing %s: %w", *report, err)
 		}
 	}
 
@@ -290,6 +331,7 @@ func main() {
 	scanned := training.Metrics.SeedsScanned.Value()
 	fmt.Printf("wrote %d models to %s (%.1fs, %d seeds scanned, %.0f seeds/sec, %.3g simulated cycles)\n",
 		set.Len(), *out, elapsed, scanned, float64(scanned)/elapsed, training.Metrics.CyclesSimulated.Value())
+	return nil
 }
 
 // printProgress emits one live status line to stderr: scan throughput,

@@ -1,0 +1,108 @@
+// Phasedemo: watch a container's best implementation change mid-run.
+//
+// The workload (internal/workloads/phases) builds a working set into a
+// vector, then switches to membership queries. End-of-run analysis blends
+// both phases into one verdict; with snapshot windows enabled, the
+// per-window feature timeline shows the operation mix flip, and the drift
+// detector flags the moment the advised container moves from vector to
+// hash_set.
+//
+// Run with: go run ./examples/phasedemo
+// Flags:
+//
+//	-window N   interface invocations per snapshot window (default 64)
+//	-keys N     working-set size (default 256)
+//	-o FILE     also export the window stream as JSON lines, ready to
+//	            POST to brainy-serve's /v1/profiles or replay through
+//	            brainy -windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/adt"
+	"repro/internal/drift"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/workloads/phases"
+)
+
+func main() {
+	window := flag.Int("window", 64, "interface invocations per snapshot window")
+	keys := flag.Int("keys", 256, "working-set size built in phase one")
+	out := flag.String("o", "", "write the window stream as JSON lines to this file")
+	flag.Parse()
+
+	cfg := phases.Config{Keys: *keys}
+	arch := machine.Core2()
+	m := machine.New(arch)
+
+	// Drift detection over the deterministic rules advisor: no trained
+	// models needed, same verdicts every run.
+	det := drift.New(drift.Rules, drift.Config{
+		Window:     2,
+		Hysteresis: 2,
+		OnEvent: func(e drift.Event) {
+			fmt.Printf("  !! %s\n", e)
+		},
+	})
+
+	ring := profile.NewWindowRing(1024)
+	sinks := []profile.WindowSink{ring, det.Sink(arch.Name)}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp := profile.NewSnapshotExporter(f)
+		defer func() {
+			if err := exp.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		sinks = append(sinks, exp)
+	}
+
+	reg := profile.NewRegistry(m)
+	reg.EnableWindows(*window, profile.MultiWindowSink(sinks...))
+
+	fmt.Printf("phasedemo: %d ops over a %s, %d-op windows\n",
+		cfg.Ops(), phases.Original, *window)
+	c := reg.NewContainer(phases.Original, 8, phases.Context, false)
+	phases.Drive(c, cfg)
+	reg.FlushWindows()
+
+	// The timeline: one row per window, showing the mix flip.
+	fmt.Println("\nwindow timeline (per-window operation mix):")
+	for _, w := range ring.Records() {
+		v := w.Vector()
+		fmt.Printf("  #%-3d ops %4d-%-4d  insert %3.0f%%  find %3.0f%%  iterate %3.0f%%  len %d\n",
+			w.Seq, w.StartOp, w.EndOp,
+			100*(v[0]+v[4]), 100*v[2], 100*v[3], w.Len)
+	}
+
+	fmt.Println("\ndrift verdicts:")
+	for _, st := range det.Statuses() {
+		fmt.Printf("  %-28s initial %-9s current %-9s events %d\n",
+			st.InstanceKey, st.Initial, st.Current, st.Events)
+	}
+	evs := det.Events()
+	if len(evs) == 0 {
+		fmt.Println("no drift detected — try a smaller -window")
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d drift event(s); the whole-run blend would have hidden the %s phase.\n",
+		len(evs), adt.KindHashSet)
+
+	// Contrast: the single end-of-run verdict the static profile gives.
+	whole := c.Snapshot()
+	s, err := drift.Rules(&whole, arch.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("whole-run verdict for comparison: %s -> %s (one blended answer for two phases)\n",
+		s.Original, s.Suggested)
+}

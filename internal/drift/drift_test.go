@@ -1,0 +1,251 @@
+package drift
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/opstats"
+	"repro/internal/profile"
+)
+
+// win builds one window record for a vector instance with the given
+// operation mix.
+func win(ctx string, inst, seq int, counts map[opstats.Op]uint64) *profile.WindowRecord {
+	w := &profile.WindowRecord{
+		Profile:  profile.Profile{Context: ctx, Kind: adt.KindVector},
+		Instance: inst,
+		Seq:      seq,
+	}
+	var ops uint64
+	for op, n := range counts {
+		w.Stats.Count[op] = n
+		ops += n
+	}
+	w.Stats.MaxLen = 64
+	w.Stats.ElemSize = 8
+	w.StartOp = uint64(seq) * ops
+	w.EndOp = uint64(seq)*ops + ops
+	return w
+}
+
+var (
+	buildMix = map[opstats.Op]uint64{opstats.OpPushBack: 90, opstats.OpIterate: 10}
+	queryMix = map[opstats.Op]uint64{opstats.OpFind: 95, opstats.OpPushBack: 5}
+)
+
+func TestRulesDeterministic(t *testing.T) {
+	cases := []struct {
+		name string
+		p    profile.Profile
+		want adt.Kind
+	}{
+		{"find-heavy vector -> hash", profile.Profile{Kind: adt.KindVector,
+			Stats: opstats.Stats{Count: counts(opstats.OpFind, 80, opstats.OpPushBack, 20)}}, adt.KindHashSet},
+		{"find-heavy ordered list -> tree", profile.Profile{Kind: adt.KindList, OrderAware: true,
+			Stats: opstats.Stats{Count: counts(opstats.OpFind, 80, opstats.OpPushBack, 20)}}, adt.KindSet},
+		{"find-heavy set keeps", profile.Profile{Kind: adt.KindSet,
+			Stats: opstats.Stats{Count: counts(opstats.OpFind, 100)}}, adt.KindSet},
+		{"front-heavy vector -> deque", profile.Profile{Kind: adt.KindVector,
+			Stats: opstats.Stats{Count: counts(opstats.OpPushFront, 40, opstats.OpPushBack, 60)}}, adt.KindDeque},
+		{"scan-heavy list -> vector", profile.Profile{Kind: adt.KindList,
+			Stats: opstats.Stats{Count: counts(opstats.OpPushBack, 50, opstats.OpIterate, 40, opstats.OpFind, 10)}}, adt.KindVector},
+		{"append-heavy vector keeps", profile.Profile{Kind: adt.KindVector,
+			Stats: opstats.Stats{Count: counts(opstats.OpPushBack, 90, opstats.OpIterate, 10)}}, adt.KindVector},
+		{"empty profile keeps", profile.Profile{Kind: adt.KindDeque}, adt.KindDeque},
+	}
+	for _, tc := range cases {
+		for i := 0; i < 3; i++ { // same input, same verdict, every time
+			s, err := Rules(&tc.p, "core2")
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if s.Suggested != tc.want {
+				t.Fatalf("%s: suggested %v, want %v", tc.name, s.Suggested, tc.want)
+			}
+			if s.Replace != (tc.want != tc.p.Kind) {
+				t.Fatalf("%s: Replace = %v", tc.name, s.Replace)
+			}
+		}
+	}
+}
+
+func counts(kv ...interface{}) (c [opstats.NumOps]uint64) {
+	for i := 0; i < len(kv); i += 2 {
+		c[kv[i].(opstats.Op)] = uint64(kv[i+1].(int))
+	}
+	return c
+}
+
+// TestDetectorDriftsAfterHysteresis walks a timeline through a phase
+// change: advice settles on vector during the build phase, then the query
+// phase must push through Hysteresis consecutive divergent verdicts before
+// the single drift event fires.
+func TestDetectorDriftsAfterHysteresis(t *testing.T) {
+	var counter opstats.Counter
+	var fired []Event
+	d := New(Rules, Config{
+		Window:     2,
+		Hysteresis: 2,
+		Events:     &counter,
+		OnEvent:    func(e Event) { fired = append(fired, e) },
+	})
+
+	seq := 0
+	feed := func(mix map[opstats.Op]uint64) *Event {
+		ev, err := d.Observe(win("demo/cache", 0, seq, mix), "core2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq++
+		return ev
+	}
+
+	for i := 0; i < 4; i++ {
+		if ev := feed(buildMix); ev != nil {
+			t.Fatalf("build phase raised event: %v", ev)
+		}
+	}
+	// First query window: blend still half build mix, and even when the
+	// verdict flips the streak is 1 < Hysteresis.
+	if ev := feed(queryMix); ev != nil {
+		t.Fatalf("drift confirmed after a single window: %v", ev)
+	}
+	// Keep feeding until the event fires; it must take at least one more
+	// window and must fire exactly once.
+	var got *Event
+	for i := 0; i < 4 && got == nil; i++ {
+		got = feed(queryMix)
+	}
+	if got == nil {
+		t.Fatal("query phase never confirmed drift")
+	}
+	if got.From != adt.KindVector || got.To != adt.KindHashSet {
+		t.Fatalf("drift %v -> %v, want vector -> hash_set", got.From, got.To)
+	}
+	for i := 0; i < 3; i++ {
+		if ev := feed(queryMix); ev != nil {
+			t.Fatalf("steady query phase re-raised drift: %v", ev)
+		}
+	}
+	if counter.Value() != 1 || len(fired) != 1 || len(d.Events()) != 1 {
+		t.Fatalf("event accounting: counter=%d callback=%d Events=%d",
+			counter.Value(), len(fired), len(d.Events()))
+	}
+	if fired[0] != *got {
+		t.Fatalf("callback saw %v, Observe returned %v", fired[0], *got)
+	}
+
+	st, ok := d.Status("demo/cache#0")
+	if !ok {
+		t.Fatal("instance missing from Statuses")
+	}
+	if st.Initial != adt.KindVector || st.Current != adt.KindHashSet || !st.Drifted() {
+		t.Fatalf("status after drift: %+v", st)
+	}
+	if st.Windows != seq {
+		t.Fatalf("status windows = %d, fed %d", st.Windows, seq)
+	}
+}
+
+// TestDetectorHysteresisAbsorbsFlap: a single noisy window (and a
+// noisy-then-back pattern) must not raise an event when Hysteresis > 1.
+func TestDetectorHysteresisAbsorbsFlap(t *testing.T) {
+	d := New(Rules, Config{Window: 1, Hysteresis: 2})
+	seq := 0
+	feed := func(mix map[opstats.Op]uint64) *Event {
+		ev, err := d.Observe(win("demo/flap", 0, seq, mix), "core2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq++
+		return ev
+	}
+	feed(buildMix) // settles advice = vector
+	for i := 0; i < 5; i++ {
+		if ev := feed(queryMix); ev != nil && i == 0 {
+			t.Fatalf("flap window raised event immediately: %v", ev)
+		}
+		if ev := feed(buildMix); ev != nil {
+			t.Fatalf("alternating windows raised event: %v", ev)
+		}
+	}
+	if n := len(d.Events()); n != 0 {
+		t.Fatalf("flapping timeline raised %d events", n)
+	}
+	// Sanity: without hysteresis the same pattern would flap.
+	d1 := New(Rules, Config{Window: 1, Hysteresis: 1})
+	d1.Observe(win("x", 0, 0, buildMix), "core2")
+	ev, _ := d1.Observe(win("x", 0, 1, queryMix), "core2")
+	if ev == nil {
+		t.Fatal("hysteresis=1 should confirm on the first divergent window")
+	}
+}
+
+func TestDetectorMinOpsAndConfidenceGates(t *testing.T) {
+	// MinOps: tiny windows never reach evaluation.
+	d := New(Rules, Config{Window: 1, Hysteresis: 1, MinOps: 1000})
+	tiny := map[opstats.Op]uint64{opstats.OpFind: 5}
+	for i := 0; i < 10; i++ {
+		if ev, err := d.Observe(win("t", 0, i, tiny), "core2"); err != nil || ev != nil {
+			t.Fatalf("under MinOps: ev=%v err=%v", ev, err)
+		}
+	}
+	if st, ok := d.Status("t#0"); !ok || st.Advised {
+		t.Fatalf("instance below MinOps should be tracked but unadvised: %+v", st)
+	}
+
+	// MinConfidence: a low-confidence suggester can never move the machine.
+	low := func(p *profile.Profile, arch string) (core.Suggestion, error) {
+		s, _ := Rules(p, arch)
+		s.Confidence = 0.1
+		return s, nil
+	}
+	d2 := New(low, Config{Window: 1, Hysteresis: 1, MinConfidence: 0.6})
+	d2.Observe(win("c", 0, 0, buildMix), "core2")
+	for i := 1; i < 6; i++ {
+		if ev, _ := d2.Observe(win("c", 0, i, queryMix), "core2"); ev != nil {
+			t.Fatalf("low-confidence verdict confirmed drift: %v", ev)
+		}
+	}
+}
+
+func TestDetectorTracksInstancesIndependently(t *testing.T) {
+	d := New(Rules, Config{Window: 1, Hysteresis: 1})
+	// Interleave two instances of the same context: only #1 changes phase.
+	for i := 0; i < 3; i++ {
+		d.Observe(win("ctx", 0, i, buildMix), "core2")
+		d.Observe(win("ctx", 1, i, buildMix), "core2")
+	}
+	ev, err := d.Observe(win("ctx", 1, 3, queryMix), "core2")
+	if err != nil || ev == nil {
+		t.Fatalf("instance 1 should drift: ev=%v err=%v", ev, err)
+	}
+	if ev.InstanceKey != "ctx#1" {
+		t.Fatalf("drift attributed to %q", ev.InstanceKey)
+	}
+	sts := d.Statuses()
+	if len(sts) != 2 || sts[0].InstanceKey != "ctx#0" || sts[1].InstanceKey != "ctx#1" {
+		t.Fatalf("statuses: %+v", sts)
+	}
+	if sts[0].Drifted() || !sts[1].Drifted() {
+		t.Fatalf("drift flags: %v %v", sts[0].Drifted(), sts[1].Drifted())
+	}
+}
+
+func TestDetectorSuggesterErrorKeepsTimeline(t *testing.T) {
+	boom := errors.New("no model")
+	fail := func(p *profile.Profile, arch string) (core.Suggestion, error) {
+		return core.Suggestion{}, boom
+	}
+	d := New(fail, Config{Window: 1, Hysteresis: 1})
+	_, err := d.Observe(win("e", 0, 0, buildMix), "core2")
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	st, ok := d.Status("e#0")
+	if !ok || st.Windows != 1 || st.Advised {
+		t.Fatalf("window should be recorded despite the error: %+v", st)
+	}
+}

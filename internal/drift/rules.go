@@ -1,0 +1,78 @@
+package drift
+
+import (
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/opstats"
+	"repro/internal/profile"
+)
+
+// Rules is a deterministic, model-free Suggester built from the same
+// asymptotic arguments as the perflint baseline: it reads the window's
+// operation mix and picks the textbook-best container for that mix. It
+// exists so drift detection has a dependency-free advisor — CI smoke runs,
+// the phasedemo example, and brainy-serve instances without trained models
+// all get reproducible verdicts. It intentionally ignores hardware features
+// and the arch argument; use Brainy.Suggest when trained models are
+// available.
+func Rules(p *profile.Profile, arch string) (core.Suggestion, error) {
+	s := &p.Stats
+	total := float64(s.TotalCalls())
+	if total == 0 {
+		total = 1
+	}
+	frac := func(ops ...opstats.Op) float64 {
+		var n uint64
+		for _, op := range ops {
+			n += s.Count[op]
+		}
+		return float64(n) / total
+	}
+	finds := frac(opstats.OpFind)
+	scans := frac(opstats.OpIterate)
+	appends := frac(opstats.OpPushBack, opstats.OpInsert)
+	fronts := frac(opstats.OpPushFront, opstats.OpPopFront)
+	random := frac(opstats.OpAt)
+
+	// Decide the dominant access pattern; ties break toward keeping the
+	// current kind, so the advice only moves on a clear signal.
+	kind := p.Kind
+	conf := 0.5
+	switch {
+	case finds >= 0.5:
+		// Lookup-heavy. A linear scan per find is the classic misuse the
+		// paper opens with; ordered workloads get a tree, unordered a hash.
+		if p.OrderAware {
+			kind, conf = adt.KindSet, finds
+		} else {
+			kind, conf = adt.KindHashSet, finds
+		}
+		if p.Kind.IsAssociative() {
+			kind = p.Kind // already O(log n) or O(1); no reason to churn
+		}
+	case fronts >= 0.3 && p.Kind == adt.KindVector:
+		// Front insertion shifts the whole vector every call.
+		kind, conf = adt.KindDeque, fronts+appends
+	case scans+appends+random >= 0.6 && p.Kind != adt.KindVector:
+		// Append-then-scan with little searching: contiguous wins on
+		// locality, and at() is O(1) only for vector/deque.
+		kind, conf = adt.KindVector, scans+appends+random
+	}
+	if conf > 1 {
+		conf = 1
+	}
+	sug := core.Suggestion{
+		Context:    p.Context,
+		Original:   p.Kind,
+		Suggested:  kind,
+		Confidence: conf,
+		Replace:    kind != p.Kind,
+	}
+	n := int(s.MaxLen)
+	sug.MemOriginal = adt.EstimatedBytes(p.Kind, n, s.ElemSize)
+	sug.MemSuggested = adt.EstimatedBytes(kind, n, s.ElemSize)
+	if sug.MemOriginal > 0 {
+		sug.MemDeltaPct = 100 * (float64(sug.MemSuggested) - float64(sug.MemOriginal)) / float64(sug.MemOriginal)
+	}
+	return sug, nil
+}

@@ -1,0 +1,34 @@
+package drift
+
+import (
+	"sync/atomic"
+
+	"repro/internal/profile"
+)
+
+// DetectorSink adapts a Detector to profile.WindowSink so it can sit
+// directly behind a container's window emission (usually fanned out with
+// profile.MultiWindowSink next to a ring or exporter).
+type DetectorSink struct {
+	d     *Detector
+	arch  string
+	skips atomic.Uint64
+}
+
+// Sink returns a WindowSink feeding the detector, evaluating every window
+// on the named architecture.
+func (d *Detector) Sink(arch string) *DetectorSink {
+	return &DetectorSink{d: d, arch: arch}
+}
+
+// EmitWindow implements profile.WindowSink. Suggester errors (no model for
+// the window's kind) are counted, not propagated — a sink has nowhere to
+// return them, and the timeline keeps accumulating regardless.
+func (s *DetectorSink) EmitWindow(w *profile.WindowRecord) {
+	if _, err := s.d.Observe(w, s.arch); err != nil {
+		s.skips.Add(1)
+	}
+}
+
+// Skipped reports how many windows the suggester could not advise on.
+func (s *DetectorSink) Skipped() uint64 { return s.skips.Load() }

@@ -34,3 +34,17 @@ func TestCountersEvents(t *testing.T) {
 		t.Fatalf("Events() counts accesses: %d", got)
 	}
 }
+
+func TestCountersIsZero(t *testing.T) {
+	var c Counters
+	if !c.IsZero() {
+		t.Fatal("zero value not IsZero")
+	}
+	c.TLBMisses = 1
+	if c.IsZero() {
+		t.Fatal("nonzero counters reported IsZero")
+	}
+	if !c.Sub(c).IsZero() {
+		t.Fatal("self-difference not IsZero")
+	}
+}

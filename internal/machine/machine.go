@@ -165,6 +165,12 @@ func (c Counters) Add(o Counters) Counters {
 	}
 }
 
+// IsZero reports whether the snapshot carries no activity at all. Windowed
+// consumers (ingestion, drift detection) use it to drop idle windows — a
+// client streaming snapshots on a timer can emit deltas in which nothing
+// happened, and those carry no signal for the models.
+func (c Counters) IsZero() bool { return c == Counters{} }
+
 // Sub returns c - o, counter-wise. Useful for windowed measurements.
 func (c Counters) Sub(o Counters) Counters {
 	return Counters{

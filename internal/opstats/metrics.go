@@ -143,6 +143,8 @@ type Histogram struct {
 	counts []uint64 // len(bounds)+1; last is the +Inf overflow
 	sum    float64
 	count  uint64
+	min    float64 // smallest observed sample; valid only when count > 0
+	max    float64 // largest observed sample; valid only when count > 0
 }
 
 // DefBuckets is a latency bucket layout (seconds) that resolves both
@@ -165,12 +167,20 @@ func NewHistogram(bounds ...float64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
 }
 
-// Observe records one sample.
+// Observe records one sample, tracking the running extremes alongside the
+// bucket counts so consumers can see the exact spread of a distribution
+// (bucket bounds only bracket it).
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.mu.Lock()
 	h.counts[i]++
 	h.sum += v
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
 	h.count++
 	h.mu.Unlock()
 }
@@ -181,6 +191,8 @@ type HistogramSnapshot struct {
 	Counts []uint64  // per-bucket (non-cumulative); last entry is +Inf
 	Sum    float64
 	Count  uint64
+	Min    float64 // smallest observed sample; 0 when Count == 0
+	Max    float64 // largest observed sample; 0 when Count == 0
 }
 
 // Snapshot copies the histogram state under the lock.
@@ -192,6 +204,8 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Counts: append([]uint64(nil), h.counts...),
 		Sum:    h.sum,
 		Count:  h.count,
+		Min:    h.min,
+		Max:    h.max,
 	}
 	return s
 }
@@ -204,7 +218,11 @@ func (h *Histogram) Count() uint64 {
 }
 
 // Expose writes the histogram as cumulative _bucket lines plus _sum and
-// _count, the text exposition histogram convention.
+// _count, the text exposition histogram convention. Once the histogram has
+// samples it also emits _min and _max gauges adjacent to the histogram's
+// own metadata — the exact extremes of the distribution, which bucket
+// bounds only bracket. They are omitted while empty so an unexercised
+// histogram never exposes a misleading zero.
 func (h *Histogram) Expose(w io.Writer, name string) {
 	s := h.Snapshot()
 	var cum uint64
@@ -216,6 +234,10 @@ func (h *Histogram) Expose(w io.Writer, name string) {
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 	fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum)
 	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	if s.Count > 0 {
+		fmt.Fprintf(w, "%s_min %g\n", name, s.Min)
+		fmt.Fprintf(w, "%s_max %g\n", name, s.Max)
+	}
 }
 
 func formatBound(b float64) string {

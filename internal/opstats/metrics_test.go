@@ -119,9 +119,51 @@ func TestHistogramExposeCumulative(t *testing.T) {
 		`lat_seconds_bucket{le="+Inf"} 3`,
 		`lat_seconds_sum 7.055`,
 		`lat_seconds_count 3`,
+		`lat_seconds_min 0.005`,
+		`lat_seconds_max 7`,
 	}, "\n") + "\n"
 	if sb.String() != want {
 		t.Fatalf("exposition:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestHistogramMinMax covers the Observe-time extreme tracking: empty
+// histograms expose no _min/_max lines, a single sample pins both extremes,
+// and later samples only widen them.
+func TestHistogramMinMax(t *testing.T) {
+	h := NewHistogram(1, 10)
+	var sb strings.Builder
+	h.Expose(&sb, "w")
+	if strings.Contains(sb.String(), "w_min") || strings.Contains(sb.String(), "w_max") {
+		t.Fatalf("empty histogram exposed extremes:\n%s", sb.String())
+	}
+	h.Observe(4)
+	if s := h.Snapshot(); s.Min != 4 || s.Max != 4 {
+		t.Fatalf("single sample: min=%g max=%g, want 4/4", s.Min, s.Max)
+	}
+	h.Observe(9)
+	h.Observe(0.5)
+	h.Observe(2)
+	if s := h.Snapshot(); s.Min != 0.5 || s.Max != 9 {
+		t.Fatalf("min=%g max=%g, want 0.5/9", s.Min, s.Max)
+	}
+}
+
+func TestHistogramMinMaxConcurrent(t *testing.T) {
+	h := NewHistogram(100)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 500; i++ {
+				h.Observe(float64(i + w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Min != 1 || s.Max != 507 {
+		t.Fatalf("min=%g max=%g, want 1/507", s.Min, s.Max)
 	}
 }
 

@@ -93,6 +93,23 @@ func (s *Stats) Add(o Stats) {
 	}
 }
 
+// Sub returns the delta s - o for the accumulating fields, the software
+// dual of machine.Counters.Sub: Count, Cost, and the structural event
+// counters subtract, while MaxLen and ElemSize — state, not flow — carry
+// s's current values. Windowed profiling uses it to turn two cumulative
+// snapshots into one per-window record that is still a valid model input.
+func (s Stats) Sub(o Stats) Stats {
+	d := s
+	for i := 0; i < int(NumOps); i++ {
+		d.Count[i] -= o.Count[i]
+		d.Cost[i] -= o.Cost[i]
+	}
+	d.Resizes -= o.Resizes
+	d.Rehashes -= o.Rehashes
+	d.Rotations -= o.Rotations
+	return d
+}
+
 // Reset zeroes all counters but keeps ElemSize.
 func (s *Stats) Reset() {
 	es := s.ElemSize

@@ -78,3 +78,39 @@ func TestOpNames(t *testing.T) {
 		t.Fatal("out-of-range op name")
 	}
 }
+
+// TestSubDelta: Sub inverts Add for the flow fields and carries the state
+// fields (MaxLen, ElemSize) forward from the newer snapshot, so a windowed
+// delta is itself a usable Stats.
+func TestSubDelta(t *testing.T) {
+	var before Stats
+	before.ElemSize = 16
+	before.Observe(OpInsert, 3)
+	before.Observe(OpFind, 5)
+	before.Resizes = 2
+	before.NoteLen(10)
+
+	after := before
+	after.Observe(OpInsert, 4)
+	after.Observe(OpIterate, 7)
+	after.Rotations = 3
+	after.Resizes = 5
+	after.NoteLen(40)
+
+	d := after.Sub(before)
+	if d.Count[OpInsert] != 1 || d.Cost[OpInsert] != 4 {
+		t.Fatalf("insert delta = %d/%d", d.Count[OpInsert], d.Cost[OpInsert])
+	}
+	if d.Count[OpFind] != 0 || d.Count[OpIterate] != 1 {
+		t.Fatalf("find/iterate deltas = %d/%d", d.Count[OpFind], d.Count[OpIterate])
+	}
+	if d.Resizes != 3 || d.Rotations != 3 {
+		t.Fatalf("structural deltas: resizes=%d rotations=%d", d.Resizes, d.Rotations)
+	}
+	if d.MaxLen != 40 || d.ElemSize != 16 {
+		t.Fatalf("state fields: maxlen=%d elemsize=%d, want 40/16", d.MaxLen, d.ElemSize)
+	}
+	if got := d.TotalCalls(); got != 2 {
+		t.Fatalf("delta total calls = %d", got)
+	}
+}

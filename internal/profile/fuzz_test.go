@@ -1,0 +1,38 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRecords hammers the shared stream decoder with arbitrary bytes:
+// whatever the input, it must return (records or an error), never panic or
+// loop. The seeds cover both wire forms, a windowed snapshot line replayed
+// as a profile, and a truncated tail.
+func FuzzDecodeRecords(f *testing.F) {
+	f.Add("")
+	f.Add("   \n\t")
+	f.Add(`{"context":"a","kind":1}` + "\n" + `{"context":"b","kind":2}` + "\n")
+	f.Add(`[{"context":"a"},{"context":"b"}]`)
+	// A SnapshotExporter window line: extra window_* fields are ignored.
+	f.Add(`{"context":"rt/a","kind":1,"instance":1,"window_seq":3,"window_start_op":24,"window_end_op":32,"window_len":20}` + "\n")
+	// Truncated tail line: must error, not panic.
+	f.Add(`{"context":"a","kind":1}` + "\n" + `{"context":"b","ki`)
+	f.Add(`[{"context":"a"}`)
+	f.Add(`{"stats":{"count":[1,2,3]},"hw":{"cycles":1e308}}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		n := 0
+		err := DecodeRecords(strings.NewReader(in), func(p *Profile) error {
+			n++
+			if n > 1<<16 {
+				t.Skip("input decodes to an unreasonable record count")
+			}
+			return nil
+		})
+		if err != nil && n == 0 && strings.Trim(in, " \t\r\n") == "" {
+			t.Fatalf("blank input must decode to zero records, got %v", err)
+		}
+		// Windows ride the same decoder; it must agree on panic-freedom.
+		_ = DecodeWindows(strings.NewReader(in), func(*WindowRecord) error { return nil })
+	})
+}

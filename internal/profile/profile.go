@@ -118,6 +118,11 @@ type Container struct {
 	context    string
 	orderAware bool
 	hw         machine.Counters // accumulated per-op deltas
+
+	// win, when non-nil, emits snapshot windows every win.every interface
+	// invocations. Nil is the disabled state and keeps the per-operation
+	// hot path allocation-free (same contract as the nil telemetry.Tracer).
+	win *windowState
 }
 
 // NewContainer builds a profiled container of the given kind on m.
@@ -136,11 +141,16 @@ func NewContainer(kind adt.Kind, m *machine.Machine, elemSize uint64, context st
 	return c
 }
 
-// window brackets one interface invocation with counter reads.
+// window brackets one interface invocation with counter reads. When
+// windowing is enabled the invocation also advances the window clock; the
+// disabled path adds exactly one nil check.
 func (c *Container) window(op func()) {
 	before := c.mach.Counters()
 	op()
 	c.hw = c.hw.Add(c.mach.Counters().Sub(before))
+	if c.win != nil {
+		c.tickWindow()
+	}
 }
 
 // Kind implements adt.Container.
@@ -238,28 +248,41 @@ func ReadTrace(r io.Reader) ([]Profile, error) {
 // single JSON array of profiles (what HTTP clients naturally send). A
 // non-nil error from fn aborts the stream and is returned unwrapped, so
 // callers can stop early with sentinel errors.
+//
+// Windowed snapshot streams (profile.SnapshotExporter output) decode on
+// this same path: a WindowRecord line is a Profile line with extra window_*
+// fields, which DecodeRecords ignores — an end-of-run analysis can replay a
+// window stream as if each window were an independent profile. Use
+// DecodeWindows to keep the window metadata.
 func DecodeRecords(r io.Reader, fn func(*Profile) error) error {
+	return decodeStream(r, "trace", fn)
+}
+
+// decodeStream is the shared wire-format reader behind DecodeRecords and
+// DecodeWindows: JSON lines or a single JSON array of T, streamed record by
+// record. Callback errors abort the stream and return unwrapped.
+func decodeStream[T any](r io.Reader, what string, fn func(*T) error) error {
 	br := bufio.NewReader(r)
 	isArray, err := startsWithArray(br)
 	if err != nil {
 		if err == io.EOF { // empty input: zero records
 			return nil
 		}
-		return fmt.Errorf("profile: reading trace: %w", err)
+		return fmt.Errorf("profile: reading %s: %w", what, err)
 	}
 	dec := json.NewDecoder(br)
 	n := 0
 	decodeOne := func() error {
-		var p Profile
-		if err := dec.Decode(&p); err != nil {
-			return fmt.Errorf("profile: decoding trace record %d: %w", n, err)
+		var v T
+		if err := dec.Decode(&v); err != nil {
+			return fmt.Errorf("profile: decoding %s record %d: %w", what, n, err)
 		}
 		n++
-		return fn(&p)
+		return fn(&v)
 	}
 	if isArray {
 		if _, err := dec.Token(); err != nil { // consume '['
-			return fmt.Errorf("profile: reading trace array: %w", err)
+			return fmt.Errorf("profile: reading %s array: %w", what, err)
 		}
 		for dec.More() {
 			if err := decodeOne(); err != nil {
@@ -267,20 +290,20 @@ func DecodeRecords(r io.Reader, fn func(*Profile) error) error {
 			}
 		}
 		if _, err := dec.Token(); err != nil { // consume ']'
-			return fmt.Errorf("profile: reading trace array end: %w", err)
+			return fmt.Errorf("profile: reading %s array end: %w", what, err)
 		}
 		return nil
 	}
 	for {
-		var p Profile
-		if err := dec.Decode(&p); err != nil {
+		var v T
+		if err := dec.Decode(&v); err != nil {
 			if err == io.EOF {
 				return nil
 			}
-			return fmt.Errorf("profile: decoding trace record %d: %w", n, err)
+			return fmt.Errorf("profile: decoding %s record %d: %w", what, n, err)
 		}
 		n++
-		if err := fn(&p); err != nil {
+		if err := fn(&v); err != nil {
 			return err
 		}
 	}

@@ -18,6 +18,12 @@ type Registry struct {
 	mach       *machine.Machine
 	containers map[string][]*Container
 	order      []string // first-construction order of contexts
+
+	// Windowing, when enabled, applies to every container constructed
+	// afterwards; each instance gets its per-context construction ordinal
+	// so timelines stay distinguishable.
+	winEvery int
+	winSink  WindowSink
 }
 
 // NewRegistry builds a registry for one machine.
@@ -32,8 +38,36 @@ func (r *Registry) NewContainer(kind adt.Kind, elemSize uint64, context string, 
 	if _, seen := r.containers[context]; !seen {
 		r.order = append(r.order, context)
 	}
+	if r.winEvery > 0 {
+		c.EnableWindows(r.winEvery, len(r.containers[context]), r.winSink)
+	}
 	r.containers[context] = append(r.containers[context], c)
 	return c
+}
+
+// EnableWindows turns on snapshot windows for every container the registry
+// constructs from now on: each instance emits a WindowRecord to sink every
+// `every` interface invocations. Call before constructing containers;
+// already-registered instances are unaffected.
+func (r *Registry) EnableWindows(every int, sink WindowSink) {
+	if every < 1 {
+		panic(fmt.Sprintf("profile: window size %d < 1", every))
+	}
+	if sink == nil {
+		panic("profile: EnableWindows with nil sink")
+	}
+	r.winEvery = every
+	r.winSink = sink
+}
+
+// FlushWindows closes every container's partial window, in construction
+// order, so end-of-run timelines include their tails.
+func (r *Registry) FlushWindows() {
+	for _, ctx := range r.order {
+		for _, c := range r.containers[ctx] {
+			c.FlushWindow()
+		}
+	}
 }
 
 // Contexts returns the construction sites in first-construction order.

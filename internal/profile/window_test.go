@@ -1,0 +1,355 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+	"repro/internal/opstats"
+)
+
+// collectSink accumulates every window for inspection.
+type collectSink struct{ recs []WindowRecord }
+
+func (s *collectSink) EmitWindow(w *WindowRecord) { s.recs = append(s.recs, *w) }
+
+// TestWindowDeltasSumToSnapshot is the conservation law of windowing: the
+// per-window deltas (plus the flushed tail) add back up to the cumulative
+// end-of-run profile, for both software and hardware features.
+func TestWindowDeltasSumToSnapshot(t *testing.T) {
+	m := machine.New(machine.Core2())
+	c := NewContainer(adt.KindVector, m, 8, "win/sum", false)
+	sink := &collectSink{}
+	c.EnableWindows(16, 0, sink)
+
+	for i := uint64(0); i < 50; i++ {
+		c.Insert(i)
+	}
+	for i := uint64(0); i < 21; i++ {
+		c.Find(i * 3)
+	}
+	c.FlushWindow()
+
+	if len(sink.recs) != 5 { // 71 ops / 16 = 4 full windows + tail of 7
+		t.Fatalf("got %d windows, want 5", len(sink.recs))
+	}
+	var stats opstats.Stats
+	var hw machine.Counters
+	var ops uint64
+	for i, w := range sink.recs {
+		if w.Seq != i {
+			t.Fatalf("window %d has seq %d", i, w.Seq)
+		}
+		if w.Context != "win/sum" || w.Kind != adt.KindVector || w.Instance != 0 {
+			t.Fatalf("window identity: %+v", w)
+		}
+		stats.Add(w.Stats)
+		hw = hw.Add(w.HW)
+		ops += w.Ops()
+	}
+	snap := c.Snapshot()
+	if stats.Count != snap.Stats.Count || stats.Cost != snap.Stats.Cost {
+		t.Fatalf("window stats do not sum to snapshot:\n%+v\nvs\n%+v", stats, snap.Stats)
+	}
+	// Construction-cost counters land in the first window, so hardware
+	// deltas must also add up exactly.
+	if hw != snap.HW {
+		t.Fatalf("window HW does not sum to snapshot:\n%+v\nvs\n%+v", hw, snap.HW)
+	}
+	if ops != 71 {
+		t.Fatalf("windows cover %d ops, want 71", ops)
+	}
+	last := sink.recs[len(sink.recs)-1]
+	if last.StartOp != 64 || last.EndOp != 71 || last.Ops() != 7 {
+		t.Fatalf("tail window bounds: [%d, %d]", last.StartOp, last.EndOp)
+	}
+	if last.Len != c.Len() {
+		t.Fatalf("tail window len = %d, container len = %d", last.Len, c.Len())
+	}
+}
+
+// TestWindowDeltaIsPhaseLocal: a phase shift shows up in the window where
+// it happens — the delta's feature mix reflects only that span of the run,
+// not the blended whole.
+func TestWindowDeltaIsPhaseLocal(t *testing.T) {
+	m := machine.New(machine.Core2())
+	c := NewContainer(adt.KindVector, m, 8, "win/phase", false)
+	sink := &collectSink{}
+	c.EnableWindows(32, 0, sink)
+
+	for i := uint64(0); i < 32; i++ { // phase 1: pure inserts
+		c.Insert(i)
+	}
+	for i := uint64(0); i < 32; i++ { // phase 2: pure lookups
+		c.Find(i)
+	}
+	if len(sink.recs) != 2 {
+		t.Fatalf("got %d windows", len(sink.recs))
+	}
+	w0, w1 := sink.recs[0], sink.recs[1]
+	if w0.Stats.Count[opstats.OpPushBack] != 32 || w0.Stats.Count[opstats.OpFind] != 0 {
+		t.Fatalf("window 0 mix: %v", w0.Stats.Count)
+	}
+	if w1.Stats.Count[opstats.OpPushBack] != 0 || w1.Stats.Count[opstats.OpFind] != 32 {
+		t.Fatalf("window 1 mix: %v", w1.Stats.Count)
+	}
+	// The delta is a valid model input: its vector is finite and the find
+	// fraction flips between windows.
+	v0, v1 := w0.Vector(), w1.Vector()
+	if v0[2] != 0 || v1[2] != 1 { // FeatureNames[2] == "find"
+		t.Fatalf("find fractions: %g then %g, want 0 then 1", v0[2], v1[2])
+	}
+}
+
+func TestFlushWindowNoOpWhenIdle(t *testing.T) {
+	m := machine.New(machine.Core2())
+	c := NewContainer(adt.KindVector, m, 8, "win/idle", false)
+	sink := &collectSink{}
+	c.EnableWindows(4, 0, sink)
+	c.FlushWindow() // nothing happened: nothing to emit
+	if len(sink.recs) != 0 {
+		t.Fatalf("idle flush emitted %d windows", len(sink.recs))
+	}
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i)
+	}
+	c.FlushWindow() // boundary just closed: still nothing pending
+	if len(sink.recs) != 1 {
+		t.Fatalf("flush after exact boundary emitted %d windows", len(sink.recs))
+	}
+	// Disabled container: FlushWindow is a no-op, not a panic.
+	d := NewContainer(adt.KindVector, m, 8, "win/off", false)
+	d.Insert(1)
+	d.FlushWindow()
+}
+
+// TestWindowingDisabledZeroAlloc is the acceptance contract alongside the
+// tracer's: with windowing off (the default), the profiled-operation hot
+// path must not allocate, so instrumented containers can stay in place on
+// production-shaped runs.
+func TestWindowingDisabledZeroAlloc(t *testing.T) {
+	m := machine.New(machine.Core2())
+	c := NewContainer(adt.KindVector, m, 8, "win/hot", false)
+	for i := uint64(0); i < 256; i++ {
+		c.Insert(i)
+	}
+	k := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Find(k)
+		c.Iterate(8)
+		k++
+	}); n != 0 {
+		t.Fatalf("profiled ops with windowing disabled allocated %v times per op", n)
+	}
+}
+
+// TestWindowingEnabledSteadyStateAlloc: even when windowing is on, the
+// operations between boundaries allocate nothing — cost concentrates at
+// window close.
+func TestWindowingEnabledSteadyStateAlloc(t *testing.T) {
+	m := machine.New(machine.Core2())
+	c := NewContainer(adt.KindVector, m, 8, "win/steady", false)
+	ring := NewWindowRing(8)
+	// A window far larger than the probe so no boundary lands inside it.
+	c.EnableWindows(1<<30, 0, ring)
+	for i := uint64(0); i < 256; i++ {
+		c.Insert(i)
+	}
+	k := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Find(k)
+		k++
+	}); n != 0 {
+		t.Fatalf("between-boundary ops allocated %v times per op", n)
+	}
+}
+
+func TestWindowRingOverwritesOldest(t *testing.T) {
+	ring := NewWindowRing(3)
+	for i := 0; i < 5; i++ {
+		ring.EmitWindow(&WindowRecord{Seq: i})
+	}
+	recs := ring.Records()
+	if len(recs) != 3 || ring.Total() != 5 {
+		t.Fatalf("len=%d total=%d", len(recs), ring.Total())
+	}
+	for i, want := range []int{2, 3, 4} {
+		if recs[i].Seq != want {
+			t.Fatalf("ring order: %v", recs)
+		}
+	}
+}
+
+// TestSnapshotExporterRoundTrip: exporter output re-reads identically via
+// DecodeWindows, and the very same bytes replay through DecodeRecords with
+// each window as a plain Profile delta.
+func TestSnapshotExporterRoundTrip(t *testing.T) {
+	m := machine.New(machine.Core2())
+	reg := NewRegistry(m)
+	var buf bytes.Buffer
+	exp := NewSnapshotExporter(&buf)
+	ring := NewWindowRing(64)
+	reg.EnableWindows(8, MultiWindowSink(exp, nil, ring))
+
+	a := reg.NewContainer(adt.KindVector, 8, "rt/a", false)
+	b := reg.NewContainer(adt.KindList, 8, "rt/a", true) // same context, instance 1
+	for i := uint64(0); i < 20; i++ {
+		a.Insert(i)
+		b.Insert(i)
+	}
+	reg.FlushWindows()
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadWindows(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ring.Records()
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("round trip: %d windows, ring has %d", len(got), len(want))
+	}
+	// The exporter saw the same emission order as the ring; spot-check the
+	// instance ordinals survived.
+	seen := map[string]bool{}
+	for i := range got {
+		if got[i].Stats != want[i].Stats || got[i].Seq != want[i].Seq || got[i].Instance != want[i].Instance {
+			t.Fatalf("window %d diverges after round trip", i)
+		}
+		seen[got[i].InstanceKey()] = true
+	}
+	if !seen["rt/a#0"] || !seen["rt/a#1"] {
+		t.Fatalf("instance keys: %v", seen)
+	}
+
+	// Replay through the profile decoder: every window is a Profile.
+	var profiles int
+	err = DecodeRecords(bytes.NewReader(buf.Bytes()), func(p *Profile) error {
+		if p.Context != "rt/a" {
+			t.Fatalf("replayed context %q", p.Context)
+		}
+		profiles++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profiles != len(want) {
+		t.Fatalf("DecodeRecords replayed %d of %d windows", profiles, len(want))
+	}
+}
+
+func TestRegistryWindowsOnlyNewContainers(t *testing.T) {
+	m := machine.New(machine.Core2())
+	reg := NewRegistry(m)
+	before := reg.NewContainer(adt.KindVector, 8, "reg/before", false)
+	sink := &collectSink{}
+	reg.EnableWindows(4, sink)
+	after := reg.NewContainer(adt.KindVector, 8, "reg/after", false)
+	for i := uint64(0); i < 8; i++ {
+		before.Insert(i)
+		after.Insert(i)
+	}
+	if len(sink.recs) != 2 {
+		t.Fatalf("got %d windows", len(sink.recs))
+	}
+	for _, w := range sink.recs {
+		if w.Context != "reg/after" {
+			t.Fatalf("pre-enable container emitted a window: %+v", w)
+		}
+	}
+}
+
+func TestEnableWindowsValidation(t *testing.T) {
+	m := machine.New(machine.Core2())
+	c := NewContainer(adt.KindVector, m, 8, "v", false)
+	for _, f := range []func(){
+		func() { c.EnableWindows(0, 0, &collectSink{}) },
+		func() { c.EnableWindows(4, 0, nil) },
+		func() { NewRegistry(m).EnableWindows(0, &collectSink{}) },
+		func() { NewWindowRing(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid windowing config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMultiWindowSinkCollapse(t *testing.T) {
+	if MultiWindowSink() != nil || MultiWindowSink(nil, nil) != nil {
+		t.Fatal("empty multi-sink not nil")
+	}
+	s := &collectSink{}
+	if got := MultiWindowSink(nil, s); got != WindowSink(s) {
+		t.Fatal("single live sink not unwrapped")
+	}
+}
+
+// TestDecodeWindowsMixedAndBroken covers the ingestion-facing decoder on
+// realistic streams: interleaved instances, out-of-order sequence numbers
+// (delivered as-is, not reordered and not an error), and a truncated tail
+// line that must surface as an error, never a panic.
+func TestDecodeWindowsMixedAndBroken(t *testing.T) {
+	mk := func(ctx string, inst, seq int) WindowRecord {
+		return WindowRecord{
+			Profile:  Profile{Context: ctx, Kind: adt.KindVector},
+			Instance: inst,
+			Seq:      seq,
+			StartOp:  uint64(seq) * 8,
+			EndOp:    uint64(seq)*8 + 8,
+		}
+	}
+	stream := []WindowRecord{
+		mk("a", 0, 0), mk("b", 0, 0), mk("a", 1, 0),
+		mk("b", 0, 1), mk("a", 0, 2), mk("a", 0, 1), // out of order
+	}
+	var buf bytes.Buffer
+	if err := WriteWindows(&buf, stream); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []WindowRecord
+	if err := DecodeWindows(bytes.NewReader(buf.Bytes()), func(w *WindowRecord) error {
+		got = append(got, *w)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(stream) {
+		t.Fatalf("decoded %d of %d", len(got), len(stream))
+	}
+	for i := range got {
+		if got[i].InstanceKey() != stream[i].InstanceKey() || got[i].Seq != stream[i].Seq {
+			t.Fatalf("record %d reordered: %+v", i, got[i])
+		}
+	}
+
+	// Truncated tail: all complete lines decode, then an error (not EOF
+	// swallowed, not a panic).
+	full := buf.String()
+	cut := full[:len(full)-20]
+	n := 0
+	err := DecodeWindows(strings.NewReader(cut), func(*WindowRecord) error { n++; return nil })
+	if err == nil {
+		t.Fatal("truncated tail line accepted")
+	}
+	if n != len(stream)-1 {
+		t.Fatalf("decoded %d complete records before the truncation, want %d", n, len(stream)-1)
+	}
+
+	// Array form works for windows too.
+	recs := strings.Split(strings.TrimSpace(full), "\n")
+	arr := "[" + strings.Join(recs, ",") + "]"
+	n = 0
+	if err := DecodeWindows(strings.NewReader(arr), func(*WindowRecord) error { n++; return nil }); err != nil || n != len(stream) {
+		t.Fatalf("array form: err=%v n=%d", err, n)
+	}
+}

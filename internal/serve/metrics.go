@@ -29,6 +29,21 @@ type Metrics struct {
 	Inferences *opstats.CounterVec
 	// ProfilesAnalyzed counts profile records accepted into analysis.
 	ProfilesAnalyzed *opstats.Counter
+	// ProfileWindows counts snapshot windows accepted on /v1/profiles.
+	ProfileWindows *opstats.Counter
+	// WindowOps observes the operation span of each ingested window; the
+	// exposition's _min/_max lines show the exact spread of window sizes
+	// clients stream.
+	WindowOps *opstats.Histogram
+	// DriftEvents counts confirmed phase-drift events across all timelines.
+	DriftEvents *opstats.Counter
+	// TimelineInstances gauges instance timelines currently retained.
+	TimelineInstances *opstats.Gauge
+	// TimelineEvictions counts timelines dropped by the instance LRU.
+	TimelineEvictions *opstats.Counter
+	// WindowsOutOfOrder counts ingested windows whose sequence number did
+	// not advance their timeline (replays, reordered delivery).
+	WindowsOutOfOrder *opstats.Counter
 }
 
 // NewMetrics builds a metric set on a fresh registry.
@@ -43,6 +58,13 @@ func NewMetrics() *Metrics {
 		CacheMisses:      reg.Counter("brainy_cache_misses_total", "Inference-cache misses."),
 		Inferences:       reg.CounterVec("brainy_inferences_total", "ANN evaluations run, by architecture."),
 		ProfilesAnalyzed: reg.Counter("brainy_profiles_analyzed_total", "Profile records accepted into analysis."),
+		ProfileWindows:   reg.Counter("brainy_profile_windows_total", "Snapshot windows accepted on /v1/profiles."),
+		WindowOps: reg.Histogram("brainy_profile_window_ops", "Operations covered by each ingested snapshot window.",
+			8, 16, 32, 64, 128, 256, 1024, 4096, 16384),
+		DriftEvents:       reg.Counter("brainy_drift_events_total", "Confirmed phase-drift events across instance timelines."),
+		TimelineInstances: reg.Gauge("brainy_profile_instances", "Instance timelines currently retained."),
+		TimelineEvictions: reg.Counter("brainy_timeline_evictions_total", "Instance timelines evicted by the LRU bound."),
+		WindowsOutOfOrder: reg.Counter("brainy_profile_windows_out_of_order_total", "Ingested windows whose sequence number did not advance their timeline."),
 	}
 }
 

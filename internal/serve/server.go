@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/drift"
 	"repro/internal/telemetry"
 	"repro/internal/training"
 )
@@ -55,6 +56,21 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: profiling endpoints are opt-in on production listeners.
 	EnablePprof bool
+	// MaxInstances bounds how many instance timelines /v1/profiles retains;
+	// the least recently touched timeline is evicted at the bound
+	// (default 256).
+	MaxInstances int
+	// TimelineWindows bounds the recent-window ring kept per instance
+	// (default 32).
+	TimelineWindows int
+	// DriftRules switches drift evaluation to the deterministic
+	// drift.Rules advisor instead of the loaded models — the right setting
+	// for smoke environments without a trained model set.
+	DriftRules bool
+	// DriftWindow and DriftHysteresis tune the drift detector's sliding
+	// blend and confirmation streak; zero uses the drift package defaults.
+	DriftWindow     int
+	DriftHysteresis int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +101,12 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.MaxInstances <= 0 {
+		c.MaxInstances = 256
+	}
+	if c.TimelineWindows <= 0 {
+		c.TimelineWindows = 32
+	}
 	return c
 }
 
@@ -98,6 +120,12 @@ type Server struct {
 	metrics *Metrics
 	log     *slog.Logger
 	tracer  *telemetry.Tracer
+
+	// timelines and drifts are the windowed-profiling state behind
+	// /v1/profiles and /debug/brainy: bounded per-instance retention plus
+	// the phase-drift state machines.
+	timelines *timelineStore
+	drifts    *drift.Detector
 
 	// routes holds the precomputed request-counter cache for every path the
 	// mux actually serves; anything else lands in otherRoute, keeping
@@ -120,8 +148,18 @@ func New(models *training.ModelSet, cfg Config) *Server {
 		tracer:     cfg.Tracer,
 		routes:     make(map[string]*routeCounters),
 		otherRoute: newRouteCounters(otherPath, m.Requests),
+		timelines:  newTimelineStore(cfg.MaxInstances, cfg.TimelineWindows),
 	}
-	for _, path := range []string{"/v1/advise", "/healthz", "/metrics"} {
+	suggest := s.cachingSuggester()
+	if cfg.DriftRules {
+		suggest = drift.Rules
+	}
+	s.drifts = drift.New(suggest, drift.Config{
+		Window:     cfg.DriftWindow,
+		Hysteresis: cfg.DriftHysteresis,
+		Events:     m.DriftEvents,
+	})
+	for _, path := range []string{"/v1/advise", "/v1/profiles", "/healthz", "/metrics", debugBrainyPath} {
 		s.routes[path] = newRouteCounters(path, m.Requests)
 	}
 	if cfg.EnablePprof {
@@ -143,6 +181,8 @@ const pprofPrefix = "/debug/pprof/"
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/advise", s.handleAdvise)
+	mux.HandleFunc("/v1/profiles", s.handleProfiles)
+	mux.HandleFunc(debugBrainyPath, s.handleDebugBrainy)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.metrics)
 	if s.cfg.EnablePprof {

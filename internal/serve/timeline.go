@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/adt"
+	"repro/internal/profile"
+)
+
+// timeline is everything the server retains about one container instance:
+// identity, lifetime totals, and a bounded ring of its most recent windows.
+// Memory per timeline is capped by the ring, memory across timelines by the
+// store's LRU — a misbehaving client streaming a million instances evicts
+// its own history instead of growing the process.
+type timeline struct {
+	key      string
+	context  string
+	instance int
+	kind     adt.Kind
+
+	windows    int    // windows ever ingested for this instance
+	ops        uint64 // interface invocations those windows covered
+	lastSeq    int
+	outOfOrder int // windows whose seq did not advance
+
+	recent *profile.WindowRing
+}
+
+// timelineStore is the bounded per-instance window retention behind
+// /v1/profiles: an LRU over instance keys, each holding a fixed-size ring
+// of recent windows. All methods are safe for concurrent use.
+type timelineStore struct {
+	mu          sync.Mutex
+	maxInst     int
+	ringSize    int
+	order       *list.List // front = most recently touched
+	items       map[string]*list.Element
+	evictions   uint64
+	totalWin    uint64
+	totalOutOfO uint64
+}
+
+func newTimelineStore(maxInstances, ringSize int) *timelineStore {
+	return &timelineStore{
+		maxInst:  maxInstances,
+		ringSize: ringSize,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// add ingests one window into its instance's timeline, creating (and, at
+// the bound, evicting) as needed. It reports whether the window was out of
+// order and whether a timeline was evicted to make room.
+func (s *timelineStore) add(w *profile.WindowRecord) (outOfOrder, evicted bool) {
+	key := w.InstanceKey()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		tl := &timeline{
+			key:      key,
+			context:  w.Context,
+			instance: w.Instance,
+			kind:     w.Kind,
+			lastSeq:  -1,
+			recent:   profile.NewWindowRing(s.ringSize),
+		}
+		el = s.order.PushFront(tl)
+		s.items[key] = el
+		if len(s.items) > s.maxInst {
+			oldest := s.order.Back()
+			s.order.Remove(oldest)
+			delete(s.items, oldest.Value.(*timeline).key)
+			s.evictions++
+			evicted = true
+		}
+	} else {
+		s.order.MoveToFront(el)
+	}
+	tl := el.Value.(*timeline)
+	if tl.windows > 0 && w.Seq <= tl.lastSeq {
+		tl.outOfOrder++
+		s.totalOutOfO++
+		outOfOrder = true
+	}
+	if w.Seq > tl.lastSeq {
+		tl.lastSeq = w.Seq
+	}
+	tl.windows++
+	tl.ops += w.Ops()
+	tl.kind = w.Kind
+	tl.recent.EmitWindow(w)
+	s.totalWin++
+	return outOfOrder, evicted
+}
+
+// timelineView is a consistent copy of one timeline, for rendering.
+type timelineView struct {
+	Key        string
+	Context    string
+	Instance   int
+	Kind       adt.Kind
+	Windows    int
+	Ops        uint64
+	OutOfOrder int
+	Recent     []profile.WindowRecord // oldest first
+}
+
+// views returns a copy of every retained timeline, most recently touched
+// first (the order a live dashboard wants: active instances on top).
+func (s *timelineStore) views() []timelineView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]timelineView, 0, len(s.items))
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		tl := el.Value.(*timeline)
+		out = append(out, timelineView{
+			Key:        tl.key,
+			Context:    tl.context,
+			Instance:   tl.instance,
+			Kind:       tl.kind,
+			Windows:    tl.windows,
+			Ops:        tl.ops,
+			OutOfOrder: tl.outOfOrder,
+			Recent:     tl.recent.Records(),
+		})
+	}
+	return out
+}
+
+// len returns the number of retained timelines.
+func (s *timelineStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}

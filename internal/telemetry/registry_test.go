@@ -41,6 +41,8 @@ test_latency_seconds_bucket{le="1"} 2
 test_latency_seconds_bucket{le="+Inf"} 3
 test_latency_seconds_sum 30.55
 test_latency_seconds_count 3
+test_latency_seconds_min 0.05
+test_latency_seconds_max 30
 # HELP test_ops_total Operations.
 # TYPE test_ops_total counter
 test_ops_total 3

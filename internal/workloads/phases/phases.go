@@ -1,0 +1,95 @@
+// Package phases is a synthetic two-phase workload built to *provably*
+// change phase mid-run: a build phase that appends a working set into its
+// container (append/scan dominant — vector territory), then a query phase
+// that searches the same container over and over (find dominant — hash
+// territory). A whole-run profile blends the two into mush; a windowed
+// timeline shows the operation mix flip at the boundary, which makes this
+// the reference workload for the drift detector, the phasedemo example,
+// and the CI observability smoke.
+//
+// Everything is deterministic — fixed key schedule, no randomness, no
+// clocks — so tests and CI can assert exact drift behaviour.
+package phases
+
+import "repro/internal/adt"
+
+// Original is the container the synthetic application ships with.
+const Original = adt.KindVector
+
+// Context is the construction-site label the demo registers under.
+const Context = "phasedemo/working-set"
+
+// Config sizes the two phases. The zero value gets usable defaults.
+type Config struct {
+	// Keys is the working-set size built during phase one (default 256).
+	Keys int
+	// Scans is how many short iterations the build phase interleaves
+	// (default Keys/8) — enough to look scan-ish, not enough to dominate.
+	Scans int
+	// Finds is how many membership queries the query phase issues
+	// (default 4×Keys), each hitting a key known to be present.
+	Finds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Keys < 1 {
+		c.Keys = 256
+	}
+	if c.Scans < 1 {
+		c.Scans = c.Keys / 8
+		if c.Scans < 1 {
+			c.Scans = 1
+		}
+	}
+	if c.Finds < 1 {
+		c.Finds = 4 * c.Keys
+	}
+	return c
+}
+
+// Ops returns the total interface invocations Drive will issue, so callers
+// can size snapshot windows to land boundaries inside each phase.
+func (c Config) Ops() int {
+	c = c.withDefaults()
+	return c.Keys + c.Scans + c.Finds
+}
+
+// Drive replays the workload into any container: phase one appends the
+// working set with interleaved short scans, phase two queries membership.
+// The key schedule is a fixed permutation, so two Drives over identical
+// containers produce identical operation streams.
+func Drive(c adt.Container, cfg Config) {
+	cfg = cfg.withDefaults()
+
+	// Phase one: build. Keys arrive in a multiplicative shuffle so the
+	// container sees unordered insertion, with a short scan every few
+	// appends (a consumer walking the most recent entries).
+	scanEvery := cfg.Keys / cfg.Scans
+	if scanEvery < 1 {
+		scanEvery = 1
+	}
+	scans := 0
+	for i := 0; i < cfg.Keys; i++ {
+		c.Insert(key(i, cfg.Keys))
+		if (i+1)%scanEvery == 0 && scans < cfg.Scans {
+			c.Iterate(8)
+			scans++
+		}
+	}
+	for ; scans < cfg.Scans; scans++ {
+		c.Iterate(8)
+	}
+
+	// Phase two: query. Every lookup hits — the point is the access
+	// pattern, not the miss rate — and walks the key space in a stride
+	// coprime to its size so consecutive finds touch scattered elements.
+	for i := 0; i < cfg.Finds; i++ {
+		c.Find(key(i*7, cfg.Keys))
+	}
+}
+
+// key maps a schedule index to a working-set key: a fixed multiplicative
+// hash keeps the sequence unordered without any random state.
+func key(i, n int) uint64 {
+	return uint64(i%n) * 2654435761 % (uint64(n) * 16)
+}
