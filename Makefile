@@ -5,7 +5,7 @@ GO ?= go
 MODELS ?= models.json
 ADDR ?= :8377
 
-.PHONY: all build test lint race smoke serve train clean
+.PHONY: all build test lint race smoke serve train loadtest bench-serve clean
 
 all: build lint test
 
@@ -37,6 +37,33 @@ train:
 
 serve: build
 	$(GO) run ./cmd/brainy-serve -models $(MODELS) -addr $(ADDR)
+
+# Closed-loop load smoke: boot a rules-mode advisor, drive the ci-smoke
+# scenario from BENCH_serve.json with brainy-loadgen, and gate the measured
+# throughput against the committed baseline. CI runs the same recipe.
+LOADTEST_ADDR ?= 127.0.0.1:18377
+LOADTEST_OUT ?= /tmp/loadtest.json
+loadtest:
+	$(GO) build -o /tmp/brainy-serve-loadtest ./cmd/brainy-serve
+	$(GO) build -o /tmp/brainy-loadgen ./cmd/brainy-loadgen
+	$(GO) run ./cmd/brainy-train -arch core2 -apps 4 -max-seeds 80 -calls 50 -epochs 10 -o /tmp/loadtest-models.json
+	/tmp/brainy-serve-loadtest -models /tmp/loadtest-models.json -addr $(LOADTEST_ADDR) -log-requests=false & \
+	SERVE_PID=$$!; \
+	for i in $$(seq 1 50); do curl -sf http://$(LOADTEST_ADDR)/healthz > /dev/null && break; sleep 0.2; done; \
+	/tmp/brainy-loadgen -url http://$(LOADTEST_ADDR) -conns 8 -duration 5s -warmup 2s \
+		-skew 0.99 -keys 256 -mix 9:1 -seed 1 -out $(LOADTEST_OUT); \
+	status=$$?; kill -INT $$SERVE_PID; wait $$SERVE_PID; \
+	test $$status -eq 0
+	python3 scripts/check_serve_bench.py --result $(LOADTEST_OUT) --baseline BENCH_serve.json
+
+# Full serving benchmark (the BENCH_serve.json scenarios, 20s each) against
+# an already-running server at SERVE_URL; writes the report to BENCH_OUT.
+SERVE_URL ?= http://127.0.0.1:8377
+BENCH_OUT ?= /tmp/bench_serve.json
+bench-serve:
+	$(GO) build -o /tmp/brainy-loadgen ./cmd/brainy-loadgen
+	/tmp/brainy-loadgen -url $(SERVE_URL) -conns 32 -duration 20s -warmup 3s \
+		-skew 0.99 -keys 512 -mix 9:1 -seed 1 -out $(BENCH_OUT)
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,99 @@
+// Command brainy-loadgen drives closed-loop load against a running
+// brainy-serve and reports throughput, latency quantiles, and cache-hit
+// rate as JSON — the measurement half of the serving benchmark recorded in
+// BENCH_serve.json and gated in CI.
+//
+// Usage:
+//
+//	brainy-serve -models models.json -addr :8377 -log-requests=false &
+//	brainy-loadgen -url http://127.0.0.1:8377 -conns 32 -duration 30s \
+//	    -skew 0.99 -keys 512 -mix 9:1 -out report.json
+//
+// Workers are closed-loop: each issues its next request the moment the
+// previous response arrives, so ops/s is a capacity measurement, not an
+// offered-load one. Keys are drawn zipfian (-skew is YCSB theta; 0 is
+// uniform, 0.99 concentrates most traffic on a few hot keys) from -keys
+// distinct pre-rendered traces. -mix advise:profiles interleaves inference
+// requests with window ingestion in the given ratio.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("brainy-loadgen: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8377", "base URL of the brainy-serve under test")
+		conns    = flag.Int("conns", 8, "closed-loop connections")
+		duration = flag.Duration("duration", 10*time.Second, "measured run length")
+		warmup   = flag.Duration("warmup", 0, "unmeasured warmup run length")
+		skew     = flag.Float64("skew", 0.99, "zipf theta in [0,1): 0 uniform, 0.99 hot-key heavy")
+		keys     = flag.Int("keys", 512, "distinct request keys (advise traces / profile instances)")
+		mix      = flag.String("mix", "9:1", "advise:profiles request ratio")
+		seed     = flag.Int64("seed", 1, "seed for the key sequence")
+		arch     = flag.String("arch", "Core2", "?arch= sent with every request")
+		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+
+	adv, prof, err := loadgen.ParseMix(*mix)
+	if err != nil {
+		return err
+	}
+	r, err := loadgen.NewRunner(loadgen.Config{
+		URL:         *url,
+		Conns:       *conns,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Skew:        *skew,
+		Keys:        *keys,
+		MixAdvise:   adv,
+		MixProfiles: prof,
+		Seed:        *seed,
+		Arch:        *arch,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("driving %s: %d conns, %s, skew %g, %d keys, mix %s",
+		*url, *conns, *duration, *skew, *keys, *mix)
+	rep, err := r.Run(ctx)
+	if err != nil {
+		return err
+	}
+	log.Printf("done: %.0f ops/s, p50 %.2fms p99 %.2fms, hit rate %.3f, errors %d",
+		rep.OpsPerSec, rep.LatencyP50Ms, rep.LatencyP99Ms, rep.CacheHitRate, rep.Errors)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -293,6 +293,93 @@ func (n *Network) Probabilities(x []float64) []float64 {
 	return probs
 }
 
+// ProbabilitiesBatch runs the network over a batch of inputs in one matrix
+// pass: weight rows stream through the cache once per layer instead of once
+// per input, and the whole batch shares four flat buffer allocations where
+// the one-at-a-time path allocates per call. Every per-input summation runs
+// in exactly the order forward uses (bias first, then ascending indices),
+// so the returned distributions are bit-identical to calling Probabilities
+// on each input — the batched server must answer exactly what the
+// sequential CLI answers.
+func (n *Network) ProbabilitiesBatch(xs [][]float64) [][]float64 {
+	for _, x := range xs {
+		if len(x) != n.In {
+			panic(fmt.Sprintf("ann: input has %d features, want %d", len(x), n.In))
+		}
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	B := len(xs)
+
+	// Normalize the whole batch into one flat buffer.
+	zs := make([]float64, B*n.In)
+	for b, x := range xs {
+		z := zs[b*n.In : (b+1)*n.In]
+		for j := 0; j < n.In; j++ {
+			z[j] = (x[j] - n.Mean[j]) / n.Std[j]
+			if n.Mask != nil {
+				z[j] *= n.Mask[j]
+			}
+		}
+	}
+
+	// Input -> hidden: each weight row is loaded once and applied to every
+	// input in the batch.
+	hid := make([]float64, B*n.Hidden)
+	for h := 0; h < n.Hidden; h++ {
+		row := n.W1[h]
+		bias := row[n.In]
+		for b := 0; b < B; b++ {
+			z := zs[b*n.In : (b+1)*n.In]
+			sum := bias
+			for j := 0; j < n.In; j++ {
+				sum += row[j] * z[j]
+			}
+			hid[b*n.Hidden+h] = math.Tanh(sum)
+		}
+	}
+
+	// Hidden -> output logits, same row-major pass.
+	logits := make([]float64, B*n.Out)
+	for o := 0; o < n.Out; o++ {
+		row := n.W2[o]
+		bias := row[n.Hidden]
+		for b := 0; b < B; b++ {
+			hv := hid[b*n.Hidden : (b+1)*n.Hidden]
+			sum := bias
+			for h := 0; h < n.Hidden; h++ {
+				sum += row[h] * hv[h]
+			}
+			logits[b*n.Out+o] = sum
+		}
+	}
+
+	// Softmax per input, sharing one flat output allocation.
+	flat := make([]float64, B*n.Out)
+	out := make([][]float64, B)
+	for b := 0; b < B; b++ {
+		lg := logits[b*n.Out : (b+1)*n.Out]
+		probs := flat[b*n.Out : (b+1)*n.Out : (b+1)*n.Out]
+		maxLogit := math.Inf(-1)
+		for o := 0; o < n.Out; o++ {
+			if lg[o] > maxLogit {
+				maxLogit = lg[o]
+			}
+		}
+		var total float64
+		for o := range lg {
+			probs[o] = math.Exp(lg[o] - maxLogit)
+			total += probs[o]
+		}
+		for o := range probs {
+			probs[o] /= total
+		}
+		out[b] = probs
+	}
+	return out
+}
+
 // Accuracy returns the fraction of examples the network labels correctly.
 func (n *Network) Accuracy(examples []Example) float64 {
 	if len(examples) == 0 {

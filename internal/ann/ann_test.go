@@ -347,3 +347,67 @@ func TestDeterministicTraining(t *testing.T) {
 		t.Fatalf("same seed, different losses: %f vs %f", la, lb)
 	}
 }
+
+// TestProbabilitiesBatchBitIdentical is the batched-evaluation contract:
+// for trained and untrained networks alike, across shapes and masks, the
+// matrix pass returns distributions bit-for-bit equal to one-at-a-time
+// evaluation. The sharded server leans on this to answer exactly what the
+// sequential CLI answers.
+func TestProbabilitiesBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	shapes := []struct{ in, out int }{{2, 2}, {7, 3}, {27, 6}}
+	for _, shape := range shapes {
+		cfg := DefaultConfig()
+		cfg.Epochs = 5
+		n := New(shape.in, shape.out, cfg)
+		// Train on random data so Mean/Std are non-trivial.
+		exs := make([]Example, 50)
+		for i := range exs {
+			x := make([]float64, shape.in)
+			for j := range x {
+				x[j] = rng.NormFloat64() * float64(j+1)
+			}
+			exs[i] = Example{X: x, Label: i % shape.out}
+		}
+		if _, err := n.Train(exs); err != nil {
+			t.Fatal(err)
+		}
+		for _, withMask := range []bool{false, true} {
+			if withMask {
+				mask := make([]float64, shape.in)
+				for j := range mask {
+					mask[j] = float64(j % 2)
+				}
+				n.SetMask(mask)
+			} else {
+				n.SetMask(nil)
+			}
+			for _, batchSize := range []int{1, 2, 3, 17, 64} {
+				xs := make([][]float64, batchSize)
+				for b := range xs {
+					x := make([]float64, shape.in)
+					for j := range x {
+						x[j] = rng.NormFloat64() * 10
+					}
+					xs[b] = x
+				}
+				got := n.ProbabilitiesBatch(xs)
+				if len(got) != batchSize {
+					t.Fatalf("batch returned %d rows, want %d", len(got), batchSize)
+				}
+				for b, x := range xs {
+					want := n.Probabilities(x)
+					for o := range want {
+						if got[b][o] != want[o] { // exact: bit-identical, not approximately equal
+							t.Fatalf("shape %dx%d mask=%v batch=%d input %d class %d: batch %v != single %v",
+								shape.in, shape.out, withMask, batchSize, b, o, got[b][o], want[o])
+						}
+					}
+				}
+			}
+		}
+	}
+	if got := New(3, 2, DefaultConfig()).ProbabilitiesBatch(nil); got != nil {
+		t.Fatalf("empty batch = %v, want nil", got)
+	}
+}

@@ -71,7 +71,59 @@ func (b *Brainy) Suggest(p *profile.Profile, arch string) (Suggestion, error) {
 	if !ok {
 		return Suggestion{}, fmt.Errorf("core: no model for %v (orderAware=%v) on %s", p.Kind, p.OrderAware, arch)
 	}
-	probs := m.Net.Probabilities(p.Vector())
+	return suggestionFrom(p, m, m.Net.Probabilities(p.Vector())), nil
+}
+
+// SuggestBatch runs the models for many profiles in as few network passes
+// as possible: profiles sharing a model target are evaluated in one
+// ProbabilitiesBatch matrix pass, amortizing per-call overhead. Results are
+// positional — sugs[i] and errs[i] describe ps[i] — and bit-identical to
+// calling Suggest on each profile, which is what lets the batched server
+// answer exactly what the sequential CLI answers. A profile whose (kind,
+// orderAware) has no model on arch gets a per-profile error, matching
+// Suggest's.
+func (b *Brainy) SuggestBatch(ps []*profile.Profile, arch string) (sugs []Suggestion, errs []error) {
+	sugs = make([]Suggestion, len(ps))
+	errs = make([]error, len(ps))
+	type target struct {
+		kind       adt.Kind
+		orderAware bool
+	}
+	groups := make(map[target][]int)
+	var order []target // deterministic evaluation order: first appearance
+	for i, p := range ps {
+		tg := target{p.Kind, p.OrderAware}
+		if _, ok := groups[tg]; !ok {
+			order = append(order, tg)
+		}
+		groups[tg] = append(groups[tg], i)
+	}
+	for _, tg := range order {
+		idxs := groups[tg]
+		m, ok := b.models.Get(tg.kind, tg.orderAware, arch)
+		if !ok {
+			err := fmt.Errorf("core: no model for %v (orderAware=%v) on %s", tg.kind, tg.orderAware, arch)
+			for _, i := range idxs {
+				errs[i] = err
+			}
+			continue
+		}
+		xs := make([][]float64, len(idxs))
+		for j, i := range idxs {
+			xs[j] = ps[i].Vector()
+		}
+		probsList := m.Net.ProbabilitiesBatch(xs)
+		for j, i := range idxs {
+			sugs[i] = suggestionFrom(ps[i], m, probsList[j])
+		}
+	}
+	return sugs, errs
+}
+
+// suggestionFrom assembles the verdict for one profile from its model's
+// class distribution — the single shared tail of Suggest and SuggestBatch,
+// so the two paths cannot drift apart.
+func suggestionFrom(p *profile.Profile, m *training.Model, probs []float64) Suggestion {
 	best := 0
 	for i := 1; i < len(probs); i++ {
 		if probs[i] > probs[best] {
@@ -92,7 +144,7 @@ func (b *Brainy) Suggest(p *profile.Profile, arch string) (Suggestion, error) {
 	if s.MemOriginal > 0 {
 		s.MemDeltaPct = 100 * (float64(s.MemSuggested) - float64(s.MemOriginal)) / float64(s.MemOriginal)
 	}
-	return s, nil
+	return s
 }
 
 // Report is the prioritized analysis of a whole application run.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -168,5 +169,48 @@ func TestSuggestionString(t *testing.T) {
 	s.Replace = false
 	if out := s.String(); !strings.Contains(out, "keep") {
 		t.Fatalf("string = %q", out)
+	}
+}
+
+// TestSuggestBatchMatchesSuggest is the batched-advisor contract: across a
+// mixed batch (several distinct profiles, duplicates, and a kind with no
+// trained model), SuggestBatch returns positionally bit-identical verdicts
+// and errors to one-at-a-time Suggest.
+func TestSuggestBatchMatchesSuggest(t *testing.T) {
+	b := New(testModels(t))
+	ps := []*profile.Profile{}
+	for i := 0; i < 7; i++ {
+		p := profileOf(fmt.Sprintf("batch/site%d", i), 50+i*40)
+		ps = append(ps, &p)
+	}
+	dup := *ps[2] // a duplicate vector must get the identical verdict
+	ps = append(ps, &dup)
+	unknown := profileOf("batch/unknown", 30)
+	unknown.Kind = adt.KindSet // no set model in the test registry
+	ps = append(ps, &unknown)
+
+	sugs, errs := b.SuggestBatch(ps, "Core2")
+	if len(sugs) != len(ps) || len(errs) != len(ps) {
+		t.Fatalf("batch returned %d/%d results for %d profiles", len(sugs), len(errs), len(ps))
+	}
+	for i, p := range ps {
+		want, wantErr := b.Suggest(p, "Core2")
+		if (errs[i] == nil) != (wantErr == nil) {
+			t.Fatalf("profile %d: batch err %v, single err %v", i, errs[i], wantErr)
+		}
+		if wantErr != nil {
+			if errs[i].Error() != wantErr.Error() {
+				t.Fatalf("profile %d: error text diverged: %q vs %q", i, errs[i], wantErr)
+			}
+			continue
+		}
+		if sugs[i] != want { // struct equality: every field, bit-for-bit
+			t.Fatalf("profile %d: batch verdict diverged:\n batch  %+v\n single %+v", i, sugs[i], want)
+		}
+	}
+
+	// Empty batch is a no-op, not a panic.
+	if s, e := b.SuggestBatch(nil, "Core2"); len(s) != 0 || len(e) != 0 {
+		t.Fatalf("empty batch returned %d/%d", len(s), len(e))
 	}
 }

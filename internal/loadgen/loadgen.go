@@ -1,0 +1,372 @@
+// Package loadgen is the closed-loop load generator behind cmd/brainy-loadgen:
+// a fixed number of connections issue advise and profile-ingest requests
+// back to back against a running brainy-serve, drawing request keys from a
+// zipfian distribution so the hot-key behavior of the inference cache and
+// the shard batchers is actually exercised. The result is a machine-readable
+// Report — throughput, latency quantiles, cache-hit rate — consumed by
+// `make loadtest`, the CI throughput gate, and BENCH_serve.json.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+	"repro/internal/profile"
+)
+
+// Config tunes one load-generation run.
+type Config struct {
+	// URL is the base URL of the server under test (e.g. http://127.0.0.1:8377).
+	URL string
+	// Conns is the number of closed-loop workers; each holds one connection
+	// and issues its next request as soon as the previous one finished.
+	Conns int
+	// Duration is how long the measured phase runs.
+	Duration time.Duration
+	// Warmup runs the same load without recording first — cache fill and
+	// connection establishment stay out of the measurement.
+	Warmup time.Duration
+	// Skew is the zipf theta in [0,1) used to pick request keys.
+	Skew float64
+	// Keys is the size of the key universe: distinct advise traces (and
+	// distinct profile-stream instances) the generator draws from.
+	Keys int
+	// MixAdvise:MixProfiles is the request mix; every worker interleaves
+	// deterministically, e.g. 9:1 sends one ingest per nine advises.
+	MixAdvise   int
+	MixProfiles int
+	// Seed makes the key sequence reproducible across runs.
+	Seed int64
+	// Arch is the ?arch= every request carries.
+	Arch string
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.URL == "" {
+		return c, fmt.Errorf("loadgen: URL required")
+	}
+	if c.Conns <= 0 {
+		c.Conns = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Keys <= 0 {
+		c.Keys = 512
+	}
+	if c.MixAdvise <= 0 && c.MixProfiles <= 0 {
+		c.MixAdvise, c.MixProfiles = 9, 1
+	}
+	if c.MixAdvise < 0 || c.MixProfiles < 0 {
+		return c, fmt.Errorf("loadgen: negative mix %d:%d", c.MixAdvise, c.MixProfiles)
+	}
+	if c.Arch == "" {
+		c.Arch = "Core2"
+	}
+	return c, nil
+}
+
+// ParseMix parses an "advise:profiles" ratio like "9:1"; a bare integer
+// means advise-only.
+func ParseMix(s string) (advise, profiles int, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	advise, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("loadgen: bad mix %q: %v", s, err)
+	}
+	if len(parts) == 2 {
+		profiles, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return 0, 0, fmt.Errorf("loadgen: bad mix %q: %v", s, err)
+		}
+	}
+	if advise < 0 || profiles < 0 || advise+profiles == 0 {
+		return 0, 0, fmt.Errorf("loadgen: bad mix %q", s)
+	}
+	return advise, profiles, nil
+}
+
+// Report is the JSON result of one run: everything BENCH_serve.json records
+// and the CI gate compares.
+type Report struct {
+	URL         string  `json:"url"`
+	Arch        string  `json:"arch"`
+	Conns       int     `json:"conns"`
+	Skew        float64 `json:"skew"`
+	Keys        int     `json:"keys"`
+	Mix         string  `json:"mix"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Ops        uint64  `json:"ops"`
+	AdviseOps  uint64  `json:"advise_ops"`
+	ProfileOps uint64  `json:"profile_ops"`
+	Errors     uint64  `json:"errors"` // transport failures and non-200s
+	OpsPerSec  float64 `json:"ops_per_sec"`
+
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP90Ms float64 `json:"latency_p90_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	LatencyMaxMs float64 `json:"latency_max_ms"`
+
+	// CacheHitRate is hits/(hits+misses) over the measured phase, scraped
+	// from the server's /metrics page; -1 when the page was unavailable.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// Runner generates load against one server.
+type Runner struct {
+	cfg    Config
+	client *http.Client
+	zipf   *Zipf
+
+	// Request bodies are pre-rendered per key: the measured loop does no
+	// profiling or JSON encoding, only HTTP.
+	adviseBodies [][]byte
+	windowBodies [][]byte
+}
+
+// NewRunner pre-builds the key universe: one profiled container trace per
+// key for /v1/advise (each key a distinct workload, hence a distinct
+// inference-cache entry) and one snapshot window per key for /v1/profiles.
+func NewRunner(cfg Config) (*Runner, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	zipf, err := NewZipf(cfg.Keys, cfg.Skew)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg:  cfg,
+		zipf: zipf,
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Conns,
+				MaxIdleConnsPerHost: cfg.Conns,
+			},
+		},
+	}
+	m := machine.New(machine.Core2())
+	for key := 0; key < cfg.Keys; key++ {
+		c := profile.NewContainer(adt.KindVector, m, 8, fmt.Sprintf("loadgen/site%d", key), false)
+		// Small per-key workloads with distinct sizes: distinct feature
+		// vectors, so every key is its own cache entry.
+		n := 16 + key
+		for i := 0; i < n; i++ {
+			c.Insert(uint64(i))
+		}
+		for i := 0; i < n/2; i++ {
+			c.Find(uint64(i * 3))
+		}
+		p := c.Snapshot()
+		var buf bytes.Buffer
+		if err := profile.WriteTrace(&buf, []profile.Profile{p}); err != nil {
+			return nil, err
+		}
+		r.adviseBodies = append(r.adviseBodies, buf.Bytes())
+		r.windowBodies = append(r.windowBodies, []byte(fmt.Sprintf(
+			`{"context":"loadgen/site%d","kind":0,"instance":0,"window_seq":0,"window_start_op":0,"window_end_op":16,"stats":{"count":[0,0,0,0,16,0,0,0,0,0]}}`+"\n", key)))
+	}
+	return r, nil
+}
+
+// counters is the /metrics scrape the hit rate comes from.
+type counters struct {
+	hits, misses float64
+	ok           bool
+}
+
+func (r *Runner) scrape() counters {
+	resp, err := r.client.Get(r.cfg.URL + "/metrics")
+	if err != nil {
+		return counters{}
+	}
+	defer resp.Body.Close()
+	page, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return counters{}
+	}
+	var c counters
+	for _, line := range strings.Split(string(page), "\n") {
+		var name string
+		var val float64
+		if n, _ := fmt.Sscanf(line, "%s %g", &name, &val); n != 2 {
+			continue
+		}
+		switch name {
+		case "brainy_cache_hits_total":
+			c.hits, c.ok = val, true
+		case "brainy_cache_misses_total":
+			c.misses, c.ok = val, true
+		}
+	}
+	return c
+}
+
+// Run drives the configured load and returns the measured report. ctx
+// cancellation ends the run early (the report covers what ran).
+func (r *Runner) Run(ctx context.Context) (Report, error) {
+	if r.cfg.Warmup > 0 {
+		wctx, cancel := context.WithTimeout(ctx, r.cfg.Warmup)
+		r.loop(wctx, nil)
+		cancel()
+	}
+	before := r.scrape()
+
+	period := r.cfg.MixAdvise + r.cfg.MixProfiles
+	workers := make([]*workerStats, r.cfg.Conns)
+	for i := range workers {
+		workers[i] = &workerStats{
+			rng:       rand.New(rand.NewSource(r.cfg.Seed + int64(i)*7919)),
+			mixOffset: (i * period) / r.cfg.Conns, // stagger the mix phase across workers
+		}
+	}
+	mctx, cancel := context.WithTimeout(ctx, r.cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	r.loop(mctx, workers)
+	elapsed := time.Since(start)
+
+	after := r.scrape()
+	rep := Report{
+		URL:         r.cfg.URL,
+		Arch:        r.cfg.Arch,
+		Conns:       r.cfg.Conns,
+		Skew:        r.cfg.Skew,
+		Keys:        r.cfg.Keys,
+		Mix:         fmt.Sprintf("%d:%d", r.cfg.MixAdvise, r.cfg.MixProfiles),
+		DurationSec: elapsed.Seconds(),
+	}
+	var lats []time.Duration
+	for _, w := range workers {
+		rep.Ops += w.ops
+		rep.AdviseOps += w.advise
+		rep.ProfileOps += w.profiles
+		rep.Errors += w.errors
+		lats = append(lats, w.lats...)
+	}
+	if elapsed > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / elapsed.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.LatencyP50Ms = quantileMs(lats, 0.50)
+	rep.LatencyP90Ms = quantileMs(lats, 0.90)
+	rep.LatencyP99Ms = quantileMs(lats, 0.99)
+	if len(lats) > 0 {
+		rep.LatencyMaxMs = float64(lats[len(lats)-1]) / float64(time.Millisecond)
+	}
+	rep.CacheHitRate = -1
+	if before.ok && after.ok {
+		hits, misses := after.hits-before.hits, after.misses-before.misses
+		if hits+misses > 0 {
+			rep.CacheHitRate = hits / (hits + misses)
+		}
+	}
+	return rep, nil
+}
+
+// workerStats is one closed-loop worker's private accounting; nil stats
+// (warmup) drive the same load without recording.
+type workerStats struct {
+	rng       *rand.Rand
+	mixOffset int
+	ops       uint64
+	advise    uint64
+	profiles  uint64
+	errors    uint64
+	lats      []time.Duration
+}
+
+// loop runs Conns closed-loop workers until ctx expires. During warmup
+// stats is nil and each worker uses a throwaway rand stream.
+func (r *Runner) loop(ctx context.Context, stats []*workerStats) {
+	period := r.cfg.MixAdvise + r.cfg.MixProfiles
+	var wg sync.WaitGroup
+	for i := 0; i < r.cfg.Conns; i++ {
+		var ws *workerStats
+		if stats != nil {
+			ws = stats[i]
+		} else {
+			ws = &workerStats{rng: rand.New(rand.NewSource(r.cfg.Seed ^ 0x5eed + int64(i)))}
+		}
+		record := stats != nil
+		wg.Add(1)
+		go func(ws *workerStats) {
+			defer wg.Done()
+			for n := ws.mixOffset; ctx.Err() == nil; n++ {
+				key := r.zipf.Next(ws.rng)
+				isAdvise := n%period < r.cfg.MixAdvise
+				var path string
+				var body []byte
+				if isAdvise {
+					path = "/v1/advise"
+					body = r.adviseBodies[key]
+				} else {
+					path = "/v1/profiles"
+					body = r.windowBodies[key]
+				}
+				start := time.Now()
+				ok := r.post(ctx, path, body)
+				if !record {
+					continue
+				}
+				ws.ops++
+				ws.lats = append(ws.lats, time.Since(start))
+				if isAdvise {
+					ws.advise++
+				} else {
+					ws.profiles++
+				}
+				if !ok {
+					ws.errors++
+				}
+			}
+		}(ws)
+	}
+	wg.Wait()
+}
+
+// post issues one request; false means transport failure or non-200. A
+// failure right at ctx expiry is not counted against the server.
+func (r *Runner) post(ctx context.Context, path string, body []byte) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		r.cfg.URL+path+"?arch="+r.cfg.Arch, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return ctx.Err() != nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// quantileMs returns the q-quantile of sorted latencies in milliseconds.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -1,0 +1,166 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+	"repro/internal/profile"
+	"repro/internal/serve"
+	"repro/internal/training"
+)
+
+func TestZipfBoundsAndDeterminism(t *testing.T) {
+	z, err := NewZipf(64, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		ka, kb := z.Next(a), z.Next(b)
+		if ka != kb {
+			t.Fatalf("draw %d not deterministic: %d vs %d", i, ka, kb)
+		}
+		if ka < 0 || ka >= 64 {
+			t.Fatalf("draw %d out of range: %d", i, ka)
+		}
+	}
+	if _, err := NewZipf(0, 0.5); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewZipf(10, 1.0); err == nil {
+		t.Fatal("theta=1 accepted")
+	}
+}
+
+// TestZipfSkewConcentrates: at theta 0.99 the hottest key takes far more
+// than its uniform share, and at theta 0 the distribution is flat-ish.
+func TestZipfSkewConcentrates(t *testing.T) {
+	const n, draws = 128, 100000
+	count := func(theta float64) []int {
+		z, err := NewZipf(n, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(7))
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Next(r)]++
+		}
+		return counts
+	}
+	hot := count(0.99)
+	if share := float64(hot[0]) / draws; share < 0.10 {
+		t.Fatalf("theta=0.99 hottest key got %.3f of draws, want > 10x uniform (uniform = %.4f)", share, 1.0/n)
+	}
+	flat := count(0)
+	if share := float64(flat[0]) / draws; share > 0.05 {
+		t.Fatalf("theta=0 hottest key got %.3f of draws, want near uniform", share)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	for _, tc := range []struct {
+		in       string
+		adv, pro int
+		wantErr  bool
+	}{
+		{"9:1", 9, 1, false},
+		{"1:0", 1, 0, false},
+		{"3", 3, 0, false},
+		{"0:0", 0, 0, true},
+		{"a:b", 0, 0, true},
+		{"-1:2", 0, 0, true},
+	} {
+		adv, pro, err := ParseMix(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Fatalf("ParseMix(%q) err = %v", tc.in, err)
+		}
+		if err == nil && (adv != tc.adv || pro != tc.pro) {
+			t.Fatalf("ParseMix(%q) = %d:%d, want %d:%d", tc.in, adv, pro, tc.adv, tc.pro)
+		}
+	}
+}
+
+func TestQuantileMs(t *testing.T) {
+	lats := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		4 * time.Millisecond, 100 * time.Millisecond,
+	}
+	if q := quantileMs(lats, 0.5); q != 3 {
+		t.Fatalf("p50 = %g, want 3", q)
+	}
+	if q := quantileMs(lats, 0.99); q != 100 {
+		t.Fatalf("p99 = %g, want 100", q)
+	}
+	if q := quantileMs(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %g", q)
+	}
+}
+
+// testServer builds a real sharded advisor around a deterministic untrained
+// model, the same shape the serve tests use.
+func testServer(t *testing.T) (*serve.Server, string) {
+	t.Helper()
+	set := training.NewModelSet()
+	tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
+	cands := adt.CandidatesWithOriginal(tgt.Kind, tgt.OrderAware)
+	cfg := ann.DefaultConfig()
+	cfg.Seed = 7
+	set.Put(&training.Model{
+		Target:     tgt,
+		Arch:       "Core2",
+		Candidates: cands,
+		Net:        ann.New(profile.NumFeatures, len(cands), cfg),
+	})
+	s := serve.New(set, serve.Config{NoRequestLog: true, DriftRules: true})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts.URL
+}
+
+// TestRunnerClosedLoop drives a short real run end to end: every op
+// succeeds, the mix includes both endpoints, latencies are recorded, and
+// the zipf-hot advise keys produce cache hits visible in the report.
+func TestRunnerClosedLoop(t *testing.T) {
+	_, url := testServer(t)
+	r, err := NewRunner(Config{
+		URL:         url,
+		Conns:       4,
+		Duration:    300 * time.Millisecond,
+		Skew:        0.99,
+		Keys:        16,
+		MixAdvise:   3,
+		MixProfiles: 1,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d of %d ops", rep.Errors, rep.Ops)
+	}
+	if rep.Ops == 0 || rep.AdviseOps == 0 || rep.ProfileOps == 0 {
+		t.Fatalf("mix not exercised: %+v", rep)
+	}
+	if rep.Ops != rep.AdviseOps+rep.ProfileOps {
+		t.Fatalf("op accounting: %d != %d + %d", rep.Ops, rep.AdviseOps, rep.ProfileOps)
+	}
+	if rep.OpsPerSec <= 0 || rep.LatencyP50Ms <= 0 || rep.LatencyP99Ms < rep.LatencyP50Ms {
+		t.Fatalf("latency accounting: %+v", rep)
+	}
+	// 16 keys under 0.99 skew: after the first pass almost everything is a
+	// repeat, so the measured hit rate must be positive.
+	if rep.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate = %g, want > 0 under hot-key skew", rep.CacheHitRate)
+	}
+}

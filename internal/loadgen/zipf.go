@@ -1,0 +1,67 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf draws keys from [0, n) with zipfian skew parameter theta in [0, 1):
+// theta 0 is uniform, 0.99 is the YCSB-standard hot-key distribution where
+// a handful of keys absorb most of the traffic — the access pattern an
+// inference cache actually sees from a real application's hot containers.
+//
+// The stdlib rand.Zipf parameterizes s > 1 and cannot express theta < 1,
+// so this is the classical Gray et al. rejection-free construction used by
+// YCSB: all state is precomputed, Next is two float ops and a pow.
+type Zipf struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 0.5^theta, hoisted out of Next
+}
+
+// NewZipf builds a generator over [0, n). theta must be in [0, 1).
+func NewZipf(n int, theta float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("loadgen: zipf needs n > 0, got %d", n)
+	}
+	if theta < 0 || theta >= 1 {
+		return nil, fmt.Errorf("loadgen: zipf theta must be in [0,1), got %g", theta)
+	}
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1 + 1/math.Pow(2, theta)
+	z := &Zipf{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan),
+		half:  math.Pow(0.5, theta),
+	}
+	return z, nil
+}
+
+// Next draws one key using the caller's rand source, so concurrent workers
+// can share a Zipf (all fields are read-only after construction) while each
+// owns its deterministic stream.
+func (z *Zipf) Next(r *rand.Rand) int {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	k := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}

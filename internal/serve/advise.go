@@ -6,9 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/profile"
+	"repro/internal/serve/shard"
 	"repro/internal/telemetry"
 )
 
@@ -70,25 +73,19 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Bound concurrent ANN evaluation sections: wait for a slot, but never
-	// past the request deadline.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		writeTimeout(w, ctx, "waiting for an inference slot")
-		return
-	}
-
-	// The advise span covers only the analysis section (queueing for a slot
-	// excluded), as a child of the middleware's request span.
+	// The advise span covers the analysis section (decode excluded), as a
+	// child of the middleware's request span.
 	ctx, span := telemetry.StartSpan(ctx, "advise")
 	span.SetStr("arch", arch)
 	span.SetInt("profiles", int64(len(profiles)))
 	span.SetStr("request_id", RequestIDFromContext(ctx))
-	report, err := core.AnalyzeContext(ctx, s.cachingSuggester(), profiles, arch)
+	report, err := s.analyze(ctx, profiles, arch)
 	span.End()
 	if err != nil {
+		if errors.Is(err, shard.ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
 		writeTimeout(w, ctx, "analyzing trace")
 		return
 	}
@@ -110,29 +107,79 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// cachingSuggester wraps Brainy.Suggest with the bounded LRU: model-derived
-// fields are cached under the canonical inference key, while per-request
-// fields (Context, CyclesPct) are re-stamped on every hit.
-func (s *Server) cachingSuggester() core.Suggester {
-	return func(p *profile.Profile, arch string) (core.Suggestion, error) {
+// analyze is the sharded, batched equivalent of core.AnalyzeContext: cache
+// hits resolve inline against their shard's LRU, misses queue on their
+// shard's batcher (coalescing with misses from concurrent requests), and
+// the report is assembled only after every slot resolved. Because each
+// shard deduplicates within a batch, reuses the shared cache, and evaluates
+// through core.SuggestBatch — bit-identical to Suggest — the response
+// matches what the sequential CLI computes for the same trace, suggestion
+// order and all.
+func (s *Server) analyze(ctx context.Context, profiles []profile.Profile, arch string) (core.Report, error) {
+	rep := core.Report{Arch: arch}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	var total float64
+	for i := range profiles {
+		total += profiles[i].Cycles
+	}
+	if total == 0 {
+		total = 1
+	}
+
+	sugs := make([]core.Suggestion, len(profiles))
+	errs := make([]error, len(profiles))
+	var wg sync.WaitGroup
+	var slots []*inferSlot
+	for i := range profiles {
+		p := &profiles[i]
 		key := inferenceKey(p, arch)
-		if sug, ok := s.cache.Get(key); ok {
+		sh := s.shardForKey(key)
+		if sug, ok := sh.cache.Get(key); ok {
 			s.metrics.CacheHits.Inc()
 			sug.Context = p.Context
-			return sug, nil
+			sugs[i] = sug
+			continue
 		}
 		s.metrics.CacheMisses.Inc()
-		sug, err := s.brainy.Suggest(p, arch)
-		if err != nil {
-			return sug, err
+		slot := &inferSlot{p: p, arch: arch, key: key, idx: i, wg: &wg}
+		wg.Add(1)
+		if err := sh.batcher.Submit(ctx, slot); err != nil {
+			wg.Done()
+			return rep, err
 		}
-		s.metrics.Inferences.With(fmt.Sprintf("arch=%q", arch)).Inc()
-		cached := sug
-		cached.Context = "" // per-request fields stay out of the cache
-		cached.CyclesPct = 0
-		s.cache.Put(key, cached)
-		return sug, nil
+		slots = append(slots, slot)
 	}
+	if len(slots) > 0 {
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			// Abandon the request; the queued slots still resolve on
+			// their shards (warming the cache) and are then collected.
+			return rep, ctx.Err()
+		}
+		for _, sl := range slots {
+			sugs[sl.idx] = sl.sug
+			errs[sl.idx] = sl.err
+		}
+	}
+
+	for i := range profiles {
+		if errs[i] != nil {
+			rep.Skipped = append(rep.Skipped, profiles[i].Context)
+			continue
+		}
+		sug := sugs[i]
+		sug.CyclesPct = profiles[i].Cycles / total
+		rep.Suggestions = append(rep.Suggestions, sug)
+	}
+	sort.SliceStable(rep.Suggestions, func(i, j int) bool {
+		return rep.Suggestions[i].CyclesPct > rep.Suggestions[j].CyclesPct
+	})
+	return rep, nil
 }
 
 // isMaxBytesError reports whether err came from http.MaxBytesReader.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"sort"
 	"strings"
 
 	"repro/internal/drift"
@@ -85,12 +86,16 @@ func (s *Server) handleDebugBrainy(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// dashboard assembles the response from the timeline store and the drift
-// detector.
+// dashboard assembles the response by merging every shard's timeline store
+// and drift detector. Instance keys are unique across shards (each key
+// lives on exactly one shard), and the per-ingest touch stamp restores the
+// global most-recently-active order the single-store server rendered.
 func (s *Server) dashboard() DashboardResponse {
 	statuses := map[string]drift.Status{}
-	for _, st := range s.drifts.Statuses() {
-		statuses[st.InstanceKey] = st
+	for _, sh := range s.shards {
+		for _, st := range sh.drifts.Statuses() {
+			statuses[st.InstanceKey] = st
+		}
 	}
 	resp := DashboardResponse{
 		MaxInstances: s.cfg.MaxInstances,
@@ -99,7 +104,12 @@ func (s *Server) dashboard() DashboardResponse {
 		OutOfOrder:   s.metrics.WindowsOutOfOrder.Value(),
 		Rows:         []DashboardRow{},
 	}
-	for _, tl := range s.timelines.views() {
+	var views []timelineView
+	for _, sh := range s.shards {
+		views = append(views, sh.timelines.views()...)
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].Touch > views[j].Touch })
+	for _, tl := range views {
 		row := DashboardRow{
 			Key:        tl.Key,
 			Context:    tl.Context,

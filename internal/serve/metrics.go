@@ -44,6 +44,16 @@ type Metrics struct {
 	// WindowsOutOfOrder counts ingested windows whose sequence number did
 	// not advance their timeline (replays, reordered delivery).
 	WindowsOutOfOrder *opstats.Counter
+	// Shards gauges the configured shard count — a constant per process,
+	// exposed so dashboards can normalize queue depth per shard.
+	Shards *opstats.Gauge
+	// ShardQueueDepth gauges inferences currently queued across all shard
+	// batchers (submitted but not yet evaluated).
+	ShardQueueDepth *opstats.Gauge
+	// BatchSize observes how many queued inferences each ANN matrix pass
+	// coalesced; the _min/_max lines bound the batching the workload
+	// actually achieved.
+	BatchSize *opstats.Histogram
 }
 
 // NewMetrics builds a metric set on a fresh registry.
@@ -65,6 +75,10 @@ func NewMetrics() *Metrics {
 		TimelineInstances: reg.Gauge("brainy_profile_instances", "Instance timelines currently retained."),
 		TimelineEvictions: reg.Counter("brainy_timeline_evictions_total", "Instance timelines evicted by the LRU bound."),
 		WindowsOutOfOrder: reg.Counter("brainy_profile_windows_out_of_order_total", "Ingested windows whose sequence number did not advance their timeline."),
+		Shards:            reg.Gauge("brainy_shards", "Configured advisor shards (state partitions with one batching goroutine each)."),
+		ShardQueueDepth:   reg.Gauge("brainy_shard_queue_depth", "Inferences queued on shard batchers, awaiting evaluation."),
+		BatchSize: reg.Histogram("brainy_batch_size", "Queued inferences coalesced into each ANN matrix pass.",
+			1, 2, 4, 8, 16, 32, 64, 128),
 	}
 }
 

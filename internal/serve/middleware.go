@@ -146,14 +146,19 @@ func (s *Server) observe(next http.Handler) http.Handler {
 			span.SetInt("status", int64(sw.status))
 			span.End()
 		}
-		s.log.Info("request",
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", sw.status,
-			"bytes", sw.bytes,
-			"duration", elapsed.String(),
-			"remote", r.RemoteAddr,
-			"request_id", id,
-		)
+		// The request line is opt-out: at load-test rates every request
+		// serializes on the slog handler's lock, so NoRequestLog exists
+		// to keep logging off the contention profile.
+		if !s.cfg.NoRequestLog {
+			s.log.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"bytes", sw.bytes,
+				"duration", elapsed.String(),
+				"remote", r.RemoteAddr,
+				"request_id", id,
+			)
+		}
 	})
 }

@@ -117,6 +117,7 @@ func TestMetricsPageWellFormed(t *testing.T) {
 		"brainy_inflight_requests", "brainy_cache_hits_total",
 		"brainy_cache_misses_total", "brainy_inferences_total",
 		"brainy_profiles_analyzed_total",
+		"brainy_shards", "brainy_shard_queue_depth", "brainy_batch_size",
 	} {
 		if !seenHelp[name] {
 			t.Fatalf("metric %s has no HELP metadata:\n%s", name, text)
@@ -126,10 +127,22 @@ func TestMetricsPageWellFormed(t *testing.T) {
 		`brainy_request_duration_seconds_bucket{le="+Inf"}`,
 		"brainy_request_duration_seconds_sum",
 		"brainy_request_duration_seconds_count",
+		`brainy_batch_size_bucket{le="+Inf"}`,
+		"brainy_batch_size_sum",
+		"brainy_batch_size_count",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("histogram missing %q:\n%s", want, text)
 		}
+	}
+	// The one-profile advise above was a cache miss: it must have gone
+	// through a shard batcher (exactly one coalesced evaluation observed)
+	// and left the queues empty.
+	if !strings.Contains(text, "brainy_batch_size_count 1") {
+		t.Fatalf("advise miss did not flow through a batcher:\n%s", text)
+	}
+	if !strings.Contains(text, "brainy_shard_queue_depth 0") {
+		t.Fatalf("shard queues not drained back to zero:\n%s", text)
 	}
 	// Byte-stable for a fixed state.
 	mresp2, err := http.Get(url + "/metrics")

@@ -52,7 +52,11 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 		if resp.Accepted >= s.cfg.MaxProfiles {
 			return errTooManyWindows
 		}
-		outOfOrder, evicted := s.timelines.add(rec)
+		// The instance key routes the window to the shard owning its
+		// timeline and drift state; everything below touches only that
+		// shard (plus shared atomic counters).
+		sh := s.shardForInstance(rec.InstanceKey())
+		outOfOrder, evicted := sh.timelines.add(rec, s.touchSeq.Add(1))
 		if outOfOrder {
 			resp.OutOfOrder++
 			s.metrics.WindowsOutOfOrder.Inc()
@@ -64,7 +68,7 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 		s.metrics.ProfileWindows.Inc()
 		s.metrics.WindowOps.Observe(float64(rec.Ops()))
 
-		ev, derr := s.drifts.Observe(rec, arch)
+		ev, derr := sh.drifts.Observe(rec, arch)
 		if derr != nil {
 			resp.Unadvised++ // no model for this kind/arch: timeline still grows
 		}
@@ -92,7 +96,7 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty stream: send JSON-lines or a JSON array of window records")
 		return
 	}
-	resp.Instances = s.timelines.len()
+	resp.Instances = s.timelineCount()
 	s.metrics.TimelineInstances.Set(float64(resp.Instances))
 	span.SetInt("windows", int64(resp.Accepted))
 	span.SetInt("drift_events", int64(len(resp.Drift)))

@@ -182,9 +182,11 @@ func TestProfilesValidation(t *testing.T) {
 
 // TestTimelineLRUBound: the instance store caps memory by evicting the
 // least recently touched timeline, and the eviction is visible in metrics
-// and absent from the dashboard.
+// and absent from the dashboard. Shards is pinned to 1 so the global bound
+// is exact — with N shards each holds ceil(max/N) and eviction order is
+// per-shard.
 func TestTimelineLRUBound(t *testing.T) {
-	s := rulesServer(Config{MaxInstances: 2, TimelineWindows: 4})
+	s := rulesServer(Config{MaxInstances: 2, TimelineWindows: 4, Shards: 1})
 	url, _ := startServer(t, s)
 
 	for _, inst := range []string{"0", "1", "2"} {
@@ -194,7 +196,7 @@ func TestTimelineLRUBound(t *testing.T) {
 			t.Fatalf("instance %s: status = %d", inst, resp.StatusCode)
 		}
 	}
-	if got := s.timelines.len(); got != 2 {
+	if got := s.timelineCount(); got != 2 {
 		t.Fatalf("retained timelines = %d, want 2", got)
 	}
 	if got := s.Metrics().TimelineEvictions.Value(); got != 1 {

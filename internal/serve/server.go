@@ -2,9 +2,16 @@
 // a trained model registry is loaded once and queried concurrently over
 // POST /v1/advise, with liveness on GET /healthz and text-exposition
 // metrics on GET /metrics. The paper's usage model ends at a one-shot CLI;
-// this package is the production shape of the same pipeline — bounded
-// concurrency around ANN evaluations, an LRU cache over repeated
-// inferences, per-request deadlines, and graceful drain on shutdown.
+// this package is the production shape of the same pipeline.
+//
+// Internally the server is a fleet of shards: every hot structure — the
+// inference LRU, the instance timelines, the drift state machines — is
+// split N ways by key hash, each slice owned by one advisorShard, so the
+// advise and ingest hot paths never contend on a process-wide lock. Cache
+// misses queue on their shard's batcher and are evaluated together in one
+// ANN matrix pass, bit-identical to one-at-a-time evaluation. Requests get
+// per-request deadlines; shutdown drains in-flight requests and flushes
+// every shard's batch queue before returning.
 package serve
 
 import (
@@ -13,10 +20,14 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/drift"
+	"repro/internal/serve/shard"
 	"repro/internal/telemetry"
 	"repro/internal/training"
 )
@@ -37,9 +48,27 @@ type Config struct {
 	// RequestTimeout bounds one advise request end to end; on expiry the
 	// client gets 408 (default 30s).
 	RequestTimeout time.Duration
-	// MaxConcurrent bounds simultaneous ANN evaluation sections; excess
-	// requests wait their turn until their deadline (default 8).
+	// MaxConcurrent is deprecated and ignored: evaluation concurrency is
+	// now one batching goroutine per shard (see Shards), not a global
+	// semaphore.
 	MaxConcurrent int
+	// Shards is how many ways the hot state (inference cache, timelines,
+	// drift detectors, batch queues) is split. Each shard is owned by one
+	// goroutine-backed batcher, so shards never contend with each other.
+	// Default: GOMAXPROCS.
+	Shards int
+	// BatchSize caps how many queued inferences one shard coalesces into a
+	// single ANN matrix pass (default 32).
+	BatchSize int
+	// BatchLinger is how long a lone queued inference waits for batch-mates
+	// before flushing anyway; the latency cost of coalescing (default
+	// 500µs, negative flushes immediately).
+	BatchLinger time.Duration
+	// NoRequestLog disables the per-request structured log line. The
+	// lifecycle and drift logs remain. Under load-test rates the log
+	// serializes every request on the slog handler's mutex, which is
+	// exactly the kind of process-wide choke point sharding removes.
+	NoRequestLog bool
 	// CacheSize bounds the inference LRU in entries; 0 uses the default
 	// (4096), negative disables caching.
 	CacheSize int
@@ -89,8 +118,17 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
-	if c.MaxConcurrent <= 0 {
-		c.MaxConcurrent = 8
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.BatchLinger == 0 {
+		c.BatchLinger = 500 * time.Microsecond
+	}
+	if c.BatchLinger < 0 {
+		c.BatchLinger = 0
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 4096
@@ -110,22 +148,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is one advisor instance: a model registry, an inference cache, a
-// concurrency bound, and the metrics describing them.
+// Server is one advisor instance: a model registry, the shard fleet that
+// owns all hot state, and the metrics describing them.
 type Server struct {
 	cfg     Config
 	brainy  *core.Brainy
-	cache   *lruCache
-	sem     chan struct{} // bounds concurrent ANN evaluation sections
 	metrics *Metrics
 	log     *slog.Logger
 	tracer  *telemetry.Tracer
 
-	// timelines and drifts are the windowed-profiling state behind
-	// /v1/profiles and /debug/brainy: bounded per-instance retention plus
-	// the phase-drift state machines.
-	timelines *timelineStore
-	drifts    *drift.Detector
+	// shards owns everything a request touches per key: the inference
+	// cache, the instance timelines, the drift state machines, and the
+	// batch queue. A request key hashes to exactly one shard, so requests
+	// for different keys never share a lock.
+	shards []*advisorShard
+
+	// touchSeq is a process-wide recency stamp: each /v1/profiles ingest
+	// bumps it and stamps its timeline, so the dashboard can merge the
+	// per-shard timeline lists into one global most-recently-active order.
+	// An atomic counter is the only state shards share on the hot path.
+	touchSeq atomic.Uint64
+
+	closeOnce sync.Once
 
 	// routes holds the precomputed request-counter cache for every path the
 	// mux actually serves; anything else lands in otherRoute, keeping
@@ -134,31 +178,58 @@ type Server struct {
 	otherRoute *routeCounters
 }
 
-// New builds a server around a trained model registry.
+// New builds a server around a trained model registry. The returned server
+// owns background batching goroutines (one per shard); Serve stops them on
+// drain, and embedders that never call Serve should call Close.
 func New(models *training.ModelSet, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
 	s := &Server{
 		cfg:        cfg,
 		brainy:     core.New(models),
-		cache:      newLRUCache(cfg.CacheSize),
-		sem:        make(chan struct{}, cfg.MaxConcurrent),
 		metrics:    m,
 		log:        cfg.Logger,
 		tracer:     cfg.Tracer,
 		routes:     make(map[string]*routeCounters),
 		otherRoute: newRouteCounters(otherPath, m.Requests),
-		timelines:  newTimelineStore(cfg.MaxInstances, cfg.TimelineWindows),
 	}
-	suggest := s.cachingSuggester()
-	if cfg.DriftRules {
-		suggest = drift.Rules
+	// Per-shard bounds divide the configured totals, rounding up so the
+	// fleet never retains less than a single-shard server would. A negative
+	// CacheSize still disables caching on every shard.
+	perCache := cfg.CacheSize
+	if perCache > 0 {
+		perCache = ceilDiv(perCache, cfg.Shards)
 	}
-	s.drifts = drift.New(suggest, drift.Config{
-		Window:     cfg.DriftWindow,
-		Hysteresis: cfg.DriftHysteresis,
-		Events:     m.DriftEvents,
-	})
+	perInstances := ceilDiv(cfg.MaxInstances, cfg.Shards)
+	if perInstances < 1 {
+		perInstances = 1
+	}
+	s.shards = make([]*advisorShard, cfg.Shards)
+	for i := range s.shards {
+		sh := &advisorShard{
+			srv:       s,
+			cache:     newLRUCache(perCache),
+			timelines: newTimelineStore(perInstances, cfg.TimelineWindows),
+		}
+		suggest := sh.cachingSuggester()
+		if cfg.DriftRules {
+			suggest = drift.Rules
+		}
+		sh.drifts = drift.New(suggest, drift.Config{
+			Window:     cfg.DriftWindow,
+			Hysteresis: cfg.DriftHysteresis,
+			Events:     m.DriftEvents,
+		})
+		sh.batcher = shard.NewBatcher[*inferSlot](shard.BatcherConfig{
+			MaxBatch: cfg.BatchSize,
+			Linger:   cfg.BatchLinger,
+			Queue:    4 * cfg.BatchSize,
+			OnQueue:  func(d int) { m.ShardQueueDepth.Add(float64(d)) },
+			OnFlush:  func(n int) { m.BatchSize.Observe(float64(n)) },
+		}, sh.runBatch)
+		s.shards[i] = sh
+	}
+	m.Shards.Set(float64(cfg.Shards))
 	for _, path := range []string{"/v1/advise", "/v1/profiles", "/healthz", "/metrics", debugBrainyPath} {
 		s.routes[path] = newRouteCounters(path, m.Requests)
 	}
@@ -166,6 +237,17 @@ func New(models *training.ModelSet, cfg Config) *Server {
 		s.routes[pprofPrefix] = newRouteCounters(pprofPrefix, m.Requests)
 	}
 	return s
+}
+
+// Close stops every shard's batching goroutine after running whatever their
+// queues already accepted. Serve calls it on exit; it is idempotent and
+// only needed directly by embedders that use Handler without Serve.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		for _, sh := range s.shards {
+			sh.batcher.Close()
+		}
+	})
 }
 
 // Metrics exposes the server's metric set (shared with the /metrics page),
@@ -195,9 +277,12 @@ func (s *Server) Handler() http.Handler {
 	return s.observe(mux)
 }
 
-// Serve accepts connections on ln until ctx is cancelled, then drains
-// in-flight requests for up to ShutdownGrace before returning. It returns
-// nil on a clean drain.
+// Serve accepts connections on ln until ctx is cancelled, then drains: the
+// shard batchers flip to flush-immediately mode (queued inferences run
+// without lingering for batch-mates), in-flight requests get up to
+// ShutdownGrace to finish, and the batching goroutines stop only after
+// running everything their queues accepted — an accepted request never
+// loses its inference to shutdown. It returns nil on a clean drain.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{
 		Handler:           s.Handler(),
@@ -208,13 +293,18 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
+		s.Close()
 		return err
 	case <-ctx.Done():
 		s.log.Info("shutting down", "grace", s.cfg.ShutdownGrace.String())
+		for _, sh := range s.shards {
+			sh.batcher.Drain()
+		}
 		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 		defer cancel()
 		err := hs.Shutdown(drainCtx)
 		<-errc // Serve has returned http.ErrServerClosed
+		s.Close()
 		if err != nil {
 			s.log.Warn("shutdown incomplete", "error", err)
 			return err

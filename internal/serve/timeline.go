@@ -24,6 +24,12 @@ type timeline struct {
 	lastSeq    int
 	outOfOrder int // windows whose seq did not advance
 
+	// touch is the server-wide recency stamp of the last ingest into this
+	// timeline. The list order below is recency within one store; touch is
+	// what lets the dashboard merge many per-shard stores into one global
+	// most-recently-active order.
+	touch uint64
+
 	recent *profile.WindowRing
 }
 
@@ -51,9 +57,10 @@ func newTimelineStore(maxInstances, ringSize int) *timelineStore {
 }
 
 // add ingests one window into its instance's timeline, creating (and, at
-// the bound, evicting) as needed. It reports whether the window was out of
-// order and whether a timeline was evicted to make room.
-func (s *timelineStore) add(w *profile.WindowRecord) (outOfOrder, evicted bool) {
+// the bound, evicting) as needed, stamping the timeline with the caller's
+// recency stamp. It reports whether the window was out of order and whether
+// a timeline was evicted to make room.
+func (s *timelineStore) add(w *profile.WindowRecord, touch uint64) (outOfOrder, evicted bool) {
 	key := w.InstanceKey()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -80,6 +87,7 @@ func (s *timelineStore) add(w *profile.WindowRecord) (outOfOrder, evicted bool) 
 		s.order.MoveToFront(el)
 	}
 	tl := el.Value.(*timeline)
+	tl.touch = touch
 	if tl.windows > 0 && w.Seq <= tl.lastSeq {
 		tl.outOfOrder++
 		s.totalOutOfO++
@@ -105,6 +113,7 @@ type timelineView struct {
 	Windows    int
 	Ops        uint64
 	OutOfOrder int
+	Touch      uint64                 // global recency stamp of the last ingest
 	Recent     []profile.WindowRecord // oldest first
 }
 
@@ -124,6 +133,7 @@ func (s *timelineStore) views() []timelineView {
 			Windows:    tl.windows,
 			Ops:        tl.ops,
 			OutOfOrder: tl.outOfOrder,
+			Touch:      tl.touch,
 			Recent:     tl.recent.Records(),
 		})
 	}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Gate a brainy-loadgen report against the committed BENCH_serve.json.
+
+Usage:
+    check_serve_bench.py --result report.json --baseline BENCH_serve.json
+
+Reads the ci_gate block of the newest BENCH_serve.json entry and enforces,
+in order:
+
+  1. error rate: failed requests must stay under --max-error-rate;
+  2. absolute floor: ops_per_sec >= floor_ops_per_sec, the never-below
+     smoke threshold that catches a serving path that fell off a cliff;
+  3. regression gate: ops_per_sec >= baseline_ops_per_sec * (1 - max_regression),
+     the >20% throughput-regression gate against the committed baseline.
+
+Exit code 0 when every check passes, 1 otherwise; the verdict is printed
+either way so CI logs show the measured-vs-required numbers.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--result", required=True, help="brainy-loadgen JSON report")
+    ap.add_argument("--baseline", required=True, help="committed BENCH_serve.json")
+    ap.add_argument("--max-error-rate", type=float, default=0.01,
+                    help="tolerated failed-request fraction (default 0.01)")
+    args = ap.parse_args()
+
+    with open(args.result) as f:
+        result = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    entries = baseline.get("entries", [])
+    if not entries:
+        print("FAIL: baseline has no entries", file=sys.stderr)
+        return 1
+    gate = entries[-1].get("ci_gate")
+    if not gate:
+        print("FAIL: newest baseline entry has no ci_gate block", file=sys.stderr)
+        return 1
+
+    ops = result.get("ops", 0)
+    errors = result.get("errors", 0)
+    ops_per_sec = result.get("ops_per_sec", 0.0)
+    floor = gate["floor_ops_per_sec"]
+    base = gate["baseline_ops_per_sec"]
+    max_regression = gate["max_regression"]
+    required = base * (1 - max_regression)
+
+    print(f"measured: {ops_per_sec:.0f} ops/s, {errors}/{ops} errors, "
+          f"p50 {result.get('latency_p50_ms', 0):.2f}ms "
+          f"p99 {result.get('latency_p99_ms', 0):.2f}ms, "
+          f"hit rate {result.get('cache_hit_rate', -1):.3f}")
+    print(f"gate: floor {floor} ops/s, baseline {base} ops/s "
+          f"(max regression {max_regression:.0%} -> required {required:.0f} ops/s)")
+
+    failures = []
+    if ops <= 0:
+        failures.append("no operations completed")
+    error_rate = errors / ops if ops else 1.0
+    if error_rate > args.max_error_rate:
+        failures.append(f"error rate {error_rate:.3f} exceeds {args.max_error_rate}")
+    if ops_per_sec < floor:
+        failures.append(f"throughput {ops_per_sec:.0f} ops/s below absolute floor {floor}")
+    if ops_per_sec < required:
+        failures.append(f"throughput {ops_per_sec:.0f} ops/s regressed >{max_regression:.0%} "
+                        f"vs baseline {base} (required {required:.0f})")
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
