@@ -1,0 +1,258 @@
+// Command adaptivebench measures the self-tuning adaptive container against
+// every static backend choice on the repository's workload kernels and
+// writes the comparison to BENCH_adaptive.json.
+//
+// For each workload the adaptive container starts on the kind the original
+// application shipped with and is free to hot-migrate when its embedded
+// drift detector fires; the static baselines run the identical operation
+// stream on each fixed candidate kind. Costs are simulated cycles on the
+// same machine model the rest of the repository benchmarks with, including
+// each kernel's non-container compute share, so the adaptive number pays
+// for its own migration traffic.
+//
+// Usage:
+//
+//	adaptivebench [-o BENCH_adaptive.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/adt"
+	"repro/internal/containers/adaptive"
+	"repro/internal/drift"
+	"repro/internal/machine"
+	"repro/internal/workloads/chord"
+	"repro/internal/workloads/phases"
+	"repro/internal/workloads/raytrace"
+	"repro/internal/workloads/relipmoc"
+	"repro/internal/workloads/xalan"
+)
+
+// WorkloadResult is one workload's adaptive-versus-static comparison.
+type WorkloadResult struct {
+	Name     string `json:"name"`
+	Input    string `json:"input"`
+	Original string `json:"original"`
+
+	AdaptiveCycles float64              `json:"adaptive_cycles"`
+	FinalKind      string               `json:"adaptive_final_kind"`
+	Migrations     []adaptive.Migration `json:"migrations"`
+	DriftSkipped   uint64               `json:"drift_skipped"`
+
+	Static           map[string]float64 `json:"static_cycles"`
+	BestStatic       string             `json:"best_static"`
+	BestStaticCycles float64            `json:"best_static_cycles"`
+
+	// VsOriginal and VsBest are the adaptive cycle count relative to the
+	// original static choice and to the best static choice (1.0 = parity,
+	// below 1.0 = adaptive is cheaper).
+	VsOriginal float64 `json:"vs_original"`
+	VsBest     float64 `json:"vs_best"`
+}
+
+// Report is the BENCH_adaptive.json schema.
+type Report struct {
+	GeneratedBy string           `json:"generated_by"`
+	Arch        string           `json:"arch"`
+	Window      int              `json:"window"`
+	Workloads   []WorkloadResult `json:"workloads"`
+}
+
+const window = 64
+
+func detector() drift.Config { return drift.Config{Window: 2, Hysteresis: 2} }
+
+// finish fills the derived comparison fields from the raw measurements.
+func finish(r WorkloadResult) WorkloadResult {
+	for name, c := range r.Static {
+		if r.BestStatic == "" || c < r.BestStaticCycles {
+			r.BestStatic, r.BestStaticCycles = name, c
+		}
+	}
+	if orig := r.Static[r.Original]; orig > 0 {
+		r.VsOriginal = r.AdaptiveCycles / orig
+	}
+	if r.BestStaticCycles > 0 {
+		r.VsBest = r.AdaptiveCycles / r.BestStaticCycles
+	}
+	return r
+}
+
+func benchPhases(arch machine.Config) WorkloadResult {
+	cfg := phases.Config{}
+	m := machine.New(arch)
+	a := adaptive.New(m, adaptive.Config{
+		Kind: phases.Original, ElemSize: 8, Context: phases.Context,
+		Window: window, Detector: detector(), Arch: arch.Name,
+	})
+	phases.Drive(a, cfg)
+	a.FlushWindow()
+
+	static := map[string]float64{}
+	for _, k := range []adt.Kind{phases.Original, adt.KindSet, adt.KindHashSet} {
+		sm := machine.New(arch)
+		phases.Drive(adt.New(k, sm, 8), cfg)
+		static[k.String()] = sm.Cycles()
+	}
+	return finish(WorkloadResult{
+		Name: "phasedemo", Input: "default", Original: phases.Original.String(),
+		AdaptiveCycles: m.Cycles(), FinalKind: a.Kind().String(),
+		Migrations: a.Migrations(), DriftSkipped: a.DriftSkipped(),
+		Static: static,
+	})
+}
+
+func benchChord(arch machine.Config) WorkloadResult {
+	in := chord.Inputs()[0]
+	m := machine.New(arch)
+	a := adaptive.New(m, adaptive.Config{
+		Kind: chord.Original(), ElemSize: in.MsgBytes, Context: "chord/simulator.pendingList",
+		Window: window, Detector: detector(), Arch: arch.Name,
+	})
+	chord.Drive(a, in)
+	a.FlushWindow()
+	p := a.Snapshot()
+
+	static := map[string]float64{}
+	for _, r := range chord.RunAll(in, arch) {
+		static[r.Kind.String()] = r.Cycles
+	}
+	return finish(WorkloadResult{
+		Name: "chord", Input: in.Name, Original: chord.Original().String(),
+		AdaptiveCycles: p.Cycles + in.ComputeShare*float64(in.Queries),
+		FinalKind:      a.Kind().String(),
+		Migrations:     a.Migrations(), DriftSkipped: a.DriftSkipped(),
+		Static: static,
+	})
+}
+
+func benchRaytrace(arch machine.Config) WorkloadResult {
+	// The default input: the small one gives each group too few operations
+	// for the confirmation latency (two windows) to leave adaptation room.
+	in := raytrace.Inputs()[1]
+	m := machine.New(arch)
+	var groups []*adaptive.Container
+	raytrace.Drive(in, func(g int) adt.Container {
+		a := adaptive.New(m, adaptive.Config{
+			Kind: raytrace.Original(), ElemSize: in.SphereBytes,
+			Context: "raytrace/group[*].scenes", Instance: g, OrderAware: true,
+			Window: window, Detector: detector(), Arch: arch.Name,
+		})
+		groups = append(groups, a)
+		return a
+	})
+	var cycles float64
+	var migs []adaptive.Migration
+	var skipped uint64
+	final := raytrace.Original()
+	for _, a := range groups {
+		a.FlushWindow()
+		cycles += a.Snapshot().Cycles
+		migs = append(migs, a.Migrations()...)
+		skipped += a.DriftSkipped()
+		final = a.Kind() // the groups see the same mix; report the last
+	}
+	static := map[string]float64{}
+	for _, r := range raytrace.RunAll(in, arch) {
+		static[r.Kind.String()] = r.Cycles
+	}
+	return finish(WorkloadResult{
+		Name: "raytrace", Input: in.Name, Original: raytrace.Original().String(),
+		AdaptiveCycles: cycles + in.ComputeShare*float64(in.Width*in.Height),
+		FinalKind:      final.String(),
+		Migrations:     migs, DriftSkipped: skipped,
+		Static: static,
+	})
+}
+
+func benchRelipmoc(arch machine.Config) WorkloadResult {
+	in := relipmoc.Inputs()[0]
+	m := machine.New(arch)
+	a := adaptive.New(m, adaptive.Config{
+		Kind: relipmoc.Original(), ElemSize: 16, Context: "relipmoc/BasicBlockSet",
+		OrderAware: true, Window: window, Detector: detector(), Arch: arch.Name,
+	})
+	an := relipmoc.Drive(a, in)
+	a.FlushWindow()
+	p := a.Snapshot()
+
+	static := map[string]float64{}
+	for _, r := range relipmoc.RunAll(in, arch) {
+		static[r.Kind.String()] = r.Cycles
+	}
+	return finish(WorkloadResult{
+		Name: "relipmoc", Input: in.Name, Original: relipmoc.Original().String(),
+		AdaptiveCycles: p.Cycles + in.ComputeShare*float64(len(an.Blocks)*in.Passes),
+		FinalKind:      a.Kind().String(),
+		Migrations:     a.Migrations(), DriftSkipped: a.DriftSkipped(),
+		Static: static,
+	})
+}
+
+func benchXalan(arch machine.Config) WorkloadResult {
+	in := xalan.Inputs()[0]
+	m := machine.New(arch)
+	a := adaptive.New(m, adaptive.Config{
+		Kind: xalan.Original(), ElemSize: in.StringBytes,
+		Context: "xalan/XalanDOMStringCache.m_busyList",
+		Window:  window, Detector: detector(), Arch: arch.Name,
+	})
+	xalan.Drive(a, in)
+	a.FlushWindow()
+	p := a.Snapshot()
+
+	static := map[string]float64{}
+	for _, r := range xalan.RunAll(in, arch) {
+		static[r.Kind.String()] = r.Cycles
+	}
+	return finish(WorkloadResult{
+		Name: "xalan", Input: in.Name, Original: xalan.Original().String(),
+		AdaptiveCycles: p.Cycles + in.ComputeShare*float64(in.Releases),
+		FinalKind:      a.Kind().String(),
+		Migrations:     a.Migrations(), DriftSkipped: a.DriftSkipped(),
+		Static: static,
+	})
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaptivebench: ")
+	out := flag.String("o", "BENCH_adaptive.json", "output file")
+	flag.Parse()
+
+	arch := machine.Core2()
+	rep := Report{
+		GeneratedBy: "cmd/adaptivebench",
+		Arch:        arch.Name,
+		Window:      window,
+		Workloads: []WorkloadResult{
+			benchPhases(arch),
+			benchChord(arch),
+			benchRaytrace(arch),
+			benchRelipmoc(arch),
+			benchXalan(arch),
+		},
+	}
+
+	fmt.Printf("%-10s %-9s %-10s %-10s %10s %10s %6s %6s  migrations\n",
+		"workload", "input", "original", "final", "adaptive", "best", "vs_or", "vs_bst")
+	for _, w := range rep.Workloads {
+		fmt.Printf("%-10s %-9s %-10s %-10s %10.0f %10.0f %6.2f %6.2f  %d\n",
+			w.Name, w.Input, w.Original, w.FinalKind,
+			w.AdaptiveCycles, w.BestStaticCycles, w.VsOriginal, w.VsBest, len(w.Migrations))
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

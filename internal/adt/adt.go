@@ -14,10 +14,12 @@ import (
 	"fmt"
 
 	"repro/internal/containers/avltree"
+	"repro/internal/containers/btree"
 	"repro/internal/containers/deque"
 	"repro/internal/containers/hashtable"
 	"repro/internal/containers/list"
 	"repro/internal/containers/rbtree"
+	"repro/internal/containers/sortedvec"
 	"repro/internal/containers/splaytree"
 	"repro/internal/containers/vector"
 	"repro/internal/mem"
@@ -27,9 +29,11 @@ import (
 // Kind identifies a container implementation.
 type Kind int
 
-// The implementations of the paper's Table 1, plus the splay-tree
-// extension. Map kinds reuse the set implementations with a key+value
-// payload.
+// The implementations of the paper's Table 1, plus the splay-tree,
+// B-tree, and sorted-vector extensions. Map kinds reuse the set
+// implementations with a key+value payload. New kinds append before
+// NumKinds so the integer values of existing kinds — serialized inside
+// trained model registries — never move.
 const (
 	KindVector Kind = iota
 	KindList
@@ -41,6 +45,9 @@ const (
 	KindMap // red-black tree, key+value payload
 	KindAVLMap
 	KindHashMap
+	KindBTreeSet  // cache-conscious B-tree
+	KindSortedVec // sorted dynamic array, binary search
+	KindBTreeMap  // B-tree, key+value payload
 	NumKinds
 )
 
@@ -48,6 +55,7 @@ var kindNames = [NumKinds]string{
 	"vector", "list", "deque",
 	"set", "avl_set", "hash_set", "splay_set",
 	"map", "avl_map", "hash_map",
+	"btree_set", "sorted_vec", "btree_map",
 }
 
 // String returns the STL-style name of the kind.
@@ -77,7 +85,9 @@ func (k Kind) IsSequence() bool {
 func (k Kind) IsAssociative() bool { return k >= KindSet && k < NumKinds }
 
 // IsMapKind reports whether the kind carries a key+value payload.
-func (k Kind) IsMapKind() bool { return k == KindMap || k == KindAVLMap || k == KindHashMap }
+func (k Kind) IsMapKind() bool {
+	return k == KindMap || k == KindAVLMap || k == KindHashMap || k == KindBTreeMap
+}
 
 // Container is the abstract data type the synthetic applications and the
 // real workloads drive. Keys are uint64; the simulated element size is set
@@ -128,6 +138,10 @@ func New(kind Kind, model mem.Model, elemSize uint64) Container {
 		return &hashADT{kind: kind, t: hashtable.New[uint64, struct{}](model, elemSize, hashtable.HashUint64)}
 	case KindSplaySet:
 		return &splayADT{kind: kind, t: splaytree.New[uint64, struct{}](model, elemSize)}
+	case KindBTreeSet, KindBTreeMap:
+		return &btreeADT{kind: kind, t: btree.New[uint64, struct{}](model, elemSize)}
+	case KindSortedVec:
+		return &sortedvecADT{kind: kind, s: sortedvec.New[uint64](model, elemSize)}
 	default:
 		panic(fmt.Sprintf("adt: invalid kind %d", kind))
 	}
@@ -141,28 +155,36 @@ type Replacement struct {
 }
 
 // Replacements is the full replacement matrix of Table 1, extended with the
-// splay-tree alternative for set.
+// splay-tree, B-tree, and sorted-vector alternatives. B-tree and sorted
+// vector iterate in sorted order like set, so replacing set with either
+// preserves iteration order; replacing a sequence with them is
+// order-oblivious like the other associative targets.
 var Replacements = []Replacement{
 	{KindVector, KindList, "fast insertion", false},
 	{KindVector, KindDeque, "fast insertion", false},
 	{KindVector, KindSet, "fast search", true},
 	{KindVector, KindAVLSet, "fast search", true},
 	{KindVector, KindHashSet, "fast insertion & search", true},
+	{KindVector, KindSortedVec, "fast search, contiguous", true},
 
 	{KindList, KindVector, "fast iteration", false},
 	{KindList, KindDeque, "fast iteration", false},
 	{KindList, KindSet, "fast search", true},
 	{KindList, KindAVLSet, "fast search", true},
 	{KindList, KindHashSet, "fast search", true},
+	{KindList, KindSortedVec, "fast search, contiguous", true},
 
 	{KindSet, KindAVLSet, "fast search", false},
 	{KindSet, KindSplaySet, "fast skewed search", false},
+	{KindSet, KindBTreeSet, "fast search, cache-conscious", false},
+	{KindSet, KindSortedVec, "fast search & iteration, contiguous", false},
 	{KindSet, KindVector, "fast iteration", true},
 	{KindSet, KindList, "fast insertion & deletion", true},
 	{KindSet, KindHashSet, "fast insertion & search", true},
 
 	{KindMap, KindAVLMap, "fast search", false},
 	{KindMap, KindHashMap, "fast insertion & search", false},
+	{KindMap, KindBTreeMap, "fast search, cache-conscious", false},
 }
 
 // Candidates returns the legal replacement kinds for from (excluding from
@@ -186,6 +208,22 @@ func Candidates(from Kind, orderAware bool) []Kind {
 // the choice set the oracle and the models rank.
 func CandidatesWithOriginal(from Kind, orderAware bool) []Kind {
 	return append([]Kind{from}, Candidates(from, orderAware)...)
+}
+
+// CanReplace reports whether the replacement matrix has a row from -> to
+// that is legal for the given order-awareness — the check the adaptive
+// container runs before hot-migrating a backend.
+func CanReplace(from, to Kind, orderAware bool) bool {
+	for _, r := range Replacements {
+		if r.From != from || r.To != to {
+			continue
+		}
+		if orderAware && r.OrderOblivious {
+			continue
+		}
+		return true
+	}
+	return false
 }
 
 // ModelTargets lists the original kinds that get their own trained model.
@@ -431,3 +469,63 @@ func (a *splayADT) Iterate(n int) uint64 {
 func (a *splayADT) Len() int              { return a.t.Len() }
 func (a *splayADT) Clear()                { a.t.Clear() }
 func (a *splayADT) Stats() *opstats.Stats { return a.t.Stats() }
+
+// --- B-tree ---
+
+type btreeADT struct {
+	kind Kind
+	t    *btree.Tree[uint64, struct{}]
+}
+
+func (a *btreeADT) Kind() Kind                 { return a.kind }
+func (a *btreeADT) Insert(key uint64)          { a.t.Insert(key, struct{}{}) }
+func (a *btreeADT) InsertAt(_ int, key uint64) { a.t.Insert(key, struct{}{}) }
+func (a *btreeADT) PushFront(key uint64)       { a.t.Insert(key, struct{}{}) }
+func (a *btreeADT) Erase(key uint64) bool      { return a.t.Erase(key) }
+func (a *btreeADT) EraseFront() bool {
+	k, ok := a.t.Min()
+	if !ok {
+		a.t.Stats().Observe(opstats.OpErase, 0) // interface call on empty container
+		return false
+	}
+	return a.t.Erase(k)
+}
+func (a *btreeADT) Find(key uint64) bool { return a.t.Contains(key) }
+func (a *btreeADT) Iterate(n int) uint64 {
+	var sum uint64
+	a.t.Iterate(n, func(k uint64, _ struct{}) { sum += k })
+	return sum
+}
+func (a *btreeADT) Len() int              { return a.t.Len() }
+func (a *btreeADT) Clear()                { a.t.Clear() }
+func (a *btreeADT) Stats() *opstats.Stats { return a.t.Stats() }
+
+// --- sorted vector ---
+
+type sortedvecADT struct {
+	kind Kind
+	s    *sortedvec.Set[uint64]
+}
+
+func (a *sortedvecADT) Kind() Kind                 { return a.kind }
+func (a *sortedvecADT) Insert(key uint64)          { a.s.Insert(key) }
+func (a *sortedvecADT) InsertAt(_ int, key uint64) { a.s.Insert(key) }
+func (a *sortedvecADT) PushFront(key uint64)       { a.s.Insert(key) }
+func (a *sortedvecADT) Erase(key uint64) bool      { return a.s.Erase(key) }
+func (a *sortedvecADT) EraseFront() bool {
+	k, ok := a.s.Min()
+	if !ok {
+		a.s.Stats().Observe(opstats.OpErase, 0) // interface call on empty container
+		return false
+	}
+	return a.s.Erase(k)
+}
+func (a *sortedvecADT) Find(key uint64) bool { return a.s.Contains(key) }
+func (a *sortedvecADT) Iterate(n int) uint64 {
+	var sum uint64
+	a.s.Iterate(n, func(k uint64) { sum += k })
+	return sum
+}
+func (a *sortedvecADT) Len() int              { return a.s.Len() }
+func (a *sortedvecADT) Clear()                { a.s.Clear() }
+func (a *sortedvecADT) Stats() *opstats.Stats { return a.s.Stats() }

@@ -108,7 +108,7 @@ func TestSequenceOrderPreserved(t *testing.T) {
 }
 
 func TestAssociativeEraseFrontRemovesMin(t *testing.T) {
-	for _, k := range []Kind{KindSet, KindAVLSet, KindMap, KindAVLMap} {
+	for _, k := range []Kind{KindSet, KindAVLSet, KindMap, KindAVLMap, KindBTreeSet, KindSortedVec, KindBTreeMap} {
 		c := New(k, nil, 8)
 		for _, x := range []uint64{50, 10, 30} {
 			c.Insert(x)
@@ -149,23 +149,43 @@ func TestCandidatesRespectOrderAwareness(t *testing.T) {
 		}
 	}
 	obliv := Candidates(KindVector, false)
-	if len(obliv) != 5 {
+	if len(obliv) != 6 {
 		t.Fatalf("order-oblivious vector candidates = %v", obliv)
 	}
 	setCands := Candidates(KindSet, true)
-	want := map[Kind]bool{KindAVLSet: true, KindSplaySet: true}
-	if len(setCands) != 2 || !want[setCands[0]] || !want[setCands[1]] {
+	want := map[Kind]bool{KindAVLSet: true, KindSplaySet: true, KindBTreeSet: true, KindSortedVec: true}
+	if len(setCands) != 4 {
 		t.Fatalf("order-aware set candidates = %v", setCands)
 	}
+	for _, k := range setCands {
+		if !want[k] {
+			t.Fatalf("unexpected order-aware set candidate %v", k)
+		}
+	}
 	mapCands := Candidates(KindMap, false)
-	if len(mapCands) != 2 {
+	if len(mapCands) != 3 {
 		t.Fatalf("map candidates = %v", mapCands)
+	}
+}
+
+func TestCanReplaceMatchesMatrix(t *testing.T) {
+	if !CanReplace(KindVector, KindHashSet, false) {
+		t.Fatal("vector -> hash_set must be legal when order-oblivious")
+	}
+	if CanReplace(KindVector, KindHashSet, true) {
+		t.Fatal("vector -> hash_set must be illegal when order-aware")
+	}
+	if !CanReplace(KindSet, KindBTreeSet, true) {
+		t.Fatal("set -> btree_set preserves sorted iteration order")
+	}
+	if CanReplace(KindHashSet, KindVector, false) {
+		t.Fatal("no matrix row starts at hash_set")
 	}
 }
 
 func TestCandidatesWithOriginalPrependsSelf(t *testing.T) {
 	c := CandidatesWithOriginal(KindList, false)
-	if c[0] != KindList || len(c) != 6 {
+	if c[0] != KindList || len(c) != 7 {
 		t.Fatalf("candidates = %v", c)
 	}
 }

@@ -1,0 +1,56 @@
+package adt
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestEveryContainerPackageReachable asserts that every package under
+// internal/containers is wired into adt.New through some Kind — the guard
+// that caught btree and sortedvec shipping as dead code. Packages that host
+// containers rather than implement backends are allowlisted.
+func TestEveryContainerPackageReachable(t *testing.T) {
+	hosts := map[string]bool{
+		"adaptive": true, // wraps an inner adt.Container; not a backend
+	}
+
+	// Collect the package path of every backend an adapter can reach by
+	// walking the concrete types New returns for each kind.
+	reached := map[string]bool{}
+	for _, k := range allKinds() {
+		rt := reflect.TypeOf(New(k, nil, 8))
+		for rt.Kind() == reflect.Ptr {
+			rt = rt.Elem()
+		}
+		if rt.Kind() != reflect.Struct {
+			continue
+		}
+		for i := 0; i < rt.NumField(); i++ {
+			ft := rt.Field(i).Type
+			for ft.Kind() == reflect.Ptr {
+				ft = ft.Elem()
+			}
+			if pkg := ft.PkgPath(); strings.Contains(pkg, "/containers/") {
+				reached[pkg[strings.LastIndex(pkg, "/")+1:]] = true
+			}
+		}
+	}
+
+	entries, err := os.ReadDir("../containers")
+	if err != nil {
+		t.Fatalf("reading containers dir: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || hosts[e.Name()] {
+			continue
+		}
+		if !reached[e.Name()] {
+			t.Errorf("internal/containers/%s is not reachable from adt.New — dead code", e.Name())
+		}
+	}
+	if len(reached) == 0 {
+		t.Fatal("reflection walk found no backend packages; test is broken")
+	}
+}

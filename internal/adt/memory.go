@@ -43,6 +43,24 @@ func EstimatedBytes(kind Kind, n int, elemSize uint64) uint64 {
 			buckets *= 2
 		}
 		return un*(elemSize+16) + buckets*8
+	case KindBTreeSet, KindBTreeMap:
+		// Nodes of up to 15 keys at ~2/3 occupancy; each node carries its
+		// full key/value array, child pointers, and a header.
+		const maxKeys = 15
+		nodeBytes := maxKeys*elemSize + (maxKeys+1)*8 + 16
+		nodes := (un + 9) / 10 // ceil(n / (15 * 2/3))
+		if nodes < 1 {
+			nodes = 1
+		}
+		return nodes * nodeBytes
+	case KindSortedVec:
+		// Same geometric growth as vector: contiguous keys, no per-node
+		// overhead.
+		capacity := uint64(4)
+		for capacity < un {
+			capacity *= 2
+		}
+		return capacity * elemSize
 	default:
 		return un * elemSize
 	}

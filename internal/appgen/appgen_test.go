@@ -130,8 +130,8 @@ func TestSameStreamAcrossKinds(t *testing.T) {
 	cfg := smallCfg()
 	app := Generate(cfg, adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}, 21)
 	results := app.RunAll(cfg, machine.Core2())
-	if len(results) != 6 { // vector + 5 order-oblivious candidates
-		t.Fatalf("got %d results", len(results))
+	if want := 1 + len(adt.Candidates(adt.KindVector, false)); len(results) != want {
+		t.Fatalf("got %d results, want %d (vector + its order-oblivious candidates)", len(results), want)
 	}
 	want := results[0].Profile.Stats.TotalCalls()
 	for _, r := range results[1:] {

@@ -405,6 +405,16 @@ func (t *Tree[K, V]) Iterate(n int, fn func(K, V)) int {
 	return visited
 }
 
+// Min returns the smallest key; ok is false when empty.
+func (t *Tree[K, V]) Min() (k K, ok bool) {
+	if t.size == 0 {
+		return k, false
+	}
+	touched := uint64(0)
+	k, _ = t.minOf(t.root, &touched)
+	return k, true
+}
+
 // Clear removes all keys, freeing every node.
 func (t *Tree[K, V]) Clear() {
 	var walk func(n *node[K, V])

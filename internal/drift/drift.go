@@ -37,6 +37,14 @@ type Config struct {
 	// MinConfidence ignores verdicts below this model confidence; an
 	// ignored verdict neither advances nor resets a streak.
 	MinConfidence float64
+	// BaselineActual measures divergence from the backend the instance is
+	// actually running instead of from the first advice. The default
+	// (false) is pure drift detection: the first advice becomes the
+	// baseline silently, and only later *changes* fire events. A consumer
+	// that acts on events — the adaptive container — sets this so advice
+	// that disagrees with reality from the very first evaluation is also
+	// confirmed (through the same hysteresis) and raised.
+	BaselineActual bool
 	// Events, when non-nil, is incremented once per drift event — wire it
 	// to the telemetry registry's brainy_drift_events_total.
 	Events *opstats.Counter
@@ -164,9 +172,28 @@ func (d *Detector) Observe(rec *profile.WindowRecord, arch string) (*Event, erro
 		st.recent[st.next] = *rec
 		st.next = (st.next + 1) % cap(st.recent)
 	}
+	if rec.Kind != st.kind {
+		// The instance's backend changed mid-timeline. Either we asked for
+		// it (the record's kind matches the advice we raised an event for)
+		// or the host swapped on its own; in both cases the blended history
+		// describes a container that no longer exists, so restart the blend
+		// from this window and clear any in-flight streak. When the new kind
+		// matches current advice this is the migration completing — not a
+		// new divergence — so the state machine settles instead of firing.
+		st.recent = st.recent[:0]
+		st.recent = append(st.recent, *rec)
+		st.next = 0
+		st.streak = 0
+		st.pending = rec.Kind
+		if st.advised && rec.Kind != st.current {
+			// Unsolicited swap: re-baseline advice on reality so the next
+			// divergence is measured from the backend actually running.
+			st.current = rec.Kind
+		}
+		st.kind = rec.Kind
+	}
 	st.windows++
 	st.ops += rec.Ops()
-	st.kind = rec.Kind
 
 	blended := st.blend()
 	if blended.Stats.TotalCalls() < d.cfg.MinOps {
@@ -184,7 +211,13 @@ func (d *Detector) Observe(rec *profile.WindowRecord, arch string) (*Event, erro
 		st.initial = sug.Suggested
 		st.current = sug.Suggested
 		st.confidence = sug.Confidence
-		return nil, nil
+		if !d.cfg.BaselineActual {
+			return nil, nil
+		}
+		// Baseline on the running backend: a first advice that already
+		// disagrees with the instance's actual kind is a divergence to
+		// confirm through the streak below, not a silent baseline.
+		st.current = st.kind
 	}
 	st.confidence = sug.Confidence
 	if sug.Suggested == st.current {
@@ -256,31 +289,38 @@ func (d *Detector) Statuses() []Status {
 	defer d.mu.Unlock()
 	out := make([]Status, 0, len(d.inst))
 	for key, st := range d.inst {
-		out = append(out, Status{
-			InstanceKey: key,
-			Context:     st.context,
-			Instance:    st.instance,
-			Kind:        st.kind,
-			Windows:     st.windows,
-			Ops:         st.ops,
-			Initial:     st.initial,
-			Current:     st.current,
-			Confidence:  st.confidence,
-			Streak:      st.streak,
-			Events:      st.events,
-			Advised:     st.advised,
-		})
+		out = append(out, st.status(key))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].InstanceKey < out[j].InstanceKey })
 	return out
 }
 
-// Status returns one instance's state by key.
+// Status returns one instance's state by key. A direct map read under the
+// mutex: the dashboard polls this per row, so it must not pay the
+// snapshot-and-sort cost of Statuses.
 func (d *Detector) Status(key string) (Status, bool) {
-	for _, s := range d.Statuses() {
-		if s.InstanceKey == key {
-			return s, true
-		}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.inst[key]
+	if st == nil {
+		return Status{}, false
 	}
-	return Status{}, false
+	return st.status(key), true
+}
+
+func (st *instState) status(key string) Status {
+	return Status{
+		InstanceKey: key,
+		Context:     st.context,
+		Instance:    st.instance,
+		Kind:        st.kind,
+		Windows:     st.windows,
+		Ops:         st.ops,
+		Initial:     st.initial,
+		Current:     st.current,
+		Confidence:  st.confidence,
+		Streak:      st.streak,
+		Events:      st.events,
+		Advised:     st.advised,
+	}
 }

@@ -234,6 +234,103 @@ func TestDetectorTracksInstancesIndependently(t *testing.T) {
 	}
 }
 
+// winK is win with an explicit container kind, for timelines whose backend
+// changes mid-stream.
+func winK(ctx string, inst, seq int, kind adt.Kind, counts map[opstats.Op]uint64) *profile.WindowRecord {
+	w := win(ctx, inst, seq, counts)
+	w.Kind = kind
+	return w
+}
+
+// TestDetectorTreatsRequestedMigrationAsSettled: after the detector advises
+// vector -> hash_set and the host migrates, the timeline's Kind flips to
+// hash_set mid-stream. That is the migration the detector asked for — it
+// must settle, not fire again or count the old-kind blend against the new
+// backend.
+func TestDetectorTreatsRequestedMigrationAsSettled(t *testing.T) {
+	d := New(Rules, Config{Window: 2, Hysteresis: 2})
+	seq := 0
+	feed := func(kind adt.Kind, mix map[opstats.Op]uint64) *Event {
+		ev, err := d.Observe(winK("mig", 0, seq, kind, mix), "core2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq++
+		return ev
+	}
+	for i := 0; i < 4; i++ {
+		feed(adt.KindVector, buildMix)
+	}
+	var got *Event
+	for i := 0; i < 6 && got == nil; i++ {
+		got = feed(adt.KindVector, queryMix)
+	}
+	if got == nil || got.To != adt.KindHashSet {
+		t.Fatalf("setup drift did not fire: %v", got)
+	}
+	// Host migrates: subsequent windows arrive as hash_set.
+	for i := 0; i < 6; i++ {
+		if ev := feed(adt.KindHashSet, queryMix); ev != nil {
+			t.Fatalf("completed migration re-raised drift: %v", ev)
+		}
+	}
+	st, ok := d.Status("mig#0")
+	if !ok || st.Kind != adt.KindHashSet || st.Current != adt.KindHashSet {
+		t.Fatalf("post-migration status: %+v", st)
+	}
+	if st.Streak != 0 || st.Events != 1 {
+		t.Fatalf("post-migration state machine unsettled: %+v", st)
+	}
+}
+
+// TestDetectorRebaselinesUnsolicitedSwap: a backend change the detector did
+// not advise re-baselines Current on reality instead of treating the new
+// kind as a divergence from stale advice.
+func TestDetectorRebaselinesUnsolicitedSwap(t *testing.T) {
+	d := New(Rules, Config{Window: 1, Hysteresis: 4})
+	d.Observe(win("swap", 0, 0, buildMix), "core2") // advised vector
+	for i := 1; i < 4; i++ {
+		if ev, err := d.Observe(winK("swap", 0, i, adt.KindSet, queryMix), "core2"); err != nil || ev != nil {
+			t.Fatalf("unsolicited swap raised event: ev=%v err=%v", ev, err)
+		}
+	}
+	st, ok := d.Status("swap#0")
+	if !ok || st.Current != adt.KindSet || st.Kind != adt.KindSet {
+		t.Fatalf("status after unsolicited swap: %+v", st)
+	}
+	if st.Events != 0 {
+		t.Fatalf("unsolicited swap counted as drift: %+v", st)
+	}
+}
+
+// TestStatusLookupDoesNotAllocate guards the direct-map-read fast path: a
+// single-key Status must not snapshot and sort the whole instance table.
+func TestStatusLookupDoesNotAllocate(t *testing.T) {
+	d := New(Rules, Config{Window: 1, Hysteresis: 1})
+	for i := 0; i < 256; i++ {
+		d.Observe(win("alloc", i, 0, buildMix), "core2")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, ok := d.Status("alloc#128"); !ok {
+			t.Fatal("instance missing")
+		}
+	}); n != 0 {
+		t.Fatalf("Status allocated %.0f times per lookup", n)
+	}
+}
+
+func BenchmarkStatusLookup(b *testing.B) {
+	d := New(Rules, Config{Window: 1, Hysteresis: 1})
+	for i := 0; i < 1024; i++ {
+		d.Observe(win("bench", i, 0, buildMix), "core2")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Status("bench#512")
+	}
+}
+
 func TestDetectorSuggesterErrorKeepsTimeline(t *testing.T) {
 	boom := errors.New("no model")
 	fail := func(p *profile.Profile, arch string) (core.Suggestion, error) {
@@ -247,5 +344,35 @@ func TestDetectorSuggesterErrorKeepsTimeline(t *testing.T) {
 	st, ok := d.Status("e#0")
 	if !ok || st.Windows != 1 || st.Advised {
 		t.Fatalf("window should be recorded despite the error: %+v", st)
+	}
+}
+
+// TestDetectorBaselineActualFiresOnInitialMismatch: with BaselineActual the
+// baseline is the backend actually running, so advice that disagrees from
+// the very first evaluation is confirmed through the normal hysteresis and
+// fired — the adaptive container's contract. Without the flag the same
+// stream stays silent (pure drift detection).
+func TestDetectorBaselineActualFiresOnInitialMismatch(t *testing.T) {
+	// A find-heavy vector: the rules advise hash_set from window one.
+	feed := func(d *Detector) []Event {
+		for seq := 0; seq < 6; seq++ {
+			if _, err := d.Observe(win("ctx", 0, seq, queryMix), "core2"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d.Events()
+	}
+
+	plain := feed(New(Rules, Config{Window: 2, Hysteresis: 2}))
+	if len(plain) != 0 {
+		t.Fatalf("pure detection fired on an initial mismatch: %v", plain)
+	}
+
+	evs := feed(New(Rules, Config{Window: 2, Hysteresis: 2, BaselineActual: true}))
+	if len(evs) != 1 {
+		t.Fatalf("events = %v, want exactly one", evs)
+	}
+	if evs[0].From != adt.KindVector || evs[0].To != adt.KindHashSet {
+		t.Fatalf("event %v -> %v, want vector -> hash_set", evs[0].From, evs[0].To)
 	}
 }

@@ -130,15 +130,33 @@ type Container struct {
 // paper's calling-context tracking plays.
 func NewContainer(kind adt.Kind, m *machine.Machine, elemSize uint64, context string, orderAware bool) *Container {
 	base := m.Counters()
-	c := &Container{
+	c := WrapContainer(nil, m, context, orderAware)
+	c.inner = adt.New(kind, m, elemSize)
+	// Construction cost (initial allocations) belongs to the container.
+	c.AttributeConstruction(base)
+	return c
+}
+
+// WrapContainer builds the profiling wrapper around an existing container
+// running on m — the hook for hosts whose inner container is not a plain
+// adt.New backend (the adaptive container wraps its migrating inner this
+// way). Unlike NewContainer it attributes no construction cost; callers
+// that built inner on m should bracket the construction with
+// AttributeConstruction.
+func WrapContainer(inner adt.Container, m *machine.Machine, context string, orderAware bool) *Container {
+	return &Container{
+		inner:      inner,
 		mach:       m,
 		context:    context,
 		orderAware: orderAware,
 	}
-	c.inner = adt.New(kind, m, elemSize)
-	// Construction cost (initial allocations) belongs to the container.
-	c.hw = m.Counters().Sub(base)
-	return c
+}
+
+// AttributeConstruction charges the machine-counter delta since base to the
+// container, the same attribution NewContainer performs for the initial
+// allocations of its backend.
+func (c *Container) AttributeConstruction(base machine.Counters) {
+	c.hw = c.hw.Add(c.mach.Counters().Sub(base))
 }
 
 // window brackets one interface invocation with counter reads. When

@@ -127,6 +127,21 @@ func (c *Container) FlushWindow() {
 	c.closeWindow()
 }
 
+// ReanchorWindow resets the window delta baselines to the inner container's
+// current statistics. The adaptive container calls it after hot-swapping
+// its backend: the retired backend's cumulative statistics leave with it,
+// so without re-anchoring the next closeWindow would subtract the old
+// (larger) baseline from the fresh backend's near-zero counters and
+// underflow. A no-op when windowing is off; the op axis (seq, startOp) is
+// preserved so the timeline stays continuous across the swap.
+func (c *Container) ReanchorWindow() {
+	if c.win == nil {
+		return
+	}
+	c.win.lastStats = *c.inner.Stats()
+	c.win.lastHW = c.hw
+}
+
 // closeWindow materializes the delta since the previous boundary and hands
 // it to the sink.
 func (c *Container) closeWindow() {

@@ -54,6 +54,7 @@ type DashboardResponse struct {
 	MaxInstances int            `json:"max_instances"`
 	Windows      uint64         `json:"windows"`
 	DriftEvents  uint64         `json:"drift_events"`
+	DriftSkipped uint64         `json:"drift_skipped"`
 	OutOfOrder   uint64         `json:"out_of_order"`
 	Rows         []DashboardRow `json:"rows"`
 }
@@ -101,6 +102,7 @@ func (s *Server) dashboard() DashboardResponse {
 		MaxInstances: s.cfg.MaxInstances,
 		Windows:      s.metrics.ProfileWindows.Value(),
 		DriftEvents:  s.metrics.DriftEvents.Value(),
+		DriftSkipped: s.metrics.DriftSkipped.Value(),
 		OutOfOrder:   s.metrics.WindowsOutOfOrder.Value(),
 		Rows:         []DashboardRow{},
 	}
@@ -190,8 +192,8 @@ func mixGlyph(c DashboardWindow) byte {
 func renderDashboardText(d DashboardResponse) string {
 	var b strings.Builder
 	b.WriteString("brainy windowed profiling\n")
-	fmt.Fprintf(&b, "instances %d/%d  windows %d  drift-events %d  out-of-order %d\n\n",
-		d.Instances, d.MaxInstances, d.Windows, d.DriftEvents, d.OutOfOrder)
+	fmt.Fprintf(&b, "instances %d/%d  windows %d  drift-events %d  drift-skipped %d  out-of-order %d\n\n",
+		d.Instances, d.MaxInstances, d.Windows, d.DriftEvents, d.DriftSkipped, d.OutOfOrder)
 	if len(d.Rows) == 0 {
 		b.WriteString("no instance timelines yet: POST snapshot windows to /v1/profiles\n")
 		return b.String()
@@ -230,7 +232,7 @@ th, td { border: 1px solid #999; padding: 4px 8px; text-align: left; }
 </style></head><body>
 <h1>brainy windowed profiling</h1>
 <p>instances {{.Instances}}/{{.MaxInstances}} &middot; windows {{.Windows}} &middot;
-drift events {{.DriftEvents}} &middot; out-of-order {{.OutOfOrder}}</p>
+drift events {{.DriftEvents}} &middot; drift skipped {{.DriftSkipped}} &middot; out-of-order {{.OutOfOrder}}</p>
 {{if .Rows}}<table>
 <tr><th>instance</th><th>kind</th><th>windows</th><th>ops</th><th>advice</th><th>confidence</th><th>drift</th><th>timeline</th></tr>
 {{range .Rows}}<tr>

@@ -37,6 +37,10 @@ type Metrics struct {
 	WindowOps *opstats.Histogram
 	// DriftEvents counts confirmed phase-drift events across all timelines.
 	DriftEvents *opstats.Counter
+	// DriftSkipped counts windows the drift suggester could not evaluate
+	// (typically no model for the window's kind/arch) — advisory coverage
+	// silently lost unless it is watched.
+	DriftSkipped *opstats.Counter
 	// TimelineInstances gauges instance timelines currently retained.
 	TimelineInstances *opstats.Gauge
 	// TimelineEvictions counts timelines dropped by the instance LRU.
@@ -72,6 +76,7 @@ func NewMetrics() *Metrics {
 		WindowOps: reg.Histogram("brainy_profile_window_ops", "Operations covered by each ingested snapshot window.",
 			8, 16, 32, 64, 128, 256, 1024, 4096, 16384),
 		DriftEvents:       reg.Counter("brainy_drift_events_total", "Confirmed phase-drift events across instance timelines."),
+		DriftSkipped:      reg.Counter("brainy_drift_skipped_windows_total", "Ingested windows the drift suggester could not evaluate (advisory coverage lost)."),
 		TimelineInstances: reg.Gauge("brainy_profile_instances", "Instance timelines currently retained."),
 		TimelineEvictions: reg.Counter("brainy_timeline_evictions_total", "Instance timelines evicted by the LRU bound."),
 		WindowsOutOfOrder: reg.Counter("brainy_profile_windows_out_of_order_total", "Ingested windows whose sequence number did not advance their timeline."),

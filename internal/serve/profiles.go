@@ -71,6 +71,7 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 		ev, derr := sh.drifts.Observe(rec, arch)
 		if derr != nil {
 			resp.Unadvised++ // no model for this kind/arch: timeline still grows
+			s.metrics.DriftSkipped.Inc()
 		}
 		if ev != nil {
 			resp.Drift = append(resp.Drift, *ev)

@@ -234,6 +234,45 @@ func TestProfilesOutOfOrderCounted(t *testing.T) {
 	}
 }
 
+// TestProfilesSkippedWindowsCounted: a window whose kind has no trained
+// model still lands in its timeline, but the lost advisory coverage must be
+// visible — in the response, on /metrics, and on the dashboard header.
+func TestProfilesSkippedWindowsCounted(t *testing.T) {
+	// Model-backed server with only a vector model: list windows cannot be
+	// advised.
+	s := New(testModels(), quietConfig(Config{}))
+	url, _ := startServer(t, s)
+	w := `{"context":"skip","kind":1,"instance":0,"window_seq":0,"window_start_op":0,"window_end_op":8,"stats":{"count":[0,0,0,0,8,0,0,0,0,0]}}` + "\n"
+	resp, out := postProfiles(t, url, []byte(w))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Accepted != 1 || out.Unadvised != 1 {
+		t.Fatalf("accounting: %+v", out)
+	}
+	if got := s.Metrics().DriftSkipped.Value(); got != 1 {
+		t.Fatalf("brainy_drift_skipped_windows_total = %d, want 1", got)
+	}
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(page), "brainy_drift_skipped_windows_total 1") {
+		t.Fatalf("metrics page missing skip counter:\n%s", page)
+	}
+	dresp, err := http.Get(url + debugBrainyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dash, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if !strings.Contains(string(dash), "drift-skipped 1") {
+		t.Fatalf("dashboard missing drift-skipped count:\n%s", dash)
+	}
+}
+
 // TestDashboardGolden pins the text dashboard byte-for-byte for a fixed
 // ingestion sequence. Regenerate with:
 //

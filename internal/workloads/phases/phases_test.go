@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/adt"
+	"repro/internal/containers/adaptive"
 	"repro/internal/drift"
 	"repro/internal/machine"
 	"repro/internal/profile"
@@ -97,5 +98,44 @@ func TestQueriesAlwaysHit(t *testing.T) {
 		if !c.Find(key(i*7, cfg.Keys)) {
 			t.Fatalf("query %d missed", i)
 		}
+	}
+}
+
+// TestDriveAdaptiveMigratesExactlyOnce is the closed-loop counterpart of
+// TestDriveProvablyChangesPhase: run the same workload through the adaptive
+// container and the drift event does not just print — the backend hot-swaps
+// vector -> hash_set exactly once, deterministically.
+func TestDriveAdaptiveMigratesExactlyOnce(t *testing.T) {
+	run := func() []adaptive.Migration {
+		m := machine.New(machine.Core2())
+		a := adaptive.New(m, adaptive.Config{
+			Kind:     Original,
+			ElemSize: 8,
+			Context:  Context,
+			Window:   64,
+			Detector: drift.Config{Window: 2, Hysteresis: 2},
+		})
+		Drive(a, Config{})
+		a.FlushWindow()
+		if a.Kind() != adt.KindHashSet {
+			t.Fatalf("final kind %v, want hash_set", a.Kind())
+		}
+		if a.DriftSkipped() != 0 {
+			t.Fatalf("advisor skipped %d windows", a.DriftSkipped())
+		}
+		return a.Migrations()
+	}
+	migs := run()
+	if len(migs) != 1 {
+		t.Fatalf("migrations = %+v, want exactly one", migs)
+	}
+	if migs[0].From != adt.KindVector || migs[0].To != adt.KindHashSet {
+		t.Fatalf("migrated %v -> %v, want vector -> hash_set", migs[0].From, migs[0].To)
+	}
+	if migs[0].EndOp <= migs[0].StartOp || migs[0].Moved == 0 {
+		t.Fatalf("migration never finalized: %+v", migs[0])
+	}
+	if again := run(); !reflect.DeepEqual(migs, again) {
+		t.Fatalf("migration log differs across identical runs:\n%+v\nvs\n%+v", migs, again)
 	}
 }
