@@ -5,7 +5,7 @@ GO ?= go
 MODELS ?= models.json
 ADDR ?= :8377
 
-.PHONY: all build test lint race smoke serve train loadtest bench-serve clean
+.PHONY: all build test lint race smoke serve train loadtest bench-serve bench-containers clean
 
 all: build lint test
 
@@ -30,6 +30,9 @@ smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTableOps -fuzztime=10s ./internal/containers/hashtable
 	$(GO) test -run='^$$' -fuzz=FuzzTreeOps  -fuzztime=10s ./internal/containers/rbtree
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRecords -fuzztime=10s ./internal/profile
+	$(GO) test -run='^$$' -fuzz=FuzzAdaptiveMigration -fuzztime=10s ./internal/containers/adaptive
+	$(GO) test -run='^$$' -fuzz=FuzzFlatBTree -fuzztime=10s ./internal/containers/flatbtree
+	$(GO) test -run='^$$' -fuzz=FuzzFlatHash -fuzztime=10s ./internal/containers/flathash
 
 # Train a registry (override budget via brainy-train flags) then serve it.
 train:
@@ -64,6 +67,14 @@ bench-serve:
 	$(GO) build -o /tmp/brainy-loadgen ./cmd/brainy-loadgen
 	/tmp/brainy-loadgen -url $(SERVE_URL) -conns 32 -duration 20s -warmup 3s \
 		-skew 0.99 -keys 512 -mix 9:1 -seed 1 -out $(BENCH_OUT)
+
+# Container-suite bench: regenerate the flat-vs-pointer container report
+# (simulated Core2 cycles, bit-deterministic) and gate the find-cycle
+# ratios against the committed BENCH_containers.json floors.
+CONTAINERS_OUT ?= /tmp/containers-bench.json
+bench-containers:
+	$(GO) run ./cmd/containersbench -sizes 1000,100000 -o $(CONTAINERS_OUT)
+	python3 scripts/check_containers_bench.py --result $(CONTAINERS_OUT) --baseline BENCH_containers.json
 
 clean:
 	$(GO) clean ./...

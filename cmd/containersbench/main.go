@@ -1,0 +1,193 @@
+// Command containersbench measures the cross-backend container suite on the
+// simulated machine: for each associative backend and each working-set
+// size, a seeded shuffled insert phase, a uniform 50%-hit find phase (the
+// TouchMissHeavy regime — every probe chases pointers or probes slots far
+// beyond the L1), and one full iteration. Costs are simulated Core2 cycles,
+// so results are bit-deterministic across hosts and CI can gate on them.
+//
+// The derived ratios compare each flat backend against its pointer-based
+// counterpart on find cycles per operation — the number the cache-conscious
+// layouts exist to improve once the working set spills the caches.
+//
+// The default element size is 64 bytes: with a payload behind the key, the
+// pointer-based nodes drag the whole element through the cache on every
+// visited node, while the SoA layouts search packed keys only — the contrast
+// the flat backends are built around.
+//
+// Usage:
+//
+//	containersbench [-sizes 1000,100000,10000000] [-elem 64] [-o report.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/adt"
+	"repro/internal/machine"
+)
+
+// PhaseResult is one (kind, size) measurement.
+type PhaseResult struct {
+	Kind string `json:"kind"`
+	Size int    `json:"size"`
+
+	InsertCyclesPerOp  float64 `json:"insert_cycles_per_op"`
+	FindCyclesPerOp    float64 `json:"find_cycles_per_op"`
+	IterateCyclesPerEl float64 `json:"iterate_cycles_per_elem"`
+	TotalCycles        float64 `json:"total_cycles"`
+
+	Finds       int     `json:"finds"`
+	L1MissRate  float64 `json:"l1_miss_rate"`
+	L2MissRate  float64 `json:"l2_miss_rate"`
+	EstimatedMB float64 `json:"estimated_mb"`
+}
+
+// Report is the containersbench output schema. The committed
+// BENCH_containers.json wraps reports in an append-only entries list.
+type Report struct {
+	GeneratedBy string        `json:"generated_by"`
+	Date        string        `json:"date"`
+	Arch        string        `json:"arch"`
+	ElemSize    uint64        `json:"elem_size"`
+	Sizes       []int         `json:"sizes"`
+	Results     []PhaseResult `json:"results"`
+	// Ratios maps "<size>" to pointer-vs-flat find-cycle ratios, e.g.
+	// "hash_set/flat_hash_set": 1.62 — above 1 means flat is cheaper.
+	Ratios map[string]map[string]float64 `json:"find_ratios"`
+}
+
+// kinds under measurement: every ordered backend pair plus the hash pair.
+// splay_set is excluded (its self-adjusting writes make find-phase costs
+// workload-path-dependent in a way that says nothing about layout) and
+// sorted_vec is excluded because its O(n) inserts explode the insert phase
+// at 1e5+ without informing the find-phase comparison.
+var benchKinds = []adt.Kind{
+	adt.KindSet,
+	adt.KindAVLSet,
+	adt.KindBTreeSet,
+	adt.KindFlatBTreeSet,
+	adt.KindHashSet,
+	adt.KindFlatHashSet,
+}
+
+// ratioPairs maps each flat backend to the pointer-based counterparts the
+// CI gate compares it against.
+var ratioPairs = map[adt.Kind][]adt.Kind{
+	adt.KindFlatBTreeSet: {adt.KindSet, adt.KindBTreeSet},
+	adt.KindFlatHashSet:  {adt.KindHashSet},
+}
+
+func runOne(kind adt.Kind, size int, elemSize uint64) PhaseResult {
+	m := machine.New(machine.Core2())
+	c := adt.New(kind, m, elemSize)
+
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(size)
+
+	start := m.Cycles()
+	for _, v := range perm {
+		c.Insert(uint64(v))
+	}
+	insertCycles := m.Cycles() - start
+
+	finds := 2 * size
+	if finds > 200000 {
+		finds = 200000
+	}
+	frng := rand.New(rand.NewSource(2))
+	start = m.Cycles()
+	for i := 0; i < finds; i++ {
+		if i%2 == 0 {
+			c.Find(uint64(perm[frng.Intn(size)])) // hit
+		} else {
+			c.Find(uint64(size) + uint64(frng.Intn(size))) // miss
+		}
+	}
+	findCycles := m.Cycles() - start
+	hw := m.Counters()
+
+	start = m.Cycles()
+	c.Iterate(-1)
+	iterCycles := m.Cycles() - start
+
+	return PhaseResult{
+		Kind:               kind.String(),
+		Size:               size,
+		InsertCyclesPerOp:  insertCycles / float64(size),
+		FindCyclesPerOp:    findCycles / float64(finds),
+		IterateCyclesPerEl: iterCycles / float64(size),
+		TotalCycles:        m.Cycles(),
+		Finds:              finds,
+		L1MissRate:         hw.L1MissRate(),
+		L2MissRate:         hw.L2MissRate(),
+		EstimatedMB:        float64(adt.EstimatedBytes(kind, size, elemSize)) / (1 << 20),
+	}
+}
+
+func main() {
+	sizesFlag := flag.String("sizes", "1000,100000", "comma-separated working-set sizes")
+	elemSize := flag.Uint64("elem", 64, "simulated element size in bytes")
+	out := flag.String("o", "", "output JSON path (default stdout)")
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*sizesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			log.Fatalf("bad size %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+
+	rep := Report{
+		GeneratedBy: "containersbench",
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Arch:        "Core2",
+		ElemSize:    *elemSize,
+		Sizes:       sizes,
+		Ratios:      map[string]map[string]float64{},
+	}
+
+	findCost := map[string]float64{}
+	for _, size := range sizes {
+		for _, kind := range benchKinds {
+			r := runOne(kind, size, *elemSize)
+			rep.Results = append(rep.Results, r)
+			findCost[fmt.Sprintf("%v@%d", kind, size)] = r.FindCyclesPerOp
+			log.Printf("%-14s n=%-8d insert %8.1f find %8.1f iterate %6.1f cyc/op (L1 miss %.2f)",
+				r.Kind, size, r.InsertCyclesPerOp, r.FindCyclesPerOp, r.IterateCyclesPerEl, r.L1MissRate)
+		}
+		ratios := map[string]float64{}
+		for flat, bases := range ratioPairs {
+			fc := findCost[fmt.Sprintf("%v@%d", flat, size)]
+			for _, base := range bases {
+				bc := findCost[fmt.Sprintf("%v@%d", base, size)]
+				if fc > 0 {
+					ratios[fmt.Sprintf("%v/%v", base, flat)] = bc / fc
+				}
+			}
+		}
+		rep.Ratios[strconv.Itoa(size)] = ratios
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"repro/internal/containers/avltree"
 	"repro/internal/containers/btree"
 	"repro/internal/containers/deque"
+	"repro/internal/containers/flatbtree"
+	"repro/internal/containers/flathash"
 	"repro/internal/containers/hashtable"
 	"repro/internal/containers/list"
 	"repro/internal/containers/rbtree"
@@ -45,9 +47,13 @@ const (
 	KindMap // red-black tree, key+value payload
 	KindAVLMap
 	KindHashMap
-	KindBTreeSet  // cache-conscious B-tree
-	KindSortedVec // sorted dynamic array, binary search
-	KindBTreeMap  // B-tree, key+value payload
+	KindBTreeSet     // cache-conscious B-tree
+	KindSortedVec    // sorted dynamic array, binary search
+	KindBTreeMap     // B-tree, key+value payload
+	KindFlatBTreeSet // arena-backed SoA B+-tree
+	KindFlatHashSet  // open-addressing robin-hood flat hash table
+	KindFlatBTreeMap // flat B+-tree, key+value payload
+	KindFlatHashMap  // flat hash table, key+value payload
 	NumKinds
 )
 
@@ -56,6 +62,7 @@ var kindNames = [NumKinds]string{
 	"set", "avl_set", "hash_set", "splay_set",
 	"map", "avl_map", "hash_map",
 	"btree_set", "sorted_vec", "btree_map",
+	"flat_btree_set", "flat_hash_set", "flat_btree_map", "flat_hash_map",
 }
 
 // String returns the STL-style name of the kind.
@@ -86,7 +93,16 @@ func (k Kind) IsAssociative() bool { return k >= KindSet && k < NumKinds }
 
 // IsMapKind reports whether the kind carries a key+value payload.
 func (k Kind) IsMapKind() bool {
-	return k == KindMap || k == KindAVLMap || k == KindHashMap || k == KindBTreeMap
+	return k == KindMap || k == KindAVLMap || k == KindHashMap || k == KindBTreeMap ||
+		k == KindFlatBTreeMap || k == KindFlatHashMap
+}
+
+// IsFlat reports whether the kind stores elements in contiguous arena-backed
+// regions rather than per-node heap cells — the cache-conscious backends the
+// drift rules prefer on miss-heavy profiles.
+func (k Kind) IsFlat() bool {
+	return k == KindFlatBTreeSet || k == KindFlatHashSet ||
+		k == KindFlatBTreeMap || k == KindFlatHashMap
 }
 
 // Container is the abstract data type the synthetic applications and the
@@ -142,6 +158,10 @@ func New(kind Kind, model mem.Model, elemSize uint64) Container {
 		return &btreeADT{kind: kind, t: btree.New[uint64, struct{}](model, elemSize)}
 	case KindSortedVec:
 		return &sortedvecADT{kind: kind, s: sortedvec.New[uint64](model, elemSize)}
+	case KindFlatBTreeSet, KindFlatBTreeMap:
+		return &flatbtreeADT{kind: kind, t: flatbtree.New(model, elemSize)}
+	case KindFlatHashSet, KindFlatHashMap:
+		return &flathashADT{kind: kind, t: flathash.New(model, elemSize)}
 	default:
 		panic(fmt.Sprintf("adt: invalid kind %d", kind))
 	}
@@ -166,6 +186,8 @@ var Replacements = []Replacement{
 	{KindVector, KindAVLSet, "fast search", true},
 	{KindVector, KindHashSet, "fast insertion & search", true},
 	{KindVector, KindSortedVec, "fast search, contiguous", true},
+	{KindVector, KindFlatBTreeSet, "fast search, flat layout", true},
+	{KindVector, KindFlatHashSet, "fast insertion & search, flat layout", true},
 
 	{KindList, KindVector, "fast iteration", false},
 	{KindList, KindDeque, "fast iteration", false},
@@ -173,18 +195,41 @@ var Replacements = []Replacement{
 	{KindList, KindAVLSet, "fast search", true},
 	{KindList, KindHashSet, "fast search", true},
 	{KindList, KindSortedVec, "fast search, contiguous", true},
+	{KindList, KindFlatBTreeSet, "fast search, flat layout", true},
+	{KindList, KindFlatHashSet, "fast search, flat layout", true},
 
 	{KindSet, KindAVLSet, "fast search", false},
 	{KindSet, KindSplaySet, "fast skewed search", false},
 	{KindSet, KindBTreeSet, "fast search, cache-conscious", false},
 	{KindSet, KindSortedVec, "fast search & iteration, contiguous", false},
+	{KindSet, KindFlatBTreeSet, "fast search at large sizes, flat layout", false},
 	{KindSet, KindVector, "fast iteration", true},
 	{KindSet, KindList, "fast insertion & deletion", true},
 	{KindSet, KindHashSet, "fast insertion & search", true},
+	{KindSet, KindFlatHashSet, "fast insertion & search, flat layout", true},
+
+	{KindHashSet, KindFlatHashSet, "fast search at large sizes, flat layout", false},
+	{KindBTreeSet, KindFlatBTreeSet, "fast search at large sizes, flat layout", false},
+
+	// Exits from the flat kinds, so a phase change can migrate back out.
+	{KindFlatBTreeSet, KindSet, "fast small-size updates", false},
+	{KindFlatBTreeSet, KindBTreeSet, "fast small-size updates", false},
+	{KindFlatBTreeSet, KindFlatHashSet, "fast insertion & search", true},
+	{KindFlatBTreeSet, KindVector, "fast iteration", true},
+	{KindFlatHashSet, KindHashSet, "fast small-size updates", false},
+	{KindFlatHashSet, KindFlatBTreeSet, "sorted iteration, flat layout", false},
+	{KindFlatHashSet, KindVector, "fast iteration", true},
 
 	{KindMap, KindAVLMap, "fast search", false},
 	{KindMap, KindHashMap, "fast insertion & search", false},
 	{KindMap, KindBTreeMap, "fast search, cache-conscious", false},
+	{KindMap, KindFlatBTreeMap, "fast search at large sizes, flat layout", false},
+	{KindMap, KindFlatHashMap, "fast insertion & search, flat layout", false},
+	{KindHashMap, KindFlatHashMap, "fast search at large sizes, flat layout", false},
+	{KindBTreeMap, KindFlatBTreeMap, "fast search at large sizes, flat layout", false},
+	{KindFlatBTreeMap, KindMap, "fast small-size updates", false},
+	{KindFlatBTreeMap, KindFlatHashMap, "fast insertion & search", false},
+	{KindFlatHashMap, KindHashMap, "fast small-size updates", false},
 }
 
 // Candidates returns the legal replacement kinds for from (excluding from
@@ -529,3 +574,63 @@ func (a *sortedvecADT) Iterate(n int) uint64 {
 func (a *sortedvecADT) Len() int              { return a.s.Len() }
 func (a *sortedvecADT) Clear()                { a.s.Clear() }
 func (a *sortedvecADT) Stats() *opstats.Stats { return a.s.Stats() }
+
+// --- flat B+-tree ---
+
+type flatbtreeADT struct {
+	kind Kind
+	t    *flatbtree.Tree
+}
+
+func (a *flatbtreeADT) Kind() Kind                 { return a.kind }
+func (a *flatbtreeADT) Insert(key uint64)          { a.t.Insert(key) }
+func (a *flatbtreeADT) InsertAt(_ int, key uint64) { a.t.Insert(key) }
+func (a *flatbtreeADT) PushFront(key uint64)       { a.t.Insert(key) }
+func (a *flatbtreeADT) Erase(key uint64) bool      { return a.t.Erase(key) }
+func (a *flatbtreeADT) EraseFront() bool {
+	k, ok := a.t.Min()
+	if !ok {
+		a.t.Stats().Observe(opstats.OpErase, 0) // interface call on empty container
+		return false
+	}
+	return a.t.Erase(k)
+}
+func (a *flatbtreeADT) Find(key uint64) bool { return a.t.Contains(key) }
+func (a *flatbtreeADT) Iterate(n int) uint64 {
+	var sum uint64
+	a.t.Iterate(n, func(k uint64) { sum += k })
+	return sum
+}
+func (a *flatbtreeADT) Len() int              { return a.t.Len() }
+func (a *flatbtreeADT) Clear()                { a.t.Clear() }
+func (a *flatbtreeADT) Stats() *opstats.Stats { return a.t.Stats() }
+
+// --- flat hash table ---
+
+type flathashADT struct {
+	kind Kind
+	t    *flathash.Table
+}
+
+func (a *flathashADT) Kind() Kind                 { return a.kind }
+func (a *flathashADT) Insert(key uint64)          { a.t.Insert(key) }
+func (a *flathashADT) InsertAt(_ int, key uint64) { a.t.Insert(key) }
+func (a *flathashADT) PushFront(key uint64)       { a.t.Insert(key) }
+func (a *flathashADT) Erase(key uint64) bool      { return a.t.Erase(key) }
+func (a *flathashADT) EraseFront() bool {
+	first, ok := a.t.First()
+	if !ok {
+		a.t.Stats().Observe(opstats.OpErase, 0) // interface call on empty container
+		return false
+	}
+	return a.t.Erase(first)
+}
+func (a *flathashADT) Find(key uint64) bool { return a.t.Contains(key) }
+func (a *flathashADT) Iterate(n int) uint64 {
+	var sum uint64
+	a.t.Iterate(n, func(k uint64) { sum += k })
+	return sum
+}
+func (a *flathashADT) Len() int              { return a.t.Len() }
+func (a *flathashADT) Clear()                { a.t.Clear() }
+func (a *flathashADT) Stats() *opstats.Stats { return a.t.Stats() }

@@ -108,7 +108,7 @@ func TestSequenceOrderPreserved(t *testing.T) {
 }
 
 func TestAssociativeEraseFrontRemovesMin(t *testing.T) {
-	for _, k := range []Kind{KindSet, KindAVLSet, KindMap, KindAVLMap, KindBTreeSet, KindSortedVec, KindBTreeMap} {
+	for _, k := range []Kind{KindSet, KindAVLSet, KindMap, KindAVLMap, KindBTreeSet, KindSortedVec, KindBTreeMap, KindFlatBTreeSet, KindFlatBTreeMap} {
 		c := New(k, nil, 8)
 		for _, x := range []uint64{50, 10, 30} {
 			c.Insert(x)
@@ -149,12 +149,12 @@ func TestCandidatesRespectOrderAwareness(t *testing.T) {
 		}
 	}
 	obliv := Candidates(KindVector, false)
-	if len(obliv) != 6 {
+	if len(obliv) != 8 {
 		t.Fatalf("order-oblivious vector candidates = %v", obliv)
 	}
 	setCands := Candidates(KindSet, true)
-	want := map[Kind]bool{KindAVLSet: true, KindSplaySet: true, KindBTreeSet: true, KindSortedVec: true}
-	if len(setCands) != 4 {
+	want := map[Kind]bool{KindAVLSet: true, KindSplaySet: true, KindBTreeSet: true, KindSortedVec: true, KindFlatBTreeSet: true}
+	if len(setCands) != 5 {
 		t.Fatalf("order-aware set candidates = %v", setCands)
 	}
 	for _, k := range setCands {
@@ -163,7 +163,7 @@ func TestCandidatesRespectOrderAwareness(t *testing.T) {
 		}
 	}
 	mapCands := Candidates(KindMap, false)
-	if len(mapCands) != 3 {
+	if len(mapCands) != 5 {
 		t.Fatalf("map candidates = %v", mapCands)
 	}
 }
@@ -179,13 +179,22 @@ func TestCanReplaceMatchesMatrix(t *testing.T) {
 		t.Fatal("set -> btree_set preserves sorted iteration order")
 	}
 	if CanReplace(KindHashSet, KindVector, false) {
-		t.Fatal("no matrix row starts at hash_set")
+		t.Fatal("no hash_set -> vector row exists")
+	}
+	if !CanReplace(KindHashSet, KindFlatHashSet, true) {
+		t.Fatal("hash_set -> flat_hash_set preserves hash-order obliviousness")
+	}
+	if !CanReplace(KindFlatHashSet, KindHashSet, true) {
+		t.Fatal("flat_hash_set must be able to migrate back out")
+	}
+	if CanReplace(KindFlatBTreeSet, KindVector, true) {
+		t.Fatal("flat_btree_set -> vector must be order-oblivious only")
 	}
 }
 
 func TestCandidatesWithOriginalPrependsSelf(t *testing.T) {
 	c := CandidatesWithOriginal(KindList, false)
-	if c[0] != KindList || len(c) != 7 {
+	if c[0] != KindList || len(c) != 9 {
 		t.Fatalf("candidates = %v", c)
 	}
 }

@@ -64,7 +64,7 @@ func TestSequencesAgreeUnderRandomOps(t *testing.T) {
 // implementation-defined for hash tables) and checks membership semantics
 // agree.
 func TestAssociativesAgreeUnderRandomOps(t *testing.T) {
-	kinds := []Kind{KindSet, KindAVLSet, KindHashSet, KindSplaySet, KindMap, KindAVLMap, KindHashMap, KindBTreeSet, KindSortedVec, KindBTreeMap}
+	kinds := []Kind{KindSet, KindAVLSet, KindHashSet, KindSplaySet, KindMap, KindAVLMap, KindHashMap, KindBTreeSet, KindSortedVec, KindBTreeMap, KindFlatBTreeSet, KindFlatHashSet, KindFlatBTreeMap, KindFlatHashMap}
 	cs := make([]Container, len(kinds))
 	for i, k := range kinds {
 		cs[i] = New(k, nil, 8)
@@ -117,7 +117,7 @@ func TestAssociativesAgreeUnderRandomOps(t *testing.T) {
 // TestTreeEraseFrontAgree: tree-based associative kinds share min-removal
 // semantics for EraseFront.
 func TestTreeEraseFrontAgree(t *testing.T) {
-	kinds := []Kind{KindSet, KindAVLSet, KindSplaySet, KindMap, KindAVLMap, KindBTreeSet, KindSortedVec, KindBTreeMap}
+	kinds := []Kind{KindSet, KindAVLSet, KindSplaySet, KindMap, KindAVLMap, KindBTreeSet, KindSortedVec, KindBTreeMap, KindFlatBTreeSet, KindFlatBTreeMap}
 	cs := make([]Container, len(kinds))
 	for i, k := range kinds {
 		cs[i] = New(k, nil, 8)

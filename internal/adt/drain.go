@@ -87,3 +87,21 @@ func (a *sortedvecADT) DrainFront() (uint64, bool) {
 	return k, ok
 }
 func (a *sortedvecADT) DrainBack() (uint64, bool) { return a.DrainFront() }
+
+func (a *flatbtreeADT) DrainFront() (uint64, bool) {
+	k, ok := a.t.Max() // max deletes from the rightmost leaf without a shift
+	if ok {
+		a.t.Erase(k)
+	}
+	return k, ok
+}
+func (a *flatbtreeADT) DrainBack() (uint64, bool) { return a.DrainFront() }
+
+func (a *flathashADT) DrainFront() (uint64, bool) {
+	k, ok := a.t.First()
+	if ok {
+		a.t.Erase(k)
+	}
+	return k, ok
+}
+func (a *flathashADT) DrainBack() (uint64, bool) { return a.DrainFront() }

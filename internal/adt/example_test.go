@@ -48,5 +48,5 @@ func ExampleCandidates() {
 	fmt.Println("order-oblivious:", adt.Candidates(adt.KindVector, false))
 	// Output:
 	// order-aware:  [list deque]
-	// order-oblivious: [list deque set avl_set hash_set sorted_vec]
+	// order-oblivious: [list deque set avl_set hash_set sorted_vec flat_btree_set flat_hash_set]
 }

@@ -61,6 +61,28 @@ func EstimatedBytes(kind Kind, n int, elemSize uint64) uint64 {
 			capacity *= 2
 		}
 		return capacity * elemSize
+	case KindFlatBTreeSet, KindFlatBTreeMap:
+		// Leaves of up to 23 keys at ~3/4 occupancy in 64 KiB arena chunks;
+		// internal nodes add a few percent, folded into the 5% slack.
+		const maxKeys = 23
+		payload := uint64(0)
+		if elemSize > 8 {
+			payload = elemSize - 8
+		}
+		leafBytes := uint64(16) + maxKeys*8 + maxKeys*payload
+		leaves := (un + 17) / 18 // ceil(n / (23 * 3/4))
+		if leaves < 1 {
+			leaves = 1
+		}
+		return leaves * leafBytes * 21 / 20
+	case KindFlatHashSet, KindFlatHashMap:
+		// One flat region: a control byte and the element per slot, at the
+		// post-growth power-of-two capacity (load ceiling 4/5).
+		capacity := uint64(16)
+		for capacity*4 < un*5 {
+			capacity *= 2
+		}
+		return capacity * (1 + elemSize)
 	default:
 		return un * elemSize
 	}

@@ -250,6 +250,156 @@ func TestAdaptiveSortedToSortedAgreesWithStatic(t *testing.T) {
 	}
 }
 
+// TestAdaptiveFlatSortedAgreesWithStatic: migrations into and back out of
+// the flat B+-tree are order-preserving (set and flat_btree_set both
+// iterate in sorted order), so every observation — including EraseFront's
+// remove-the-minimum — must match a static set mid-migration.
+func TestAdaptiveFlatSortedAgreesWithStatic(t *testing.T) {
+	for _, dir := range []struct {
+		name     string
+		from, to adt.Kind
+	}{
+		{"into flat", adt.KindSet, adt.KindFlatBTreeSet},
+		{"btree into flat", adt.KindBTreeSet, adt.KindFlatBTreeSet},
+		{"out of flat", adt.KindFlatBTreeSet, adt.KindSet},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			a := newAdaptive(dir.to, dir.from, true)
+			ref := adt.New(adt.KindSet, nil, 8)
+			rng := rand.New(rand.NewSource(int64(dir.to) * 23))
+			migrated := false
+			for step := 0; step < 3000; step++ {
+				op := rng.Intn(6)
+				key := uint64(rng.Intn(300))
+				var got, want bool
+				switch op {
+				case 0, 1:
+					a.Insert(key)
+					ref.Insert(key)
+				case 2:
+					got, want = a.Erase(key), ref.Erase(key)
+				case 3:
+					got, want = a.EraseFront(), ref.EraseFront()
+				case 4:
+					got, want = a.Find(key), ref.Find(key)
+				default:
+					if g, w := a.Iterate(-1), ref.Iterate(-1); g != w {
+						t.Fatalf("step %d: checksum %d vs %d", step, g, w)
+					}
+				}
+				if got != want {
+					t.Fatalf("step %d op %d: %v vs %v", step, op, got, want)
+				}
+				if a.Len() != ref.Len() {
+					t.Fatalf("step %d: len %d vs %d", step, a.Len(), ref.Len())
+				}
+				migrated = migrated || a.Migrating()
+			}
+			if !migrated || a.Kind() != dir.to {
+				t.Fatalf("migration did not run mid-stream (kind %v)", a.Kind())
+			}
+			if g, w := a.Iterate(-1), ref.Iterate(-1); g != w {
+				t.Fatalf("final checksum %d vs %d", g, w)
+			}
+		})
+	}
+}
+
+// TestAdaptiveFlatHashAgreesWithStatic: chained hash -> flat hash and back.
+// EraseFront victims are implementation-defined for hash kinds, so the
+// stream stays keyed; membership, length, and the order-independent
+// checksum must match a static chained table throughout.
+func TestAdaptiveFlatHashAgreesWithStatic(t *testing.T) {
+	for _, dir := range []struct {
+		name     string
+		from, to adt.Kind
+	}{
+		{"into flat", adt.KindHashSet, adt.KindFlatHashSet},
+		{"out of flat", adt.KindFlatHashSet, adt.KindHashSet},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			a := newAdaptive(dir.to, dir.from, false)
+			ref := adt.New(adt.KindHashSet, nil, 8)
+			rng := rand.New(rand.NewSource(int64(dir.to) * 41))
+			migrated := false
+			for step := 0; step < 3000; step++ {
+				op := rng.Intn(6)
+				key := uint64(rng.Intn(300))
+				var got, want bool
+				switch op {
+				case 0, 1:
+					a.Insert(key)
+					ref.Insert(key)
+				case 2:
+					got, want = a.Erase(key), ref.Erase(key)
+				case 3, 4:
+					got, want = a.Find(key), ref.Find(key)
+				default:
+					if g, w := a.Iterate(-1), ref.Iterate(-1); g != w {
+						t.Fatalf("step %d: checksum %d vs %d", step, g, w)
+					}
+				}
+				if got != want {
+					t.Fatalf("step %d op %d: %v vs %v", step, op, got, want)
+				}
+				if a.Len() != ref.Len() {
+					t.Fatalf("step %d: len %d vs %d", step, a.Len(), ref.Len())
+				}
+				migrated = migrated || a.Migrating()
+			}
+			if !migrated || a.Kind() != dir.to {
+				t.Fatalf("migration did not run mid-stream (kind %v)", a.Kind())
+			}
+			if g, w := a.Iterate(-1), ref.Iterate(-1); g != w {
+				t.Fatalf("final checksum %d vs %d", g, w)
+			}
+		})
+	}
+}
+
+// TestAdaptiveRulesUpgradeToFlatAndBack closes the loop the tentpole is
+// about, with no scripted suggester: the default rules advisor watches a
+// chained hash set thrash the caches on a large find-heavy working set and
+// hot-migrates it to the flat robin-hood table; when the workload turns
+// into scanning, the same advisor migrates the flat table out to a vector.
+func TestAdaptiveRulesUpgradeToFlatAndBack(t *testing.T) {
+	m := machine.New(machine.Core2())
+	a := New(m, Config{
+		Kind:     adt.KindHashSet,
+		ElemSize: 8,
+		Context:  "test/missheavy",
+		Window:   64,
+		Detector: drift.Config{Window: 2, Hysteresis: 2},
+	})
+	const n = 5000 // MaxLen must clear the 1<<12 miss-heavy floor
+	for i := uint64(0); i < n; i++ {
+		a.Insert(i * 2654435761)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1600; i++ {
+		a.Find(uint64(rng.Intn(n)) * 2654435761)
+	}
+	migs := a.Migrations()
+	if len(migs) != 1 || migs[0].From != adt.KindHashSet || migs[0].To != adt.KindFlatHashSet {
+		t.Fatalf("after find-heavy phase: migrations = %+v, want hash_set -> flat_hash_set", migs)
+	}
+	if migs[0].EndOp == 0 {
+		t.Fatalf("flat migration still in flight: %+v", migs[0])
+	}
+	// Phase change: the workload becomes iteration over the whole set.
+	for i := 0; i < 1600; i++ {
+		a.Iterate(64)
+	}
+	a.FlushWindow()
+	migs = a.Migrations()
+	if len(migs) != 2 || migs[1].From != adt.KindFlatHashSet || migs[1].To != adt.KindVector {
+		t.Fatalf("after scan-heavy phase: migrations = %+v, want flat_hash_set -> vector", migs)
+	}
+	if a.Len() != n {
+		t.Fatalf("len = %d, want %d", a.Len(), n)
+	}
+}
+
 // TestAdaptiveCrossFamilyAgreesWithStatic: vector -> hash_set is the
 // order-oblivious jump. With duplicate-free keys (the paper's precondition
 // for the replacement) membership, length, and the order-independent full

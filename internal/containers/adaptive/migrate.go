@@ -125,10 +125,11 @@ func (g *migrator) finalize() int {
 }
 
 // isSortedKind reports kinds whose EraseFront removes the minimum — the
-// associative kinds minus the hash tables, whose victim is
-// implementation-defined.
+// associative kinds minus the hash tables (chained and flat), whose victim
+// is implementation-defined.
 func isSortedKind(k adt.Kind) bool {
-	return k.IsAssociative() && k != adt.KindHashSet && k != adt.KindHashMap
+	return k.IsAssociative() && k != adt.KindHashSet && k != adt.KindHashMap &&
+		k != adt.KindFlatHashSet && k != adt.KindFlatHashMap
 }
 
 func (g *migrator) Insert(key uint64) {

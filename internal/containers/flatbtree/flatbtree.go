@@ -1,0 +1,772 @@
+// Package flatbtree implements an arena-backed B+-tree with a
+// Structure-of-Arrays node layout: every node lives in one contiguous arena
+// slot laid out as [meta | keys... | values-or-children...], so the binary
+// search loop streams 8-byte keys out of a handful of cache lines instead of
+// chasing a pointer per comparison. All keys live in the leaves, which are
+// chained for sequential iteration; internal nodes hold copied-up
+// separators. Splits and merges are span copies between slots, nodes are
+// recycled through a free list, and the arena reserves memory from the
+// model in large chunks — so the steady state performs no allocations, and
+// the machine simulator sees a dense, sequential address space.
+//
+// Elements are uint64 keys; when the simulated element size exceeds 8
+// bytes the remainder is modeled as a payload region packed behind the
+// keys, touched only when an element is actually produced or stored —
+// searching never drags payload bytes through the cache, which is the
+// point of the SoA split.
+package flatbtree
+
+import (
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+// Branch sites inside flat B+-tree code.
+const (
+	siteSearch mem.BranchSite = 0x700 // binary-search probe comparison
+	siteLeaf   mem.BranchSite = 0x701 // descend: reached a leaf?
+	siteFound  mem.BranchSite = 0x702 // leaf slot equals key?
+	siteFull   mem.BranchSite = 0x703 // node full, split on the way down?
+	siteUnder  mem.BranchSite = 0x704 // node underflow after erase?
+	siteBorrow mem.BranchSite = 0x705 // sibling rich enough to lend?
+)
+
+const (
+	// MaxKeys is the node fanout. SoA key storage makes wide nodes cheap:
+	// a binary search over 63 packed keys touches at most a handful of the
+	// eight key cache lines, while the extra fanout drops a 100k-element
+	// tree from five levels to three. Odd (the classic 2t-1) so both
+	// halves of a split land exactly at MinKeys.
+	MaxKeys = 63
+	// MinKeys is the occupancy floor for non-root nodes.
+	MinKeys = MaxKeys / 2
+
+	metaBytes  = 16
+	keyBytes   = 8
+	childBytes = 8
+
+	nilNode = int32(-1)
+
+	arenaChunk = 1 << 16
+)
+
+var zeroKeys [MaxKeys]uint64
+var zeroKids [MaxKeys + 1]int32
+
+// nodeMeta is the Go-side header of one node; its simulated twin is the
+// metaBytes header at the front of the node's arena slot.
+type nodeMeta struct {
+	addr mem.Addr
+	n    int32
+	next int32 // next leaf in key order; nilNode for internal nodes
+	leaf bool
+}
+
+// Tree is a flat B+-tree set of uint64 keys. Construct with New.
+type Tree struct {
+	model    mem.Model
+	arena    *mem.Arena
+	elemSize uint64
+	payload  uint64 // element bytes beyond the 8-byte key (0 when elemSize <= 8)
+
+	// SoA node pools indexed by node id: node i owns
+	// keys[i*MaxKeys:(i+1)*MaxKeys] and kids[i*(MaxKeys+1):...].
+	meta []nodeMeta
+	keys []uint64
+	kids []int32
+
+	freeIDs []int32
+	root    int32
+	first   int32 // leftmost leaf, the iteration head
+	size    int
+	stats   opstats.Stats
+
+	pathID  []int32 // reusable erase descent stack
+	pathIdx []int
+}
+
+// New returns an empty tree bound to the given memory model with the given
+// simulated element size in bytes. A nil model defaults to mem.Nop.
+func New(model mem.Model, elemSize uint64) *Tree {
+	if model == nil {
+		model = mem.Nop{}
+	}
+	if elemSize == 0 {
+		elemSize = 8
+	}
+	payload := uint64(0)
+	if elemSize > keyBytes {
+		payload = elemSize - keyBytes
+	}
+	return &Tree{
+		model:    model,
+		arena:    mem.NewArena(model, arenaChunk),
+		elemSize: elemSize,
+		payload:  payload,
+		root:     nilNode,
+		first:    nilNode,
+	}
+}
+
+// Stats exposes the container's accumulated software features.
+func (t *Tree) Stats() *opstats.Stats {
+	t.stats.ElemSize = t.elemSize
+	return &t.stats
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+// ArenaBytes reports the simulated bytes the tree's arena has reserved.
+func (t *Tree) ArenaBytes() uint64 { return t.arena.Bytes() }
+
+// nodeBytes is the simulated slot size: leaves pack payloads behind the
+// keys, internal nodes pack child pointers there instead.
+func (t *Tree) nodeBytes(leaf bool) uint64 {
+	if leaf {
+		return metaBytes + MaxKeys*keyBytes + MaxKeys*t.payload
+	}
+	return metaBytes + MaxKeys*keyBytes + (MaxKeys+1)*childBytes
+}
+
+func (t *Tree) keyAddr(id int32, i int) mem.Addr {
+	return t.meta[id].addr + metaBytes + mem.Addr(i)*keyBytes
+}
+
+func (t *Tree) kidAddr(id int32, i int) mem.Addr {
+	return t.meta[id].addr + metaBytes + MaxKeys*keyBytes + mem.Addr(i)*childBytes
+}
+
+func (t *Tree) payAddr(id int32, i int) mem.Addr {
+	return t.meta[id].addr + metaBytes + MaxKeys*keyBytes + mem.Addr(uint64(i)*t.payload)
+}
+
+func (t *Tree) readMeta(id int32)  { t.model.Read(t.meta[id].addr, metaBytes) }
+func (t *Tree) writeMeta(id int32) { t.model.Write(t.meta[id].addr, metaBytes) }
+
+func (t *Tree) newNode(leaf bool) int32 {
+	var id int32
+	if n := len(t.freeIDs); n > 0 {
+		id = t.freeIDs[n-1]
+		t.freeIDs = t.freeIDs[:n-1]
+	} else {
+		id = int32(len(t.meta))
+		t.meta = append(t.meta, nodeMeta{})
+		t.keys = append(t.keys, zeroKeys[:]...)
+		t.kids = append(t.kids, zeroKids[:]...)
+	}
+	t.meta[id] = nodeMeta{addr: t.arena.Alloc(t.nodeBytes(leaf), 64), next: nilNode, leaf: leaf}
+	t.writeMeta(id)
+	return id
+}
+
+func (t *Tree) freeNode(id int32) {
+	t.arena.Free(t.meta[id].addr, t.nodeBytes(t.meta[id].leaf))
+	t.freeIDs = append(t.freeIDs, id)
+}
+
+// bsearch finds the partition point of key in node id: with inner=false the
+// first slot whose key is >= key (leaf lower bound), with inner=true the
+// first separator > key — which is exactly the child index to descend into.
+// Each probe is one 8-byte read from the packed key region plus one branch.
+func (t *Tree) bsearch(id int32, key uint64, inner bool) int {
+	base := int(id) * MaxKeys
+	lo, hi := 0, int(t.meta[id].n)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		t.model.Read(t.keyAddr(id, mid), keyBytes)
+		var goRight bool
+		if inner {
+			goRight = t.keys[base+mid] <= key
+		} else {
+			goRight = t.keys[base+mid] < key
+		}
+		t.model.Branch(siteSearch, goRight)
+		if goRight {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafSlot locates key inside leaf id, reporting the lower-bound index and
+// whether the key is present.
+func (t *Tree) leafSlot(id int32, key uint64) (int, bool) {
+	idx := t.bsearch(id, key, false)
+	n := int(t.meta[id].n)
+	found := false
+	if idx < n {
+		t.model.Read(t.keyAddr(id, idx), keyBytes)
+		found = t.keys[int(id)*MaxKeys+idx] == key
+	}
+	t.model.Branch(siteFound, found)
+	return idx, found
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key uint64) bool {
+	if t.root == nilNode {
+		t.stats.Observe(opstats.OpFind, 0)
+		return false
+	}
+	id := t.root
+	touched := uint64(0)
+	for {
+		t.readMeta(id)
+		touched++
+		isLeaf := t.meta[id].leaf
+		t.model.Branch(siteLeaf, isLeaf)
+		if isLeaf {
+			break
+		}
+		idx := t.bsearch(id, key, true)
+		t.model.Read(t.kidAddr(id, idx), childBytes)
+		id = t.kids[int(id)*(MaxKeys+1)+idx]
+	}
+	idx, found := t.leafSlot(id, key)
+	if found && t.payload > 0 {
+		t.model.Read(t.payAddr(id, idx), t.payload)
+	}
+	t.stats.Observe(opstats.OpFind, touched)
+	return found
+}
+
+// Insert adds key, returning false when it was already present (the
+// payload is overwritten, matching map semantics for larger elements).
+func (t *Tree) Insert(key uint64) bool {
+	if t.root == nilNode {
+		t.root = t.newNode(true)
+		t.first = t.root
+	}
+	t.readMeta(t.root)
+	touched := uint64(1)
+	rootFull := int(t.meta[t.root].n) == MaxKeys
+	t.model.Branch(siteFull, rootFull)
+	if rootFull {
+		old := t.root
+		nr := t.newNode(false)
+		t.kids[int(nr)*(MaxKeys+1)] = old
+		t.model.Write(t.kidAddr(nr, 0), childBytes)
+		t.root = nr
+		t.splitChild(nr, 0, old)
+	}
+	// Single-pass descent: any full node splits before we step into it, so
+	// the leaf always has room.
+	id := t.root
+	for {
+		isLeaf := t.meta[id].leaf
+		t.model.Branch(siteLeaf, isLeaf)
+		if isLeaf {
+			break
+		}
+		idx := t.bsearch(id, key, true)
+		t.model.Read(t.kidAddr(id, idx), childBytes)
+		child := t.kids[int(id)*(MaxKeys+1)+idx]
+		t.readMeta(child)
+		touched++
+		childFull := int(t.meta[child].n) == MaxKeys
+		t.model.Branch(siteFull, childFull)
+		if childFull {
+			t.splitChild(id, idx, child)
+			t.model.Read(t.keyAddr(id, idx), keyBytes)
+			goRight := key >= t.keys[int(id)*MaxKeys+idx]
+			t.model.Branch(siteSearch, goRight)
+			if goRight {
+				idx++
+				t.model.Read(t.kidAddr(id, idx), childBytes)
+				child = t.kids[int(id)*(MaxKeys+1)+idx]
+				t.readMeta(child)
+				touched++
+			}
+		}
+		id = child
+	}
+	idx, found := t.leafSlot(id, key)
+	if found {
+		if t.payload > 0 {
+			t.model.Write(t.payAddr(id, idx), t.payload)
+		}
+		t.stats.Observe(opstats.OpInsert, touched)
+		return false
+	}
+	base := int(id) * MaxKeys
+	n := int(t.meta[id].n)
+	copy(t.keys[base+idx+1:base+n+1], t.keys[base+idx:base+n])
+	t.keys[base+idx] = key
+	// The shift and the new element are one contiguous span write.
+	t.model.Write(t.keyAddr(id, idx), uint64(n-idx+1)*keyBytes)
+	if t.payload > 0 {
+		t.model.Write(t.payAddr(id, idx), uint64(n-idx+1)*t.payload)
+	}
+	t.meta[id].n = int32(n + 1)
+	t.writeMeta(id)
+	t.size++
+	t.stats.Observe(opstats.OpInsert, touched)
+	t.stats.NoteLen(t.size)
+	return true
+}
+
+// splitChild splits the full child (the idx-th child of parent) into two
+// half-full nodes, promoting a separator into parent, which must have room.
+// Leaf splits copy the separator up and chain the new right leaf; internal
+// splits move the middle separator up. All element movement is span copies
+// between arena slots.
+func (t *Tree) splitChild(parent int32, idx int, child int32) {
+	isLeaf := t.meta[child].leaf
+	right := t.newNode(isLeaf)
+	cb, rb := int(child)*MaxKeys, int(right)*MaxKeys
+	var sep uint64
+	if isLeaf {
+		const keep = MaxKeys / 2
+		const moved = MaxKeys - keep
+		copy(t.keys[rb:rb+moved], t.keys[cb+keep:cb+MaxKeys])
+		t.model.Read(t.keyAddr(child, keep), moved*keyBytes)
+		t.model.Write(t.keyAddr(right, 0), moved*keyBytes)
+		if t.payload > 0 {
+			t.model.Read(t.payAddr(child, keep), moved*t.payload)
+			t.model.Write(t.payAddr(right, 0), moved*t.payload)
+		}
+		t.meta[right].n = moved
+		t.meta[child].n = keep
+		t.meta[right].next = t.meta[child].next
+		t.meta[child].next = right
+		sep = t.keys[rb] // copied up: the right leaf keeps its first key
+	} else {
+		const keep = MaxKeys / 2
+		const moved = MaxKeys - keep - 1
+		sep = t.keys[cb+keep] // moved up: separators live once
+		copy(t.keys[rb:rb+moved], t.keys[cb+keep+1:cb+MaxKeys])
+		ckb, rkb := int(child)*(MaxKeys+1), int(right)*(MaxKeys+1)
+		copy(t.kids[rkb:rkb+moved+1], t.kids[ckb+keep+1:ckb+MaxKeys+1])
+		t.model.Read(t.keyAddr(child, keep), (moved+1)*keyBytes)
+		t.model.Write(t.keyAddr(right, 0), moved*keyBytes)
+		t.model.Read(t.kidAddr(child, keep+1), (moved+1)*childBytes)
+		t.model.Write(t.kidAddr(right, 0), (moved+1)*childBytes)
+		t.meta[right].n = moved
+		t.meta[child].n = keep
+	}
+	pb, pkb := int(parent)*MaxKeys, int(parent)*(MaxKeys+1)
+	pn := int(t.meta[parent].n)
+	copy(t.keys[pb+idx+1:pb+pn+1], t.keys[pb+idx:pb+pn])
+	copy(t.kids[pkb+idx+2:pkb+pn+2], t.kids[pkb+idx+1:pkb+pn+1])
+	t.keys[pb+idx] = sep
+	t.kids[pkb+idx+1] = right
+	t.meta[parent].n = int32(pn + 1)
+	t.model.Write(t.keyAddr(parent, idx), uint64(pn-idx+1)*keyBytes)
+	t.model.Write(t.kidAddr(parent, idx+1), uint64(pn-idx+2)*childBytes)
+	t.writeMeta(parent)
+	t.writeMeta(child)
+	t.writeMeta(right)
+	t.stats.Rotations++ // a split is a structural event, like a rotation
+}
+
+// Erase removes key and reports whether it was present. Deletion happens at
+// a leaf; underflowing nodes borrow from or merge with a sibling, walking
+// the recorded descent path back up.
+func (t *Tree) Erase(key uint64) bool {
+	if t.root == nilNode {
+		t.stats.Observe(opstats.OpErase, 0)
+		return false
+	}
+	t.pathID = t.pathID[:0]
+	t.pathIdx = t.pathIdx[:0]
+	id := t.root
+	touched := uint64(0)
+	for {
+		t.readMeta(id)
+		touched++
+		isLeaf := t.meta[id].leaf
+		t.model.Branch(siteLeaf, isLeaf)
+		if isLeaf {
+			break
+		}
+		idx := t.bsearch(id, key, true)
+		t.model.Read(t.kidAddr(id, idx), childBytes)
+		t.pathID = append(t.pathID, id)
+		t.pathIdx = append(t.pathIdx, idx)
+		id = t.kids[int(id)*(MaxKeys+1)+idx]
+	}
+	idx, found := t.leafSlot(id, key)
+	if !found {
+		t.stats.Observe(opstats.OpErase, touched)
+		return false
+	}
+	base := int(id) * MaxKeys
+	n := int(t.meta[id].n)
+	copy(t.keys[base+idx:base+n-1], t.keys[base+idx+1:base+n])
+	if idx < n-1 {
+		t.model.Write(t.keyAddr(id, idx), uint64(n-1-idx)*keyBytes)
+		if t.payload > 0 {
+			t.model.Write(t.payAddr(id, idx), uint64(n-1-idx)*t.payload)
+		}
+	}
+	t.meta[id].n = int32(n - 1)
+	t.writeMeta(id)
+	t.size--
+
+	cur := id
+	for level := len(t.pathID) - 1; level >= 0; level-- {
+		under := int(t.meta[cur].n) < MinKeys
+		t.model.Branch(siteUnder, under)
+		if !under {
+			break
+		}
+		parent := t.pathID[level]
+		t.fixUnderflow(parent, t.pathIdx[level])
+		cur = parent
+	}
+	// A root that shrank to a single child hands the tree down one level;
+	// an emptied leaf root leaves the tree empty.
+	if !t.meta[t.root].leaf && t.meta[t.root].n == 0 {
+		old := t.root
+		t.model.Read(t.kidAddr(old, 0), childBytes)
+		t.root = t.kids[int(old)*(MaxKeys+1)]
+		t.freeNode(old)
+	} else if t.meta[t.root].leaf && t.size == 0 {
+		t.freeNode(t.root)
+		t.root = nilNode
+		t.first = nilNode
+	}
+	t.stats.Observe(opstats.OpErase, touched)
+	return true
+}
+
+// fixUnderflow repairs the i-th child of parent, which dropped below
+// MinKeys: borrow from a rich adjacent sibling, or merge the pair.
+func (t *Tree) fixUnderflow(parent int32, i int) {
+	pk := int(parent) * (MaxKeys + 1)
+	if i > 0 {
+		left := t.kids[pk+i-1]
+		t.readMeta(left)
+		rich := int(t.meta[left].n) > MinKeys
+		t.model.Branch(siteBorrow, rich)
+		if rich {
+			t.borrowFromLeft(parent, i, left, t.kids[pk+i])
+			return
+		}
+		t.mergeInto(parent, i-1, left, t.kids[pk+i])
+		return
+	}
+	right := t.kids[pk+i+1]
+	t.readMeta(right)
+	rich := int(t.meta[right].n) > MinKeys
+	t.model.Branch(siteBorrow, rich)
+	if rich {
+		t.borrowFromRight(parent, i, t.kids[pk+i], right)
+		return
+	}
+	t.mergeInto(parent, i, t.kids[pk+i], right)
+}
+
+// borrowFromLeft moves the left sibling's last element (or separator
+// rotation, for internal nodes) into the front of node c.
+func (t *Tree) borrowFromLeft(parent int32, i int, left, c int32) {
+	pb := int(parent) * MaxKeys
+	lb, cb := int(left)*MaxKeys, int(c)*MaxKeys
+	ln, cn := int(t.meta[left].n), int(t.meta[c].n)
+	copy(t.keys[cb+1:cb+cn+1], t.keys[cb:cb+cn])
+	t.model.Write(t.keyAddr(c, 0), uint64(cn+1)*keyBytes)
+	if t.meta[c].leaf {
+		t.keys[cb] = t.keys[lb+ln-1]
+		t.model.Read(t.keyAddr(left, ln-1), keyBytes)
+		if t.payload > 0 {
+			t.model.Read(t.payAddr(left, ln-1), t.payload)
+			t.model.Write(t.payAddr(c, 0), uint64(cn+1)*t.payload)
+		}
+		t.keys[pb+i-1] = t.keys[cb] // separator tracks the new first key
+		t.model.Write(t.keyAddr(parent, i-1), keyBytes)
+	} else {
+		// Rotate through the parent: c gains the separator, the parent
+		// gains the left sibling's last key, c adopts its last child.
+		ck, lk := int(c)*(MaxKeys+1), int(left)*(MaxKeys+1)
+		copy(t.kids[ck+1:ck+cn+2], t.kids[ck:ck+cn+1])
+		t.kids[ck] = t.kids[lk+ln]
+		t.model.Read(t.kidAddr(left, ln), childBytes)
+		t.model.Write(t.kidAddr(c, 0), uint64(cn+2)*childBytes)
+		t.keys[cb] = t.keys[pb+i-1]
+		t.model.Read(t.keyAddr(parent, i-1), keyBytes)
+		t.keys[pb+i-1] = t.keys[lb+ln-1]
+		t.model.Read(t.keyAddr(left, ln-1), keyBytes)
+		t.model.Write(t.keyAddr(parent, i-1), keyBytes)
+	}
+	t.meta[left].n = int32(ln - 1)
+	t.meta[c].n = int32(cn + 1)
+	t.writeMeta(left)
+	t.writeMeta(c)
+	t.stats.Rotations++
+}
+
+// borrowFromRight moves the right sibling's first element (or separator
+// rotation) onto the back of node c.
+func (t *Tree) borrowFromRight(parent int32, i int, c, right int32) {
+	pb := int(parent) * MaxKeys
+	cb, rb := int(c)*MaxKeys, int(right)*MaxKeys
+	cn, rn := int(t.meta[c].n), int(t.meta[right].n)
+	if t.meta[c].leaf {
+		t.keys[cb+cn] = t.keys[rb]
+		t.model.Read(t.keyAddr(right, 0), keyBytes)
+		t.model.Write(t.keyAddr(c, cn), keyBytes)
+		copy(t.keys[rb:rb+rn-1], t.keys[rb+1:rb+rn])
+		t.model.Write(t.keyAddr(right, 0), uint64(rn-1)*keyBytes)
+		if t.payload > 0 {
+			t.model.Read(t.payAddr(right, 0), t.payload)
+			t.model.Write(t.payAddr(c, cn), t.payload)
+			t.model.Write(t.payAddr(right, 0), uint64(rn-1)*t.payload)
+		}
+		t.keys[pb+i] = t.keys[rb] // separator tracks right's new first key
+		t.model.Write(t.keyAddr(parent, i), keyBytes)
+	} else {
+		ck, rk := int(c)*(MaxKeys+1), int(right)*(MaxKeys+1)
+		t.keys[cb+cn] = t.keys[pb+i]
+		t.model.Read(t.keyAddr(parent, i), keyBytes)
+		t.model.Write(t.keyAddr(c, cn), keyBytes)
+		t.keys[pb+i] = t.keys[rb]
+		t.model.Read(t.keyAddr(right, 0), keyBytes)
+		t.model.Write(t.keyAddr(parent, i), keyBytes)
+		t.kids[ck+cn+1] = t.kids[rk]
+		t.model.Read(t.kidAddr(right, 0), childBytes)
+		t.model.Write(t.kidAddr(c, cn+1), childBytes)
+		copy(t.keys[rb:rb+rn-1], t.keys[rb+1:rb+rn])
+		copy(t.kids[rk:rk+rn], t.kids[rk+1:rk+rn+1])
+		t.model.Write(t.keyAddr(right, 0), uint64(rn-1)*keyBytes)
+		t.model.Write(t.kidAddr(right, 0), uint64(rn)*childBytes)
+	}
+	t.meta[c].n = int32(cn + 1)
+	t.meta[right].n = int32(rn - 1)
+	t.writeMeta(c)
+	t.writeMeta(right)
+	t.stats.Rotations++
+}
+
+// mergeInto folds the (li+1)-th child of parent into the li-th (its left
+// neighbor), pulling the separator down for internal nodes and dropping it
+// for leaves, then closes the gap in the parent. The right node is freed
+// for reuse.
+func (t *Tree) mergeInto(parent int32, li int, left, right int32) {
+	pb, pk := int(parent)*MaxKeys, int(parent)*(MaxKeys+1)
+	lb, rb := int(left)*MaxKeys, int(right)*MaxKeys
+	ln, rn := int(t.meta[left].n), int(t.meta[right].n)
+	if t.meta[left].leaf {
+		copy(t.keys[lb+ln:lb+ln+rn], t.keys[rb:rb+rn])
+		t.model.Read(t.keyAddr(right, 0), uint64(rn)*keyBytes)
+		t.model.Write(t.keyAddr(left, ln), uint64(rn)*keyBytes)
+		if t.payload > 0 {
+			t.model.Read(t.payAddr(right, 0), uint64(rn)*t.payload)
+			t.model.Write(t.payAddr(left, ln), uint64(rn)*t.payload)
+		}
+		t.meta[left].next = t.meta[right].next
+		t.meta[left].n = int32(ln + rn)
+	} else {
+		lk, rk := int(left)*(MaxKeys+1), int(right)*(MaxKeys+1)
+		t.keys[lb+ln] = t.keys[pb+li] // separator comes back down
+		t.model.Read(t.keyAddr(parent, li), keyBytes)
+		copy(t.keys[lb+ln+1:lb+ln+1+rn], t.keys[rb:rb+rn])
+		copy(t.kids[lk+ln+1:lk+ln+2+rn], t.kids[rk:rk+rn+1])
+		t.model.Read(t.keyAddr(right, 0), uint64(rn)*keyBytes)
+		t.model.Read(t.kidAddr(right, 0), uint64(rn+1)*childBytes)
+		t.model.Write(t.keyAddr(left, ln), uint64(rn+1)*keyBytes)
+		t.model.Write(t.kidAddr(left, ln+1), uint64(rn+1)*childBytes)
+		t.meta[left].n = int32(ln + 1 + rn)
+	}
+	pn := int(t.meta[parent].n)
+	copy(t.keys[pb+li:pb+pn-1], t.keys[pb+li+1:pb+pn])
+	copy(t.kids[pk+li+1:pk+pn], t.kids[pk+li+2:pk+pn+1])
+	if li < pn-1 {
+		t.model.Write(t.keyAddr(parent, li), uint64(pn-1-li)*keyBytes)
+		t.model.Write(t.kidAddr(parent, li+1), uint64(pn-1-li)*childBytes)
+	}
+	t.meta[parent].n = int32(pn - 1)
+	t.writeMeta(parent)
+	t.writeMeta(left)
+	t.freeNode(right)
+	t.stats.Rotations++
+}
+
+// Min returns the smallest key. The leftmost leaf is the cached iteration
+// head, so this is one node touch — the begin() of a B+-tree.
+func (t *Tree) Min() (uint64, bool) {
+	if t.size == 0 {
+		return 0, false
+	}
+	t.readMeta(t.first)
+	t.model.Read(t.keyAddr(t.first, 0), keyBytes)
+	return t.keys[int(t.first)*MaxKeys], true
+}
+
+// Max returns the largest key, descending the rightmost spine.
+func (t *Tree) Max() (uint64, bool) {
+	if t.size == 0 {
+		return 0, false
+	}
+	id := t.root
+	for {
+		t.readMeta(id)
+		if t.meta[id].leaf {
+			break
+		}
+		n := int(t.meta[id].n)
+		t.model.Read(t.kidAddr(id, n), childBytes)
+		id = t.kids[int(id)*(MaxKeys+1)+n]
+	}
+	n := int(t.meta[id].n)
+	t.model.Read(t.keyAddr(id, n-1), keyBytes)
+	return t.keys[int(id)*MaxKeys+n-1], true
+}
+
+// Iterate visits up to n keys in ascending order, calling fn for each, and
+// returns the number visited. n < 0 visits all keys. Each leaf is one span
+// read over its packed key region — iteration streams cache lines instead
+// of chasing pointers.
+func (t *Tree) Iterate(n int, fn func(uint64)) int {
+	if n < 0 || n > t.size {
+		n = t.size
+	}
+	visited := 0
+	for id := t.first; id != nilNode && visited < n; id = t.meta[id].next {
+		t.readMeta(id)
+		cnt := int(t.meta[id].n)
+		if cnt > n-visited {
+			cnt = n - visited
+		}
+		t.model.Read(t.keyAddr(id, 0), uint64(cnt)*keyBytes)
+		if t.payload > 0 {
+			t.model.Read(t.payAddr(id, 0), uint64(cnt)*t.payload)
+		}
+		base := int(id) * MaxKeys
+		for i := 0; i < cnt; i++ {
+			if fn != nil {
+				fn(t.keys[base+i])
+			}
+		}
+		visited += cnt
+	}
+	t.stats.Observe(opstats.OpIterate, uint64(visited))
+	return visited
+}
+
+// Clear removes everything and releases the arena back to the model; the
+// tree is reusable afterwards.
+func (t *Tree) Clear() {
+	t.arena.Release()
+	t.meta = t.meta[:0]
+	t.keys = t.keys[:0]
+	t.kids = t.kids[:0]
+	t.freeIDs = t.freeIDs[:0]
+	t.root = nilNode
+	t.first = nilNode
+	t.size = 0
+	t.stats.Observe(opstats.OpClear, 1)
+}
+
+// Keys returns all keys in ascending order without emitting model events.
+// Intended for tests.
+func (t *Tree) Keys() []uint64 {
+	out := make([]uint64, 0, t.size)
+	for id := t.first; id != nilNode; id = t.meta[id].next {
+		base := int(id) * MaxKeys
+		out = append(out, t.keys[base:base+int(t.meta[id].n)]...)
+	}
+	return out
+}
+
+// CheckInvariants verifies structural soundness — separator bounds, node
+// occupancy, uniform leaf depth, leaf-chain consistency, and size
+// bookkeeping — returning a descriptive violation or "" when valid.
+func (t *Tree) CheckInvariants() string {
+	if t.root == nilNode {
+		if t.size != 0 {
+			return "nil root with nonzero size"
+		}
+		if t.first != nilNode {
+			return "nil root with a leaf chain head"
+		}
+		return ""
+	}
+	var leaves []int32
+	count := 0
+	var walk func(id int32, lo, hi uint64, hasLo, hasHi bool, depth int) (int, string)
+	leafDepth := -1
+	var walkErr string
+	walk = func(id int32, lo, hi uint64, hasLo, hasHi bool, depth int) (int, string) {
+		m := t.meta[id]
+		n := int(m.n)
+		if id != t.root && n < MinKeys {
+			return 0, "non-root node below MinKeys"
+		}
+		if n > MaxKeys {
+			return 0, "node above MaxKeys"
+		}
+		base := int(id) * MaxKeys
+		for i := 0; i < n; i++ {
+			k := t.keys[base+i]
+			if i > 0 && t.keys[base+i-1] >= k {
+				return 0, "keys not strictly ascending"
+			}
+			if hasLo && k < lo {
+				return 0, "key below subtree lower bound"
+			}
+			if hasHi && k >= hi {
+				return 0, "key at or above subtree upper bound"
+			}
+		}
+		if m.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return 0, "leaves at different depths"
+			}
+			if id != t.root && n == 0 {
+				return 0, "empty non-root leaf"
+			}
+			leaves = append(leaves, id)
+			return n, ""
+		}
+		if n == 0 && id != t.root {
+			return 0, "empty internal node"
+		}
+		total := 0
+		kb := int(id) * (MaxKeys + 1)
+		for i := 0; i <= n; i++ {
+			clo, chi := lo, hi
+			cHasLo, cHasHi := hasLo, hasHi
+			if i > 0 {
+				clo, cHasLo = t.keys[base+i-1], true
+			}
+			if i < n {
+				chi, cHasHi = t.keys[base+i], true
+			}
+			sub, err := walk(t.kids[kb+i], clo, chi, cHasLo, cHasHi, depth+1)
+			if err != "" {
+				return 0, err
+			}
+			total += sub
+		}
+		return total, ""
+	}
+	count, walkErr = walk(t.root, 0, 0, false, false, 0)
+	if walkErr != "" {
+		return walkErr
+	}
+	if count != t.size {
+		return "size mismatch"
+	}
+	// The leaf chain must visit exactly the in-order leaves.
+	chain := []int32{}
+	for id := t.first; id != nilNode; id = t.meta[id].next {
+		chain = append(chain, id)
+		if len(chain) > len(leaves)+1 {
+			return "leaf chain longer than leaf count (cycle?)"
+		}
+	}
+	if len(chain) != len(leaves) {
+		return "leaf chain length mismatch"
+	}
+	for i := range chain {
+		if chain[i] != leaves[i] {
+			return "leaf chain out of order"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,52 @@
+package flatbtree
+
+import (
+	"testing"
+
+	"repro/internal/containers/rbtree"
+)
+
+// FuzzFlatBTree drives the flat B+-tree and the red-black tree through the
+// same operation sequence and requires identical answers: membership,
+// length, and — both iterate in sorted order — the full key sequence.
+func FuzzFlatBTree(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 2, 1, 3, 1})
+	f.Add([]byte{0, 10, 0, 20, 0, 30, 2, 20, 0, 25, 2, 10, 2, 30, 2, 25})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flat := New(nil, 8)
+		ref := rbtree.New[uint64, struct{}](nil, 8)
+		for i := 0; i+1 < len(data); i += 2 {
+			op := data[i] % 4
+			key := uint64(data[i+1] % 96)
+			switch op {
+			case 0:
+				flat.Insert(key)
+				ref.Insert(key, struct{}{})
+			case 1:
+				if got, want := flat.Contains(key), ref.Contains(key); got != want {
+					t.Fatalf("op %d: Contains(%d) = %v, rbtree says %v", i/2, key, got, want)
+				}
+			case 2:
+				if got, want := flat.Erase(key), ref.Erase(key); got != want {
+					t.Fatalf("op %d: Erase(%d) = %v, rbtree says %v", i/2, key, got, want)
+				}
+			case 3:
+				if got, want := flat.Len(), ref.Len(); got != want {
+					t.Fatalf("op %d: Len = %d, rbtree says %d", i/2, got, want)
+				}
+			}
+		}
+		if msg := flat.CheckInvariants(); msg != "" {
+			t.Fatalf("invariant violated: %s", msg)
+		}
+		got, want := flat.Keys(), ref.Keys()
+		if len(got) != len(want) {
+			t.Fatalf("key count %d vs rbtree %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("sorted order diverges at %d: %d vs %d", i, got[i], want[i])
+			}
+		}
+	})
+}

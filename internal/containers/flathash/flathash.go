@@ -1,0 +1,507 @@
+// Package flathash implements an open-addressing robin-hood hash set over
+// one flat arena region laid out as [control bytes... | keys... |
+// payloads...]: a swiss-table-style split where probing streams 1-byte
+// controls from a single cache line before touching any key. Each control
+// byte stores the slot's probe distance plus one (zero means empty), the
+// robin-hood invariant keeps probe sequences short and ordered by distance
+// — lookups stop as soon as they meet a slot closer to its home than they
+// are — and deletion is tombstone-free: the cluster behind the victim
+// shifts back one slot, so the table never degrades with churn. Growth
+// doubles the region and reinserts, the table's analog of a rehash.
+//
+// Elements are uint64 keys; when the simulated element size exceeds 8
+// bytes the remainder is modeled as a payload region packed behind the
+// keys, touched only when an element is produced or stored, never while
+// probing.
+package flathash
+
+import (
+	"repro/internal/mem"
+	"repro/internal/opstats"
+)
+
+// Branch sites inside flat-hash code.
+const (
+	siteProbe mem.BranchSite = 0x800 // slot occupied?
+	siteEq    mem.BranchSite = 0x801 // key equality at matching distance
+	siteSteal mem.BranchSite = 0x802 // resident closer to home than probe?
+	siteGrow  mem.BranchSite = 0x803 // load factor exceeded?
+	siteShift mem.BranchSite = 0x804 // backward shift continues?
+)
+
+const (
+	keyBytes   = 8
+	initialCap = 16
+
+	// Grow when size+1 > capacity * 4/5: robin hood stays fast at loads a
+	// chained table would have rehashed away from.
+	loadNum, loadDen = 4, 5
+
+	// hashWorkUnits is the ALU cost of hashing one key: the same 64-bit
+	// mixer as the chained table, but the slot index is a mask instead of
+	// the TR1-era modulo-by-prime division — most of the chained table's
+	// fixed 40-unit overhead was that divide.
+	hashWorkUnits = 12
+
+	// maxCtrl caps the storable probe distance; a shift or displacement
+	// that would push a control byte past it forces a grow instead.
+	maxCtrl = 254
+
+	arenaChunk = 1 << 16
+)
+
+// Table is a flat robin-hood hash set of uint64 keys. Construct with New.
+type Table struct {
+	model    mem.Model
+	arena    *mem.Arena
+	elemSize uint64
+	payload  uint64 // element bytes beyond the 8-byte key
+
+	ctrl []uint8 // probe distance + 1; 0 = empty
+	keys []uint64
+	mask uint64
+	base mem.Addr
+	size int
+
+	stats opstats.Stats
+}
+
+// New returns an empty table bound to the given memory model with the given
+// simulated element size in bytes. A nil model defaults to mem.Nop.
+func New(model mem.Model, elemSize uint64) *Table {
+	if model == nil {
+		model = mem.Nop{}
+	}
+	if elemSize == 0 {
+		elemSize = 8
+	}
+	payload := uint64(0)
+	if elemSize > keyBytes {
+		payload = elemSize - keyBytes
+	}
+	t := &Table{
+		model:    model,
+		arena:    mem.NewArena(model, arenaChunk),
+		elemSize: elemSize,
+		payload:  payload,
+	}
+	t.allocRegion(initialCap)
+	return t
+}
+
+// hash is the same Fibonacci/avalanche mixer the chained table uses.
+func hash(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// Stats exposes the container's accumulated software features.
+func (t *Table) Stats() *opstats.Stats {
+	t.stats.ElemSize = t.elemSize
+	return &t.stats
+}
+
+// Len returns the number of keys.
+func (t *Table) Len() int { return t.size }
+
+// Cap returns the current slot count.
+func (t *Table) Cap() int { return len(t.ctrl) }
+
+// ArenaBytes reports the simulated bytes the table's arena has reserved.
+func (t *Table) ArenaBytes() uint64 { return t.arena.Bytes() }
+
+func (t *Table) regionBytes(capacity uint64) uint64 {
+	return capacity * (1 + keyBytes + t.payload)
+}
+
+func (t *Table) ctrlAddr(i uint64) mem.Addr { return t.base + mem.Addr(i) }
+func (t *Table) keyAddr(i uint64) mem.Addr {
+	return t.base + mem.Addr(uint64(len(t.ctrl))+i*keyBytes)
+}
+func (t *Table) payAddr(i uint64) mem.Addr {
+	return t.base + mem.Addr(uint64(len(t.ctrl))*(1+keyBytes)+i*t.payload)
+}
+
+// runSpans invokes fn over the one or two contiguous address spans covering
+// count slots starting at slot i in one SoA region (split where the run
+// wraps the table edge). addr maps a slot index to its address and width is
+// the region's bytes per slot.
+func (t *Table) runSpans(i, count, width uint64, addr func(uint64) mem.Addr, fn func(mem.Addr, uint64)) {
+	capacity := t.mask + 1
+	first := count
+	if i+count > capacity {
+		first = capacity - i
+	}
+	fn(addr(i), first*width)
+	if rest := count - first; rest > 0 {
+		fn(addr(0), rest*width)
+	}
+}
+
+func (t *Table) spanRead(a mem.Addr, n uint64)  { t.model.Read(a, n) }
+func (t *Table) spanWrite(a mem.Addr, n uint64) { t.model.Write(a, n) }
+
+func (t *Table) allocRegion(capacity uint64) {
+	t.base = t.arena.Alloc(t.regionBytes(capacity), 64)
+	t.ctrl = make([]uint8, capacity)
+	t.keys = make([]uint64, capacity)
+	t.mask = capacity - 1
+	// Zeroing the control region is one streaming span write.
+	t.model.Write(t.ctrlAddr(0), capacity)
+}
+
+// lookup probes for key, returning the slot where it lives (or where
+// probing stopped), whether it was found, and slots touched.
+func (t *Table) lookup(key uint64) (uint64, bool, uint64) {
+	i := hash(key) & t.mask
+	d := uint64(0)
+	touched := uint64(0)
+	for {
+		t.model.Read(t.ctrlAddr(i), 1)
+		touched++
+		c := uint64(t.ctrl[i])
+		occupied := c != 0
+		t.model.Branch(siteProbe, occupied)
+		if !occupied {
+			return i, false, touched
+		}
+		if c-1 == d {
+			// Same distance at the same slot means the same home bucket:
+			// only here can the resident equal our key.
+			t.model.Read(t.keyAddr(i), keyBytes)
+			eq := t.keys[i] == key
+			t.model.Branch(siteEq, eq)
+			if eq {
+				return i, true, touched
+			}
+		} else {
+			// A resident closer to its home than we are to ours proves the
+			// key absent — the robin-hood early exit.
+			richer := c-1 < d
+			t.model.Branch(siteSteal, richer)
+			if richer {
+				return i, false, touched
+			}
+		}
+		i = (i + 1) & t.mask
+		d++
+	}
+}
+
+// Contains reports whether key is present.
+func (t *Table) Contains(key uint64) bool {
+	t.model.Work(hashWorkUnits)
+	i, found, touched := t.lookup(key)
+	if found && t.payload > 0 {
+		t.model.Read(t.payAddr(i), t.payload)
+	}
+	t.stats.Observe(opstats.OpFind, touched)
+	return found
+}
+
+// Insert adds key; it returns false (overwriting the payload) when the key
+// was already present.
+func (t *Table) Insert(key uint64) bool {
+	t.model.Work(hashWorkUnits)
+	needGrow := uint64(t.size+1)*loadDen > uint64(len(t.ctrl))*loadNum
+	t.model.Branch(siteGrow, needGrow)
+	if needGrow {
+		t.grow()
+	}
+	var touched uint64
+	for {
+		done, fresh := t.tryInsert(key, &touched)
+		if done {
+			t.stats.Observe(opstats.OpInsert, touched)
+			if fresh {
+				t.size++
+				t.stats.NoteLen(t.size)
+			}
+			return fresh
+		}
+		t.grow() // a control byte would overflow; vanishingly rare
+	}
+}
+
+// tryInsert probes for key's slot and inserts with a forward shift of the
+// displaced run. It reports done=false when a control byte would overflow
+// maxCtrl, in which case the caller grows and retries.
+func (t *Table) tryInsert(key uint64, touched *uint64) (done, fresh bool) {
+	i := hash(key) & t.mask
+	d := uint64(0)
+	for {
+		t.model.Read(t.ctrlAddr(i), 1)
+		*touched++
+		c := uint64(t.ctrl[i])
+		occupied := c != 0
+		t.model.Branch(siteProbe, occupied)
+		if !occupied {
+			if d >= maxCtrl {
+				return false, false
+			}
+			t.ctrl[i] = uint8(d + 1)
+			t.keys[i] = key
+			t.model.Write(t.ctrlAddr(i), 1)
+			t.model.Write(t.keyAddr(i), keyBytes)
+			if t.payload > 0 {
+				t.model.Write(t.payAddr(i), t.payload)
+			}
+			return true, true
+		}
+		if c-1 == d {
+			t.model.Read(t.keyAddr(i), keyBytes)
+			eq := t.keys[i] == key
+			t.model.Branch(siteEq, eq)
+			if eq {
+				if t.payload > 0 {
+					t.model.Write(t.payAddr(i), t.payload)
+				}
+				return true, false
+			}
+		} else {
+			steal := c-1 < d
+			t.model.Branch(siteSteal, steal)
+			if steal {
+				if !t.shiftInsert(i, d, key, touched) {
+					return false, false
+				}
+				return true, true
+			}
+		}
+		i = (i + 1) & t.mask
+		d++
+		if d >= maxCtrl {
+			return false, false
+		}
+	}
+}
+
+// shiftInsert claims slot i for key (at distance d) by shifting the
+// contiguous run [i, first-empty) one slot forward — every moved resident's
+// distance grows by one, which preserves the robin-hood ordering. Reports
+// false when any moved control byte would overflow.
+func (t *Table) shiftInsert(i, d, key uint64, touched *uint64) bool {
+	if d >= maxCtrl {
+		return false
+	}
+	// Find the end of the run.
+	end := i
+	run := uint64(0)
+	for {
+		t.model.Read(t.ctrlAddr(end), 1)
+		*touched++
+		occupied := t.ctrl[end] != 0
+		t.model.Branch(siteProbe, occupied)
+		if !occupied {
+			break
+		}
+		if t.ctrl[end] >= maxCtrl {
+			return false
+		}
+		end = (end + 1) & t.mask
+		run++
+		if run > t.mask {
+			return false // table pathologically full; caller grows
+		}
+	}
+	// Move [i, end) to [i+1, end], walking backwards on the Go side. The
+	// simulated traffic is memmove-shaped: each SoA region shifts one slot
+	// right as a span copy, so the cost is lines covered by the run, not a
+	// per-slot transfer. The ctrl bytes were already read by the scan above,
+	// leaving only their rewrite.
+	for j := end; j != i; {
+		prev := (j - 1) & t.mask
+		t.ctrl[j] = t.ctrl[prev] + 1
+		t.keys[j] = t.keys[prev]
+		j = prev
+	}
+	if run > 0 {
+		dst := (i + 1) & t.mask
+		t.runSpans(dst, run, 1, t.ctrlAddr, t.spanWrite)
+		t.runSpans(i, run, keyBytes, t.keyAddr, t.spanRead)
+		t.runSpans(dst, run, keyBytes, t.keyAddr, t.spanWrite)
+		if t.payload > 0 {
+			t.runSpans(i, run, t.payload, t.payAddr, t.spanRead)
+			t.runSpans(dst, run, t.payload, t.payAddr, t.spanWrite)
+		}
+	}
+	t.ctrl[i] = uint8(d + 1)
+	t.keys[i] = key
+	t.model.Write(t.ctrlAddr(i), 1)
+	t.model.Write(t.keyAddr(i), keyBytes)
+	if t.payload > 0 {
+		t.model.Write(t.payAddr(i), t.payload)
+	}
+	return true
+}
+
+// Erase removes key and reports whether it was present. The run behind the
+// victim shifts back one slot — no tombstones, so lookups never scan dead
+// space.
+func (t *Table) Erase(key uint64) bool {
+	t.model.Work(hashWorkUnits)
+	i, found, touched := t.lookup(key)
+	if !found {
+		t.stats.Observe(opstats.OpErase, touched)
+		return false
+	}
+	j := i
+	moved := uint64(0)
+	for {
+		nxt := (j + 1) & t.mask
+		t.model.Read(t.ctrlAddr(nxt), 1)
+		c := uint64(t.ctrl[nxt])
+		shift := c > 1 // occupied and displaced from its home
+		t.model.Branch(siteShift, shift)
+		if !shift {
+			break
+		}
+		touched++
+		t.ctrl[j] = uint8(c - 1)
+		t.keys[j] = t.keys[nxt]
+		j = nxt
+		moved++
+	}
+	// The displaced run slides back one slot as span copies per SoA region
+	// (the decision walk above already read each ctrl byte).
+	if moved > 0 {
+		src := (i + 1) & t.mask
+		t.runSpans(i, moved, 1, t.ctrlAddr, t.spanWrite)
+		t.runSpans(src, moved, keyBytes, t.keyAddr, t.spanRead)
+		t.runSpans(i, moved, keyBytes, t.keyAddr, t.spanWrite)
+		if t.payload > 0 {
+			t.runSpans(src, moved, t.payload, t.payAddr, t.spanRead)
+			t.runSpans(i, moved, t.payload, t.payAddr, t.spanWrite)
+		}
+	}
+	t.ctrl[j] = 0
+	t.model.Write(t.ctrlAddr(j), 1)
+	t.size--
+	t.stats.Observe(opstats.OpErase, touched)
+	return true
+}
+
+// grow doubles the region and reinserts every key — the flat table's
+// rehash, with the old and new regions both arena-resident during the move.
+func (t *Table) grow() {
+	oldCtrl, oldKeys := t.ctrl, t.keys
+	oldBase := t.base
+	oldCap := uint64(len(oldCtrl))
+	oldPayBase := t.base + mem.Addr(oldCap*(1+keyBytes))
+	t.allocRegion(oldCap * 2)
+	// The reinsertion scan streams the old control region once.
+	t.model.Read(mem.Addr(oldBase), oldCap)
+	var scratch uint64
+	for idx, c := range oldCtrl {
+		if c == 0 {
+			continue
+		}
+		key := oldKeys[idx]
+		t.model.Read(oldBase+mem.Addr(oldCap+uint64(idx)*keyBytes), keyBytes)
+		if t.payload > 0 {
+			t.model.Read(oldPayBase+mem.Addr(uint64(idx)*t.payload), t.payload)
+		}
+		if done, _ := t.tryInsert(key, &scratch); !done {
+			// Unreachable at half load with an avalanche mixer.
+			panic("flathash: control overflow while growing")
+		}
+	}
+	t.arena.Free(oldBase, t.regionBytes(oldCap))
+	t.stats.Rehashes++
+	t.stats.Resizes++
+}
+
+// Iterate visits up to n keys in slot order, calling fn for each, and
+// returns the number visited. n < 0 visits all keys. The order is unrelated
+// to insertion order, like the chained table's bucket order.
+func (t *Table) Iterate(n int, fn func(uint64)) int {
+	if n < 0 || n > t.size {
+		n = t.size
+	}
+	visited := 0
+	for i := uint64(0); i < uint64(len(t.ctrl)) && visited < n; i++ {
+		t.model.Read(t.ctrlAddr(i), 1)
+		if t.ctrl[i] == 0 {
+			continue
+		}
+		t.model.Read(t.keyAddr(i), keyBytes)
+		if t.payload > 0 {
+			t.model.Read(t.payAddr(i), t.payload)
+		}
+		if fn != nil {
+			fn(t.keys[i])
+		}
+		visited++
+	}
+	t.stats.Observe(opstats.OpIterate, uint64(visited))
+	return visited
+}
+
+// First returns the key of the first occupied slot; ok is false when the
+// table is empty. It models reading the begin() iterator and does not count
+// as an interface invocation.
+func (t *Table) First() (uint64, bool) {
+	for i := uint64(0); i < uint64(len(t.ctrl)); i++ {
+		t.model.Read(t.ctrlAddr(i), 1)
+		if t.ctrl[i] != 0 {
+			t.model.Read(t.keyAddr(i), keyBytes)
+			return t.keys[i], true
+		}
+	}
+	return 0, false
+}
+
+// Clear removes all keys and releases the arena; the table is reusable
+// afterwards.
+func (t *Table) Clear() {
+	t.arena.Release()
+	t.allocRegion(initialCap)
+	t.size = 0
+	t.stats.Observe(opstats.OpClear, 1)
+}
+
+// Keys returns all keys in iteration (slot) order. Intended for tests.
+func (t *Table) Keys() []uint64 {
+	out := make([]uint64, 0, t.size)
+	for i, c := range t.ctrl {
+		if c != 0 {
+			out = append(out, t.keys[i])
+		}
+	}
+	return out
+}
+
+// CheckInvariants verifies control-byte bookkeeping — stored distances
+// match each key's home slot, runs are gapless, and size is right —
+// returning a descriptive violation or "" when the table is valid.
+func (t *Table) CheckInvariants() string {
+	count := 0
+	for i, c := range t.ctrl {
+		if c == 0 {
+			continue
+		}
+		count++
+		d := uint64(c - 1)
+		home := hash(t.keys[i]) & t.mask
+		if (uint64(i)-home)&t.mask != d {
+			return "stored distance disagrees with key's home slot"
+		}
+		if d > 0 {
+			prev := t.ctrl[(uint64(i)-1)&t.mask]
+			if prev == 0 {
+				return "displaced slot behind an empty slot"
+			}
+			if uint64(prev-1) < d-1 {
+				return "robin-hood ordering violated"
+			}
+		}
+	}
+	if count != t.size {
+		return "size mismatch"
+	}
+	return ""
+}

@@ -1,0 +1,231 @@
+package flathash
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func checkAgainstSet(t *testing.T, tb *Table, want map[uint64]bool) {
+	t.Helper()
+	if tb.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", tb.Len(), len(want))
+	}
+	got := tb.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys() returned %d keys, want %d", len(got), len(want))
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Fatalf("Keys() contains unexpected %d", k)
+		}
+	}
+	if msg := tb.CheckInvariants(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+}
+
+func TestInsertFindEraseSmall(t *testing.T) {
+	tb := New(nil, 8)
+	if tb.Contains(1) {
+		t.Fatal("empty table contains 1")
+	}
+	if !tb.Insert(5) || !tb.Insert(3) || !tb.Insert(9) {
+		t.Fatal("fresh inserts reported duplicate")
+	}
+	if tb.Insert(5) {
+		t.Fatal("duplicate insert reported fresh")
+	}
+	checkAgainstSet(t, tb, map[uint64]bool{3: true, 5: true, 9: true})
+	if !tb.Contains(3) || !tb.Contains(5) || !tb.Contains(9) || tb.Contains(4) {
+		t.Fatal("membership wrong")
+	}
+	if !tb.Erase(5) || tb.Erase(5) {
+		t.Fatal("erase wrong")
+	}
+	checkAgainstSet(t, tb, map[uint64]bool{3: true, 9: true})
+}
+
+func TestGrowthAndLoadFactor(t *testing.T) {
+	tb := New(nil, 8)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tb.Insert(uint64(i) * 2654435761)
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if tb.Stats().Rehashes == 0 {
+		t.Fatal("no rehash recorded over 10000 inserts")
+	}
+	// Load factor must never exceed the configured ceiling.
+	if uint64(tb.Len())*loadDen > uint64(tb.Cap())*loadDen {
+		t.Fatalf("over-full: %d keys in %d slots", tb.Len(), tb.Cap())
+	}
+	if uint64(tb.Len())*loadDen > uint64(tb.Cap())*loadNum+loadDen {
+		t.Fatalf("load factor above ceiling: %d/%d", tb.Len(), tb.Cap())
+	}
+	if msg := tb.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	for i := 0; i < n; i++ {
+		if !tb.Contains(uint64(i) * 2654435761) {
+			t.Fatalf("lost key %d after growth", i)
+		}
+	}
+}
+
+func TestBackwardShiftDeletion(t *testing.T) {
+	// Erase in every order; backward shift must keep probe chains gapless so
+	// later lookups still find everything.
+	for _, order := range []string{"ascending", "descending", "shuffled"} {
+		t.Run(order, func(t *testing.T) {
+			tb := New(nil, 8)
+			const n = 3000
+			for i := 0; i < n; i++ {
+				tb.Insert(uint64(i))
+			}
+			victims := make([]int, n)
+			for i := range victims {
+				victims[i] = i
+			}
+			switch order {
+			case "descending":
+				sort.Sort(sort.Reverse(sort.IntSlice(victims)))
+			case "shuffled":
+				rand.New(rand.NewSource(7)).Shuffle(n, func(i, j int) {
+					victims[i], victims[j] = victims[j], victims[i]
+				})
+			}
+			for i, v := range victims {
+				if !tb.Erase(uint64(v)) {
+					t.Fatalf("erase %d failed", v)
+				}
+				if i%251 == 0 {
+					if msg := tb.CheckInvariants(); msg != "" {
+						t.Fatalf("after %d erases: %s", i+1, msg)
+					}
+				}
+			}
+			if tb.Len() != 0 {
+				t.Fatalf("table not empty: %d", tb.Len())
+			}
+			if msg := tb.CheckInvariants(); msg != "" {
+				t.Fatalf("empty-table invariant: %s", msg)
+			}
+			tb.Insert(42)
+			if !tb.Contains(42) || tb.Len() != 1 {
+				t.Fatal("table unusable after drain")
+			}
+		})
+	}
+}
+
+func TestIterateAndFirst(t *testing.T) {
+	tb := New(nil, 8)
+	if _, ok := tb.First(); ok {
+		t.Fatal("First on empty table reported a key")
+	}
+	var want uint64
+	for i := 0; i < 500; i++ {
+		tb.Insert(uint64(i) * 3)
+		want += uint64(i) * 3
+	}
+	var sum uint64
+	if got := tb.Iterate(-1, func(k uint64) { sum += k }); got != 500 {
+		t.Fatalf("Iterate(-1) visited %d", got)
+	}
+	if sum != want {
+		t.Fatalf("iterate sum %d, want %d", sum, want)
+	}
+	if got := tb.Iterate(30, nil); got != 30 {
+		t.Fatalf("Iterate(30) visited %d", got)
+	}
+	// First returns the same key a full iteration would yield first.
+	var head uint64
+	tb.Iterate(1, func(k uint64) { head = k })
+	if k, ok := tb.First(); !ok || k != head {
+		t.Fatalf("First = %d,%v; iteration head %d", k, ok, head)
+	}
+}
+
+func TestClearAndReuse(t *testing.T) {
+	m := mem.NewCounting()
+	tb := New(m, 8)
+	for i := 0; i < 2000; i++ {
+		tb.Insert(uint64(i))
+	}
+	if tb.ArenaBytes() == 0 {
+		t.Fatal("arena reserved nothing")
+	}
+	tb.Clear()
+	if tb.Len() != 0 {
+		t.Fatalf("Clear left len=%d", tb.Len())
+	}
+	tb.Insert(7)
+	if !tb.Contains(7) {
+		t.Fatal("table unusable after Clear")
+	}
+}
+
+func TestArenaAmortization(t *testing.T) {
+	m := mem.NewCounting()
+	tb := New(m, 8)
+	for i := 0; i < 50000; i++ {
+		tb.Insert(uint64(i))
+	}
+	// Growth doubles the region each time: ~13 region allocations for 50k
+	// keys, plus chunk reservations — far below per-element allocation.
+	if m.Allocs > 100 {
+		t.Fatalf("model saw %d allocations; flat layout broken", m.Allocs)
+	}
+}
+
+func TestPayloadChurn(t *testing.T) {
+	tb := New(mem.NewCounting(), 64)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		tb.Insert(uint64(rng.Intn(2000)))
+		if rng.Intn(3) == 0 {
+			tb.Erase(uint64(rng.Intn(2000)))
+		}
+	}
+	if msg := tb.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestDifferentialRandomOps(t *testing.T) {
+	tb := New(nil, 8)
+	ref := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(42))
+	const space = 700
+	for i := 0; i < 60000; i++ {
+		k := uint64(rng.Intn(space))
+		switch rng.Intn(4) {
+		case 0, 1:
+			got := tb.Insert(k)
+			want := !ref[k]
+			if got != want {
+				t.Fatalf("op %d: Insert(%d) = %v, want %v", i, k, got, want)
+			}
+			ref[k] = true
+		case 2:
+			got := tb.Erase(k)
+			if got != ref[k] {
+				t.Fatalf("op %d: Erase(%d) = %v, want %v", i, k, got, ref[k])
+			}
+			delete(ref, k)
+		case 3:
+			if got := tb.Contains(k); got != ref[k] {
+				t.Fatalf("op %d: Contains(%d) = %v, want %v", i, k, got, ref[k])
+			}
+		}
+		if i%4999 == 0 {
+			checkAgainstSet(t, tb, ref)
+		}
+	}
+	checkAgainstSet(t, tb, ref)
+}

@@ -1,0 +1,55 @@
+package flathash
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/containers/hashtable"
+)
+
+// FuzzFlatHash drives the flat robin-hood table and the chained hash table
+// through the same operation sequence and requires identical answers:
+// membership, length, and (order-insensitively) the full key set.
+func FuzzFlatHash(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 2, 1, 3, 1})
+	f.Add([]byte{0, 10, 0, 20, 0, 30, 2, 20, 0, 25, 2, 10, 2, 30, 2, 25})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flat := New(nil, 8)
+		ref := hashtable.New[uint64, struct{}](nil, 8, hashtable.HashUint64)
+		for i := 0; i+1 < len(data); i += 2 {
+			op := data[i] % 4
+			key := uint64(data[i+1] % 96)
+			switch op {
+			case 0:
+				flat.Insert(key)
+				ref.Insert(key, struct{}{})
+			case 1:
+				if got, want := flat.Contains(key), ref.Contains(key); got != want {
+					t.Fatalf("op %d: Contains(%d) = %v, hashtable says %v", i/2, key, got, want)
+				}
+			case 2:
+				if got, want := flat.Erase(key), ref.Erase(key); got != want {
+					t.Fatalf("op %d: Erase(%d) = %v, hashtable says %v", i/2, key, got, want)
+				}
+			case 3:
+				if got, want := flat.Len(), ref.Len(); got != want {
+					t.Fatalf("op %d: Len = %d, hashtable says %d", i/2, got, want)
+				}
+			}
+		}
+		if msg := flat.CheckInvariants(); msg != "" {
+			t.Fatalf("invariant violated: %s", msg)
+		}
+		got, want := flat.Keys(), ref.Keys()
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("key count %d vs hashtable %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("key sets diverge at %d: %d vs %d", i, got[i], want[i])
+			}
+		}
+	})
+}

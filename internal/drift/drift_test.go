@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/adt"
 	"repro/internal/core"
+	"repro/internal/machine"
 	"repro/internal/opstats"
 	"repro/internal/profile"
 )
@@ -76,6 +77,52 @@ func counts(kv ...interface{}) (c [opstats.NumOps]uint64) {
 		c[kv[i].(opstats.Op)] = uint64(kv[i+1].(int))
 	}
 	return c
+}
+
+// TestRulesMissHeavyPrefersFlat: a lookup-heavy profile whose working set
+// thrashes the caches upgrades to the flat counterpart of its family — and
+// only then. Small or cache-resident profiles keep the pointer-based advice.
+func TestRulesMissHeavyPrefersFlat(t *testing.T) {
+	missHeavy := machine.Counters{L1Accesses: 1000, L1Misses: 400}
+	cacheFriendly := machine.Counters{L1Accesses: 1000, L1Misses: 20}
+	findStats := func(maxLen uint64) opstats.Stats {
+		return opstats.Stats{Count: counts(opstats.OpFind, 90, opstats.OpInsert, 10), MaxLen: maxLen}
+	}
+	cases := []struct {
+		name string
+		p    profile.Profile
+		want adt.Kind
+	}{
+		{"hash_set upgrades", profile.Profile{Kind: adt.KindHashSet, HW: missHeavy,
+			Stats: findStats(1 << 15)}, adt.KindFlatHashSet},
+		{"ordered set upgrades", profile.Profile{Kind: adt.KindSet, OrderAware: true, HW: missHeavy,
+			Stats: findStats(1 << 15)}, adt.KindFlatBTreeSet},
+		{"btree_set upgrades", profile.Profile{Kind: adt.KindBTreeSet, OrderAware: true, HW: missHeavy,
+			Stats: findStats(1 << 15)}, adt.KindFlatBTreeSet},
+		{"vector upgrades straight to flat", profile.Profile{Kind: adt.KindVector, HW: missHeavy,
+			Stats: findStats(1 << 15)}, adt.KindFlatHashSet},
+		{"map upgrades", profile.Profile{Kind: adt.KindHashMap, HW: missHeavy,
+			Stats: findStats(1 << 15)}, adt.KindFlatHashMap},
+		{"ordered map upgrades", profile.Profile{Kind: adt.KindMap, OrderAware: true, HW: missHeavy,
+			Stats: findStats(1 << 15)}, adt.KindFlatBTreeMap},
+		{"small working set keeps", profile.Profile{Kind: adt.KindHashSet, HW: missHeavy,
+			Stats: findStats(256)}, adt.KindHashSet},
+		{"cache-friendly keeps", profile.Profile{Kind: adt.KindHashSet, HW: cacheFriendly,
+			Stats: findStats(1 << 15)}, adt.KindHashSet},
+		{"already flat keeps", profile.Profile{Kind: adt.KindFlatHashSet, HW: missHeavy,
+			Stats: findStats(1 << 15)}, adt.KindFlatHashSet},
+		{"scan-heavy flat exits to vector", profile.Profile{Kind: adt.KindFlatHashSet, HW: missHeavy,
+			Stats: opstats.Stats{Count: counts(opstats.OpIterate, 70, opstats.OpInsert, 20, opstats.OpFind, 10), MaxLen: 1 << 15}}, adt.KindVector},
+	}
+	for _, tc := range cases {
+		s, err := Rules(&tc.p, "core2")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if s.Suggested != tc.want {
+			t.Fatalf("%s: suggested %v, want %v", tc.name, s.Suggested, tc.want)
+		}
+	}
 }
 
 // TestDetectorDriftsAfterHysteresis walks a timeline through a phase

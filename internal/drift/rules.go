@@ -34,6 +34,13 @@ func Rules(p *profile.Profile, arch string) (core.Suggestion, error) {
 	fronts := frac(opstats.OpPushFront, opstats.OpPopFront)
 	random := frac(opstats.OpAt)
 
+	// A pointer-chasing backend whose working set has outgrown the caches:
+	// every probe step is a dependent miss, which is exactly what the flat
+	// arena-backed layouts exist to avoid. The thresholds are deliberately
+	// high so small containers (where per-node allocation is harmless and
+	// migration churn is not) never trip them.
+	missHeavy := p.HW.L1MissRate() >= 0.25 && s.MaxLen >= 1<<12
+
 	// Decide the dominant access pattern; ties break toward keeping the
 	// current kind, so the advice only moves on a clear signal.
 	kind := p.Kind
@@ -49,6 +56,23 @@ func Rules(p *profile.Profile, arch string) (core.Suggestion, error) {
 		}
 		if p.Kind.IsAssociative() {
 			kind = p.Kind // already O(log n) or O(1); no reason to churn
+		}
+		if missHeavy && !p.Kind.IsFlat() {
+			// Lookup-heavy AND cache-bound: upgrade to the flat counterpart
+			// of whatever family the order constraint dictates.
+			switch {
+			case p.Kind.IsMapKind():
+				if p.OrderAware {
+					kind = adt.KindFlatBTreeMap
+				} else {
+					kind = adt.KindFlatHashMap
+				}
+			case p.OrderAware:
+				kind = adt.KindFlatBTreeSet
+			default:
+				kind = adt.KindFlatHashSet
+			}
+			conf = finds
 		}
 	case fronts >= 0.3 && p.Kind == adt.KindVector:
 		// Front insertion shifts the whole vector every call.

@@ -1,0 +1,149 @@
+package mem
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Arena is a region allocator layered over a Model: it reserves large
+// contiguous chunks from the underlying model and hands out small slots by
+// bumping a cursor, so a container built on it gets (a) simulated addresses
+// that are dense and sequential — the machine simulator sees real spatial
+// locality instead of one scattered allocation per node — and (b) a zero-
+// allocation steady state, because freed slots go to per-size free lists and
+// the model only ever sees one Alloc per chunk.
+//
+// Reuse is keyed by the rounded slot size. A caller must request the same
+// alignment for every allocation of a given size (containers allocate a few
+// fixed node shapes, so this holds by construction); the arena does not
+// re-align recycled slots.
+//
+// Arena is not safe for concurrent use, matching the containers it backs.
+type Arena struct {
+	model     Model
+	chunkSize uint64
+	chunks    []arenaChunk
+	cur       uint64 // bump cursor inside the newest chunk
+	curEnd    uint64 // end of the newest chunk
+	free      map[uint64][]Addr
+	reserved  uint64
+}
+
+type arenaChunk struct {
+	base Addr
+	size uint64
+}
+
+// DefaultArenaChunk is the chunk size NewArena uses when none is given:
+// large enough that node allocations amortize to nothing, small enough that
+// a tiny container does not look huge to the simulator.
+const DefaultArenaChunk = 1 << 16
+
+// arenaBytes tracks the chunk bytes currently reserved by all live arenas in
+// the process, for the brainy_arena_bytes telemetry gauge.
+var arenaBytes atomic.Int64
+
+// TotalArenaBytes reports the chunk bytes currently reserved by every live
+// Arena in the process.
+func TotalArenaBytes() uint64 {
+	v := arenaBytes.Load()
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// NewArena returns an arena drawing chunks of chunkSize bytes from model.
+// A nil model defaults to Nop; a zero chunkSize to DefaultArenaChunk.
+func NewArena(model Model, chunkSize uint64) *Arena {
+	if model == nil {
+		model = Nop{}
+	}
+	if chunkSize == 0 {
+		chunkSize = DefaultArenaChunk
+	}
+	a := &Arena{
+		model:     model,
+		chunkSize: chunkSize,
+		free:      make(map[uint64][]Addr),
+	}
+	// Keep the process-wide gauge honest for arenas that are dropped
+	// without an explicit Release (short-lived training candidates).
+	runtime.SetFinalizer(a, func(fin *Arena) {
+		if fin.reserved > 0 {
+			arenaBytes.Add(-int64(fin.reserved))
+		}
+	})
+	return a
+}
+
+func arenaRound(size uint64) uint64 {
+	if size == 0 {
+		return 8
+	}
+	return (size + 7) &^ 7
+}
+
+// Alloc returns a slot of size bytes aligned to align (0 means 8),
+// recycling a previously freed slot of the same rounded size when one
+// exists. Oversized requests get a dedicated chunk.
+func (a *Arena) Alloc(size, align uint64) Addr {
+	size = arenaRound(size)
+	if align == 0 {
+		align = 8
+	}
+	if lst := a.free[size]; len(lst) > 0 {
+		addr := lst[len(lst)-1]
+		a.free[size] = lst[:len(lst)-1]
+		return addr
+	}
+	at := (a.cur + align - 1) &^ (align - 1)
+	if at+size > a.curEnd {
+		cs := a.chunkSize
+		if size+align > cs {
+			cs = size + align
+		}
+		base := a.model.Alloc(cs, 64)
+		a.chunks = append(a.chunks, arenaChunk{base: base, size: cs})
+		a.reserved += cs
+		arenaBytes.Add(int64(cs))
+		a.cur = uint64(base)
+		a.curEnd = uint64(base) + cs
+		at = (a.cur + align - 1) &^ (align - 1)
+	}
+	a.cur = at + size
+	return Addr(at)
+}
+
+// Free returns a slot to the arena for reuse by a later Alloc of the same
+// rounded size. The chunk memory stays reserved until Release.
+func (a *Arena) Free(addr Addr, size uint64) {
+	size = arenaRound(size)
+	a.free[size] = append(a.free[size], addr)
+}
+
+// Release frees every chunk back to the model and resets the arena to
+// empty; it may be reused afterwards.
+func (a *Arena) Release() {
+	for _, c := range a.chunks {
+		a.model.Free(c.base, c.size)
+	}
+	if a.reserved > 0 {
+		arenaBytes.Add(-int64(a.reserved))
+	}
+	a.chunks = nil
+	a.reserved = 0
+	a.cur = 0
+	a.curEnd = 0
+	for k := range a.free {
+		delete(a.free, k)
+	}
+}
+
+// Bytes reports the chunk bytes this arena currently reserves from its
+// model.
+func (a *Arena) Bytes() uint64 { return a.reserved }
+
+// Chunks reports how many chunks the arena has reserved. Intended for
+// tests asserting the amortization actually happens.
+func (a *Arena) Chunks() int { return len(a.chunks) }

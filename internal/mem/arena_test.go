@@ -1,0 +1,123 @@
+package mem
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestArenaBumpAndReuse(t *testing.T) {
+	c := NewCounting()
+	a := NewArena(c, 4096)
+
+	a1 := a.Alloc(100, 8)
+	a2 := a.Alloc(100, 8)
+	if c.Allocs != 1 {
+		t.Fatalf("two slot allocs should reserve one chunk, model saw %d", c.Allocs)
+	}
+	if a2 != a1+104 { // 100 rounds to 104
+		t.Fatalf("bump allocation not contiguous: %#x then %#x", a1, a2)
+	}
+	a.Free(a1, 100)
+	if got := a.Alloc(100, 8); got != a1 {
+		t.Fatalf("freed slot not recycled: want %#x got %#x", a1, got)
+	}
+	if a.Chunks() != 1 || a.Bytes() != 4096 {
+		t.Fatalf("chunks=%d bytes=%d, want 1 chunk of 4096", a.Chunks(), a.Bytes())
+	}
+}
+
+func TestArenaAlignment(t *testing.T) {
+	a := NewArena(NewCounting(), 4096)
+	for i := 0; i < 10; i++ {
+		addr := a.Alloc(200, 64)
+		if uint64(addr)%64 != 0 {
+			t.Fatalf("alloc %d not 64-aligned: %#x", i, addr)
+		}
+	}
+}
+
+func TestArenaOversizedRequest(t *testing.T) {
+	c := NewCounting()
+	a := NewArena(c, 1024)
+	a.Alloc(16, 8)
+	big := a.Alloc(10000, 8)
+	if uint64(big)%8 != 0 {
+		t.Fatalf("oversized alloc misaligned: %#x", big)
+	}
+	if a.Chunks() != 2 {
+		t.Fatalf("oversized request should get a dedicated chunk, have %d chunks", a.Chunks())
+	}
+	// The small chunk must still serve small allocations.
+	small := a.Alloc(16, 8)
+	if small == 0 {
+		t.Fatal("small alloc failed after oversized chunk")
+	}
+}
+
+func TestArenaRelease(t *testing.T) {
+	c := NewCounting()
+	a := NewArena(c, 2048)
+	for i := 0; i < 100; i++ {
+		a.Alloc(128, 8)
+	}
+	chunks := a.Chunks()
+	if chunks < 2 {
+		t.Fatalf("expected multiple chunks, got %d", chunks)
+	}
+	a.Release()
+	if c.Frees != uint64(chunks) {
+		t.Fatalf("release freed %d chunks at the model, want %d", c.Frees, chunks)
+	}
+	if a.Bytes() != 0 || c.Live != 0 {
+		t.Fatalf("after release: arena bytes %d, model live %d", a.Bytes(), c.Live)
+	}
+	// The arena must be reusable after Release.
+	if a.Alloc(64, 8) == 0 {
+		t.Fatal("alloc after release failed")
+	}
+}
+
+func TestTotalArenaBytesGauge(t *testing.T) {
+	base := TotalArenaBytes()
+	a := NewArena(NewCounting(), 8192)
+	a.Alloc(16, 8)
+	if got := TotalArenaBytes(); got != base+8192 {
+		t.Fatalf("gauge after alloc: %d, want %d", got, base+8192)
+	}
+	a.Release()
+	if got := TotalArenaBytes(); got != base {
+		t.Fatalf("gauge after release: %d, want %d", got, base)
+	}
+}
+
+func TestArenaFinalizerDecrementsGauge(t *testing.T) {
+	// Let arenas leaked by other tests finalize first so the baseline is
+	// stable.
+	settle := func() uint64 {
+		prev := TotalArenaBytes()
+		for {
+			runtime.GC()
+			runtime.GC() // finalizers queue on one cycle, run by the next
+			time.Sleep(time.Millisecond)
+			cur := TotalArenaBytes()
+			if cur == prev {
+				return cur
+			}
+			prev = cur
+		}
+	}
+	base := settle()
+	func() {
+		a := NewArena(NewCounting(), 8192)
+		a.Alloc(16, 8)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for TotalArenaBytes() != base {
+		if time.Now().After(deadline) {
+			t.Fatalf("gauge stuck at %d after GC, want %d", TotalArenaBytes(), base)
+		}
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"net/http"
 
+	"repro/internal/mem"
 	"repro/internal/opstats"
 	"repro/internal/telemetry"
 )
@@ -63,7 +64,7 @@ type Metrics struct {
 // NewMetrics builds a metric set on a fresh registry.
 func NewMetrics() *Metrics {
 	reg := telemetry.NewRegistry()
-	return &Metrics{
+	m := &Metrics{
 		reg:              reg,
 		Requests:         reg.CounterVec("brainy_requests_total", "Finished HTTP requests by path and status code."),
 		Latency:          reg.Histogram("brainy_request_duration_seconds", "End-to-end request latency."),
@@ -85,6 +86,13 @@ func NewMetrics() *Metrics {
 		BatchSize: reg.Histogram("brainy_batch_size", "Queued inferences coalesced into each ANN matrix pass.",
 			1, 2, 4, 8, 16, 32, 64, 128),
 	}
+	// Read at exposition time straight off the mem package's process-wide
+	// gauge: every live flat-container arena (drift replays, adaptive
+	// migrations, simulated candidates in flight) contributes its reserved
+	// chunk bytes.
+	reg.GaugeFunc("brainy_arena_bytes", "Simulated bytes currently reserved by live flat-container arenas.",
+		func() float64 { return float64(mem.TotalArenaBytes()) })
+	return m
 }
 
 // Registry exposes the underlying registry, for embedders that want to

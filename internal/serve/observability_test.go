@@ -5,9 +5,11 @@ import (
 	"io"
 	"net/http"
 	"regexp"
+	"runtime"
 	"strings"
 	"testing"
 
+	"repro/internal/mem"
 	"repro/internal/profile"
 	"repro/internal/telemetry"
 )
@@ -118,6 +120,7 @@ func TestMetricsPageWellFormed(t *testing.T) {
 		"brainy_cache_misses_total", "brainy_inferences_total",
 		"brainy_profiles_analyzed_total",
 		"brainy_shards", "brainy_shard_queue_depth", "brainy_batch_size",
+		"brainy_arena_bytes",
 	} {
 		if !seenHelp[name] {
 			t.Fatalf("metric %s has no HELP metadata:\n%s", name, text)
@@ -248,4 +251,38 @@ func TestAdviseSpansCarryRequestID(t *testing.T) {
 	if advSpan.Attr("arch") != "Core2" {
 		t.Fatalf("advise span arch = %v", advSpan.Attr("arch"))
 	}
+}
+
+// TestArenaBytesGaugeTracksLiveArenas pins the func-backed gauge: the
+// /metrics page reads mem.TotalArenaBytes at exposition time, so a flat
+// container allocated anywhere in the process moves the reported value
+// without any serve-side bookkeeping.
+func TestArenaBytesGaugeTracksLiveArenas(t *testing.T) {
+	s := New(testModels(), quietConfig(Config{}))
+	url, _ := startServer(t, s)
+
+	scrape := func() string {
+		resp, err := http.Get(url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		page, _ := io.ReadAll(resp.Body)
+		for _, line := range strings.Split(string(page), "\n") {
+			if strings.HasPrefix(line, "brainy_arena_bytes ") {
+				return strings.TrimPrefix(line, "brainy_arena_bytes ")
+			}
+		}
+		t.Fatalf("no brainy_arena_bytes sample in:\n%s", page)
+		return ""
+	}
+
+	before := scrape()
+	a := mem.NewArena(nil, 1<<16)
+	a.Alloc(1, 1) // reserves the first 64 KiB chunk
+	after := scrape()
+	if before == after {
+		t.Fatalf("gauge did not move after arena reservation: %s", after)
+	}
+	runtime.KeepAlive(a)
 }

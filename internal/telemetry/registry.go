@@ -104,6 +104,16 @@ func (r *Registry) Gauge(name, help string) *opstats.Gauge {
 	return g
 }
 
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time — for quantities some other subsystem already tracks (a process-wide
+// allocator gauge, a pool depth) where a stored gauge would just be a stale
+// copy needing its own update discipline.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, TypeGauge, func(w io.Writer) {
+		fmt.Fprintf(w, "%s %g\n", name, fn())
+	})
+}
+
 // Histogram registers and returns a histogram with the given ascending
 // bucket bounds (opstats.DefBuckets when none are given).
 func (r *Registry) Histogram(name, help string, bounds ...float64) *opstats.Histogram {

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Gate a containersbench report against the committed BENCH_containers.json.
+
+Usage:
+    check_containers_bench.py --result report.json --baseline BENCH_containers.json
+
+Reads the ci_gate block of the newest BENCH_containers.json entry and
+enforces, for every measured working-set size >= min_size, that each
+pointer-vs-flat find-cycle ratio named in min_ratios stays at or above its
+floor. The ratios come straight from the report's find_ratios block
+(simulated Core2 cycles, so they are bit-deterministic — any drop is a real
+event-model or layout regression, not measurement noise).
+
+Exit code 0 when every check passes, 1 otherwise; the verdict is printed
+either way so CI logs show the measured-vs-required numbers.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--result", required=True, help="containersbench JSON report")
+    ap.add_argument("--baseline", required=True, help="committed BENCH_containers.json")
+    args = ap.parse_args()
+
+    with open(args.result) as f:
+        result = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    entries = baseline.get("entries", [])
+    if not entries:
+        print("FAIL: baseline has no entries", file=sys.stderr)
+        return 1
+    gate = entries[-1].get("ci_gate")
+    if not gate:
+        print("FAIL: newest baseline entry has no ci_gate block", file=sys.stderr)
+        return 1
+
+    min_size = gate["min_size"]
+    min_ratios = gate["min_ratios"]
+    ratios = result.get("find_ratios", {})
+
+    gated_sizes = [int(s) for s in ratios if int(s) >= min_size]
+    if not gated_sizes:
+        print(f"FAIL: report has no working-set size >= {min_size}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for size in sorted(gated_sizes):
+        measured = ratios[str(size)]
+        for pair, floor in min_ratios.items():
+            got = measured.get(pair)
+            if got is None:
+                failures.append(f"n={size}: ratio {pair} missing from report")
+                continue
+            verdict = "ok" if got >= floor else "FAIL"
+            print(f"n={size}: {pair} = {got:.2f} (floor {floor:.2f}) {verdict}")
+            if got < floor:
+                failures.append(
+                    f"n={size}: {pair} = {got:.2f} below floor {floor:.2f}")
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
