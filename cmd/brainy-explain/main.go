@@ -1,0 +1,241 @@
+// Command brainy-explain answers "why did Brainy say that" for one served
+// request: it fetches the decision journaled by brainy-serve's flight
+// recorder for a request ID (the X-Request-ID echoed on every response,
+// surfaced by /metrics latency exemplars and loadgen's p99_exemplars), then
+// renders the verdict's provenance — the full class distribution the model
+// picked from, how the request resolved (cache hit or batch, and how big
+// the batch was), the feature vector against the fleet mean for that kind
+// from /v1/rollup, and the instance's drift timeline from /debug/brainy.
+//
+// Usage:
+//
+//	brainy-explain -addr http://localhost:8377 -id <request-id>
+//	brainy-explain -addr http://localhost:8377 -context loadgen/site3
+//
+// With -context it explains the newest journaled decision for a
+// construction site instead of a specific request. Exit status is non-zero
+// when the service is unreachable or nothing matches.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/flight"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("brainy-explain: ")
+	var (
+		addr    = flag.String("addr", "http://localhost:8377", "base URL of the brainy-serve instance")
+		id      = flag.String("id", "", "request ID to explain (X-Request-ID of a served advise request)")
+		context = flag.String("context", "", "explain the newest decision for this construction site instead")
+	)
+	flag.Parse()
+	if *id == "" && *context == "" {
+		log.Fatal("one of -id or -context is required")
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	if err := run(os.Stdout, client, strings.TrimSuffix(*addr, "/"), *id, *context); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run fetches and renders one explanation; split from main for testing
+// against httptest servers.
+func run(out io.Writer, client *http.Client, base, reqID, context string) error {
+	q := url.Values{"format": {"json"}}
+	if reqID != "" {
+		q.Set("request_id", reqID)
+	}
+	if context != "" {
+		q.Set("context", context)
+	}
+	var dec serve.DecisionsResponse
+	if err := getJSON(client, base+"/debug/decisions?"+q.Encode(), &dec); err != nil {
+		return err
+	}
+	if !dec.Enabled {
+		return fmt.Errorf("the flight recorder is disabled on %s (serve ran with a negative -flight-size)", base)
+	}
+	if len(dec.Records) == 0 {
+		return fmt.Errorf("no journaled decision matches (%d retained of %d ever journaled — the record may have scrolled out of the ring)",
+			dec.Returned, dec.Total)
+	}
+
+	// Rollup and dashboard are best-effort context: an explanation with no
+	// fleet baseline is still an explanation.
+	var roll serve.RollupResponse
+	haveRoll := getJSON(client, base+"/v1/rollup", &roll) == nil
+	var dash serve.DashboardResponse
+	haveDash := getJSON(client, base+"/debug/brainy?format=json", &dash) == nil
+
+	// Newest matching record is the decision; earlier matches render as
+	// history below it.
+	rec := dec.Records[len(dec.Records)-1]
+	renderDecision(out, &rec)
+	if haveRoll {
+		renderFleet(out, &rec, &roll)
+	}
+	if haveDash {
+		renderTimeline(out, &rec, &dash)
+	}
+	if len(dec.Records) > 1 {
+		fmt.Fprintf(out, "\nearlier journaled decisions matching the filter: %d (GET %s/debug/decisions)\n",
+			len(dec.Records)-1, base)
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// renderDecision prints the journaled verdict and its class distribution.
+func renderDecision(out io.Writer, rec *flight.Record) {
+	fmt.Fprintf(out, "decision %d  (%s, verdict %s)\n", rec.Seq, rec.Source, rec.Verdict)
+	if rec.RequestID != "" {
+		fmt.Fprintf(out, "  request   %s\n", rec.RequestID)
+	}
+	fmt.Fprintf(out, "  context   %s\n", rec.Context)
+	if rec.Instance != "" {
+		fmt.Fprintf(out, "  instance  %s\n", rec.Instance)
+	}
+	fmt.Fprintf(out, "  decided   %s\n", time.Unix(0, rec.UnixNano).Format(time.RFC3339Nano))
+	if rec.Arch != "" {
+		fmt.Fprintf(out, "  arch      %s\n", rec.Arch)
+	}
+	if rec.Digest != "" {
+		fmt.Fprintf(out, "  digest    %s  (canonical feature digest; equal digests share one cache entry)\n", rec.Digest)
+	}
+	if rec.Registry != "" {
+		fmt.Fprintf(out, "  registry  %s\n", rec.Registry)
+	}
+	switch rec.Path {
+	case "cache":
+		fmt.Fprintf(out, "  resolved  inference-cache hit on shard %d\n", rec.Shard)
+	case "batch":
+		fmt.Fprintf(out, "  resolved  batch %d on shard %d (%d decisions coalesced into one ANN pass)\n",
+			rec.BatchID, rec.Shard, rec.BatchSize)
+	}
+	if rec.LatencyNs > 0 {
+		fmt.Fprintf(out, "  latency   %.1fus\n", float64(rec.LatencyNs)/1e3)
+	}
+	if rec.Drift != "" {
+		fmt.Fprintf(out, "  drift     %s (detector state for %s at decision time)\n", rec.Drift, rec.Context)
+	}
+	if rec.Suggested != "" {
+		fmt.Fprintf(out, "\n  %s -> %s  (confidence %.2f)\n", rec.Kind, rec.Suggested, rec.Confidence)
+	} else {
+		fmt.Fprintf(out, "\n  %s -> no verdict\n", rec.Kind)
+	}
+	if len(rec.Probs) > 0 {
+		fmt.Fprintf(out, "\n  class distribution:\n")
+		for _, kp := range rec.Probs {
+			bar := strings.Repeat("#", int(kp.Prob*40+0.5))
+			fmt.Fprintf(out, "    %-22s %6.3f  %s\n", kp.Kind, kp.Prob, bar)
+		}
+	}
+	if rec.Votes > 0 {
+		fmt.Fprintf(out, "  confirmed by %d consecutive agreeing verdicts at window %d\n", rec.Votes, rec.WindowSeq)
+	}
+	if rec.Moved > 0 {
+		fmt.Fprintf(out, "  migration moved %d elements\n", rec.Moved)
+	}
+}
+
+// renderFleet prints the decision's feature vector next to the fleet mean
+// for the same kind, flagging the largest divergences — the "why this
+// verdict here but not fleet-wide" view.
+func renderFleet(out io.Writer, rec *flight.Record, roll *serve.RollupResponse) {
+	if len(rec.Features) == 0 || len(roll.Features) != len(rec.Features) {
+		return
+	}
+	var mean []float64
+	for _, k := range roll.Kinds {
+		if k.Kind == rec.Kind && len(k.FeatureMean) == len(rec.Features) {
+			mean = k.FeatureMean
+			break
+		}
+	}
+	if mean == nil {
+		return
+	}
+	fmt.Fprintf(out, "\n  features vs fleet mean for kind %s (largest divergences first):\n", rec.Kind)
+	type delta struct {
+		name      string
+		val, mean float64
+	}
+	var ds []delta
+	for i, name := range roll.Features {
+		ds = append(ds, delta{name, rec.Features[i], mean[i]})
+	}
+	// Largest absolute divergence first; features agreeing with the fleet
+	// explain nothing, so only the top few render.
+	for i := 0; i < len(ds); i++ {
+		for j := i + 1; j < len(ds); j++ {
+			if math.Abs(ds[j].val-ds[j].mean) > math.Abs(ds[i].val-ds[i].mean) {
+				ds[i], ds[j] = ds[j], ds[i]
+			}
+		}
+	}
+	n := 8
+	if len(ds) < n {
+		n = len(ds)
+	}
+	fmt.Fprintf(out, "    %-22s %10s %12s %10s\n", "FEATURE", "THIS", "FLEET-MEAN", "DELTA")
+	for _, d := range ds[:n] {
+		fmt.Fprintf(out, "    %-22s %10.4f %12.4f %+10.4f\n", d.name, d.val, d.mean, d.val-d.mean)
+	}
+}
+
+// renderTimeline prints the drift-timeline excerpt for the decision's
+// construction site: every dashboard row sharing its context.
+func renderTimeline(out io.Writer, rec *flight.Record, dash *serve.DashboardResponse) {
+	var rows []serve.DashboardRow
+	for _, row := range dash.Rows {
+		if row.Context == rec.Context {
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "\n  instance timelines at %s:\n", rec.Context)
+	fmt.Fprintf(out, "    %-32s %-9s %6s  %-22s %6s  %s\n", "INSTANCE", "KIND", "WIN", "ADVICE", "DRIFT", "TIMELINE")
+	for _, row := range rows {
+		advice := "-"
+		if row.Advised {
+			advice = row.Initial
+			if row.Current != row.Initial {
+				advice = row.Initial + " -> " + row.Current
+			}
+		}
+		driftCol := "."
+		if row.Drifted {
+			driftCol = fmt.Sprintf("DRIFT%d", row.Events)
+		}
+		fmt.Fprintf(out, "    %-32s %-9s %6d  %-22s %6s  %s\n",
+			row.Key, row.Kind, row.Windows, advice, driftCol, row.Mix)
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/ann"
+	"repro/internal/machine"
+	"repro/internal/profile"
+	"repro/internal/serve"
+	"repro/internal/training"
+)
+
+// testServer builds a real sharded advisor around a deterministic untrained
+// model, the same shape the serve and loadgen tests use.
+func testServer(t *testing.T) string {
+	t.Helper()
+	set := training.NewModelSet()
+	tgt := adt.ModelTarget{Kind: adt.KindVector, OrderAware: false}
+	cands := adt.CandidatesWithOriginal(tgt.Kind, tgt.OrderAware)
+	cfg := ann.DefaultConfig()
+	cfg.Seed = 7
+	set.Put(&training.Model{
+		Target:     tgt,
+		Arch:       "Core2",
+		Candidates: cands,
+		Net:        ann.New(profile.NumFeatures, len(cands), cfg),
+	})
+	s := serve.New(set, serve.Config{NoRequestLog: true, DriftRules: true})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return ts.URL
+}
+
+func adviseOnce(t *testing.T, url, context, reqID string) {
+	t.Helper()
+	m := machine.New(machine.Core2())
+	c := profile.NewContainer(adt.KindVector, m, 8, context, false)
+	for i := uint64(0); i < 150; i++ {
+		c.Insert(i)
+		c.Find(i * 3)
+	}
+	var body bytes.Buffer
+	if err := profile.WriteTrace(&body, []profile.Profile{c.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, url+"/v1/advise?arch=Core2", &body)
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advise status = %d", resp.StatusCode)
+	}
+}
+
+// TestExplainByRequestID is the round trip the loadgen report and brainy-top
+// hand off to: a served request's ID resolves to a full provenance page.
+func TestExplainByRequestID(t *testing.T) {
+	url := testServer(t)
+	adviseOnce(t, url, "explain/site", "explain-req-7")
+
+	var out bytes.Buffer
+	if err := run(&out, http.DefaultClient, url, "explain-req-7", ""); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"decision",
+		"request   explain-req-7",
+		"context   explain/site",
+		"class distribution:",
+		"features vs fleet mean for kind vector",
+		"FLEET-MEAN",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explanation missing %q in:\n%s", want, text)
+		}
+	}
+	// The resolution path is named: this cold request went through a batch.
+	if !strings.Contains(text, "resolved  batch") {
+		t.Errorf("no resolution line in:\n%s", text)
+	}
+}
+
+// TestExplainByContext: -context picks the newest decision for a site.
+func TestExplainByContext(t *testing.T) {
+	url := testServer(t)
+	adviseOnce(t, url, "explain/by-ctx", "first-req")
+	adviseOnce(t, url, "explain/by-ctx", "second-req")
+
+	var out bytes.Buffer
+	if err := run(&out, http.DefaultClient, url, "", "explain/by-ctx"); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "request   second-req") {
+		t.Errorf("-context should explain the newest decision:\n%s", text)
+	}
+	if !strings.Contains(text, "earlier journaled decisions matching the filter: 1") {
+		t.Errorf("history count missing:\n%s", text)
+	}
+	// The repeat advise hit the inference cache and says so.
+	if !strings.Contains(text, "resolved  inference-cache hit") {
+		t.Errorf("cache resolution not named:\n%s", text)
+	}
+}
+
+// TestExplainErrors: unknown IDs and unreachable services fail loudly.
+func TestExplainErrors(t *testing.T) {
+	url := testServer(t)
+	if err := run(&bytes.Buffer{}, http.DefaultClient, url, "no-such-request", ""); err == nil {
+		t.Fatal("expected an error for an unknown request ID")
+	} else if !strings.Contains(err.Error(), "no journaled decision") {
+		t.Fatalf("error should say the journal has nothing: %v", err)
+	}
+
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	down.Close()
+	if err := run(&bytes.Buffer{}, http.DefaultClient, down.URL, "x", ""); err == nil {
+		t.Fatal("expected an error when the service is down")
+	}
+}

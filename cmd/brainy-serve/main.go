@@ -12,11 +12,17 @@
 //	                              prioritized replacement plan out
 //	POST /v1/profiles?arch=Core2  streamed snapshot windows in; per-instance
 //	                              timelines and phase-drift detection out
+//	GET  /v1/rollup               fleet rollup: per-kind instance, window,
+//	                              advise, drift, and migration aggregates
 //	GET  /debug/brainy            live status page: feature timelines,
 //	                              current vs. initial advice, drift flags
 //	                              (?format=text|json|html)
+//	GET  /debug/decisions         decision provenance journal: the flight
+//	                              recorder's recent advise and drift records
+//	                              (?format=text|json, filterable)
 //	GET  /healthz                 liveness and model count
 //	GET  /metrics                 text exposition of service metrics
+//	                              (latency buckets carry request-ID exemplars)
 //	GET  /debug/pprof/            runtime profiling (only with -pprof)
 //
 // Every request carries a correlation ID: a client-supplied X-Request-ID is
@@ -79,6 +85,7 @@ func run() error {
 		driftRules   = flag.Bool("drift-rules", false, "evaluate drift with the deterministic rules advisor instead of the loaded models")
 		driftWindow  = flag.Int("drift-window", 0, "windows blended per drift evaluation (0 = default)")
 		driftHyst    = flag.Int("drift-hysteresis", 0, "consecutive divergent verdicts before a drift event (0 = default)")
+		flightSize   = flag.Int("flight-size", 0, "decision flight-recorder records retained per shard on /debug/decisions (0 = default 256, negative disables)")
 	)
 	flag.Parse()
 
@@ -135,6 +142,7 @@ func run() error {
 		DriftRules:      *driftRules,
 		DriftWindow:     *driftWindow,
 		DriftHysteresis: *driftHyst,
+		FlightSize:      *flightSize,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

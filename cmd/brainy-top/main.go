@@ -23,10 +23,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/opstats"
 	"repro/internal/serve"
 )
 
@@ -48,7 +50,8 @@ func run() error {
 	if *interval <= 0 {
 		return fmt.Errorf("-interval must be positive, got %s", *interval)
 	}
-	url := strings.TrimSuffix(*addr, "/") + "/debug/brainy?format=json"
+	base := strings.TrimSuffix(*addr, "/")
+	url := base + "/debug/brainy?format=json"
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	if *once {
@@ -57,6 +60,7 @@ func run() error {
 			return err
 		}
 		fmt.Print(render(d, *addr))
+		fmt.Print(renderExemplars(fetchExemplars(client, base)))
 		return nil
 	}
 
@@ -73,7 +77,7 @@ func run() error {
 			if ferr != nil {
 				return "", ferr
 			}
-			return render(d, *addr), nil
+			return render(d, *addr) + renderExemplars(fetchExemplars(client, base)), nil
 		}()
 		// \x1b[H\x1b[2J homes the cursor and clears: redraw in place like
 		// top rather than scrolling history away.
@@ -110,9 +114,47 @@ func fetchDashboard(client *http.Client, url string) (*serve.DashboardResponse, 
 	return &d, nil
 }
 
-// render draws one frame. Rows arrive most-recently-active first from the
-// service; that order is kept so the busiest timelines sit at the top.
+// fetchExemplars scrapes the service's /metrics page for latency-histogram
+// bucket exemplars. Best-effort: a scrape failure renders as no pane, not
+// an error — the dashboard is the primary view.
+func fetchExemplars(client *http.Client, base string) []opstats.BucketExemplar {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil
+	}
+	return opstats.ParseExemplars(string(page), "brainy_request_duration_seconds")
+}
+
+// renderExemplars draws the slow-request pane: one line per latency bucket
+// that has a stamped exemplar, slowest first, each naming the request ID
+// brainy-explain resolves back to a journaled decision.
+func renderExemplars(exs []opstats.BucketExemplar) string {
+	if len(exs) == 0 {
+		return ""
+	}
+	sort.Slice(exs, func(i, j int) bool { return exs[i].Value > exs[j].Value })
+	var b strings.Builder
+	b.WriteString("\nrecent advise requests by latency bucket (brainy-explain -id <REQUEST> traces one):\n")
+	fmt.Fprintf(&b, "%-8s %12s  %s\n", "LE", "LATENCY", "REQUEST")
+	for _, ex := range exs {
+		fmt.Fprintf(&b, "%-8s %10.2fms  %s\n", ex.LE, ex.Value*1000, ex.RequestID)
+	}
+	return b.String()
+}
+
+// render draws one frame. The JSON dashboard arrives key-sorted (the locked
+// schema order); re-sort on the touch stamp so the most recently active
+// timelines sit at the top, where a live view wants them.
 func render(d *serve.DashboardResponse, addr string) string {
+	sort.SliceStable(d.Rows, func(i, j int) bool { return d.Rows[i].Touch > d.Rows[j].Touch })
 	var b strings.Builder
 	fmt.Fprintf(&b, "brainy-top — %s\n", addr)
 	fmt.Fprintf(&b, "instances %d/%d  windows %d  drift-events %d  out-of-order %d\n\n",

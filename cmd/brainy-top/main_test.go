@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/opstats"
 	"repro/internal/serve"
 )
 
@@ -78,5 +79,63 @@ func TestRenderEmpty(t *testing.T) {
 	out := render(&serve.DashboardResponse{MaxInstances: 16, Rows: nil}, "http://x")
 	if !strings.Contains(out, "no instance timelines yet") {
 		t.Errorf("empty dashboard should say so:\n%s", out)
+	}
+}
+
+// TestRenderSortsByTouch: the JSON dashboard arrives key-sorted; the live
+// view re-sorts on the touch stamp so recent activity floats to the top.
+func TestRenderSortsByTouch(t *testing.T) {
+	d := &serve.DashboardResponse{
+		Instances: 2, MaxInstances: 16,
+		Rows: []serve.DashboardRow{
+			{Key: "a#0", Kind: "vector", Touch: 1, Mix: "aa"},
+			{Key: "b#0", Kind: "vector", Touch: 9, Mix: "ff"},
+		},
+	}
+	out := render(d, "http://x")
+	if strings.Index(out, "b#0") > strings.Index(out, "a#0") {
+		t.Errorf("most recently touched row should render first:\n%s", out)
+	}
+}
+
+// TestRenderExemplars covers the slow-request pane: slowest bucket first,
+// absent entirely when the scrape yields nothing.
+func TestRenderExemplars(t *testing.T) {
+	if out := renderExemplars(nil); out != "" {
+		t.Errorf("no exemplars should render nothing, got %q", out)
+	}
+	out := renderExemplars([]opstats.BucketExemplar{
+		{LE: "0.005", RequestID: "req-fast", Value: 0.004},
+		{LE: "0.1", RequestID: "req-slow", Value: 0.09},
+	})
+	for _, want := range []string{"brainy-explain", "req-slow", "req-fast", "90.00ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exemplar pane missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "req-slow") > strings.Index(out, "req-fast") {
+		t.Errorf("slowest exemplar should render first:\n%s", out)
+	}
+}
+
+// TestFetchExemplarsFromMetrics parses a real exposition page shape.
+func TestFetchExemplarsFromMetrics(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.Error(w, "wrong path", http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("# TYPE brainy_request_duration_seconds histogram\n" +
+			"brainy_request_duration_seconds_bucket{le=\"0.005\"} 12 # {request_id=\"abc123\"} 0.0041\n" +
+			"brainy_request_duration_seconds_bucket{le=\"+Inf\"} 12\n"))
+	}))
+	defer srv.Close()
+	exs := fetchExemplars(srv.Client(), srv.URL)
+	if len(exs) != 1 || exs[0].RequestID != "abc123" || exs[0].LE != "0.005" {
+		t.Fatalf("parsed exemplars: %+v", exs)
+	}
+	// Best-effort contract: a down or 404 service yields no pane, no error.
+	if exs := fetchExemplars(srv.Client(), srv.URL+"/nope"); exs != nil {
+		t.Fatalf("404 scrape should yield nil, got %+v", exs)
 	}
 }

@@ -259,16 +259,36 @@ func CandidatesWithOriginal(from Kind, orderAware bool) []Kind {
 // that is legal for the given order-awareness — the check the adaptive
 // container runs before hot-migrating a backend.
 func CanReplace(from, to Kind, orderAware bool) bool {
+	return ReplaceVerdict(from, to, orderAware) == ReplaceOK
+}
+
+// Legality verdicts for one replacement, as reported by ReplaceVerdict.
+const (
+	ReplaceOK              = "ok"               // a legal replacement row exists
+	ReplaceNoRule          = "no-rule"          // Table 1 has no row from->to at all
+	ReplaceOrderRestricted = "order-restricted" // rows exist but all are order-oblivious
+)
+
+// ReplaceVerdict explains CanReplace: it names *why* a replacement is legal
+// or not, so decision journals can record the legality verdict instead of a
+// bare boolean. CanReplace(from, to, orderAware) is exactly
+// ReplaceVerdict(...) == ReplaceOK.
+func ReplaceVerdict(from, to Kind, orderAware bool) string {
+	found := false
 	for _, r := range Replacements {
 		if r.From != from || r.To != to {
 			continue
 		}
+		found = true
 		if orderAware && r.OrderOblivious {
 			continue
 		}
-		return true
+		return ReplaceOK
 	}
-	return false
+	if found {
+		return ReplaceOrderRestricted
+	}
+	return ReplaceNoRule
 }
 
 // ModelTargets lists the original kinds that get their own trained model.

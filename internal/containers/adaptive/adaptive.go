@@ -21,12 +21,15 @@
 package adaptive
 
 import (
+	"fmt"
+
 	"repro/internal/adt"
 	"repro/internal/core"
 	"repro/internal/drift"
 	"repro/internal/machine"
 	"repro/internal/opstats"
 	"repro/internal/profile"
+	"repro/internal/serve/flight"
 )
 
 // Config tunes an adaptive container. Kind, ElemSize, and Context are
@@ -65,6 +68,12 @@ type Config struct {
 	// Sink, when non-nil, also receives every profiling window (an
 	// exporter, a ring) alongside the internal drift detector.
 	Sink profile.WindowSink
+	// Journal, when non-nil, receives one flight.Record per migration
+	// decision — applied, completed, and every skip with its reason — in
+	// the same record shape the serving tier journals advise verdicts, so
+	// one /debug/decisions-style view covers the whole
+	// profile → advice → replacement loop.
+	Journal *flight.Ring
 }
 
 func (c Config) withDefaults() Config {
@@ -153,25 +162,61 @@ func New(m *machine.Machine, cfg Config) *Container {
 // confirms new advice. It opens a migration only when the container is
 // idle, out of cooldown, and the replacement row exists.
 func (a *Container) onDrift(ev drift.Event) {
+	// The journaled "from" is the backend running when the advice landed;
+	// captured before begin so the record never depends on migrator
+	// internals mid-transition.
+	from := a.mig.Kind()
 	switch {
 	case a.mig.migrating():
 		a.ignoredBusy++
-	case ev.To == a.mig.Kind():
+		a.journal("busy", from, &ev, 0)
+	case ev.To == from:
 		// Advice caught up with a swap we already made; nothing to do.
+		a.journal("caught-up", from, &ev, 0)
 	case a.ops-a.lastMigEnd < a.cfg.CooldownOps && len(a.migrations) > 0:
 		a.ignoredCooldown++
-	case !adt.CanReplace(a.mig.Kind(), ev.To, a.cfg.OrderAware) || !a.mig.canMigrate():
+		a.journal("cooldown", from, &ev, 0)
+	case !adt.CanReplace(from, ev.To, a.cfg.OrderAware) || !a.mig.canMigrate():
 		a.ignoredIllegal++
+		verdict := adt.ReplaceVerdict(from, ev.To, a.cfg.OrderAware)
+		if verdict == adt.ReplaceOK {
+			verdict = "source-undrainable" // legal row, but the backend cannot hand over
+		}
+		a.journal(verdict, from, &ev, 0)
 	default:
 		a.mig.begin(ev.To)
 		a.migrations = append(a.migrations, Migration{
-			From:       a.mig.Kind(),
+			From:       from,
 			To:         ev.To,
 			StartOp:    a.ops,
 			WindowSeq:  ev.Seq,
 			Confidence: ev.Confidence,
 		})
+		a.journal("applied", from, &ev, 0)
 	}
+}
+
+// journal appends one migration decision to the configured flight ring.
+// Nil ring (the default) costs one branch.
+func (a *Container) journal(verdict string, from adt.Kind, ev *drift.Event, moved int) {
+	if a.cfg.Journal == nil {
+		return
+	}
+	rec := flight.Record{
+		Source:   "migration",
+		Verdict:  verdict,
+		Context:  a.cfg.Context,
+		Instance: fmt.Sprintf("%s#%d", a.cfg.Context, a.cfg.Instance),
+		Kind:     from.String(),
+		Moved:    moved,
+	}
+	if ev != nil {
+		rec.Suggested = ev.To.String()
+		rec.Confidence = ev.Confidence
+		rec.WindowSeq = ev.Seq
+		rec.Votes = ev.Votes
+	}
+	a.cfg.Journal.Append(rec)
 }
 
 // finishOp runs after every interface operation: it advances the op clock
@@ -195,6 +240,9 @@ func (a *Container) settle() {
 	last := &a.migrations[len(a.migrations)-1]
 	last.EndOp = a.ops
 	last.Moved = moved
+	a.journal("completed", last.From, &drift.Event{
+		To: last.To, Confidence: last.Confidence, Seq: last.WindowSeq,
+	}, moved)
 }
 
 // Kind reports the current backend's kind — the observable that changes

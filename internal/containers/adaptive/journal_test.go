@@ -1,0 +1,114 @@
+package adaptive
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/drift"
+	"repro/internal/machine"
+	"repro/internal/serve/flight"
+	"repro/internal/workloads/phases"
+)
+
+// TestMigrationJournal drives the canonical two-phase workload with a flight
+// recorder attached and checks the migration loop leaves a full paper trail:
+// one "applied" record when the drift event triggers the swap and one
+// "completed" record when the background drain finalizes it, both naming the
+// instance and the from -> to pair.
+func TestMigrationJournal(t *testing.T) {
+	ring := flight.NewRing(64, nil)
+	m := machine.New(machine.Core2())
+	a := New(m, Config{
+		Kind:     phases.Original,
+		ElemSize: 8,
+		Context:  phases.Context,
+		Instance: 3,
+		Window:   64,
+		Detector: drift.Config{Window: 2, Hysteresis: 2},
+		Journal:  ring,
+	})
+	phases.Drive(a, phases.Config{})
+	a.FlushWindow()
+
+	if len(a.Migrations()) != 1 {
+		t.Fatalf("migrations = %+v, want exactly one", a.Migrations())
+	}
+	recs := ring.Snapshot()
+	var applied, completed *flight.Record
+	for i := range recs {
+		if recs[i].Source != "migration" {
+			t.Fatalf("unexpected record source: %+v", recs[i])
+		}
+		switch recs[i].Verdict {
+		case "applied":
+			applied = &recs[i]
+		case "completed":
+			completed = &recs[i]
+		}
+	}
+	if applied == nil || completed == nil {
+		t.Fatalf("journal missing applied/completed records: %+v", recs)
+	}
+	wantInstance := phases.Context + "#3"
+	for _, rec := range []*flight.Record{applied, completed} {
+		if rec.Instance != wantInstance || rec.Context != phases.Context {
+			t.Fatalf("record identity: %+v", rec)
+		}
+		if rec.Kind != adt.KindVector.String() || rec.Suggested != adt.KindHashSet.String() {
+			t.Fatalf("record decision: %+v", rec)
+		}
+	}
+	if applied.Seq >= completed.Seq {
+		t.Fatalf("applied (%d) must precede completed (%d)", applied.Seq, completed.Seq)
+	}
+	if applied.Votes < 2 || applied.Confidence <= 0 {
+		t.Fatalf("applied record lost the trigger provenance: %+v", applied)
+	}
+	if completed.Moved <= 0 {
+		t.Fatalf("completed record moved %d elements", completed.Moved)
+	}
+}
+
+// TestMigrationJournalSkips: decisions the container declines are journaled
+// too — here the cooldown after a completed swap absorbs an immediate
+// flap-back and leaves a "cooldown" record saying so.
+func TestMigrationJournalSkips(t *testing.T) {
+	ring := flight.NewRing(64, nil)
+	m := machine.New(machine.Core2())
+	sw := &switchAfter{n: 1, then: adt.KindHashSet}
+	a := New(m, Config{
+		Kind:        adt.KindVector,
+		ElemSize:    8,
+		Context:     "test/journal-skip",
+		Window:      4,
+		Detector:    drift.Config{Window: 1, Hysteresis: 1},
+		Suggest:     sw.suggest,
+		BatchSize:   4,
+		CooldownOps: 1 << 30, // swallow every follow-up decision
+		Journal:     ring,
+	})
+	for i := 0; i < 512; i++ {
+		a.Insert(uint64(i))
+		a.Find(uint64(i))
+	}
+	// After the first swap the suggester keeps advising hash_set while the
+	// detector sees the vector baseline again; the cooldown rejects any
+	// further migration and must say so in the journal.
+	sw.then = adt.KindVector
+	for i := 512; i < 1024; i++ {
+		a.Insert(uint64(i))
+		a.Find(uint64(i))
+	}
+	a.FlushWindow()
+
+	counts := map[string]int{}
+	for _, rec := range ring.Snapshot() {
+		counts[rec.Verdict]++
+	}
+	if counts["applied"] == 0 {
+		t.Fatalf("no applied record: %v", counts)
+	}
+	if counts["cooldown"] == 0 {
+		t.Fatalf("cooldown skip was not journaled: %v", counts)
+	}
+}

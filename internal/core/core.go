@@ -20,7 +20,8 @@ import (
 
 // Brainy is the selector: a set of trained models plus the report logic.
 type Brainy struct {
-	models *training.ModelSet
+	models  *training.ModelSet
+	explain bool
 }
 
 // New builds a selector around a trained model registry.
@@ -33,6 +34,25 @@ func New(models *training.ModelSet) *Brainy {
 
 // Models exposes the underlying registry.
 func (b *Brainy) Models() *training.ModelSet { return b.models }
+
+// SetExplain toggles decision provenance: when on, every Suggestion carries
+// an Explanation with the full per-kind class distribution the verdict was
+// picked from. Off (the default) keeps suggestions lean — the CLI report
+// does not need the losing probabilities.
+func (b *Brainy) SetExplain(on bool) { b.explain = on }
+
+// KindProb is one entry of a class distribution: a candidate kind and the
+// model probability assigned to it.
+type KindProb struct {
+	Kind adt.Kind `json:"kind"`
+	Prob float64  `json:"prob"`
+}
+
+// Explanation is the provenance of one Suggestion: the model's full class
+// distribution, sorted by descending probability (the suggested kind first).
+type Explanation struct {
+	Probs []KindProb `json:"probs"`
+}
 
 // Suggestion is Brainy's verdict for one container instance.
 type Suggestion struct {
@@ -49,6 +69,10 @@ type Suggestion struct {
 	MemOriginal  uint64  `json:"mem_original"`
 	MemSuggested uint64  `json:"mem_suggested"`
 	MemDeltaPct  float64 `json:"mem_delta_pct"`
+
+	// Explanation carries the full class distribution behind the verdict.
+	// Nil unless the Brainy that produced the suggestion has SetExplain on.
+	Explanation *Explanation `json:"explanation,omitempty"`
 }
 
 // String formats the suggestion as one report line.
@@ -71,7 +95,7 @@ func (b *Brainy) Suggest(p *profile.Profile, arch string) (Suggestion, error) {
 	if !ok {
 		return Suggestion{}, fmt.Errorf("core: no model for %v (orderAware=%v) on %s", p.Kind, p.OrderAware, arch)
 	}
-	return suggestionFrom(p, m, m.Net.Probabilities(p.Vector())), nil
+	return suggestionFrom(p, m, m.Net.Probabilities(p.Vector()), b.explain), nil
 }
 
 // SuggestBatch runs the models for many profiles in as few network passes
@@ -114,7 +138,7 @@ func (b *Brainy) SuggestBatch(ps []*profile.Profile, arch string) (sugs []Sugges
 		}
 		probsList := m.Net.ProbabilitiesBatch(xs)
 		for j, i := range idxs {
-			sugs[i] = suggestionFrom(ps[i], m, probsList[j])
+			sugs[i] = suggestionFrom(ps[i], m, probsList[j], b.explain)
 		}
 	}
 	return sugs, errs
@@ -123,7 +147,7 @@ func (b *Brainy) SuggestBatch(ps []*profile.Profile, arch string) (sugs []Sugges
 // suggestionFrom assembles the verdict for one profile from its model's
 // class distribution — the single shared tail of Suggest and SuggestBatch,
 // so the two paths cannot drift apart.
-func suggestionFrom(p *profile.Profile, m *training.Model, probs []float64) Suggestion {
+func suggestionFrom(p *profile.Profile, m *training.Model, probs []float64, explain bool) Suggestion {
 	best := 0
 	for i := 1; i < len(probs); i++ {
 		if probs[i] > probs[best] {
@@ -143,6 +167,14 @@ func suggestionFrom(p *profile.Profile, m *training.Model, probs []float64) Sugg
 	s.MemSuggested = adt.EstimatedBytes(kind, n, p.Stats.ElemSize)
 	if s.MemOriginal > 0 {
 		s.MemDeltaPct = 100 * (float64(s.MemSuggested) - float64(s.MemOriginal)) / float64(s.MemOriginal)
+	}
+	if explain {
+		ex := &Explanation{Probs: make([]KindProb, len(probs))}
+		for i, pr := range probs {
+			ex.Probs[i] = KindProb{Kind: m.Candidates[i], Prob: pr}
+		}
+		sort.SliceStable(ex.Probs, func(a, b int) bool { return ex.Probs[a].Prob > ex.Probs[b].Prob })
+		s.Explanation = ex
 	}
 	return s
 }

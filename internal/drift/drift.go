@@ -76,6 +76,7 @@ type Event struct {
 	From        adt.Kind `json:"from"`       // previously advised kind
 	To          adt.Kind `json:"to"`         // newly advised kind
 	Confidence  float64  `json:"confidence"` // confidence of the confirming verdict
+	Votes       int      `json:"votes"`      // consecutive agreeing verdicts that confirmed it
 }
 
 // String renders the event as one log line.
@@ -241,6 +242,7 @@ func (d *Detector) Observe(rec *profile.WindowRecord, arch string) (*Event, erro
 		From:        st.current,
 		To:          st.pending,
 		Confidence:  sug.Confidence,
+		Votes:       st.streak,
 	}
 	st.current = st.pending
 	st.streak = 0

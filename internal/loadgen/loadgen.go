@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/adt"
 	"repro/internal/machine"
+	"repro/internal/opstats"
 	"repro/internal/profile"
 )
 
@@ -122,6 +123,18 @@ type Report struct {
 	// CacheHitRate is hits/(hits+misses) over the measured phase, scraped
 	// from the server's /metrics page; -1 when the page was unavailable.
 	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// P99Exemplars are the request IDs the server stamped on its slowest
+	// latency-histogram buckets during the run — the concrete requests to
+	// feed brainy-explain when the tail looks wrong. Highest bucket first.
+	P99Exemplars []ExemplarRef `json:"p99_exemplars,omitempty"`
+}
+
+// ExemplarRef names one traceable slow request scraped from /metrics.
+type ExemplarRef struct {
+	BucketLE  string  `json:"bucket_le"`
+	RequestID string  `json:"request_id"`
+	LatencyMs float64 `json:"latency_ms"`
 }
 
 // Runner generates load against one server.
@@ -182,10 +195,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 	return r, nil
 }
 
-// counters is the /metrics scrape the hit rate comes from.
+// counters is the /metrics scrape the hit rate and exemplars come from.
 type counters struct {
 	hits, misses float64
 	ok           bool
+	exemplars    []opstats.BucketExemplar
 }
 
 func (r *Runner) scrape() counters {
@@ -199,6 +213,7 @@ func (r *Runner) scrape() counters {
 		return counters{}
 	}
 	var c counters
+	c.exemplars = opstats.ParseExemplars(string(page), "brainy_request_duration_seconds")
 	for _, line := range strings.Split(string(page), "\n") {
 		var name string
 		var val float64
@@ -274,7 +289,37 @@ func (r *Runner) Run(ctx context.Context) (Report, error) {
 			rep.CacheHitRate = hits / (hits + misses)
 		}
 	}
+	rep.P99Exemplars = p99Exemplars(after.exemplars, rep.LatencyP99Ms)
 	return rep, nil
+}
+
+// p99Exemplars selects the traceable requests worth a second look: every
+// bucket exemplar at or above the measured p99, slowest first — or, when
+// the whole histogram sits under the p99 cut (coarse buckets), the single
+// slowest exemplar so the report always links to at least one request.
+func p99Exemplars(exs []opstats.BucketExemplar, p99Ms float64) []ExemplarRef {
+	var out []ExemplarRef
+	for _, ex := range exs {
+		out = append(out, ExemplarRef{
+			BucketLE:  ex.LE,
+			RequestID: ex.RequestID,
+			LatencyMs: ex.Value * 1000,
+		})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LatencyMs > out[j].LatencyMs })
+	n := 0
+	for _, ex := range out {
+		if ex.LatencyMs >= p99Ms {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return out[:n]
 }
 
 // workerStats is one closed-loop worker's private accounting; nil stats
@@ -338,10 +383,16 @@ func (r *Runner) loop(ctx context.Context, stats []*workerStats) {
 	wg.Wait()
 }
 
-// post issues one request; false means transport failure or non-200. A
-// failure right at ctx expiry is not counted against the server.
+// post issues one request; false means transport failure or non-200. The
+// request runs under its own detached deadline, not the run context: the
+// loop checks the run deadline *between* requests, so an in-flight request
+// always completes and every op the report counts was fully served — the
+// invariant that lets /v1/rollup totals reconcile exactly with the report.
+// A failure right at run expiry is still not counted against the server.
 func (r *Runner) post(ctx context.Context, path string, body []byte) bool {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+	reqCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost,
 		r.cfg.URL+path+"?arch="+r.cfg.Arch, bytes.NewReader(body))
 	if err != nil {
 		return false

@@ -2,13 +2,16 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
 	"repro/internal/adt"
 	"repro/internal/ann"
+	"repro/internal/opstats"
 	"repro/internal/profile"
 	"repro/internal/serve"
 	"repro/internal/training"
@@ -118,7 +121,10 @@ func testServer(t *testing.T) (*serve.Server, string) {
 		Candidates: cands,
 		Net:        ann.New(profile.NumFeatures, len(cands), cfg),
 	})
-	s := serve.New(set, serve.Config{NoRequestLog: true, DriftRules: true})
+	// FlightSize is large so the reconciliation test can resolve any p99
+	// exemplar in the journal: at the default bound a short hot run can
+	// scroll early records out of the ring before the lookup.
+	s := serve.New(set, serve.Config{NoRequestLog: true, DriftRules: true, FlightSize: 1 << 16})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 	return s, ts.URL
@@ -162,5 +168,98 @@ func TestRunnerClosedLoop(t *testing.T) {
 	// repeat, so the measured hit rate must be positive.
 	if rep.CacheHitRate <= 0 {
 		t.Fatalf("cache hit rate = %g, want > 0 under hot-key skew", rep.CacheHitRate)
+	}
+}
+
+// TestP99ExemplarSelection pins the report's exemplar cut: everything at or
+// above the p99 makes it in (slowest first), and a histogram too coarse to
+// clear the cut still links its single slowest request.
+func TestP99ExemplarSelection(t *testing.T) {
+	exs := []opstats.BucketExemplar{
+		{LE: "0.005", RequestID: "fast", Value: 0.004},
+		{LE: "0.1", RequestID: "slowest", Value: 0.09},
+		{LE: "0.025", RequestID: "slow", Value: 0.02},
+	}
+	got := p99Exemplars(exs, 15) // p99 = 15ms: two exemplars clear it
+	if len(got) != 2 || got[0].RequestID != "slowest" || got[1].RequestID != "slow" {
+		t.Fatalf("p99 cut: %+v", got)
+	}
+	if got[0].LatencyMs != 90 || got[0].BucketLE != "0.1" {
+		t.Fatalf("exemplar fields: %+v", got[0])
+	}
+	// Cut above every exemplar: keep the single slowest so the report always
+	// links at least one traceable request.
+	if got := p99Exemplars(exs, 500); len(got) != 1 || got[0].RequestID != "slowest" {
+		t.Fatalf("coarse-bucket fallback: %+v", got)
+	}
+	if got := p99Exemplars(nil, 1); got != nil {
+		t.Fatalf("no exemplars must yield nil, got %+v", got)
+	}
+}
+
+// TestRunReconcilesWithRollupAndExemplars closes the observability loop the
+// CI smoke also checks: after a run, the server-side fleet rollup agrees
+// exactly with the client-side report, and the report links request IDs
+// that resolve in the server's decision journal.
+func TestRunReconcilesWithRollupAndExemplars(t *testing.T) {
+	_, url := testServer(t)
+	r, err := NewRunner(Config{
+		URL:         url,
+		Conns:       2,
+		Duration:    300 * time.Millisecond,
+		Skew:        0.5,
+		Keys:        32,
+		MixAdvise:   2,
+		MixProfiles: 1,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+
+	var roll serve.RollupResponse
+	resp, err := http.Get(url + "/v1/rollup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&roll); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Exact reconciliation: every counted op was fully served, every served
+	// op was counted. One advise decision per advise op (single-profile
+	// bodies), one ingested window per profiles op.
+	if roll.AdviseDecisions != rep.AdviseOps {
+		t.Fatalf("rollup advise_decisions = %d, report advise_ops = %d", roll.AdviseDecisions, rep.AdviseOps)
+	}
+	if roll.Windows != rep.ProfileOps {
+		t.Fatalf("rollup windows = %d, report profile_ops = %d", roll.Windows, rep.ProfileOps)
+	}
+
+	if len(rep.P99Exemplars) == 0 {
+		t.Fatal("report carries no p99 exemplars")
+	}
+	// Every linked request ID resolves in the decision journal — the
+	// brainy-explain handoff.
+	for _, ex := range rep.P99Exemplars {
+		var dec serve.DecisionsResponse
+		dresp, err := http.Get(url + "/debug/decisions?format=json&request_id=" + ex.RequestID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(dresp.Body).Decode(&dec); err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+		if dec.Returned == 0 {
+			t.Fatalf("exemplar %s not found in the decision journal", ex.RequestID)
+		}
 	}
 }

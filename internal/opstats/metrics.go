@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -145,6 +146,13 @@ type Histogram struct {
 	count  uint64
 	min    float64 // smallest observed sample; valid only when count > 0
 	max    float64 // largest observed sample; valid only when count > 0
+
+	// Exemplars: the request ID and value of the most recent ObserveExemplar
+	// per bucket, so a latency bucket on /metrics links back to a concrete
+	// request. Allocated lazily on the first ObserveExemplar — a histogram
+	// observed only through Observe carries no exemplar state at all.
+	exemplarIDs  []string
+	exemplarVals []float64
 }
 
 // DefBuckets is a latency bucket layout (seconds) that resolves both
@@ -185,6 +193,33 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
+// ObserveExemplar records one sample like Observe and additionally retains
+// id as the bucket's exemplar: the identifier of the most recent request
+// that landed in that bucket. An empty id observes without touching the
+// exemplar state.
+func (h *Histogram) ObserveExemplar(v float64, id string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	if id != "" {
+		if h.exemplarIDs == nil {
+			h.exemplarIDs = make([]string, len(h.counts))
+			h.exemplarVals = make([]float64, len(h.counts))
+		}
+		h.exemplarIDs[i] = id
+		h.exemplarVals[i] = v
+	}
+	h.mu.Unlock()
+}
+
 // HistogramSnapshot is a consistent copy of a histogram's state.
 type HistogramSnapshot struct {
 	Bounds []float64 // upper bounds, ascending
@@ -193,6 +228,11 @@ type HistogramSnapshot struct {
 	Count  uint64
 	Min    float64 // smallest observed sample; 0 when Count == 0
 	Max    float64 // largest observed sample; 0 when Count == 0
+
+	// Per-bucket exemplars (parallel to Counts); nil unless ObserveExemplar
+	// has run. An empty ID means that bucket has no exemplar yet.
+	ExemplarIDs  []string
+	ExemplarVals []float64
 }
 
 // Snapshot copies the histogram state under the lock.
@@ -206,6 +246,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Count:  h.count,
 		Min:    h.min,
 		Max:    h.max,
+	}
+	if h.exemplarIDs != nil {
+		s.ExemplarIDs = append([]string(nil), h.exemplarIDs...)
+		s.ExemplarVals = append([]float64(nil), h.exemplarVals...)
 	}
 	return s
 }
@@ -223,15 +267,25 @@ func (h *Histogram) Count() uint64 {
 // own metadata — the exact extremes of the distribution, which bucket
 // bounds only bracket. They are omitted while empty so an unexercised
 // histogram never exposes a misleading zero.
+// Buckets that carry an exemplar append it OpenMetrics-style
+// (`# {request_id="..."} value`) so scrapes can link a bucket to the most
+// recent request that landed in it; histograms never fed through
+// ObserveExemplar render exactly as before.
 func (h *Histogram) Expose(w io.Writer, name string) {
 	s := h.Snapshot()
+	exemplar := func(i int) string {
+		if s.ExemplarIDs == nil || s.ExemplarIDs[i] == "" {
+			return ""
+		}
+		return fmt.Sprintf(" # {request_id=%q} %g", s.ExemplarIDs[i], s.ExemplarVals[i])
+	}
 	var cum uint64
 	for i, b := range s.Bounds {
 		cum += s.Counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, formatBound(b), cum, exemplar(i))
 	}
 	cum += s.Counts[len(s.Counts)-1]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, cum, exemplar(len(s.Counts)-1))
 	fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum)
 	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
 	if s.Count > 0 {
@@ -245,4 +299,40 @@ func formatBound(b float64) string {
 		return "+Inf"
 	}
 	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// BucketExemplar is one parsed exemplar from an exposition page: which
+// bucket it annotates, the request that produced it, and the exact sample.
+type BucketExemplar struct {
+	LE        string  `json:"bucket_le"`
+	RequestID string  `json:"request_id"`
+	Value     float64 `json:"value"`
+}
+
+// ParseExemplars extracts the exemplars of one histogram from an exposition
+// page rendered by Expose — the scrape-side mirror of the `# {...}` suffix.
+// Results follow bucket order (ascending le). Buckets without an exemplar
+// are omitted.
+func ParseExemplars(page, name string) []BucketExemplar {
+	var out []BucketExemplar
+	prefix := name + "_bucket{le=\""
+	for _, line := range strings.Split(page, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		leEnd := strings.IndexByte(rest, '"')
+		if leEnd < 0 {
+			continue
+		}
+		le := rest[:leEnd]
+		var ex BucketExemplar
+		var cum uint64
+		if n, _ := fmt.Sscanf(rest[leEnd:], "\"} %d # {request_id=%q} %g", &cum, &ex.RequestID, &ex.Value); n != 3 {
+			continue
+		}
+		ex.LE = le
+		out = append(out, ex)
+	}
+	return out
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/profile"
@@ -79,7 +80,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	span.SetStr("arch", arch)
 	span.SetInt("profiles", int64(len(profiles)))
 	span.SetStr("request_id", RequestIDFromContext(ctx))
-	report, err := s.analyze(ctx, profiles, arch)
+	report, err := s.analyze(ctx, profiles, arch, RequestIDFromContext(ctx))
 	span.End()
 	if err != nil {
 		if errors.Is(err, shard.ErrClosed) {
@@ -104,6 +105,14 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	if resp.Plan == nil {
 		resp.Plan = []core.PlanEntry{}
 	}
+	// Suggestions carry their class distribution internally (the flight
+	// recorder journals it); the response only includes it on request, so
+	// the default wire format matches the CLI byte for byte.
+	if ex := r.URL.Query().Get("explain"); ex != "1" && ex != "true" {
+		for i := range resp.Suggestions {
+			resp.Suggestions[i].Explanation = nil
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -115,7 +124,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 // through core.SuggestBatch — bit-identical to Suggest — the response
 // matches what the sequential CLI computes for the same trace, suggestion
 // order and all.
-func (s *Server) analyze(ctx context.Context, profiles []profile.Profile, arch string) (core.Report, error) {
+func (s *Server) analyze(ctx context.Context, profiles []profile.Profile, arch, reqID string) (core.Report, error) {
 	rep := core.Report{Arch: arch}
 	if err := ctx.Err(); err != nil {
 		return rep, err
@@ -130,20 +139,23 @@ func (s *Server) analyze(ctx context.Context, profiles []profile.Profile, arch s
 
 	sugs := make([]core.Suggestion, len(profiles))
 	errs := make([]error, len(profiles))
+	shs := make([]*advisorShard, len(profiles))
 	var wg sync.WaitGroup
 	var slots []*inferSlot
 	for i := range profiles {
 		p := &profiles[i]
 		key := inferenceKey(p, arch)
 		sh := s.shardForKey(key)
+		shs[i] = sh
 		if sug, ok := sh.cache.Get(key); ok {
 			s.metrics.CacheHits.Inc()
 			sug.Context = p.Context
 			sugs[i] = sug
+			sh.recordAdvise(p, arch, key, sug, nil, reqID, "cache", 0, 0, 0)
 			continue
 		}
 		s.metrics.CacheMisses.Inc()
-		slot := &inferSlot{p: p, arch: arch, key: key, idx: i, wg: &wg}
+		slot := &inferSlot{p: p, arch: arch, key: key, idx: i, reqID: reqID, start: time.Now(), wg: &wg}
 		wg.Add(1)
 		if err := sh.batcher.Submit(ctx, slot); err != nil {
 			wg.Done()
@@ -167,6 +179,10 @@ func (s *Server) analyze(ctx context.Context, profiles []profile.Profile, arch s
 		}
 	}
 
+	// Rollup attribution happens only here, after every slot resolved: a
+	// request that errors out or is abandoned mid-flight contributes
+	// nothing, so the fleet's advise_decisions total reconciles exactly
+	// with the suggestions clients actually received.
 	for i := range profiles {
 		if errs[i] != nil {
 			rep.Skipped = append(rep.Skipped, profiles[i].Context)
@@ -175,6 +191,7 @@ func (s *Server) analyze(ctx context.Context, profiles []profile.Profile, arch s
 		sug := sugs[i]
 		sug.CyclesPct = profiles[i].Cycles / total
 		rep.Suggestions = append(rep.Suggestions, sug)
+		shs[i].rollup.countAdvise(&profiles[i], sug.Suggested)
 	}
 	sort.SliceStable(rep.Suggestions, func(i, j int) bool {
 		return rep.Suggestions[i].CyclesPct > rep.Suggestions[j].CyclesPct

@@ -37,6 +37,7 @@ type DashboardRow struct {
 	Windows    int               `json:"windows"`
 	Ops        uint64            `json:"ops"`
 	OutOfOrder int               `json:"out_of_order"`
+	Touch      uint64            `json:"touch"` // global recency stamp of the last ingest
 	Advised    bool              `json:"advised"`
 	Initial    string            `json:"initial"` // first advised kind ("" until advised)
 	Current    string            `json:"current"` // currently advised kind
@@ -48,15 +49,19 @@ type DashboardRow struct {
 }
 
 // DashboardResponse is the ?format=json dashboard body — what brainy-top
-// polls.
+// polls. The JSON shape is a locked schema: rows are sorted by instance
+// key (consumers wanting recency order sort on Touch), and SchemaVersion
+// only moves on a breaking change. Version 2 added schema_version, touch,
+// and the key-sorted row order.
 type DashboardResponse struct {
-	Instances    int            `json:"instances"`
-	MaxInstances int            `json:"max_instances"`
-	Windows      uint64         `json:"windows"`
-	DriftEvents  uint64         `json:"drift_events"`
-	DriftSkipped uint64         `json:"drift_skipped"`
-	OutOfOrder   uint64         `json:"out_of_order"`
-	Rows         []DashboardRow `json:"rows"`
+	SchemaVersion int            `json:"schema_version"`
+	Instances     int            `json:"instances"`
+	MaxInstances  int            `json:"max_instances"`
+	Windows       uint64         `json:"windows"`
+	DriftEvents   uint64         `json:"drift_events"`
+	DriftSkipped  uint64         `json:"drift_skipped"`
+	OutOfOrder    uint64         `json:"out_of_order"`
+	Rows          []DashboardRow `json:"rows"`
 }
 
 // handleDebugBrainy renders the windowed-profiling status page: one row per
@@ -76,6 +81,11 @@ func (s *Server) handleDebugBrainy(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, renderDashboardText(resp))
 	case "json":
+		// The JSON schema orders rows by instance key: stable across
+		// requests regardless of ingest interleaving, so goldens and diffs
+		// of two scrapes compare meaningfully. Text keeps recency order —
+		// a terminal wants active instances on top.
+		sort.Slice(resp.Rows, func(i, j int) bool { return resp.Rows[i].Key < resp.Rows[j].Key })
 		writeJSON(w, http.StatusOK, resp)
 	case "html":
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -99,12 +109,13 @@ func (s *Server) dashboard() DashboardResponse {
 		}
 	}
 	resp := DashboardResponse{
-		MaxInstances: s.cfg.MaxInstances,
-		Windows:      s.metrics.ProfileWindows.Value(),
-		DriftEvents:  s.metrics.DriftEvents.Value(),
-		DriftSkipped: s.metrics.DriftSkipped.Value(),
-		OutOfOrder:   s.metrics.WindowsOutOfOrder.Value(),
-		Rows:         []DashboardRow{},
+		SchemaVersion: 2,
+		MaxInstances:  s.cfg.MaxInstances,
+		Windows:       s.metrics.ProfileWindows.Value(),
+		DriftEvents:   s.metrics.DriftEvents.Value(),
+		DriftSkipped:  s.metrics.DriftSkipped.Value(),
+		OutOfOrder:    s.metrics.WindowsOutOfOrder.Value(),
+		Rows:          []DashboardRow{},
 	}
 	var views []timelineView
 	for _, sh := range s.shards {
@@ -120,6 +131,7 @@ func (s *Server) dashboard() DashboardResponse {
 			Windows:    tl.Windows,
 			Ops:        tl.Ops,
 			OutOfOrder: tl.OutOfOrder,
+			Touch:      tl.Touch,
 			Timeline:   []DashboardWindow{},
 		}
 		if st, ok := statuses[tl.Key]; ok && st.Advised {

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/serve/flight"
+)
+
+// decisionsPath is where the decision journal mounts.
+const decisionsPath = "/debug/decisions"
+
+// DecisionsResponse is the ?format=json body of GET /debug/decisions: the
+// merged flight-recorder journal, oldest first, after filtering.
+type DecisionsResponse struct {
+	SchemaVersion int             `json:"schema_version"`
+	Enabled       bool            `json:"enabled"`
+	Capacity      int             `json:"capacity"` // retained records across shards
+	Total         uint64          `json:"total"`    // records ever journaled (including overwritten)
+	Returned      int             `json:"returned"`
+	Records       []flight.Record `json:"records"`
+}
+
+// decisionFilter is the parsed query of one /debug/decisions request.
+type decisionFilter struct {
+	context   string
+	instance  string
+	kind      string
+	source    string
+	requestID string
+	shard     int // -1 = any
+	limit     int // 0 = all; otherwise keep the newest N
+}
+
+func (f decisionFilter) match(rec *flight.Record) bool {
+	if f.context != "" && rec.Context != f.context {
+		return false
+	}
+	if f.instance != "" && rec.Instance != f.instance {
+		return false
+	}
+	if f.kind != "" && rec.Kind != f.kind {
+		return false
+	}
+	if f.source != "" && rec.Source != f.source {
+		return false
+	}
+	if f.requestID != "" && rec.RequestID != f.requestID {
+		return false
+	}
+	if f.shard >= 0 && rec.Shard != f.shard {
+		return false
+	}
+	return true
+}
+
+// decisions merges every shard's journal, sorts by global sequence, and
+// applies the filter.
+func (s *Server) decisions(f decisionFilter) DecisionsResponse {
+	resp := DecisionsResponse{SchemaVersion: 1, Records: []flight.Record{}}
+	for _, sh := range s.shards {
+		if sh.flight != nil {
+			resp.Enabled = true
+		}
+		resp.Capacity += sh.flight.Cap()
+		resp.Total += sh.flight.Total()
+		for _, rec := range sh.flight.Snapshot() {
+			if f.match(&rec) {
+				resp.Records = append(resp.Records, rec)
+			}
+		}
+	}
+	sort.Slice(resp.Records, func(i, j int) bool { return resp.Records[i].Seq < resp.Records[j].Seq })
+	if f.limit > 0 && len(resp.Records) > f.limit {
+		resp.Records = resp.Records[len(resp.Records)-f.limit:]
+	}
+	resp.Returned = len(resp.Records)
+	return resp
+}
+
+// handleDecisions serves the decision journal. ?format=text (default)
+// renders a terminal table; ?format=json returns the full records.
+// Filters: context, instance, kind, source, request_id, shard, limit.
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	f := decisionFilter{
+		context:   q.Get("context"),
+		instance:  q.Get("instance"),
+		kind:      q.Get("kind"),
+		source:    q.Get("source"),
+		requestID: q.Get("request_id"),
+		shard:     -1,
+	}
+	if v := q.Get("shard"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "shard must be an integer")
+			return
+		}
+		f.shard = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		f.limit = n
+	}
+	resp := s.decisions(f)
+	switch q.Get("format") {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, renderDecisionsText(resp))
+	case "json":
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		writeError(w, http.StatusBadRequest, "format must be text or json")
+	}
+}
+
+// renderDecisionsText renders the journal for terminals, oldest first. The
+// output contains no wall-clock stamps, so a fixed record sequence renders
+// byte-identically — the golden-test contract.
+func renderDecisionsText(d DecisionsResponse) string {
+	var b strings.Builder
+	b.WriteString("brainy decision journal\n")
+	fmt.Fprintf(&b, "journaled %d  retained %d/%d  shown %d\n\n", d.Total, len(d.Records), d.Capacity, d.Returned)
+	if !d.Enabled {
+		b.WriteString("flight recorder disabled: restart with a non-negative flight size\n")
+		return b.String()
+	}
+	if len(d.Records) == 0 {
+		b.WriteString("no decisions journaled yet (or none match the filter)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%6s %-9s %-12s %5s %-6s %-24s %-22s %5s %8s  %s\n",
+		"SEQ", "SOURCE", "VERDICT", "SHARD", "PATH", "WHO", "DECISION", "CONF", "LAT", "DISTRIBUTION")
+	for _, rec := range d.Records {
+		who := rec.Context
+		if rec.Instance != "" {
+			who = rec.Instance
+		}
+		decision := rec.Kind
+		if rec.Suggested != "" {
+			decision = rec.Kind + " -> " + rec.Suggested
+		}
+		conf := "    -"
+		if rec.Confidence > 0 {
+			conf = fmt.Sprintf("%5.2f", rec.Confidence)
+		}
+		lat := "       -"
+		if rec.LatencyNs > 0 {
+			lat = fmt.Sprintf("%7.1fu", float64(rec.LatencyNs)/1e3)
+		}
+		var dist strings.Builder
+		for i, kp := range rec.Probs {
+			if i == 3 {
+				dist.WriteString(" ...")
+				break
+			}
+			if i > 0 {
+				dist.WriteByte(' ')
+			}
+			fmt.Fprintf(&dist, "%s:%.2f", kp.Kind, kp.Prob)
+		}
+		fmt.Fprintf(&b, "%6d %-9s %-12s %5d %-6s %-24s %-22s %s %s  %s\n",
+			rec.Seq, rec.Source, rec.Verdict, rec.Shard, rec.Path, who, decision, conf, lat, dist.String())
+	}
+	b.WriteString("\nfilters: ?context= ?instance= ?kind= ?source= ?request_id= ?shard= ?limit=  (&format=json for full records)\n")
+	return b.String()
+}

@@ -1,7 +1,12 @@
 package serve
 
 import (
+	"fmt"
+	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
 
 	"repro/internal/mem"
 	"repro/internal/opstats"
@@ -93,6 +98,27 @@ func NewMetrics() *Metrics {
 	reg.GaugeFunc("brainy_arena_bytes", "Simulated bytes currently reserved by live flat-container arenas.",
 		func() float64 { return float64(mem.TotalArenaBytes()) })
 	return m
+}
+
+// registerIdentity installs the process-identity metrics: a build-info
+// gauge whose labels name the binary version, Go toolchain, and model
+// registry fingerprint (value always 1, the Prometheus info-metric idiom),
+// and an uptime gauge read off the wall clock at exposition time. Called
+// once from New — identity is per-server, not per-metric-set.
+func (m *Metrics) registerIdentity(fingerprint string, start time.Time) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	labels := fmt.Sprintf("version=%q,go_version=%q,registry_fingerprint=%q",
+		version, runtime.Version(), fingerprint)
+	m.reg.MustRegister("brainy_build_info",
+		"Build and model-registry identity; the value is always 1.",
+		telemetry.TypeGauge, func(w io.Writer) {
+			fmt.Fprintf(w, "brainy_build_info{%s} 1\n", labels)
+		})
+	m.reg.GaugeFunc("brainy_uptime_seconds", "Seconds since the server was constructed.",
+		func() float64 { return time.Since(start).Seconds() })
 }
 
 // Registry exposes the underlying registry, for embedders that want to

@@ -141,7 +141,15 @@ func (s *Server) observe(next http.Handler) http.Handler {
 		}
 		elapsed := time.Since(start)
 		s.requestCounter(r.URL.Path, sw.status).Inc()
-		s.metrics.Latency.Observe(elapsed.Seconds())
+		// Advise requests stamp their correlation ID as the latency
+		// histogram's bucket exemplar, so a p99 spike on /metrics links
+		// straight to a journaled decision. Only the advise path: exemplars
+		// from scrapes or ingest would evict the IDs worth investigating.
+		if r.URL.Path == "/v1/advise" {
+			s.metrics.Latency.ObserveExemplar(elapsed.Seconds(), id)
+		} else {
+			s.metrics.Latency.Observe(elapsed.Seconds())
+		}
 		if span != nil {
 			span.SetInt("status", int64(sw.status))
 			span.End()

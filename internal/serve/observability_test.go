@@ -161,7 +161,8 @@ func TestMetricsPageWellFormed(t *testing.T) {
 		var keep []string
 		for _, l := range strings.Split(s, "\n") {
 			if strings.Contains(l, `path="/metrics"`) ||
-				strings.HasPrefix(l, "brainy_request_duration_seconds") {
+				strings.HasPrefix(l, "brainy_request_duration_seconds") ||
+				strings.HasPrefix(l, "brainy_uptime_seconds") {
 				continue
 			}
 			keep = append(keep, l)

@@ -56,12 +56,13 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 		// timeline and drift state; everything below touches only that
 		// shard (plus shared atomic counters).
 		sh := s.shardForInstance(rec.InstanceKey())
-		outOfOrder, evicted := sh.timelines.add(rec, s.touchSeq.Add(1))
-		if outOfOrder {
+		out := sh.timelines.add(rec, s.touchSeq.Add(1))
+		sh.rollup.ingestWindow(rec, out)
+		if out.outOfOrder {
 			resp.OutOfOrder++
 			s.metrics.WindowsOutOfOrder.Inc()
 		}
-		if evicted {
+		if out.evicted {
 			s.metrics.TimelineEvictions.Inc()
 		}
 		resp.Accepted++
@@ -75,6 +76,8 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 		}
 		if ev != nil {
 			resp.Drift = append(resp.Drift, *ev)
+			sh.rollup.countDrift(rec.Kind)
+			sh.recordDrift(ev, rec)
 			s.log.Info("phase drift", "instance", ev.InstanceKey,
 				"from", ev.From.String(), "to", ev.To.String(),
 				"window", ev.Seq, "confidence", ev.Confidence)

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/drift"
+	"repro/internal/serve/flight"
 	"repro/internal/serve/shard"
 	"repro/internal/telemetry"
 	"repro/internal/training"
@@ -100,6 +101,12 @@ type Config struct {
 	// blend and confirmation streak; zero uses the drift package defaults.
 	DriftWindow     int
 	DriftHysteresis int
+	// FlightSize bounds the decision flight recorder: each shard journals
+	// its most recent advise decisions into a ring of this many records,
+	// served on /debug/decisions. 0 uses the default (256 per shard),
+	// negative disables recording entirely (the advise path then skips
+	// journaling at the cost of a nil check).
+	FlightSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +152,9 @@ func (c Config) withDefaults() Config {
 	if c.TimelineWindows <= 0 {
 		c.TimelineWindows = 32
 	}
+	if c.FlightSize == 0 {
+		c.FlightSize = 256
+	}
 	return c
 }
 
@@ -169,6 +179,20 @@ type Server struct {
 	// An atomic counter is the only state shards share on the hot path.
 	touchSeq atomic.Uint64
 
+	// decSeq orders flight-recorder records across every shard's ring, so
+	// merged /debug/decisions snapshots sort into one journal; batchSeq
+	// names each shard batch evaluation so records from one ANN matrix
+	// pass can be grouped after the fact.
+	decSeq   atomic.Uint64
+	batchSeq atomic.Uint64
+
+	// start and fingerprint identify this process on /metrics
+	// (brainy_build_info, brainy_uptime_seconds) and in every journaled
+	// decision: a record is only interpretable against the model registry
+	// that produced it.
+	start       time.Time
+	fingerprint string
+
 	closeOnce sync.Once
 
 	// routes holds the precomputed request-counter cache for every path the
@@ -185,14 +209,21 @@ func New(models *training.ModelSet, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
 	s := &Server{
-		cfg:        cfg,
-		brainy:     core.New(models),
-		metrics:    m,
-		log:        cfg.Logger,
-		tracer:     cfg.Tracer,
-		routes:     make(map[string]*routeCounters),
-		otherRoute: newRouteCounters(otherPath, m.Requests),
+		cfg:         cfg,
+		brainy:      core.New(models),
+		metrics:     m,
+		log:         cfg.Logger,
+		tracer:      cfg.Tracer,
+		start:       time.Now(),
+		fingerprint: models.Fingerprint(),
+		routes:      make(map[string]*routeCounters),
+		otherRoute:  newRouteCounters(otherPath, m.Requests),
 	}
+	// Every suggestion carries its class distribution so the flight
+	// recorder can journal decision provenance; responses strip it unless
+	// the client asked (?explain=1), keeping the wire format unchanged.
+	s.brainy.SetExplain(true)
+	m.registerIdentity(s.fingerprint, s.start)
 	// Per-shard bounds divide the configured totals, rounding up so the
 	// fleet never retains less than a single-shard server would. A negative
 	// CacheSize still disables caching on every shard.
@@ -208,8 +239,13 @@ func New(models *training.ModelSet, cfg Config) *Server {
 	for i := range s.shards {
 		sh := &advisorShard{
 			srv:       s,
+			id:        i,
 			cache:     newLRUCache(perCache),
 			timelines: newTimelineStore(perInstances, cfg.TimelineWindows),
+			rollup:    newRollupState(),
+		}
+		if cfg.FlightSize > 0 {
+			sh.flight = flight.NewRing(cfg.FlightSize, &s.decSeq)
 		}
 		suggest := sh.cachingSuggester()
 		if cfg.DriftRules {
@@ -230,7 +266,7 @@ func New(models *training.ModelSet, cfg Config) *Server {
 		s.shards[i] = sh
 	}
 	m.Shards.Set(float64(cfg.Shards))
-	for _, path := range []string{"/v1/advise", "/v1/profiles", "/healthz", "/metrics", debugBrainyPath} {
+	for _, path := range []string{"/v1/advise", "/v1/profiles", "/v1/rollup", "/healthz", "/metrics", debugBrainyPath, decisionsPath} {
 		s.routes[path] = newRouteCounters(path, m.Requests)
 	}
 	if cfg.EnablePprof {
@@ -264,7 +300,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/advise", s.handleAdvise)
 	mux.HandleFunc("/v1/profiles", s.handleProfiles)
+	mux.HandleFunc("/v1/rollup", s.handleRollup)
 	mux.HandleFunc(debugBrainyPath, s.handleDebugBrainy)
+	mux.HandleFunc(decisionsPath, s.handleDecisions)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.metrics)
 	if s.cfg.EnablePprof {

@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"encoding/hex"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/drift"
 	"repro/internal/profile"
+	"repro/internal/serve/flight"
 	"repro/internal/serve/shard"
 )
 
@@ -24,10 +27,17 @@ import (
 // batching within one.
 type advisorShard struct {
 	srv       *Server
+	id        int
 	cache     *lruCache
 	timelines *timelineStore
 	drifts    *drift.Detector
 	batcher   *shard.Batcher[*inferSlot]
+
+	// flight journals this shard's advise decisions (nil when recording is
+	// disabled — every journaling site is a nil check away from free).
+	flight *flight.Ring
+	// rollup is this shard's incremental contribution to /v1/rollup.
+	rollup *rollupState
 }
 
 // inferSlot is one pending inference travelling from the advise handler to
@@ -40,6 +50,12 @@ type inferSlot struct {
 	arch string
 	key  cacheKey
 	idx  int
+
+	// reqID and start carry decision provenance into the batch loop: which
+	// request queued this inference and when, so the journaled record can
+	// report submit-to-resolution latency.
+	reqID string
+	start time.Time
 
 	sug core.Suggestion
 	err error
@@ -63,7 +79,91 @@ func (s *Server) shardForInstance(key string) *advisorShard {
 // missing the cache from many concurrent requests at once) are deduplicated
 // and evaluated once; distinct inferences sharing a model go through the
 // net as one ProbabilitiesBatch matrix pass via core.SuggestBatch.
+// recordAdvise journals one advise verdict into the shard's flight ring.
+// A nil err is verdict "ok"; otherwise "no-model" (the only way Suggest
+// fails). With recording disabled (nil ring) this is one branch and no
+// allocation — the zero-cost contract the AllocsPerRun test pins.
+func (sh *advisorShard) recordAdvise(p *profile.Profile, arch string, key cacheKey, sug core.Suggestion, err error, reqID, path string, batchID uint64, batchSize int, lat time.Duration) {
+	if sh.flight == nil {
+		return
+	}
+	rec := flight.Record{
+		Source:    "advise",
+		Verdict:   "ok",
+		RequestID: reqID,
+		Context:   p.Context,
+		Shard:     sh.id,
+		Arch:      arch,
+		Digest:    hex.EncodeToString(key[:8]),
+		Kind:      p.Kind.String(),
+		Path:      path,
+		BatchID:   batchID,
+		BatchSize: batchSize,
+		Registry:  sh.srv.fingerprint,
+		Drift:     sh.srv.driftStateFor(p.Context),
+		LatencyNs: lat.Nanoseconds(),
+		Features:  p.Vector(),
+	}
+	if err != nil {
+		rec.Verdict = "no-model"
+	} else {
+		rec.Suggested = sug.Suggested.String()
+		rec.Confidence = sug.Confidence
+		if sug.Explanation != nil {
+			rec.Probs = make([]flight.KindProb, len(sug.Explanation.Probs))
+			for i, kp := range sug.Explanation.Probs {
+				rec.Probs[i] = flight.KindProb{Kind: kp.Kind.String(), Prob: kp.Prob}
+			}
+		}
+	}
+	sh.flight.Append(rec)
+}
+
+// recordDrift journals one confirmed phase-drift event, so the journal
+// interleaves advice and the divergences that later overturn it.
+func (sh *advisorShard) recordDrift(ev *drift.Event, rec *profile.WindowRecord) {
+	if sh.flight == nil {
+		return
+	}
+	sh.flight.Append(flight.Record{
+		Source:     "drift",
+		Verdict:    "confirmed",
+		Context:    ev.Context,
+		Instance:   ev.InstanceKey,
+		Shard:      sh.id,
+		Kind:       ev.From.String(),
+		Suggested:  ev.To.String(),
+		Confidence: ev.Confidence,
+		Registry:   sh.srv.fingerprint,
+		WindowSeq:  ev.Seq,
+		Votes:      ev.Votes,
+		Features:   rec.Vector(),
+	})
+}
+
+// driftStateFor summarizes the drift detector's view of a context for a
+// journaled record: best-effort, keyed on the convention that instance 0
+// carries a context's primary timeline. "" means never seen on the ingest
+// path, "stable" means advice never moved, "a->b" is the latest move.
+func (s *Server) driftStateFor(context string) string {
+	st, ok := s.shardForInstance(context + "#0").drifts.Status(context + "#0")
+	if !ok || !st.Advised {
+		return ""
+	}
+	if !st.Drifted() {
+		return "stable"
+	}
+	return st.Initial.String() + "->" + st.Current.String()
+}
+
 func (sh *advisorShard) runBatch(items []*inferSlot) {
+	// One batch ID per evaluation pass: every decision journaled below
+	// carries it, so /debug/decisions can reassemble which requests were
+	// coalesced into one matrix pass.
+	var batchID uint64
+	if sh.flight != nil {
+		batchID = sh.srv.batchSeq.Add(1)
+	}
 	// Group identical inferences, preserving first-seen order so the
 	// evaluation sequence is deterministic.
 	order := make([]cacheKey, 0, len(items))
@@ -118,6 +218,15 @@ func (sh *advisorShard) runBatch(items []*inferSlot) {
 		}
 	}
 
+	// Journal before signalling completion: by the time the handler's
+	// response is on the wire, the decision is already queryable on
+	// /debug/decisions (the round-trip brainy-explain depends on).
+	if sh.flight != nil {
+		for _, it := range items {
+			sh.recordAdvise(it.p, it.arch, it.key, it.sug, it.err, it.reqID, "batch",
+				batchID, len(items), time.Since(it.start))
+		}
+	}
 	for _, it := range items {
 		it.wg.Done()
 	}

@@ -56,12 +56,25 @@ func newTimelineStore(maxInstances, ringSize int) *timelineStore {
 	}
 }
 
+// addOutcome reports everything one ingest changed, so the caller can keep
+// incremental per-kind aggregates (the /v1/rollup state) in lockstep with
+// the store: instance creations and evictions move instance counts,
+// kind changes are observed migrations.
+type addOutcome struct {
+	outOfOrder  bool
+	isNew       bool     // a timeline was created for this instance
+	kindChanged bool     // the instance's backend changed mid-timeline
+	prevKind    adt.Kind // valid when kindChanged
+	evicted     bool     // a timeline was evicted to make room
+	evictedKind adt.Kind // valid when evicted
+}
+
 // add ingests one window into its instance's timeline, creating (and, at
 // the bound, evicting) as needed, stamping the timeline with the caller's
-// recency stamp. It reports whether the window was out of order and whether
-// a timeline was evicted to make room.
-func (s *timelineStore) add(w *profile.WindowRecord, touch uint64) (outOfOrder, evicted bool) {
+// recency stamp.
+func (s *timelineStore) add(w *profile.WindowRecord, touch uint64) addOutcome {
 	key := w.InstanceKey()
+	var out addOutcome
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.items[key]
@@ -76,12 +89,15 @@ func (s *timelineStore) add(w *profile.WindowRecord, touch uint64) (outOfOrder, 
 		}
 		el = s.order.PushFront(tl)
 		s.items[key] = el
+		out.isNew = true
 		if len(s.items) > s.maxInst {
 			oldest := s.order.Back()
 			s.order.Remove(oldest)
-			delete(s.items, oldest.Value.(*timeline).key)
+			victim := oldest.Value.(*timeline)
+			delete(s.items, victim.key)
 			s.evictions++
-			evicted = true
+			out.evicted = true
+			out.evictedKind = victim.kind
 		}
 	} else {
 		s.order.MoveToFront(el)
@@ -91,17 +107,21 @@ func (s *timelineStore) add(w *profile.WindowRecord, touch uint64) (outOfOrder, 
 	if tl.windows > 0 && w.Seq <= tl.lastSeq {
 		tl.outOfOrder++
 		s.totalOutOfO++
-		outOfOrder = true
+		out.outOfOrder = true
 	}
 	if w.Seq > tl.lastSeq {
 		tl.lastSeq = w.Seq
+	}
+	if !out.isNew && w.Kind != tl.kind {
+		out.kindChanged = true
+		out.prevKind = tl.kind
 	}
 	tl.windows++
 	tl.ops += w.Ops()
 	tl.kind = w.Kind
 	tl.recent.EmitWindow(w)
 	s.totalWin++
-	return outOfOrder, evicted
+	return out
 }
 
 // timelineView is a consistent copy of one timeline, for rendering.

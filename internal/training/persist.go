@@ -2,6 +2,8 @@ package training
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -116,6 +118,21 @@ func (s *ModelSet) Save(w io.Writer) error {
 		out = append(out, sm)
 	}
 	return json.NewEncoder(w).Encode(out)
+}
+
+// Fingerprint is a short stable identity of the registry's exact contents:
+// a SHA-256 over the canonical Save encoding, truncated to 12 hex digits.
+// Because Save is deterministic (models sorted, empty set as []), two
+// registries fingerprint equal exactly when they would serialize
+// byte-identically — the deploy-correlation label behind
+// brainy_build_info and every decision provenance record.
+func (s *ModelSet) Fingerprint() string {
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:6])
 }
 
 // LoadModelSet reads a model registry written by Save. Every entry is

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Check that a server's fleet rollup reconciles exactly with a loadgen run.
+
+Usage:
+    check_provenance.py --report report.json --rollup rollup.json
+
+The loadgen run must have been the only traffic against a fresh server with
+-warmup 0: under those conditions every counted client op was fully served
+and every served op was counted, so the totals must match to the unit:
+
+  1. the report recorded zero errors;
+  2. rollup advise_decisions == report advise_ops (loadgen sends
+     single-profile advise bodies: one decision per op);
+  3. rollup windows == report profile_ops (one snapshot window per op);
+  4. the report links at least one p99 exemplar, and the journal totals on
+     the rollup show the flight recorder saw the traffic.
+
+On success the first exemplar's request ID is printed on the last line, for
+the caller to round-trip through brainy-explain. Exit 0 when every check
+passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--report", required=True, help="brainy-loadgen JSON report")
+    ap.add_argument("--rollup", required=True, help="captured GET /v1/rollup body")
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        rep = json.load(f)
+    with open(args.rollup) as f:
+        roll = json.load(f)
+
+    failures = []
+
+    def check(name, ok, detail):
+        print(f"{'ok  ' if ok else 'FAIL'} {name}: {detail}")
+        if not ok:
+            failures.append(name)
+
+    check("errors", rep["errors"] == 0, f"report errors = {rep['errors']}")
+    check(
+        "advise reconciliation",
+        roll["advise_decisions"] == rep["advise_ops"],
+        f"rollup advise_decisions = {roll['advise_decisions']}, "
+        f"report advise_ops = {rep['advise_ops']}",
+    )
+    check(
+        "window reconciliation",
+        roll["windows"] == rep["profile_ops"],
+        f"rollup windows = {roll['windows']}, "
+        f"report profile_ops = {rep['profile_ops']}",
+    )
+    exemplars = rep.get("p99_exemplars") or []
+    check("p99 exemplars", len(exemplars) > 0, f"{len(exemplars)} linked")
+    check(
+        "flight recorder",
+        roll["decisions_journaled"] > 0,
+        f"decisions_journaled = {roll['decisions_journaled']}",
+    )
+
+    if failures:
+        print(f"provenance check FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(exemplars[0]["request_id"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
