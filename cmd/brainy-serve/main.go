@@ -14,13 +14,20 @@
 //	                              timelines and phase-drift detection out
 //	GET  /v1/rollup               fleet rollup: per-kind instance, window,
 //	                              advise, drift, and migration aggregates
+//	GET  /v1/health               SLO burn-rate readiness verdict: ok,
+//	                              degraded, critical (503), or draining (503)
+//	GET  /v1/timeseries           self-observed metric history from the
+//	                              in-process store (?series=&since=)
 //	GET  /debug/brainy            live status page: feature timelines,
 //	                              current vs. initial advice, drift flags
 //	                              (?format=text|json|html)
 //	GET  /debug/decisions         decision provenance journal: the flight
 //	                              recorder's recent advise and drift records
 //	                              (?format=text|json, filterable)
-//	GET  /healthz                 liveness and model count
+//	GET  /debug/traces            tail-sampled slow and errored traces as span
+//	                              trees (-trace-slow; ?format=text|json)
+//	GET  /healthz                 liveness and model count (stays 200 during
+//	                              drain; /v1/health flips to draining)
 //	GET  /metrics                 text exposition of service metrics
 //	                              (latency buckets carry request-ID exemplars)
 //	GET  /debug/pprof/            runtime profiling (only with -pprof)
@@ -86,6 +93,18 @@ func run() error {
 		driftWindow  = flag.Int("drift-window", 0, "windows blended per drift evaluation (0 = default)")
 		driftHyst    = flag.Int("drift-hysteresis", 0, "consecutive divergent verdicts before a drift event (0 = default)")
 		flightSize   = flag.Int("flight-size", 0, "decision flight-recorder records retained per shard on /debug/decisions (0 = default 256, negative disables)")
+
+		sampleInterval = flag.Duration("sample-interval", time.Second, "self-observation scrape cadence for /v1/timeseries and /v1/health (negative disables)")
+		samplePoints   = flag.Int("sample-points", 360, "points retained per self-observation series")
+		traceSlow      = flag.Duration("trace-slow", 0, "tail-sample traces whose root span is at least this slow onto /debug/traces (0 disables the buffer)")
+		traceBufSize   = flag.Int("trace-buffer", 64, "traces retained by the tail sampler")
+		drainDelay     = flag.Duration("drain-delay", 0, "how long /v1/health advertises draining before the listener closes on shutdown")
+		sloFastWin     = flag.Duration("slo-fast-window", time.Minute, "fast burn-rate window for /v1/health")
+		sloSlowWin     = flag.Duration("slo-slow-window", 5*time.Minute, "slow burn-rate window for /v1/health")
+		sloHyst        = flag.Int("slo-hysteresis", 2, "consecutive agreeing evaluations before a health verdict flips")
+		sloAdviseP99   = flag.Duration("slo-advise-p99", 250*time.Millisecond, "advise latency SLO threshold")
+		sloDegraded    = flag.Float64("slo-degraded-burn", 1, "error-budget burn rate that reports degraded")
+		sloCritical    = flag.Float64("slo-critical-burn", 10, "error-budget burn rate that reports critical (503)")
 	)
 	flag.Parse()
 
@@ -103,7 +122,10 @@ func run() error {
 		return nil
 	}
 
-	var tracer *telemetry.Tracer
+	// The tracer fans out to whichever span sinks are enabled: the JSON-lines
+	// file (-trace) and the tail-sampling buffer behind /debug/traces
+	// (-trace-slow). With neither, the tracer is nil and spans cost nothing.
+	var exps []telemetry.Exporter
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
 		if err != nil {
@@ -117,8 +139,14 @@ func run() error {
 				log.Printf("warning: writing trace %s: %v", *traceOut, err)
 			}
 		}()
-		tracer = telemetry.NewTracer(exp)
+		exps = append(exps, exp)
 	}
+	var traceBuf *telemetry.TraceBuffer
+	if *traceSlow > 0 {
+		traceBuf = telemetry.NewTraceBuffer(*traceSlow, *traceBufSize)
+		exps = append(exps, traceBuf)
+	}
+	tracer := telemetry.NewTracer(telemetry.Fanout(exps...))
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := serve.New(set, serve.Config{
@@ -143,6 +171,16 @@ func run() error {
 		DriftWindow:     *driftWindow,
 		DriftHysteresis: *driftHyst,
 		FlightSize:      *flightSize,
+		SampleInterval:  *sampleInterval,
+		SamplePoints:    *samplePoints,
+		AdviseP99Max:    *sloAdviseP99,
+		SLOFastWindow:   *sloFastWin,
+		SLOSlowWindow:   *sloSlowWin,
+		SLODegradedBurn: *sloDegraded,
+		SLOCriticalBurn: *sloCritical,
+		SLOHysteresis:   *sloHyst,
+		Traces:          traceBuf,
+		DrainDelay:      *drainDelay,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

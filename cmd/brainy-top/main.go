@@ -1,8 +1,12 @@
 // Command brainy-top is the terminal companion to brainy-serve's windowed
 // profiling: it polls the service's /debug/brainy?format=json dashboard and
 // renders a top-style live view of every instance timeline — operation-mix
-// glyphs, current vs. initial advice, and drift flags — refreshing in
-// place.
+// glyphs, current vs. initial advice, drift flags, and per-instance ops
+// trend sparklines — refreshing in place. Below the table it draws a
+// self-observation pane from /v1/health and /v1/timeseries: the SLO
+// burn-rate verdict (with the reason for any objective that is not ok) and
+// sparkline trends for advise p99, profile and window throughput, and
+// shard queue depth.
 //
 // Usage:
 //
@@ -30,6 +34,7 @@ import (
 
 	"repro/internal/opstats"
 	"repro/internal/serve"
+	"repro/internal/telemetry/tsdb"
 )
 
 func main() {
@@ -60,6 +65,7 @@ func run() error {
 			return err
 		}
 		fmt.Print(render(d, *addr))
+		fmt.Print(renderTrends(fetchTrends(client, base)))
 		fmt.Print(renderExemplars(fetchExemplars(client, base)))
 		return nil
 	}
@@ -77,7 +83,8 @@ func run() error {
 			if ferr != nil {
 				return "", ferr
 			}
-			return render(d, *addr) + renderExemplars(fetchExemplars(client, base)), nil
+			return render(d, *addr) + renderTrends(fetchTrends(client, base)) +
+				renderExemplars(fetchExemplars(client, base)), nil
 		}()
 		// \x1b[H\x1b[2J homes the cursor and clears: redraw in place like
 		// top rather than scrolling history away.
@@ -163,8 +170,8 @@ func render(d *serve.DashboardResponse, addr string) string {
 		b.WriteString("no instance timelines yet: POST snapshot windows to /v1/profiles\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-32s %-9s %6s %8s  %-22s %5s %6s  %s\n",
-		"INSTANCE", "KIND", "WIN", "OPS", "ADVICE", "CONF", "DRIFT", "TIMELINE")
+	fmt.Fprintf(&b, "%-32s %-9s %6s %8s  %-22s %5s %6s  %-22s %s\n",
+		"INSTANCE", "KIND", "WIN", "OPS", "ADVICE", "CONF", "DRIFT", "TIMELINE", "TREND")
 	for _, row := range d.Rows {
 		advice := "-"
 		conf := "    -"
@@ -179,9 +186,100 @@ func render(d *serve.DashboardResponse, addr string) string {
 		if row.Drifted {
 			driftCol = fmt.Sprintf("DRIFT%d", row.Events)
 		}
-		fmt.Fprintf(&b, "%-32s %-9s %6d %8d  %-22s %s %6s  %s\n",
-			row.Key, row.Kind, row.Windows, row.Ops, advice, conf, driftCol, row.Mix)
+		fmt.Fprintf(&b, "%-32s %-9s %6d %8d  %-22s %s %6s  %-22s %s\n",
+			row.Key, row.Kind, row.Windows, row.Ops, advice, conf, driftCol, row.Mix, row.Trend)
 	}
 	b.WriteString("\nmix glyphs: a=append f=find s=scan e=erase .=mixed (one per retained window, oldest first)\n")
+	b.WriteString("trend: ops-per-window sparkline over the same retained windows\n")
+	return b.String()
+}
+
+// trendSeries names the self-observed series the trends pane sparklines,
+// paired with a display label and a formatter for the latest value.
+var trendSeries = []struct {
+	series string
+	label  string
+	fmtV   func(v float64) string
+}{
+	{"brainy_advise_duration_seconds:p99", "advise p99", func(v float64) string { return fmt.Sprintf("%.2fms", v*1000) }},
+	{"brainy_profiles_analyzed_total:rate", "profiles/s", func(v float64) string { return fmt.Sprintf("%.1f", v) }},
+	{"brainy_profile_windows_total:rate", "windows/s", func(v float64) string { return fmt.Sprintf("%.1f", v) }},
+	{"brainy_shard_queue_depth", "queue depth", func(v float64) string { return fmt.Sprintf("%.0f", v) }},
+}
+
+// trends is the data behind the self-observation pane: the /v1/health verdict
+// plus the sparkline history of a few headline series from /v1/timeseries.
+type trends struct {
+	health *serve.HealthResponse
+	points map[string][]tsdb.Point
+}
+
+// fetchTrends pulls the health verdict and trend series. Best-effort like
+// fetchExemplars: a nil return (server predates the endpoints, sampler
+// disabled, transient error) renders as no pane rather than an error.
+func fetchTrends(client *http.Client, base string) *trends {
+	t := &trends{}
+	if resp, err := client.Get(base + "/v1/health"); err == nil {
+		// /v1/health answers 503 with the same JSON body when critical or
+		// draining — that verdict is exactly what the pane is for.
+		var h serve.HealthResponse
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusServiceUnavailable {
+			if json.NewDecoder(resp.Body).Decode(&h) == nil {
+				t.health = &h
+			}
+		}
+		resp.Body.Close()
+	}
+	q := ""
+	for _, s := range trendSeries {
+		q += "&series=" + s.series
+	}
+	if resp, err := client.Get(base + "/v1/timeseries?" + q[1:]); err == nil {
+		var ts serve.TimeseriesResponse
+		if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&ts) == nil && ts.Enabled {
+			t.points = ts.Points
+		}
+		resp.Body.Close()
+	}
+	if t.health == nil && len(t.points) == 0 {
+		return nil
+	}
+	return t
+}
+
+// renderTrends draws the self-observation pane: one health verdict line (with
+// the burn-rate reason for every objective that is not ok) and one sparkline
+// row per headline series.
+func renderTrends(t *trends) string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	if h := t.health; h != nil {
+		fmt.Fprintf(&b, "\nhealth: %s", h.Status)
+		if !h.Enabled {
+			b.WriteString("  (self-observation disabled: restart with -sample-interval > 0)")
+		}
+		for _, obj := range h.SLO.Objectives {
+			if obj.State != "ok" {
+				fmt.Fprintf(&b, "\n  %-28s %-9s %s", obj.Name, obj.State, obj.Reason)
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, s := range trendSeries {
+		pts := t.points[s.series]
+		if len(pts) == 0 {
+			continue
+		}
+		// One rune per sample: keep the tail so the pane stays terminal-width
+		// even when the store retains hundreds of points.
+		const width = 60
+		if len(pts) > width {
+			pts = pts[len(pts)-width:]
+		}
+		fmt.Fprintf(&b, "%-14s %-60s  last %s\n",
+			s.label, tsdb.SparkPoints(pts), s.fmtV(pts[len(pts)-1].V))
+	}
 	return b.String()
 }

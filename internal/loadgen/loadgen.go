@@ -10,10 +10,12 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -120,6 +122,24 @@ type Report struct {
 	LatencyP99Ms float64 `json:"latency_p99_ms"`
 	LatencyMaxMs float64 `json:"latency_max_ms"`
 
+	// ServerP*Ms are the server's own advise-latency quantiles over the
+	// measured phase, interpolated from the /metrics histogram delta with
+	// the same opstats.HistogramSnapshot.Quantile the tsdb and dashboard
+	// use. Comparing them with LatencyP*Ms separates queueing in the server
+	// from time on the wire; 0 when /metrics was unavailable.
+	ServerP50Ms float64 `json:"server_p50_ms,omitempty"`
+	ServerP90Ms float64 `json:"server_p90_ms,omitempty"`
+	ServerP99Ms float64 `json:"server_p99_ms,omitempty"`
+
+	// SLO is the server's /v1/health verdict right after the run — did the
+	// load burn any error budget? Nil when the endpoint was unavailable.
+	SLO *SLOStatus `json:"slo,omitempty"`
+
+	// P99TrendMs is the server's advise-p99 per scrape interval across the
+	// run, from /v1/timeseries — the shape of the tail, not just its end
+	// state. Empty when the endpoint was unavailable.
+	P99TrendMs []float64 `json:"p99_trend_ms,omitempty"`
+
 	// CacheHitRate is hits/(hits+misses) over the measured phase, scraped
 	// from the server's /metrics page; -1 when the page was unavailable.
 	CacheHitRate float64 `json:"cache_hit_rate"`
@@ -135,6 +155,22 @@ type ExemplarRef struct {
 	BucketLE  string  `json:"bucket_le"`
 	RequestID string  `json:"request_id"`
 	LatencyMs float64 `json:"latency_ms"`
+}
+
+// SLOStatus is the loadgen-local decode of GET /v1/health — only the fields
+// the report records, so the load generator does not import the server.
+type SLOStatus struct {
+	Status     string         `json:"status"`
+	Objectives []SLOObjective `json:"objectives,omitempty"`
+}
+
+// SLOObjective is one objective's verdict in the report.
+type SLOObjective struct {
+	Name     string  `json:"name"`
+	State    string  `json:"state"`
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	Reason   string  `json:"reason,omitempty"`
 }
 
 // Runner generates load against one server.
@@ -195,11 +231,14 @@ func NewRunner(cfg Config) (*Runner, error) {
 	return r, nil
 }
 
-// counters is the /metrics scrape the hit rate and exemplars come from.
+// counters is the /metrics scrape the hit rate, exemplars, and server-side
+// latency histogram come from.
 type counters struct {
 	hits, misses float64
 	ok           bool
 	exemplars    []opstats.BucketExemplar
+	hist         opstats.HistogramSnapshot
+	histOK       bool
 }
 
 func (r *Runner) scrape() counters {
@@ -214,6 +253,7 @@ func (r *Runner) scrape() counters {
 	}
 	var c counters
 	c.exemplars = opstats.ParseExemplars(string(page), "brainy_request_duration_seconds")
+	c.hist, c.histOK = opstats.ParseHistogram(string(page), "brainy_advise_duration_seconds")
 	for _, line := range strings.Split(string(page), "\n") {
 		var name string
 		var val float64
@@ -290,7 +330,64 @@ func (r *Runner) Run(ctx context.Context) (Report, error) {
 		}
 	}
 	rep.P99Exemplars = p99Exemplars(after.exemplars, rep.LatencyP99Ms)
+	// Server-side view of the same run: the advise-histogram delta over the
+	// measured phase, the health verdict, and the p99 trend. Best-effort —
+	// an older server without the endpoints still produces a full report.
+	if before.histOK && after.histOK {
+		d := after.hist.Sub(before.hist)
+		if d.Count > 0 {
+			rep.ServerP50Ms = d.Quantile(0.50) * 1000
+			rep.ServerP90Ms = d.Quantile(0.90) * 1000
+			rep.ServerP99Ms = d.Quantile(0.99) * 1000
+		}
+	}
+	rep.SLO = r.fetchSLO()
+	rep.P99TrendMs = r.fetchP99Trend(elapsed + r.cfg.Warmup)
 	return rep, nil
+}
+
+// fetchSLO reads the server's health verdict; nil when unavailable.
+func (r *Runner) fetchSLO() *SLOStatus {
+	resp, err := r.client.Get(r.cfg.URL + "/v1/health")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Status string    `json:"status"`
+		SLO    SLOStatus `json:"slo"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil
+	}
+	out := doc.SLO
+	out.Status = doc.Status
+	return &out
+}
+
+// fetchP99Trend reads the server's advise-p99 series covering the run.
+func (r *Runner) fetchP99Trend(window time.Duration) []float64 {
+	q := url.Values{}
+	q.Set("series", "brainy_advise_duration_seconds:p99")
+	q.Set("since", window.Round(time.Millisecond).String())
+	resp, err := r.client.Get(r.cfg.URL + "/v1/timeseries?" + q.Encode())
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Points map[string][]struct {
+			V float64 `json:"v"`
+		} `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil
+	}
+	var out []float64
+	for _, p := range doc.Points["brainy_advise_duration_seconds:p99"] {
+		out = append(out, p.V*1000)
+	}
+	return out
 }
 
 // p99Exemplars selects the traceable requests worth a second look: every

@@ -124,7 +124,10 @@ func testServer(t *testing.T) (*serve.Server, string) {
 	// FlightSize is large so the reconciliation test can resolve any p99
 	// exemplar in the journal: at the default bound a short hot run can
 	// scroll early records out of the ring before the lookup.
-	s := serve.New(set, serve.Config{NoRequestLog: true, DriftRules: true, FlightSize: 1 << 16})
+	// A fast sample interval so short runs still land several scrapes in the
+	// time-series store (the p99-trend assertions need points).
+	s := serve.New(set, serve.Config{NoRequestLog: true, DriftRules: true, FlightSize: 1 << 16,
+		SampleInterval: 25 * time.Millisecond})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 	return s, ts.URL
@@ -194,6 +197,77 @@ func TestP99ExemplarSelection(t *testing.T) {
 	}
 	if got := p99Exemplars(nil, 1); got != nil {
 		t.Fatalf("no exemplars must yield nil, got %+v", got)
+	}
+}
+
+// bucketIdx places a latency (seconds) in the advise histogram's bucket grid.
+func bucketIdx(bounds []float64, v float64) int {
+	for i, b := range bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(bounds)
+}
+
+// TestServerSideQuantilesAndSLO pins the report's server-side view: the
+// advise-histogram quantiles agree with the directly measured latencies to
+// within one histogram bucket (interpolation cannot do better), the health
+// verdict rides along, and the p99 trend has points covering the run.
+func TestServerSideQuantilesAndSLO(t *testing.T) {
+	_, url := testServer(t)
+	r, err := NewRunner(Config{
+		URL:      url,
+		Conns:    4,
+		Duration: 500 * time.Millisecond,
+		Skew:     0.5,
+		Keys:     16,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.ServerP99Ms <= 0 || rep.ServerP50Ms <= 0 || rep.ServerP99Ms < rep.ServerP50Ms {
+		t.Fatalf("server quantiles: p50=%g p99=%g", rep.ServerP50Ms, rep.ServerP99Ms)
+	}
+	// The handler cannot be slower than the round trip the client timed.
+	if rep.ServerP99Ms > rep.LatencyP99Ms {
+		t.Fatalf("server p99 %.3fms exceeds direct round-trip p99 %.3fms", rep.ServerP99Ms, rep.LatencyP99Ms)
+	}
+	if rep.SLO == nil || rep.SLO.Status == "" {
+		t.Fatalf("report carries no SLO verdict: %+v", rep.SLO)
+	}
+	if len(rep.SLO.Objectives) != 4 {
+		t.Fatalf("objective count = %d, want 4", len(rep.SLO.Objectives))
+	}
+	if len(rep.P99TrendMs) == 0 {
+		t.Fatal("report carries no p99 trend points")
+	}
+	// Both p99 views run the same bucket interpolation — one straight off
+	// the /metrics histogram delta, one through the tsdb's retained
+	// snapshots — so the tsdb-derived tail must land within one bucket of
+	// the directly scraped one.
+	trendMax := 0.0
+	for _, v := range rep.P99TrendMs {
+		if v <= 0 {
+			t.Fatalf("trend point %g not positive: %v", v, rep.P99TrendMs)
+		}
+		if v > trendMax {
+			trendMax = v
+		}
+	}
+	tsdbB := bucketIdx(opstats.DefBuckets, trendMax/1000)
+	directB := bucketIdx(opstats.DefBuckets, rep.ServerP99Ms/1000)
+	if d := tsdbB - directB; d < -1 || d > 1 {
+		t.Fatalf("tsdb p99 %.3fms (bucket %d) vs scraped p99 %.3fms (bucket %d): more than one bucket apart",
+			trendMax, tsdbB, rep.ServerP99Ms, directB)
 	}
 }
 

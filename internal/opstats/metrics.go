@@ -116,6 +116,26 @@ func (v *CounterVec) Total() uint64 {
 	return t
 }
 
+// Each calls fn for every child in label-sorted order with the child's
+// rendered label list and current value — the structured counterpart of
+// Expose, used by samplers that want typed readings instead of text.
+func (v *CounterVec) Each(fn func(labels string, value uint64)) {
+	v.mu.Lock()
+	labels := make([]string, 0, len(v.m))
+	for l := range v.m {
+		labels = append(labels, l)
+	}
+	children := make(map[string]*Counter, len(v.m))
+	for l, c := range v.m {
+		children[l] = c
+	}
+	v.mu.Unlock()
+	sort.Strings(labels)
+	for _, l := range labels {
+		fn(l, children[l].Value())
+	}
+}
+
 // Expose writes every child in label-sorted order for stable output.
 func (v *CounterVec) Expose(w io.Writer, name string) {
 	v.mu.Lock()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/drift"
 	"repro/internal/opstats"
 	"repro/internal/profile"
+	"repro/internal/telemetry/tsdb"
 )
 
 // debugBrainyPath is where the live status page mounts.
@@ -44,7 +45,8 @@ type DashboardRow struct {
 	Confidence float64           `json:"confidence"`
 	Drifted    bool              `json:"drifted"`
 	Events     int               `json:"events"`
-	Mix        string            `json:"mix"` // one glyph per retained window
+	Mix        string            `json:"mix"`   // one glyph per retained window
+	Trend      string            `json:"trend"` // ops-per-window sparkline, oldest first
 	Timeline   []DashboardWindow `json:"timeline"`
 }
 
@@ -143,12 +145,18 @@ func (s *Server) dashboard() DashboardResponse {
 			row.Events = st.Events
 		}
 		var mix strings.Builder
+		lens := make([]float64, 0, len(tl.Recent))
 		for i := range tl.Recent {
 			cell := dashboardWindow(&tl.Recent[i])
 			row.Timeline = append(row.Timeline, cell)
 			mix.WriteByte(mixGlyph(cell))
+			lens = append(lens, float64(cell.Len))
 		}
 		row.Mix = mix.String()
+		// The trend derives from the retained windows themselves, not the
+		// sampler's wall clock, so a fixed ingestion sequence renders a
+		// byte-identical sparkline — the same golden contract as Mix.
+		row.Trend = tsdb.Spark(lens)
 		resp.Rows = append(resp.Rows, row)
 	}
 	resp.Instances = len(resp.Rows)
@@ -210,8 +218,8 @@ func renderDashboardText(d DashboardResponse) string {
 		b.WriteString("no instance timelines yet: POST snapshot windows to /v1/profiles\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-32s %-9s %6s %8s  %-22s %5s %6s  %s\n",
-		"INSTANCE", "KIND", "WIN", "OPS", "ADVICE", "CONF", "DRIFT", "TIMELINE")
+	fmt.Fprintf(&b, "%-32s %-9s %6s %8s  %-22s %5s %6s  %-22s %s\n",
+		"INSTANCE", "KIND", "WIN", "OPS", "ADVICE", "CONF", "DRIFT", "TIMELINE", "TREND")
 	for _, row := range d.Rows {
 		advice := "-"
 		conf := "    -"
@@ -226,10 +234,11 @@ func renderDashboardText(d DashboardResponse) string {
 		if row.Drifted {
 			driftCol = fmt.Sprintf("DRIFT%d", row.Events)
 		}
-		fmt.Fprintf(&b, "%-32s %-9s %6d %8d  %-22s %s %6s  %s\n",
-			row.Key, row.Kind, row.Windows, row.Ops, advice, conf, driftCol, row.Mix)
+		fmt.Fprintf(&b, "%-32s %-9s %6d %8d  %-22s %s %6s  %-22s %s\n",
+			row.Key, row.Kind, row.Windows, row.Ops, advice, conf, driftCol, row.Mix, row.Trend)
 	}
 	b.WriteString("\nmix glyphs: a=append f=find s=scan e=erase .=mixed (one per retained window, oldest first)\n")
+	b.WriteString("trend: ops-per-window sparkline over the same retained windows\n")
 	return b.String()
 }
 
@@ -246,13 +255,14 @@ th, td { border: 1px solid #999; padding: 4px 8px; text-align: left; }
 <p>instances {{.Instances}}/{{.MaxInstances}} &middot; windows {{.Windows}} &middot;
 drift events {{.DriftEvents}} &middot; drift skipped {{.DriftSkipped}} &middot; out-of-order {{.OutOfOrder}}</p>
 {{if .Rows}}<table>
-<tr><th>instance</th><th>kind</th><th>windows</th><th>ops</th><th>advice</th><th>confidence</th><th>drift</th><th>timeline</th></tr>
+<tr><th>instance</th><th>kind</th><th>windows</th><th>ops</th><th>advice</th><th>confidence</th><th>drift</th><th>timeline</th><th>trend</th></tr>
 {{range .Rows}}<tr>
 <td>{{.Key}}</td><td>{{.Kind}}</td><td>{{.Windows}}</td><td>{{.Ops}}</td>
 <td>{{if .Advised}}{{.Initial}}{{if ne .Current .Initial}} &rarr; {{.Current}}{{end}}{{else}}-{{end}}</td>
 <td>{{if .Advised}}{{printf "%.2f" .Confidence}}{{else}}-{{end}}</td>
 <td>{{if .Drifted}}<span class="drift">DRIFT&times;{{.Events}}</span>{{else}}-{{end}}</td>
 <td class="mix">{{.Mix}}</td>
+<td class="mix">{{.Trend}}</td>
 </tr>{{end}}
 </table>{{else}}<p>no instance timelines yet: POST snapshot windows to /v1/profiles</p>{{end}}
 <p>mix glyphs: a=append f=find s=scan e=erase .=mixed (one per retained window, oldest first)</p>

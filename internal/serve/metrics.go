@@ -25,6 +25,11 @@ type Metrics struct {
 	Requests *opstats.CounterVec
 	// Latency observes end-to-end request durations in seconds.
 	Latency *opstats.Histogram
+	// AdviseLatency observes /v1/advise durations alone. The shared
+	// request histogram mixes in health probes and metric scrapes, which
+	// would let cheap endpoints mask an advise regression; the latency SLO
+	// reads this series so its p99 is the advisory path's p99.
+	AdviseLatency *opstats.Histogram
 	// InFlight gauges requests currently being served.
 	InFlight *opstats.Gauge
 	// CacheHits / CacheMisses count inference-cache lookups.
@@ -73,6 +78,7 @@ func NewMetrics() *Metrics {
 		reg:              reg,
 		Requests:         reg.CounterVec("brainy_requests_total", "Finished HTTP requests by path and status code."),
 		Latency:          reg.Histogram("brainy_request_duration_seconds", "End-to-end request latency."),
+		AdviseLatency:    reg.Histogram("brainy_advise_duration_seconds", "End-to-end /v1/advise latency (the advisory path alone)."),
 		InFlight:         reg.Gauge("brainy_inflight_requests", "Requests currently being served."),
 		CacheHits:        reg.Counter("brainy_cache_hits_total", "Inference-cache hits."),
 		CacheMisses:      reg.Counter("brainy_cache_misses_total", "Inference-cache misses."),

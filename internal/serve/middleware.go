@@ -147,11 +147,17 @@ func (s *Server) observe(next http.Handler) http.Handler {
 		// from scrapes or ingest would evict the IDs worth investigating.
 		if r.URL.Path == "/v1/advise" {
 			s.metrics.Latency.ObserveExemplar(elapsed.Seconds(), id)
+			s.metrics.AdviseLatency.Observe(elapsed.Seconds())
 		} else {
 			s.metrics.Latency.Observe(elapsed.Seconds())
 		}
 		if span != nil {
 			span.SetInt("status", int64(sw.status))
+			// A server-error response marks the whole trace: the tail
+			// sampler retains errored traces regardless of duration.
+			if sw.status >= 500 {
+				span.SetAttr("error", true)
+			}
 			span.End()
 		}
 		// The request line is opt-out: at load-test rates every request

@@ -30,6 +30,8 @@ import (
 	"repro/internal/serve/flight"
 	"repro/internal/serve/shard"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/slo"
+	"repro/internal/telemetry/tsdb"
 	"repro/internal/training"
 )
 
@@ -107,6 +109,37 @@ type Config struct {
 	// negative disables recording entirely (the advise path then skips
 	// journaling at the cost of a nil check).
 	FlightSize int
+	// SampleInterval paces the self-observation sampler, which scrapes
+	// the metric registry into the in-process time-series store backing
+	// /v1/timeseries and the /v1/health SLO verdicts. 0 uses the default
+	// (1s); negative disables self-observation entirely (/v1/health then
+	// reports liveness only and /v1/timeseries is empty).
+	SampleInterval time.Duration
+	// SamplePoints bounds each retained series' point ring (default 360 —
+	// six minutes of history at the default interval).
+	SamplePoints int
+	// AdviseP99Max is the latency SLO threshold: /v1/advise responses
+	// slower than this burn the advise-p99 error budget (default 250ms).
+	AdviseP99Max time.Duration
+	// SLOFastWindow and SLOSlowWindow are the burn-rate windows (defaults
+	// 1m/5m); SLODegradedBurn and SLOCriticalBurn the thresholds (1/10);
+	// SLOHysteresis the confirmation streak before a health verdict flips
+	// (2). The small values exist for CI, which compresses the whole
+	// degrade-and-recover cycle into seconds.
+	SLOFastWindow   time.Duration
+	SLOSlowWindow   time.Duration
+	SLODegradedBurn float64
+	SLOCriticalBurn float64
+	SLOHysteresis   int
+	// Traces, when set, is the tail-sampling trace buffer /debug/traces
+	// serves. The caller composes it into Tracer's exporter (typically via
+	// telemetry.Fanout) — the server only reads it.
+	Traces *telemetry.TraceBuffer
+	// DrainDelay is how long Serve keeps accepting (and failing readiness
+	// on /v1/health) after its context is cancelled before closing the
+	// listener — the window load balancers get to observe `draining` and
+	// stop routing here (default 0: drain immediately).
+	DrainDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +188,30 @@ func (c Config) withDefaults() Config {
 	if c.FlightSize == 0 {
 		c.FlightSize = 256
 	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = time.Second
+	}
+	if c.SamplePoints <= 0 {
+		c.SamplePoints = 360
+	}
+	if c.AdviseP99Max <= 0 {
+		c.AdviseP99Max = 250 * time.Millisecond
+	}
+	if c.SLOFastWindow <= 0 {
+		c.SLOFastWindow = time.Minute
+	}
+	if c.SLOSlowWindow <= 0 {
+		c.SLOSlowWindow = 5 * time.Minute
+	}
+	if c.SLODegradedBurn <= 0 {
+		c.SLODegradedBurn = 1
+	}
+	if c.SLOCriticalBurn <= 0 {
+		c.SLOCriticalBurn = 10
+	}
+	if c.SLOHysteresis <= 0 {
+		c.SLOHysteresis = 2
+	}
 	return c
 }
 
@@ -192,6 +249,22 @@ type Server struct {
 	// that produced it.
 	start       time.Time
 	fingerprint string
+
+	// sampler scrapes the metric registry into tsdb on a fixed cadence;
+	// evaluator turns those windows into the /v1/health SLO verdict after
+	// each scrape. Both are nil when self-observation is disabled.
+	sampler   *tsdb.Sampler
+	evaluator *slo.Evaluator
+
+	// draining flips when Serve begins shutdown: /v1/health reports
+	// `draining` (non-200, so load balancers stop routing here) while
+	// /healthz keeps answering 200 — the process is still alive and
+	// finishing accepted work. Readiness and liveness are different
+	// questions and get different answers.
+	draining atomic.Bool
+
+	// stopSampler cancels the sampler goroutine; Close calls it.
+	stopSampler context.CancelFunc
 
 	closeOnce sync.Once
 
@@ -266,11 +339,31 @@ func New(models *training.ModelSet, cfg Config) *Server {
 		s.shards[i] = sh
 	}
 	m.Shards.Set(float64(cfg.Shards))
-	for _, path := range []string{"/v1/advise", "/v1/profiles", "/v1/rollup", "/healthz", "/metrics", debugBrainyPath, decisionsPath} {
+	for _, path := range []string{"/v1/advise", "/v1/profiles", "/v1/rollup", "/v1/health", "/v1/timeseries", "/healthz", "/metrics", debugBrainyPath, decisionsPath, tracesPath} {
 		s.routes[path] = newRouteCounters(path, m.Requests)
 	}
 	if cfg.EnablePprof {
 		s.routes[pprofPrefix] = newRouteCounters(pprofPrefix, m.Requests)
+	}
+	// Self-observation: a sampler goroutine scrapes the registry into the
+	// time-series store, and each scrape immediately re-evaluates the SLO
+	// set so /v1/health is never staler than one sample interval.
+	if cfg.SampleInterval > 0 {
+		s.sampler = tsdb.New(m.Registry(), tsdb.Config{
+			Interval:  cfg.SampleInterval,
+			MaxPoints: cfg.SamplePoints,
+			OnSample:  func(now time.Time) { s.evaluator.Evaluate(now) },
+		})
+		s.evaluator = slo.New(s.sampler.DB(), s.defaultObjectives(), slo.Config{
+			FastWindow:   cfg.SLOFastWindow,
+			SlowWindow:   cfg.SLOSlowWindow,
+			DegradedBurn: cfg.SLODegradedBurn,
+			CriticalBurn: cfg.SLOCriticalBurn,
+			Hysteresis:   cfg.SLOHysteresis,
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		s.stopSampler = cancel
+		go s.sampler.Run(ctx)
 	}
 	return s
 }
@@ -280,6 +373,9 @@ func New(models *training.ModelSet, cfg Config) *Server {
 // only needed directly by embedders that use Handler without Serve.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		if s.stopSampler != nil {
+			s.stopSampler()
+		}
 		for _, sh := range s.shards {
 			sh.batcher.Close()
 		}
@@ -303,6 +399,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/rollup", s.handleRollup)
 	mux.HandleFunc(debugBrainyPath, s.handleDebugBrainy)
 	mux.HandleFunc(decisionsPath, s.handleDecisions)
+	mux.HandleFunc(tracesPath, s.handleTraces)
+	mux.HandleFunc("/v1/health", s.handleHealth)
+	mux.HandleFunc("/v1/timeseries", s.handleTimeseries)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.metrics)
 	if s.cfg.EnablePprof {
@@ -334,6 +433,15 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		s.Close()
 		return err
 	case <-ctx.Done():
+		// Fail readiness first: /v1/health starts answering `draining`
+		// (503) while /healthz stays 200, so orchestrators stop routing
+		// new traffic without killing a process that is still finishing
+		// accepted work. DrainDelay is the observation window before the
+		// listener actually closes.
+		s.draining.Store(true)
+		if s.cfg.DrainDelay > 0 {
+			time.Sleep(s.cfg.DrainDelay)
+		}
 		s.log.Info("shutting down", "grace", s.cfg.ShutdownGrace.String())
 		for _, sh := range s.shards {
 			sh.batcher.Drain()

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// tracesPath is where the tail-sampled slow-trace buffer mounts.
+const tracesPath = "/debug/traces"
+
+// TracesResponse is the ?format=json body of GET /debug/traces: the retained
+// traces, oldest first, after filtering.
+type TracesResponse struct {
+	SchemaVersion        int               `json:"schema_version"`
+	Enabled              bool              `json:"enabled"`
+	Capacity             int               `json:"capacity"`
+	Total                uint64            `json:"total"`   // traces ever retained, including overwritten
+	Pending              int               `json:"pending"` // traces still buffering (root not yet ended)
+	DroppedSpans         uint64            `json:"dropped_spans"`
+	SlowThresholdSeconds float64           `json:"slow_threshold_seconds"`
+	Returned             int               `json:"returned"`
+	Traces               []telemetry.Trace `json:"traces"`
+}
+
+// traces snapshots the buffer and applies the reason/limit filter.
+func (s *Server) traces(reason string, limit int) TracesResponse {
+	buf := s.cfg.Traces
+	resp := TracesResponse{
+		SchemaVersion:        1,
+		Enabled:              buf != nil,
+		Capacity:             buf.Cap(),
+		SlowThresholdSeconds: buf.Slow().Seconds(),
+		Traces:               []telemetry.Trace{},
+	}
+	resp.Pending, _, resp.Total, resp.DroppedSpans = buf.Stats()
+	for _, tr := range buf.Snapshot() {
+		if reason != "" && tr.Reason != reason {
+			continue
+		}
+		resp.Traces = append(resp.Traces, tr)
+	}
+	if limit > 0 && len(resp.Traces) > limit {
+		resp.Traces = resp.Traces[len(resp.Traces)-limit:]
+	}
+	resp.Returned = len(resp.Traces)
+	return resp
+}
+
+// handleTraces serves the tail-sampled traces. ?format=text (default)
+// renders span trees for terminals; ?format=json returns the raw spans.
+// Filters: reason (slow|error), limit (newest N).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	reason := q.Get("reason")
+	if reason != "" && reason != "slow" && reason != "error" {
+		writeError(w, http.StatusBadRequest, "reason must be slow or error")
+		return
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		limit = n
+	}
+	resp := s.traces(reason, limit)
+	switch q.Get("format") {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, renderTracesText(resp))
+	case "json":
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		writeError(w, http.StatusBadRequest, "format must be text or json")
+	}
+}
+
+// fmtSpanDur renders a span duration at terminal precision.
+func fmtSpanDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.0fus", float64(d)/1e3)
+	}
+}
+
+// renderTracesText renders each retained trace as an indented span tree,
+// oldest trace first. Spans show durations, never wall-clock stamps, so a
+// fixed span set renders byte-identically — the golden-test contract.
+func renderTracesText(resp TracesResponse) string {
+	var b strings.Builder
+	b.WriteString("brainy slow-trace buffer\n")
+	threshold := "errors-only"
+	if resp.SlowThresholdSeconds > 0 {
+		threshold = fmtSpanDur(time.Duration(resp.SlowThresholdSeconds * 1e9))
+	}
+	fmt.Fprintf(&b, "retained %d/%d  captured %d  pending %d  dropped-spans %d  slow-threshold %s\n\n",
+		len(resp.Traces), resp.Capacity, resp.Total, resp.Pending, resp.DroppedSpans, threshold)
+	if !resp.Enabled {
+		b.WriteString("tail sampling disabled: restart with -trace-slow\n")
+		return b.String()
+	}
+	if len(resp.Traces) == 0 {
+		b.WriteString("no traces retained (nothing slow or errored, or none match the filter)\n")
+		return b.String()
+	}
+	for i := range resp.Traces {
+		renderTraceTree(&b, &resp.Traces[i])
+	}
+	b.WriteString("filters: ?reason=slow|error ?limit=  (&format=json for raw spans)\n")
+	return b.String()
+}
+
+// renderTraceTree writes one trace as a parent-indented span tree.
+func renderTraceTree(b *strings.Builder, tr *telemetry.Trace) {
+	fmt.Fprintf(b, "TRACE <%s> root=%s duration=%s spans=%d\n",
+		tr.Reason, tr.Root.Name, fmtSpanDur(tr.Root.Duration()), len(tr.Spans))
+	children := make(map[telemetry.ID][]*telemetry.SpanData, len(tr.Spans))
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		if sp.ParentID != 0 {
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		}
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].Start != kids[j].Start {
+				return kids[i].Start < kids[j].Start
+			}
+			return kids[i].SpanID < kids[j].SpanID
+		})
+	}
+	seen := make(map[telemetry.ID]bool, len(tr.Spans))
+	renderSpan(b, &tr.Root, children, seen, 1)
+	// Spans whose parent was dropped by the pending-state bounds still
+	// belong to the trace; render them flat rather than losing them.
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		if !seen[sp.SpanID] {
+			fmt.Fprintf(b, "  ~ (orphan) ")
+			renderSpanLine(b, sp)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// renderSpan writes one span line and recurses into its children.
+func renderSpan(b *strings.Builder, sp *telemetry.SpanData, children map[telemetry.ID][]*telemetry.SpanData, seen map[telemetry.ID]bool, depth int) {
+	if seen[sp.SpanID] {
+		return
+	}
+	seen[sp.SpanID] = true
+	b.WriteString(strings.Repeat("  ", depth))
+	renderSpanLine(b, sp)
+	for _, kid := range children[sp.SpanID] {
+		renderSpan(b, kid, children, seen, depth+1)
+	}
+}
+
+// renderSpanLine writes a span's name, duration, and attributes.
+func renderSpanLine(b *strings.Builder, sp *telemetry.SpanData) {
+	fmt.Fprintf(b, "%s %s", sp.Name, fmtSpanDur(sp.Duration()))
+	for _, a := range sp.Attrs {
+		fmt.Fprintf(b, "  %s=%v", a.Key, a.Value)
+	}
+	b.WriteByte('\n')
+}

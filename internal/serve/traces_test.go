@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/telemetry"
+)
+
+// fixtureTraces builds a deterministic retained-trace set: fixed IDs and
+// start/end stamps, so the text rendering is byte-stable.
+func fixtureTraces() []telemetry.Trace {
+	ms := func(n int64) int64 { return n * int64(time.Millisecond) }
+	root1 := telemetry.SpanData{
+		TraceID: 0x10, SpanID: 0x11, Name: "request",
+		Start: ms(0), End: ms(42),
+		Attrs: []telemetry.Attr{
+			{Key: "method", Value: "POST"},
+			{Key: "path", Value: "/v1/advise"},
+			{Key: "status", Value: 200},
+		},
+	}
+	advise1 := telemetry.SpanData{
+		TraceID: 0x10, SpanID: 0x12, ParentID: 0x11, Name: "advise",
+		Start: ms(1), End: ms(41),
+		Attrs: []telemetry.Attr{{Key: "profiles", Value: 4000}},
+	}
+	infer1 := telemetry.SpanData{
+		TraceID: 0x10, SpanID: 0x13, ParentID: 0x12, Name: "infer",
+		Start: ms(2), End: ms(40),
+	}
+	root2 := telemetry.SpanData{
+		TraceID: 0x20, SpanID: 0x21, Name: "request",
+		Start: ms(100), End: ms(101),
+		Attrs: []telemetry.Attr{
+			{Key: "status", Value: 500},
+			{Key: "error", Value: true},
+		},
+	}
+	return []telemetry.Trace{
+		{TraceID: 0x10, Root: root1, Spans: []telemetry.SpanData{advise1, infer1, root1}, Reason: "slow"},
+		{TraceID: 0x20, Root: root2, Spans: []telemetry.SpanData{root2}, Reason: "error"},
+	}
+}
+
+// TestTracesTextGolden pins the /debug/traces text rendering byte-for-byte.
+// Regenerate with:
+//
+//	go test ./internal/serve -run TestTracesTextGolden -update-golden
+func TestTracesTextGolden(t *testing.T) {
+	resp := TracesResponse{
+		SchemaVersion:        1,
+		Enabled:              true,
+		Capacity:             16,
+		Total:                2,
+		SlowThresholdSeconds: 0.005,
+		Traces:               fixtureTraces(),
+		Returned:             2,
+	}
+	got := []byte(renderTracesText(resp))
+	goldenPath := filepath.Join("testdata", "traces.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("traces text drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestTracesFilters(t *testing.T) {
+	buf := telemetry.NewTraceBuffer(5*time.Millisecond, 16)
+	for _, tr := range fixtureTraces() {
+		for _, sp := range tr.Spans {
+			buf.ExportSpan(sp)
+		}
+	}
+	s := New(testModels(), quietConfig(Config{SampleInterval: -1, Traces: buf}))
+	t.Cleanup(s.Close)
+
+	all := s.traces("", 0)
+	if all.Returned != 2 || all.Total != 2 {
+		t.Fatalf("unfiltered: %+v", all)
+	}
+	slow := s.traces("slow", 0)
+	if slow.Returned != 1 || slow.Traces[0].Reason != "slow" {
+		t.Fatalf("reason filter: %+v", slow)
+	}
+	limited := s.traces("", 1)
+	if limited.Returned != 1 || limited.Traces[0].Reason != "error" {
+		t.Fatalf("limit keeps newest: %+v", limited)
+	}
+}
+
+// TestTracesEndToEnd runs a real request through a tracing server with a
+// nanosecond slow threshold (every trace retains) and reads it back from
+// /debug/traces in both formats.
+func TestTracesEndToEnd(t *testing.T) {
+	buf := telemetry.NewTraceBuffer(time.Nanosecond, 8)
+	s := New(testModels(), quietConfig(Config{
+		SampleInterval: -1,
+		Tracer:         telemetry.NewTracer(telemetry.Fanout(buf)),
+		Traces:         buf,
+	}))
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := traceBody(t, []profile.Profile{vectorProfile("traced", 100)})
+	if resp, _ := postAdvise(t, ts.URL, body, "Core2"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("advise status = %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + tracesPath + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !out.Enabled || out.Returned == 0 {
+		t.Fatalf("no traces retained: %+v", out)
+	}
+	var reqTrace *telemetry.Trace
+	for i := range out.Traces {
+		if out.Traces[i].Root.Name == "request" && out.Traces[i].Root.Attr("path") == "/v1/advise" {
+			reqTrace = &out.Traces[i]
+		}
+	}
+	if reqTrace == nil || reqTrace.Reason != "slow" {
+		t.Fatalf("advise trace missing or misclassified: %+v", out.Traces)
+	}
+	// The advise handler's child span rode along under the same trace.
+	childNames := map[string]bool{}
+	for _, sp := range reqTrace.Spans {
+		childNames[sp.Name] = true
+	}
+	if !childNames["advise"] {
+		t.Fatalf("advise child span not in trace: %v", childNames)
+	}
+
+	text, err := http.Get(ts.URL + tracesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(text.Body)
+	text.Body.Close()
+	if !strings.Contains(string(page), "TRACE <slow> root=request") {
+		t.Fatalf("text rendering missing trace header:\n%s", page)
+	}
+}
+
+// TestTracesDisabled pins the disabled rendering: no buffer configured means
+// an explaining text page, not an error.
+func TestTracesDisabled(t *testing.T) {
+	s := New(testModels(), quietConfig(Config{SampleInterval: -1}))
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + tracesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(page), "tail sampling disabled") {
+		t.Fatalf("disabled traces page: %d\n%s", resp.StatusCode, page)
+	}
+}

@@ -33,13 +33,28 @@ const (
 // validName is the Prometheus metric-name grammar.
 var validName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 
-// metric is one registry entry: identity, metadata, and how to render its
-// sample lines (HELP/TYPE are the registry's job).
+// metric is one registry entry: identity, metadata, how to render its
+// sample lines (HELP/TYPE are the registry's job), and how to read its
+// current value(s) as typed samples for in-process consumers.
 type metric struct {
 	name   string
 	help   string
 	typ    MetricType
 	expose func(io.Writer)
+	sample func(append []Sample) []Sample
+}
+
+// Sample is one typed metric reading, the structured counterpart of a text
+// exposition line. Labelled families contribute one Sample per child with
+// the rendered label list folded into the name (`requests{path="/x"}`), so a
+// sample name is a stable series identity. Histograms carry their full
+// snapshot so consumers can difference windows and interpolate quantiles
+// instead of settling for a scalar.
+type Sample struct {
+	Name  string
+	Type  MetricType
+	Value float64                    // counter/gauge value; histogram sample count
+	Hist  *opstats.HistogramSnapshot // non-nil only for histograms
 }
 
 // Registry is a register-once collection of named metrics. Registration
@@ -57,8 +72,9 @@ func NewRegistry() *Registry {
 	return &Registry{metrics: make(map[string]metric)}
 }
 
-// register installs one entry, enforcing the register-once contract.
-func (r *Registry) register(name, help string, typ MetricType, expose func(io.Writer)) {
+// register installs one entry, enforcing the register-once contract. sample
+// may be nil for opaque custom collectors, which Samples then skips.
+func (r *Registry) register(name, help string, typ MetricType, expose func(io.Writer), sample func([]Sample) []Sample) {
 	if !validName.MatchString(name) {
 		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
 	}
@@ -67,40 +83,65 @@ func (r *Registry) register(name, help string, typ MetricType, expose func(io.Wr
 	if _, dup := r.metrics[name]; dup {
 		panic(fmt.Sprintf("telemetry: metric %q registered twice", name))
 	}
-	r.metrics[name] = metric{name: name, help: help, typ: typ, expose: expose}
+	r.metrics[name] = metric{name: name, help: help, typ: typ, expose: expose, sample: sample}
 }
 
 // MustRegister installs a custom collector under a name. expose writes only
-// the sample lines; the registry emits HELP and TYPE.
+// the sample lines; the registry emits HELP and TYPE. Custom collectors are
+// text-only: Samples skips them because the registry cannot read typed
+// values out of an opaque writer.
 func (r *Registry) MustRegister(name, help string, typ MetricType, expose func(io.Writer)) {
-	r.register(name, help, typ, expose)
+	r.register(name, help, typ, expose, nil)
 }
 
 // Counter registers and returns a monotonic counter.
 func (r *Registry) Counter(name, help string) *opstats.Counter {
 	c := &opstats.Counter{}
-	r.register(name, help, TypeCounter, func(w io.Writer) { c.Expose(w, name, "") })
+	r.register(name, help, TypeCounter,
+		func(w io.Writer) { c.Expose(w, name, "") },
+		func(out []Sample) []Sample {
+			return append(out, Sample{Name: name, Type: TypeCounter, Value: float64(c.Value())})
+		})
 	return c
 }
 
 // FloatCounter registers and returns a monotonic float64 counter.
 func (r *Registry) FloatCounter(name, help string) *opstats.FloatCounter {
 	c := &opstats.FloatCounter{}
-	r.register(name, help, TypeCounter, func(w io.Writer) { c.Expose(w, name, "") })
+	r.register(name, help, TypeCounter,
+		func(w io.Writer) { c.Expose(w, name, "") },
+		func(out []Sample) []Sample {
+			return append(out, Sample{Name: name, Type: TypeCounter, Value: c.Value()})
+		})
 	return c
 }
 
 // CounterVec registers and returns a labelled counter family.
 func (r *Registry) CounterVec(name, help string) *opstats.CounterVec {
 	v := opstats.NewCounterVec()
-	r.register(name, help, TypeCounter, func(w io.Writer) { v.Expose(w, name) })
+	r.register(name, help, TypeCounter,
+		func(w io.Writer) { v.Expose(w, name) },
+		func(out []Sample) []Sample {
+			v.Each(func(labels string, value uint64) {
+				out = append(out, Sample{
+					Name:  name + "{" + labels + "}",
+					Type:  TypeCounter,
+					Value: float64(value),
+				})
+			})
+			return out
+		})
 	return v
 }
 
 // Gauge registers and returns a gauge.
 func (r *Registry) Gauge(name, help string) *opstats.Gauge {
 	g := &opstats.Gauge{}
-	r.register(name, help, TypeGauge, func(w io.Writer) { g.Expose(w, name, "") })
+	r.register(name, help, TypeGauge,
+		func(w io.Writer) { g.Expose(w, name, "") },
+		func(out []Sample) []Sample {
+			return append(out, Sample{Name: name, Type: TypeGauge, Value: g.Value()})
+		})
 	return g
 }
 
@@ -109,17 +150,47 @@ func (r *Registry) Gauge(name, help string) *opstats.Gauge {
 // allocator gauge, a pool depth) where a stored gauge would just be a stale
 // copy needing its own update discipline.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
-	r.register(name, help, TypeGauge, func(w io.Writer) {
-		fmt.Fprintf(w, "%s %g\n", name, fn())
-	})
+	r.register(name, help, TypeGauge,
+		func(w io.Writer) {
+			fmt.Fprintf(w, "%s %g\n", name, fn())
+		},
+		func(out []Sample) []Sample {
+			return append(out, Sample{Name: name, Type: TypeGauge, Value: fn()})
+		})
 }
 
 // Histogram registers and returns a histogram with the given ascending
 // bucket bounds (opstats.DefBuckets when none are given).
 func (r *Registry) Histogram(name, help string, bounds ...float64) *opstats.Histogram {
 	h := opstats.NewHistogram(bounds...)
-	r.register(name, help, TypeHistogram, func(w io.Writer) { h.Expose(w, name) })
+	r.register(name, help, TypeHistogram,
+		func(w io.Writer) { h.Expose(w, name) },
+		func(out []Sample) []Sample {
+			s := h.Snapshot()
+			return append(out, Sample{Name: name, Type: TypeHistogram, Value: float64(s.Count), Hist: &s})
+		})
 	return h
+}
+
+// Samples reads every registered metric's current value as typed samples,
+// sorted by name — the structured sibling of Expose, consumed by the
+// in-process time-series sampler. Custom MustRegister collectors are
+// skipped; labelled families expand to one sample per child.
+func (r *Registry) Samples() []Sample {
+	r.mu.Lock()
+	entries := make([]metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		if m.sample != nil {
+			entries = append(entries, m)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	var out []Sample
+	for _, m := range entries {
+		out = m.sample(out)
+	}
+	return out
 }
 
 // escapeHelp applies the exposition-format HELP escaping: backslash and

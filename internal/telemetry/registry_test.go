@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"fmt"
+	"io"
 	"regexp"
 	"strings"
 	"testing"
@@ -136,4 +138,63 @@ func mustPanic(t *testing.T, what string, f func()) {
 		}
 	}()
 	f()
+}
+
+// TestRegistrySamples covers the structured sibling of Expose: typed,
+// name-sorted samples with labelled families expanded per child, histograms
+// carrying full snapshots, and opaque MustRegister collectors skipped.
+func TestRegistrySamples(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("zz_total", "")
+	c.Add(3)
+	g := r.Gauge("aa_gauge", "")
+	g.Set(1.5)
+	r.GaugeFunc("fn_gauge", "", func() float64 { return 2.5 })
+	fc := r.FloatCounter("float_total", "")
+	fc.Add(0.25)
+	v := r.CounterVec("req_total", "")
+	v.With(`path="/b"`).Add(2)
+	v.With(`path="/a"`).Inc()
+	h := r.Histogram("lat_seconds", "", 1, 2)
+	h.Observe(0.5)
+	h.Observe(3)
+	r.MustRegister("custom_info", "", TypeGauge, func(w io.Writer) { fmt.Fprint(w, "custom_info 1\n") })
+
+	got := r.Samples()
+	wantNames := []string{
+		"aa_gauge", "float_total", "fn_gauge", "lat_seconds",
+		`req_total{path="/a"}`, `req_total{path="/b"}`, "zz_total",
+	}
+	if len(got) != len(wantNames) {
+		t.Fatalf("got %d samples, want %d: %+v", len(got), len(wantNames), got)
+	}
+	byName := map[string]Sample{}
+	for i, s := range got {
+		if s.Name != wantNames[i] {
+			t.Fatalf("sample %d = %q, want %q (sorted, custom skipped)", i, s.Name, wantNames[i])
+		}
+		byName[s.Name] = s
+	}
+	if s := byName["zz_total"]; s.Type != TypeCounter || s.Value != 3 {
+		t.Fatalf("counter sample = %+v", s)
+	}
+	if s := byName["aa_gauge"]; s.Type != TypeGauge || s.Value != 1.5 {
+		t.Fatalf("gauge sample = %+v", s)
+	}
+	if s := byName["fn_gauge"]; s.Value != 2.5 {
+		t.Fatalf("gauge-func sample = %+v", s)
+	}
+	if s := byName["float_total"]; s.Type != TypeCounter || s.Value != 0.25 {
+		t.Fatalf("float counter sample = %+v", s)
+	}
+	if s := byName[`req_total{path="/b"}`]; s.Value != 2 {
+		t.Fatalf("vec child sample = %+v", s)
+	}
+	hs := byName["lat_seconds"]
+	if hs.Type != TypeHistogram || hs.Hist == nil || hs.Hist.Count != 2 || hs.Value != 2 {
+		t.Fatalf("histogram sample = %+v", hs)
+	}
+	if q := hs.Hist.Quantile(0.25); q != 0.5 {
+		t.Fatalf("histogram snapshot quantile = %g, want 0.5", q)
+	}
 }

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// mkTrace exports a two-span trace (child then root) whose root runs for
+// rootDur, tagging the child with attrs.
+func mkTrace(b *TraceBuffer, trace ID, rootDur time.Duration, childAttrs ...Attr) {
+	base := int64(1_000_000_000)
+	b.ExportSpan(SpanData{
+		TraceID: trace, SpanID: trace + 1, ParentID: trace + 2,
+		Name: "child", Start: base, End: base + int64(time.Millisecond), Attrs: childAttrs,
+	})
+	b.ExportSpan(SpanData{
+		TraceID: trace, SpanID: trace + 2,
+		Name: "root", Start: base, End: base + int64(rootDur),
+	})
+}
+
+func TestTraceBufferTailSampling(t *testing.T) {
+	b := NewTraceBuffer(10*time.Millisecond, 8)
+
+	mkTrace(b, 100, time.Millisecond)                                    // fast, clean: discarded
+	mkTrace(b, 200, 50*time.Millisecond)                                 // slow: retained
+	mkTrace(b, 300, time.Millisecond, Attr{Key: "error", Value: "boom"}) // errored child: retained
+	mkTrace(b, 400, time.Millisecond, Attr{Key: "error", Value: false})  // error=false: discarded
+
+	got := b.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("retained %d traces, want 2: %+v", len(got), got)
+	}
+	if got[0].TraceID != 200 || got[0].Reason != "slow" {
+		t.Fatalf("first retained = %v/%s, want 200/slow", got[0].TraceID, got[0].Reason)
+	}
+	if got[1].TraceID != 300 || got[1].Reason != "error" {
+		t.Fatalf("second retained = %v/%s, want 300/error", got[1].TraceID, got[1].Reason)
+	}
+	if len(got[0].Spans) != 2 || got[0].Spans[1].Name != "root" {
+		t.Fatalf("retained trace spans = %+v, want [child root]", got[0].Spans)
+	}
+	if pending, retained, total, dropped := b.Stats(); pending != 0 || retained != 2 || total != 2 || dropped != 0 {
+		t.Fatalf("stats = %d/%d/%d/%d, want 0/2/2/0", pending, retained, total, dropped)
+	}
+}
+
+func TestTraceBufferRingOverwrites(t *testing.T) {
+	b := NewTraceBuffer(time.Nanosecond, 2)
+	for i := ID(1); i <= 3; i++ {
+		mkTrace(b, i*100, time.Second)
+	}
+	got := b.Snapshot()
+	if len(got) != 2 || got[0].TraceID != 200 || got[1].TraceID != 300 {
+		t.Fatalf("ring = %+v, want traces 200,300 oldest-first", got)
+	}
+	if _, _, total, _ := b.Stats(); total != 3 {
+		t.Fatalf("total = %d, want 3", total)
+	}
+}
+
+func TestTraceBufferPendingBounds(t *testing.T) {
+	b := NewTraceBuffer(time.Hour, 4)
+	// One trace exceeding the per-trace span cap.
+	for i := 0; i < maxSpansPerTrace+5; i++ {
+		b.ExportSpan(SpanData{TraceID: 7, SpanID: ID(100 + i), ParentID: 1, Name: "leaf"})
+	}
+	if pending, _, _, dropped := b.Stats(); pending != 1 || dropped != 5 {
+		t.Fatalf("pending/dropped = %d/%d, want 1/5", pending, dropped)
+	}
+	// Too many distinct in-flight traces: new ones are dropped.
+	for i := 0; i < maxPendingTraces+3; i++ {
+		b.ExportSpan(SpanData{TraceID: ID(1000 + i), SpanID: ID(5000 + i), ParentID: 1})
+	}
+	if pending, _, _, dropped := b.Stats(); pending != maxPendingTraces || dropped != 5+4 {
+		// 7 was already pending, so 1000..1000+254 fill the map and 4 drop.
+		t.Fatalf("pending/dropped = %d/%d, want %d/9", pending, dropped, maxPendingTraces)
+	}
+}
+
+func TestTraceBufferSlowDisabledKeepsErrorsOnly(t *testing.T) {
+	b := NewTraceBuffer(0, 4)
+	mkTrace(b, 100, time.Hour) // slow but threshold disabled
+	mkTrace(b, 200, time.Nanosecond, Attr{Key: "error", Value: true})
+	got := b.Snapshot()
+	if len(got) != 1 || got[0].TraceID != 200 || got[0].Reason != "error" {
+		t.Fatalf("retained = %+v, want only the errored trace", got)
+	}
+}
+
+// TestNilTraceBufferZeroAlloc pins the disabled contract: a nil buffer's
+// methods are allocation-free no-ops, like a nil Tracer or flight.Ring.
+func TestNilTraceBufferZeroAlloc(t *testing.T) {
+	var b *TraceBuffer
+	d := SpanData{TraceID: 1, SpanID: 2, Name: "x"}
+	if allocs := testing.AllocsPerRun(200, func() {
+		b.ExportSpan(d)
+		if b.Snapshot() != nil {
+			t.Fatal("nil Snapshot not nil")
+		}
+		b.Stats()
+		b.Cap()
+		b.Slow()
+	}); allocs != 0 {
+		t.Fatalf("nil TraceBuffer allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestFanout(t *testing.T) {
+	if Fanout() != nil || Fanout(nil) != nil {
+		t.Fatal("empty Fanout must be nil (disabled tracer)")
+	}
+	a, b := &MemoryExporter{}, &MemoryExporter{}
+	if got := Fanout(a); got != Exporter(a) {
+		t.Fatal("single-exporter Fanout should unwrap")
+	}
+	f := Fanout(a, nil, b)
+	f.ExportSpan(SpanData{TraceID: 9})
+	if len(a.Spans()) != 1 || len(b.Spans()) != 1 {
+		t.Fatalf("fanout delivered %d/%d, want 1/1", len(a.Spans()), len(b.Spans()))
+	}
+	tr := NewTracer(Fanout(nil, nil))
+	if tr.Enabled() {
+		t.Fatal("tracer over empty fanout should be disabled")
+	}
+}

@@ -1,0 +1,128 @@
+package tsdb
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Config bounds and paces a Sampler.
+type Config struct {
+	// Interval between scrapes (default 1s).
+	Interval time.Duration
+	// MaxSeries is the hard series cap (default 512). Samples for series
+	// beyond it are dropped and counted.
+	MaxSeries int
+	// MaxPoints bounds each series' ring (default 360 — six minutes of
+	// history at the default interval).
+	MaxPoints int
+	// Now is the clock (default time.Now); tests inject one.
+	Now func() time.Time
+	// OnSample, when set, runs after every scrape with the scrape time —
+	// the hook SLO evaluation hangs off so verdict cadence equals sample
+	// cadence.
+	OnSample func(now time.Time)
+	// NoGauges suppresses registering brainy_tsdb_series and
+	// brainy_tsdb_points on the scraped registry (they read the store's
+	// occupancy at exposition time). Tests that build several samplers
+	// over one registry set it to dodge the register-once panic.
+	NoGauges bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.MaxSeries <= 0 {
+		c.MaxSeries = 512
+	}
+	if c.MaxPoints <= 0 {
+		c.MaxPoints = 360
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Sampler scrapes a telemetry.Registry into a DB at a fixed cadence. A nil
+// *Sampler is the disabled sampler: every method is an allocation-free
+// no-op, matching the repository's nil-disabled observability contract.
+type Sampler struct {
+	reg      *telemetry.Registry
+	db       *DB
+	interval time.Duration
+	now      func() time.Time
+	onSample func(time.Time)
+}
+
+// New builds a sampler over reg and its backing store, and (unless
+// cfg.NoGauges) registers the store's occupancy gauges on reg so the store
+// reports on itself through the pipeline it feeds.
+func New(reg *telemetry.Registry, cfg Config) *Sampler {
+	cfg = cfg.withDefaults()
+	db := NewDB(cfg.MaxSeries, cfg.MaxPoints)
+	s := &Sampler{
+		reg:      reg,
+		db:       db,
+		interval: cfg.Interval,
+		now:      cfg.Now,
+		onSample: cfg.OnSample,
+	}
+	if !cfg.NoGauges {
+		reg.GaugeFunc("brainy_tsdb_series", "Time series retained by the in-process store.",
+			func() float64 { n, _, _ := db.Stats(); return float64(n) })
+		reg.GaugeFunc("brainy_tsdb_points", "Points retained across all in-process time series.",
+			func() float64 { _, n, _ := db.Stats(); return float64(n) })
+	}
+	return s
+}
+
+// DB returns the backing store (nil on a nil sampler).
+func (s *Sampler) DB() *DB {
+	if s == nil {
+		return nil
+	}
+	return s.db
+}
+
+// Interval reports the scrape cadence (0 on a nil sampler).
+func (s *Sampler) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// Scrape takes one sample of every registry metric at the configured
+// clock's current time and invokes the OnSample hook.
+func (s *Sampler) Scrape() {
+	if s == nil {
+		return
+	}
+	now := s.now()
+	s.db.Record(now.UnixNano(), s.reg.Samples())
+	if s.onSample != nil {
+		s.onSample(now)
+	}
+}
+
+// Run scrapes every interval until ctx is done. The first scrape happens
+// one interval in, not immediately: a t=0 point would make every
+// first-window rate look like a spike.
+func (s *Sampler) Run(ctx context.Context) {
+	if s == nil {
+		return
+	}
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.Scrape()
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package tsdb
+
+import "strings"
+
+// sparkLevels are the eight block glyphs a sparkline quantizes into.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a unicode sparkline, scaled to the slice's own
+// min/max. A flat series renders at mid-height rather than as all-max: the
+// interesting signal is variation, and a row of full blocks reads as a
+// spike that never happened. Empty input renders "".
+func Spark(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	if hi == lo {
+		for range vals {
+			b.WriteRune(sparkLevels[3])
+		}
+		return b.String()
+	}
+	scale := float64(len(sparkLevels)-1) / (hi - lo)
+	for _, v := range vals {
+		b.WriteRune(sparkLevels[int((v-lo)*scale+0.5)])
+	}
+	return b.String()
+}
+
+// SparkPoints renders a point series' values as a sparkline.
+func SparkPoints(pts []Point) string {
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p.V
+	}
+	return Spark(vals)
+}

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Poll a brainy-serve /v1/health endpoint until it reports an expected state.
+
+Usage:
+    check_health.py --url http://host:port/v1/health --expect degraded \
+        [--objective advise-p99] [--timeout 20] [--out health.json]
+
+Polls the endpoint (every --interval seconds, accepting both 200 and 503
+responses — the body carries the verdict either way) until:
+
+  * the top-level status equals --expect, and
+  * when --objective is given, that named SLO objective individually reports
+    the same state (and carries a non-empty burn-rate reason whenever the
+    state is not ok).
+
+On success the matching body is written to --out (when given) and the
+observed transition is printed; exit 0. If the deadline passes first, the
+last body seen is dumped for the CI log and the exit code is 1 — so a health
+verdict that never flips (or never recovers) fails the build loudly.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fetch(url):
+    """GET url and decode the JSON body, treating 503 as a valid answer."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return json.load(resp)
+    except urllib.error.HTTPError as e:
+        if e.code == 503:
+            return json.load(e)
+        raise
+
+
+def objective(body, name):
+    for obj in (body.get("slo") or {}).get("objectives", []):
+        if obj.get("name") == name:
+            return obj
+    return None
+
+
+def matches(body, expect, objective_name):
+    if body.get("status") != expect:
+        return False
+    if objective_name:
+        obj = objective(body, objective_name)
+        if obj is None:
+            return False
+        # "draining" is a server-level verdict; objectives never report it.
+        want = expect if expect in ("ok", "degraded", "critical") else "ok"
+        if obj.get("state") != want:
+            return False
+        if want != "ok" and not obj.get("reason"):
+            return False
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--url", required=True, help="the /v1/health URL to poll")
+    ap.add_argument("--expect", required=True,
+                    choices=["ok", "degraded", "critical", "draining"],
+                    help="top-level status to wait for")
+    ap.add_argument("--objective",
+                    help="SLO objective that must individually report the state")
+    ap.add_argument("--timeout", type=float, default=30.0,
+                    help="seconds to keep polling (default 30)")
+    ap.add_argument("--interval", type=float, default=0.2,
+                    help="poll cadence in seconds (default 0.2)")
+    ap.add_argument("--out", help="write the matching health body here")
+    args = ap.parse_args()
+
+    deadline = time.monotonic() + args.timeout
+    last, states = None, []
+    while time.monotonic() < deadline:
+        try:
+            body = fetch(args.url)
+        except Exception as e:  # noqa: BLE001 - transient during (re)starts
+            print(f"poll error (retrying): {e}", file=sys.stderr)
+            time.sleep(args.interval)
+            continue
+        last = body
+        if not states or states[-1] != body.get("status"):
+            states.append(body.get("status"))
+        if matches(body, args.expect, args.objective):
+            if args.out:
+                with open(args.out, "w") as f:
+                    json.dump(body, f, indent=2)
+            target = args.expect
+            if args.objective:
+                target += f" ({args.objective})"
+            print(f"OK: health reached {target} "
+                  f"(observed states: {' -> '.join(states)})")
+            return 0
+        time.sleep(args.interval)
+
+    print(f"FAIL: health never reached {args.expect}"
+          + (f" on objective {args.objective}" if args.objective else "")
+          + f" within {args.timeout:.0f}s "
+          f"(observed states: {' -> '.join(states) or 'none'})",
+          file=sys.stderr)
+    if last is not None:
+        json.dump(last, sys.stderr, indent=2)
+        print(file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
